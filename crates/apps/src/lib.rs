@@ -1,0 +1,34 @@
+//! MapReduce applications for the SupMR runtime.
+//!
+//! The paper evaluates two applications chosen "because these
+//! applications represent different spectrums of the application space"
+//! (§VI): word count (ingest-bound, hash container, near-free reduce and
+//! merge) and sort (merge-bound, unlocked container, unique keys). This
+//! crate implements both plus the rest of the Phoenix++ application
+//! families so every container variant has a real user:
+//!
+//! | app | container | combiner | stresses |
+//! |---|---|---|---|
+//! | [`wordcount::WordCount`] | hash | sum | ingest phase, combining |
+//! | [`sort::TeraSort`] | unlocked | identity | merge phase |
+//! | [`grep::Grep`] | hash | sum | map-side filtering |
+//! | [`histogram::Histogram`] | array | count | dense integer keys |
+//! | [`linreg::LinearRegression`] | array | sum | tiny key universe |
+//! | [`inverted_index::InvertedIndex`] | hash | buffer | value buffering |
+//! | [`kmeans::KMeansStep`] | array | sum | iterative jobs (re-ingest per pass) |
+
+pub mod grep;
+pub mod histogram;
+pub mod inverted_index;
+pub mod kmeans;
+pub mod linreg;
+pub mod sort;
+pub mod wordcount;
+
+pub use grep::Grep;
+pub use histogram::Histogram;
+pub use inverted_index::InvertedIndex;
+pub use kmeans::{run_kmeans, KMeansStep};
+pub use linreg::LinearRegression;
+pub use sort::TeraSort;
+pub use wordcount::WordCount;

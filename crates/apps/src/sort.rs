@@ -1,0 +1,137 @@
+//! TeraSort — the paper's merge-bound benchmark (60GB input).
+//!
+//! Every `\r\n`-terminated 100-byte record becomes one `(key, record)`
+//! pair where the key is the record's first 10 bytes. Keys are
+//! (effectively) unique, so the application uses the unlocked container
+//! — "each mapper outputs to its key range in the array and each reducer
+//! operates only on its key range" — and all the interesting work is in
+//! the merge phase: the baseline's iterative 2-way rounds vs SupMR's
+//! p-way merge.
+
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::Identity;
+use supmr::container::UnlockedContainer;
+use supmr_storage::RecordFormat;
+use supmr_workloads::TERA_KEY_LEN;
+
+/// The Terasort application.
+#[derive(Debug, Clone, Default)]
+pub struct TeraSort;
+
+impl TeraSort {
+    /// A sorter for gensort-style CRLF records.
+    pub fn new() -> TeraSort {
+        TeraSort
+    }
+
+    /// The record format this application expects
+    /// ([`RecordFormat::CrLf`]); pass it to `JobConfig.record_format`.
+    pub fn record_format() -> RecordFormat {
+        RecordFormat::CrLf
+    }
+}
+
+impl MapReduce for TeraSort {
+    type Key = Vec<u8>;
+    type Value = Vec<u8>;
+    type Combiner = Identity;
+    type Output = Vec<u8>;
+    type Container = UnlockedContainer<Vec<u8>, Vec<u8>>;
+
+    fn make_container(&self) -> Self::Container {
+        UnlockedContainer::new()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<Vec<u8>, Vec<u8>>) {
+        for rec in RecordFormat::CrLf.records(split) {
+            // Short trailing fragments (no full key) are kept with an
+            // as-is key so no input byte is ever dropped.
+            let key_len = rec.len().min(TERA_KEY_LEN);
+            emit.emit(rec[..key_len].to_vec(), rec.to_vec());
+        }
+    }
+
+    fn reduce(&self, _key: &Vec<u8>, record: Vec<u8>) -> Vec<u8> {
+        record
+    }
+}
+
+/// Check that a job's output is sorted by key and contains exactly the
+/// records of `gen` (used by tests and the benchmark harness).
+pub fn validate_sorted_output(
+    pairs: &[(Vec<u8>, Vec<u8>)],
+    expected_records: u64,
+) -> Result<(), String> {
+    if pairs.len() as u64 != expected_records {
+        return Err(format!("expected {expected_records} records, got {}", pairs.len()));
+    }
+    for w in pairs.windows(2) {
+        if w[0].0 > w[1].0 {
+            return Err(format!("output not sorted: {:?} > {:?}", w[0].0, w[1].0));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
+mod tests {
+    use super::*;
+    use supmr::api::VecEmit;
+    use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+    use supmr::Chunking;
+    use supmr_storage::MemSource;
+    use supmr_workloads::TeraGen;
+
+    #[test]
+    fn map_extracts_ten_byte_keys() {
+        let gen = TeraGen::new(1, 3);
+        let data = gen.generate_all();
+        let mut sink = VecEmit::default();
+        TeraSort::new().map(&data, &mut sink);
+        assert_eq!(sink.pairs.len(), 3);
+        for (i, (key, rec)) in sink.pairs.iter().enumerate() {
+            assert_eq!(key.len(), TERA_KEY_LEN);
+            assert_eq!(rec.len(), 100);
+            assert_eq!(key.as_slice(), &gen.record(i as u64)[..TERA_KEY_LEN]);
+        }
+    }
+
+    #[test]
+    fn trailing_fragment_is_not_dropped() {
+        let mut sink = VecEmit::default();
+        TeraSort::new().map(b"short", &mut sink);
+        assert_eq!(sink.pairs.len(), 1);
+        assert_eq!(sink.pairs[0].1, b"short".to_vec());
+    }
+
+    #[test]
+    fn end_to_end_sorts_teragen_data() {
+        let gen = TeraGen::new(33, 500);
+        let mut config = JobConfig::default();
+        config.record_format = TeraSort::record_format();
+        config.chunking = Chunking::Inter { chunk_bytes: 8_000 };
+        config.merge = MergeMode::PWay { ways: 4 };
+        let r = run_job(
+            TeraSort::new(),
+            Input::stream(MemSource::from(gen.generate_all())),
+            config,
+        )
+        .unwrap();
+        validate_sorted_output(&r.pairs, 500).unwrap();
+        // Keys really are the sorted multiset of generated keys.
+        let mut expected: Vec<Vec<u8>> = (0..500).map(|i| gen.key(i).to_vec()).collect();
+        expected.sort();
+        let got: Vec<Vec<u8>> = r.pairs.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn validator_catches_problems() {
+        let good = vec![(b"a".to_vec(), vec![]), (b"b".to_vec(), vec![])];
+        assert!(validate_sorted_output(&good, 2).is_ok());
+        assert!(validate_sorted_output(&good, 3).is_err());
+        let bad = vec![(b"b".to_vec(), vec![]), (b"a".to_vec(), vec![])];
+        assert!(validate_sorted_output(&bad, 2).is_err());
+    }
+}

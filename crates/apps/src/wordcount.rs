@@ -1,0 +1,132 @@
+//! Word count — the paper's ingest-bound benchmark (155GB input).
+//!
+//! Maps text splits into `(word, 1)` pairs; the hash container's sum
+//! combiner collapses them at insert time, so the 155GB input shrinks to
+//! a vocabulary-sized intermediate set and the reduce/merge phases are
+//! nearly free (Table II: 0.03s / 0.01s). What remains is ingest — which
+//! is exactly why the ingest chunk pipeline helps this application most.
+
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::Sum;
+use supmr::container::HashContainer;
+
+/// The word count application.
+#[derive(Debug, Clone, Default)]
+pub struct WordCount {
+    /// Fold words to ASCII lowercase before counting.
+    pub case_insensitive: bool,
+}
+
+impl WordCount {
+    /// Case-sensitive word count.
+    pub fn new() -> WordCount {
+        WordCount::default()
+    }
+
+    /// Case-insensitive word count.
+    pub fn case_insensitive() -> WordCount {
+        WordCount { case_insensitive: true }
+    }
+}
+
+/// Is `b` part of a word?
+#[inline]
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'\''
+}
+
+impl MapReduce for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        let mut start = None;
+        for (i, &b) in split.iter().enumerate() {
+            if is_word_byte(b) {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                self.emit_word(&split[s..i], emit);
+            }
+        }
+        if let Some(s) = start {
+            self.emit_word(&split[s..], emit);
+        }
+    }
+
+    fn reduce(&self, _key: &String, count: u64) -> u64 {
+        count
+    }
+}
+
+impl WordCount {
+    fn emit_word(&self, word: &[u8], emit: &mut dyn Emit<String, u64>) {
+        let mut w = String::from_utf8_lossy(word).into_owned();
+        if self.case_insensitive {
+            w.make_ascii_lowercase();
+        }
+        emit.emit(w, 1);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
+mod tests {
+    use super::*;
+    use supmr::api::VecEmit;
+    use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+    use supmr_storage::MemSource;
+
+    #[test]
+    fn tokenizes_on_non_word_bytes() {
+        let mut sink = VecEmit::default();
+        WordCount::new().map(b"it's a test--really, a_test!", &mut sink);
+        let words: Vec<&str> = sink.pairs.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, vec!["it's", "a", "test", "really", "a_test"]);
+    }
+
+    #[test]
+    fn case_folding() {
+        let mut sink = VecEmit::default();
+        WordCount::case_insensitive().map(b"The THE the", &mut sink);
+        assert!(sink.pairs.iter().all(|(w, _)| w == "the"));
+    }
+
+    #[test]
+    fn word_at_split_edges_counted_once() {
+        let mut sink = VecEmit::default();
+        WordCount::new().map(b"edge", &mut sink);
+        assert_eq!(sink.pairs, vec![("edge".to_string(), 1)]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_splits() {
+        let mut sink = VecEmit::default();
+        WordCount::new().map(b"", &mut sink);
+        WordCount::new().map(b"--- ... !!!", &mut sink);
+        assert!(sink.pairs.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_counts_match_reference() {
+        let text = b"the quick the lazy the dog dog".to_vec();
+        let mut config = JobConfig::default();
+        config.merge = MergeMode::PWay { ways: 2 };
+        let r = run_job(WordCount::new(), Input::stream(MemSource::from(text)), config).unwrap();
+        assert_eq!(
+            r.pairs,
+            vec![
+                ("dog".to_string(), 2),
+                ("lazy".to_string(), 1),
+                ("quick".to_string(), 1),
+                ("the".to_string(), 3),
+            ]
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Criterion bench: chunking machinery costs — boundary adjustment,
+//! chunk streaming, and split computation. These are the per-round
+//! overheads that make very small ingest chunks counter-productive
+//! (§III-A2), so they deserve their own numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use supmr::chunk::{Chunker, InterFileChunker, IntraFileChunker};
+use supmr::split::split_ranges;
+use supmr_storage::{MemFileSet, MemSource, RecordFormat};
+use supmr_workloads::{small_files_corpus, TeraGen, TextGen, TextGenConfig};
+
+fn bench_inter_chunking(c: &mut Criterion) {
+    let data = TextGen::new(TextGenConfig::default()).generate_bytes(3, 8 * 1024 * 1024);
+    let mut group = c.benchmark_group("inter_file_chunking");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for chunk_kb in [64usize, 512, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{chunk_kb}KiB")),
+            &chunk_kb,
+            |b, &chunk_kb| {
+                b.iter(|| {
+                    let mut chunker = InterFileChunker::new(
+                        MemSource::from(black_box(data.clone())),
+                        (chunk_kb * 1024) as u64,
+                        RecordFormat::Newline,
+                    );
+                    let mut chunks = 0usize;
+                    while let Some(ch) = chunker.next_chunk().unwrap() {
+                        chunks += ch.len();
+                    }
+                    chunks
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crlf_boundary_adjustment(c: &mut Criterion) {
+    let data = TeraGen::with_total_bytes(5, 4 * 1024 * 1024).generate_all();
+    let mut group = c.benchmark_group("crlf_chunking");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("teragen_4MiB_into_128KiB", |b| {
+        b.iter(|| {
+            let mut chunker = InterFileChunker::new(
+                MemSource::from(black_box(data.clone())),
+                128 * 1024,
+                RecordFormat::CrLf,
+            );
+            let mut n = 0;
+            while let Some(ch) = chunker.next_chunk().unwrap() {
+                n += ch.len();
+            }
+            n
+        });
+    });
+    group.finish();
+}
+
+fn bench_intra_chunking(c: &mut Criterion) {
+    let files = small_files_corpus(9, 128, 16 * 1024);
+    let mut group = c.benchmark_group("intra_file_chunking");
+    group.throughput(Throughput::Bytes(files.iter().map(|f| f.len() as u64).sum()));
+    for per_chunk in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{per_chunk}_files")),
+            &per_chunk,
+            |b, &per_chunk| {
+                b.iter(|| {
+                    let mut chunker = IntraFileChunker::new(
+                        MemFileSet::new(black_box(files.clone())),
+                        per_chunk,
+                    );
+                    let mut n = 0;
+                    while let Some(ch) = chunker.next_chunk().unwrap() {
+                        n += ch.len();
+                    }
+                    n
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split_computation(c: &mut Criterion) {
+    let data = TextGen::new(TextGenConfig::default()).generate_bytes(1, 4 * 1024 * 1024);
+    let mut group = c.benchmark_group("split_ranges");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("newline_64KiB_splits", |b| {
+        b.iter(|| split_ranges(black_box(&data), 64 * 1024, RecordFormat::Newline));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inter_chunking, bench_crlf_boundary_adjustment, bench_intra_chunking, bench_split_computation
+}
+criterion_main!(benches);

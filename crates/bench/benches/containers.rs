@@ -1,0 +1,84 @@
+//! Criterion bench: intermediate-container comparison (§V-B).
+//!
+//! Phoenix++'s container choice is workload-dependent: the hash
+//! container wins when combining collapses the data (word count); the
+//! unlocked container wins for unique keys (sort) because it skips the
+//! pointless key lookups; the array container wins for small dense key
+//! universes (histogram). This bench quantifies those trade-offs by
+//! running each container against both key distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use supmr::api::Emit;
+use supmr::combiner::{Identity, Sum};
+use supmr::container::{ArrayContainer, Container, HashContainer, UnlockedContainer};
+
+const PAIRS: usize = 100_000;
+
+/// Skewed keys: Zipf-flavoured, many repeats (word count shape).
+fn skewed_keys() -> Vec<usize> {
+    (0..PAIRS).map(|i| (i * i + i / 3) % 512).collect()
+}
+
+/// Unique keys (sort shape).
+fn unique_keys() -> Vec<usize> {
+    (0..PAIRS).collect()
+}
+
+fn insert_hash(keys: &[usize]) -> usize {
+    let c: HashContainer<usize, u64, Sum> = HashContainer::new();
+    let mut local = c.local();
+    for &k in keys {
+        local.emit(k, 1);
+    }
+    c.absorb(local);
+    c.distinct_keys()
+}
+
+fn insert_unlocked(keys: &[usize]) -> usize {
+    let c: UnlockedContainer<usize, u64> = UnlockedContainer::new();
+    let mut local = <UnlockedContainer<usize, u64> as Container<usize, u64, Identity>>::local(&c);
+    for &k in keys {
+        local.emit(k, 1);
+    }
+    <UnlockedContainer<usize, u64> as Container<usize, u64, Identity>>::absorb(&c, local);
+    c.run_count()
+}
+
+fn insert_array(keys: &[usize], universe: usize) -> usize {
+    let c: ArrayContainer<u64, Sum> = ArrayContainer::new(universe);
+    let mut local = c.local();
+    for &k in keys {
+        local.emit(k, 1);
+    }
+    c.absorb(local);
+    c.distinct_keys()
+}
+
+fn bench_containers(c: &mut Criterion) {
+    let skewed = skewed_keys();
+    let unique = unique_keys();
+
+    let mut group = c.benchmark_group("container_insert");
+    group.throughput(Throughput::Elements(PAIRS as u64));
+    group.bench_function("hash/skewed_keys", |b| {
+        b.iter(|| insert_hash(black_box(&skewed)));
+    });
+    group.bench_function("hash/unique_keys", |b| {
+        b.iter(|| insert_hash(black_box(&unique)));
+    });
+    group.bench_function("unlocked/unique_keys", |b| {
+        b.iter(|| insert_unlocked(black_box(&unique)));
+    });
+    group.bench_function("array/skewed_keys", |b| {
+        b.iter(|| insert_array(black_box(&skewed), 512));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_containers
+}
+criterion_main!(benches);

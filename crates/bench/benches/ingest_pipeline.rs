@@ -1,0 +1,59 @@
+//! Criterion bench: real ingest-chunk-pipeline vs original runtime on a
+//! bandwidth-throttled source — the mechanism of Table II's word count
+//! rows, scaled to seconds. The pipeline should approach
+//! `max(ingest, map)` while the baseline pays `ingest + map`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use supmr_bench::RealScale;
+use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, PipelineParams};
+
+fn bench_real_pipeline(c: &mut Criterion) {
+    // Small + fast so criterion can sample: 2MB at 16MB/s ≈ 0.13s/run.
+    let scale = RealScale {
+        wordcount_bytes: 2 * 1024 * 1024,
+        sort_bytes: 0,
+        disk_rate: 16.0 * 1024.0 * 1024.0,
+        workers: 2,
+    };
+    let data = scale.wordcount_data();
+    let mut group = c.benchmark_group("real_wordcount_throttled");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("original", |b| {
+        b.iter(|| scale.run_wordcount(data.clone(), None));
+    });
+    group.bench_function("pipeline_256k_chunks", |b| {
+        b.iter(|| scale.run_wordcount(data.clone(), Some(256 * 1024)));
+    });
+    group.finish();
+}
+
+fn bench_simulated_paper_scale(c: &mut Criterion) {
+    // The simulator itself is also benchmarked: full paper-scale Table II
+    // reproductions complete in milliseconds, which is what makes the
+    // chunk-size sweeps cheap.
+    let profile = AppProfile::word_count_155gb();
+    let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+    let mut group = c.benchmark_group("simulator");
+    group.bench_function("wordcount_155gb_original", |b| {
+        b.iter(|| simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK));
+    });
+    group.bench_function("wordcount_155gb_supmr_1gb", |b| {
+        b.iter(|| {
+            simulate(
+                JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+                &profile,
+                &machine,
+                MachineSpec::DISK,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_real_pipeline, bench_simulated_paper_scale
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the merge-phase comparison at algorithm level.
+//!
+//! Measures the paper's §IV claim directly: single-pass p-way merging vs
+//! iterative 2-way rounds, across run counts (fan-in) and data sizes.
+//! The pairwise baseline's cost grows with log₂(runs) extra passes over
+//! the data; the loser-tree merge pays log₂(runs) only in comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use supmr_merge::{kway_merge, pairwise_merge_rounds, parallel_kway_merge, parallel_sort, MergeBackend};
+
+fn sorted_runs(k: usize, total: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..k)
+        .map(|_| {
+            let mut run: Vec<u64> = (0..total / k).map(|_| rng.gen()).collect();
+            run.sort_unstable();
+            run
+        })
+        .collect()
+}
+
+fn bench_merge_fanin(c: &mut Criterion) {
+    let total = 200_000;
+    let mut group = c.benchmark_group("merge_fanin");
+    group.throughput(Throughput::Elements(total as u64));
+    for k in [4usize, 16, 64, 256] {
+        let runs = sorted_runs(k, total, 7);
+        group.bench_with_input(BenchmarkId::new("pairwise_rounds", k), &runs, |b, runs| {
+            b.iter(|| pairwise_merge_rounds(black_box(runs.clone()), false));
+        });
+        group.bench_with_input(BenchmarkId::new("pway_loser_tree", k), &runs, |b, runs| {
+            b.iter(|| kway_merge(black_box(runs.clone())));
+        });
+        group.bench_with_input(BenchmarkId::new("pway_parallel", k), &runs, |b, runs| {
+            b.iter(|| parallel_kway_merge(black_box(runs.clone()), 4));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_backends(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let data: Vec<u64> = (0..400_000).map(|_| rng.gen()).collect();
+    let mut group = c.benchmark_group("parallel_sort_backend");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("pairwise_rounds", |b| {
+        b.iter(|| parallel_sort(black_box(data.clone()), 32, MergeBackend::PairwiseRounds));
+    });
+    group.bench_function("pway", |b| {
+        b.iter(|| parallel_sort(black_box(data.clone()), 32, MergeBackend::PWay { ways: 4 }));
+    });
+    group.bench_function("std_sort_unstable", |b| {
+        b.iter(|| {
+            let mut d = black_box(data.clone());
+            d.sort_unstable();
+            d
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_merge_fanin, bench_sort_backends
+}
+criterion_main!(benches);

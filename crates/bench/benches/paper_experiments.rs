@@ -1,0 +1,94 @@
+//! Criterion bench: every paper experiment as a benchmark target, so
+//! `cargo bench` alone regenerates the full evaluation (Table II and
+//! Figs. 1, 3, 5, 6, 7 at paper scale via the simulator, plus scaled
+//! real runs of the two headline configurations).
+//!
+//! The per-target console output of the dedicated binaries
+//! (`cargo run -p supmr-bench --bin table2` etc.) carries the actual
+//! tables and charts; this harness tracks that the regeneration stays
+//! cheap and deterministic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use supmr::runtime::MergeMode;
+use supmr_bench::RealScale;
+use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, PipelineParams};
+
+fn bench_sim_experiments(c: &mut Criterion) {
+    let wc = AppProfile::word_count_155gb();
+    let sort = AppProfile::sort_60gb();
+    let hdfs = AppProfile::word_count_30gb_hdfs();
+    let wc_machine = MachineSpec::paper_testbed(wc.disk_bandwidth);
+    let sort_machine = MachineSpec::paper_testbed(sort.disk_bandwidth);
+    let hdfs_machine = MachineSpec::paper_testbed_hdfs();
+
+    let mut group = c.benchmark_group("paper_scale_sim");
+    group.sample_size(10);
+    group.bench_function("fig1_sort_original", |b| {
+        b.iter(|| simulate(JobModel::Original, &sort, &sort_machine, MachineSpec::DISK));
+    });
+    group.bench_function("fig3_sort_openmp", |b| {
+        b.iter(|| simulate(JobModel::OpenMp, &sort, &sort_machine, MachineSpec::DISK));
+    });
+    group.bench_function("fig5b_wc_1gb_chunks", |b| {
+        b.iter(|| {
+            simulate(
+                JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+                &wc,
+                &wc_machine,
+                MachineSpec::DISK,
+            )
+        });
+    });
+    group.bench_function("fig6_sort_supmr", |b| {
+        b.iter(|| {
+            simulate(
+                JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+                &sort,
+                &sort_machine,
+                MachineSpec::DISK,
+            )
+        });
+    });
+    group.bench_function("fig7_hdfs_supmr", |b| {
+        b.iter(|| {
+            simulate(
+                JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+                &hdfs,
+                &hdfs_machine,
+                MachineSpec::NET,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_real_headline_configs(c: &mut Criterion) {
+    let scale = RealScale {
+        wordcount_bytes: 2 * 1024 * 1024,
+        sort_bytes: 1024 * 1024,
+        disk_rate: 16.0 * 1024.0 * 1024.0,
+        workers: 2,
+    };
+    let wc_data = scale.wordcount_data();
+    let sort_data = scale.sort_data();
+
+    let mut group = c.benchmark_group("real_scaled");
+    group.sample_size(10);
+    group.bench_function("table2_wc_pipeline", |b| {
+        b.iter(|| scale.run_wordcount(wc_data.clone(), Some(256 * 1024)));
+    });
+    group.bench_function("table2_sort_supmr", |b| {
+        b.iter(|| scale.run_sort(sort_data.clone(), Some(256 * 1024), MergeMode::PWay { ways: 2 }));
+    });
+    group.bench_function("table2_sort_baseline", |b| {
+        b.iter(|| scale.run_sort(sort_data.clone(), None, MergeMode::PairwiseRounds));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim_experiments, bench_real_headline_configs
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 3**: the OpenMP sort comparator. Its compute
+//! phase beats scale-up MapReduce, but single-threaded ingest+parse
+//! makes the total time-to-result *slower* — the motivating observation
+//! for keeping the MapReduce model on scale-up.
+
+use supmr_bench::{emit_figure, trace_with_phase_marks};
+use supmr_metrics::Phase;
+use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec};
+
+fn main() {
+    let profile = AppProfile::sort_60gb();
+    let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+    let mr = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+    let omp = simulate(JobModel::OpenMp, &profile, &machine, MachineSpec::DISK);
+
+    println!("== Fig. 3: OpenMP sort (60GB), CPU utilization ==\n");
+    let trace = trace_with_phase_marks(&omp);
+    emit_figure("fig3_sort_openmp", "sort 60GB, OpenMP comparator", &trace);
+
+    let mr_compute = mr.total_secs() - mr.timings.phase(Phase::Ingest).as_secs_f64();
+    let omp_compute = omp.timings.phase(Phase::Merge).as_secs_f64();
+    println!("MapReduce: total {:.1}s (ingest {:.1}s, compute-after-ingest {:.1}s)",
+        mr.total_secs(),
+        mr.timings.phase(Phase::Ingest).as_secs_f64(),
+        mr_compute,
+    );
+    println!(
+        "OpenMP:    total {:.1}s (serial ingest+parse {:.1}s, parallel sort {:.1}s)",
+        omp.total_secs(),
+        omp.timings.phase(Phase::Ingest).as_secs_f64(),
+        omp_compute,
+    );
+    println!(
+        "compute advantage OpenMP: {:.0}s   (paper: 214s)",
+        mr_compute - omp_compute
+    );
+    println!(
+        "total-time advantage MapReduce: {:.0}s   (paper: 192s)",
+        omp.total_secs() - mr.total_secs()
+    );
+}

@@ -1,0 +1,59 @@
+//! Real-execution counterpart of **Fig. 5**: run the actual runtime on
+//! this machine with a throttled source and a live `/proc/stat`
+//! sampler, and render the measured utilization traces for no-chunks
+//! vs small-chunks vs large-chunks word count. The absolute numbers are
+//! this machine's; the *shapes* should echo the paper: an IO-wait
+//! trough then a compute block without chunking, interleaved
+//! ingest+map activity with chunking.
+
+use supmr_bench::{emit_figure, RealScale};
+use supmr_metrics::trace::shape_correlation;
+
+fn main() {
+    let scale = RealScale {
+        wordcount_bytes: 32 * 1024 * 1024,
+        sort_bytes: 0,
+        disk_rate: 16.0 * 1024.0 * 1024.0,
+        workers: 4,
+    };
+    println!(
+        "== Fig. 5 (real execution): word count {}MB @ {:.0} MB/s on this machine ==",
+        scale.wordcount_bytes / (1024 * 1024),
+        scale.disk_rate / (1024.0 * 1024.0)
+    );
+    let data = scale.wordcount_data();
+
+    let runs = [
+        ("fig5a_real_none", "real: no ingest chunks", None),
+        ("fig5b_real_small", "real: 1MB ingest chunks", Some(1024 * 1024u64)),
+        ("fig5c_real_large", "real: 8MB ingest chunks", Some(8 * 1024 * 1024u64)),
+    ];
+    let mut traces = Vec::new();
+    for (name, title, chunk) in runs {
+        let result = scale.run_wordcount(data.clone(), chunk);
+        let trace = result.trace.expect("sampling requested");
+        println!();
+        if trace.samples().len() < 4 {
+            println!("{title}: (too few samples on this platform — skipping chart)");
+        } else {
+            emit_figure(name, title, &trace);
+        }
+        println!(
+            "  total {:.2}s, chunks {}, mean busy {:.0}%, mean iowait-inclusive {:.0}%",
+            result.timings.total().as_secs_f64(),
+            result.stats.ingest_chunks,
+            trace.mean_busy_utilization(),
+            trace.mean_total_utilization(),
+        );
+        traces.push(trace);
+    }
+
+    if traces.iter().all(|t| t.samples().len() >= 4) {
+        if let Some(r) = shape_correlation(&traces[1], &traces[2], 64) {
+            println!("\nshape correlation small-vs-large chunk traces: {r:.2}");
+        }
+        if let Some(r) = shape_correlation(&traces[0], &traces[1], 64) {
+            println!("shape correlation none-vs-small: {r:.2} (lower: different structure)");
+        }
+    }
+}

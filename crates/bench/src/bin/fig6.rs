@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 6**: sort (60GB) on SupMR. The p-way merge runs
+//! as a single fully-parallel round, so the merge tail holds high
+//! utilization instead of the original runtime's step-down (Fig. 1).
+
+use supmr_bench::{emit_figure, trace_with_phase_marks};
+use supmr_metrics::Phase;
+use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, PipelineParams};
+
+fn main() {
+    let profile = AppProfile::sort_60gb();
+    let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+    let base = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+    let supmr = simulate(
+        JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+        &profile,
+        &machine,
+        MachineSpec::DISK,
+    );
+
+    println!("== Fig. 6: sort (60GB) on SupMR, CPU utilization ==\n");
+    let trace = trace_with_phase_marks(&supmr);
+    emit_figure("fig6_sort_supmr", "sort 60GB, SupMR (p-way merge)", &trace);
+
+    let merge_speedup = supmr.timings.phase_speedup_vs(&base.timings, Phase::Merge);
+    println!(
+        "merge: original {:.1}s (step-down rounds) vs SupMR {:.1}s (single p-way round)",
+        base.timings.phase(Phase::Merge).as_secs_f64(),
+        supmr.timings.phase(Phase::Merge).as_secs_f64(),
+    );
+    println!("merge speedup {merge_speedup:.2}x   (paper: 3.13x)");
+    println!(
+        "total {:.1}s vs {:.1}s = {:.2}x   (paper: 1.46x)",
+        base.total_secs(),
+        supmr.total_secs(),
+        supmr.timings.total_speedup_vs(&base.timings)
+    );
+}

@@ -1,0 +1,332 @@
+//! Argument parsing for the `supmr` CLI.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Which bundled application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Count words.
+    WordCount,
+    /// Sort gensort-style records.
+    TeraSort,
+    /// Count fixed-pattern occurrences.
+    Grep,
+    /// RGB histogram.
+    Histogram,
+    /// Least-squares linear regression.
+    LinReg,
+    /// KMeans clustering.
+    KMeans,
+}
+
+impl AppKind {
+    fn parse(s: &str) -> Result<AppKind, CliError> {
+        Ok(match s {
+            "wordcount" | "wc" => AppKind::WordCount,
+            "terasort" | "sort" => AppKind::TeraSort,
+            "grep" => AppKind::Grep,
+            "histogram" => AppKind::Histogram,
+            "linreg" => AppKind::LinReg,
+            "kmeans" => AppKind::KMeans,
+            other => return Err(CliError(format!("unknown app '{other}'"))),
+        })
+    }
+}
+
+/// Chunking strategy as given on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkingSpec {
+    /// Original runtime.
+    None,
+    /// `inter:SIZE`.
+    Inter(u64),
+    /// `intra:N`.
+    Intra(usize),
+    /// `hybrid:SIZE`.
+    Hybrid(u64),
+    /// `adaptive` (default controller bounds).
+    Adaptive,
+}
+
+/// Merge mode as given on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeSpec {
+    /// Concatenate unsorted.
+    Unsorted,
+    /// Baseline iterative rounds.
+    Pairwise,
+    /// `pway:N`.
+    PWay(usize),
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliArgs {
+    /// Application to run.
+    pub app: AppKind,
+    /// Input path (file or directory), mutually exclusive with
+    /// `generate`.
+    pub input: Option<PathBuf>,
+    /// Synthesize this many input bytes.
+    pub generate: Option<u64>,
+    /// Chunking strategy.
+    pub chunking: ChunkingSpec,
+    /// Merge mode; `None` means "not specified" so each app can apply
+    /// its own default (terasort defaults to a p-way merge).
+    pub merge: Option<MergeSpec>,
+    /// Worker threads (None = auto).
+    pub workers: Option<usize>,
+    /// Split size, bytes.
+    pub split_bytes: usize,
+    /// Prefetch depth.
+    pub prefetch: usize,
+    /// Storage bandwidth cap, bytes/sec.
+    pub throttle: Option<f64>,
+    /// How many results to print.
+    pub top: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Grep patterns.
+    pub patterns: Vec<String>,
+    /// KMeans cluster count.
+    pub k: usize,
+    /// KMeans iteration cap.
+    pub iters: usize,
+}
+
+/// A user-facing argument error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parse a size with optional K/M/G suffix ("64M" → 67108864).
+pub fn parse_size(s: &str) -> Result<u64, CliError> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| CliError(format!("invalid size '{s}'")))?;
+    if n < 0.0 {
+        return Err(CliError(format!("negative size '{s}'")));
+    }
+    Ok((n * mult as f64) as u64)
+}
+
+fn parse_chunking(s: &str) -> Result<ChunkingSpec, CliError> {
+    if s == "none" {
+        return Ok(ChunkingSpec::None);
+    }
+    if s == "adaptive" {
+        return Ok(ChunkingSpec::Adaptive);
+    }
+    let (kind, value) = s
+        .split_once(':')
+        .ok_or_else(|| CliError(format!("chunking '{s}' needs kind:value (e.g. inter:64M)")))?;
+    match kind {
+        "inter" => Ok(ChunkingSpec::Inter(parse_size(value)?.max(1))),
+        "intra" => value
+            .parse::<usize>()
+            .map(ChunkingSpec::Intra)
+            .map_err(|_| CliError(format!("invalid file count '{value}'"))),
+        "hybrid" => Ok(ChunkingSpec::Hybrid(parse_size(value)?.max(1))),
+        other => Err(CliError(format!("unknown chunking '{other}'"))),
+    }
+}
+
+fn parse_merge(s: &str) -> Result<MergeSpec, CliError> {
+    match s {
+        "unsorted" => Ok(MergeSpec::Unsorted),
+        "pairwise" => Ok(MergeSpec::Pairwise),
+        _ => {
+            if let Some(("pway", ways)) = s.split_once(':') {
+                return ways
+                    .parse::<usize>()
+                    .map(MergeSpec::PWay)
+                    .map_err(|_| CliError(format!("invalid way count '{ways}'")));
+            }
+            if s == "pway" {
+                return Ok(MergeSpec::PWay(4));
+            }
+            Err(CliError(format!("unknown merge mode '{s}'")))
+        }
+    }
+}
+
+/// Parse a full argument list (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
+    let mut it = argv.iter();
+    let app = AppKind::parse(
+        it.next().ok_or_else(|| CliError("missing app name".into()))?,
+    )?;
+    let mut args = CliArgs {
+        app,
+        input: None,
+        generate: None,
+        chunking: ChunkingSpec::None,
+        merge: None,
+        workers: None,
+        split_bytes: 1024 * 1024,
+        prefetch: 1,
+        throttle: None,
+        top: 10,
+        seed: 42,
+        patterns: Vec::new(),
+        k: 4,
+        iters: 20,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--input" => args.input = Some(PathBuf::from(value()?)),
+            "--generate" => args.generate = Some(parse_size(&value()?)?),
+            "--chunking" => args.chunking = parse_chunking(&value()?)?,
+            "--merge" => args.merge = Some(parse_merge(&value()?)?),
+            "--workers" => {
+                args.workers = Some(value()?.parse().map_err(|_| {
+                    CliError("invalid worker count".into())
+                })?)
+            }
+            "--split" => args.split_bytes = parse_size(&value()?)?.max(1) as usize,
+            "--prefetch" => {
+                args.prefetch =
+                    value()?.parse().map_err(|_| CliError("invalid prefetch depth".into()))?
+            }
+            "--throttle" => args.throttle = Some(parse_size(&value()?)?.max(1) as f64),
+            "--top" => {
+                args.top = value()?.parse().map_err(|_| CliError("invalid top count".into()))?
+            }
+            "--seed" => {
+                args.seed = value()?.parse().map_err(|_| CliError("invalid seed".into()))?
+            }
+            "--pattern" => args.patterns.push(value()?),
+            "--k" => args.k = value()?.parse().map_err(|_| CliError("invalid k".into()))?,
+            "--iters" => {
+                args.iters = value()?.parse().map_err(|_| CliError("invalid iters".into()))?
+            }
+            other => return Err(CliError(format!("unknown flag '{other}'"))),
+        }
+    }
+    if args.input.is_some() && args.generate.is_some() {
+        return Err(CliError("--input and --generate are mutually exclusive".into()));
+    }
+    if args.input.is_none() && args.generate.is_none() {
+        return Err(CliError("need --input PATH or --generate SIZE".into()));
+    }
+    if args.app == AppKind::Grep && args.patterns.is_empty() {
+        return Err(CliError("grep needs at least one --pattern".into()));
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("123").unwrap(), 123);
+        assert_eq!(parse_size("64K").unwrap(), 64 * 1024);
+        assert_eq!(parse_size("64M").unwrap(), 64 * 1024 * 1024);
+        assert_eq!(parse_size("2G").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(parse_size("1.5M").unwrap(), 3 * 512 * 1024);
+        assert!(parse_size("abc").is_err());
+        assert!(parse_size("-5M").is_err());
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let a = parse_args(&argv("wordcount --generate 1M")).unwrap();
+        assert_eq!(a.app, AppKind::WordCount);
+        assert_eq!(a.generate, Some(1024 * 1024));
+        assert_eq!(a.chunking, ChunkingSpec::None);
+        assert_eq!(a.merge, None);
+        assert_eq!(a.prefetch, 1);
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = parse_args(&argv(
+            "terasort --generate 8M --chunking inter:512K --merge pway:8 \
+             --workers 4 --split 128K --prefetch 2 --throttle 24M --top 5 --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(a.app, AppKind::TeraSort);
+        assert_eq!(a.chunking, ChunkingSpec::Inter(512 * 1024));
+        assert_eq!(a.merge, Some(MergeSpec::PWay(8)));
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.split_bytes, 128 * 1024);
+        assert_eq!(a.prefetch, 2);
+        assert_eq!(a.throttle, Some(24.0 * 1024.0 * 1024.0));
+        assert_eq!(a.top, 5);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn chunking_specs() {
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --chunking intra:4")).unwrap().chunking,
+            ChunkingSpec::Intra(4)
+        );
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --chunking hybrid:2M")).unwrap().chunking,
+            ChunkingSpec::Hybrid(2 * 1024 * 1024)
+        );
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --chunking adaptive")).unwrap().chunking,
+            ChunkingSpec::Adaptive
+        );
+        assert!(parse_args(&argv("wc --generate 1K --chunking bogus:1")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --chunking inter")).is_err());
+    }
+
+    #[test]
+    fn merge_specs() {
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --merge pairwise")).unwrap().merge,
+            Some(MergeSpec::Pairwise)
+        );
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --merge pway")).unwrap().merge,
+            Some(MergeSpec::PWay(4))
+        );
+        assert!(parse_args(&argv("wc --generate 1K --merge sideways")).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&argv("unknownapp --generate 1K")).is_err());
+        assert!(parse_args(&argv("wc")).is_err(), "needs input or generate");
+        assert!(parse_args(&argv("wc --input a --generate 1K")).is_err());
+        assert!(parse_args(&argv("grep --generate 1K")).is_err(), "grep needs patterns");
+        assert!(parse_args(&argv("wc --generate")).is_err(), "missing value");
+        assert!(parse_args(&argv("wc --generate 1K --bogus 3")).is_err());
+    }
+
+    #[test]
+    fn grep_patterns_accumulate() {
+        let a = parse_args(&argv("grep --generate 1K --pattern foo --pattern bar")).unwrap();
+        assert_eq!(a.patterns, vec!["foo", "bar"]);
+    }
+}

@@ -1,0 +1,61 @@
+//! The `supmr` command-line tool. See crate docs / `--help` for usage.
+
+use supmr_cli::{execute, parse_args};
+use supmr_metrics::PhaseTimings;
+
+const USAGE: &str = "\
+usage: supmr <app> [--input PATH | --generate SIZE] [options]
+
+apps: wordcount terasort grep histogram linreg kmeans
+
+options:
+  --input PATH       file (stream) or directory (file set)
+  --generate SIZE    synthesize input (K/M/G suffixes)
+  --chunking SPEC    none | inter:SIZE | intra:N | hybrid:SIZE | adaptive
+  --merge SPEC       unsorted | pairwise | pway[:N]
+  --workers N        mapper/reducer threads
+  --split SIZE       input split size (default 1M)
+  --prefetch N       ingest chunks buffered ahead (default 1)
+  --throttle RATE    cap storage bandwidth (e.g. 24M = 24 MiB/s)
+  --top N            results to print (default 10)
+  --seed N           generator seed (default 42)
+  --pattern P        grep pattern (repeatable)
+  --k N --iters N    kmeans parameters
+
+examples:
+  supmr wordcount --generate 64M --chunking inter:4M --throttle 24M
+  supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
+  supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
+        print!("{USAGE}");
+        std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("supmr: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match execute(&args) {
+        Ok(summary) => {
+            println!("{}", PhaseTimings::table_header());
+            println!("{}", summary.timings.table_row("job"));
+            println!(
+                "\n{} output pairs, {} ingest chunks\n",
+                summary.output_pairs, summary.chunks
+            );
+            for line in &summary.lines {
+                println!("{line}");
+            }
+        }
+        Err(e) => {
+            eprintln!("supmr: {e}");
+            std::process::exit(1);
+        }
+    }
+}

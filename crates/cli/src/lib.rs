@@ -1,0 +1,35 @@
+//! Command-line driver for SupMR.
+//!
+//! ```text
+//! supmr <app> [--input PATH | --generate SIZE] [options]
+//!
+//! apps:
+//!   wordcount   count words (text input)
+//!   terasort    sort gensort-style CRLF records
+//!   grep        count fixed-pattern occurrences (--pattern, repeatable)
+//!   histogram   RGB histogram over 3-byte pixels
+//!   linreg      least-squares fit over "x y" lines
+//!   kmeans      cluster "x y" points (--k, --iters)
+//!
+//! options:
+//!   --input PATH        a file (stream input) or a directory (file set)
+//!   --generate SIZE     synthesize an app-appropriate input of SIZE
+//!                       (suffixes K/M/G; e.g. 64M)
+//!   --chunking SPEC     none | inter:SIZE | intra:N | hybrid:SIZE | adaptive
+//!   --merge SPEC        unsorted | pairwise | pway:N
+//!   --workers N         mapper/reducer threads          [default: cores]
+//!   --split SIZE        input split size                [default: 1M]
+//!   --prefetch N        ingest chunks buffered ahead    [default: 1]
+//!   --throttle RATE     cap storage bandwidth, e.g. 24M (bytes/sec)
+//!   --top N             print the N largest results     [default: 10]
+//!   --seed N            generator seed                  [default: 42]
+//! ```
+//!
+//! The parsing layer is a small hand-rolled option walker (no external
+//! dependency) kept separate from execution so it is unit-testable.
+
+pub mod args;
+pub mod run;
+
+pub use args::{parse_args, AppKind, ChunkingSpec, CliArgs, CliError, MergeSpec};
+pub use run::execute;

@@ -1,0 +1,375 @@
+//! Execution layer of the `supmr` CLI: build inputs, configure the
+//! runtime, run the selected application, and render a report.
+
+use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec};
+use std::io;
+use supmr::chunk::AdaptiveConfig;
+use supmr::runtime::{run_job, Input, JobConfig, JobResult, MergeMode};
+use supmr::Chunking;
+use supmr_apps::{
+    kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
+};
+use supmr_metrics::PhaseTimings;
+use supmr_storage::{
+    DirFileSet, FileSource, MemSource, ThrottledFileSet, ThrottledSource, TokenBucket,
+};
+use supmr_workloads::{
+    clustered_points, small_files_corpus, PointsConfig, TeraGen, TextGen, TextGenConfig,
+};
+
+/// What a CLI run produced, separated from printing for testability.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Phase breakdown of the (final) job.
+    pub timings: PhaseTimings,
+    /// Number of output pairs.
+    pub output_pairs: u64,
+    /// Ingest chunks processed.
+    pub chunks: u32,
+    /// Rendered result lines (already truncated to `--top`).
+    pub lines: Vec<String>,
+}
+
+impl RunSummary {
+    fn from_result<K, O>(r: &JobResult<K, O>, lines: Vec<String>) -> RunSummary {
+        RunSummary {
+            timings: r.timings.clone(),
+            output_pairs: r.stats.output_pairs,
+            chunks: r.stats.ingest_chunks,
+            lines,
+        }
+    }
+}
+
+fn to_chunking(spec: ChunkingSpec) -> Chunking {
+    match spec {
+        ChunkingSpec::None => Chunking::None,
+        ChunkingSpec::Inter(b) => Chunking::Inter { chunk_bytes: b },
+        ChunkingSpec::Intra(n) => Chunking::Intra { files_per_chunk: n },
+        ChunkingSpec::Hybrid(b) => Chunking::Hybrid { chunk_bytes: b },
+        ChunkingSpec::Adaptive => Chunking::Adaptive(AdaptiveConfig::default()),
+    }
+}
+
+fn to_merge(spec: Option<MergeSpec>, default: MergeMode) -> MergeMode {
+    match spec {
+        None => default,
+        Some(MergeSpec::Unsorted) => MergeMode::Unsorted,
+        Some(MergeSpec::Pairwise) => MergeMode::PairwiseRounds,
+        Some(MergeSpec::PWay(ways)) => MergeMode::PWay { ways },
+    }
+}
+
+fn job_config(
+    args: &CliArgs,
+    record_format: supmr_storage::RecordFormat,
+    default_merge: MergeMode,
+) -> JobConfig {
+    let mut config = JobConfig {
+        split_bytes: args.split_bytes,
+        record_format,
+        chunking: to_chunking(args.chunking),
+        merge: to_merge(args.merge, default_merge),
+        prefetch_depth: args.prefetch,
+        ..JobConfig::default()
+    };
+    if let Some(w) = args.workers {
+        config.map_workers = w;
+        config.reduce_workers = w;
+    }
+    config
+}
+
+/// Generate an app-appropriate synthetic input of ~`bytes`.
+fn generated_bytes(app: AppKind, seed: u64, bytes: u64, k: usize) -> Vec<u8> {
+    match app {
+        AppKind::TeraSort => TeraGen::with_total_bytes(seed, bytes).generate_all(),
+        AppKind::Histogram => {
+            // Deterministic pseudo-pixels.
+            (0..bytes).map(|i| (i.wrapping_mul(2654435761) % 256) as u8).collect()
+        }
+        AppKind::LinReg => {
+            // y = 2x + 1 with a deterministic wiggle.
+            let mut out = Vec::new();
+            let mut i = 0u64;
+            while (out.len() as u64) < bytes {
+                let x = i as f64 / 100.0;
+                let wiggle = ((i * 37) % 11) as f64 / 1000.0;
+                out.extend_from_slice(format!("{x} {}\n", 2.0 * x + 1.0 + wiggle).as_bytes());
+                i += 1;
+            }
+            out
+        }
+        AppKind::KMeans => {
+            let clusters = k.max(1);
+            let per = ((bytes / 24).max(4) as usize / clusters).max(1);
+            clustered_points(
+                seed,
+                &PointsConfig { clusters, points_per_cluster: per, ..Default::default() },
+            )
+        }
+        AppKind::WordCount | AppKind::Grep => {
+            TextGen::new(TextGenConfig::default()).generate_bytes(seed, bytes as usize)
+        }
+    }
+}
+
+/// Build the job input from the CLI arguments.
+fn build_input(args: &CliArgs) -> io::Result<Input> {
+    let throttle = args.throttle;
+    if let Some(path) = &args.input {
+        if path.is_dir() {
+            let set = DirFileSet::open(path)?;
+            return Ok(match throttle {
+                Some(rate) => Input::files(ThrottledFileSet::with_bucket(
+                    set,
+                    TokenBucket::new(rate),
+                )),
+                None => Input::files(set),
+            });
+        }
+        let src = FileSource::open(path)?;
+        return Ok(match throttle {
+            Some(rate) => Input::stream(ThrottledSource::new(src, rate)),
+            None => Input::stream(src),
+        });
+    }
+    let bytes = args.generate.expect("validated: generate or input");
+    // Intra/hybrid chunking needs a file set; synthesize one.
+    let wants_files = matches!(args.chunking, ChunkingSpec::Intra(_) | ChunkingSpec::Hybrid(_));
+    if wants_files {
+        let files = (bytes / (256 * 1024)).clamp(4, 64) as usize;
+        let per = (bytes as usize / files).max(1024);
+        let corpus = small_files_corpus(args.seed, files, per);
+        let set = supmr_storage::MemFileSet::new(corpus);
+        return Ok(match throttle {
+            Some(rate) => {
+                Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)))
+            }
+            None => Input::files(set),
+        });
+    }
+    let data = generated_bytes(args.app, args.seed, bytes, args.k);
+    let src = MemSource::from(data);
+    Ok(match throttle {
+        Some(rate) => Input::stream(ThrottledSource::new(src, rate)),
+        None => Input::stream(src),
+    })
+}
+
+/// Run the job described by `args` and return a printable summary.
+///
+/// # Errors
+/// I/O failures (missing input, ingest errors) and invalid
+/// configurations surface as `io::Error`.
+pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
+    let top = args.top;
+    match args.app {
+        AppKind::WordCount => {
+            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let r = run_job(WordCount::new(), build_input(args)?, config)?;
+            let mut pairs = r.pairs.clone();
+            pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let lines =
+                pairs.iter().take(top).map(|(w, c)| format!("{c:>10}  {w}")).collect();
+            Ok(RunSummary::from_result(&r, lines))
+        }
+        AppKind::TeraSort => {
+            // Sorting is the point: default to a p-way merge, but an
+            // explicit --merge unsorted is honoured.
+            let config =
+                job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 });
+            let r = run_job(TeraSort::new(), build_input(args)?, config)?;
+            let sorted = r.pairs.windows(2).all(|w| w[0].0 <= w[1].0);
+            let mut lines: Vec<String> = r
+                .pairs
+                .iter()
+                .take(top)
+                .map(|(k, _)| format!("{}", String::from_utf8_lossy(k)))
+                .collect();
+            lines.push(format!("(output sorted: {sorted})"));
+            Ok(RunSummary::from_result(&r, lines))
+        }
+        AppKind::Grep => {
+            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let patterns: Vec<Vec<u8>> =
+                args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
+            let r = run_job(Grep::new(patterns), build_input(args)?, config)?;
+            let mut pairs = r.pairs.clone();
+            pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            let lines = pairs
+                .iter()
+                .take(top)
+                .map(|(p, c)| format!("{c:>10}  {}", String::from_utf8_lossy(p)))
+                .collect();
+            Ok(RunSummary::from_result(&r, lines))
+        }
+        AppKind::Histogram => {
+            let config = job_config(args, Histogram::record_format(), MergeMode::Unsorted);
+            let r = run_job(Histogram::new(), build_input(args)?, config)?;
+            let mut pairs = r.pairs.clone();
+            pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            let lines = pairs
+                .iter()
+                .take(top)
+                .map(|(bucket, c)| {
+                    let channel = ["R", "G", "B"][bucket / 256];
+                    format!("{c:>10}  {channel}[{}]", bucket % 256)
+                })
+                .collect();
+            Ok(RunSummary::from_result(&r, lines))
+        }
+        AppKind::LinReg => {
+            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let r = run_job(LinearRegression::new(), build_input(args)?, config)?;
+            let lines = match linreg::fit(&r.pairs) {
+                Some(f) => vec![format!(
+                    "y = {:.6}x + {:.6}   (n = {})",
+                    f.slope, f.intercept, f.n
+                )],
+                None => vec!["(degenerate input: no fit)".to_string()],
+            };
+            Ok(RunSummary::from_result(&r, lines))
+        }
+        AppKind::KMeans => {
+            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            // kmeans re-ingests per iteration: rebuild the input each time.
+            let args2 = args.clone();
+            let init: Vec<(f64, f64)> =
+                (0..args.k).map(|i| (i as f64 * 3.1 + 0.5, i as f64 * -2.3)).collect();
+            let result = run_kmeans(
+                move || build_input(&args2),
+                init,
+                &config,
+                args.iters,
+                1e-6,
+            )?;
+            let mut lines: Vec<String> = result
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(i, (x, y))| format!("centroid {i}: ({x:.4}, {y:.4})"))
+                .collect();
+            lines.push(format!(
+                "{} iterations, converged: {}, {} points",
+                result.iterations, result.converged, result.points
+            ));
+            Ok(RunSummary {
+                timings: PhaseTimings::zero(),
+                output_pairs: result.centroids.len() as u64,
+                chunks: 0,
+                lines,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn run(cmdline: &str) -> RunSummary {
+        execute(&parse_args(&argv(cmdline)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn wordcount_generate_and_top() {
+        let s = run("wordcount --generate 64K --chunking inter:16K --top 3 --workers 2");
+        assert_eq!(s.lines.len(), 3);
+        assert!(s.output_pairs > 3);
+        assert!(s.chunks >= 3);
+    }
+
+    #[test]
+    fn terasort_reports_sorted_output() {
+        let s = run("terasort --generate 32K --chunking inter:8K --merge pway:2 --workers 2");
+        assert!(s.lines.last().unwrap().contains("sorted: true"));
+        assert_eq!(s.output_pairs, 32 * 1024 / 100);
+    }
+
+    #[test]
+    fn grep_counts_generated_text() {
+        // The generator's rank-0 word is "ca" (vocabulary order).
+        let s = run("grep --generate 32K --pattern ca --pattern zzzzzz --workers 2");
+        assert!(!s.lines.is_empty());
+        assert!(s.lines[0].contains("ca"));
+    }
+
+    #[test]
+    fn histogram_over_generated_pixels() {
+        let s = run("histogram --generate 30K --workers 2 --top 4");
+        assert_eq!(s.lines.len(), 4);
+        assert!(s.output_pairs > 100);
+    }
+
+    #[test]
+    fn linreg_recovers_generated_line() {
+        let s = run("linreg --generate 64K --workers 2");
+        assert!(s.lines[0].starts_with("y = 2.0"), "{}", s.lines[0]);
+    }
+
+    #[test]
+    fn kmeans_converges_on_generated_blobs() {
+        let s = run("kmeans --generate 64K --k 4 --iters 30 --workers 2");
+        let last = s.lines.last().unwrap();
+        assert!(last.contains("converged: true"), "{last}");
+        assert_eq!(s.output_pairs, 4);
+    }
+
+    #[test]
+    fn intra_chunking_synthesizes_a_file_set() {
+        let s = run("wordcount --generate 512K --chunking intra:2 --workers 2");
+        assert!(s.chunks >= 2);
+    }
+
+    #[test]
+    fn hybrid_chunking_synthesizes_a_file_set() {
+        let s = run("wordcount --generate 512K --chunking hybrid:64K --workers 2");
+        assert!(s.chunks >= 4);
+    }
+
+    #[test]
+    fn adaptive_chunking_via_cli() {
+        let s = run("wordcount --generate 256K --chunking adaptive --workers 2");
+        assert!(s.output_pairs > 0);
+    }
+
+    #[test]
+    fn file_input_round_trip() {
+        let dir = std::env::temp_dir().join("supmr-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("input.txt");
+        std::fs::write(&path, b"apple banana apple\n").unwrap();
+        let s = run(&format!("wordcount --input {} --workers 1", path.display()));
+        assert_eq!(s.output_pairs, 2);
+        assert!(s.lines[0].contains("apple"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn directory_input_round_trip() {
+        let dir = std::env::temp_dir().join("supmr-cli-dir-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.txt"), b"x y\n").unwrap();
+        std::fs::write(dir.join("b.txt"), b"x z\n").unwrap();
+        let s = run(&format!(
+            "wordcount --input {} --chunking intra:1 --workers 1",
+            dir.display()
+        ));
+        assert_eq!(s.output_pairs, 3);
+        assert_eq!(s.chunks, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let args = parse_args(&argv("wordcount --input /nonexistent/supmr")).unwrap();
+        assert!(execute(&args).is_err());
+    }
+}

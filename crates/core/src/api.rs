@@ -1,0 +1,125 @@
+//! The user-facing MapReduce API.
+//!
+//! Mirrors the Phoenix++ application contract as modified by SupMR
+//! (Table I of the paper): the application supplies `map` and `reduce`
+//! callbacks plus its choice of intermediate container and combiner; the
+//! runtime owns memory management, chunking, splitting, scheduling, and
+//! merging. The paper's `set_data()` callback — "pass the chunk length
+//! and ingest chunk pointer back to the application" — is subsumed by
+//! `map` receiving a borrowed byte slice of the current ingest chunk:
+//! the runtime dictates which memory the callbacks operate on, the
+//! application never re-implements ingest.
+
+use crate::combiner::Combiner;
+use crate::container::Container;
+use std::hash::Hash;
+
+/// Sink for intermediate key/value pairs emitted by `map`.
+///
+/// The concrete emitter is the container's thread-local insert handle,
+/// so combining happens at emit time with no synchronization.
+pub trait Emit<K, V> {
+    /// Emit one intermediate pair.
+    fn emit(&mut self, key: K, value: V);
+}
+
+/// Convenience accumulator type alias: the accumulator a job's combiner
+/// produces for its values.
+pub type AccOf<J> =
+    <<J as MapReduce>::Combiner as Combiner<<J as MapReduce>::Value>>::Acc;
+
+/// A MapReduce application.
+///
+/// Implementations choose their intermediate representation the way
+/// Phoenix++ applications do — by container and combiner type — because
+/// that choice is workload-dependent (§V-B: hash for word count's skewed
+/// keys, unlocked array storage for sort's unique keys).
+pub trait MapReduce: Send + Sync + 'static {
+    /// Intermediate key.
+    type Key: Ord + Hash + Clone + Send + Sync + 'static;
+    /// Intermediate value.
+    type Value: Clone + Send + Sync + 'static;
+    /// Insert-time folding of values per key.
+    type Combiner: Combiner<Self::Value>;
+    /// Per-key result of `reduce`.
+    type Output: Clone + Send + Sync + 'static;
+    /// Intermediate pair storage.
+    type Container: Container<Self::Key, Self::Value, Self::Combiner>;
+
+    /// Build the job's container. Called exactly once per job — in the
+    /// pipeline runtime the container *persists across all map rounds*
+    /// (§III-C), which is why the runtime rather than the map phase owns
+    /// its construction.
+    fn make_container(&self) -> Self::Container;
+
+    /// Transform one input split into intermediate pairs. The split is a
+    /// record-aligned byte range of the current ingest chunk.
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<Self::Key, Self::Value>);
+
+    /// Coalesce the accumulated values of one key into an output.
+    fn reduce(&self, key: &Self::Key, acc: AccOf<Self>) -> Self::Output;
+}
+
+/// An [`Emit`] adapter that counts pairs as they pass through, used by
+/// the runtime to report intermediate-pair statistics.
+pub struct CountingEmit<'e, K, V> {
+    inner: &'e mut dyn Emit<K, V>,
+    emitted: u64,
+}
+
+impl<'e, K, V> CountingEmit<'e, K, V> {
+    /// Wrap an emitter.
+    pub fn new(inner: &'e mut dyn Emit<K, V>) -> Self {
+        CountingEmit { inner, emitted: 0 }
+    }
+
+    /// Pairs emitted through this adapter.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl<K, V> Emit<K, V> for CountingEmit<'_, K, V> {
+    fn emit(&mut self, key: K, value: V) {
+        self.emitted += 1;
+        self.inner.emit(key, value);
+    }
+}
+
+/// A trivial vector-backed emitter for tests and small tools.
+#[derive(Debug, Default)]
+pub struct VecEmit<K, V> {
+    /// The collected pairs, in emission order.
+    pub pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emit<K, V> for VecEmit<K, V> {
+    fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_emit_collects_in_order() {
+        let mut e = VecEmit::default();
+        e.emit("b", 1);
+        e.emit("a", 2);
+        assert_eq!(e.pairs, vec![("b", 1), ("a", 2)]);
+    }
+
+    #[test]
+    fn counting_emit_counts_and_forwards() {
+        let mut sink = VecEmit::default();
+        let mut counter = CountingEmit::new(&mut sink);
+        for i in 0..5 {
+            counter.emit(i, i * 10);
+        }
+        assert_eq!(counter.emitted(), 5);
+        assert_eq!(sink.pairs.len(), 5);
+        assert_eq!(sink.pairs[3], (3, 30));
+    }
+}

@@ -1,0 +1,309 @@
+//! Self-tuning ingest chunk size — the paper's future-work feedback loop.
+//!
+//! §III-A2 argues the runtime "lacks the information necessary" to pick
+//! a chunk size and proposes, as future work, "components that factor in
+//! the expected performance and the workload characteristics (i.e. a
+//! feedback loop)". This module implements that loop.
+//!
+//! The controller exploits the structure of the pipeline's cost: both
+//! per-chunk ingest and per-chunk map time are *linear* in the chunk
+//! size, `T(c) = O + c/R`, where `O` is the fixed per-round overhead
+//! (thread spawn/teardown, synchronization) and `R` the throughput.
+//! Throughput therefore does not depend on the chunk size at all —
+//! what small chunks buy is a shorter serial first-read and last-map
+//! tail, and what they cost is paying `O` more often. The optimum is
+//! then "as small as possible while the overhead fraction stays
+//! negligible":
+//!
+//! ```text
+//!   c* = O · R · (1/f − 1)        (overhead fraction target f)
+//! ```
+//!
+//! `O` and `R` are estimated online by fitting the last observations of
+//! `(c, T_map(c))` with a two-point secant (falling back to assuming
+//! `O = 0` until two distinct sizes have been observed).
+
+use super::{Chunker, IngestChunk, InterFileChunker, RoundFeedback};
+use std::io;
+use supmr_storage::{DataSource, RecordFormat};
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// First chunk size tried, bytes.
+    pub initial_chunk_bytes: u64,
+    /// Floor for the tuned size.
+    pub min_chunk_bytes: u64,
+    /// Ceiling for the tuned size (memory budget).
+    pub max_chunk_bytes: u64,
+    /// Acceptable per-round overhead fraction `f` (e.g. 0.05 = 5% of a
+    /// round may be fixed overhead).
+    pub overhead_fraction: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            initial_chunk_bytes: 16 * 1024 * 1024,
+            min_chunk_bytes: 256 * 1024,
+            max_chunk_bytes: 1024 * 1024 * 1024,
+            overhead_fraction: 0.05,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validate parameter sanity.
+    ///
+    /// # Panics
+    /// Panics if bounds are zero/inverted or the fraction is not in
+    /// (0, 1).
+    pub fn validate(&self) {
+        assert!(self.min_chunk_bytes > 0, "min chunk must be non-zero");
+        assert!(
+            self.min_chunk_bytes <= self.initial_chunk_bytes
+                && self.initial_chunk_bytes <= self.max_chunk_bytes,
+            "need min <= initial <= max chunk bytes"
+        );
+        assert!(
+            self.overhead_fraction > 0.0 && self.overhead_fraction < 1.0,
+            "overhead fraction must be in (0, 1)"
+        );
+    }
+}
+
+/// An inter-file chunker whose chunk size is retuned from round
+/// feedback.
+pub struct AdaptiveChunker<S> {
+    inner: InterFileChunker<S>,
+    config: AdaptiveConfig,
+    /// Current chunk size (bytes).
+    current: u64,
+    /// Most recent observation per distinct size: (bytes, map_secs).
+    observations: Vec<(f64, f64)>,
+    sizes_used: Vec<u64>,
+}
+
+impl<S: DataSource> AdaptiveChunker<S> {
+    /// Wrap `source` with an adaptive controller.
+    pub fn new(source: S, format: RecordFormat, config: AdaptiveConfig) -> Self {
+        config.validate();
+        AdaptiveChunker {
+            inner: InterFileChunker::new(source, config.initial_chunk_bytes, format),
+            current: config.initial_chunk_bytes,
+            config,
+            observations: Vec::new(),
+            sizes_used: Vec::new(),
+        }
+    }
+
+    /// The chunk size the next round will use.
+    pub fn current_chunk_bytes(&self) -> u64 {
+        self.current
+    }
+
+    /// Every chunk size used so far, in order (for tests and reports).
+    pub fn sizes_used(&self) -> &[u64] {
+        &self.sizes_used
+    }
+
+    /// Fit `T(c) = O + c/R` through the two most recent observations
+    /// with distinct sizes; returns `(overhead_secs, bytes_per_sec)`.
+    fn fit(&self) -> Option<(f64, f64)> {
+        let (&(c2, t2), rest) = self.observations.split_last()?;
+        let &(c1, t1) = rest.iter().rev().find(|(c, _)| (*c - c2).abs() > 1.0)?;
+        let slope = (t2 - t1) / (c2 - c1); // seconds per byte
+        if slope <= 0.0 {
+            return None;
+        }
+        let overhead = (t2 - slope * c2).max(0.0);
+        Some((overhead, 1.0 / slope))
+    }
+
+    fn retune(&mut self) {
+        let Some((overhead, rate)) = self.fit() else {
+            // One observation: probe a different size (halve) so the
+            // secant fit has two points.
+            self.current = (self.current / 2).max(self.config.min_chunk_bytes);
+            return;
+        };
+        let f = self.config.overhead_fraction;
+        let ideal = overhead * rate * (1.0 / f - 1.0);
+        let target = ideal.clamp(
+            self.config.min_chunk_bytes as f64,
+            self.config.max_chunk_bytes as f64,
+        ) as u64;
+        // Damped move (geometric mean) so one noisy round cannot slam
+        // the size across its whole range.
+        let damped = ((self.current as f64) * (target as f64)).sqrt() as u64;
+        self.current = damped.clamp(self.config.min_chunk_bytes, self.config.max_chunk_bytes);
+    }
+}
+
+impl<S: DataSource> Chunker for AdaptiveChunker<S> {
+    fn next_chunk(&mut self) -> io::Result<Option<IngestChunk>> {
+        self.inner.set_chunk_bytes(self.current);
+        let chunk = self.inner.next_chunk()?;
+        if chunk.is_some() {
+            self.sizes_used.push(self.current);
+        }
+        Ok(chunk)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn feedback(&mut self, round: RoundFeedback) {
+        if round.chunk_bytes == 0 {
+            return;
+        }
+        self.observations.push((round.chunk_bytes as f64, round.map.as_secs_f64()));
+        if self.observations.len() > 16 {
+            self.observations.remove(0);
+        }
+        self.retune();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use supmr_storage::MemSource;
+
+    fn newline_data(bytes: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes + 16);
+        while out.len() < bytes {
+            out.extend_from_slice(b"0123456789abcde\n");
+        }
+        out
+    }
+
+    fn chunker(bytes: usize, config: AdaptiveConfig) -> AdaptiveChunker<MemSource> {
+        AdaptiveChunker::new(MemSource::from(newline_data(bytes)), RecordFormat::Newline, config)
+    }
+
+    fn small_config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            initial_chunk_bytes: 1024,
+            min_chunk_bytes: 128,
+            max_chunk_bytes: 64 * 1024,
+            overhead_fraction: 0.05,
+        }
+    }
+
+    /// Feed synthetic rounds that follow T(c) = O + c/R exactly.
+    fn feed(c: &mut AdaptiveChunker<MemSource>, chunk_bytes: u64, overhead: f64, rate: f64) {
+        c.feedback(RoundFeedback {
+            chunk_bytes,
+            ingest: Duration::from_secs_f64(chunk_bytes as f64 / rate),
+            map: Duration::from_secs_f64(overhead + chunk_bytes as f64 / rate),
+        });
+    }
+
+    #[test]
+    fn drains_input_losslessly_while_tuning() {
+        let data = newline_data(40_000);
+        let mut c = AdaptiveChunker::new(
+            MemSource::from(data.clone()),
+            RecordFormat::Newline,
+            small_config(),
+        );
+        let mut rebuilt = Vec::new();
+        let mut rounds = 0;
+        while let Some(chunk) = c.next_chunk().unwrap() {
+            rebuilt.extend_from_slice(&chunk.data);
+            // Synthetic feedback: overhead 1ms, rate 1MB/s.
+            feed(&mut c, chunk.len() as u64, 1e-3, 1e6);
+            rounds += 1;
+        }
+        assert_eq!(rebuilt, data);
+        assert!(rounds >= 2);
+        assert_eq!(c.sizes_used().len(), rounds);
+    }
+
+    #[test]
+    fn converges_to_the_analytic_optimum() {
+        // O = 2ms, R = 10MB/s, f = 5% -> c* = O*R*19 = 380_000 bytes.
+        let config = AdaptiveConfig {
+            initial_chunk_bytes: 16 * 1024,
+            min_chunk_bytes: 1024,
+            max_chunk_bytes: 100_000_000,
+            overhead_fraction: 0.05,
+        };
+        let mut c = chunker(10_000_000, config);
+        let mut size = c.current_chunk_bytes();
+        for _ in 0..40 {
+            feed(&mut c, size, 2e-3, 10e6);
+            size = c.current_chunk_bytes();
+        }
+        let ideal = 2e-3 * 10e6 * 19.0;
+        assert!(
+            (size as f64) > ideal * 0.5 && (size as f64) < ideal * 2.0,
+            "converged to {size}, ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn zero_overhead_drives_size_to_the_floor() {
+        let mut c = chunker(1_000_000, small_config());
+        let mut size = c.current_chunk_bytes();
+        for _ in 0..20 {
+            feed(&mut c, size, 0.0, 1e6);
+            size = c.current_chunk_bytes();
+        }
+        assert_eq!(size, 128, "no overhead -> smallest allowed chunk");
+    }
+
+    #[test]
+    fn huge_overhead_drives_size_to_the_ceiling() {
+        let mut c = chunker(1_000_000, small_config());
+        let mut size = c.current_chunk_bytes();
+        for _ in 0..30 {
+            feed(&mut c, size, 10.0, 1e6); // 10s fixed overhead
+            size = c.current_chunk_bytes();
+        }
+        // Geometric-mean damping converges asymptotically; float
+        // truncation can rest a couple of bytes under the bound.
+        assert!(size >= 64 * 1024 - 16, "overhead-dominated -> largest allowed chunk, got {size}");
+    }
+
+    #[test]
+    fn tuned_size_stays_within_bounds_under_noise() {
+        let mut c = chunker(1_000_000, small_config());
+        for i in 0..50u64 {
+            let size = c.current_chunk_bytes();
+            // Erratic, even non-monotone timings.
+            let noise = ((i * 2654435761) % 7) as f64 * 1e-4;
+            feed(&mut c, size, noise, (1.0 + (i % 3) as f64) * 1e6);
+            let s = c.current_chunk_bytes();
+            assert!((128..=64 * 1024).contains(&s), "size {s} escaped bounds");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= initial <= max")]
+    fn inverted_bounds_rejected() {
+        AdaptiveConfig {
+            initial_chunk_bytes: 10,
+            min_chunk_bytes: 100,
+            max_chunk_bytes: 1000,
+            overhead_fraction: 0.05,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn fit_ignores_duplicate_sizes() {
+        let mut c = chunker(1_000_000, small_config());
+        // Same size twice: no fit possible yet, current halves (probe).
+        feed(&mut c, 1024, 1e-3, 1e6);
+        assert_eq!(c.current_chunk_bytes(), 512);
+        feed(&mut c, 512, 1e-3, 1e6);
+        // Two distinct sizes now: a fit exists and the size moves
+        // toward the optimum rather than just halving.
+        let s = c.current_chunk_bytes();
+        assert!(s != 256, "secant fit should take over from probing");
+    }
+}

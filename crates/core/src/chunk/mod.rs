@@ -1,0 +1,504 @@
+//! Ingest chunks and chunking strategies (§III-A of the paper).
+//!
+//! SupMR partitions the input into small, similarly-sized **ingest
+//! chunks** *before* producing input splits; the chunks stream through
+//! the ingest pipeline one at a time. Two strategies exist:
+//!
+//! * **Inter-file** ([`InterFileChunker`]) — one large input is split
+//!   into byte ranges of the user-chosen chunk size. The split point is
+//!   adjusted forward so no record straddles two chunks: "it seeks to the
+//!   user-defined chunk size, checks to see if it is in the middle of a
+//!   key or value, and then continually increases the split point until
+//!   reaching the end of the value."
+//! * **Intra-file** ([`IntraFileChunker`]) — many small files coalesce
+//!   into one chunk; the user chooses how many files per chunk, and "if
+//!   the user-defined chunk size is higher than the number of files left
+//!   in the job, then the last chunk is smaller than the rest."
+
+//! ```
+//! use supmr::chunk::{Chunker, InterFileChunker};
+//! use supmr_storage::{MemSource, RecordFormat};
+//!
+//! let input = b"alpha\nbeta\ngamma\ndelta\n".to_vec();
+//! let mut chunker =
+//!     InterFileChunker::new(MemSource::from(input), 8, RecordFormat::Newline);
+//! let first = chunker.next_chunk().unwrap().unwrap();
+//! // 8 bytes requested, extended to the record boundary after "beta\n".
+//! assert_eq!(first.data, b"alpha\nbeta\n");
+//! ```
+
+mod adaptive;
+mod hybrid;
+
+pub use adaptive::{AdaptiveChunker, AdaptiveConfig};
+pub use hybrid::HybridChunker;
+
+use std::io;
+use std::ops::Range;
+use supmr_storage::{DataSource, FileSet, RecordFormat};
+
+/// How the input is partitioned into ingest chunks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Chunking {
+    /// No chunking: the original runtime's whole-input ingest.
+    None,
+    /// Inter-file chunking of a single large input into byte ranges.
+    Inter {
+        /// Target chunk size in bytes (actual chunks extend to the next
+        /// record boundary).
+        chunk_bytes: u64,
+    },
+    /// Intra-file chunking of a file set.
+    Intra {
+        /// Number of files coalesced into each chunk.
+        files_per_chunk: usize,
+    },
+    /// Hybrid chunking of a file set by *bytes*: small files coalesce
+    /// until the target size is reached, and files larger than the
+    /// target are split at record boundaries — the "hybrid
+    /// inter/intra-file chunking approach" the paper describes but
+    /// leaves unimplemented (§III-A1).
+    Hybrid {
+        /// Target chunk size in bytes.
+        chunk_bytes: u64,
+    },
+    /// Self-tuning inter-file chunking: the chunk size is retuned every
+    /// round from measured ingest/map times — the paper's future-work
+    /// "feedback loop" (§III-A2, §VIII).
+    Adaptive(AdaptiveConfig),
+}
+
+impl Chunking {
+    /// Whether this strategy engages the ingest chunk pipeline.
+    pub fn is_pipelined(&self) -> bool {
+        !matches!(self, Chunking::None)
+    }
+}
+
+/// One ingest chunk: a contiguous region of input resident in memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestChunk {
+    /// Chunk sequence number (0-based).
+    pub index: usize,
+    /// Absolute byte offset of the chunk in the logical input (inter-file)
+    /// or of its first file (intra-file, cumulative).
+    pub offset: u64,
+    /// The chunk bytes.
+    pub data: Vec<u8>,
+    /// Sub-ranges of `data` that must not be split across map tasks
+    /// beyond record boundaries. Inter-file chunks have one range
+    /// covering everything; intra-file chunks have one per file.
+    pub segments: Vec<Range<usize>>,
+}
+
+impl IngestChunk {
+    /// Chunk length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the chunk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Measured durations of one completed pipeline round, fed back to
+/// chunkers that tune themselves (the paper's future-work "feedback
+/// loop" for finding the optimal ingest chunk size).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundFeedback {
+    /// Size of the chunk that was mapped this round.
+    pub chunk_bytes: u64,
+    /// Wall-clock time the ingest thread spent reading the *next* chunk.
+    pub ingest: std::time::Duration,
+    /// Wall-clock time of the map wave over this round's chunk.
+    pub map: std::time::Duration,
+}
+
+/// A stream of ingest chunks. The pipeline runtime pulls from this on a
+/// dedicated ingest thread while mappers work on the previous chunk.
+pub trait Chunker: Send {
+    /// Produce the next chunk, or `None` when the input is exhausted.
+    fn next_chunk(&mut self) -> io::Result<Option<IngestChunk>>;
+
+    /// Total input bytes this chunker will eventually deliver.
+    fn total_bytes(&self) -> u64;
+
+    /// Observe a completed round. Fixed-size chunkers ignore this;
+    /// [`AdaptiveChunker`] uses it to retune its chunk size.
+    fn feedback(&mut self, _round: RoundFeedback) {}
+}
+
+/// Window size for scanning past the nominal chunk end to the next
+/// record boundary. Records larger than this still work — the scan
+/// keeps extending window by window.
+const BOUNDARY_WINDOW: usize = 4096;
+
+/// Inter-file chunking of a [`DataSource`].
+pub struct InterFileChunker<S> {
+    source: S,
+    chunk_bytes: u64,
+    format: RecordFormat,
+    offset: u64,
+    index: usize,
+}
+
+impl<S: DataSource> InterFileChunker<S> {
+    /// Chunk `source` into ~`chunk_bytes` pieces aligned to `format`
+    /// record boundaries.
+    ///
+    /// # Panics
+    /// Panics if `chunk_bytes == 0`.
+    pub fn new(source: S, chunk_bytes: u64, format: RecordFormat) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be non-zero");
+        InterFileChunker { source, chunk_bytes, format, offset: 0, index: 0 }
+    }
+
+    /// Change the target chunk size for subsequent chunks (used by the
+    /// adaptive controller).
+    ///
+    /// # Panics
+    /// Panics if `chunk_bytes == 0`.
+    pub fn set_chunk_bytes(&mut self, chunk_bytes: u64) {
+        assert!(chunk_bytes > 0, "chunk size must be non-zero");
+        self.chunk_bytes = chunk_bytes;
+    }
+
+    /// Does `data` (starting at absolute offset `start`) end on a record
+    /// boundary?
+    fn ends_complete(&self, data: &[u8], start: u64) -> bool {
+        match self.format {
+            RecordFormat::None => true,
+            RecordFormat::Newline => data.last() == Some(&b'\n'),
+            RecordFormat::CrLf => data.len() >= 2 && data.ends_with(b"\r\n"),
+            RecordFormat::FixedWidth(w) => {
+                assert!(w > 0, "record width must be non-zero");
+                (start + data.len() as u64).is_multiple_of(w as u64)
+            }
+        }
+    }
+
+    /// Extend `data` past the nominal end until it finishes on a record
+    /// boundary (or EOF).
+    fn extend_to_boundary(&mut self, data: &mut Vec<u8>, start: u64) -> io::Result<()> {
+        let total = self.source.len();
+        while !self.ends_complete(data, start) {
+            let abs_end = start + data.len() as u64;
+            if abs_end >= total {
+                break; // trailing partial record travels with this chunk
+            }
+            let want = match self.format {
+                // Fixed width knows exactly how much is missing.
+                RecordFormat::FixedWidth(w) => {
+                    let w = w as u64;
+                    (w - (abs_end % w)) as usize
+                }
+                _ => BOUNDARY_WINDOW,
+            };
+            let mut window = vec![0u8; want.min((total - abs_end) as usize)];
+            let mut filled = 0;
+            while filled < window.len() {
+                let n = self.source.read_at(abs_end + filled as u64, &mut window[filled..])?;
+                if n == 0 {
+                    break;
+                }
+                filled += n;
+            }
+            window.truncate(filled);
+            if window.is_empty() {
+                break;
+            }
+            // Append up to and including the first terminator in the
+            // window (accounting for a \r left hanging at the seam).
+            match self.format {
+                RecordFormat::Newline => {
+                    if let Some(i) = window.iter().position(|&b| b == b'\n') {
+                        data.extend_from_slice(&window[..=i]);
+                    } else {
+                        data.extend_from_slice(&window);
+                    }
+                }
+                RecordFormat::CrLf => {
+                    if data.last() == Some(&b'\r') && window[0] == b'\n' {
+                        data.push(b'\n');
+                    } else if let Some(i) =
+                        window.windows(2).position(|w| w == b"\r\n")
+                    {
+                        data.extend_from_slice(&window[..i + 2]);
+                    } else {
+                        data.extend_from_slice(&window);
+                    }
+                }
+                _ => data.extend_from_slice(&window),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: DataSource> Chunker for InterFileChunker<S> {
+    fn next_chunk(&mut self) -> io::Result<Option<IngestChunk>> {
+        let total = self.source.len();
+        if self.offset >= total {
+            return Ok(None);
+        }
+        let want = self.chunk_bytes.min(total - self.offset) as usize;
+        let mut data = vec![0u8; want];
+        let mut filled = 0;
+        while filled < want {
+            let n = self.source.read_at(self.offset + filled as u64, &mut data[filled..])?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        data.truncate(filled);
+        if data.is_empty() {
+            return Ok(None);
+        }
+        self.extend_to_boundary(&mut data, self.offset)?;
+
+        let chunk = IngestChunk {
+            index: self.index,
+            offset: self.offset,
+            #[allow(clippy::single_range_in_vec_init)] // one segment covering the chunk
+            segments: vec![0..data.len()],
+            data,
+        };
+        self.offset += chunk.data.len() as u64;
+        self.index += 1;
+        Ok(Some(chunk))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.source.len()
+    }
+}
+
+/// Intra-file chunking of a [`FileSet`].
+pub struct IntraFileChunker<F> {
+    files: F,
+    files_per_chunk: usize,
+    next_file: usize,
+    index: usize,
+    offset: u64,
+}
+
+impl<F: FileSet> IntraFileChunker<F> {
+    /// Coalesce `files_per_chunk` files into each chunk.
+    ///
+    /// # Panics
+    /// Panics if `files_per_chunk == 0`.
+    pub fn new(files: F, files_per_chunk: usize) -> Self {
+        assert!(files_per_chunk > 0, "files per chunk must be non-zero");
+        IntraFileChunker { files, files_per_chunk, next_file: 0, index: 0, offset: 0 }
+    }
+}
+
+impl<F: FileSet> Chunker for IntraFileChunker<F> {
+    fn next_chunk(&mut self) -> io::Result<Option<IngestChunk>> {
+        let count = self.files.file_count();
+        if self.next_file >= count {
+            return Ok(None);
+        }
+        let end_file = (self.next_file + self.files_per_chunk).min(count);
+        // Pre-size to the first file's length, then grow dynamically —
+        // "the runtime dynamically increases the allocated space to
+        // ensure that all files in the intra-file chunk are collocated".
+        let mut data = Vec::with_capacity(self.files.file_len(self.next_file) as usize);
+        let mut segments = Vec::with_capacity(end_file - self.next_file);
+        for i in self.next_file..end_file {
+            let start = data.len();
+            data.extend_from_slice(&self.files.read_file(i)?);
+            segments.push(start..data.len());
+        }
+        let chunk = IngestChunk { index: self.index, offset: self.offset, data, segments };
+        self.offset += chunk.data.len() as u64;
+        self.index += 1;
+        self.next_file = end_file;
+        Ok(Some(chunk))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.files.total_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supmr_storage::{MemFileSet, MemSource};
+
+    fn newline_input(records: usize, record_len: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..records {
+            let body = format!("{i:0width$}", width = record_len - 1);
+            out.extend_from_slice(body.as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    fn drain(mut c: impl Chunker) -> Vec<IngestChunk> {
+        let mut out = Vec::new();
+        while let Some(chunk) = c.next_chunk().unwrap() {
+            out.push(chunk);
+        }
+        out
+    }
+
+    #[test]
+    fn inter_chunks_partition_the_input_exactly() {
+        let input = newline_input(100, 10); // 1000 bytes
+        let chunker =
+            InterFileChunker::new(MemSource::from(input.clone()), 256, RecordFormat::Newline);
+        let chunks = drain(chunker);
+        assert!(chunks.len() >= 3);
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        assert_eq!(rebuilt, input);
+        // Offsets are cumulative and indices sequential.
+        let mut expect_offset = 0;
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.offset, expect_offset);
+            expect_offset += c.len() as u64;
+            assert_eq!(c.segments, vec![0..c.len()]);
+        }
+    }
+
+    #[test]
+    fn inter_chunks_end_on_record_boundaries() {
+        let input = newline_input(100, 10);
+        // 250 is mid-record (records are 10 bytes).
+        let chunker =
+            InterFileChunker::new(MemSource::from(input), 250, RecordFormat::Newline);
+        for chunk in drain(chunker) {
+            assert_eq!(*chunk.data.last().unwrap(), b'\n', "chunk must end at a record end");
+            assert!(chunk.len() >= 250 || chunk.index > 0);
+        }
+    }
+
+    #[test]
+    fn crlf_terminators_never_split() {
+        // Terasort-style CRLF records of 20 bytes.
+        let mut input = Vec::new();
+        for i in 0..50 {
+            input.extend_from_slice(format!("{i:018}\r\n").as_bytes());
+        }
+        // Chunk size chosen to land between \r and \n (20*k + 19).
+        let chunker =
+            InterFileChunker::new(MemSource::from(input.clone()), 99, RecordFormat::CrLf);
+        let chunks = drain(chunker);
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        assert_eq!(rebuilt, input);
+        for chunk in &chunks {
+            assert!(chunk.data.ends_with(b"\r\n"));
+            assert_eq!(chunk.len() % 20, 0, "whole records only");
+        }
+    }
+
+    #[test]
+    fn fixed_width_chunks_are_record_multiples() {
+        let input = vec![7u8; 1000];
+        let chunker =
+            InterFileChunker::new(MemSource::from(input), 130, RecordFormat::FixedWidth(100));
+        let chunks = drain(chunker);
+        for c in &chunks {
+            assert_eq!(c.len() % 100, 0);
+        }
+        assert_eq!(chunks.iter().map(IngestChunk::len).sum::<usize>(), 1000);
+    }
+
+    #[test]
+    fn record_longer_than_boundary_window_is_kept_whole() {
+        // One 10KB record then a small one; window is 4KB.
+        let mut input = vec![b'x'; 10_000];
+        input.push(b'\n');
+        input.extend_from_slice(b"tail\n");
+        let chunker =
+            InterFileChunker::new(MemSource::from(input.clone()), 100, RecordFormat::Newline);
+        let chunks = drain(chunker);
+        assert_eq!(chunks[0].len(), 10_001);
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        assert_eq!(rebuilt, input);
+    }
+
+    #[test]
+    fn input_without_trailing_terminator() {
+        let input = b"complete\npartial-record-no-newline".to_vec();
+        let chunker =
+            InterFileChunker::new(MemSource::from(input.clone()), 4, RecordFormat::Newline);
+        let chunks = drain(chunker);
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        assert_eq!(rebuilt, input, "partial trailing record must not be lost");
+    }
+
+    #[test]
+    fn empty_source_yields_no_chunks() {
+        let chunker =
+            InterFileChunker::new(MemSource::from(Vec::new()), 64, RecordFormat::Newline);
+        assert!(drain(chunker).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_chunk_size_rejected() {
+        InterFileChunker::new(MemSource::from(vec![1u8]), 0, RecordFormat::None);
+    }
+
+    #[test]
+    fn intra_chunker_groups_files_with_short_last_chunk() {
+        // The paper's worked example: 30 files, 4 per chunk => 8 chunks,
+        // 7 full and 1 with the 2 remaining files.
+        let files: Vec<Vec<u8>> = (0..30).map(|i| format!("file{i}\n").into_bytes()).collect();
+        let chunker = IntraFileChunker::new(MemFileSet::new(files.clone()), 4);
+        let chunks = drain(chunker);
+        assert_eq!(chunks.len(), 8);
+        for c in &chunks[..7] {
+            assert_eq!(c.segments.len(), 4);
+        }
+        assert_eq!(chunks[7].segments.len(), 2);
+        // Contents and segment boundaries reconstruct the files.
+        let mut file_idx = 0;
+        for c in &chunks {
+            for seg in &c.segments {
+                assert_eq!(&c.data[seg.clone()], files[file_idx].as_slice());
+                file_idx += 1;
+            }
+        }
+        assert_eq!(file_idx, 30);
+    }
+
+    #[test]
+    fn intra_chunker_handles_empty_files_and_empty_set() {
+        let files = vec![b"a\n".to_vec(), Vec::new(), b"c\n".to_vec()];
+        let chunker = IntraFileChunker::new(MemFileSet::new(files), 2);
+        let chunks = drain(chunker);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].segments.len(), 2);
+        assert_eq!(chunks[0].segments[1], 2..2); // the empty file
+
+        let empty = IntraFileChunker::new(MemFileSet::new(vec![]), 3);
+        assert!(drain(empty).is_empty());
+    }
+
+    #[test]
+    fn chunker_total_bytes() {
+        let c = InterFileChunker::new(
+            MemSource::from(vec![0u8; 500]),
+            100,
+            RecordFormat::None,
+        );
+        assert_eq!(c.total_bytes(), 500);
+        let f = IntraFileChunker::new(MemFileSet::new(vec![vec![1; 10], vec![2; 20]]), 1);
+        assert_eq!(f.total_bytes(), 30);
+    }
+
+    #[test]
+    fn chunking_kind_predicates() {
+        assert!(!Chunking::None.is_pipelined());
+        assert!(Chunking::Inter { chunk_bytes: 1 }.is_pipelined());
+        assert!(Chunking::Intra { files_per_chunk: 1 }.is_pipelined());
+    }
+}

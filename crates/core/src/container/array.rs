@@ -1,0 +1,170 @@
+//! The array container: dense `usize` keys into a fixed-size array.
+
+use super::Container;
+use crate::api::Emit;
+use crate::combiner::Combiner;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Phoenix++-style array container for jobs whose keys form a small dense
+/// integer universe known up front (histogram buckets, matrix indices,
+/// regression coefficients). Insert-time combining into a fixed slot
+/// array; no hashing, no growth.
+pub struct ArrayContainer<V, C: Combiner<V>> {
+    slots: Mutex<Vec<Option<C::Acc>>>,
+    size: usize,
+    pairs: AtomicU64,
+    _marker: PhantomData<fn(V)>,
+}
+
+impl<V, C: Combiner<V>> ArrayContainer<V, C> {
+    /// A container with `size` key slots (valid keys are `0..size`).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "array container needs at least one slot");
+        ArrayContainer {
+            slots: Mutex::new(vec![None; size]),
+            size,
+            pairs: AtomicU64::new(0),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The key-universe size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// Thread-local dense accumulator array.
+pub struct LocalArray<V, C: Combiner<V>> {
+    slots: Vec<Option<C::Acc>>,
+    emitted: u64,
+    _marker: PhantomData<fn(V)>,
+}
+
+impl<V, C: Combiner<V>> Emit<usize, V> for LocalArray<V, C> {
+    /// # Panics
+    /// Panics if `key` is outside the container's universe — emitting an
+    /// out-of-range histogram bucket is an application bug, not data.
+    fn emit(&mut self, key: usize, value: V) {
+        self.emitted += 1;
+        let slot = &mut self.slots[key];
+        match slot {
+            Some(acc) => C::fold(acc, value),
+            None => *slot = Some(C::unit(value)),
+        }
+    }
+}
+
+impl<V, C> Container<usize, V, C> for ArrayContainer<V, C>
+where
+    V: Clone + Send + Sync + 'static,
+    C: Combiner<V>,
+{
+    type Local = LocalArray<V, C>;
+
+    fn local(&self) -> Self::Local {
+        LocalArray { slots: vec![None; self.size], emitted: 0, _marker: PhantomData }
+    }
+
+    fn absorb(&self, local: Self::Local) {
+        self.pairs.fetch_add(local.emitted, Ordering::Relaxed);
+        let mut global = self.slots.lock();
+        for (i, acc) in local.slots.into_iter().enumerate() {
+            if let Some(acc) = acc {
+                match &mut global[i] {
+                    Some(g) => C::merge(g, acc),
+                    empty => *empty = Some(acc),
+                }
+            }
+        }
+    }
+
+    fn distinct_keys(&self) -> usize {
+        self.slots.lock().iter().filter(|s| s.is_some()).count()
+    }
+
+    fn total_pairs(&self) -> u64 {
+        self.pairs.load(Ordering::Relaxed)
+    }
+
+    fn into_partitions(self, parts: usize) -> Vec<Vec<(usize, C::Acc)>> {
+        let slots = self.slots.into_inner();
+        let occupied: Vec<(usize, C::Acc)> =
+            slots.into_iter().enumerate().filter_map(|(i, s)| s.map(|acc| (i, acc))).collect();
+        super::chunk_into(occupied, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::{Count, Sum};
+
+    #[test]
+    fn histogram_style_counting() {
+        let c: ArrayContainer<u8, Count> = ArrayContainer::new(4);
+        let mut local = c.local();
+        for byte in [0u8, 1, 1, 3, 3, 3] {
+            local.emit(byte as usize, byte);
+        }
+        c.absorb(local);
+        assert_eq!(c.total_pairs(), 6);
+        assert_eq!(c.distinct_keys(), 3);
+        let all: Vec<(usize, u64)> = c.into_partitions(2).into_iter().flatten().collect();
+        assert_eq!(all, vec![(0, 1), (1, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn partitions_are_index_ordered() {
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(100);
+        let mut local = c.local();
+        for i in (0..100).rev() {
+            local.emit(i, i as u64);
+        }
+        c.absorb(local);
+        let parts = c.into_partitions(4);
+        assert_eq!(parts.len(), 4);
+        let flat: Vec<usize> = parts.iter().flatten().map(|(i, _)| *i).collect();
+        let sorted: Vec<usize> = (0..100).collect();
+        assert_eq!(flat, sorted, "array partitions must come out key-ordered");
+    }
+
+    #[test]
+    fn cross_task_merging() {
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(2);
+        for _ in 0..3 {
+            let mut l = c.local();
+            l.emit(1, 5);
+            c.absorb(l);
+        }
+        let all: Vec<(usize, u64)> = c.into_partitions(1).into_iter().flatten().collect();
+        assert_eq!(all, vec![(1, 15)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_key_panics() {
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(2);
+        let mut l = c.local();
+        l.emit(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_size_rejected() {
+        let _: ArrayContainer<u64, Sum> = ArrayContainer::new(0);
+    }
+
+    #[test]
+    fn empty_container() {
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(16);
+        assert_eq!(c.size(), 16);
+        assert_eq!(c.distinct_keys(), 0);
+        assert!(c.into_partitions(3).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! The hash container: keys hash to cells, values combine at insert.
+
+use super::{chunk_into, Container};
+use crate::api::Emit;
+use crate::combiner::Combiner;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of lock shards in the global table. Larger than any realistic
+/// worker count so absorbs rarely contend.
+const SHARDS: usize = 64;
+
+/// Phoenix++-style hash container.
+///
+/// Each map task combines into a private `HashMap`; task completion
+/// merges that map into a sharded global table. The reduce phase drains
+/// the shards into partitions.
+pub struct HashContainer<K, V, C>
+where
+    K: Eq + Hash,
+    C: Combiner<V>,
+{
+    shards: Vec<Mutex<HashMap<K, C::Acc>>>,
+    hasher: RandomState,
+    pairs: AtomicU64,
+    _marker: PhantomData<fn(V)>,
+}
+
+impl<K, V, C> Default for HashContainer<K, V, C>
+where
+    K: Eq + Hash,
+    C: Combiner<V>,
+{
+    fn default() -> Self {
+        HashContainer {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            pairs: AtomicU64::new(0),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K, V, C> HashContainer<K, V, C>
+where
+    K: Eq + Hash,
+    C: Combiner<V>,
+{
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_for(&self, key: &K) -> usize {
+        (self.hasher.hash_one(key) % SHARDS as u64) as usize
+    }
+}
+
+/// Thread-local insert handle: a private map with insert-time combining.
+pub struct LocalHash<K, V, C: Combiner<V>> {
+    map: HashMap<K, C::Acc>,
+    emitted: u64,
+    _marker: PhantomData<fn(V)>,
+}
+
+impl<K, V, C> Emit<K, V> for LocalHash<K, V, C>
+where
+    K: Eq + Hash,
+    C: Combiner<V>,
+{
+    fn emit(&mut self, key: K, value: V) {
+        self.emitted += 1;
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                C::fold(e.get_mut(), value);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(C::unit(value));
+            }
+        }
+    }
+}
+
+impl<K, V, C> Container<K, V, C> for HashContainer<K, V, C>
+where
+    K: Ord + Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    C: Combiner<V>,
+{
+    type Local = LocalHash<K, V, C>;
+
+    fn local(&self) -> Self::Local {
+        LocalHash { map: HashMap::new(), emitted: 0, _marker: PhantomData }
+    }
+
+    fn absorb(&self, local: Self::Local) {
+        self.pairs.fetch_add(local.emitted, Ordering::Relaxed);
+        for (k, acc) in local.map {
+            let shard = self.shard_for(&k);
+            let mut guard = self.shards[shard].lock();
+            match guard.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    C::merge(e.get_mut(), acc);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(acc);
+                }
+            }
+        }
+    }
+
+    fn distinct_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn total_pairs(&self) -> u64 {
+        self.pairs.load(Ordering::Relaxed)
+    }
+
+    fn into_partitions(self, parts: usize) -> Vec<Vec<(K, C::Acc)>> {
+        let mut all: Vec<(K, C::Acc)> = Vec::new();
+        for shard in self.shards {
+            all.extend(shard.into_inner());
+        }
+        chunk_into(all, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::{Buffer, Sum};
+
+    type WC = HashContainer<String, u64, Sum>;
+
+    #[test]
+    fn local_combining_shrinks_pairs() {
+        let c = WC::new();
+        let mut local = c.local();
+        for _ in 0..100 {
+            local.emit("the".to_string(), 1);
+        }
+        local.emit("word".to_string(), 1);
+        c.absorb(local);
+        assert_eq!(c.total_pairs(), 101);
+        assert_eq!(c.distinct_keys(), 2);
+        let parts = c.into_partitions(4);
+        let mut all: Vec<(String, u64)> = parts.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, vec![("the".to_string(), 100), ("word".to_string(), 1)]);
+    }
+
+    #[test]
+    fn cross_task_merge_by_key() {
+        let c = WC::new();
+        for _ in 0..8 {
+            let mut local = c.local();
+            local.emit("k".to_string(), 2);
+            c.absorb(local);
+        }
+        let all: Vec<(String, u64)> =
+            c.into_partitions(3).into_iter().flatten().collect();
+        assert_eq!(all, vec![("k".to_string(), 16)]);
+    }
+
+    #[test]
+    fn partition_count_is_bounded_and_covering() {
+        let c = WC::new();
+        let mut local = c.local();
+        for i in 0..1000 {
+            local.emit(format!("key{i}"), 1);
+        }
+        c.absorb(local);
+        let parts = c.into_partitions(7);
+        assert!(parts.len() <= 7);
+        assert!(!parts.iter().any(Vec::is_empty));
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn empty_container_has_no_partitions() {
+        let c = WC::new();
+        assert_eq!(c.distinct_keys(), 0);
+        assert_eq!(c.total_pairs(), 0);
+        assert!(c.into_partitions(4).is_empty());
+    }
+
+    #[test]
+    fn buffer_combiner_collects_values() {
+        let c: HashContainer<u32, &'static str, Buffer> = HashContainer::new();
+        let mut a = c.local();
+        a.emit(1, "x");
+        a.emit(1, "y");
+        c.absorb(a);
+        let mut b = c.local();
+        b.emit(1, "z");
+        c.absorb(b);
+        let all: Vec<(u32, Vec<&str>)> = c.into_partitions(1).into_iter().flatten().collect();
+        assert_eq!(all.len(), 1);
+        let mut vals = all[0].1.clone();
+        vals.sort();
+        assert_eq!(vals, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn concurrent_absorbs_are_consistent() {
+        let c = std::sync::Arc::new(WC::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    let mut local = c.local();
+                    for i in 0..500 {
+                        local.emit(format!("key{}", i % 50), 1);
+                        local.emit(format!("t{t}-{i}"), 1);
+                    }
+                    c.absorb(local);
+                });
+            }
+        });
+        let c = std::sync::Arc::into_inner(c).unwrap();
+        assert_eq!(c.total_pairs(), 8 * 1000);
+        assert_eq!(c.distinct_keys(), 50 + 8 * 500);
+        let all: Vec<(String, u64)> = c.into_partitions(4).into_iter().flatten().collect();
+        let shared: u64 =
+            all.iter().filter(|(k, _)| k.starts_with("key")).map(|(_, v)| v).sum();
+        assert_eq!(shared, 8 * 500);
+    }
+}

@@ -1,0 +1,104 @@
+//! Intermediate key/value containers.
+//!
+//! Phoenix++'s central design idea — which SupMR inherits — is that the
+//! intermediate container is chosen per workload (§V-B):
+//!
+//! * [`HashContainer`] — keys hash to cells; right when "many pairs share
+//!   the same key" (word count) because combining shrinks the
+//!   intermediate set at insert time.
+//! * [`ArrayContainer`] — keys are dense `usize` indices into a fixed
+//!   array (histogram-family applications).
+//! * [`UnlockedContainer`] — "unlocked storage, which allows all threads
+//!   to write to a single array without synchronization": each map task
+//!   appends to its own run, no per-pair locking, for jobs with unique
+//!   keys (sort) where hashing and key lookups are pure overhead.
+//!
+//! All containers are **persistent across map rounds** (§III-C): the
+//! pipeline runtime creates a container once and every map wave absorbs
+//! into it; nothing is reinitialized between rounds.
+
+mod array;
+mod hash;
+mod unlocked;
+
+pub use array::ArrayContainer;
+pub use hash::HashContainer;
+pub use unlocked::UnlockedContainer;
+
+use crate::api::Emit;
+use crate::combiner::Combiner;
+
+/// Storage for intermediate pairs between the map and reduce phases.
+///
+/// The runtime's contract:
+///
+/// 1. Each map task obtains a [`Container::local`] handle, emits into it
+///    (combining happens there, unsynchronized), and the worker
+///    [`Container::absorb`]s it when the task ends.
+/// 2. After the last map round, [`Container::into_partitions`] hands the
+///    accumulated pairs to the reduce phase, split into at most `parts`
+///    disjoint groups that can be reduced concurrently. Every key
+///    appears in exactly one partition, exactly once.
+pub trait Container<K, V, C: Combiner<V>>: Send + Sync + Sized + 'static {
+    /// Thread-local insert handle for one map task.
+    type Local: Emit<K, V> + Send;
+
+    /// Create a fresh local insert handle.
+    fn local(&self) -> Self::Local;
+
+    /// Fold a finished task's local pairs into the shared state.
+    fn absorb(&self, local: Self::Local);
+
+    /// Number of distinct keys currently held.
+    fn distinct_keys(&self) -> usize;
+
+    /// Total pairs emitted into the container (pre-combining).
+    fn total_pairs(&self) -> u64;
+
+    /// Drain into reduce partitions. Returns at least one partition when
+    /// any pairs are held; implementations may return more or fewer than
+    /// `parts` groups (the unlocked container returns one per map run).
+    fn into_partitions(self, parts: usize) -> Vec<Vec<(K, C::Acc)>>;
+}
+
+/// Split `items` into at most `parts` near-equal contiguous groups.
+pub(crate) fn chunk_into<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let parts = parts.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let per = items.len().div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let group: Vec<T> = it.by_ref().take(per).collect();
+        if group.is_empty() {
+            break;
+        }
+        out.push(group);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_into_partitions_evenly() {
+        let groups = chunk_into((0..10).collect(), 3);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(groups[2], vec![8, 9]);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn chunk_into_handles_edges() {
+        assert!(chunk_into(Vec::<u8>::new(), 4).is_empty());
+        let one = chunk_into(vec![1], 8);
+        assert_eq!(one, vec![vec![1]]);
+        let zero_parts = chunk_into(vec![1, 2], 0);
+        assert_eq!(zero_parts, vec![vec![1, 2]]);
+    }
+}

@@ -1,0 +1,162 @@
+//! The unlocked container: per-task run storage with no per-pair
+//! synchronization.
+//!
+//! For applications like sort "the large input set is transformed to an
+//! equal sized intermediate set" with unique keys, so a hash container
+//! pays for key lookups that never hit and reducers "needlessly sweep
+//! the array" (§V-B). Phoenix's answer is *unlocked storage*: every map
+//! task writes to its own region of a shared array without
+//! synchronization. The safe-Rust equivalent keeps each task's output as
+//! an owned run and shares only the run list — one lock acquisition per
+//! *task* (to publish the run), zero per pair, and the runs double as
+//! the sorted-run inputs the merge phase consumes.
+
+use super::Container;
+use crate::api::Emit;
+use crate::combiner::Combiner;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Run-per-task storage for unique-key workloads.
+pub struct UnlockedContainer<K, V> {
+    runs: Mutex<Vec<Vec<(K, V)>>>,
+    pairs: AtomicU64,
+}
+
+impl<K, V> Default for UnlockedContainer<K, V> {
+    fn default() -> Self {
+        UnlockedContainer { runs: Mutex::new(Vec::new()), pairs: AtomicU64::new(0) }
+    }
+}
+
+impl<K, V> UnlockedContainer<K, V> {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of runs published so far (= completed map tasks that
+    /// emitted at least one pair).
+    pub fn run_count(&self) -> usize {
+        self.runs.lock().len()
+    }
+
+    /// Total pairs published (inherent counterpart of
+    /// [`Container::total_pairs`], callable without naming a combiner).
+    pub fn pair_count(&self) -> u64 {
+        self.pairs.load(Ordering::Relaxed)
+    }
+}
+
+/// Thread-local run under construction.
+pub struct LocalRun<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emit<K, V> for LocalRun<K, V> {
+    fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+}
+
+impl<K, V, C> Container<K, V, C> for UnlockedContainer<K, V>
+where
+    K: Ord + std::hash::Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    C: Combiner<V, Acc = V>,
+{
+    type Local = LocalRun<K, V>;
+
+    fn local(&self) -> Self::Local {
+        LocalRun { pairs: Vec::new() }
+    }
+
+    fn absorb(&self, local: Self::Local) {
+        if local.pairs.is_empty() {
+            return;
+        }
+        self.pairs.fetch_add(local.pairs.len() as u64, Ordering::Relaxed);
+        self.runs.lock().push(local.pairs);
+    }
+
+    /// Unique-key assumption: every pair is its own key.
+    fn distinct_keys(&self) -> usize {
+        self.pairs.load(Ordering::Relaxed) as usize
+    }
+
+    fn total_pairs(&self) -> u64 {
+        self.pairs.load(Ordering::Relaxed)
+    }
+
+    /// Returns one partition per map run, ignoring `parts`: the runs are
+    /// exactly the sorted lists the merge phase operates on, and keeping
+    /// them separate is what lets the merge experiments control the
+    /// baseline's round count.
+    fn into_partitions(self, _parts: usize) -> Vec<Vec<(K, V)>> {
+        self.runs.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combiner::Identity;
+
+    fn absorb_run(c: &UnlockedContainer<u64, String>, pairs: Vec<(u64, String)>) {
+        let mut local = <UnlockedContainer<u64, String> as Container<
+            u64,
+            String,
+            Identity,
+        >>::local(c);
+        for (k, v) in pairs {
+            local.emit(k, v);
+        }
+        <UnlockedContainer<u64, String> as Container<u64, String, Identity>>::absorb(c, local);
+    }
+
+    fn partitions(c: UnlockedContainer<u64, String>) -> Vec<Vec<(u64, String)>> {
+        <UnlockedContainer<u64, String> as Container<u64, String, Identity>>::into_partitions(
+            c, 99,
+        )
+    }
+
+    #[test]
+    fn runs_stay_separate_and_ordered() {
+        let c = UnlockedContainer::new();
+        absorb_run(&c, vec![(3, "c".into()), (1, "a".into())]);
+        absorb_run(&c, vec![(2, "b".into())]);
+        assert_eq!(c.run_count(), 2);
+        assert_eq!(c.pair_count(), 3);
+        let parts = partitions(c);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], vec![(3, "c".to_string()), (1, "a".to_string())]);
+        assert_eq!(parts[1], vec![(2, "b".to_string())]);
+    }
+
+    #[test]
+    fn empty_tasks_publish_nothing() {
+        let c = UnlockedContainer::new();
+        absorb_run(&c, vec![]);
+        assert_eq!(c.run_count(), 0);
+        assert!(partitions(c).is_empty());
+    }
+
+    #[test]
+    fn concurrent_publication() {
+        let c = std::sync::Arc::new(UnlockedContainer::new());
+        std::thread::scope(|s| {
+            for t in 0..16u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    absorb_run(&c, (0..100).map(|i| (t * 1000 + i, format!("v{i}"))).collect());
+                });
+            }
+        });
+        let c = std::sync::Arc::into_inner(c).unwrap();
+        assert_eq!(c.run_count(), 16);
+        assert_eq!(c.pair_count(), 1600);
+        let parts = partitions(c);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1600);
+    }
+}

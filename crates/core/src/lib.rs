@@ -1,0 +1,83 @@
+//! **SupMR** — a scale-up (single-node, shared-memory) MapReduce runtime
+//! with an ingest chunk pipeline and a p-way merge phase.
+//!
+//! This crate reproduces the system of *"SupMR: Circumventing Disk and
+//! Memory Bandwidth Bottlenecks for Scale-up MapReduce"* (Sevilla et al.,
+//! 2014). It contains both the **baseline** Phoenix++-style runtime the
+//! paper modifies and the **SupMR** modifications themselves:
+//!
+//! 1. **Ingest chunk pipeline** ([`runtime::pipeline`]) — the input is
+//!    partitioned into ingest chunks ([`chunk`]); while mapper threads
+//!    operate on chunk *i*, an ingest thread reads chunk *i+1* from
+//!    primary storage (double-buffering). The intermediate key/value
+//!    container persists across the resulting map rounds.
+//! 2. **Merge optimization** — the final merge uses a single-round
+//!    parallel p-way merge (`supmr-merge`) instead of the baseline's
+//!    iterative 2-way rounds.
+//!
+//! # Architecture
+//!
+//! * [`api`] — the user-facing [`api::MapReduce`] trait (map/reduce
+//!   callbacks, key/value/combiner/container choices) and [`api::Emit`].
+//! * [`combiner`] — insert-time value folding (Phoenix++ "combiners").
+//! * [`container`] — intermediate pair storage: hash (word count),
+//!   dense array (histogram), and unlocked run storage (sort).
+//! * [`chunk`] — ingest chunks: inter-file (byte ranges with record
+//!   boundary adjustment) and intra-file (groups of small files).
+//! * [`split`] — record-aligned input splits inside a chunk.
+//! * [`pool`] — Phoenix-style wave execution of map/reduce tasks.
+//! * [`runtime`] — job configuration and the two runtimes
+//!   ([`runtime::run_job`] dispatches on the chunking strategy).
+//!
+//! # Quick example
+//!
+//! ```
+//! use supmr::api::{Emit, MapReduce};
+//! use supmr::combiner::Sum;
+//! use supmr::container::HashContainer;
+//! use supmr::runtime::{run_job, Input, JobConfig};
+//! use supmr_storage::MemSource;
+//!
+//! struct WordCount;
+//!
+//! impl MapReduce for WordCount {
+//!     type Key = String;
+//!     type Value = u64;
+//!     type Combiner = Sum;
+//!     type Output = u64;
+//!     type Container = HashContainer<String, u64, Sum>;
+//!
+//!     fn make_container(&self) -> Self::Container {
+//!         HashContainer::default()
+//!     }
+//!
+//!     fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+//!         for word in split.split(|b| !b.is_ascii_alphanumeric()) {
+//!             if !word.is_empty() {
+//!                 emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+//!             }
+//!         }
+//!     }
+//!
+//!     fn reduce(&self, _key: &String, count: u64) -> u64 {
+//!         count
+//!     }
+//! }
+//!
+//! let input = Input::stream(MemSource::from(b"a b a\n".to_vec()));
+//! let result = run_job(WordCount, input, JobConfig::default()).unwrap();
+//! let pairs = result.sorted_pairs();
+//! assert_eq!(pairs, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
+//! ```
+
+pub mod api;
+pub mod chunk;
+pub mod combiner;
+pub mod container;
+pub mod pool;
+pub mod runtime;
+pub mod split;
+
+pub use api::{Emit, MapReduce};
+pub use chunk::{Chunking, IngestChunk};
+pub use runtime::{run_job, Input, Job, JobConfig, JobResult, JobStats, MergeMode};

@@ -1,0 +1,156 @@
+//! Wave-based task execution.
+//!
+//! Phoenix++ launches mapper/reducer threads in *waves*: a wave starts a
+//! set of worker threads, the workers drain a task queue, and the wave
+//! ends when every task is done and the threads are destroyed. SupMR's
+//! ingest pipeline "starts mapper threads multiple times to operate on
+//! new chunks as they arrive", so thread start/stop costs recur once per
+//! ingest chunk — the overhead the paper's chunk-size discussion (§III-A2,
+//! Conclusion 2) is about. [`run_wave`] reproduces exactly that lifecycle
+//! (real spawn + join per wave) and reports how many threads were
+//! started, so that overhead is observable in experiments.
+
+use parking_lot::Mutex;
+
+/// What a completed wave did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveOutcome {
+    /// Tasks executed.
+    pub tasks: u64,
+    /// Worker threads spawned (and destroyed) for the wave.
+    pub threads_spawned: u64,
+}
+
+/// Run `tasks` to completion on a wave of at most `workers` fresh
+/// threads. Each task is passed to `f` together with its index in the
+/// original order. Blocks until the wave ends.
+///
+/// Spawns `min(workers, tasks.len())` threads; zero tasks spawn nothing.
+/// A panic inside any task propagates after the wave joins.
+///
+/// # Panics
+/// Panics if `workers == 0` and there is at least one task.
+pub fn run_wave<T, F>(workers: usize, tasks: Vec<T>, f: F) -> WaveOutcome
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    let task_count = tasks.len() as u64;
+    if tasks.is_empty() {
+        return WaveOutcome::default();
+    }
+    assert!(workers > 0, "a wave needs at least one worker");
+    let thread_count = workers.min(tasks.len());
+
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    std::thread::scope(|scope| {
+        for _ in 0..thread_count {
+            scope.spawn(|| loop {
+                // Hold the lock only for the pop, not the task body.
+                let next = queue.lock().next();
+                match next {
+                    Some((idx, task)) => f(idx, task),
+                    None => break,
+                }
+            });
+        }
+    });
+
+    WaveOutcome { tasks: task_count, threads_spawned: thread_count as u64 }
+}
+
+/// Run a wave whose tasks each produce a value; results come back in
+/// task order.
+pub fn run_wave_collect<T, R, F>(workers: usize, tasks: Vec<T>, f: F) -> (Vec<R>, WaveOutcome)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let outcome = run_wave(workers, tasks, |idx, task| {
+        *slots[idx].lock() = Some(f(idx, task));
+    });
+    let results = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("wave task did not store a result"))
+        .collect();
+    (results, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn wave_runs_every_task_exactly_once() {
+        let hits = AtomicU64::new(0);
+        let outcome = run_wave(4, (0..100).collect(), |_, _x: i32| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(outcome.tasks, 100);
+        assert_eq!(outcome.threads_spawned, 4);
+    }
+
+    #[test]
+    fn empty_wave_spawns_nothing() {
+        let outcome = run_wave(8, Vec::<u8>::new(), |_, _| panic!("no tasks"));
+        assert_eq!(outcome, WaveOutcome::default());
+    }
+
+    #[test]
+    fn thread_count_capped_by_task_count() {
+        let outcome = run_wave(64, vec![1, 2, 3], |_, _| {});
+        assert_eq!(outcome.threads_spawned, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_with_tasks_panics() {
+        run_wave(0, vec![1], |_, _| {});
+    }
+
+    #[test]
+    fn collect_preserves_task_order() {
+        let (results, outcome) =
+            run_wave_collect(3, (0u64..50).collect(), |idx, x| (idx as u64) * 1000 + x * 2);
+        assert_eq!(outcome.tasks, 50);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, (i as u64) * 1000 + (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn tasks_see_their_original_index() {
+        let (results, _) = run_wave_collect(4, vec!["a", "b", "c"], |idx, s| format!("{idx}{s}"));
+        assert_eq!(results, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            run_wave(2, vec![1, 2, 3], |_, x: i32| {
+                if x == 2 {
+                    panic!("task exploded");
+                }
+            });
+        });
+        assert!(result.is_err(), "a panicking task must fail the wave");
+    }
+
+    #[test]
+    fn waves_are_reentrant_from_tasks() {
+        // A wave inside a wave (the pipeline nests reduce waves inside
+        // scoped ingest threads).
+        let total = AtomicU64::new(0);
+        run_wave(2, vec![10u64, 20], |_, n| {
+            run_wave(2, (0..n).collect(), |_, _| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 30);
+    }
+}

@@ -1,0 +1,201 @@
+//! Fluent job construction.
+//!
+//! [`Job`] wraps a [`MapReduce`] application and a [`JobConfig`] behind
+//! a builder so call sites read as configuration rather than struct
+//! plumbing:
+//!
+//! ```
+//! use supmr::api::{Emit, MapReduce};
+//! use supmr::combiner::Count;
+//! use supmr::container::HashContainer;
+//! use supmr::runtime::{Input, Job, MergeMode};
+//! use supmr::Chunking;
+//! use supmr_storage::MemSource;
+//!
+//! struct LineCount;
+//! impl MapReduce for LineCount {
+//!     type Key = ();
+//!     type Value = u8;
+//!     type Combiner = Count;
+//!     type Output = u64;
+//!     type Container = HashContainer<(), u8, Count>;
+//!     fn make_container(&self) -> Self::Container { HashContainer::default() }
+//!     fn map(&self, split: &[u8], emit: &mut dyn Emit<(), u8>) {
+//!         for _ in split.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+//!             emit.emit((), 0);
+//!         }
+//!     }
+//!     fn reduce(&self, _k: &(), n: u64) -> u64 { n }
+//! }
+//!
+//! let result = Job::new(LineCount)
+//!     .chunking(Chunking::Inter { chunk_bytes: 16 })
+//!     .merge(MergeMode::Unsorted)
+//!     .workers(2)
+//!     .split_bytes(8)
+//!     .run(Input::stream(MemSource::from(b"a\nb\nc\n".to_vec())))
+//!     .unwrap();
+//! assert_eq!(result.pairs, vec![((), 3)]);
+//! ```
+
+use super::{run_job, Input, JobConfig, JobResult, MergeMode};
+use crate::api::MapReduce;
+use crate::chunk::Chunking;
+use std::io;
+use std::time::Duration;
+use supmr_storage::RecordFormat;
+
+/// A configured-but-not-yet-run job.
+#[derive(Debug)]
+pub struct Job<J: MapReduce> {
+    app: J,
+    config: JobConfig,
+}
+
+impl<J: MapReduce> Job<J> {
+    /// Start building a job around an application, with default
+    /// configuration (original runtime, unsorted output).
+    pub fn new(app: J) -> Job<J> {
+        Job { app, config: JobConfig::default() }
+    }
+
+    /// Set the ingest chunking strategy.
+    pub fn chunking(mut self, chunking: Chunking) -> Self {
+        self.config.chunking = chunking;
+        self
+    }
+
+    /// Set the merge mode.
+    pub fn merge(mut self, merge: MergeMode) -> Self {
+        self.config.merge = merge;
+        self
+    }
+
+    /// Set both mapper and reducer worker counts.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.map_workers = workers;
+        self.config.reduce_workers = workers;
+        self
+    }
+
+    /// Set the input split size.
+    pub fn split_bytes(mut self, bytes: usize) -> Self {
+        self.config.split_bytes = bytes;
+        self
+    }
+
+    /// Set the record framing used for chunk/split boundary adjustment.
+    pub fn record_format(mut self, format: RecordFormat) -> Self {
+        self.config.record_format = format;
+        self
+    }
+
+    /// Set the ingest prefetch depth (1 = the paper's double buffering).
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.config.prefetch_depth = depth;
+        self
+    }
+
+    /// Collect a CPU utilization trace at this sampling interval.
+    pub fn sample_utilization(mut self, interval: Duration) -> Self {
+        self.config.sample_utilization = Some(interval);
+        self
+    }
+
+    /// Override the whole configuration.
+    pub fn config(mut self, config: JobConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configuration as currently built.
+    pub fn config_ref(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Run the job on `input`.
+    ///
+    /// # Errors
+    /// Propagates configuration and ingest errors from [`run_job`].
+    pub fn run(self, input: Input) -> io::Result<JobResult<J::Key, J::Output>> {
+        run_job(self.app, input, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Emit;
+    use crate::combiner::Sum;
+    use crate::container::HashContainer;
+    use supmr_storage::MemSource;
+
+    struct CharCount;
+
+    impl MapReduce for CharCount {
+        type Key = u8;
+        type Value = u64;
+        type Combiner = Sum;
+        type Output = u64;
+        type Container = HashContainer<u8, u64, Sum>;
+
+        fn make_container(&self) -> Self::Container {
+            HashContainer::default()
+        }
+
+        fn map(&self, split: &[u8], emit: &mut dyn Emit<u8, u64>) {
+            for &b in split.iter().filter(|b| !b.is_ascii_whitespace()) {
+                emit.emit(b, 1);
+            }
+        }
+
+        fn reduce(&self, _k: &u8, acc: u64) -> u64 {
+            acc
+        }
+    }
+
+    #[test]
+    fn builder_settings_reach_the_config() {
+        let job = Job::new(CharCount)
+            .chunking(Chunking::Inter { chunk_bytes: 128 })
+            .merge(MergeMode::PWay { ways: 2 })
+            .workers(3)
+            .split_bytes(64)
+            .record_format(RecordFormat::Newline)
+            .prefetch_depth(2)
+            .sample_utilization(Duration::from_millis(50));
+        let c = job.config_ref();
+        assert_eq!(c.chunking, Chunking::Inter { chunk_bytes: 128 });
+        assert_eq!(c.merge, MergeMode::PWay { ways: 2 });
+        assert_eq!(c.map_workers, 3);
+        assert_eq!(c.reduce_workers, 3);
+        assert_eq!(c.split_bytes, 64);
+        assert_eq!(c.prefetch_depth, 2);
+        assert!(c.sample_utilization.is_some());
+    }
+
+    #[test]
+    fn builder_runs_jobs() {
+        let result = Job::new(CharCount)
+            .chunking(Chunking::Inter { chunk_bytes: 8 })
+            .merge(MergeMode::PWay { ways: 2 })
+            .workers(2)
+            .split_bytes(4)
+            .run(Input::stream(MemSource::from(b"aa b\nab\n".to_vec())))
+            .unwrap();
+        assert_eq!(
+            result.pairs,
+            vec![(b'a', 3), (b'b', 2)],
+            "sorted by key via p-way merge"
+        );
+    }
+
+    #[test]
+    fn builder_propagates_validation_errors() {
+        let err = Job::new(CharCount)
+            .workers(0)
+            .run(Input::stream(MemSource::from(vec![1u8])))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,453 @@
+//! Job configuration, results, and the two runtimes.
+//!
+//! [`run_job`] is the single entry point (the paper's `run_ingestMR()`
+//! API launches "in exactly the same way as the original library with a
+//! few additional chunk-related parameters" — here those parameters live
+//! in [`JobConfig`]). Jobs with [`Chunking::None`] execute on the
+//! original Phoenix++-style runtime ([`original`]); any other chunking
+//! strategy engages the SupMR ingest chunk pipeline ([`pipeline`]). The
+//! reduce and merge phases are shared — the merge backend is chosen by
+//! [`MergeMode`], which is how experiments isolate the paper's two
+//! modifications.
+
+pub mod builder;
+pub mod original;
+pub mod pipeline;
+
+pub use builder::Job;
+
+use crate::api::{AccOf, MapReduce};
+use crate::chunk::{Chunking, IngestChunk};
+use crate::container::Container;
+use crate::pool::{run_wave, run_wave_collect, WaveOutcome};
+use crate::split::chunk_splits;
+use std::io;
+use std::time::Duration;
+use supmr_merge::{pairwise_merge_rounds, parallel_kway_merge};
+use supmr_metrics::sampler::UtilizationSampler;
+use supmr_metrics::{Phase, PhaseTimer, PhaseTimings, UtilTrace};
+use supmr_storage::{DataSource, FileSet, RecordFormat, SourceExt};
+
+/// Job input: one large byte stream or a set of small files — the two
+/// Hadoop input shapes the paper's chunking strategies mirror.
+pub enum Input {
+    /// A single byte-addressed input (Terasort shape).
+    Stream(Box<dyn DataSource>),
+    /// A set of small files (word count shape).
+    Files(Box<dyn FileSet>),
+}
+
+impl Input {
+    /// Wrap a [`DataSource`].
+    pub fn stream(source: impl DataSource + 'static) -> Input {
+        Input::Stream(Box::new(source))
+    }
+
+    /// Wrap a [`FileSet`].
+    pub fn files(files: impl FileSet + 'static) -> Input {
+        Input::Files(Box::new(files))
+    }
+
+    /// Total input bytes.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            Input::Stream(s) => s.len(),
+            Input::Files(f) => f.total_len(),
+        }
+    }
+
+    /// Human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Input::Stream(s) => s.describe(),
+            Input::Files(f) => f.describe(),
+        }
+    }
+}
+
+/// How the final output is ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// No ordering: reduce outputs are concatenated.
+    Unsorted,
+    /// The baseline runtime's merge: sort partitions in parallel, then
+    /// iterative 2-way merge rounds with halving parallelism.
+    PairwiseRounds,
+    /// SupMR's merge: sort partitions in parallel, then one parallel
+    /// p-way merge round.
+    PWay {
+        /// Output-partition parallelism of the p-way merge.
+        ways: usize,
+    },
+}
+
+/// Runtime configuration — the original Phoenix++ knobs plus SupMR's
+/// "few additional chunk-related parameters".
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Mapper threads per map wave.
+    pub map_workers: usize,
+    /// Reducer threads (and reduce partition target).
+    pub reduce_workers: usize,
+    /// Input split size in bytes (the unit of map-task work).
+    pub split_bytes: usize,
+    /// Record framing, used for chunk and split boundary adjustment.
+    pub record_format: RecordFormat,
+    /// Ingest chunking strategy; `None` selects the original runtime.
+    pub chunking: Chunking,
+    /// Final merge behaviour.
+    pub merge: MergeMode,
+    /// How many ingest chunks may be buffered ahead of the mappers.
+    /// `1` is the paper's double-buffering (one ingest thread created
+    /// and destroyed per round); larger values use one long-lived
+    /// ingest thread with a bounded buffer of this depth.
+    pub prefetch_depth: usize,
+    /// If set, sample real CPU utilization at this interval for the
+    /// duration of the job (collectl-style trace in the result).
+    pub sample_utilization: Option<Duration>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, usize::from);
+        JobConfig {
+            map_workers: workers,
+            reduce_workers: workers,
+            split_bytes: 1024 * 1024,
+            record_format: RecordFormat::Newline,
+            chunking: Chunking::None,
+            merge: MergeMode::Unsorted,
+            prefetch_depth: 1,
+            sample_utilization: None,
+        }
+    }
+}
+
+impl JobConfig {
+    fn validate(&self) -> io::Result<()> {
+        let bad = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+        if self.map_workers == 0 || self.reduce_workers == 0 {
+            return bad("worker counts must be non-zero");
+        }
+        if self.split_bytes == 0 {
+            return bad("split size must be non-zero");
+        }
+        match self.chunking {
+            Chunking::Inter { chunk_bytes: 0 } | Chunking::Hybrid { chunk_bytes: 0 } => {
+                bad("chunk size must be non-zero")
+            }
+            Chunking::Intra { files_per_chunk: 0 } => bad("files per chunk must be non-zero"),
+            Chunking::Adaptive(a) => {
+                if a.min_chunk_bytes == 0
+                    || a.min_chunk_bytes > a.initial_chunk_bytes
+                    || a.initial_chunk_bytes > a.max_chunk_bytes
+                    || !(a.overhead_fraction > 0.0 && a.overhead_fraction < 1.0)
+                {
+                    bad("adaptive chunking needs 0 < min <= initial <= max and a fraction in (0,1)")
+                } else if self.prefetch_depth > 1 {
+                    // Feedback cannot reach a chunker owned by the
+                    // buffered ingest thread.
+                    bad("adaptive chunking requires prefetch_depth == 1")
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }?;
+        if self.prefetch_depth == 0 {
+            return bad("prefetch depth must be at least 1");
+        }
+        if let MergeMode::PWay { ways: 0 } = self.merge {
+            return bad("p-way merge needs at least one way");
+        }
+        if let RecordFormat::FixedWidth(0) = self.record_format {
+            return bad("record width must be non-zero");
+        }
+        Ok(())
+    }
+}
+
+/// Measured timeline of one pipeline round — the Fig. 2/Fig. 4
+/// mechanism ("ingest chunks are read into memory while mapper threads
+/// operate on earlier chunks") as observed data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Bytes of the chunk mapped this round.
+    pub chunk_bytes: u64,
+    /// Time the overlapped ingest of the *next* chunk took.
+    pub ingest: Duration,
+    /// Time this round's map wave took.
+    pub map: Duration,
+}
+
+/// Execution counters for one job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobStats {
+    /// Bytes read from primary storage.
+    pub bytes_ingested: u64,
+    /// Ingest chunks processed (1 for the original runtime).
+    pub ingest_chunks: u32,
+    /// Map waves executed (1 for the original runtime, one per chunk for
+    /// the pipeline).
+    pub map_rounds: u32,
+    /// Map tasks (input splits) executed.
+    pub map_tasks: u64,
+    /// Reduce tasks (partitions) executed.
+    pub reduce_tasks: u64,
+    /// Threads spawned across all waves plus ingest threads — the
+    /// recurring thread cost the chunk-size discussion is about.
+    pub threads_spawned: u64,
+    /// Intermediate pairs emitted by map (pre-combining).
+    pub intermediate_pairs: u64,
+    /// Distinct intermediate keys.
+    pub distinct_keys: u64,
+    /// Final output pairs.
+    pub output_pairs: u64,
+    /// Merge rounds executed (0 = unsorted, 1 = p-way, log₂ = pairwise).
+    pub merge_rounds: u32,
+    /// Elements written during merging across all rounds (the
+    /// "re-scanning" cost; equals output pairs for a single-pass merge).
+    pub merge_elements_moved: u64,
+    /// Per-round pipeline timeline (empty for the original runtime and
+    /// for `prefetch_depth > 1`, where rounds are not individually
+    /// bounded).
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl JobStats {
+    fn add_wave(&mut self, outcome: WaveOutcome) {
+        self.threads_spawned += outcome.threads_spawned;
+    }
+}
+
+/// A finished job: output pairs plus the measurements every experiment
+/// needs.
+#[derive(Debug)]
+pub struct JobResult<K, O> {
+    /// Reduced output pairs, ordered according to [`MergeMode`].
+    pub pairs: Vec<(K, O)>,
+    /// Per-phase wall-clock breakdown (a Table II row).
+    pub timings: PhaseTimings,
+    /// Execution counters.
+    pub stats: JobStats,
+    /// CPU utilization trace, when sampling was requested.
+    pub trace: Option<UtilTrace>,
+}
+
+impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
+    /// The output pairs sorted by key (stable), regardless of merge mode
+    /// — convenient for assertions.
+    pub fn sorted_pairs(&self) -> Vec<(K, O)> {
+        let mut v = self.pairs.clone();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+/// Run a MapReduce job. Dispatches to the original runtime
+/// ([`Chunking::None`]) or the SupMR ingest chunk pipeline.
+///
+/// # Errors
+/// Returns an error for invalid configurations, a chunking strategy that
+/// does not match the input shape, or I/O failures during ingest.
+pub fn run_job<J: MapReduce>(
+    job: J,
+    input: Input,
+    config: JobConfig,
+) -> io::Result<JobResult<J::Key, J::Output>> {
+    config.validate()?;
+    let sampler = config.sample_utilization.map(UtilizationSampler::start);
+    let mut result = match config.chunking {
+        Chunking::None => original::run(&job, input, &config),
+        _ => pipeline::run(&job, input, &config),
+    }?;
+    if let Some(s) = sampler {
+        result.trace = Some(s.stop());
+    }
+    Ok(result)
+}
+
+/// Read the entire input into one resident chunk (the original runtime's
+/// ingest phase). File inputs keep per-file segment boundaries.
+pub(crate) fn ingest_entire(input: Input) -> io::Result<IngestChunk> {
+    match input {
+        Input::Stream(mut s) => {
+            let data = s.read_all()?;
+            #[allow(clippy::single_range_in_vec_init)] // one segment covering everything
+            let segments = vec![0..data.len()];
+            Ok(IngestChunk { index: 0, offset: 0, segments, data })
+        }
+        Input::Files(mut f) => {
+            let mut data = Vec::new();
+            let mut segments = Vec::with_capacity(f.file_count());
+            for i in 0..f.file_count() {
+                let start = data.len();
+                data.extend_from_slice(&f.read_file(i)?);
+                segments.push(start..data.len());
+            }
+            Ok(IngestChunk { index: 0, offset: 0, segments, data })
+        }
+    }
+}
+
+/// Run one map wave over a chunk's splits.
+pub(crate) fn map_wave<J: MapReduce>(
+    job: &J,
+    container: &J::Container,
+    chunk: &IngestChunk,
+    config: &JobConfig,
+) -> WaveOutcome {
+    let splits = chunk_splits(chunk, config.split_bytes, config.record_format);
+    run_wave(config.map_workers, splits, |_, range| {
+        let mut local = container.local();
+        job.map(&chunk.data[range], &mut local);
+        container.absorb(local);
+    })
+}
+
+/// Shared tail of both runtimes: reduce, merge, and result assembly.
+pub(crate) fn finish_job<J: MapReduce>(
+    job: &J,
+    container: J::Container,
+    config: &JobConfig,
+    mut timer: PhaseTimer,
+    mut stats: JobStats,
+) -> JobResult<J::Key, J::Output> {
+    stats.intermediate_pairs = container.total_pairs();
+    stats.distinct_keys = container.distinct_keys() as u64;
+
+    timer.begin(Phase::Reduce);
+    let partitions = container.into_partitions(config.reduce_workers);
+    let (reduced, outcome) = run_wave_collect(
+        config.reduce_workers,
+        partitions,
+        |_, part: Vec<(J::Key, AccOf<J>)>| {
+            part.into_iter()
+                .map(|(k, acc)| {
+                    let out = job.reduce(&k, acc);
+                    (k, out)
+                })
+                .collect::<Vec<(J::Key, J::Output)>>()
+        },
+    );
+    timer.end(Phase::Reduce);
+    stats.reduce_tasks = outcome.tasks;
+    stats.add_wave(outcome);
+
+    timer.begin(Phase::Merge);
+    let pairs = merge_phase::<J>(reduced, config, &mut stats);
+    timer.end(Phase::Merge);
+    stats.output_pairs = pairs.len() as u64;
+
+    JobResult { pairs, timings: timer.finish(), stats, trace: None }
+}
+
+/// Pair wrapper ordering on the key only, so outputs need not be `Ord`.
+#[derive(Clone)]
+struct ByKey<K, O>(K, O);
+
+impl<K: Ord, O> PartialEq for ByKey<K, O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<K: Ord, O> Eq for ByKey<K, O> {}
+impl<K: Ord, O> PartialOrd for ByKey<K, O> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, O> Ord for ByKey<K, O> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// The merge phase: sort reduce partitions in parallel (a wave), then
+/// combine them with the configured backend.
+fn merge_phase<J: MapReduce>(
+    reduced: Vec<Vec<(J::Key, J::Output)>>,
+    config: &JobConfig,
+    stats: &mut JobStats,
+) -> Vec<(J::Key, J::Output)> {
+    if matches!(config.merge, MergeMode::Unsorted) {
+        return reduced.into_iter().flatten().collect();
+    }
+    // "each round (1) sorts many small lists in parallel and (2) merges
+    // the lists" — step (1) is a full-width wave for both backends.
+    let (runs, outcome) = run_wave_collect(config.map_workers, reduced, |_, part| {
+        let mut run: Vec<ByKey<J::Key, J::Output>> =
+            part.into_iter().map(|(k, o)| ByKey(k, o)).collect();
+        run.sort();
+        run
+    });
+    stats.add_wave(outcome);
+
+    let merged: Vec<ByKey<J::Key, J::Output>> = match config.merge {
+        MergeMode::Unsorted => unreachable!("handled above"),
+        MergeMode::PairwiseRounds => {
+            let (merged, pw) = pairwise_merge_rounds(runs, true);
+            stats.merge_rounds = pw.rounds;
+            stats.merge_elements_moved = pw.elements_moved;
+            merged
+        }
+        MergeMode::PWay { ways } => {
+            let (merged, kw) = parallel_kway_merge(runs, ways);
+            stats.merge_rounds = u32::from(kw.partitions >= 1 && !merged.is_empty());
+            stats.merge_elements_moved = kw.elements_moved;
+            merged
+        }
+    };
+    merged.into_iter().map(|ByKey(k, o)| (k, o)).collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
+mod tests {
+    use super::*;
+    use supmr_storage::{MemFileSet, MemSource};
+
+    #[test]
+    fn input_wrappers_report_sizes() {
+        let s = Input::stream(MemSource::from(vec![0u8; 123]));
+        assert_eq!(s.total_bytes(), 123);
+        assert!(s.describe().contains("123"));
+        let f = Input::files(MemFileSet::new(vec![vec![1; 10], vec![2; 5]]));
+        assert_eq!(f.total_bytes(), 15);
+    }
+
+    #[test]
+    fn ingest_entire_preserves_file_segments() {
+        let chunk = ingest_entire(Input::files(MemFileSet::new(vec![
+            b"aaa".to_vec(),
+            b"bb".to_vec(),
+        ])))
+        .unwrap();
+        assert_eq!(chunk.data, b"aaabb".to_vec());
+        assert_eq!(chunk.segments, vec![0..3, 3..5]);
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let ok = JobConfig::default();
+        assert!(ok.validate().is_ok());
+        let mut c = JobConfig::default();
+        c.map_workers = 0;
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.split_bytes = 0;
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.chunking = Chunking::Inter { chunk_bytes: 0 };
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.chunking = Chunking::Intra { files_per_chunk: 0 };
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.merge = MergeMode::PWay { ways: 0 };
+        assert!(c.validate().is_err());
+        let mut c = JobConfig::default();
+        c.record_format = RecordFormat::FixedWidth(0);
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! The original (baseline) runtime: whole-input ingest, one map wave.
+//!
+//! This is the Phoenix++-style execution the paper measures as "none" in
+//! Table II: the job reads *all* input from primary storage into memory
+//! (a long, serial, IO-bound phase — the ingest bottleneck of Fig. 1),
+//! then launches one wave of mapper threads over the input splits, then
+//! reduces and merges.
+
+use super::{finish_job, ingest_entire, map_wave, Input, JobConfig, JobResult, JobStats};
+use crate::api::MapReduce;
+use std::io;
+use supmr_metrics::{Phase, PhaseTimer};
+
+/// Execute `job` on the original runtime.
+pub fn run<J: MapReduce>(
+    job: &J,
+    input: Input,
+    config: &JobConfig,
+) -> io::Result<JobResult<J::Key, J::Output>> {
+    let mut timer = PhaseTimer::start_job();
+    let mut stats = JobStats::default();
+    let container = job.make_container();
+
+    timer.begin(Phase::Ingest);
+    let chunk = ingest_entire(input)?;
+    timer.end(Phase::Ingest);
+    stats.bytes_ingested = chunk.len() as u64;
+    stats.ingest_chunks = 1;
+
+    timer.begin(Phase::Map);
+    let outcome = map_wave(job, &container, &chunk, config);
+    timer.end(Phase::Map);
+    stats.map_rounds = 1;
+    stats.map_tasks = outcome.tasks;
+    stats.add_wave(outcome);
+    drop(chunk); // input buffer freed before reduce, as in Phoenix++
+
+    Ok(finish_job(job, container, config, timer, stats))
+}

@@ -1,0 +1,222 @@
+//! The SupMR runtime: the ingest chunk pipeline.
+//!
+//! Implements the paper's pseudo-code (§III-B) directly:
+//!
+//! ```text
+//! partition input into ingest chunks
+//! ingest 1st chunk
+//! for each ingest chunk do
+//!     create thread to ingest next chunk
+//!     run mappers on previous chunk
+//!     destroy thread
+//! end
+//! run mappers on last chunk
+//! ```
+//!
+//! A job over n chunks executes n+1 rounds: round 0 ingests chunk 0
+//! serially (nothing else to overlap with); each subsequent round runs a
+//! full map wave on chunk *i* while a dedicated ingest thread reads chunk
+//! *i+1* (double-buffering). The intermediate container is created once
+//! and **persists across every map round** (§III-C) — each wave's local
+//! emitters absorb into the same shared container.
+//!
+//! Two extensions beyond the paper's prototype live here as well:
+//!
+//! * **Round feedback** — each round's measured ingest/map durations are
+//!   handed back to the chunker, which is how
+//!   [`Chunking::Adaptive`] retunes its chunk size online (the paper's
+//!   future-work feedback loop).
+//! * **Deeper prefetch** — `JobConfig::prefetch_depth > 1` replaces the
+//!   per-round create/destroy ingest thread with one long-lived ingest
+//!   thread pushing into a bounded buffer of that depth (N-buffering
+//!   instead of double-buffering), an ablatable design variant.
+
+use super::{finish_job, map_wave, Input, JobConfig, JobResult, JobStats};
+use crate::api::MapReduce;
+use crate::chunk::{
+    AdaptiveChunker, Chunker, Chunking, HybridChunker, InterFileChunker, IntraFileChunker,
+    RoundFeedback,
+};
+use std::io;
+use std::time::Instant;
+use supmr_metrics::{Phase, PhaseTimer};
+
+/// Build the chunker matching the configured strategy, rejecting
+/// mismatched input shapes: inter-file and adaptive chunking need a
+/// stream, intra-file and hybrid chunking need a file set.
+fn make_chunker(input: Input, config: &JobConfig) -> io::Result<Box<dyn Chunker>> {
+    let mismatch =
+        |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+    match (config.chunking, input) {
+        (Chunking::Inter { chunk_bytes }, Input::Stream(s)) => Ok(Box::new(
+            InterFileChunker::new(s, chunk_bytes, config.record_format),
+        )),
+        (Chunking::Adaptive(adaptive), Input::Stream(s)) => Ok(Box::new(
+            AdaptiveChunker::new(s, config.record_format, adaptive),
+        )),
+        (Chunking::Intra { files_per_chunk }, Input::Files(f)) => {
+            Ok(Box::new(IntraFileChunker::new(f, files_per_chunk)))
+        }
+        (Chunking::Hybrid { chunk_bytes }, Input::Files(f)) => Ok(Box::new(
+            HybridChunker::new(f, chunk_bytes, config.record_format),
+        )),
+        (Chunking::Inter { .. } | Chunking::Adaptive(_), Input::Files(_)) => {
+            mismatch("inter-file/adaptive chunking requires a stream input; got a file set")
+        }
+        (Chunking::Intra { .. } | Chunking::Hybrid { .. }, Input::Stream(_)) => {
+            mismatch("intra-file/hybrid chunking requires a file-set input; got a stream")
+        }
+        (Chunking::None, _) => mismatch("pipeline runtime requires a chunking strategy"),
+    }
+}
+
+/// Execute `job` on the ingest chunk pipeline (`run_ingestMR()` in the
+/// paper's API).
+pub fn run<J: MapReduce>(
+    job: &J,
+    input: Input,
+    config: &JobConfig,
+) -> io::Result<JobResult<J::Key, J::Output>> {
+    let chunker = make_chunker(input, config)?;
+    if config.prefetch_depth > 1 {
+        run_buffered(job, chunker, config)
+    } else {
+        run_double_buffered(job, chunker, config)
+    }
+}
+
+/// The paper's pipeline: one ingest thread per round (double buffering).
+fn run_double_buffered<J: MapReduce>(
+    job: &J,
+    mut chunker: Box<dyn Chunker>,
+    config: &JobConfig,
+) -> io::Result<JobResult<J::Key, J::Output>> {
+    let mut timer = PhaseTimer::start_job();
+    timer.mark_fused();
+    let mut stats = JobStats::default();
+    // Created once, persists across all map rounds.
+    let container = job.make_container();
+
+    // Round 0: ingest the first chunk serially.
+    timer.begin(Phase::Ingest);
+    let mut current = chunker.next_chunk()?;
+    timer.end(Phase::Ingest);
+
+    while let Some(chunk) = current.take() {
+        stats.ingest_chunks += 1;
+        stats.bytes_ingested += chunk.len() as u64;
+        stats.map_rounds += 1;
+
+        timer.begin(Phase::Ingest);
+        timer.begin(Phase::Map);
+        // "create thread to ingest next chunk / run mappers on previous
+        // chunk / destroy thread" — the scope is the create/destroy.
+        let (next, round) = std::thread::scope(|scope| {
+            let ingest = scope.spawn(|| {
+                let t0 = Instant::now();
+                let next = chunker.next_chunk();
+                (next, t0.elapsed())
+            });
+            let t0 = Instant::now();
+            let outcome = map_wave(job, &container, &chunk, config);
+            let map = t0.elapsed();
+            stats.map_tasks += outcome.tasks;
+            stats.add_wave(outcome);
+            let (next, ingest_time) = ingest.join().expect("ingest thread panicked");
+            let feedback =
+                RoundFeedback { chunk_bytes: chunk.len() as u64, ingest: ingest_time, map };
+            next.map(|n| (n, feedback))
+        })?;
+        stats.threads_spawned += 1; // the ingest thread
+        timer.end(Phase::Map);
+        timer.end(Phase::Ingest);
+
+        chunker.feedback(round);
+        stats.rounds.push(super::RoundRecord {
+            chunk_bytes: round.chunk_bytes,
+            ingest: round.ingest,
+            map: round.map,
+        });
+        current = next;
+    }
+
+    Ok(finish_job(job, container, config, timer, stats))
+}
+
+/// N-buffered variant: a single long-lived ingest thread streams chunks
+/// through a bounded channel of `prefetch_depth` chunks while the main
+/// thread runs map waves. Round feedback is not delivered here — the
+/// chunker lives on the ingest thread — so adaptive chunking pairs with
+/// `prefetch_depth == 1` (enforced by config validation).
+fn run_buffered<J: MapReduce>(
+    job: &J,
+    mut chunker: Box<dyn Chunker>,
+    config: &JobConfig,
+) -> io::Result<JobResult<J::Key, J::Output>> {
+    let mut timer = PhaseTimer::start_job();
+    timer.mark_fused();
+    let mut stats = JobStats::default();
+    let container = job.make_container();
+
+    timer.begin(Phase::Ingest);
+    timer.begin(Phase::Map);
+    let ingest_result: io::Result<()> = std::thread::scope(|scope| {
+        let (tx, rx) = crossbeam_channel::bounded::<crate::chunk::IngestChunk>(
+            config.prefetch_depth,
+        );
+        let producer = scope.spawn(move || -> io::Result<()> {
+            while let Some(chunk) = chunker.next_chunk()? {
+                if tx.send(chunk).is_err() {
+                    break; // consumer went away (map-side panic)
+                }
+            }
+            Ok(())
+        });
+        for chunk in rx {
+            stats.ingest_chunks += 1;
+            stats.bytes_ingested += chunk.len() as u64;
+            stats.map_rounds += 1;
+            let outcome = map_wave(job, &container, &chunk, config);
+            stats.map_tasks += outcome.tasks;
+            stats.add_wave(outcome);
+        }
+        producer.join().expect("ingest thread panicked")
+    });
+    ingest_result?;
+    stats.threads_spawned += 1; // the long-lived ingest thread
+    timer.end(Phase::Map);
+    timer.end(Phase::Ingest);
+
+    Ok(finish_job(job, container, config, timer, stats))
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
+mod tests {
+    use super::*;
+    use crate::chunk::{AdaptiveConfig, Chunking};
+    use supmr_storage::{MemFileSet, MemSource};
+
+    #[test]
+    fn chunker_construction_validates_shape() {
+        let mut config = JobConfig::default();
+        config.chunking = Chunking::Inter { chunk_bytes: 64 };
+        assert!(make_chunker(Input::stream(MemSource::from(vec![0u8; 10])), &config).is_ok());
+        assert!(make_chunker(Input::files(MemFileSet::new(vec![])), &config).is_err());
+
+        config.chunking = Chunking::Intra { files_per_chunk: 2 };
+        assert!(make_chunker(Input::files(MemFileSet::new(vec![])), &config).is_ok());
+        assert!(make_chunker(Input::stream(MemSource::from(vec![])), &config).is_err());
+
+        config.chunking = Chunking::Hybrid { chunk_bytes: 100 };
+        assert!(make_chunker(Input::files(MemFileSet::new(vec![])), &config).is_ok());
+        assert!(make_chunker(Input::stream(MemSource::from(vec![])), &config).is_err());
+
+        config.chunking = Chunking::Adaptive(AdaptiveConfig::default());
+        assert!(make_chunker(Input::stream(MemSource::from(vec![])), &config).is_ok());
+        assert!(make_chunker(Input::files(MemFileSet::new(vec![])), &config).is_err());
+
+        config.chunking = Chunking::None;
+        assert!(make_chunker(Input::stream(MemSource::from(vec![])), &config).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the containers: whatever batches are absorbed,
+//! from however many concurrent workers, the drained partitions must be
+//! exactly the combined multiset — containers may reorganize data, never
+//! create, drop, or double-count it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use supmr::api::Emit;
+use supmr::combiner::{Buffer, Count, Sum};
+use supmr::container::{ArrayContainer, Container, HashContainer, UnlockedContainer};
+
+type Batch = Vec<(u8, u16)>;
+
+fn arb_batches() -> impl Strategy<Value = Vec<Batch>> {
+    vec(vec((any::<u8>(), any::<u16>()), 0..60), 0..8)
+}
+
+/// Reference: fold all batches with a plain map.
+fn reference_sums(batches: &[Batch]) -> HashMap<u8, u64> {
+    let mut m: HashMap<u8, u64> = HashMap::new();
+    for b in batches {
+        for &(k, v) in b {
+            *m.entry(k).or_default() += v as u64;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_container_sum_equals_reference(batches in arb_batches(), parts in 1usize..6) {
+        let c: HashContainer<u8, u64, Sum> = HashContainer::new();
+        std::thread::scope(|s| {
+            for batch in &batches {
+                let c = &c;
+                s.spawn(move || {
+                    let mut local = c.local();
+                    for &(k, v) in batch {
+                        local.emit(k, v as u64);
+                    }
+                    c.absorb(local);
+                });
+            }
+        });
+        let expected = reference_sums(&batches);
+        prop_assert_eq!(c.distinct_keys(), expected.len());
+        let drained: HashMap<u8, u64> =
+            c.into_partitions(parts).into_iter().flatten().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn hash_container_buffer_preserves_multiset(batches in arb_batches()) {
+        let c: HashContainer<u8, u16, Buffer> = HashContainer::new();
+        for batch in &batches {
+            let mut local = c.local();
+            for &(k, v) in batch {
+                local.emit(k, v);
+            }
+            c.absorb(local);
+        }
+        let mut drained: Vec<(u8, u16)> = c
+            .into_partitions(3)
+            .into_iter()
+            .flatten()
+            .flat_map(|(k, vs)| vs.into_iter().map(move |v| (k, v)))
+            .collect();
+        let mut expected: Vec<(u8, u16)> =
+            batches.iter().flatten().copied().collect();
+        drained.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn array_container_counts_equal_reference(batches in arb_batches(), parts in 1usize..6) {
+        let c: ArrayContainer<u16, Count> = ArrayContainer::new(256);
+        for batch in &batches {
+            let mut local = c.local();
+            for &(k, v) in batch {
+                local.emit(k as usize, v);
+            }
+            c.absorb(local);
+        }
+        let expected: HashMap<usize, u64> = {
+            let mut m: HashMap<usize, u64> = HashMap::new();
+            for b in &batches {
+                for &(k, _) in b {
+                    *m.entry(k as usize).or_default() += 1;
+                }
+            }
+            m
+        };
+        let parts = c.into_partitions(parts);
+        // Array partitions come out key-ordered.
+        let keys: Vec<usize> = parts.iter().flatten().map(|(k, _)| *k).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        let drained: HashMap<usize, u64> = parts.into_iter().flatten().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn unlocked_container_preserves_runs_verbatim(batches in arb_batches()) {
+        let c: UnlockedContainer<u8, u16> = UnlockedContainer::new();
+        for batch in &batches {
+            let mut local = <UnlockedContainer<u8, u16> as Container<
+                u8,
+                u16,
+                supmr::combiner::Identity,
+            >>::local(&c);
+            for &(k, v) in batch {
+                local.emit(k, v);
+            }
+            <UnlockedContainer<u8, u16> as Container<u8, u16, supmr::combiner::Identity>>::absorb(
+                &c, local,
+            );
+        }
+        let non_empty: Vec<&Batch> = batches.iter().filter(|b| !b.is_empty()).collect();
+        prop_assert_eq!(c.run_count(), non_empty.len());
+        let parts = <UnlockedContainer<u8, u16> as Container<
+            u8,
+            u16,
+            supmr::combiner::Identity,
+        >>::into_partitions(c, 1);
+        // Sequential absorbs preserve batch order and contents exactly.
+        prop_assert_eq!(parts.len(), non_empty.len());
+        for (run, batch) in parts.iter().zip(non_empty) {
+            prop_assert_eq!(run, batch);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the extension features: adaptive chunk sizing
+//! (the paper's future-work feedback loop), hybrid inter/intra-file
+//! chunking, and N-deep prefetch. All must be observationally identical
+//! to the fixed double-buffered pipeline — they reorganize scheduling,
+//! never results.
+
+use supmr::api::{Emit, MapReduce};
+use supmr::chunk::AdaptiveConfig;
+use supmr::combiner::Sum;
+use supmr::container::HashContainer;
+use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::Chunking;
+use supmr_storage::{MemFileSet, MemSource, ThrottledSource};
+use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
+
+struct WordCount;
+
+impl MapReduce for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, acc: u64) -> u64 {
+        acc
+    }
+}
+
+fn config() -> JobConfig {
+    JobConfig { map_workers: 3, reduce_workers: 3, split_bytes: 4096, ..JobConfig::default() }
+}
+
+fn text(bytes: usize) -> Vec<u8> {
+    TextGen::new(TextGenConfig::default()).generate_bytes(17, bytes)
+}
+
+#[test]
+fn adaptive_chunking_end_to_end_matches_baseline() {
+    let data = text(300_000);
+    let baseline =
+        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config()).unwrap();
+
+    let mut cfg = config();
+    cfg.chunking = Chunking::Adaptive(AdaptiveConfig {
+        initial_chunk_bytes: 16 * 1024,
+        min_chunk_bytes: 2 * 1024,
+        max_chunk_bytes: 128 * 1024,
+        overhead_fraction: 0.05,
+    });
+    // Throttle so rounds take measurable time and the controller gets
+    // meaningful feedback.
+    let piped = run_job(
+        WordCount,
+        Input::stream(ThrottledSource::new(MemSource::from(data), 8.0 * 1024.0 * 1024.0)),
+        cfg,
+    )
+    .unwrap();
+    assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
+    assert!(piped.stats.ingest_chunks > 1);
+    assert!(piped.timings.is_fused());
+}
+
+#[test]
+fn adaptive_requires_depth_one() {
+    let mut cfg = config();
+    cfg.chunking = Chunking::Adaptive(AdaptiveConfig::default());
+    cfg.prefetch_depth = 4;
+    let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg)
+        .expect_err("adaptive + deep prefetch must be rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+#[test]
+fn hybrid_chunking_end_to_end_matches_baseline() {
+    // Mixed directory: small files plus one big file.
+    let mut files = small_files_corpus(8, 6, 3_000);
+    files.insert(3, text(60_000)); // 20x the target
+    let baseline =
+        run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config()).unwrap();
+
+    let mut cfg = config();
+    cfg.chunking = Chunking::Hybrid { chunk_bytes: 8_000 };
+    let piped = run_job(WordCount, Input::files(MemFileSet::new(files)), cfg).unwrap();
+    assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
+    // The big file alone forces more chunks than intra-file grouping of
+    // 7 files would produce.
+    assert!(piped.stats.ingest_chunks >= 8, "chunks = {}", piped.stats.ingest_chunks);
+}
+
+#[test]
+fn prefetch_depths_agree_and_count_one_ingest_thread() {
+    let data = text(200_000);
+    let run_with_depth = |depth: usize| {
+        let mut cfg = config();
+        cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
+        cfg.prefetch_depth = depth;
+        run_job(WordCount, Input::stream(MemSource::from(data.clone())), cfg).unwrap()
+    };
+    let d1 = run_with_depth(1);
+    let d2 = run_with_depth(2);
+    let d8 = run_with_depth(8);
+    assert_eq!(d1.sorted_pairs(), d2.sorted_pairs());
+    assert_eq!(d1.sorted_pairs(), d8.sorted_pairs());
+    for r in [&d1, &d2, &d8] {
+        assert_eq!(r.stats.ingest_chunks, d1.stats.ingest_chunks);
+        assert_eq!(r.stats.bytes_ingested, data.len() as u64);
+        assert!(r.timings.is_fused());
+    }
+    // Depth 1 spawns one ingest thread per round; deeper prefetch uses
+    // a single long-lived one.
+    assert!(d1.stats.threads_spawned > d8.stats.threads_spawned);
+}
+
+#[test]
+fn zero_prefetch_depth_rejected() {
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 1024 };
+    cfg.prefetch_depth = 0;
+    assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg).is_err());
+}
+
+#[test]
+fn hybrid_with_zero_target_rejected() {
+    let mut cfg = config();
+    cfg.chunking = Chunking::Hybrid { chunk_bytes: 0 };
+    assert!(run_job(WordCount, Input::files(MemFileSet::new(vec![])), cfg).is_err());
+}
+
+#[test]
+fn adaptive_bad_bounds_rejected() {
+    let mut cfg = config();
+    cfg.chunking = Chunking::Adaptive(AdaptiveConfig {
+        initial_chunk_bytes: 1,
+        min_chunk_bytes: 10,
+        max_chunk_bytes: 100,
+        overhead_fraction: 0.05,
+    });
+    assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg).is_err());
+}

@@ -1,0 +1,127 @@
+//! Failure injection: ingest errors must surface as `Err` from
+//! `run_job` — cleanly, from whichever thread hit them — never as
+//! hangs, partial results, or panics. Exercises all three ingest paths
+//! (original, double-buffered pipeline, N-buffered pipeline) and both
+//! input shapes.
+
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::Sum;
+use supmr::container::HashContainer;
+use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::Chunking;
+use supmr_storage::{FaultyFileSet, FaultySource, MemFileSet, MemSource};
+use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
+use std::io::ErrorKind;
+
+struct WordCount;
+
+impl MapReduce for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &String, acc: u64) -> u64 {
+        acc
+    }
+}
+
+fn text(bytes: usize) -> Vec<u8> {
+    TextGen::new(TextGenConfig::default()).generate_bytes(2, bytes)
+}
+
+fn config() -> JobConfig {
+    JobConfig { map_workers: 2, reduce_workers: 2, split_bytes: 4096, ..JobConfig::default() }
+}
+
+#[test]
+fn original_runtime_surfaces_ingest_errors() {
+    let source = FaultySource::new(MemSource::from(text(100_000)), 50_000, ErrorKind::BrokenPipe);
+    let err = run_job(WordCount, Input::stream(source), config()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+}
+
+#[test]
+fn double_buffered_pipeline_surfaces_mid_stream_errors() {
+    // Fault lands several chunks in, so the error happens on the
+    // overlapped ingest thread while a map wave is running.
+    let source = FaultySource::new(MemSource::from(text(200_000)), 90_000, ErrorKind::BrokenPipe);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
+    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+}
+
+#[test]
+fn buffered_pipeline_surfaces_mid_stream_errors() {
+    let source = FaultySource::new(MemSource::from(text(200_000)), 90_000, ErrorKind::TimedOut);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
+    cfg.prefetch_depth = 4;
+    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::TimedOut);
+}
+
+#[test]
+fn fault_on_first_chunk_fails_before_any_round() {
+    let source = FaultySource::new(MemSource::from(text(50_000)), 0, ErrorKind::NotFound);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
+    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::NotFound);
+}
+
+#[test]
+fn intra_file_pipeline_surfaces_file_errors() {
+    let files = small_files_corpus(6, 9, 2_000);
+    let faulty = FaultyFileSet::new(MemFileSet::new(files), 5, ErrorKind::PermissionDenied);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Intra { files_per_chunk: 2 };
+    let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+}
+
+#[test]
+fn hybrid_pipeline_surfaces_file_errors() {
+    let files = small_files_corpus(6, 6, 2_000);
+    let faulty = FaultyFileSet::new(MemFileSet::new(files), 3, ErrorKind::PermissionDenied);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Hybrid { chunk_bytes: 3_000 };
+    let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+}
+
+#[test]
+fn original_runtime_surfaces_file_errors() {
+    let files = small_files_corpus(6, 4, 1_000);
+    let faulty = FaultyFileSet::new(MemFileSet::new(files), 0, ErrorKind::Interrupted);
+    let err = run_job(WordCount, Input::files(faulty), config()).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Interrupted);
+}
+
+#[test]
+fn fault_beyond_input_never_fires() {
+    // A fault past EOF must be unreachable: job completes normally.
+    let data = text(30_000);
+    let expected =
+        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config()).unwrap();
+    let source =
+        FaultySource::new(MemSource::from(data), u64::MAX, ErrorKind::BrokenPipe);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
+    let result = run_job(WordCount, Input::stream(source), cfg).unwrap();
+    assert_eq!(result.sorted_pairs(), expected.sorted_pairs());
+}

@@ -1,0 +1,346 @@
+//! End-to-end runtime tests: the original runtime and the SupMR ingest
+//! chunk pipeline must produce identical results for every application
+//! shape, across chunk sizes, merge backends, and input edge cases. This
+//! is the Fig. 2/Fig. 4 contract — the pipeline reorganizes *when* data
+//! moves, never *what* is computed.
+
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::{Count, Identity, Sum};
+use supmr::container::{ArrayContainer, HashContainer, UnlockedContainer};
+use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::Chunking;
+use supmr_storage::{MemFileSet, MemSource, RecordFormat};
+use supmr_workloads::{small_files_corpus, TeraGen, TextGen, TextGenConfig, TERA_KEY_LEN};
+
+// ---------------------------------------------------------------- jobs
+
+struct WordCount;
+
+impl MapReduce for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, acc: u64) -> u64 {
+        acc
+    }
+}
+
+/// Terasort: unique 10-byte keys, unlocked container, sorted output.
+struct Sort;
+
+impl MapReduce for Sort {
+    type Key = Vec<u8>;
+    type Value = Vec<u8>;
+    type Combiner = Identity;
+    type Output = Vec<u8>;
+    type Container = UnlockedContainer<Vec<u8>, Vec<u8>>;
+
+    fn make_container(&self) -> Self::Container {
+        UnlockedContainer::new()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<Vec<u8>, Vec<u8>>) {
+        for rec in RecordFormat::CrLf.records(split) {
+            if rec.len() >= TERA_KEY_LEN {
+                emit.emit(rec[..TERA_KEY_LEN].to_vec(), rec.to_vec());
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &Vec<u8>, value: Vec<u8>) -> Vec<u8> {
+        value
+    }
+}
+
+/// Histogram over byte values: dense usize keys, array container.
+struct ByteHistogram;
+
+impl MapReduce for ByteHistogram {
+    type Key = usize;
+    type Value = u8;
+    type Combiner = Count;
+    type Output = u64;
+    type Container = ArrayContainer<u8, Count>;
+
+    fn make_container(&self) -> Self::Container {
+        ArrayContainer::new(256)
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<usize, u8>) {
+        for &b in split {
+            emit.emit(b as usize, b);
+        }
+    }
+
+    fn reduce(&self, _key: &usize, count: u64) -> u64 {
+        count
+    }
+}
+
+// ------------------------------------------------------------- helpers
+
+fn base_config() -> JobConfig {
+    JobConfig {
+        map_workers: 4,
+        reduce_workers: 4,
+        split_bytes: 512,
+        ..JobConfig::default()
+    }
+}
+
+fn text_input(bytes: usize) -> Vec<u8> {
+    TextGen::new(TextGenConfig { vocabulary: 200, exponent: 1.0, line_len: 60 })
+        .generate_bytes(11, bytes)
+}
+
+// --------------------------------------------------------------- tests
+
+#[test]
+fn wordcount_pipeline_equals_original_across_chunk_sizes() {
+    let data = text_input(20_000);
+    let baseline = run_job(
+        WordCount,
+        Input::stream(MemSource::from(data.clone())),
+        base_config(),
+    )
+    .unwrap();
+    assert!(baseline.stats.ingest_chunks == 1 && baseline.stats.map_rounds == 1);
+
+    for chunk_bytes in [256u64, 1000, 4096, 100_000] {
+        let mut config = base_config();
+        config.chunking = Chunking::Inter { chunk_bytes };
+        let piped =
+            run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap();
+        assert_eq!(
+            piped.sorted_pairs(),
+            baseline.sorted_pairs(),
+            "chunk_bytes = {chunk_bytes}"
+        );
+        assert_eq!(piped.stats.intermediate_pairs, baseline.stats.intermediate_pairs);
+        assert_eq!(piped.stats.bytes_ingested, data.len() as u64);
+        if chunk_bytes < data.len() as u64 {
+            assert!(piped.stats.ingest_chunks > 1);
+            assert_eq!(piped.stats.map_rounds, piped.stats.ingest_chunks);
+            assert!(piped.timings.is_fused());
+        }
+    }
+}
+
+#[test]
+fn wordcount_counts_are_exact() {
+    // Hand-checkable input.
+    let data = b"apple pear apple\nplum apple pear\n".to_vec();
+    let result = run_job(WordCount, Input::stream(MemSource::from(data)), base_config()).unwrap();
+    assert_eq!(
+        result.sorted_pairs(),
+        vec![
+            ("apple".to_string(), 3),
+            ("pear".to_string(), 2),
+            ("plum".to_string(), 1)
+        ]
+    );
+    assert_eq!(result.stats.intermediate_pairs, 6);
+    assert_eq!(result.stats.distinct_keys, 3);
+    assert_eq!(result.stats.output_pairs, 3);
+}
+
+#[test]
+fn intra_file_pipeline_equals_original_on_file_sets() {
+    let files = small_files_corpus(3, 13, 700);
+    let baseline = run_job(
+        WordCount,
+        Input::files(MemFileSet::new(files.clone())),
+        base_config(),
+    )
+    .unwrap();
+
+    for files_per_chunk in [1usize, 4, 13, 50] {
+        let mut config = base_config();
+        config.chunking = Chunking::Intra { files_per_chunk };
+        let piped =
+            run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config).unwrap();
+        assert_eq!(
+            piped.sorted_pairs(),
+            baseline.sorted_pairs(),
+            "files_per_chunk = {files_per_chunk}"
+        );
+        let expected_chunks = 13_usize.div_ceil(files_per_chunk);
+        assert_eq!(piped.stats.ingest_chunks as usize, expected_chunks);
+    }
+}
+
+#[test]
+fn sort_produces_globally_sorted_output_on_both_runtimes_and_merges() {
+    let gen = TeraGen::new(21, 300);
+    let data = gen.generate_all();
+
+    let run = |chunking: Chunking, merge: MergeMode| {
+        let mut config = base_config();
+        config.record_format = RecordFormat::CrLf;
+        config.split_bytes = 1000;
+        config.chunking = chunking;
+        config.merge = merge;
+        run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap()
+    };
+
+    let baseline = run(Chunking::None, MergeMode::PairwiseRounds);
+    let supmr = run(Chunking::Inter { chunk_bytes: 5000 }, MergeMode::PWay { ways: 4 });
+
+    // Both sorted, same multiset.
+    for r in [&baseline, &supmr] {
+        assert_eq!(r.pairs.len(), 300);
+        assert!(r.pairs.windows(2).all(|w| w[0].0 <= w[1].0), "output must be sorted");
+    }
+    assert_eq!(baseline.pairs.iter().map(|p| &p.0).collect::<Vec<_>>(),
+               supmr.pairs.iter().map(|p| &p.0).collect::<Vec<_>>());
+
+    // The headline merge-work claim: pairwise rounds re-scan, p-way does
+    // a single pass.
+    assert!(baseline.stats.merge_rounds >= 2);
+    assert_eq!(supmr.stats.merge_rounds, 1);
+    assert!(baseline.stats.merge_elements_moved > supmr.stats.merge_elements_moved);
+    assert_eq!(supmr.stats.merge_elements_moved, 300);
+}
+
+#[test]
+fn histogram_on_array_container_both_runtimes() {
+    let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    let mut config = base_config();
+    config.record_format = RecordFormat::None;
+    let baseline =
+        run_job(ByteHistogram, Input::stream(MemSource::from(data.clone())), config.clone())
+            .unwrap();
+    config.chunking = Chunking::Inter { chunk_bytes: 777 };
+    let piped = run_job(ByteHistogram, Input::stream(MemSource::from(data)), config).unwrap();
+    assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
+    let total: u64 = baseline.pairs.iter().map(|(_, c)| c).sum();
+    assert_eq!(total, 10_000);
+    assert_eq!(baseline.stats.distinct_keys, 251);
+}
+
+#[test]
+fn empty_inputs_produce_empty_results() {
+    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), base_config())
+        .unwrap();
+    assert!(r.pairs.is_empty());
+    assert_eq!(r.stats.bytes_ingested, 0);
+
+    let mut config = base_config();
+    config.chunking = Chunking::Inter { chunk_bytes: 64 };
+    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    assert!(r.pairs.is_empty());
+    assert_eq!(r.stats.ingest_chunks, 0);
+
+    let mut config = base_config();
+    config.chunking = Chunking::Intra { files_per_chunk: 3 };
+    let r = run_job(WordCount, Input::files(MemFileSet::new(vec![])), config).unwrap();
+    assert!(r.pairs.is_empty());
+}
+
+#[test]
+fn single_record_larger_than_chunk_size() {
+    // One 5KB line with 100-byte chunks: the chunker must deliver the
+    // whole record in one chunk and the job must still count correctly.
+    let mut data = vec![b'x'; 5000];
+    data.push(b'\n');
+    data.extend_from_slice(b"tail word\n");
+    let mut config = base_config();
+    config.chunking = Chunking::Inter { chunk_bytes: 100 };
+    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    let pairs = r.sorted_pairs();
+    assert_eq!(pairs.len(), 3); // "x...x", "tail", "word"
+    assert!(pairs.iter().any(|(k, c)| k == "tail" && *c == 1));
+}
+
+#[test]
+fn mismatched_chunking_and_input_shape_is_an_error() {
+    let mut config = base_config();
+    config.chunking = Chunking::Intra { files_per_chunk: 2 };
+    let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config)
+        .expect_err("stream input with intra-file chunking must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+
+    let mut config = base_config();
+    config.chunking = Chunking::Inter { chunk_bytes: 64 };
+    let err = run_job(WordCount, Input::files(MemFileSet::new(vec![])), config)
+        .expect_err("file input with inter-file chunking must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+#[test]
+fn invalid_configs_are_rejected_before_running() {
+    for config in [
+        JobConfig { map_workers: 0, ..base_config() },
+        JobConfig { split_bytes: 0, ..base_config() },
+        JobConfig { chunking: Chunking::Inter { chunk_bytes: 0 }, ..base_config() },
+        JobConfig { merge: MergeMode::PWay { ways: 0 }, ..base_config() },
+    ] {
+        assert!(
+            run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config).is_err()
+        );
+    }
+}
+
+#[test]
+fn pipeline_counts_rounds_and_threads() {
+    let data = text_input(10_000);
+    let mut config = base_config();
+    config.chunking = Chunking::Inter { chunk_bytes: 1000 };
+    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    assert!(r.stats.ingest_chunks >= 9);
+    assert_eq!(r.stats.map_rounds, r.stats.ingest_chunks);
+    // Threads: at least one ingest thread per round plus map waves.
+    assert!(r.stats.threads_spawned as u32 >= 2 * r.stats.map_rounds);
+    assert!(r.stats.map_tasks >= r.stats.map_rounds as u64);
+}
+
+#[test]
+fn merge_modes_agree_on_content() {
+    let gen = TeraGen::new(5, 200);
+    let data = gen.generate_all();
+    let mut keys_by_mode = Vec::new();
+    for merge in [MergeMode::Unsorted, MergeMode::PairwiseRounds, MergeMode::PWay { ways: 3 }] {
+        let mut config = base_config();
+        config.record_format = RecordFormat::CrLf;
+        config.merge = merge;
+        let r = run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap();
+        let mut keys: Vec<Vec<u8>> = r.pairs.into_iter().map(|(k, _)| k).collect();
+        if matches!(merge, MergeMode::Unsorted) {
+            keys.sort();
+        }
+        keys_by_mode.push(keys);
+    }
+    assert_eq!(keys_by_mode[0], keys_by_mode[1]);
+    assert_eq!(keys_by_mode[1], keys_by_mode[2]);
+}
+
+#[test]
+fn utilization_sampling_attaches_a_trace() {
+    let data = text_input(30_000);
+    let mut config = base_config();
+    config.sample_utilization = Some(std::time::Duration::from_millis(5));
+    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    let trace = r.trace.expect("trace requested");
+    if std::path::Path::new("/proc/stat").exists() {
+        // The job may be too fast for many samples, but the plumbing
+        // must deliver a well-formed trace object.
+        for s in trace.samples() {
+            assert!(s.total() <= 100.0 + 1e-6);
+        }
+    }
+}

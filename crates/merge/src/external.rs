@@ -1,0 +1,344 @@
+//! External sorting: spill sorted runs to disk, stream-merge them back.
+//!
+//! The paper's p-way merge citation — Salzberg, *"Merging Sorted Runs
+//! Using Large Main Memory"* — is an external-merge paper: the classic
+//! discipline for inputs that exceed RAM is to sort bounded in-memory
+//! runs, spill each to a run file, and k-way merge the run streams. The
+//! in-memory SupMR runtime never needs this on the paper's 384GB box,
+//! but a library a downstream user adopts for "large batch computations"
+//! does; this module provides it on top of the same [`LoserTree`].
+//!
+//! Records are opaque byte strings ordered lexicographically (the
+//! Terasort order), stored length-prefixed (`u32` little-endian) in the
+//! run files.
+
+use crate::loser_tree::merge_iterators;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes one sorted run as a length-prefixed record file.
+pub struct RunWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    records: u64,
+}
+
+impl RunWriter {
+    /// Create a run file at `path` (parent directories are created).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<RunWriter> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(RunWriter { out: BufWriter::new(File::create(&path)?), path, records: 0 })
+    }
+
+    /// Append one record (caller guarantees run order).
+    ///
+    /// # Errors
+    /// Fails for records longer than `u32::MAX` bytes or on I/O errors.
+    pub fn push(&mut self, record: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(record.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "record too large"))?;
+        self.out.write_all(&len.to_le_bytes())?;
+        self.out.write_all(record)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush and close, returning the path and record count.
+    pub fn finish(mut self) -> io::Result<(PathBuf, u64)> {
+        self.out.flush()?;
+        Ok((self.path, self.records))
+    }
+}
+
+/// Streams the records of one run file.
+pub struct RunReader {
+    input: BufReader<File>,
+    /// Deferred I/O error (iterators can't return `Result` cleanly; the
+    /// merge surfaces this after iteration).
+    error: Option<io::Error>,
+}
+
+impl RunReader {
+    /// Open a run file.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<RunReader> {
+        Ok(RunReader { input: BufReader::new(File::open(path)?), error: None })
+    }
+
+    /// Any I/O error encountered while iterating.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+}
+
+impl Iterator for RunReader {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        if self.error.is_some() {
+            return None;
+        }
+        let mut len_buf = [0u8; 4];
+        match self.input.read_exact(&mut len_buf) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+            Ok(()) => {}
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        // A corrupt prefix must surface as an error, not a giant
+        // allocation: no writer in this module produces records beyond
+        // this bound.
+        const MAX_RECORD: usize = 256 * 1024 * 1024;
+        if len > MAX_RECORD {
+            self.error = Some(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt record length {len}"),
+            ));
+            return None;
+        }
+        let mut rec = vec![0u8; len];
+        if let Err(e) = self.input.read_exact(&mut rec) {
+            self.error = Some(e);
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+/// Externally sort a stream of byte records: buffer up to
+/// `run_budget_bytes` in memory, sort, spill as a run file under `dir`,
+/// repeat; returns the run paths with their record counts (the counts
+/// let callers detect truncated merges).
+///
+/// # Panics
+/// Panics if `run_budget_bytes == 0`.
+pub fn spill_sorted_runs(
+    records: impl Iterator<Item = Vec<u8>>,
+    run_budget_bytes: usize,
+    dir: impl AsRef<Path>,
+) -> io::Result<Vec<(PathBuf, u64)>> {
+    assert!(run_budget_bytes > 0, "run budget must be non-zero");
+    let dir = dir.as_ref();
+    let mut paths = Vec::new();
+    let mut buffer: Vec<Vec<u8>> = Vec::new();
+    let mut buffered_bytes = 0usize;
+
+    let spill = |buffer: &mut Vec<Vec<u8>>,
+                 paths: &mut Vec<(PathBuf, u64)>|
+     -> io::Result<()> {
+        if buffer.is_empty() {
+            return Ok(());
+        }
+        buffer.sort_unstable();
+        let path = dir.join(format!("run-{:05}.dat", paths.len()));
+        let mut w = RunWriter::create(&path)?;
+        for rec in buffer.drain(..) {
+            w.push(&rec)?;
+        }
+        paths.push(w.finish()?);
+        Ok(())
+    };
+
+    for rec in records {
+        buffered_bytes += rec.len() + 4;
+        buffer.push(rec);
+        if buffered_bytes >= run_budget_bytes {
+            spill(&mut buffer, &mut paths)?;
+            buffered_bytes = 0;
+        }
+    }
+    spill(&mut buffer, &mut paths)?;
+    Ok(paths)
+}
+
+/// Merge previously-spilled run files into one sorted record stream.
+/// The merge is streaming: memory use is one buffered record per run.
+///
+/// Caveat: mid-stream I/O errors end the affected run silently (the
+/// iterator protocol has nowhere to put them). Callers that must detect
+/// truncation should compare the merged record count against the counts
+/// returned by [`spill_sorted_runs`], as [`external_sort`] does.
+pub fn merge_run_files(
+    paths: &[PathBuf],
+) -> io::Result<impl Iterator<Item = Vec<u8>>> {
+    let readers = paths
+        .iter()
+        .map(RunReader::open)
+        .collect::<io::Result<Vec<RunReader>>>()?;
+    Ok(merge_iterators(readers))
+}
+
+/// Convenience: external sort end-to-end. Spills runs under `dir`,
+/// merges them, and returns the fully sorted records (materialized).
+/// Run files are removed afterwards. A merge that comes back short
+/// (truncated or unreadable run file) is an error, never a silently
+/// smaller output.
+pub fn external_sort(
+    records: impl Iterator<Item = Vec<u8>>,
+    run_budget_bytes: usize,
+    dir: impl AsRef<Path>,
+) -> io::Result<Vec<Vec<u8>>> {
+    let dir = dir.as_ref();
+    let runs = spill_sorted_runs(records, run_budget_bytes, dir)?;
+    let paths: Vec<PathBuf> = runs.iter().map(|(p, _)| p.clone()).collect();
+    let expected: u64 = runs.iter().map(|(_, n)| n).sum();
+    let merged: Vec<Vec<u8>> = merge_run_files(&paths)?.collect();
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+    if merged.len() as u64 != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            format!(
+                "external merge returned {} of {expected} records (truncated run file?)",
+                merged.len()
+            ),
+        ));
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("supmr-external-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn random_records(n: usize, seed: u64) -> Vec<Vec<u8>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(0..40);
+                (0..len).map(|_| rng.gen::<u8>()).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_file_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let mut w = RunWriter::create(dir.join("r.dat")).unwrap();
+        let records = vec![b"".to_vec(), b"alpha".to_vec(), b"beta".to_vec()];
+        for r in &records {
+            w.push(r).unwrap();
+        }
+        let (path, count) = w.finish().unwrap();
+        assert_eq!(count, 3);
+        let mut reader = RunReader::open(&path).unwrap();
+        let got: Vec<Vec<u8>> = reader.by_ref().collect();
+        assert_eq!(got, records);
+        assert!(reader.take_error().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_run_file_reports_an_error() {
+        let dir = temp_dir("truncated");
+        let path = dir.join("bad.dat");
+        // Length prefix says 100 bytes, only 3 present.
+        std::fs::write(&path, [100u32.to_le_bytes().as_slice(), b"abc"].concat()).unwrap();
+        let mut reader = RunReader::open(&path).unwrap();
+        assert!(reader.by_ref().next().is_none());
+        assert!(reader.take_error().is_some(), "truncation must surface");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn external_sort_matches_in_memory_sort() {
+        let dir = temp_dir("sorteq");
+        let records = random_records(5_000, 9);
+        let mut expected = records.clone();
+        expected.sort_unstable();
+        // Budget small enough to force many runs.
+        let sorted = external_sort(records.into_iter(), 4 * 1024, &dir).unwrap();
+        assert_eq!(sorted, expected);
+        // Run files cleaned up.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_produces_multiple_sorted_runs() {
+        let dir = temp_dir("spill");
+        let records = random_records(1_000, 4);
+        let runs = spill_sorted_runs(records.into_iter(), 2 * 1024, &dir).unwrap();
+        assert!(runs.len() > 3, "expected several runs, got {}", runs.len());
+        let total: u64 = runs.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 1_000);
+        for (p, n) in &runs {
+            let run: Vec<Vec<u8>> = RunReader::open(p).unwrap().collect();
+            assert_eq!(run.len() as u64, *n);
+            assert!(run.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_input_yields_no_runs_and_empty_output() {
+        let dir = temp_dir("empty");
+        let runs = spill_sorted_runs(std::iter::empty(), 1024, &dir).unwrap();
+        assert!(runs.is_empty());
+        let sorted = external_sort(std::iter::empty(), 1024, &dir).unwrap();
+        assert!(sorted.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_an_error_not_an_allocation() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join("bad.dat");
+        std::fs::write(&path, u32::MAX.to_le_bytes()).unwrap();
+        let mut reader = RunReader::open(&path).unwrap();
+        assert!(reader.by_ref().next().is_none());
+        let err = reader.take_error().expect("corruption must surface");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_is_stable_across_runs_with_duplicates() {
+        let dir = temp_dir("dups");
+        let records: Vec<Vec<u8>> = (0..200).map(|i| vec![(i % 3) as u8]).collect();
+        let sorted = external_sort(records.into_iter(), 64, &dir).unwrap();
+        assert_eq!(sorted.len(), 200);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn terasort_records_sort_externally() {
+        let dir = temp_dir("tera");
+        // Length-100 CRLF records sort by their whole body, which starts
+        // with the 10-byte key — the Terasort order.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let records: Vec<Vec<u8>> = (0..500)
+            .map(|_| {
+                let mut r = vec![0u8; 100];
+                for b in r.iter_mut().take(10) {
+                    *b = rng.gen_range(b'A'..=b'Z');
+                }
+                r[98] = b'\r';
+                r[99] = b'\n';
+                r
+            })
+            .collect();
+        let sorted = external_sort(records.clone().into_iter(), 3_000, &dir).unwrap();
+        let mut expected = records;
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

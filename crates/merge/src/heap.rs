@@ -1,0 +1,120 @@
+//! Binary-heap k-way merge — the textbook alternative to the loser tree.
+//!
+//! Kept as an independently-implemented comparator for the loser tree:
+//! same asymptotics (`O(N log k)`), but each element performs a
+//! sift-down *and* sift-up against ~2·log₂k candidates instead of the
+//! loser tree's single root-to-leaf replay, so the tree typically does
+//! ~half the comparisons. The benches quantify it; the tests use the
+//! heap as an oracle for the tree.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Entry ordering: by head element, ties by run index (stability).
+struct Entry<T: Ord> {
+    head: T,
+    run: usize,
+    pos: usize,
+}
+
+impl<T: Ord> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.run == other.run
+    }
+}
+impl<T: Ord> Eq for Entry<T> {}
+impl<T: Ord> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.head.cmp(&other.head).then(self.run.cmp(&other.run))
+    }
+}
+
+/// Merge sorted `runs` with a binary min-heap. Stable (ties by run
+/// index). Returns the merged vector and the number of heap operations
+/// (push + pop), the work metric comparable to loser-tree comparisons.
+pub fn heap_kway_merge<T: Ord>(runs: Vec<Vec<T>>) -> (Vec<T>, u64) {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut ops = 0u64;
+
+    let mut runs: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<Entry<T>>> = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter_mut().enumerate() {
+        if let Some(head) = run.next() {
+            heap.push(Reverse(Entry { head, run: i, pos: 0 }));
+            ops += 1;
+        }
+    }
+    while let Some(Reverse(Entry { head, run, pos })) = heap.pop() {
+        ops += 1;
+        out.push(head);
+        if let Some(next) = runs[run].next() {
+            heap.push(Reverse(Entry { head: next, run, pos: pos + 1 }));
+            ops += 1;
+        }
+    }
+    (out, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kway::kway_merge;
+
+    #[test]
+    fn merges_correctly() {
+        let runs = vec![vec![1, 4, 7], vec![2, 5, 8], vec![0, 3, 6, 9]];
+        let (out, ops) = heap_kway_merge(runs);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(ops > 10);
+    }
+
+    #[test]
+    fn agrees_with_loser_tree_on_many_shapes() {
+        for k in [0usize, 1, 2, 5, 16, 33] {
+            let runs: Vec<Vec<u32>> = (0..k)
+                .map(|i| (0..((i * 7) % 19)).map(|j| (j * k + i) as u32).collect())
+                .collect();
+            let (heap_out, _) = heap_kway_merge(runs.clone());
+            let (tree_out, _) = kway_merge(runs);
+            assert_eq!(heap_out, tree_out, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn stability_by_run_index() {
+        #[derive(PartialEq, Eq, Debug, Clone)]
+        struct KeyOnly(u8, usize);
+        impl Ord for KeyOnly {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&o.0)
+            }
+        }
+        impl PartialOrd for KeyOnly {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        let runs = vec![
+            vec![KeyOnly(1, 0), KeyOnly(3, 0)],
+            vec![KeyOnly(1, 1)],
+            vec![KeyOnly(1, 2), KeyOnly(2, 2)],
+        ];
+        let (out, _) = heap_kway_merge(runs);
+        assert_eq!(
+            out,
+            vec![KeyOnly(1, 0), KeyOnly(1, 1), KeyOnly(1, 2), KeyOnly(2, 2), KeyOnly(3, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(heap_kway_merge(Vec::<Vec<u8>>::new()).0.is_empty());
+        assert!(heap_kway_merge(vec![Vec::<u8>::new(), Vec::new()]).0.is_empty());
+    }
+}

@@ -1,0 +1,217 @@
+//! Single-pass p-way merge, sequential and parallel.
+//!
+//! This is the merge SupMR substitutes for the runtime's iterative 2-way
+//! rounds: "p-way merge merges N ordered lists into a single ordered array
+//! using p processors" — one pass, one round, full parallelism throughout.
+//!
+//! The parallel variant partitions the *output* by splitter keys sampled
+//! from the runs (the `gnu_parallel` multiway-merge strategy): each of the
+//! `p` workers owns a disjoint key range, binary-searches every run for
+//! its range boundaries, and loser-tree-merges just those subruns. Workers
+//! never touch each other's output, so the round is embarrassingly
+//! parallel and utilization stays flat-high instead of stepping down.
+
+use crate::loser_tree::LoserTree;
+use rayon::prelude::*;
+
+/// Work counters from a k-way merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KwayStats {
+    /// Number of key comparisons performed.
+    pub comparisons: u64,
+    /// Number of elements moved into the output (= N exactly: the merge is
+    /// single-pass, the number the pairwise baseline multiplies by its
+    /// round count).
+    pub elements_moved: u64,
+    /// Number of parallel partitions used (1 for the sequential variant).
+    pub partitions: usize,
+}
+
+/// Merge `runs` (each sorted ascending) into one sorted vector in a single
+/// sequential pass over the data.
+pub fn kway_merge<T: Ord>(runs: Vec<Vec<T>>) -> (Vec<T>, KwayStats) {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut lt = LoserTree::new(runs.into_iter().map(Vec::into_iter).collect());
+    let mut out = Vec::with_capacity(total);
+    out.extend(lt.by_ref());
+    let stats = KwayStats {
+        comparisons: lt.comparisons(),
+        elements_moved: out.len() as u64,
+        partitions: 1,
+    };
+    (out, stats)
+}
+
+/// Merge `runs` into one sorted vector using `ways` parallel output
+/// partitions.
+///
+/// Equal keys never straddle a partition boundary (boundaries are lower
+/// bounds), and within a partition the loser tree is stable, so the merge
+/// as a whole is stable.
+///
+/// Elements are **moved**, never cloned (runs are carved into disjoint
+/// sub-runs with `split_off`); `Clone` is only needed to materialize the
+/// few splitter keys. This matters: merge inputs are often
+/// allocation-heavy records, and a cloning merge would hand the baseline
+/// an artificial advantage.
+///
+/// # Panics
+/// Panics if `ways == 0`.
+pub fn parallel_kway_merge<T>(runs: Vec<Vec<T>>, ways: usize) -> (Vec<T>, KwayStats)
+where
+    T: Ord + Clone + Send,
+{
+    assert!(ways > 0, "need at least one way");
+    let total: usize = runs.iter().map(Vec::len).sum();
+    if ways == 1 || total == 0 || runs.len() <= 1 {
+        let (out, mut stats) = kway_merge(runs);
+        stats.partitions = 1;
+        return (out, stats);
+    }
+
+    let splitters = sample_splitters(&runs, ways);
+    // Partition p covers keys in [splitters[p-1], splitters[p]) with the
+    // first and last partitions unbounded below/above. Carve each run
+    // into owned sub-runs, back to front.
+    let parts_count = splitters.len() + 1;
+    let mut partition_jobs: Vec<Vec<Vec<T>>> =
+        (0..parts_count).map(|_| Vec::with_capacity(runs.len())).collect();
+    for mut run in runs {
+        let cuts: Vec<usize> =
+            splitters.iter().map(|s| run.partition_point(|x| x < s)).collect();
+        for p in (1..parts_count).rev() {
+            let tail = run.split_off(cuts[p - 1].min(run.len()));
+            partition_jobs[p].push(tail);
+        }
+        partition_jobs[0].push(run);
+    }
+
+    let merged: Vec<(Vec<T>, u64)> = partition_jobs
+        .into_par_iter()
+        .map(|subruns| {
+            let expected: usize = subruns.iter().map(Vec::len).sum();
+            let mut lt = LoserTree::new(subruns.into_iter().map(Vec::into_iter).collect());
+            let mut out = Vec::with_capacity(expected);
+            out.extend(lt.by_ref());
+            let comparisons = lt.comparisons();
+            (out, comparisons)
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(total);
+    let mut comparisons = 0;
+    let partitions = merged.len();
+    for (part, c) in merged {
+        out.extend(part);
+        comparisons += c;
+    }
+    let stats = KwayStats { comparisons, elements_moved: out.len() as u64, partitions };
+    (out, stats)
+}
+
+/// Pick `ways - 1` splitter keys that approximately equipartition the
+/// merged output, by sampling each run at regular offsets and taking
+/// quantiles of the pooled (sorted) sample.
+fn sample_splitters<T: Ord + Clone>(runs: &[Vec<T>], ways: usize) -> Vec<T> {
+    const OVERSAMPLE: usize = 8;
+    let per_run = ways * OVERSAMPLE;
+    let mut sample: Vec<T> = Vec::new();
+    for run in runs {
+        if run.is_empty() {
+            continue;
+        }
+        for i in 0..per_run {
+            let idx = i * run.len() / per_run;
+            sample.push(run[idx].clone());
+        }
+    }
+    sample.sort();
+    if sample.is_empty() {
+        return Vec::new();
+    }
+    (1..ways)
+        .map(|p| sample[(p * sample.len() / ways).min(sample.len() - 1)].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runs_interleaved(k: usize, n_per: usize) -> Vec<Vec<u64>> {
+        (0..k).map(|i| (0..n_per).map(|j| (j * k + i) as u64).collect()).collect()
+    }
+
+    #[test]
+    fn sequential_kway_equals_sorted_concat() {
+        let runs = runs_interleaved(7, 100);
+        let mut expected: Vec<u64> = runs.iter().flatten().copied().collect();
+        expected.sort();
+        let (out, stats) = kway_merge(runs);
+        assert_eq!(out, expected);
+        assert_eq!(stats.elements_moved, 700);
+        assert_eq!(stats.partitions, 1);
+        assert!(stats.comparisons > 0);
+    }
+
+    #[test]
+    fn parallel_kway_equals_sequential() {
+        let runs = runs_interleaved(9, 250);
+        let (expected, _) = kway_merge(runs.clone());
+        for ways in [1usize, 2, 3, 4, 8] {
+            let (out, stats) = parallel_kway_merge(runs.clone(), ways);
+            assert_eq!(out, expected, "ways = {ways}");
+            assert_eq!(stats.elements_moved as usize, expected.len());
+            assert!(stats.partitions <= ways.max(1));
+        }
+    }
+
+    #[test]
+    fn parallel_kway_handles_empty_and_tiny_runs() {
+        let runs: Vec<Vec<u64>> = vec![vec![], vec![5], vec![], vec![1, 9]];
+        let (out, _) = parallel_kway_merge(runs, 4);
+        assert_eq!(out, vec![1, 5, 9]);
+        let (out, _) = parallel_kway_merge(Vec::<Vec<u64>>::new(), 4);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_kway_with_heavy_duplicates() {
+        let runs: Vec<Vec<u32>> = vec![vec![7; 500], vec![7; 300], vec![3; 200], vec![7; 100]];
+        let (out, _) = parallel_kway_merge(runs, 4);
+        assert_eq!(out.len(), 1100);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.iter().filter(|&&x| x == 3).count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        parallel_kway_merge::<u32>(vec![vec![1]], 0);
+    }
+
+    #[test]
+    fn splitters_are_sorted_and_bounded() {
+        let runs = runs_interleaved(4, 64);
+        let s = sample_splitters(&runs, 8);
+        assert_eq!(s.len(), 7);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s.iter().all(|&x| x < 256));
+    }
+
+    #[test]
+    fn splitters_empty_when_all_runs_empty() {
+        let runs: Vec<Vec<u32>> = vec![vec![], vec![]];
+        assert!(sample_splitters(&runs, 4).is_empty());
+    }
+
+    #[test]
+    fn single_pass_moves_each_element_once() {
+        let runs = runs_interleaved(16, 64);
+        let n = 16 * 64;
+        let (_, seq) = kway_merge(runs.clone());
+        let (_, par) = parallel_kway_merge(runs, 4);
+        assert_eq!(seq.elements_moved, n);
+        assert_eq!(par.elements_moved, n);
+    }
+}

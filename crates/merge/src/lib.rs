@@ -1,0 +1,50 @@
+//! Sorting and merging algorithms for the SupMR merge phase.
+//!
+//! The paper's merge-phase finding (§IV): the stock Phoenix++ runtime
+//! merges sorted runs with **iterative 2-way rounds** — each round merges
+//! pairs of lists in parallel, halving the number of active threads, and
+//! every round re-scans all N elements, so total data movement is
+//! `N·⌈log₂ k⌉` for `k` runs. SupMR replaces this with a **p-way merge**
+//! (à la `gnu_parallel::sort`, Salzberg's "merging sorted runs using large
+//! main memory"): one pass over the data using a tournament (loser) tree,
+//! `N` element moves and `N·log₂ k` comparisons but no re-scanning, and a
+//! single fully-parallel round instead of a thread-starved step-down.
+//!
+//! This crate implements both sides of that comparison plus the parallel
+//! sorts built on them:
+//!
+//! * [`loser_tree`] — the k-way tournament tree.
+//! * [`kway`] — single-pass p-way merge, sequential and parallel
+//!   (output-partitioned by splitter keys).
+//! * [`pairwise`] — the baseline iterative 2-way merge rounds with
+//!   instrumentation (rounds, elements re-scanned, wave widths) so the
+//!   "step curve" of the paper's Fig. 1 is observable.
+//! * [`sort`] — parallel chunk sort + configurable merge backend; this is
+//!   both the runtime's merge phase and the "OpenMP sort" comparator.
+//!
+//! ```
+//! use supmr_merge::{kway_merge, pairwise_merge_rounds};
+//!
+//! let runs = vec![vec![1, 4, 7], vec![2, 5, 8], vec![0, 3, 6]];
+//! let (merged, kw) = kway_merge(runs.clone());
+//! assert_eq!(merged, (0..9).collect::<Vec<_>>());
+//! assert_eq!(kw.elements_moved, 9);          // single pass
+//!
+//! let (_, pw) = pairwise_merge_rounds(runs, false);
+//! assert_eq!(pw.rounds, 2);                  // ceil(log2(3))
+//! assert!(pw.elements_moved > 9);            // re-scans each round
+//! ```
+
+pub mod external;
+pub mod heap;
+pub mod kway;
+pub mod loser_tree;
+pub mod pairwise;
+pub mod sort;
+
+pub use external::{external_sort, merge_run_files, spill_sorted_runs, RunReader, RunWriter};
+pub use heap::heap_kway_merge;
+pub use kway::{kway_merge, parallel_kway_merge, KwayStats};
+pub use loser_tree::{merge_iterators, LoserTree};
+pub use pairwise::{pairwise_merge_rounds, two_way_merge, PairwiseStats};
+pub use sort::{parallel_sort, MergeBackend, SortStats};

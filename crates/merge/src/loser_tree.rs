@@ -1,0 +1,280 @@
+//! A k-way tournament ("loser") tree over sorted runs.
+//!
+//! The classic structure for merging many sorted runs in one pass
+//! (Salzberg 1989, which the paper cites for p-way merging): internal
+//! nodes remember the *loser* of the match played there while the overall
+//! winner sits at the root, so replacing the winner after each pop replays
+//! only one root-to-leaf path — `O(log k)` comparisons per element instead
+//! of scanning all `k` heads.
+//!
+//! The tree is stable: ties are broken by run index, so elements that
+//! compare equal are emitted in run order.
+
+/// A loser tree merging `k` sorted runs of `T`.
+///
+/// Runs are consumed as iterators; the tree itself yields merged items via
+/// [`Iterator`]. Comparison counts are tracked so experiments can report
+/// work done, not just wall-clock time.
+pub struct LoserTree<T, I>
+where
+    T: Ord,
+    I: Iterator<Item = T>,
+{
+    /// Padded run count (power of two); leaves `k..k2` are permanently
+    /// exhausted.
+    k2: usize,
+    /// `tree[n]` for `1 <= n < k2` holds the run index that *lost* the
+    /// match at internal node `n`.
+    tree: Vec<usize>,
+    /// Current head element of each real run (`None` = exhausted).
+    heads: Vec<Option<T>>,
+    /// The run sources.
+    sources: Vec<I>,
+    /// Run index currently at the root.
+    winner: usize,
+    comparisons: u64,
+    remaining: usize,
+}
+
+impl<T, I> LoserTree<T, I>
+where
+    T: Ord,
+    I: Iterator<Item = T>,
+{
+    /// Build a loser tree over the given runs. Runs must each be sorted
+    /// ascending; this is the caller's contract (verified only in tests —
+    /// checking would cost the pass over the data the structure exists to
+    /// avoid).
+    pub fn new(mut sources: Vec<I>) -> Self {
+        let k = sources.len();
+        let k2 = k.next_power_of_two().max(1);
+        let mut heads: Vec<Option<T>> = Vec::with_capacity(k);
+        for s in sources.iter_mut() {
+            heads.push(s.next());
+        }
+        let remaining = heads.iter().flatten().count()
+            + sources.iter().map(|s| s.size_hint().0).sum::<usize>();
+        let mut lt = LoserTree {
+            k2,
+            tree: vec![usize::MAX; k2.max(1)],
+            heads,
+            sources,
+            winner: 0,
+            comparisons: 0,
+            remaining,
+        };
+        lt.winner = lt.build(1);
+        lt
+    }
+
+    /// Recursively play the initial tournament rooted at internal node
+    /// `node`; returns the winning run index, parking losers in `tree`.
+    fn build(&mut self, node: usize) -> usize {
+        if node >= self.k2 {
+            return node - self.k2;
+        }
+        let left = self.build(2 * node);
+        let right = self.build(2 * node + 1);
+        let (winner, loser) = if self.beats(left, right) { (left, right) } else { (right, left) };
+        self.tree[node] = loser;
+        winner
+    }
+
+    /// Does run `a` beat run `b`? Exhausted runs always lose; ties go to
+    /// the lower run index (stability).
+    fn beats(&mut self, a: usize, b: usize) -> bool {
+        let ha = self.heads.get(a).and_then(|h| h.as_ref());
+        let hb = self.heads.get(b).and_then(|h| h.as_ref());
+        match (ha, hb) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(x), Some(y)) => {
+                self.comparisons += 1;
+                match x.cmp(y) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => a < b,
+                }
+            }
+        }
+    }
+
+    /// Replay the path from `run`'s leaf to the root after its head
+    /// changed; updates the winner.
+    fn replay(&mut self, mut run: usize) {
+        let mut node = (run + self.k2) / 2;
+        while node >= 1 {
+            let stored = self.tree[node];
+            if stored != usize::MAX && self.beats(stored, run) {
+                self.tree[node] = run;
+                run = stored;
+            }
+            node /= 2;
+        }
+        self.winner = run;
+    }
+
+    /// Reference to the next element to be emitted, if any.
+    pub fn peek(&self) -> Option<&T> {
+        self.heads.get(self.winner).and_then(|h| h.as_ref())
+    }
+
+    /// Number of key comparisons performed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Lower bound of elements left to emit.
+    fn remaining_hint(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl<T, I> Iterator for LoserTree<T, I>
+where
+    T: Ord,
+    I: Iterator<Item = T>,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let w = self.winner;
+        let out = self.heads.get_mut(w)?.take()?;
+        self.heads[w] = self.sources[w].next();
+        self.replay(w);
+        self.remaining = self.remaining.saturating_sub(1);
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining_hint(), None)
+    }
+}
+
+/// Merge any set of sorted iterators into one sorted, stable stream —
+/// the streaming form of [`crate::kway_merge`] for inputs that should
+/// not be materialized first.
+///
+/// ```
+/// use supmr_merge::loser_tree::merge_iterators;
+///
+/// let evens = (0..20u32).step_by(2);
+/// let odds = (1..20u32).step_by(2);
+/// let merged: Vec<u32> = merge_iterators(vec![evens, odds]).collect();
+/// assert_eq!(merged, (0..20).collect::<Vec<_>>());
+/// ```
+pub fn merge_iterators<T, I>(sources: Vec<I>) -> LoserTree<T, I>
+where
+    T: Ord,
+    I: Iterator<Item = T>,
+{
+    LoserTree::new(sources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merge_vecs(runs: Vec<Vec<i64>>) -> Vec<i64> {
+        LoserTree::new(runs.into_iter().map(|r| r.into_iter()).collect()).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(merge_vecs(vec![]).is_empty());
+        assert!(merge_vecs(vec![vec![], vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn single_run_passes_through() {
+        assert_eq!(merge_vecs(vec![vec![1, 2, 3]]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merges_uneven_runs() {
+        let out = merge_vecs(vec![vec![1, 4, 7], vec![2, 5], vec![], vec![0, 3, 6, 8, 9]]);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn non_power_of_two_run_counts() {
+        for k in 1..=9usize {
+            let runs: Vec<Vec<i64>> =
+                (0..k).map(|i| (0..5).map(|j| (j * k + i) as i64).collect()).collect();
+            let out = merge_vecs(runs);
+            let expected: Vec<i64> = (0..(5 * k) as i64).collect();
+            assert_eq!(out, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn stability_ties_broken_by_run_index() {
+        // Elements carry their origin run; equal keys must come out in
+        // run order.
+        #[derive(PartialEq, Eq, Debug, Clone)]
+        struct Tagged(u32, usize);
+        impl Ord for Tagged {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.cmp(&other.0)
+            }
+        }
+        impl PartialOrd for Tagged {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let runs: Vec<Vec<Tagged>> = vec![
+            vec![Tagged(1, 0), Tagged(2, 0)],
+            vec![Tagged(1, 1), Tagged(2, 1)],
+            vec![Tagged(1, 2)],
+        ];
+        let out: Vec<Tagged> =
+            LoserTree::new(runs.into_iter().map(|r| r.into_iter()).collect()).collect();
+        assert_eq!(
+            out,
+            vec![Tagged(1, 0), Tagged(1, 1), Tagged(1, 2), Tagged(2, 0), Tagged(2, 1)]
+        );
+    }
+
+    #[test]
+    fn comparison_count_is_n_log_k_ish() {
+        let k = 16usize;
+        let n_per = 1000usize;
+        let runs: Vec<Vec<u64>> =
+            (0..k).map(|i| (0..n_per).map(|j| (j * k + i) as u64).collect()).collect();
+        let mut lt = LoserTree::new(runs.into_iter().map(|r| r.into_iter()).collect());
+        let out: Vec<u64> = lt.by_ref().collect();
+        assert_eq!(out.len(), k * n_per);
+        let n = (k * n_per) as u64;
+        let log_k = (k as f64).log2() as u64;
+        // One root-to-leaf replay per element: <= n * log2(k) comparisons
+        // (plus the initial build), and at least n (every element plays
+        // some match).
+        assert!(lt.comparisons() <= n * log_k + (2 * k as u64)); // build slack
+        assert!(lt.comparisons() >= n - k as u64);
+    }
+
+    #[test]
+    fn peek_matches_next() {
+        let mut lt = LoserTree::new(vec![vec![3, 5].into_iter(), vec![1, 9].into_iter()]);
+        assert_eq!(lt.peek(), Some(&1));
+        assert_eq!(lt.next(), Some(1));
+        assert_eq!(lt.peek(), Some(&3));
+    }
+
+    #[test]
+    fn size_hint_lower_bound_is_sound() {
+        let lt = LoserTree::new(vec![vec![1, 2, 3].into_iter(), vec![4, 5].into_iter()]);
+        assert!(lt.size_hint().0 <= 5);
+        let collected: Vec<i32> = lt.collect();
+        assert_eq!(collected.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let out = merge_vecs(vec![vec![2; 100], vec![2; 50], vec![1; 30]]);
+        assert_eq!(out.len(), 180);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(out.iter().filter(|&&x| x == 1).count(), 30);
+    }
+}

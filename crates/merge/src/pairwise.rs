@@ -1,0 +1,198 @@
+//! The baseline: iterative 2-way merge rounds.
+//!
+//! This is what the stock runtime's merge phase does and what produces the
+//! "step curve" in the paper's Fig. 1: round 1 merges k runs pairwise with
+//! k/2 threads, round 2 merges the results with k/4 threads, … — each
+//! round *re-scans every element*, so for k runs the data is moved
+//! `⌈log₂ k⌉` times, and parallelism collapses geometrically while the
+//! lists being compared grow.
+//!
+//! [`PairwiseStats`] captures exactly those two pathologies (elements
+//! re-scanned, per-round wave widths) so benches can report the work-done
+//! comparison independently of wall-clock noise on small machines.
+
+use rayon::prelude::*;
+
+/// Work counters from an iterative pairwise merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairwiseStats {
+    /// Number of merge rounds executed (⌈log₂ k⌉ for k runs).
+    pub rounds: u32,
+    /// Total elements written across all rounds — the "multiple scans of
+    /// the data" the paper calls out. A single-pass merge writes N; this
+    /// writes ≈ N·rounds.
+    pub elements_moved: u64,
+    /// Total key comparisons across all rounds.
+    pub comparisons: u64,
+    /// Number of concurrent pair-merges in each round: k/2, k/4, …, 1.
+    /// The step-down utilization curve is this sequence.
+    pub wave_widths: Vec<usize>,
+}
+
+/// Merge two sorted runs, counting comparisons. Stable: ties come from
+/// `a` first.
+pub fn two_way_merge<T: Ord>(a: Vec<T>, b: Vec<T>) -> (Vec<T>, u64) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut comparisons = 0u64;
+    let mut ia = a.into_iter().peekable();
+    let mut ib = b.into_iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => {
+                comparisons += 1;
+                if x <= y {
+                    out.push(ia.next().expect("peeked"));
+                } else {
+                    out.push(ib.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ia.by_ref());
+                break;
+            }
+            (None, _) => {
+                out.extend(ib.by_ref());
+                break;
+            }
+        }
+    }
+    (out, comparisons)
+}
+
+/// Iteratively merge `runs` down to one sorted vector, two at a time, with
+/// each round's pair-merges running in parallel (`parallel = true`) or
+/// serially — the latter exists so work counters can be verified
+/// deterministically in unit tests.
+pub fn pairwise_merge_rounds<T>(mut runs: Vec<Vec<T>>, parallel: bool) -> (Vec<T>, PairwiseStats)
+where
+    T: Ord + Send,
+{
+    let mut stats = PairwiseStats::default();
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return (Vec::new(), stats);
+    }
+    while runs.len() > 1 {
+        stats.rounds += 1;
+        let pairs = runs.len() / 2;
+        stats.wave_widths.push(pairs);
+
+        let mut iter = runs.into_iter();
+        let mut jobs: Vec<(Vec<T>, Option<Vec<T>>)> = Vec::with_capacity(pairs + 1);
+        while let Some(a) = iter.next() {
+            jobs.push((a, iter.next()));
+        }
+
+        // The third field records whether a real merge happened: an odd
+        // run carried to the next round unmerged is not re-scanned, so it
+        // does not count toward elements moved.
+        let do_job = |(a, b): (Vec<T>, Option<Vec<T>>)| match b {
+            Some(b) => {
+                let (r, c) = two_way_merge(a, b);
+                (r, c, true)
+            }
+            None => (a, 0, false),
+        };
+        let merged: Vec<(Vec<T>, u64, bool)> = if parallel {
+            jobs.into_par_iter().map(do_job).collect()
+        } else {
+            jobs.into_iter().map(do_job).collect()
+        };
+
+        runs = Vec::with_capacity(merged.len());
+        for (r, c, was_merged) in merged {
+            stats.comparisons += c;
+            if was_merged {
+                stats.elements_moved += r.len() as u64;
+            }
+            runs.push(r);
+        }
+    }
+    (runs.pop().unwrap_or_default(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_way_basics() {
+        let (out, c) = two_way_merge(vec![1, 3, 5], vec![2, 4, 6]);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        assert!(c >= 5);
+        let (out, c) = two_way_merge(Vec::<i32>::new(), vec![1]);
+        assert_eq!(out, vec![1]);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn two_way_is_stable() {
+        let (out, _) = two_way_merge(vec![(1, 'a'), (2, 'a')], vec![(1, 'b'), (2, 'b')]);
+        assert_eq!(out, vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b')]);
+    }
+
+    #[test]
+    fn rounds_equals_log2_of_run_count() {
+        for (k, expected_rounds) in [(2usize, 1u32), (4, 2), (8, 3), (16, 4), (5, 3), (9, 4)] {
+            let runs: Vec<Vec<u64>> =
+                (0..k).map(|i| (0..10).map(|j| (j * k + i) as u64).collect()).collect();
+            let (_, stats) = pairwise_merge_rounds(runs, false);
+            assert_eq!(stats.rounds, expected_rounds, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn wave_widths_step_down() {
+        let runs: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
+        let (_, stats) = pairwise_merge_rounds(runs, false);
+        assert_eq!(stats.wave_widths, vec![8, 4, 2, 1]);
+    }
+
+    #[test]
+    fn elements_moved_is_n_times_rounds_for_powers_of_two() {
+        let k = 8usize;
+        let n_per = 100usize;
+        let runs: Vec<Vec<u64>> =
+            (0..k).map(|i| (0..n_per).map(|j| (j * k + i) as u64).collect()).collect();
+        let (out, stats) = pairwise_merge_rounds(runs, false);
+        let n = (k * n_per) as u64;
+        assert_eq!(out.len() as u64, n);
+        // Every round re-scans all N elements.
+        assert_eq!(stats.elements_moved, n * stats.rounds as u64);
+    }
+
+    #[test]
+    fn result_is_sorted_concat() {
+        let runs: Vec<Vec<i32>> = vec![vec![5, 6], vec![1, 9], vec![0], vec![2, 3, 4], vec![]];
+        let mut expected: Vec<i32> = runs.iter().flatten().copied().collect();
+        expected.sort();
+        for parallel in [false, true] {
+            let (out, _) = pairwise_merge_rounds(runs.clone(), parallel);
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let (out, stats) = pairwise_merge_rounds(Vec::<Vec<u8>>::new(), false);
+        assert!(out.is_empty());
+        assert_eq!(stats.rounds, 0);
+        let (out, stats) = pairwise_merge_rounds(vec![vec![1u8, 2]], true);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn pairwise_moves_log_factor_more_than_single_pass() {
+        // The quantitative heart of the paper's merge claim.
+        let k = 32usize;
+        let runs: Vec<Vec<u64>> =
+            (0..k).map(|i| (0..50).map(|j| (j * k + i) as u64).collect()).collect();
+        let n: u64 = (k * 50) as u64;
+        let (_, pw) = pairwise_merge_rounds(runs.clone(), false);
+        let (_, kw) = crate::kway::kway_merge(runs);
+        assert_eq!(kw.elements_moved, n);
+        assert_eq!(pw.elements_moved, n * 5); // log2(32) = 5 rounds
+        assert!(pw.elements_moved > 4 * kw.elements_moved);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the merge algorithms: all merge paths must
+//! agree with plain sorting for arbitrary inputs, preserve multiplicity,
+//! and respect stability.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use supmr_merge::{
+    kway_merge, pairwise_merge_rounds, parallel_kway_merge, parallel_sort, MergeBackend,
+};
+
+/// Arbitrary sorted runs: up to 12 runs of up to 200 small values.
+fn arb_runs() -> impl Strategy<Value = Vec<Vec<u16>>> {
+    vec(vec(0u16..500, 0..200), 0..12).prop_map(|mut runs| {
+        for r in &mut runs {
+            r.sort_unstable();
+        }
+        runs
+    })
+}
+
+fn sorted_concat(runs: &[Vec<u16>]) -> Vec<u16> {
+    let mut all: Vec<u16> = runs.iter().flatten().copied().collect();
+    all.sort_unstable();
+    all
+}
+
+proptest! {
+    #[test]
+    fn kway_merge_equals_sorted_concat(runs in arb_runs()) {
+        let expected = sorted_concat(&runs);
+        let (out, stats) = kway_merge(runs);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(stats.elements_moved as usize, expected.len());
+    }
+
+    #[test]
+    fn parallel_kway_equals_sorted_concat(runs in arb_runs(), ways in 1usize..9) {
+        let expected = sorted_concat(&runs);
+        let (out, stats) = parallel_kway_merge(runs, ways);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(stats.elements_moved as usize, expected.len());
+    }
+
+    #[test]
+    fn pairwise_equals_sorted_concat(runs in arb_runs(), parallel in any::<bool>()) {
+        let expected = sorted_concat(&runs);
+        let (out, stats) = pairwise_merge_rounds(runs.clone(), parallel);
+        prop_assert_eq!(&out, &expected);
+        // Round count is ceil(log2(#non-empty runs)).
+        let k = runs.iter().filter(|r| !r.is_empty()).count();
+        if k > 1 {
+            let expected_rounds = (k as f64).log2().ceil() as u32;
+            prop_assert_eq!(stats.rounds, expected_rounds);
+        } else {
+            prop_assert_eq!(stats.rounds, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_equals_std_sort(
+        data in vec(0u16..2000, 0..3000),
+        run_count in 1usize..40,
+        ways in 1usize..9,
+    ) {
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let (a, _) = parallel_sort(data.clone(), run_count, MergeBackend::PairwiseRounds);
+        let (b, _) = parallel_sort(data, run_count, MergeBackend::PWay { ways });
+        prop_assert_eq!(&a, &expected);
+        prop_assert_eq!(&b, &expected);
+    }
+
+    #[test]
+    fn merge_backends_agree_exactly(runs in arb_runs()) {
+        let (a, _) = kway_merge(runs.clone());
+        let (b, _) = parallel_kway_merge(runs.clone(), 4);
+        let (c, _) = pairwise_merge_rounds(runs, true);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn kway_is_stable_by_run_index(
+        keys in vec(vec(0u8..8, 0..40), 0..6)
+    ) {
+        // Tag each element with (key, run, position); stability means the
+        // output's (run, position) is nondecreasing within equal keys.
+        let runs: Vec<Vec<(u8, usize, usize)>> = keys
+            .iter()
+            .enumerate()
+            .map(|(ri, ks)| {
+                let mut ks: Vec<u8> = ks.clone();
+                ks.sort_unstable();
+                ks.into_iter().enumerate().map(|(pi, k)| (k, ri, pi)).collect()
+            })
+            .collect();
+        // Compare only on the key: wrap in a struct ordering on key alone.
+        #[derive(Clone, PartialEq, Eq, Debug)]
+        struct E((u8, usize, usize));
+        impl Ord for E {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering { self.0.0.cmp(&o.0.0) }
+        }
+        impl PartialOrd for E {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> { Some(self.cmp(o)) }
+        }
+        let wrapped: Vec<Vec<E>> =
+            runs.into_iter().map(|r| r.into_iter().map(E).collect()).collect();
+        let (out, _) = kway_merge(wrapped);
+        for w in out.windows(2) {
+            let (ka, ra, pa) = w[0].0;
+            let (kb, rb, pb) = w[1].0;
+            prop_assert!(ka <= kb);
+            if ka == kb {
+                prop_assert!((ra, pa) < (rb, pb), "stability violated");
+            }
+        }
+    }
+}

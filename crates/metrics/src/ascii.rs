@@ -1,0 +1,171 @@
+//! Terminal rendering of utilization traces.
+//!
+//! Every figure in the paper is a CPU-utilization-vs-time area chart. The
+//! benchmark binaries print the regenerated figures with [`render_trace`];
+//! the same data is also emitted as CSV for external plotting.
+
+use crate::trace::UtilTrace;
+use std::fmt::Write as _;
+
+/// Options for [`render_trace`].
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Chart width in columns (time axis).
+    pub width: usize,
+    /// Chart height in rows (0–100% axis).
+    pub height: usize,
+    /// Title printed above the chart.
+    pub title: String,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions { width: 78, height: 16, title: String::new() }
+    }
+}
+
+/// Render a trace as an ASCII area chart: `#` for CPU-busy (user+sys) and
+/// `.` for the additional IO-wait component stacked on top, matching the
+/// paper's stacked utilization plots.
+pub fn render_trace(trace: &UtilTrace, opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "{}", opts.title);
+    }
+    let samples = trace.samples();
+    if samples.is_empty() || opts.width == 0 || opts.height == 0 {
+        let _ = writeln!(out, "(empty trace)");
+        return out;
+    }
+    let t_start = samples[0].t;
+    let t_end = trace.duration().max(t_start + f64::EPSILON);
+    let span = t_end - t_start;
+
+    // Column aggregation: average busy and total utilization of samples
+    // falling in each column's time window (sample-and-hold between
+    // samples so sparse traces still render).
+    let mut busy_cols = vec![0.0f64; opts.width];
+    let mut total_cols = vec![0.0f64; opts.width];
+    for col in 0..opts.width {
+        let t0 = t_start + span * col as f64 / opts.width as f64;
+        let t1 = t_start + span * (col + 1) as f64 / opts.width as f64;
+        let window: Vec<_> = samples.iter().filter(|s| s.t >= t0 && s.t < t1).collect();
+        if window.is_empty() {
+            // Hold most recent sample at or before t0.
+            let held = samples.iter().rev().find(|s| s.t <= t0).or(samples.first());
+            if let Some(s) = held {
+                busy_cols[col] = s.busy();
+                total_cols[col] = s.total();
+            }
+        } else {
+            busy_cols[col] = window.iter().map(|s| s.busy()).sum::<f64>() / window.len() as f64;
+            total_cols[col] =
+                window.iter().map(|s| s.total()).sum::<f64>() / window.len() as f64;
+        }
+    }
+
+    for row in 0..opts.height {
+        // Row thresholds from top (100%) to bottom (>0%).
+        let level = 100.0 * (opts.height - row) as f64 / opts.height as f64;
+        let axis = if row == 0 {
+            "100%|"
+        } else if row == opts.height - 1 {
+            "  0%|"
+        } else if opts.height >= 4 && row == opts.height / 2 {
+            " 50%|"
+        } else {
+            "    |"
+        };
+        let _ = write!(out, "{axis}");
+        for col in 0..opts.width {
+            let ch = if busy_cols[col] >= level - 1e-9 {
+                '#'
+            } else if total_cols[col] >= level - 1e-9 {
+                '.'
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "    +{}", "-".repeat(opts.width));
+    let _ = writeln!(
+        out,
+        "     0s{:>width$}",
+        format!("{:.0}s", t_end),
+        width = opts.width.saturating_sub(2)
+    );
+    // Phase marks as a footnote line.
+    for m in trace.marks() {
+        let _ = writeln!(out, "     @{:.1}s {}", m.t, m.label);
+    }
+    let _ = writeln!(out, "     # = cpu busy (user+sys)   . = io wait");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::UtilSample;
+
+    fn trace_step() -> UtilTrace {
+        UtilTrace::from_samples(vec![
+            UtilSample { t: 0.0, user: 10.0, sys: 0.0, iowait: 80.0 },
+            UtilSample { t: 5.0, user: 10.0, sys: 0.0, iowait: 80.0 },
+            UtilSample { t: 5.0, user: 95.0, sys: 5.0, iowait: 0.0 },
+            UtilSample { t: 10.0, user: 95.0, sys: 5.0, iowait: 0.0 },
+        ])
+    }
+
+    #[test]
+    fn renders_full_height_column_for_full_utilization() {
+        let chart = render_trace(
+            &trace_step(),
+            &ChartOptions { width: 10, height: 4, title: "t".into() },
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0], "t");
+        // Top row: only the 100%-busy second half reaches it. The column
+        // containing the step transition averages the two edge samples, so
+        // expect the four columns strictly after the transition.
+        assert!(lines[1].starts_with("100%|"));
+        assert!(lines[1].ends_with("####"));
+        assert_eq!(lines[1].matches('#').count(), 4);
+        assert!(!lines[1].contains('.'));
+        // Bottom row: first half busy=10% renders '#', iowait stacks '.'.
+        let bottom = lines[4];
+        assert!(bottom.contains('#'));
+    }
+
+    #[test]
+    fn iowait_renders_as_dots_above_busy() {
+        let chart =
+            render_trace(&trace_step(), &ChartOptions { width: 10, height: 10, title: "".into() });
+        // 90% total (10 busy + 80 iowait) in first half -> dots high up.
+        let second_row = chart.lines().nth(1).unwrap();
+        assert!(second_row.contains('.'), "expected iowait dots: {second_row:?}");
+    }
+
+    #[test]
+    fn empty_trace_is_handled() {
+        let chart = render_trace(&UtilTrace::new(), &ChartOptions::default());
+        assert!(chart.contains("(empty trace)"));
+    }
+
+    #[test]
+    fn marks_are_listed() {
+        let mut t = trace_step();
+        t.mark(5.0, "merge begins");
+        let chart = render_trace(&t, &ChartOptions::default());
+        assert!(chart.contains("@5.0s merge begins"));
+    }
+
+    #[test]
+    fn legend_and_axis_present() {
+        let chart = render_trace(&trace_step(), &ChartOptions::default());
+        assert!(chart.contains("# = cpu busy"));
+        assert!(chart.contains("100%|"));
+        assert!(chart.contains("  0%|"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal CSV writing, enough for experiment outputs.
+//!
+//! We deliberately avoid a CSV dependency: the experiment harness only
+//! writes simple numeric tables (figure series and Table II rows). Fields
+//! containing commas, quotes, or newlines are quoted per RFC 4180.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    columns: usize,
+    buf: String,
+}
+
+impl CsvTable {
+    /// Create a table with the given column headers.
+    ///
+    /// # Panics
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> CsvTable {
+        assert!(!headers.is_empty(), "CSV table needs at least one column");
+        let mut t = CsvTable { columns: headers.len(), buf: String::new() };
+        t.raw_row(headers.iter().map(|h| h.to_string()));
+        t
+    }
+
+    /// Append a row of pre-rendered fields.
+    ///
+    /// # Panics
+    /// Panics if the field count does not match the header.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) {
+        assert_eq!(fields.len(), self.columns, "CSV row width mismatch");
+        self.raw_row(fields.iter().map(|f| f.as_ref().to_string()));
+    }
+
+    /// Append a row of f64s rendered with fixed precision.
+    pub fn row_f64(&mut self, fields: &[f64], precision: usize) {
+        assert_eq!(fields.len(), self.columns, "CSV row width mismatch");
+        self.raw_row(fields.iter().map(|v| format!("{v:.precision$}")));
+    }
+
+    fn raw_row(&mut self, fields: impl Iterator<Item = String>) {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            let _ = write!(self.buf, "{}", escape(&f));
+        }
+        self.buf.push('\n');
+    }
+
+    /// The CSV contents.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Number of data rows (excluding the header).
+    pub fn rows(&self) -> usize {
+        self.buf.lines().count().saturating_sub(1)
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, &self.buf)
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut t = CsvTable::new(&["chunk", "total_s"]);
+        t.row(&["none", "471.75"]);
+        t.row_f64(&[1.0, 407.58], 2);
+        assert_eq!(t.as_str(), "chunk,total_s\nnone,471.75\n1.00,407.58\n");
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let mut t = CsvTable::new(&["a"]);
+        t.row(&["hello, world"]);
+        assert!(t.as_str().contains("\"hello, world\""));
+    }
+
+    #[test]
+    fn quotes_are_doubled() {
+        let mut t = CsvTable::new(&["a"]);
+        t.row(&[r#"say "hi""#]);
+        assert!(t.as_str().contains(r#""say ""hi""""#));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_is_checked() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("supmr-csv-test");
+        let path = dir.join("nested/out.csv");
+        let mut t = CsvTable::new(&["x"]);
+        t.row(&["1"]);
+        t.write_to(&path).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

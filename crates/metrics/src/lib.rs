@@ -1,0 +1,31 @@
+//! Measurement utilities for the SupMR reproduction.
+//!
+//! The paper measures two things:
+//!
+//! 1. **Per-phase wall-clock times** with microsecond granularity using the
+//!    Phoenix++ internal timers (Table II). [`phase`] provides the same
+//!    phase vocabulary (`ingest`/`map`/`reduce`/`merge`) and a
+//!    [`phase::PhaseTimer`] that produces a [`phase::PhaseTimings`]
+//!    breakdown formatted like the paper's table rows.
+//! 2. **CPU utilization traces** collected with `collectl` (Figs. 1, 3,
+//!    5–7). [`trace`] holds the trace representation (percent busy split
+//!    into user/sys/iowait vs. wall-clock seconds), [`sampler`] collects a
+//!    real trace from `/proc/stat`, and [`ascii`] renders a trace as a
+//!    terminal area chart so every figure can be "printed".
+//!
+//! [`stats`] carries the small summary statistics the evaluation needs
+//! (each experiment is run three times and averaged).
+
+pub mod ascii;
+pub mod csv;
+pub mod phase;
+pub mod sampler;
+pub mod stats;
+pub mod stopwatch;
+pub mod svg;
+pub mod trace;
+
+pub use phase::{Phase, PhaseTimer, PhaseTimings};
+pub use stats::Summary;
+pub use stopwatch::Stopwatch;
+pub use trace::{UtilSample, UtilTrace};

@@ -1,0 +1,145 @@
+//! A start/stop timer with microsecond granularity.
+//!
+//! Phoenix++ exposes internal timing functions built on `time.h` that the
+//! programmer starts and stops around job phases; the paper reports elapsed
+//! times with microsecond granularity. [`Stopwatch`] is the equivalent:
+//! it accumulates elapsed time across multiple start/stop cycles, which the
+//! pipeline runtime needs because a single phase (e.g. `map`) runs once per
+//! ingest-chunk round.
+
+use std::time::{Duration, Instant};
+
+/// Accumulating stopwatch. Supports repeated start/stop cycles; `elapsed`
+/// is the sum of all completed cycles plus the in-flight one.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    started_at: Option<Instant>,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch with zero accumulated time.
+    pub fn new() -> Self {
+        Stopwatch { accumulated: Duration::ZERO, started_at: None }
+    }
+
+    /// A stopwatch that is already running.
+    pub fn started() -> Self {
+        let mut sw = Self::new();
+        sw.start();
+        sw
+    }
+
+    /// Begin (or resume) timing. Starting an already-running stopwatch is a
+    /// no-op so callers do not have to track state across rounds.
+    pub fn start(&mut self) {
+        if self.started_at.is_none() {
+            self.started_at = Some(Instant::now());
+        }
+    }
+
+    /// Stop timing, folding the in-flight interval into the accumulated
+    /// total. Stopping a stopped stopwatch is a no-op.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started_at.take() {
+            self.accumulated += t0.elapsed();
+        }
+    }
+
+    /// Whether the stopwatch is currently running.
+    pub fn is_running(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// Total measured time (completed cycles + current cycle if running).
+    pub fn elapsed(&self) -> Duration {
+        match self.started_at {
+            Some(t0) => self.accumulated + t0.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Total measured time in whole microseconds, the granularity the
+    /// paper reports.
+    pub fn elapsed_micros(&self) -> u128 {
+        self.elapsed().as_micros()
+    }
+
+    /// Reset to zero and stop.
+    pub fn reset(&mut self) {
+        self.accumulated = Duration::ZERO;
+        self.started_at = None;
+    }
+
+    /// Directly add a duration (used by the simulator, which measures in
+    /// virtual time rather than wall-clock time).
+    pub fn add(&mut self, d: Duration) {
+        self.accumulated += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn new_stopwatch_is_zero_and_stopped() {
+        let sw = Stopwatch::new();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        assert!(!sw.is_running());
+    }
+
+    #[test]
+    fn accumulates_across_cycles() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sleep(Duration::from_millis(5));
+        sw.stop();
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(5));
+
+        sw.start();
+        sleep(Duration::from_millis(5));
+        sw.stop();
+        assert!(sw.elapsed() >= first + Duration::from_millis(5));
+    }
+
+    #[test]
+    fn double_start_and_double_stop_are_noops() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        sw.start();
+        assert!(sw.is_running());
+        sw.stop();
+        let e = sw.elapsed();
+        sw.stop();
+        assert_eq!(sw.elapsed(), e);
+    }
+
+    #[test]
+    fn elapsed_while_running_includes_in_flight_interval() {
+        let mut sw = Stopwatch::started();
+        sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(2));
+        assert!(sw.is_running());
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        assert!(!sw.is_running());
+    }
+
+    #[test]
+    fn add_folds_virtual_time() {
+        let mut sw = Stopwatch::new();
+        sw.add(Duration::from_secs(3));
+        sw.add(Duration::from_secs(4));
+        assert_eq!(sw.elapsed(), Duration::from_secs(7));
+        assert_eq!(sw.elapsed_micros(), 7_000_000);
+    }
+}

@@ -1,0 +1,208 @@
+//! SVG rendering of utilization traces.
+//!
+//! The ASCII charts ([`crate::ascii`]) make figures readable in a
+//! terminal; this module emits the same stacked area chart as a
+//! self-contained SVG so the regenerated figures can go straight into a
+//! paper or web page. No dependencies — the chart is assembled as a
+//! string.
+
+use crate::trace::UtilTrace;
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Chart title.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 760, height: 300, title: String::new() }
+    }
+}
+
+const MARGIN_LEFT: f64 = 52.0;
+const MARGIN_RIGHT: f64 = 14.0;
+const MARGIN_TOP: f64 = 34.0;
+const MARGIN_BOTTOM: f64 = 40.0;
+
+/// Render a trace as a stacked SVG area chart: CPU-busy (user+sys) in a
+/// solid fill with the IO-wait component stacked above it, axes in
+/// percent and seconds — the paper's figure format.
+pub fn render_svg(trace: &UtilTrace, opts: &SvgOptions) -> String {
+    let w = opts.width as f64;
+    let h = opts.height as f64;
+    let plot_w = (w - MARGIN_LEFT - MARGIN_RIGHT).max(1.0);
+    let plot_h = (h - MARGIN_TOP - MARGIN_BOTTOM).max(1.0);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#,
+        opts.width, opts.height
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/><text x="{}" y="20" font-size="14">{}</text>"#,
+        MARGIN_LEFT,
+        escape_xml(&opts.title)
+    );
+
+    let samples = trace.samples();
+    let duration = trace.duration().max(f64::EPSILON);
+    let x_of = |t: f64| MARGIN_LEFT + t / duration * plot_w;
+    let y_of = |pct: f64| MARGIN_TOP + (100.0 - pct.clamp(0.0, 100.0)) / 100.0 * plot_h;
+
+    // Axes and gridlines at 0/50/100%.
+    for pct in [0.0, 50.0, 100.0] {
+        let y = y_of(pct);
+        let _ = write!(
+            svg,
+            r##"<line x1="{}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/><text x="{}" y="{}" font-size="10" text-anchor="end">{pct:.0}%</text>"##,
+            MARGIN_LEFT,
+            MARGIN_LEFT + plot_w,
+            MARGIN_LEFT - 6.0,
+            y + 3.0
+        );
+    }
+    // Time labels at start/middle/end.
+    for frac in [0.0, 0.5, 1.0] {
+        let t = duration * frac;
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="10" text-anchor="middle">{t:.0}s</text>"#,
+            x_of(t),
+            MARGIN_TOP + plot_h + 16.0
+        );
+    }
+
+    if !samples.is_empty() {
+        // Stacked areas: total (busy + iowait) behind, busy in front.
+        let area = |f: &dyn Fn(&crate::trace::UtilSample) -> f64| -> String {
+            let mut d = format!("M {} {}", x_of(samples[0].t), y_of(0.0));
+            for s in samples {
+                let _ = write!(d, " L {:.2} {:.2}", x_of(s.t), y_of(f(s)));
+            }
+            let _ = write!(d, " L {:.2} {:.2} Z", x_of(samples.last().unwrap().t), y_of(0.0));
+            d
+        };
+        let _ = write!(
+            svg,
+            r##"<path d="{}" fill="#c6dbef" stroke="none"/>"##,
+            area(&|s| s.total())
+        );
+        let _ = write!(
+            svg,
+            r##"<path d="{}" fill="#2171b5" stroke="none"/>"##,
+            area(&|s| s.busy())
+        );
+    }
+
+    // Phase marks as dashed verticals with labels.
+    for m in trace.marks() {
+        let x = x_of(m.t);
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.2}" y1="{}" x2="{x:.2}" y2="{}" stroke="#888" stroke-dasharray="4 3"/><text x="{:.2}" y="{}" font-size="9" fill="#444">{}</text>"##,
+            MARGIN_TOP,
+            MARGIN_TOP + plot_h,
+            x + 3.0,
+            MARGIN_TOP + 10.0,
+            escape_xml(&m.label)
+        );
+    }
+
+    // Legend.
+    let ly = h - 12.0;
+    let _ = write!(
+        svg,
+        r##"<rect x="{}" y="{}" width="12" height="10" fill="#2171b5"/><text x="{}" y="{}" font-size="10">cpu busy</text>"##,
+        MARGIN_LEFT,
+        ly - 9.0,
+        MARGIN_LEFT + 16.0,
+        ly
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="{}" y="{}" width="12" height="10" fill="#c6dbef"/><text x="{}" y="{}" font-size="10">io wait</text>"##,
+        MARGIN_LEFT + 90.0,
+        ly - 9.0,
+        MARGIN_LEFT + 106.0,
+        ly
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::UtilSample;
+
+    fn trace() -> UtilTrace {
+        let mut t = UtilTrace::from_samples(vec![
+            UtilSample { t: 0.0, user: 5.0, sys: 1.0, iowait: 60.0 },
+            UtilSample { t: 10.0, user: 5.0, sys: 1.0, iowait: 60.0 },
+            UtilSample { t: 10.0, user: 95.0, sys: 5.0, iowait: 0.0 },
+            UtilSample { t: 12.0, user: 95.0, sys: 5.0, iowait: 0.0 },
+        ]);
+        t.mark(10.0, "compute begins");
+        t
+    }
+
+    #[test]
+    fn produces_valid_looking_svg() {
+        let svg = render_svg(&trace(), &SvgOptions { title: "test <fig>".into(), ..Default::default() });
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // Title escaped.
+        assert!(svg.contains("test &lt;fig&gt;"));
+        // Two stacked areas + axes + legend.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains("cpu busy"));
+        assert!(svg.contains("io wait"));
+        assert!(svg.contains("100%"));
+        // Phase mark rendered.
+        assert!(svg.contains("compute begins"));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn empty_trace_renders_frame_only() {
+        let svg = render_svg(&UtilTrace::new(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<path").count(), 0);
+        assert!(svg.contains("50%"));
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let svg = render_svg(&trace(), &SvgOptions::default());
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+        for tag in ["rect", "line", "text", "path"] {
+            let opens = svg.matches(&format!("<{tag} ")).count();
+            let closes = svg.matches("/>").count() + svg.matches(&format!("</{tag}>")).count();
+            assert!(closes >= opens, "{tag}: {opens} opens");
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_inside_canvas() {
+        let svg = render_svg(&trace(), &SvgOptions { width: 400, height: 200, title: String::new() });
+        // All x coordinates in path data must be <= 400.
+        for cap in svg.split(['L', 'M']).skip(1) {
+            if let Some(x) = cap.trim().split(' ').next().and_then(|v| v.parse::<f64>().ok()) {
+                assert!(x <= 400.0 + 1e-6, "x = {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Energy accounting for simulated runs.
+//!
+//! The paper flags energy as a first-class trade-off of the ingest
+//! chunk pipeline: small chunks drive "long periods of very high CPU
+//! utilizations", to the point that "CPU heat thresholds were
+//! occasionally breached leading to throttling" (§VI-C1), and names
+//! utilization/energy as factors for comparing against scale-out
+//! (§VIII). This module attaches a simple linear server power model to
+//! a [`SimReport`] so those trade-offs are quantifiable: chunked runs
+//! finish sooner (less base+idle energy) but run hotter (higher average
+//! power) — both sides of the paper's observation.
+
+use crate::engine::SimReport;
+use crate::machine::MachineSpec;
+
+/// Linear server power model: `P(t) = base + busy(t)·busy_core +
+/// idle(t)·idle_core`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Chassis/DRAM/disk baseline draw, watts.
+    pub base_watts: f64,
+    /// Additional draw of one busy hardware context, watts.
+    pub busy_core_watts: f64,
+    /// Draw of an idle hardware context, watts.
+    pub idle_core_watts: f64,
+}
+
+impl EnergyModel {
+    /// A 2014-era dual-socket Xeon server: ~150W chassis baseline,
+    /// ~6W per active hardware context, ~1.5W idle.
+    pub fn paper_server() -> EnergyModel {
+        EnergyModel { base_watts: 150.0, busy_core_watts: 6.0, idle_core_watts: 1.5 }
+    }
+
+    /// Energy breakdown for one simulated run.
+    ///
+    /// # Panics
+    /// Panics if any wattage is negative.
+    pub fn evaluate(&self, report: &SimReport, machine: &MachineSpec) -> EnergyReport {
+        assert!(
+            self.base_watts >= 0.0 && self.busy_core_watts >= 0.0 && self.idle_core_watts >= 0.0,
+            "wattages must be non-negative"
+        );
+        let span = report.makespan;
+        let busy_cs = report.busy_core_seconds;
+        let idle_cs = (machine.contexts as f64 * span - busy_cs).max(0.0);
+        let base_j = self.base_watts * span;
+        let busy_j = self.busy_core_watts * busy_cs;
+        let idle_j = self.idle_core_watts * idle_cs;
+        let total_j = base_j + busy_j + idle_j;
+        EnergyReport {
+            total_joules: total_j,
+            base_joules: base_j,
+            busy_joules: busy_j,
+            idle_joules: idle_j,
+            average_watts: if span > 0.0 { total_j / span } else { 0.0 },
+            peak_watts: self.base_watts
+                + machine.contexts as f64 * self.busy_core_watts,
+        }
+    }
+}
+
+/// Energy breakdown of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy over the job, joules.
+    pub total_joules: f64,
+    /// Baseline (chassis) share.
+    pub base_joules: f64,
+    /// Active-core share.
+    pub busy_joules: f64,
+    /// Idle-core share.
+    pub idle_joules: f64,
+    /// Mean power over the job — the "heat" axis of the paper's
+    /// small-chunk warning.
+    pub average_watts: f64,
+    /// Power if every context were busy (the throttling ceiling).
+    pub peak_watts: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in watt-hours (convenience for reports).
+    pub fn watt_hours(&self) -> f64 {
+        self.total_joules / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Demand, Sim, TaskSpec};
+    use crate::machine::{Device, MachineSpec};
+    use supmr_metrics::Phase;
+
+    fn machine(contexts: usize) -> MachineSpec {
+        MachineSpec {
+            contexts,
+            devices: vec![Device::new("disk", 100.0)],
+            thread_spawn_cost: 0.0,
+        }
+    }
+
+    fn model() -> EnergyModel {
+        EnergyModel { base_watts: 100.0, busy_core_watts: 10.0, idle_core_watts: 1.0 }
+    }
+
+    #[test]
+    fn fully_busy_run_draws_peak_power() {
+        let m = machine(2);
+        let mut sim = Sim::new(m.clone());
+        for _ in 0..2 {
+            sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
+        }
+        let r = sim.run();
+        let e = model().evaluate(&r, &m);
+        // 10s at base 100W + 2 busy cores x 10W = 120W.
+        assert!((e.average_watts - 120.0).abs() < 1e-6);
+        assert!((e.total_joules - 1200.0).abs() < 1e-6);
+        assert_eq!(e.peak_watts, 120.0);
+        assert_eq!(e.idle_joules, 0.0);
+    }
+
+    #[test]
+    fn idle_heavy_run_draws_near_base_power() {
+        let m = machine(4);
+        let mut sim = Sim::new(m.clone());
+        sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 1000.0, device: 0 }],
+            deps: vec![],
+        });
+        let r = sim.run(); // 10s of pure IO wait
+        let e = model().evaluate(&r, &m);
+        // base 100W + 4 idle x 1W = 104W.
+        assert!((e.average_watts - 104.0).abs() < 1e-6);
+        assert_eq!(e.busy_joules, 0.0);
+    }
+
+    #[test]
+    fn faster_job_uses_less_total_energy_but_more_power() {
+        // Same work, half the makespan (twice the cores busy): total
+        // energy drops (base amortized), average power rises — the
+        // paper's chunk-size energy trade-off in miniature.
+        let m = machine(2);
+        let slow = {
+            let mut sim = Sim::new(m.clone());
+            let a = sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
+            sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![a] });
+            model().evaluate(&sim.run(), &m)
+        };
+        let fast = {
+            let mut sim = Sim::new(m.clone());
+            for _ in 0..2 {
+                sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
+            }
+            model().evaluate(&sim.run(), &m)
+        };
+        assert!(fast.total_joules < slow.total_joules);
+        assert!(fast.average_watts > slow.average_watts);
+        assert!((fast.watt_hours() - fast.total_joules / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_server_constants_are_sane() {
+        let e = EnergyModel::paper_server();
+        let m = MachineSpec::paper_testbed(384e6);
+        // All-busy draw: 150 + 32*6 = 342W; plausible for the era.
+        assert!((e.base_watts + m.contexts as f64 * e.busy_core_watts - 342.0).abs() < 1e-9);
+    }
+}

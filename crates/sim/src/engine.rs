@@ -1,0 +1,658 @@
+//! The discrete-event simulation engine.
+//!
+//! A simulation is a DAG of [`TaskSpec`]s. Each task executes a sequence
+//! of demands: **CPU** demands occupy one hardware context exclusively
+//! for a fixed number of core-seconds (FCFS dispatch from a ready
+//! queue), and **flow** demands move bytes through a shared-bandwidth
+//! device under processor sharing (all concurrent flows on a device
+//! progress at `bandwidth / n_flows`). A task becomes ready when all its
+//! dependencies complete.
+//!
+//! The engine advances time event-by-event: the next event is the
+//! earliest CPU completion or flow completion; between events all flow
+//! remainders decrease linearly, so completions are computed exactly.
+//! Every inter-event interval contributes one utilization record
+//! (contexts busy / tasks blocked on IO), which is how the paper's
+//! collectl figures are regenerated without a wall clock.
+
+use crate::machine::MachineSpec;
+use supmr_metrics::trace::TraceBuilder;
+use supmr_metrics::{Phase, UtilTrace};
+use std::collections::VecDeque;
+
+/// Identifies a task within one simulation.
+pub type TaskId = usize;
+
+/// One unit of sequential work inside a task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Demand {
+    /// Occupy one context for this many core-seconds.
+    Cpu(f64),
+    /// Move this many bytes through device `device` (processor shared).
+    Flow {
+        /// Bytes to transfer.
+        bytes: f64,
+        /// Index into [`MachineSpec::devices`].
+        device: usize,
+    },
+}
+
+/// A task: an ordered list of demands gated on dependencies.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Job phase this task belongs to (for per-phase spans and traces).
+    pub phase: Phase,
+    /// Demands executed in order.
+    pub demands: Vec<Demand>,
+    /// Tasks that must complete first.
+    pub deps: Vec<TaskId>,
+}
+
+/// Execution record of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskRecord {
+    /// Simulated start time (first demand dispatched), seconds.
+    pub start: f64,
+    /// Simulated completion time, seconds.
+    pub end: f64,
+    /// The task's phase.
+    pub phase: Phase,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-task records, indexed by [`TaskId`].
+    pub tasks: Vec<TaskRecord>,
+    /// Total simulated time.
+    pub makespan: f64,
+    /// Exact utilization trace (user = CPU-busy contexts, iowait =
+    /// flow-blocked tasks).
+    pub trace: UtilTrace,
+    /// Total CPU core-seconds consumed.
+    pub busy_core_seconds: f64,
+}
+
+impl SimReport {
+    /// Wall-clock span `[start, end]` of all tasks in `phase`, or `None`
+    /// if the phase had no tasks.
+    pub fn phase_span(&self, phase: Phase) -> Option<(f64, f64)> {
+        let mut span: Option<(f64, f64)> = None;
+        for t in self.tasks.iter().filter(|t| t.phase == phase) {
+            span = Some(match span {
+                None => (t.start, t.end),
+                Some((s, e)) => (s.min(t.start), e.max(t.end)),
+            });
+        }
+        span
+    }
+
+    /// Duration of a phase span (0 if the phase had no tasks).
+    pub fn phase_duration(&self, phase: Phase) -> f64 {
+        self.phase_span(phase).map_or(0.0, |(s, e)| e - s)
+    }
+
+    /// Wall-clock span of the union of two phases (the pipeline's fused
+    /// ingest+map span).
+    pub fn fused_span(&self, a: Phase, b: Phase) -> Option<(f64, f64)> {
+        match (self.phase_span(a), self.phase_span(b)) {
+            (Some((s1, e1)), Some((s2, e2))) => Some((s1.min(s2), e1.max(e2))),
+            (one, None) => one,
+            (None, one) => one,
+        }
+    }
+
+    /// Mean total utilization (%) over the whole run.
+    pub fn mean_utilization(&self) -> f64 {
+        self.trace.mean_total_utilization()
+    }
+
+    /// Mean busy utilization (%) over one phase's wall-clock span
+    /// (0 when the phase is absent or empty). This is the per-window
+    /// figure the paper's "+50-100% utilization" claims are about.
+    pub fn phase_mean_busy(&self, phase: Phase) -> f64 {
+        let Some((start, end)) = self.phase_span(phase) else {
+            return 0.0;
+        };
+        if end <= start {
+            return 0.0;
+        }
+        let samples: Vec<_> = self
+            .trace
+            .samples()
+            .iter()
+            .filter(|s| s.t >= start && s.t <= end)
+            .copied()
+            .collect();
+        if samples.len() < 2 {
+            return 0.0;
+        }
+        supmr_metrics::UtilTrace::from_samples(samples).mean_busy_utilization()
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Waiting on `usize` more dependencies.
+    Blocked(usize),
+    /// In the CPU ready queue for demand `demand_idx`.
+    ReadyCpu,
+    /// Running a CPU demand that finishes at `f64`.
+    RunningCpu(f64),
+    /// Flowing on a device with `f64` bytes remaining.
+    Flowing(f64),
+    Done,
+}
+
+struct TaskRt {
+    spec: TaskSpec,
+    state: TaskState,
+    demand_idx: usize,
+    dependents: Vec<TaskId>,
+    start: Option<f64>,
+    end: f64,
+}
+
+/// A configured simulation ready to run.
+pub struct Sim {
+    machine: MachineSpec,
+    tasks: Vec<TaskRt>,
+}
+
+impl Sim {
+    /// New simulation on `machine`.
+    pub fn new(machine: MachineSpec) -> Sim {
+        machine.validate();
+        Sim { machine, tasks: Vec::new() }
+    }
+
+    /// Add a task; returns its id. Dependencies must already exist.
+    ///
+    /// # Panics
+    /// Panics on forward/self dependencies, unknown devices, or
+    /// non-finite/negative demand magnitudes.
+    pub fn add_task(&mut self, spec: TaskSpec) -> TaskId {
+        let id = self.tasks.len();
+        for &d in &spec.deps {
+            assert!(d < id, "dependency {d} must precede task {id}");
+        }
+        for demand in &spec.demands {
+            match *demand {
+                Demand::Cpu(s) => {
+                    assert!(s.is_finite() && s >= 0.0, "cpu demand must be >= 0");
+                }
+                Demand::Flow { bytes, device } => {
+                    assert!(bytes.is_finite() && bytes >= 0.0, "flow bytes must be >= 0");
+                    assert!(device < self.machine.devices.len(), "unknown device {device}");
+                }
+            }
+        }
+        let blocked = spec.deps.len();
+        for &d in &spec.deps {
+            self.tasks[d].dependents.push(id);
+        }
+        self.tasks.push(TaskRt {
+            spec,
+            state: TaskState::Blocked(blocked),
+            demand_idx: 0,
+            dependents: Vec::new(),
+            start: None,
+            end: 0.0,
+        });
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Run to completion.
+    ///
+    /// # Panics
+    /// Panics if the task graph cannot make progress (should be
+    /// impossible for a well-formed DAG).
+    pub fn run(mut self) -> SimReport {
+        let contexts = self.machine.contexts;
+        let mut now = 0.0f64;
+        let mut free_cores = contexts;
+        let mut cpu_ready: VecDeque<TaskId> = VecDeque::new();
+        // Per-device active flow lists.
+        let mut flows: Vec<Vec<TaskId>> = vec![Vec::new(); self.machine.devices.len()];
+        let mut running_cpu: Vec<TaskId> = Vec::new();
+        let mut done = 0usize;
+        let total = self.tasks.len();
+        let mut busy_core_seconds = 0.0f64;
+        let mut tracer = TraceBuilder::new(contexts);
+
+        // Seed: unblock tasks with no dependencies. Completion of
+        // zero-demand tasks cascades through `instant` below.
+        let mut instant: VecDeque<TaskId> = VecDeque::new();
+        for id in 0..total {
+            if self.tasks[id].state == TaskState::Blocked(0) {
+                instant.push_back(id);
+            }
+        }
+
+        loop {
+            // Drain zero-time transitions: start demands, finish empty
+            // tasks, unblock dependents — all at the current instant.
+            while let Some(id) = instant.pop_front() {
+                let demand = self.tasks[id].spec.demands.get(self.tasks[id].demand_idx).copied();
+                match demand {
+                    None => {
+                        // Task complete.
+                        self.tasks[id].start.get_or_insert(now);
+                        self.tasks[id].state = TaskState::Done;
+                        self.tasks[id].end = now;
+                        done += 1;
+                        let deps = std::mem::take(&mut self.tasks[id].dependents);
+                        for dep in &deps {
+                            if let TaskState::Blocked(n) = self.tasks[*dep].state {
+                                let n = n - 1;
+                                self.tasks[*dep].state = TaskState::Blocked(n);
+                                if n == 0 {
+                                    instant.push_back(*dep);
+                                }
+                            }
+                        }
+                        self.tasks[id].dependents = deps;
+                    }
+                    Some(Demand::Cpu(s)) if s <= EPS => {
+                        self.tasks[id].start.get_or_insert(now);
+                        self.tasks[id].demand_idx += 1;
+                        instant.push_back(id);
+                    }
+                    Some(Demand::Flow { bytes, .. }) if bytes <= EPS => {
+                        self.tasks[id].start.get_or_insert(now);
+                        self.tasks[id].demand_idx += 1;
+                        instant.push_back(id);
+                    }
+                    Some(Demand::Cpu(_)) => {
+                        // Start time is stamped at dispatch, not enqueue:
+                        // a queued task has not begun service.
+                        self.tasks[id].state = TaskState::ReadyCpu;
+                        cpu_ready.push_back(id);
+                    }
+                    Some(Demand::Flow { bytes, device }) => {
+                        self.tasks[id].start.get_or_insert(now);
+                        self.tasks[id].state = TaskState::Flowing(bytes);
+                        flows[device].push(id);
+                    }
+                }
+            }
+
+            // Dispatch ready CPU demands onto free cores (FCFS).
+            while free_cores > 0 {
+                let Some(id) = cpu_ready.pop_front() else { break };
+                let Demand::Cpu(s) = self.tasks[id].spec.demands[self.tasks[id].demand_idx]
+                else {
+                    unreachable!("ReadyCpu task must face a Cpu demand");
+                };
+                self.tasks[id].start.get_or_insert(now);
+                self.tasks[id].state = TaskState::RunningCpu(now + s);
+                running_cpu.push(id);
+                free_cores -= 1;
+            }
+
+            if done == total {
+                break;
+            }
+
+            // Find the next event time.
+            let mut t_next = f64::INFINITY;
+            for &id in &running_cpu {
+                if let TaskState::RunningCpu(end) = self.tasks[id].state {
+                    t_next = t_next.min(end);
+                }
+            }
+            for (dev, dev_flows) in flows.iter().enumerate() {
+                if dev_flows.is_empty() {
+                    continue;
+                }
+                let rate = self.machine.devices[dev].bandwidth / dev_flows.len() as f64;
+                for &id in dev_flows {
+                    if let TaskState::Flowing(remaining) = self.tasks[id].state {
+                        t_next = t_next.min(now + remaining / rate);
+                    }
+                }
+            }
+            assert!(
+                t_next.is_finite(),
+                "simulation deadlock: {done}/{total} tasks done, nothing runnable"
+            );
+            let dt = (t_next - now).max(0.0);
+
+            // Account the interval. Flows on CPU-bound devices (the
+            // memory bus) keep threads busy; flows on IO devices are
+            // iowait — the collectl distinction the figures rely on.
+            let mut cpu_flows = 0usize;
+            let mut io_flows = 0usize;
+            for (dev, dev_flows) in flows.iter().enumerate() {
+                match self.machine.devices[dev].busy {
+                    crate::machine::BusyKind::Cpu => cpu_flows += dev_flows.len(),
+                    crate::machine::BusyKind::Io => io_flows += dev_flows.len(),
+                }
+            }
+            let busy = (running_cpu.len() + cpu_flows) as f64;
+            tracer.interval(now, t_next, busy, 0.0, io_flows as f64);
+            busy_core_seconds += busy * dt;
+
+            // Advance flows.
+            for (dev, dev_flows) in flows.iter_mut().enumerate() {
+                if dev_flows.is_empty() {
+                    continue;
+                }
+                let rate = self.machine.devices[dev].bandwidth / dev_flows.len() as f64;
+                for &id in dev_flows.iter() {
+                    if let TaskState::Flowing(remaining) = &mut self.tasks[id].state {
+                        *remaining -= rate * dt;
+                    }
+                }
+                dev_flows.retain(|&id| {
+                    if let TaskState::Flowing(remaining) = self.tasks[id].state {
+                        if remaining <= self.machine.devices[dev].bandwidth * EPS {
+                            self.tasks[id].demand_idx += 1;
+                            instant.push_back(id);
+                            return false;
+                        }
+                    }
+                    true
+                });
+            }
+
+            // Complete CPU demands.
+            now = t_next;
+            running_cpu.retain(|&id| {
+                if let TaskState::RunningCpu(end) = self.tasks[id].state {
+                    if end <= now + EPS {
+                        self.tasks[id].demand_idx += 1;
+                        free_cores += 1;
+                        instant.push_back(id);
+                        return false;
+                    }
+                }
+                true
+            });
+        }
+
+        let records = self
+            .tasks
+            .iter()
+            .map(|t| TaskRecord {
+                start: t.start.unwrap_or(t.end),
+                end: t.end,
+                phase: t.spec.phase,
+            })
+            .collect();
+        SimReport {
+            tasks: records,
+            makespan: now,
+            trace: tracer.build(),
+            busy_core_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Device, MachineSpec};
+
+    fn machine(contexts: usize, bws: &[f64]) -> MachineSpec {
+        MachineSpec {
+            contexts,
+            devices: bws.iter().enumerate().map(|(i, &b)| Device::new(format!("d{i}"), b)).collect(),
+            thread_spawn_cost: 0.0,
+        }
+    }
+
+    fn cpu_task(s: f64, deps: Vec<TaskId>) -> TaskSpec {
+        TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(s)], deps }
+    }
+
+    #[test]
+    fn single_cpu_task_takes_its_duration() {
+        let mut sim = Sim::new(machine(4, &[]));
+        sim.add_task(cpu_task(2.5, vec![]));
+        let r = sim.run();
+        assert!((r.makespan - 2.5).abs() < 1e-9);
+        assert!((r.busy_core_seconds - 2.5).abs() < 1e-9);
+        assert_eq!(r.tasks[0].start, 0.0);
+    }
+
+    #[test]
+    fn parallel_cpu_tasks_use_all_contexts() {
+        let mut sim = Sim::new(machine(4, &[]));
+        for _ in 0..8 {
+            sim.add_task(cpu_task(1.0, vec![]));
+        }
+        let r = sim.run();
+        // 8 core-seconds on 4 cores = 2 seconds, two full waves.
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!((r.mean_utilization() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fcfs_queueing_when_oversubscribed() {
+        let mut sim = Sim::new(machine(1, &[]));
+        let a = sim.add_task(cpu_task(1.0, vec![]));
+        let b = sim.add_task(cpu_task(1.0, vec![]));
+        let r = sim.run();
+        assert!((r.tasks[a].end - 1.0).abs() < 1e-9);
+        assert!((r.tasks[b].start - 1.0).abs() < 1e-9);
+        assert!((r.tasks[b].end - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        let mut sim = Sim::new(machine(8, &[]));
+        let a = sim.add_task(cpu_task(1.0, vec![]));
+        let b = sim.add_task(cpu_task(1.0, vec![a]));
+        let c = sim.add_task(cpu_task(1.0, vec![b]));
+        let r = sim.run();
+        assert!((r.makespan - 3.0).abs() < 1e-9);
+        assert!(r.tasks[c].start >= r.tasks[b].end - 1e-9);
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        let mut sim = Sim::new(machine(2, &[100.0]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 250.0, device: 0 }],
+            deps: vec![],
+        });
+        let r = sim.run();
+        assert!((r.makespan - 2.5).abs() < 1e-9);
+        assert_eq!(r.busy_core_seconds, 0.0);
+    }
+
+    #[test]
+    fn concurrent_flows_share_bandwidth_fairly() {
+        // Two equal flows on one device: both finish at the same time,
+        // total time = total bytes / bandwidth.
+        let mut sim = Sim::new(machine(2, &[100.0]));
+        for _ in 0..2 {
+            sim.add_task(TaskSpec {
+                phase: Phase::Ingest,
+                demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+                deps: vec![],
+            });
+        }
+        let r = sim.run();
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!((r.tasks[0].end - r.tasks[1].end).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_flows_processor_share() {
+        // Flow A = 100 bytes, flow B = 300 bytes, bandwidth 100 B/s.
+        // Shared until A finishes: A needs 100 at 50 B/s => 2s; B then
+        // has 200 left at 100 B/s => finishes at 4s (= total/bw).
+        let mut sim = Sim::new(machine(1, &[100.0]));
+        let a = sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+            deps: vec![],
+        });
+        let b = sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 300.0, device: 0 }],
+            deps: vec![],
+        });
+        let r = sim.run();
+        assert!((r.tasks[a].end - 2.0).abs() < 1e-9, "A at {}", r.tasks[a].end);
+        assert!((r.tasks[b].end - 4.0).abs() < 1e-9, "B at {}", r.tasks[b].end);
+    }
+
+    #[test]
+    fn io_and_cpu_overlap() {
+        // The double-buffering primitive: a 10s flow and a 10s of CPU in
+        // parallel => 10s total, not 20.
+        let mut sim = Sim::new(machine(2, &[10.0]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+            deps: vec![],
+        });
+        sim.add_task(cpu_task(10.0, vec![]));
+        let r = sim.run();
+        assert!((r.makespan - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_demands_within_a_task() {
+        // Flow then CPU: 1s + 2s.
+        let mut sim = Sim::new(machine(1, &[100.0]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Map,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }, Demand::Cpu(2.0)],
+            deps: vec![],
+        });
+        let r = sim.run();
+        assert!((r.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_tasks_complete_instantly() {
+        let mut sim = Sim::new(machine(1, &[]));
+        let a = sim.add_task(TaskSpec { phase: Phase::Setup, demands: vec![], deps: vec![] });
+        let b = sim.add_task(TaskSpec {
+            phase: Phase::Setup,
+            demands: vec![Demand::Cpu(0.0)],
+            deps: vec![a],
+        });
+        let c = sim.add_task(cpu_task(1.0, vec![b]));
+        let r = sim.run();
+        assert_eq!(r.tasks[a].end, 0.0);
+        assert_eq!(r.tasks[b].end, 0.0);
+        assert!((r.tasks[c].end - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_spans_and_fusion() {
+        let mut sim = Sim::new(machine(2, &[100.0]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+            deps: vec![],
+        });
+        let m = sim.add_task(cpu_task(0.5, vec![]));
+        let _ = m;
+        let r = sim.run();
+        assert_eq!(r.phase_span(Phase::Ingest), Some((0.0, 1.0)));
+        let (s, e) = r.fused_span(Phase::Ingest, Phase::Map).unwrap();
+        assert_eq!(s, 0.0);
+        assert!((e - 1.0).abs() < 1e-9);
+        assert_eq!(r.phase_duration(Phase::Merge), 0.0);
+    }
+
+    #[test]
+    fn utilization_trace_reflects_busy_cores() {
+        // 2 contexts, one 1s CPU task: 50% for 1s.
+        let mut sim = Sim::new(machine(2, &[]));
+        sim.add_task(cpu_task(1.0, vec![]));
+        let r = sim.run();
+        assert!((r.trace.mean_busy_utilization() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_shows_iowait_during_flows() {
+        let mut sim = Sim::new(machine(4, &[100.0]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+            deps: vec![],
+        });
+        let r = sim.run();
+        let s = r.trace.samples().first().unwrap();
+        assert_eq!(s.user, 0.0);
+        assert!((s.iowait - 25.0).abs() < 1e-6); // 1 blocked of 4 contexts
+    }
+
+    #[test]
+    fn phase_mean_busy_is_windowed() {
+        // Ingest (flow, idle CPU) for 10s then a 1-core map for 2s on a
+        // 2-context machine: map-window busy = 50%, ingest-window ~0%.
+        let mut sim = Sim::new(machine(2, &[10.0]));
+        let ingest = sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: 100.0, device: 0 }],
+            deps: vec![],
+        });
+        sim.add_task(TaskSpec {
+            phase: Phase::Map,
+            demands: vec![Demand::Cpu(2.0)],
+            deps: vec![ingest],
+        });
+        let r = sim.run();
+        assert!(r.phase_mean_busy(Phase::Ingest) < 1.0);
+        assert!((r.phase_mean_busy(Phase::Map) - 50.0).abs() < 1e-6);
+        assert_eq!(r.phase_mean_busy(Phase::Merge), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_dependency_rejected() {
+        let mut sim = Sim::new(machine(1, &[]));
+        sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![], deps: vec![5] });
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown device")]
+    fn unknown_device_rejected() {
+        let mut sim = Sim::new(machine(1, &[]));
+        sim.add_task(TaskSpec {
+            phase: Phase::Map,
+            demands: vec![Demand::Flow { bytes: 1.0, device: 0 }],
+            deps: vec![],
+        });
+    }
+
+    #[test]
+    fn diamond_dag() {
+        let mut sim = Sim::new(machine(4, &[]));
+        let a = sim.add_task(cpu_task(1.0, vec![]));
+        let b = sim.add_task(cpu_task(2.0, vec![a]));
+        let c = sim.add_task(cpu_task(3.0, vec![a]));
+        let d = sim.add_task(cpu_task(1.0, vec![b, c]));
+        let r = sim.run();
+        assert!((r.tasks[d].start - 4.0).abs() < 1e-9); // after a(1) + c(3)
+        assert!((r.makespan - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_fanout_is_exact() {
+        // 100 tasks of 1 core-second on 10 cores: exactly 10 seconds.
+        let mut sim = Sim::new(machine(10, &[]));
+        for _ in 0..100 {
+            sim.add_task(cpu_task(1.0, vec![]));
+        }
+        let r = sim.run();
+        assert!((r.makespan - 10.0).abs() < 1e-6);
+        assert!((r.busy_core_seconds - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Machine descriptions for the simulator.
+
+/// How a task waiting on a device shows up in a CPU utilization trace.
+///
+/// A thread blocked on disk or network IO is *iowait* to collectl; a
+/// thread stalled on the memory bus is still *executing* — memory-bound
+/// copying reports as user time. The distinction is what makes the
+/// paper's merge phase appear as a busy-CPU step curve rather than an
+/// IO trough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyKind {
+    /// Flows block the thread (disk, network): counted as iowait.
+    Io,
+    /// Flows keep a thread busy (memory bus): counted as user time.
+    Cpu,
+}
+
+/// A shared-bandwidth device (disk array, memory bus, network link).
+/// Concurrent flows share the bandwidth equally (processor sharing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Name used in reports ("raid0", "mem", "1gbe").
+    pub name: String,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Trace classification of flows on this device.
+    pub busy: BusyKind,
+}
+
+impl Device {
+    /// A named IO device (disk, network).
+    ///
+    /// # Panics
+    /// Panics unless `bandwidth` is positive and finite.
+    pub fn new(name: impl Into<String>, bandwidth: f64) -> Device {
+        assert!(bandwidth.is_finite() && bandwidth > 0.0, "bandwidth must be positive");
+        Device { name: name.into(), bandwidth, busy: BusyKind::Io }
+    }
+
+    /// A device whose flows keep threads CPU-busy (the memory bus).
+    pub fn cpu_bound(name: impl Into<String>, bandwidth: f64) -> Device {
+        Device { busy: BusyKind::Cpu, ..Device::new(name, bandwidth) }
+    }
+}
+
+/// A scale-up machine: hardware contexts plus shared-bandwidth devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Hardware contexts (the 100% line of the utilization figures).
+    pub contexts: usize,
+    /// Devices addressable by index in task demands.
+    pub devices: Vec<Device>,
+    /// CPU cost of starting one worker thread, in seconds. Incurred per
+    /// task by the job models — the recurring overhead behind the
+    /// paper's chunk-size discussion.
+    pub thread_spawn_cost: f64,
+}
+
+impl MachineSpec {
+    /// Validate invariants.
+    ///
+    /// # Panics
+    /// Panics if there are no contexts or the spawn cost is negative.
+    pub fn validate(&self) {
+        assert!(self.contexts > 0, "machine needs at least one context");
+        assert!(
+            self.thread_spawn_cost >= 0.0 && self.thread_spawn_cost.is_finite(),
+            "spawn cost must be non-negative"
+        );
+    }
+
+    /// Index of a device by name.
+    pub fn device(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.name == name)
+    }
+
+    /// The paper's testbed: 2×8-core with hyperthreading (32 contexts),
+    /// 3-HDD RAID-0, plus a shared memory bus whose effective merge-scan
+    /// bandwidth is calibrated from the paper's own sort numbers (six
+    /// memory passes over 60GB in 191.23s ⇒ ≈1.88 GB/s; see
+    /// EXPERIMENTS.md).
+    ///
+    /// `disk_bandwidth` is passed in because the paper's two applications
+    /// achieve different effective RAID rates (384 MB/s for word count's
+    /// streaming reads, ≈328 MB/s for sort).
+    pub fn paper_testbed(disk_bandwidth: f64) -> MachineSpec {
+        MachineSpec {
+            contexts: 32,
+            devices: vec![
+                Device::new("disk", disk_bandwidth),
+                Device::cpu_bound("mem", 1.88e9),
+            ],
+            thread_spawn_cost: 100e-6,
+        }
+    }
+
+    /// The paper's Fig. 7 case study: the same compute node ingesting
+    /// from a 32-node HDFS behind one 1GbE link (~117 MB/s effective).
+    pub fn paper_testbed_hdfs() -> MachineSpec {
+        let mut m = MachineSpec::paper_testbed(384e6);
+        m.devices.push(Device::new("1gbe", 117e6));
+        m
+    }
+
+    /// Standard device index for primary storage in the presets.
+    pub const DISK: usize = 0;
+    /// Standard device index for the memory bus in the presets.
+    pub const MEM: usize = 1;
+    /// Device index for the network link in the HDFS preset.
+    pub const NET: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_shape() {
+        let m = MachineSpec::paper_testbed(384e6);
+        m.validate();
+        assert_eq!(m.contexts, 32);
+        assert_eq!(m.device("disk"), Some(MachineSpec::DISK));
+        assert_eq!(m.device("mem"), Some(MachineSpec::MEM));
+        assert!(m.device("1gbe").is_none());
+        let h = MachineSpec::paper_testbed_hdfs();
+        assert_eq!(h.device("1gbe"), Some(MachineSpec::NET));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Device::new("dud", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one context")]
+    fn zero_contexts_rejected() {
+        MachineSpec { contexts: 0, devices: vec![], thread_spawn_cost: 0.0 }.validate();
+    }
+}

@@ -1,0 +1,533 @@
+//! Job models: compile (runtime, application, machine) into a task graph.
+//!
+//! Three runtimes are modeled, matching the paper's comparisons:
+//!
+//! * [`JobModel::Original`] — Phoenix++: serial whole-input ingest, one
+//!   map wave, reduce wave, then a merge built from a parallel sort pass
+//!   plus **iterative 2-way merge rounds** with halving width (the
+//!   Fig. 1 step curve).
+//! * [`JobModel::SupMr`] — the ingest chunk pipeline: per-chunk ingest
+//!   flows overlapped with per-chunk map waves (double buffering), and a
+//!   **single p-way merge round** after the sort pass.
+//! * [`JobModel::OpenMp`] — the §II comparator: serial ingest *and*
+//!   serial single-threaded parse, then a fully parallel sort+merge.
+//!
+//! # Calibration
+//!
+//! [`AppProfile`] holds per-application constants derived from the
+//! paper's own Table II (see EXPERIMENTS.md for the arithmetic):
+//! per-byte map/reduce CPU costs from phase times × contexts, effective
+//! ingest bandwidth from read times, and the merge phase modeled as
+//! memory-bandwidth-bound passes over the intermediate data — one pass
+//! for the parallel run sort, one per 2-way round for the baseline
+//! (log₂ runs), one for the p-way merge.
+
+mod profiles;
+mod scaleout;
+
+pub use scaleout::{scaleout_machine, simulate_scaleout, ScaleOutParams};
+
+use crate::engine::{Demand, Sim, SimReport, TaskId, TaskSpec};
+use crate::machine::MachineSpec;
+use supmr_metrics::{Phase, PhaseTimings};
+use std::time::Duration;
+
+/// Calibrated per-application constants.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    /// Application name for reports.
+    pub name: &'static str,
+    /// Logical input size in bytes.
+    pub input_bytes: f64,
+    /// Map CPU cost per input byte (core-nanoseconds).
+    pub map_ns_per_byte: f64,
+    /// Reduce CPU cost per input byte (core-nanoseconds).
+    pub reduce_ns_per_byte: f64,
+    /// Bytes scanned per merge pass (≈ intermediate data size; 0 for
+    /// jobs whose merge is trivial, like combined word count).
+    pub merge_bytes: f64,
+    /// Merge CPU cost per byte per pass (core-nanoseconds), on top of
+    /// the memory-bus flow.
+    pub merge_cpu_ns_per_byte: f64,
+    /// Sorted runs entering the merge (the baseline does log₂ of this
+    /// many rounds).
+    pub sort_runs: usize,
+    /// Effective ingest bandwidth this application achieves on the
+    /// paper's RAID (bytes/second).
+    pub disk_bandwidth: f64,
+    /// OpenMP-comparator single-threaded parse cost per byte
+    /// (core-nanoseconds).
+    pub parse_ns_per_byte: f64,
+}
+
+/// Which runtime to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobModel {
+    /// The unmodified runtime (Table II's "none" rows).
+    Original,
+    /// The SupMR ingest chunk pipeline + p-way merge.
+    SupMr(PipelineParams),
+    /// The OpenMP comparator of §II / Fig. 3.
+    OpenMp,
+}
+
+/// Parameters of the ingest chunk pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineParams {
+    /// Ingest chunk size in bytes.
+    pub chunk_bytes: f64,
+}
+
+/// A simulated job run.
+#[derive(Debug, Clone)]
+pub struct ModelOutput {
+    /// Human-readable configuration label ("supmr 1GB chunks").
+    pub label: String,
+    /// Table II-style per-phase breakdown.
+    pub timings: PhaseTimings,
+    /// The raw simulation report (trace, task records, makespan).
+    pub report: SimReport,
+    /// Ingest chunks processed (1 for unchunked runtimes).
+    pub chunks: usize,
+}
+
+impl ModelOutput {
+    /// Total simulated job time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.report.makespan
+    }
+}
+
+/// Simulate a job model. `ingest_device` selects which machine device
+/// primary storage lives on (disk for the RAID experiments,
+/// [`MachineSpec::NET`] for the HDFS case study); the profile's
+/// `disk_bandwidth` is only used to *build* disk-device presets, the
+/// simulation honours whatever bandwidth the machine's device has.
+pub fn simulate(
+    model: JobModel,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    ingest_device: usize,
+) -> ModelOutput {
+    let mut sim = Sim::new(machine.clone());
+    let chunks = match model {
+        JobModel::Original => {
+            build_original(&mut sim, profile, machine, ingest_device);
+            1
+        }
+        JobModel::SupMr(params) => build_supmr(&mut sim, profile, machine, ingest_device, params),
+        JobModel::OpenMp => {
+            build_openmp(&mut sim, profile, machine, ingest_device);
+            1
+        }
+    };
+    let report = sim.run();
+
+    let mut timings = PhaseTimings::zero();
+    for phase in [Phase::Ingest, Phase::Map, Phase::Reduce, Phase::Merge] {
+        timings.set_phase(phase, secs(report.phase_duration(phase)));
+    }
+    timings.set_total(secs(report.makespan));
+    if matches!(model, JobModel::SupMr(_)) {
+        let fused = report
+            .fused_span(Phase::Ingest, Phase::Map)
+            .map_or(0.0, |(s, e)| e - s);
+        timings.set_fused_ingest_map(secs(fused));
+    }
+
+    let label = match model {
+        JobModel::Original => format!("{} original", profile.name),
+        JobModel::SupMr(p) => {
+            format!("{} supmr {:.0}MB chunks", profile.name, p.chunk_bytes / 1e6)
+        }
+        JobModel::OpenMp => format!("{} openmp", profile.name),
+    };
+    ModelOutput { label, timings, report, chunks }
+}
+
+pub(crate) fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s.max(0.0))
+}
+
+/// One map wave over `bytes` of resident input: a serial wave-setup
+/// task (the launching thread spawns `contexts` workers one by one —
+/// the recurring cost that makes very small ingest chunks
+/// counter-productive, §III-A2), then `contexts` worker tasks each
+/// taking an equal share of the map work.
+fn map_wave(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    bytes: f64,
+    deps: &[TaskId],
+) -> Vec<TaskId> {
+    let workers = machine.contexts;
+    let setup = sim.add_task(TaskSpec {
+        phase: Phase::Map,
+        demands: vec![Demand::Cpu(machine.thread_spawn_cost * workers as f64)],
+        deps: deps.to_vec(),
+    });
+    let per_task = bytes * profile.map_ns_per_byte * 1e-9 / workers as f64;
+    (0..workers)
+        .map(|_| {
+            sim.add_task(TaskSpec {
+                phase: Phase::Map,
+                demands: vec![Demand::Cpu(per_task)],
+                deps: vec![setup],
+            })
+        })
+        .collect()
+}
+
+/// The reduce wave.
+fn reduce_wave(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    deps: &[TaskId],
+) -> Vec<TaskId> {
+    let workers = machine.contexts;
+    let per_task =
+        profile.input_bytes * profile.reduce_ns_per_byte * 1e-9 / workers as f64;
+    (0..workers)
+        .map(|_| {
+            sim.add_task(TaskSpec {
+                phase: Phase::Reduce,
+                demands: vec![Demand::Cpu(machine.thread_spawn_cost + per_task)],
+                deps: deps.to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// One memory pass of the merge phase executed by `width` parallel
+/// workers: each moves its share of the intermediate bytes through the
+/// memory bus and spends its share of compare CPU.
+fn merge_pass(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    width: usize,
+    deps: &[TaskId],
+) -> Vec<TaskId> {
+    let width = width.max(1);
+    let bytes_per = profile.merge_bytes / width as f64;
+    let cpu_per = profile.merge_bytes * profile.merge_cpu_ns_per_byte * 1e-9 / width as f64;
+    (0..width)
+        .map(|_| {
+            sim.add_task(TaskSpec {
+                phase: Phase::Merge,
+                demands: vec![
+                    Demand::Cpu(machine.thread_spawn_cost + cpu_per),
+                    Demand::Flow { bytes: bytes_per, device: MachineSpec::MEM },
+                ],
+                deps: deps.to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// The merge phase: a fully parallel run-sort pass, then either the
+/// baseline's halving-width 2-way rounds or a single p-way round.
+fn merge_phase(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    pway: bool,
+    deps: &[TaskId],
+) -> Vec<TaskId> {
+    if profile.merge_bytes <= 0.0 {
+        return deps.to_vec();
+    }
+    // "each round (1) sorts many small lists in parallel" — pass 1.
+    let mut frontier = merge_pass(sim, profile, machine, machine.contexts, deps);
+    if pway {
+        // One single-round p-way merge at full width.
+        frontier = merge_pass(sim, profile, machine, machine.contexts, &frontier);
+    } else {
+        // Iterative 2-way rounds: runs/2, runs/4, … 1 concurrent merges.
+        let mut merges = profile.sort_runs / 2;
+        while merges >= 1 {
+            frontier = merge_pass(sim, profile, machine, merges, &frontier);
+            if merges == 1 {
+                break;
+            }
+            merges /= 2;
+        }
+    }
+    frontier
+}
+
+fn build_original(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    ingest_device: usize,
+) {
+    let ingest = sim.add_task(TaskSpec {
+        phase: Phase::Ingest,
+        demands: vec![Demand::Flow { bytes: profile.input_bytes, device: ingest_device }],
+        deps: vec![],
+    });
+    let maps = map_wave(sim, profile, machine, profile.input_bytes, &[ingest]);
+    let reduces = reduce_wave(sim, profile, machine, &maps);
+    merge_phase(sim, profile, machine, false, &reduces);
+}
+
+fn build_supmr(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    ingest_device: usize,
+    params: PipelineParams,
+) -> usize {
+    assert!(params.chunk_bytes > 0.0, "chunk size must be positive");
+    let n = (profile.input_bytes / params.chunk_bytes).ceil().max(1.0) as usize;
+    let chunk_bytes = |i: usize| {
+        if i + 1 == n {
+            profile.input_bytes - params.chunk_bytes * (n - 1) as f64
+        } else {
+            params.chunk_bytes
+        }
+    };
+
+    // Round structure: ingest[i] may start once ingest[i-1] is done and
+    // the map wave of chunk i-2 has finished (that wave's end is when
+    // round i-1 starts, which is when the pipeline spawns the ingest
+    // thread for chunk i). Map wave i needs chunk i resident and the
+    // previous wave's workers back.
+    let mut prev_ingest: Option<TaskId> = None;
+    let mut prev_wave: Vec<TaskId> = Vec::new();
+    let mut older_wave: Vec<TaskId> = Vec::new();
+    let mut last_wave: Vec<TaskId> = Vec::new();
+    for i in 0..n {
+        let mut ingest_deps: Vec<TaskId> = Vec::new();
+        if let Some(p) = prev_ingest {
+            ingest_deps.push(p);
+        }
+        ingest_deps.extend_from_slice(&older_wave);
+        let ingest = sim.add_task(TaskSpec {
+            phase: Phase::Ingest,
+            demands: vec![Demand::Flow { bytes: chunk_bytes(i), device: ingest_device }],
+            deps: ingest_deps,
+        });
+        let mut wave_deps = vec![ingest];
+        wave_deps.extend_from_slice(&prev_wave);
+        let wave = map_wave(sim, profile, machine, chunk_bytes(i), &wave_deps);
+
+        older_wave = std::mem::take(&mut prev_wave);
+        prev_wave.clone_from(&wave);
+        last_wave = wave;
+        prev_ingest = Some(ingest);
+    }
+
+    let reduces = reduce_wave(sim, profile, machine, &last_wave);
+    merge_phase(sim, profile, machine, true, &reduces);
+    n
+}
+
+fn build_openmp(
+    sim: &mut Sim,
+    profile: &AppProfile,
+    machine: &MachineSpec,
+    ingest_device: usize,
+) {
+    // Serial ingest + single-threaded parse: the whole reason OpenMP
+    // loses on time-to-result despite a faster compute phase.
+    let ingest = sim.add_task(TaskSpec {
+        phase: Phase::Ingest,
+        demands: vec![
+            Demand::Flow { bytes: profile.input_bytes, device: ingest_device },
+            Demand::Cpu(profile.input_bytes * profile.parse_ns_per_byte * 1e-9),
+        ],
+        deps: vec![],
+    });
+    merge_phase(sim, profile, machine, true, &[ingest]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol_frac: f64) -> bool {
+        (a - b).abs() <= b.abs() * tol_frac
+    }
+
+    #[test]
+    fn original_wordcount_matches_table2_row_none() {
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let out = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+        // Paper: total 471.75s, read 403.90s, map 67.41s.
+        let read = out.timings.phase(Phase::Ingest).as_secs_f64();
+        let map = out.timings.phase(Phase::Map).as_secs_f64();
+        assert!(approx(read, 403.9, 0.02), "read = {read}");
+        assert!(approx(map, 67.41, 0.05), "map = {map}");
+        assert!(approx(out.total_secs(), 471.75, 0.03), "total = {}", out.total_secs());
+    }
+
+    #[test]
+    fn supmr_wordcount_1gb_chunks_matches_table2() {
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let out = simulate(
+            JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+            &profile,
+            &machine,
+            MachineSpec::DISK,
+        );
+        // Paper: total 407.58s, read+map 406.14s, 155 chunks.
+        assert_eq!(out.chunks, 155);
+        assert!(approx(out.total_secs(), 407.58, 0.03), "total = {}", out.total_secs());
+        let fused = out.timings.fused_ingest_map().unwrap().as_secs_f64();
+        assert!(approx(fused, 406.14, 0.03), "fused = {fused}");
+    }
+
+    #[test]
+    fn supmr_wordcount_50gb_chunks_is_slower_than_1gb_but_faster_than_none() {
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let run = |model| simulate(model, &profile, &machine, MachineSpec::DISK).total_secs();
+        let none = run(JobModel::Original);
+        let small = run(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }));
+        let large = run(JobModel::SupMr(PipelineParams { chunk_bytes: 50e9 }));
+        // Paper ordering: 407.58 < 429.76 < 471.75.
+        assert!(small < large, "small {small} vs large {large}");
+        assert!(large < none, "large {large} vs none {none}");
+        assert!(approx(large, 429.76, 0.05), "50GB total = {large}");
+    }
+
+    #[test]
+    fn original_sort_matches_table2_and_has_step_down_merge() {
+        let profile = AppProfile::sort_60gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let out = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+        // Paper: total 397.31, read 182.78, merge 191.23.
+        let read = out.timings.phase(Phase::Ingest).as_secs_f64();
+        let merge = out.timings.phase(Phase::Merge).as_secs_f64();
+        assert!(approx(read, 182.78, 0.02), "read = {read}");
+        assert!(approx(merge, 191.23, 0.05), "merge = {merge}");
+        assert!(approx(out.total_secs(), 397.31, 0.05), "total = {}", out.total_secs());
+    }
+
+    #[test]
+    fn supmr_sort_merge_speedup_matches_3x() {
+        let profile = AppProfile::sort_60gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let base = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+        let supmr = simulate(
+            JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+            &profile,
+            &machine,
+            MachineSpec::DISK,
+        );
+        let merge_speedup = base.timings.phase(Phase::Merge).as_secs_f64()
+            / supmr.timings.phase(Phase::Merge).as_secs_f64();
+        // Paper: 3.12-3.13×.
+        assert!(
+            merge_speedup > 2.5 && merge_speedup < 3.6,
+            "merge speedup = {merge_speedup}"
+        );
+        let total_speedup = base.total_secs() / supmr.total_secs();
+        // Paper: 1.46×.
+        assert!(
+            total_speedup > 1.3 && total_speedup < 1.6,
+            "total speedup = {total_speedup}"
+        );
+    }
+
+    #[test]
+    fn openmp_compute_fast_total_slow() {
+        let profile = AppProfile::sort_60gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let mr = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+        let omp = simulate(JobModel::OpenMp, &profile, &machine, MachineSpec::DISK);
+        // Fig. 3: OpenMP's compute (merge) phase is much shorter…
+        assert!(
+            omp.timings.phase(Phase::Merge) < mr.timings.phase(Phase::Merge),
+            "OpenMP compute should beat MR compute"
+        );
+        // …but its serial ingest+parse makes total time-to-result worse
+        // (paper: 192 seconds slower).
+        let gap = omp.total_secs() - mr.total_secs();
+        assert!(gap > 120.0 && gap < 260.0, "OpenMP slower by {gap}s");
+    }
+
+    #[test]
+    fn hdfs_case_study_small_speedup_despite_high_utilization() {
+        let profile = AppProfile::word_count_30gb_hdfs();
+        let machine = MachineSpec::paper_testbed_hdfs();
+        let base = simulate(JobModel::Original, &profile, &machine, MachineSpec::NET);
+        let supmr = simulate(
+            JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+            &profile,
+            &machine,
+            MachineSpec::NET,
+        );
+        let speedup_secs = base.total_secs() - supmr.total_secs();
+        // Paper: "only a 7 second speedup" on a ~260s job.
+        assert!(
+            speedup_secs > 2.0 && speedup_secs < 20.0,
+            "speedup = {speedup_secs}s"
+        );
+        assert!(base.total_secs() > 200.0);
+        // Utilization during ingest is higher for SupMR (map overlays).
+        assert!(supmr.report.mean_utilization() > base.report.mean_utilization());
+    }
+
+    #[test]
+    fn pipeline_utilization_beats_original() {
+        // Conclusion of Fig. 5: ingest chunks lift CPU utilization.
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let base = simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK);
+        let supmr = simulate(
+            JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+            &profile,
+            &machine,
+            MachineSpec::DISK,
+        );
+        assert!(
+            supmr.report.trace.mean_busy_utilization()
+                > base.report.trace.mean_busy_utilization()
+        );
+    }
+
+    #[test]
+    fn smaller_chunks_higher_utilization() {
+        // Conclusion 2: utilization rises as chunks shrink.
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let util = |chunk: f64| {
+            simulate(
+                JobModel::SupMr(PipelineParams { chunk_bytes: chunk }),
+                &profile,
+                &machine,
+                MachineSpec::DISK,
+            )
+            .report
+            .trace
+            .mean_busy_utilization()
+        };
+        let small = util(1e9);
+        let large = util(50e9);
+        assert!(small > large, "1GB util {small} vs 50GB util {large}");
+    }
+
+    #[test]
+    fn chunk_count_and_labels() {
+        let profile = AppProfile::word_count_155gb();
+        let machine = MachineSpec::paper_testbed(profile.disk_bandwidth);
+        let out = simulate(
+            JobModel::SupMr(PipelineParams { chunk_bytes: 50e9 }),
+            &profile,
+            &machine,
+            MachineSpec::DISK,
+        );
+        assert_eq!(out.chunks, 4); // 155 / 50 → 3 full + 1 short
+        assert!(out.label.contains("supmr"));
+        assert!(simulate(JobModel::Original, &profile, &machine, MachineSpec::DISK)
+            .label
+            .contains("original"));
+    }
+}

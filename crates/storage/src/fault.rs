@@ -1,0 +1,125 @@
+//! Fault injection for storage paths.
+//!
+//! Production ingest deals with devices that fail mid-stream. These
+//! decorators inject deterministic failures so the runtime's error
+//! propagation (pipeline threads, buffered prefetch, partial chunks)
+//! can be tested: a [`FaultySource`] fails every read at or beyond a
+//! byte offset; a [`FaultyFileSet`] fails reads of a specific file.
+
+use crate::source::{DataSource, FileSet};
+use std::io;
+
+/// A [`DataSource`] that fails all reads touching `fail_at` or beyond.
+#[derive(Debug)]
+pub struct FaultySource<S> {
+    inner: S,
+    fail_at: u64,
+    kind: io::ErrorKind,
+}
+
+impl<S: DataSource> FaultySource<S> {
+    /// Fail reads at or beyond byte `fail_at` with `kind`.
+    pub fn new(inner: S, fail_at: u64, kind: io::ErrorKind) -> Self {
+        FaultySource { inner, fail_at, kind }
+    }
+
+    fn error(&self) -> io::Error {
+        io::Error::new(self.kind, format!("injected fault at byte {}", self.fail_at))
+    }
+}
+
+impl<S: DataSource> DataSource for FaultySource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        if offset + buf.len() as u64 > self.fail_at {
+            return Err(self.error());
+        }
+        self.inner.read_at(offset, buf)
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (faulty at {})", self.inner.describe(), self.fail_at)
+    }
+}
+
+/// A [`FileSet`] whose `fail_file`-th file cannot be read.
+#[derive(Debug)]
+pub struct FaultyFileSet<F> {
+    inner: F,
+    fail_file: usize,
+    kind: io::ErrorKind,
+}
+
+impl<F: FileSet> FaultyFileSet<F> {
+    /// Fail reads of file index `fail_file` with `kind`.
+    pub fn new(inner: F, fail_file: usize, kind: io::ErrorKind) -> Self {
+        FaultyFileSet { inner, fail_file, kind }
+    }
+}
+
+impl<F: FileSet> FileSet for FaultyFileSet<F> {
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
+
+    fn file_len(&self, idx: usize) -> u64 {
+        self.inner.file_len(idx)
+    }
+
+    fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>> {
+        if idx == self.fail_file {
+            return Err(io::Error::new(
+                self.kind,
+                format!("injected fault reading file {idx}"),
+            ));
+        }
+        self.inner.read_file(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{MemFileSet, MemSource, SourceExt};
+
+    #[test]
+    fn reads_below_the_fault_succeed() {
+        let mut s = FaultySource::new(
+            MemSource::from((0u8..100).collect::<Vec<u8>>()),
+            50,
+            io::ErrorKind::BrokenPipe,
+        );
+        assert_eq!(s.read_range(0, 50).unwrap().len(), 50);
+        assert_eq!(s.len(), 100);
+        assert!(s.describe().contains("faulty"));
+    }
+
+    #[test]
+    fn reads_across_the_fault_fail() {
+        let mut s = FaultySource::new(
+            MemSource::from(vec![0u8; 100]),
+            50,
+            io::ErrorKind::BrokenPipe,
+        );
+        let err = s.read_range(40, 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(s.read_all().is_err());
+    }
+
+    #[test]
+    fn faulty_fileset_fails_only_the_marked_file() {
+        let mut fs = FaultyFileSet::new(
+            MemFileSet::new(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]),
+            1,
+            io::ErrorKind::PermissionDenied,
+        );
+        assert_eq!(fs.read_file(0).unwrap(), b"a");
+        assert_eq!(fs.read_file(1).unwrap_err().kind(), io::ErrorKind::PermissionDenied);
+        assert_eq!(fs.read_file(2).unwrap(), b"c");
+        assert_eq!(fs.file_count(), 3);
+        assert_eq!(fs.file_len(1), 1);
+    }
+}

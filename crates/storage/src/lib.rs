@@ -1,0 +1,46 @@
+//! Data sources for the SupMR ingest phase.
+//!
+//! The paper's ingest bottleneck exists because primary storage is slower
+//! than the compute fabric: a 3-disk RAID-0 topping out at 384 MB/s, or a
+//! 32-node HDFS behind a single 1GbE link. This crate provides the storage
+//! abstraction the runtime ingests from, plus implementations that
+//! reproduce those environments on commodity hardware:
+//!
+//! * [`source::DataSource`] — byte-addressed sequential input (one large
+//!   file — Terasort-style).
+//! * [`source::FileSet`] — a collection of small files (word-count-style),
+//!   the unit of intra-file chunking.
+//! * [`record::RecordFormat`] — how records terminate, so inter-file
+//!   chunking can adjust split points to record boundaries.
+//! * [`throttle`] — a token-bucket rate limiter and throttled source
+//!   wrappers that emulate a bounded-bandwidth device (the RAID-0) with
+//!   real wall-clock pacing.
+//! * [`hdfs`] — a simulated scale-out store: N datanodes with per-node
+//!   disk bandwidth behind one shared, rate-limited link (the Fig. 7
+//!   case study).
+
+//! ```
+//! use supmr_storage::{DataSource, MemSource, SourceExt, ThrottledSource};
+//!
+//! // A 1KB in-memory input served through a paced "device".
+//! let mut src = ThrottledSource::new(
+//!     MemSource::from(vec![7u8; 1024]),
+//!     64.0 * 1024.0 * 1024.0, // 64 MiB/s
+//! );
+//! assert_eq!(src.len(), 1024);
+//! assert_eq!(src.read_range(100, 24).unwrap(), vec![7u8; 24]);
+//! ```
+
+pub mod fault;
+pub mod hdfs;
+pub mod record;
+pub mod source;
+pub mod throttle;
+
+pub use fault::{FaultyFileSet, FaultySource};
+pub use hdfs::{HdfsConfig, HdfsSource};
+pub use record::RecordFormat;
+pub use source::{
+    CachedSource, DataSource, DirFileSet, FileSet, FileSource, MemFileSet, MemSource, SourceExt,
+};
+pub use throttle::{ThrottledFileSet, ThrottledSource, TokenBucket};

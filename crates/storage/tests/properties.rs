@@ -1,0 +1,150 @@
+//! Property tests for the storage substrate: split-point adjustment must
+//! partition inputs without losing or duplicating bytes, boundaries must
+//! be genuine record boundaries, and the token bucket must never exceed
+//! its configured rate.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use supmr_storage::throttle::BucketState;
+use supmr_storage::{MemSource, RecordFormat, SourceExt};
+
+/// Text made of small records with the given terminator.
+fn text_with_terminator(term: &'static str) -> impl Strategy<Value = Vec<u8>> {
+    vec(vec(b'a'..=b'z', 0..12), 0..60).prop_map(move |words| {
+        let mut out = Vec::new();
+        for w in words {
+            out.extend_from_slice(&w);
+            out.extend_from_slice(term.as_bytes());
+        }
+        out
+    })
+}
+
+proptest! {
+    #[test]
+    fn newline_adjustment_lands_on_boundaries(
+        data in text_with_terminator("\n"),
+        want_frac in 0.0f64..=1.0,
+    ) {
+        let want = ((data.len() as f64) * want_frac) as usize;
+        let adjusted = RecordFormat::Newline.adjust_split_point(&data, want);
+        prop_assert!(adjusted >= want);
+        prop_assert!(RecordFormat::Newline.is_boundary(&data, adjusted));
+    }
+
+    #[test]
+    fn crlf_adjustment_lands_on_boundaries(
+        data in text_with_terminator("\r\n"),
+        want_frac in 0.0f64..=1.0,
+    ) {
+        let want = ((data.len() as f64) * want_frac) as usize;
+        let adjusted = RecordFormat::CrLf.adjust_split_point(&data, want);
+        prop_assert!(adjusted >= want);
+        prop_assert!(RecordFormat::CrLf.is_boundary(&data, adjusted));
+    }
+
+    #[test]
+    fn chunking_by_adjusted_splits_is_a_partition(
+        data in text_with_terminator("\n"),
+        chunk_size in 1usize..64,
+    ) {
+        // Walk the input in chunk_size strides with boundary adjustment;
+        // the concatenation of chunks must equal the input and every cut
+        // must be a boundary.
+        let f = RecordFormat::Newline;
+        let mut pos = 0;
+        let mut rebuilt = Vec::new();
+        while pos < data.len() {
+            let want = (pos + chunk_size).min(data.len());
+            let end = f.adjust_split_point(&data, want);
+            prop_assert!(end > pos, "chunking must make progress");
+            prop_assert!(f.is_boundary(&data, end));
+            rebuilt.extend_from_slice(&data[pos..end]);
+            pos = end;
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn record_iteration_is_lossless(
+        data in text_with_terminator("\n"),
+    ) {
+        let mut rebuilt = Vec::new();
+        for rec in RecordFormat::Newline.records(&data) {
+            prop_assert!(!rec.is_empty());
+            rebuilt.extend_from_slice(rec);
+        }
+        prop_assert_eq!(rebuilt, data);
+    }
+
+    #[test]
+    fn fixed_width_records_have_uniform_length(
+        n in 0usize..500,
+        w in 1usize..17,
+    ) {
+        let data = vec![0xABu8; n];
+        let recs: Vec<&[u8]> = RecordFormat::FixedWidth(w).records(&data).collect();
+        for (i, r) in recs.iter().enumerate() {
+            if i + 1 < recs.len() {
+                prop_assert_eq!(r.len(), w);
+            } else {
+                prop_assert!(r.len() <= w && !r.is_empty());
+            }
+        }
+        prop_assert_eq!(recs.iter().map(|r| r.len()).sum::<usize>(), n);
+    }
+
+    #[test]
+    fn mem_source_range_reads_agree_with_slicing(
+        data in vec(any::<u8>(), 0..2000),
+        start in 0u64..2500,
+        len in 0usize..2500,
+    ) {
+        let mut src = MemSource::from(data.clone());
+        let got = src.read_range(start, len).unwrap();
+        let s = (start as usize).min(data.len());
+        let e = (s + len).min(data.len());
+        prop_assert_eq!(got, data[s..e].to_vec());
+    }
+
+    #[test]
+    fn token_bucket_never_exceeds_rate_plus_burst(
+        rate in 10.0f64..1e6,
+        burst in 10.0f64..1e5,
+        requests in vec((0u64..100_000, 0u64..1_000_000_000u64), 1..50),
+    ) {
+        // Feed monotone timestamps; total granted by time T must be
+        // <= burst + rate * T (the token-bucket contract).
+        let mut b = BucketState::new(rate, burst, 0);
+        let mut t = 0u64;
+        let mut granted = 0u64;
+        for (want, dt) in requests {
+            t += dt;
+            granted += b.take(want, t);
+            let elapsed_secs = t as f64 / 1e9;
+            let ceiling = burst + rate * elapsed_secs + 1.0;
+            prop_assert!(
+                (granted as f64) <= ceiling,
+                "granted {} > ceiling {} at t={}s", granted, ceiling, elapsed_secs
+            );
+        }
+    }
+
+    #[test]
+    fn token_bucket_eventually_grants_everything(
+        rate in 100.0f64..1e6,
+        want in 1u64..10_000,
+    ) {
+        let mut b = BucketState::new(rate, rate.max(64.0), 0);
+        let mut granted = 0u64;
+        let mut t = 0u64;
+        let mut iterations = 0;
+        while granted < want {
+            granted += b.take(want - granted, t);
+            t += 1_000_000_000; // 1 virtual second per retry
+            iterations += 1;
+            prop_assert!(iterations < 100_000, "bucket starved");
+        }
+        prop_assert_eq!(granted, want);
+    }
+}

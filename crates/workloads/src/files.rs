@@ -1,0 +1,79 @@
+//! Many-small-files corpora for intra-file chunking.
+//!
+//! Word count's input in the Hadoop ecosystem is "many small files"
+//! (§III-A); SupMR's intra-file chunking coalesces several of them into
+//! one ingest chunk. This module materializes such corpora — in memory
+//! for tests and benches, or on disk for the examples.
+
+use crate::text::{TextGen, TextGenConfig};
+use std::io;
+use std::path::Path;
+
+/// Generate `count` text files of roughly `bytes_per_file` each, as raw
+/// contents (index = file order). Contents are deterministic in `seed`.
+pub fn small_files_corpus(seed: u64, count: usize, bytes_per_file: usize) -> Vec<Vec<u8>> {
+    let gen = TextGen::new(TextGenConfig::default());
+    (0..count)
+        .map(|i| gen.generate_bytes(seed.wrapping_add(i as u64), bytes_per_file))
+        .collect()
+}
+
+/// Write a small-files corpus into `dir` as `part-00000 … part-NNNNN`
+/// (the Hadoop naming convention), creating the directory.
+pub fn write_corpus_dir(
+    dir: &Path,
+    seed: u64,
+    count: usize,
+    bytes_per_file: usize,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, contents) in small_files_corpus(seed, count, bytes_per_file).iter().enumerate() {
+        std::fs::write(dir.join(format!("part-{i:05}")), contents)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let files = small_files_corpus(1, 7, 2000);
+        assert_eq!(files.len(), 7);
+        for f in &files {
+            assert!(f.len() >= 2000 && f.len() < 2100);
+            assert_eq!(*f.last().unwrap(), b'\n');
+        }
+    }
+
+    #[test]
+    fn files_differ_from_each_other_but_are_reproducible() {
+        let a = small_files_corpus(5, 3, 1000);
+        let b = small_files_corpus(5, 3, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1]);
+        assert_ne!(a[1], a[2]);
+    }
+
+    #[test]
+    fn empty_corpus_is_fine() {
+        assert!(small_files_corpus(1, 0, 100).is_empty());
+    }
+
+    #[test]
+    fn writes_hadoop_style_part_files() {
+        let dir = std::env::temp_dir().join("supmr-files-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_corpus_dir(&dir, 2, 3, 500).unwrap();
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["part-00000", "part-00001", "part-00002"]);
+        let on_disk = std::fs::read(dir.join("part-00001")).unwrap();
+        assert_eq!(on_disk, small_files_corpus(2, 3, 500)[1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

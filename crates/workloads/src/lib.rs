@@ -1,0 +1,27 @@
+//! Deterministic workload generators for the SupMR experiments.
+//!
+//! The paper evaluates on two inputs that match Hadoop's two input shapes
+//! (§III-A): **Terasort data** — one big file of `\r\n`-terminated
+//! 100-byte records (60GB for sort) — and a **text corpus** — many files
+//! of whitespace-separated words (155GB for word count). Both are
+//! synthetic, so faithful reproduction means regenerating the same
+//! *formats* at any scale:
+//!
+//! * [`teragen`] — gensort-style fixed-size records with uniform random
+//!   printable keys, addressable by record index (any byte range can be
+//!   produced without materializing the whole input).
+//! * [`text`] — Zipf-distributed words over a synthetic vocabulary,
+//!   newline-terminated lines, matching word count's skewed key
+//!   distribution (many pairs with the same key — the reason its hash
+//!   container works well).
+//! * [`files`] — the many-small-files corpus for intra-file chunking.
+
+pub mod files;
+pub mod points;
+pub mod teragen;
+pub mod text;
+
+pub use files::small_files_corpus;
+pub use points::{clustered_points, PointsConfig};
+pub use teragen::{TeraGen, TERA_KEY_LEN, TERA_RECORD_LEN};
+pub use text::{TextGen, TextGenConfig};

@@ -1,0 +1,130 @@
+//! Clustered 2-D point generation for the kmeans application.
+//!
+//! Emits `x y\n` text lines: `k` Gaussian-ish blobs (Irwin–Hall
+//! approximation — the sum of uniforms — so no extra distribution
+//! crate is needed) around well-separated centers. Deterministic in
+//! the seed, like every other generator in this crate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`clustered_points`].
+#[derive(Debug, Clone, Copy)]
+pub struct PointsConfig {
+    /// Number of blobs.
+    pub clusters: usize,
+    /// Points per blob.
+    pub points_per_cluster: usize,
+    /// Blob standard deviation (same on both axes).
+    pub spread: f64,
+    /// Distance scale between blob centers.
+    pub separation: f64,
+}
+
+impl Default for PointsConfig {
+    fn default() -> Self {
+        PointsConfig { clusters: 4, points_per_cluster: 500, spread: 0.5, separation: 10.0 }
+    }
+}
+
+/// The true blob centers used by [`clustered_points`], laid out on a
+/// circle so every pair is well separated.
+pub fn true_centers(config: &PointsConfig) -> Vec<(f64, f64)> {
+    (0..config.clusters)
+        .map(|i| {
+            let angle = 2.0 * std::f64::consts::PI * i as f64 / config.clusters as f64;
+            (config.separation * angle.cos(), config.separation * angle.sin())
+        })
+        .collect()
+}
+
+/// Approximate standard normal via Irwin–Hall (12 uniforms).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+}
+
+/// Generate the corpus as `x y\n` text.
+///
+/// # Panics
+/// Panics if `clusters == 0`.
+pub fn clustered_points(seed: u64, config: &PointsConfig) -> Vec<u8> {
+    assert!(config.clusters > 0, "need at least one cluster");
+    let centers = true_centers(config);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    // Interleave clusters so chunked ingest sees all of them early.
+    for p in 0..config.points_per_cluster {
+        let _ = p;
+        for &(cx, cy) in &centers {
+            let x = cx + config.spread * gaussian(&mut rng);
+            let y = cy + config.spread * gaussian(&mut rng);
+            out.extend_from_slice(format!("{x:.6} {y:.6}\n").as_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_count_and_format() {
+        let config = PointsConfig { clusters: 3, points_per_cluster: 100, ..Default::default() };
+        let data = clustered_points(1, &config);
+        let lines: Vec<&[u8]> = data.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 300);
+        for line in lines {
+            let s = std::str::from_utf8(line).unwrap();
+            let fields: Vec<f64> =
+                s.split(' ').map(|f| f.parse().expect("numeric field")).collect();
+            assert_eq!(fields.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let c = PointsConfig::default();
+        assert_eq!(clustered_points(9, &c), clustered_points(9, &c));
+        assert_ne!(clustered_points(9, &c), clustered_points(10, &c));
+    }
+
+    #[test]
+    fn points_hug_their_centers() {
+        let config = PointsConfig {
+            clusters: 2,
+            points_per_cluster: 200,
+            spread: 0.1,
+            separation: 100.0,
+        };
+        let centers = true_centers(&config);
+        let data = clustered_points(3, &config);
+        for line in String::from_utf8(data).unwrap().lines() {
+            let mut it = line.split(' ');
+            let x: f64 = it.next().unwrap().parse().unwrap();
+            let y: f64 = it.next().unwrap().parse().unwrap();
+            let nearest = centers
+                .iter()
+                .map(|&(cx, cy)| ((x - cx).powi(2) + (y - cy).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 2.0, "point ({x},{y}) far from every center");
+        }
+    }
+
+    #[test]
+    fn centers_are_distinct() {
+        let c = true_centers(&PointsConfig { clusters: 5, ..Default::default() });
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let d = ((c[i].0 - c[j].0).powi(2) + (c[i].1 - c[j].1).powi(2)).sqrt();
+                assert!(d > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        clustered_points(1, &PointsConfig { clusters: 0, ..Default::default() });
+    }
+}

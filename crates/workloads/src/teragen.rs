@@ -1,0 +1,208 @@
+//! Terasort input generation (gensort-style).
+//!
+//! Each record is exactly [`TERA_RECORD_LEN`] (100) bytes: a
+//! [`TERA_KEY_LEN`] (10) byte uniform random printable key, an ASCII
+//! payload carrying the record number, and the `\r\n` terminator the
+//! paper's split-point adjustment looks for ("each key-value pair in the
+//! input for Terasort is terminated with `\r\n`").
+//!
+//! Generation is *indexed*: record `i` depends only on `(seed, i)`, so any
+//! byte range of an arbitrarily large logical input can be produced on
+//! demand — that is what lets the benchmark harness pretend a 60GB input
+//! exists while only ever materializing the chunks in flight.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bytes per record, terminator included.
+pub const TERA_RECORD_LEN: usize = 100;
+/// Bytes of key at the start of each record.
+pub const TERA_KEY_LEN: usize = 10;
+
+const PRINTABLE: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+/// A deterministic Terasort input generator.
+#[derive(Debug, Clone, Copy)]
+pub struct TeraGen {
+    seed: u64,
+    records: u64,
+}
+
+impl TeraGen {
+    /// A generator for `records` records under `seed`.
+    pub fn new(seed: u64, records: u64) -> TeraGen {
+        TeraGen { seed, records }
+    }
+
+    /// A generator sized to approximately `bytes` of input (rounded down
+    /// to whole records).
+    pub fn with_total_bytes(seed: u64, bytes: u64) -> TeraGen {
+        TeraGen::new(seed, bytes / TERA_RECORD_LEN as u64)
+    }
+
+    /// Number of records.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total input size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.records * TERA_RECORD_LEN as u64
+    }
+
+    /// Generate record `i` (0-based).
+    ///
+    /// # Panics
+    /// Panics if `i >= records()`.
+    pub fn record(&self, i: u64) -> [u8; TERA_RECORD_LEN] {
+        assert!(i < self.records, "record index {i} out of range");
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rec = [b' '; TERA_RECORD_LEN];
+        for b in rec.iter_mut().take(TERA_KEY_LEN) {
+            *b = PRINTABLE[rng.gen_range(0..PRINTABLE.len())];
+        }
+        // Payload: two-hyphen frame then the record number in decimal,
+        // padded with repeating filler — visually similar to gensort's
+        // "recordnumber" ASCII format.
+        rec[TERA_KEY_LEN] = b'-';
+        let num = format!("{i:020}");
+        rec[TERA_KEY_LEN + 1..TERA_KEY_LEN + 1 + num.len()].copy_from_slice(num.as_bytes());
+        let filler_start = TERA_KEY_LEN + 1 + num.len();
+        let filler = PRINTABLE[(i % PRINTABLE.len() as u64) as usize];
+        for b in rec.iter_mut().take(TERA_RECORD_LEN - 2).skip(filler_start) {
+            *b = filler;
+        }
+        rec[TERA_RECORD_LEN - 2] = b'\r';
+        rec[TERA_RECORD_LEN - 1] = b'\n';
+        rec
+    }
+
+    /// Materialize the byte range `[offset, offset + len)` of the logical
+    /// input, truncated at the logical end.
+    pub fn read_range(&self, offset: u64, len: usize) -> Vec<u8> {
+        let total = self.total_bytes();
+        if offset >= total {
+            return Vec::new();
+        }
+        let end = (offset + len as u64).min(total);
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut rec_idx = offset / TERA_RECORD_LEN as u64;
+        let mut skip = (offset % TERA_RECORD_LEN as u64) as usize;
+        while (out.len() as u64) < end - offset {
+            let rec = self.record(rec_idx);
+            let want = (end - offset) as usize - out.len();
+            let take = (TERA_RECORD_LEN - skip).min(want);
+            out.extend_from_slice(&rec[skip..skip + take]);
+            skip = 0;
+            rec_idx += 1;
+        }
+        out
+    }
+
+    /// Materialize the whole input. Only sensible at test scales.
+    pub fn generate_all(&self) -> Vec<u8> {
+        self.read_range(0, self.total_bytes() as usize)
+    }
+
+    /// Write the whole input to a file.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for i in 0..self.records {
+            w.write_all(&self.record(i))?;
+        }
+        w.flush()
+    }
+
+    /// The 10-byte key of record `i`.
+    pub fn key(&self, i: u64) -> [u8; TERA_KEY_LEN] {
+        let rec = self.record(i);
+        let mut key = [0u8; TERA_KEY_LEN];
+        key.copy_from_slice(&rec[..TERA_KEY_LEN]);
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_exactly_100_bytes_and_crlf_terminated() {
+        let g = TeraGen::new(1, 50);
+        for i in 0..50 {
+            let r = g.record(i);
+            assert_eq!(r.len(), TERA_RECORD_LEN);
+            assert_eq!(&r[TERA_RECORD_LEN - 2..], b"\r\n");
+            assert!(r[..TERA_KEY_LEN].iter().all(|b| PRINTABLE.contains(b)));
+            // No stray terminators inside the record body.
+            assert!(!r[..TERA_RECORD_LEN - 2].iter().any(|&b| b == b'\n' || b == b'\r'));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = TeraGen::new(7, 10).generate_all();
+        let b = TeraGen::new(7, 10).generate_all();
+        let c = TeraGen::new(8, 10).generate_all();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+    }
+
+    #[test]
+    fn read_range_matches_generate_all() {
+        let g = TeraGen::new(3, 20);
+        let all = g.generate_all();
+        // Unaligned range crossing several records.
+        assert_eq!(g.read_range(37, 301), all[37..338].to_vec());
+        // Range truncated at the end.
+        assert_eq!(g.read_range(1990, 100), all[1990..].to_vec());
+        // Range past the end.
+        assert!(g.read_range(2000, 10).is_empty());
+        assert!(g.read_range(9999, 1).is_empty());
+    }
+
+    #[test]
+    fn with_total_bytes_rounds_down() {
+        let g = TeraGen::with_total_bytes(1, 1234);
+        assert_eq!(g.records(), 12);
+        assert_eq!(g.total_bytes(), 1200);
+    }
+
+    #[test]
+    fn keys_vary() {
+        let g = TeraGen::new(11, 1000);
+        let first = g.key(0);
+        let distinct = (0..1000).filter(|&i| g.key(i) != first).count();
+        assert!(distinct > 990, "keys should be effectively unique");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_record_panics() {
+        TeraGen::new(1, 5).record(5);
+    }
+
+    #[test]
+    fn write_to_disk_round_trips() {
+        let dir = std::env::temp_dir().join("supmr-teragen-test");
+        let path = dir.join("tera.dat");
+        let g = TeraGen::new(5, 30);
+        g.write_to(&path).unwrap();
+        let disk = std::fs::read(&path).unwrap();
+        assert_eq!(disk, g.generate_all());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn payload_embeds_record_number() {
+        let g = TeraGen::new(2, 100);
+        let r = g.record(42);
+        let body = String::from_utf8_lossy(&r[TERA_KEY_LEN..TERA_RECORD_LEN - 2]);
+        assert!(body.contains("00000000000000000042"), "body = {body}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Iterative MapReduce: kmeans over generated blobs, one SupMR job per
+//! assignment pass, with the input served by a slow "device" wrapped in
+//! a [`supmr_storage::CachedSource`] — the first pass pays the ingest
+//! bottleneck, every later pass hits RAM (the related-work caching idea
+//! of §VII applied to an iterative driver).
+//!
+//! ```text
+//! cargo run --release --example kmeans_clustering
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use supmr::runtime::{Input, JobConfig};
+use supmr::Chunking;
+use supmr_apps::kmeans::run_kmeans;
+use supmr_storage::{CachedSource, DataSource, MemSource, ThrottledSource};
+use supmr_workloads::points::{clustered_points, true_centers, PointsConfig};
+
+/// A `DataSource` view over shared cached bytes, so every iteration's
+/// `Input` reads the same warm cache.
+struct SharedCache(Arc<Mutex<CachedSource<ThrottledSource<MemSource>>>>);
+
+impl DataSource for SharedCache {
+    fn len(&self) -> u64 {
+        self.0.lock().unwrap().len()
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().read_at(offset, buf)
+    }
+
+    fn describe(&self) -> String {
+        self.0.lock().unwrap().describe()
+    }
+}
+
+fn main() {
+    let pc = PointsConfig { clusters: 5, points_per_cluster: 4000, ..Default::default() };
+    let corpus = clustered_points(2026, &pc);
+    println!(
+        "{} points in {} blobs ({} KB of 'x y' lines), device throttled to 8 MB/s",
+        pc.clusters * pc.points_per_cluster,
+        pc.clusters,
+        corpus.len() / 1024
+    );
+
+    let cache = Arc::new(Mutex::new(CachedSource::new(ThrottledSource::new(
+        MemSource::from(corpus),
+        8.0 * 1024.0 * 1024.0,
+    ))));
+
+    let config = JobConfig {
+        map_workers: 4,
+        reduce_workers: 2,
+        split_bytes: 64 * 1024,
+        chunking: Chunking::Inter { chunk_bytes: 256 * 1024 },
+        ..JobConfig::default()
+    };
+
+    // Forgy initialization: k points sampled evenly through the input.
+    let init: Vec<(f64, f64)> = {
+        let warm = cache.lock().unwrap().cached().expect("cache input");
+        let lines: Vec<&[u8]> =
+            warm.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        (0..pc.clusters)
+            .map(|i| {
+                // The generator interleaves blobs round-robin, so
+                // consecutive lines visit each blob once — k consecutive
+                // samples give one seed per blob (deterministic Forgy).
+                let line = lines[i + pc.clusters * 8];
+                let s = std::str::from_utf8(line).expect("utf8 line");
+                let mut it = s.split(' ');
+                (
+                    it.next().unwrap().parse().expect("x"),
+                    it.next().unwrap().parse().expect("y"),
+                )
+            })
+            .collect()
+    };
+    let t0 = Instant::now();
+    let cache_for_runs = Arc::clone(&cache);
+    let result = run_kmeans(
+        move || Ok(Input::stream(SharedCache(Arc::clone(&cache_for_runs)))),
+        init,
+        &config,
+        50,
+        1e-6,
+    )
+    .expect("kmeans failed");
+    let elapsed = t0.elapsed();
+
+    println!(
+        "\nconverged: {} after {} iterations in {:.2}s (cache {})",
+        result.converged,
+        result.iterations,
+        elapsed.as_secs_f64(),
+        if cache.lock().unwrap().is_cached() { "warm after pass 1" } else { "never warmed" },
+    );
+    println!("\nrecovered centroids vs true centers:");
+    let truth = true_centers(&pc);
+    for (i, (x, y)) in result.centroids.iter().enumerate() {
+        let nearest = truth
+            .iter()
+            .map(|&(tx, ty)| ((x - tx).powi(2) + (y - ty).powi(2)).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        println!("  centroid {i}: ({x:7.3}, {y:7.3})   distance to nearest truth: {nearest:.3}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: define a MapReduce job, run it on the original runtime
+//! and on the SupMR ingest chunk pipeline, compare phase breakdowns.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::Sum;
+use supmr::container::HashContainer;
+use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::Chunking;
+use supmr_metrics::PhaseTimings;
+use supmr_storage::{MemSource, ThrottledSource};
+use supmr_workloads::{TextGen, TextGenConfig};
+
+/// The classic: count words.
+struct WordCount;
+
+impl MapReduce for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| !b.is_ascii_alphanumeric()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, count: u64) -> u64 {
+        count
+    }
+}
+
+fn main() {
+    // 8MB of Zipf text served by a "disk" throttled to 16 MB/s, so the
+    // ingest phase is visible like on the paper's RAID.
+    let corpus = TextGen::new(TextGenConfig::default()).generate_bytes(1, 8 * 1024 * 1024);
+    let disk = |data: Vec<u8>| {
+        Input::stream(ThrottledSource::new(MemSource::from(data), 16.0 * 1024.0 * 1024.0))
+    };
+
+    let mut config = JobConfig { merge: MergeMode::PWay { ways: 4 }, ..JobConfig::default() };
+
+    println!("running word count on the ORIGINAL runtime (ingest, then map)...");
+    let original = run_job(WordCount, disk(corpus.clone()), config.clone()).unwrap();
+
+    println!("running word count on the SUPMR PIPELINE (1MB ingest chunks)...");
+    config.chunking = Chunking::Inter { chunk_bytes: 1024 * 1024 };
+    let supmr = run_job(WordCount, disk(corpus), config).unwrap();
+
+    assert_eq!(original.sorted_pairs(), supmr.sorted_pairs(), "identical results");
+
+    println!("\n{}", PhaseTimings::table_header());
+    println!("{}", original.timings.table_row("none"));
+    println!("{}", supmr.timings.table_row("1MB"));
+    println!(
+        "\nspeedup {:.2}x over {} ingest chunks / {} map rounds",
+        supmr.timings.total_speedup_vs(&original.timings),
+        supmr.stats.ingest_chunks,
+        supmr.stats.map_rounds,
+    );
+
+    let mut top: Vec<(String, u64)> = supmr.pairs.clone();
+    top.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!("\ntop words:");
+    for (word, count) in top.iter().take(5) {
+        println!("  {word:<12} {count}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Umbrella crate for the SupMR reproduction workspace.
+//!
+//! Re-exports every member crate under one name so the examples and
+//! integration tests in this package (and downstream users who want a
+//! single dependency) can reach the whole system:
+//!
+//! * [`supmr`] — the runtime (the paper's contribution).
+//! * [`supmr_merge`] — merge/sort algorithms.
+//! * [`supmr_storage`] — data sources and throttling.
+//! * [`supmr_sim`] — the scale-up machine simulator.
+//! * [`supmr_workloads`] — deterministic input generators.
+//! * [`supmr_metrics`] — timers, traces, rendering.
+//! * [`supmr_apps`] — the application suite.
+
+pub use supmr;
+pub use supmr_apps;
+pub use supmr_merge;
+pub use supmr_metrics;
+pub use supmr_sim;
+pub use supmr_storage;
+pub use supmr_workloads;
