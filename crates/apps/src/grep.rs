@@ -19,7 +19,11 @@ impl Grep {
     /// A matcher for the given patterns. Empty patterns are ignored.
     pub fn new<P: Into<Vec<u8>>>(patterns: Vec<P>) -> Grep {
         Grep {
-            patterns: patterns.into_iter().map(Into::into).filter(|p: &Vec<u8>| !p.is_empty()).collect(),
+            patterns: patterns
+                .into_iter()
+                .map(Into::into)
+                .filter(|p: &Vec<u8>| !p.is_empty())
+                .collect(),
         }
     }
 
@@ -96,9 +100,7 @@ mod tests {
         assert_eq!(grep.patterns().len(), 2, "empty pattern dropped");
         let mut sink = VecEmit::default();
         grep.map(b"cat catalog dogcat", &mut sink);
-        let get = |p: &[u8]| {
-            sink.pairs.iter().find(|(k, _)| k == p).map(|(_, c)| *c)
-        };
+        let get = |p: &[u8]| sink.pairs.iter().find(|(k, _)| k == p).map(|(_, c)| *c);
         assert_eq!(get(b"cat"), Some(3));
         assert_eq!(get(b"dog"), Some(1));
     }

@@ -88,9 +88,7 @@ mod tests {
             JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() },
         )
         .unwrap();
-        let lookup = |b: usize| {
-            r.pairs.iter().find(|(k, _)| *k == b).map(|(_, c)| *c).unwrap_or(0)
-        };
+        let lookup = |b: usize| r.pairs.iter().find(|(k, _)| *k == b).map(|(_, c)| *c).unwrap_or(0);
         assert_eq!(lookup(Histogram::bucket(0, 10)), 2);
         assert_eq!(lookup(Histogram::bucket(0, 99)), 1);
         assert_eq!(lookup(Histogram::bucket(1, 20)), 3);

@@ -43,16 +43,12 @@ impl MapReduce for InvertedIndex {
             let Some(tab) = line.iter().position(|&b| b == b'\t') else {
                 continue;
             };
-            let Ok(doc_id) = std::str::from_utf8(&line[..tab])
-                .unwrap_or("")
-                .trim()
-                .parse::<u32>()
+            let Ok(doc_id) = std::str::from_utf8(&line[..tab]).unwrap_or("").trim().parse::<u32>()
             else {
                 continue;
             };
-            for word in line[tab + 1..]
-                .split(|b| !b.is_ascii_alphanumeric())
-                .filter(|w| !w.is_empty())
+            for word in
+                line[tab + 1..].split(|b| !b.is_ascii_alphanumeric()).filter(|w| !w.is_empty())
             {
                 emit.emit(String::from_utf8_lossy(word).into_owned(), doc_id);
             }
@@ -87,9 +83,8 @@ mod tests {
     fn builds_sorted_deduplicated_postings() {
         let mut config = JobConfig::default();
         config.merge = MergeMode::PWay { ways: 2 };
-        let r =
-            run_job(InvertedIndex::new(), Input::stream(MemSource::from(corpus())), config)
-                .unwrap();
+        let r = run_job(InvertedIndex::new(), Input::stream(MemSource::from(corpus())), config)
+            .unwrap();
         let index: std::collections::HashMap<String, Vec<u32>> = r.pairs.into_iter().collect();
         assert_eq!(index["rust"], vec![1, 2, 3]); // deduped despite doc 3 repeats
         assert_eq!(index["memory"], vec![1, 3]);
@@ -137,8 +132,7 @@ mod tests {
         let piped =
             run_job(InvertedIndex::new(), Input::files(MemFileSet::new(files)), config).unwrap();
         assert_eq!(base.sorted_pairs(), piped.sorted_pairs());
-        let index: std::collections::HashMap<String, Vec<u32>> =
-            base.pairs.into_iter().collect();
+        let index: std::collections::HashMap<String, Vec<u32>> = base.pairs.into_iter().collect();
         assert_eq!(index["shared"].len(), 45);
     }
 }

@@ -14,11 +14,11 @@
 //! container; the driver recomputes centroids from the k reduced
 //! values and iterates to convergence.
 
+use std::io;
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::ArrayContainer;
 use supmr::runtime::{run_job, Input, JobConfig, JobResult};
-use std::io;
 
 /// Partial sums for one cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -135,8 +135,7 @@ pub fn run_kmeans(
     while iterations < max_iterations && !converged {
         iterations += 1;
         let step = KMeansStep::new(centroids.clone());
-        let result: JobResult<usize, ClusterSum> =
-            run_job(step, make_input()?, config.clone())?;
+        let result: JobResult<usize, ClusterSum> = run_job(step, make_input()?, config.clone())?;
         points = result.pairs.iter().map(|(_, s)| s.n).sum();
         let mut next = centroids.clone();
         for (cluster, sum) in &result.pairs {
@@ -182,8 +181,7 @@ mod tests {
         let truth = true_centers(&pc);
         // Start centroids near (but not at) the truth so label
         // correspondence is deterministic.
-        let init: Vec<(f64, f64)> =
-            truth.iter().map(|&(x, y)| (x + 1.0, y - 1.0)).collect();
+        let init: Vec<(f64, f64)> = truth.iter().map(|&(x, y)| (x + 1.0, y - 1.0)).collect();
         let result = run_kmeans(
             || Ok(Input::stream(MemSource::from(data.clone()))),
             init,

@@ -151,12 +151,8 @@ mod tests {
         let data = samples(0.5, 3.0, 2000);
         let mut config = JobConfig::default();
         config.chunking = Chunking::Inter { chunk_bytes: 512 };
-        let r = run_job(
-            LinearRegression::new(),
-            Input::stream(MemSource::from(data)),
-            config,
-        )
-        .unwrap();
+        let r =
+            run_job(LinearRegression::new(), Input::stream(MemSource::from(data)), config).unwrap();
         let f = fit(&r.pairs).unwrap();
         assert!((f.slope - 0.5).abs() < 1e-9);
         assert!((f.intercept - 3.0).abs() < 1e-9);

@@ -112,12 +112,9 @@ mod tests {
         config.record_format = TeraSort::record_format();
         config.chunking = Chunking::Inter { chunk_bytes: 8_000 };
         config.merge = MergeMode::PWay { ways: 4 };
-        let r = run_job(
-            TeraSort::new(),
-            Input::stream(MemSource::from(gen.generate_all())),
-            config,
-        )
-        .unwrap();
+        let r =
+            run_job(TeraSort::new(), Input::stream(MemSource::from(gen.generate_all())), config)
+                .unwrap();
         validate_sorted_output(&r.pairs, 500).unwrap();
         // Keys really are the sorted multiset of generated keys.
         let mut expected: Vec<Vec<u8>> = (0..500).map(|i| gen.key(i).to_vec()).collect();

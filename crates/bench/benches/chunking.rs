@@ -68,10 +68,8 @@ fn bench_intra_chunking(c: &mut Criterion) {
             &per_chunk,
             |b, &per_chunk| {
                 b.iter(|| {
-                    let mut chunker = IntraFileChunker::new(
-                        MemFileSet::new(black_box(files.clone())),
-                        per_chunk,
-                    );
+                    let mut chunker =
+                        IntraFileChunker::new(MemFileSet::new(black_box(files.clone())), per_chunk);
                     let mut n = 0;
                     while let Some(ch) = chunker.next_chunk().unwrap() {
                         n += ch.len();

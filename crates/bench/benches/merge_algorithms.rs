@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
-use supmr_merge::{kway_merge, pairwise_merge_rounds, parallel_kway_merge, parallel_sort, MergeBackend};
+use supmr_merge::{
+    kway_merge, pairwise_merge_rounds, parallel_kway_merge, parallel_sort, MergeBackend,
+};
 
 fn sorted_runs(k: usize, total: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,0 +1,75 @@
+//! Criterion bench: per-wave thread spawn/join vs persistent-pool
+//! dispatch — the overhead the paper's pipeline pays once per ingest
+//! chunk ("create thread / destroy thread" each round, §III-A2). Tasks
+//! are deliberately trivial so the measurement isolates provisioning
+//! cost rather than map work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use supmr::pool::{run_wave, WorkerPool};
+
+const TASKS_PER_WAVE: usize = 64;
+
+fn trivial_task(i: usize, x: u64) -> u64 {
+    black_box(x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left((i % 64) as u32))
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch");
+    for workers in [1usize, 2, 4, 8] {
+        let tasks: Vec<u64> = (0..TASKS_PER_WAVE as u64).collect();
+        group.bench_with_input(BenchmarkId::new("wave_spawn_join", workers), &workers, |b, &w| {
+            b.iter(|| {
+                run_wave(w, tasks.clone(), |i, x| {
+                    black_box(trivial_task(i, x));
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("persistent_pool", workers), &workers, |b, &w| {
+            let pool = WorkerPool::new(w);
+            b.iter(|| {
+                pool.run(tasks.clone(), |i, x| {
+                    black_box(trivial_task(i, x));
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_many_rounds(c: &mut Criterion) {
+    // The pipeline shape: many small waves back to back (one per ingest
+    // chunk). This is where spawn/join overhead compounds.
+    const ROUNDS: usize = 16;
+    let mut group = c.benchmark_group("pool_dispatch_rounds");
+    group.sample_size(10);
+    for workers in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("wave_spawn_join", workers), &workers, |b, &w| {
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    run_wave(w, (0..w as u64).collect(), |i, x| {
+                        black_box(trivial_task(i, x));
+                    });
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("persistent_pool", workers), &workers, |b, &w| {
+            let pool = WorkerPool::new(w);
+            b.iter(|| {
+                for _ in 0..ROUNDS {
+                    pool.run((0..w as u64).collect(), |i, x| {
+                        black_box(trivial_task(i, x));
+                    });
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dispatch, bench_many_rounds
+}
+criterion_main!(benches);

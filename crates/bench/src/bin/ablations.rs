@@ -11,8 +11,12 @@
 //! 3. **Merge backend × container** — p-way vs pairwise on the sort
 //!    workload (work counters, since wall-clock parallel gains need
 //!    more hardware contexts than this machine has).
+//! 4. **Worker provisioning** — per-wave spawn/join vs one persistent
+//!    pool per job, unthrottled so the provisioning overhead is not
+//!    hidden behind the device.
 
 use supmr::chunk::AdaptiveConfig;
+use supmr::pool::PoolMode;
 use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
 use supmr::Chunking;
 use supmr_apps::{TeraSort, WordCount};
@@ -101,14 +105,10 @@ fn main() {
     // --- 3: merge backend work accounting ---
     println!("\n== Ablation 3: merge backend (sort, 4MB) ==");
     let sort_data = TeraGen::with_total_bytes(7, 4 * 1024 * 1024).generate_all();
-    println!(
-        "{:>16} {:>9} {:>8} {:>14}",
-        "backend", "merge_s", "rounds", "elements_moved"
-    );
-    for (label, merge) in [
-        ("pairwise_rounds", MergeMode::PairwiseRounds),
-        ("pway", MergeMode::PWay { ways: 4 }),
-    ] {
+    println!("{:>16} {:>9} {:>8} {:>14}", "backend", "merge_s", "rounds", "elements_moved");
+    for (label, merge) in
+        [("pairwise_rounds", MergeMode::PairwiseRounds), ("pway", MergeMode::PWay { ways: 4 })]
+    {
         let mut cfg = wc_config();
         cfg.record_format = TeraSort::record_format();
         cfg.split_bytes = 64 * 1024;
@@ -129,6 +129,37 @@ fn main() {
             format!("{}", r.stats.merge_elements_moved),
         ]);
     }
+
+    // --- 4: worker provisioning (spawn/join vs persistent pool) ---
+    println!("\n== Ablation 4: pool mode (word count, 8MB unthrottled, 128KB chunks) ==");
+    println!("{:>12} {:>9} {:>8} {:>9} {:>8}", "pool", "total_s", "rounds", "spawned", "reused");
+    let small_corpus = TextGen::new(TextGenConfig::default()).generate_bytes(3, 8 * 1024 * 1024);
+    for pool in [PoolMode::WavePerRound, PoolMode::Persistent] {
+        let mut cfg = wc_config();
+        cfg.split_bytes = 32 * 1024;
+        cfg.chunking = Chunking::Inter { chunk_bytes: 128 * 1024 };
+        cfg.pool = pool;
+        let r =
+            run_job(WordCount::new(), Input::stream(MemSource::from(small_corpus.clone())), cfg)
+                .unwrap();
+        let total = r.timings.total().as_secs_f64();
+        println!(
+            "{:>12} {:>9.3} {:>8} {:>9} {:>8}",
+            format!("{pool}"),
+            total,
+            r.stats.map_rounds,
+            r.stats.threads_spawned,
+            r.stats.threads_reused
+        );
+        csv.row(&[
+            "pool_mode".into(),
+            format!("{pool}"),
+            format!("{total:.3}"),
+            format!("{}", r.stats.ingest_chunks),
+            format!("{}", r.stats.threads_spawned),
+        ]);
+    }
+    println!("(64 rounds: the wave baseline re-provisions every round, the pool is built once)");
 
     let path = results_dir().join("ablations.csv");
     csv.write_to(&path).expect("write ablations CSV");

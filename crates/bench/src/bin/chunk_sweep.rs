@@ -26,8 +26,7 @@ fn analytic_total(profile: &AppProfile, machine: &MachineSpec, chunk_bytes: f64)
     let spawn = machine.thread_spawn_cost * machine.contexts as f64;
     let map_chunk = chunk_bytes * profile.map_ns_per_byte * 1e-9 / machine.contexts as f64;
     let round = f64::max(ingest_chunk, spawn + map_chunk);
-    let reduce = profile.input_bytes * profile.reduce_ns_per_byte * 1e-9
-        / machine.contexts as f64;
+    let reduce = profile.input_bytes * profile.reduce_ns_per_byte * 1e-9 / machine.contexts as f64;
     ingest_chunk + (n - 1.0) * round + spawn + map_chunk + reduce
 }
 
@@ -55,9 +54,8 @@ fn main() {
 
     // DES below ~8MB chunks would need millions of simulated tasks;
     // those points carry the analytic column only.
-    let sizes: [f64; 14] = [
-        64e3, 256e3, 1e6, 4e6, 8e6, 16e6, 64e6, 256e6, 1e9, 4e9, 10e9, 25e9, 50e9, 100e9,
-    ];
+    let sizes: [f64; 14] =
+        [64e3, 256e3, 1e6, 4e6, 8e6, 16e6, 64e6, 256e6, 1e9, 4e9, 10e9, 25e9, 50e9, 100e9];
     const DES_MIN_CHUNK: f64 = 8e6;
     for &chunk_bytes in &sizes {
         let analytic = analytic_total(&profile, &machine, chunk_bytes);

@@ -5,8 +5,8 @@
 //! of a diagram.
 
 use supmr_bench::results_dir;
-use supmr_metrics::csv::CsvTable;
 use supmr_bench::RealScale;
+use supmr_metrics::csv::CsvTable;
 
 fn bar(secs: f64, scale: f64, ch: char) -> String {
     let cells = (secs * scale).round().max(0.0) as usize;
@@ -49,12 +49,7 @@ fn main() {
                 bar(ingest, chart_scale, '#'),
                 ingest
             );
-            println!(
-                "{:>5} {:>8}  M|{:<48}| {:>7.3}s",
-                "", "",
-                bar(map, chart_scale, '='),
-                map
-            );
+            println!("{:>5} {:>8}  M|{:<48}| {:>7.3}s", "", "", bar(map, chart_scale, '='), map);
         } else if i == 12 {
             println!("  ... {} more rounds ...", rounds.len() - 15);
         }

@@ -19,7 +19,8 @@ fn main() {
 
     let mr_compute = mr.total_secs() - mr.timings.phase(Phase::Ingest).as_secs_f64();
     let omp_compute = omp.timings.phase(Phase::Merge).as_secs_f64();
-    println!("MapReduce: total {:.1}s (ingest {:.1}s, compute-after-ingest {:.1}s)",
+    println!(
+        "MapReduce: total {:.1}s (ingest {:.1}s, compute-after-ingest {:.1}s)",
         mr.total_secs(),
         mr.timings.phase(Phase::Ingest).as_secs_f64(),
         mr_compute,
@@ -30,10 +31,7 @@ fn main() {
         omp.timings.phase(Phase::Ingest).as_secs_f64(),
         omp_compute,
     );
-    println!(
-        "compute advantage OpenMP: {:.0}s   (paper: 214s)",
-        mr_compute - omp_compute
-    );
+    println!("compute advantage OpenMP: {:.0}s   (paper: 214s)", mr_compute - omp_compute);
     println!(
         "total-time advantage MapReduce: {:.0}s   (paper: 192s)",
         omp.total_secs() - mr.total_secs()

@@ -6,8 +6,8 @@
 use supmr_bench::results_dir;
 use supmr_metrics::csv::CsvTable;
 use supmr_sim::{
-    scaleout_machine, simulate, simulate_scaleout, AppProfile, EnergyModel, JobModel,
-    MachineSpec, ModelOutput, PipelineParams, ScaleOutParams,
+    scaleout_machine, simulate, simulate_scaleout, AppProfile, EnergyModel, JobModel, MachineSpec,
+    ModelOutput, PipelineParams, ScaleOutParams,
 };
 
 struct Row {
@@ -35,10 +35,7 @@ fn scale_out_row(profile: &AppProfile, params: &ScaleOutParams) -> Row {
     let out = simulate_scaleout(profile, params);
     let per_node = EnergyModel::paper_server();
     // N chassis: N× the base draw; per-context draws unchanged.
-    let cluster = EnergyModel {
-        base_watts: per_node.base_watts * params.nodes as f64,
-        ..per_node
-    };
+    let cluster = EnergyModel { base_watts: per_node.base_watts * params.nodes as f64, ..per_node };
     let energy = cluster.evaluate(&out.report, &machine);
     row(&out, energy.average_watts, energy.watt_hours())
 }
@@ -63,8 +60,14 @@ fn main() {
         "{:<32} {:>9} {:>10} {:>9} {:>10}",
         "configuration", "total_s", "busy_util%", "avg_W", "energy_Wh"
     );
-    let mut csv =
-        CsvTable::new(&["app", "configuration", "total_s", "busy_util_pct", "avg_watts", "energy_wh"]);
+    let mut csv = CsvTable::new(&[
+        "app",
+        "configuration",
+        "total_s",
+        "busy_util_pct",
+        "avg_watts",
+        "energy_wh",
+    ]);
     for profile in [AppProfile::word_count_155gb(), AppProfile::sort_60gb()] {
         let rows = [scale_up_row(&profile), scale_out_row(&profile, &params)];
         for r in &rows {

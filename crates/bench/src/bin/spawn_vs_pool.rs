@@ -1,0 +1,109 @@
+//! Spawn-per-wave vs persistent-pool ablation.
+//!
+//! Two measurements:
+//!
+//! 1. **Raw dispatch cost** — many tiny waves of trivial tasks, timing
+//!    only thread provisioning + handoff. This is the §III-A2 "create
+//!    thread / destroy thread" overhead the pipeline pays once per
+//!    ingest chunk.
+//! 2. **End-to-end word count** — unthrottled in-memory input (so
+//!    compute, not the device, dominates) across chunk sizes. Small
+//!    chunks mean many rounds, which is exactly where per-wave
+//!    spawning compounds and a persistent pool should win.
+
+use std::time::Instant;
+use supmr::pool::{run_wave, PoolMode, WorkerPool};
+use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::Chunking;
+use supmr_apps::WordCount;
+use supmr_bench::results_dir;
+use supmr_metrics::csv::CsvTable;
+use supmr_storage::MemSource;
+use supmr_workloads::{TextGen, TextGenConfig};
+
+fn main() {
+    let mut csv = CsvTable::new(&["experiment", "variant", "workers", "metric", "value"]);
+
+    // --- 1: raw dispatch loop ---
+    println!("== Spawn/join vs pool dispatch (1000 waves of trivial tasks) ==");
+    println!("{:>8} {:>14} {:>14} {:>8}", "workers", "wave_us/round", "pool_us/round", "ratio");
+    const ROUNDS: usize = 1000;
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            run_wave(workers, (0..workers as u64).collect(), |_, x| {
+                std::hint::black_box(x);
+            });
+        }
+        let wave_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+
+        let pool = WorkerPool::new(workers);
+        let t0 = Instant::now();
+        for _ in 0..ROUNDS {
+            pool.run((0..workers as u64).collect(), |_, x| {
+                std::hint::black_box(x);
+            });
+        }
+        let pool_us = t0.elapsed().as_secs_f64() * 1e6 / ROUNDS as f64;
+
+        println!("{:>8} {:>14.1} {:>14.1} {:>7.1}x", workers, wave_us, pool_us, wave_us / pool_us);
+        csv.row(&[
+            "dispatch".into(),
+            "wave".into(),
+            format!("{workers}"),
+            "us_per_round".into(),
+            format!("{wave_us:.2}"),
+        ]);
+        csv.row(&[
+            "dispatch".into(),
+            "pool".into(),
+            format!("{workers}"),
+            "us_per_round".into(),
+            format!("{pool_us:.2}"),
+        ]);
+    }
+
+    // --- 2: end-to-end word count, unthrottled ---
+    println!("\n== End-to-end word count, 16MB in-memory (compute-bound) ==");
+    println!(
+        "{:>10} {:>12} {:>9} {:>8} {:>9} {:>8}",
+        "chunk", "pool", "total_s", "rounds", "spawned", "reused"
+    );
+    let corpus = TextGen::new(TextGenConfig::default()).generate_bytes(1, 16 * 1024 * 1024);
+    for chunk_kb in [64u64, 256, 1024] {
+        for pool in [PoolMode::WavePerRound, PoolMode::Persistent] {
+            let mut cfg = JobConfig {
+                map_workers: 4,
+                reduce_workers: 4,
+                split_bytes: 16 * 1024,
+                ..JobConfig::default()
+            };
+            cfg.chunking = Chunking::Inter { chunk_bytes: chunk_kb * 1024 };
+            cfg.pool = pool;
+            let r = run_job(WordCount::new(), Input::stream(MemSource::from(corpus.clone())), cfg)
+                .unwrap();
+            let total = r.timings.total().as_secs_f64();
+            println!(
+                "{:>9}K {:>12} {:>9.3} {:>8} {:>9} {:>8}",
+                chunk_kb,
+                format!("{pool}"),
+                total,
+                r.stats.map_rounds,
+                r.stats.threads_spawned,
+                r.stats.threads_reused
+            );
+            csv.row(&[
+                "wordcount_e2e".into(),
+                format!("{pool}"),
+                format!("{chunk_kb}K"),
+                "total_s".into(),
+                format!("{total:.4}"),
+            ]);
+        }
+    }
+    println!("(small chunks = many rounds = many waves; the pool amortizes provisioning)");
+
+    let path = results_dir().join("spawn_vs_pool.csv");
+    csv.write_to(&path).expect("write spawn_vs_pool CSV");
+    println!("\n  data: {}", path.display());
+}

@@ -27,7 +27,8 @@ fn main() {
     let real = std::env::args().any(|a| a == "--real");
 
     println!("== Table II (simulated at paper scale) ==");
-    let mut csv = CsvTable::new(&["app", "chunking", "total_s", "read_s", "map_s", "reduce_s", "merge_s"]);
+    let mut csv =
+        CsvTable::new(&["app", "chunking", "total_s", "read_s", "map_s", "reduce_s", "merge_s"]);
 
     // --- Word count: mitigate the ingest bottleneck ---
     let wc = AppProfile::word_count_155gb();

@@ -60,6 +60,16 @@ pub enum MergeSpec {
     PWay(usize),
 }
 
+/// Worker provisioning mode as given on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolSpec {
+    /// Spawn and join a fresh wave of threads per round (baseline).
+    #[default]
+    Wave,
+    /// One persistent worker pool for the whole job.
+    Persistent,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CliArgs {
@@ -81,6 +91,8 @@ pub struct CliArgs {
     pub split_bytes: usize,
     /// Prefetch depth.
     pub prefetch: usize,
+    /// Worker provisioning mode.
+    pub pool: PoolSpec,
     /// Storage bandwidth cap, bytes/sec.
     pub throttle: Option<f64>,
     /// How many results to print.
@@ -116,9 +128,7 @@ pub fn parse_size(s: &str) -> Result<u64, CliError> {
         Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
         _ => (s, 1),
     };
-    let n: f64 = digits
-        .parse()
-        .map_err(|_| CliError(format!("invalid size '{s}'")))?;
+    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid size '{s}'")))?;
     if n < 0.0 {
         return Err(CliError(format!("negative size '{s}'")));
     }
@@ -146,6 +156,14 @@ fn parse_chunking(s: &str) -> Result<ChunkingSpec, CliError> {
     }
 }
 
+fn parse_pool(s: &str) -> Result<PoolSpec, CliError> {
+    match s {
+        "wave" | "wave-per-round" => Ok(PoolSpec::Wave),
+        "persistent" | "pooled" => Ok(PoolSpec::Persistent),
+        other => Err(CliError(format!("unknown pool mode '{other}' (wave|persistent)"))),
+    }
+}
+
 fn parse_merge(s: &str) -> Result<MergeSpec, CliError> {
     match s {
         "unsorted" => Ok(MergeSpec::Unsorted),
@@ -168,9 +186,7 @@ fn parse_merge(s: &str) -> Result<MergeSpec, CliError> {
 /// Parse a full argument list (without the program name).
 pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     let mut it = argv.iter();
-    let app = AppKind::parse(
-        it.next().ok_or_else(|| CliError("missing app name".into()))?,
-    )?;
+    let app = AppKind::parse(it.next().ok_or_else(|| CliError("missing app name".into()))?)?;
     let mut args = CliArgs {
         app,
         input: None,
@@ -180,6 +196,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         workers: None,
         split_bytes: 1024 * 1024,
         prefetch: 1,
+        pool: PoolSpec::Wave,
         throttle: None,
         top: 10,
         seed: 42,
@@ -188,26 +205,23 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         iters: 20,
     };
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| CliError(format!("flag {flag} needs a value")))
-        };
+        let mut value =
+            || it.next().cloned().ok_or_else(|| CliError(format!("flag {flag} needs a value")));
         match flag.as_str() {
             "--input" => args.input = Some(PathBuf::from(value()?)),
             "--generate" => args.generate = Some(parse_size(&value()?)?),
             "--chunking" => args.chunking = parse_chunking(&value()?)?,
             "--merge" => args.merge = Some(parse_merge(&value()?)?),
             "--workers" => {
-                args.workers = Some(value()?.parse().map_err(|_| {
-                    CliError("invalid worker count".into())
-                })?)
+                args.workers =
+                    Some(value()?.parse().map_err(|_| CliError("invalid worker count".into()))?)
             }
             "--split" => args.split_bytes = parse_size(&value()?)?.max(1) as usize,
             "--prefetch" => {
                 args.prefetch =
                     value()?.parse().map_err(|_| CliError("invalid prefetch depth".into()))?
             }
+            "--pool" => args.pool = parse_pool(&value()?)?,
             "--throttle" => args.throttle = Some(parse_size(&value()?)?.max(1) as f64),
             "--top" => {
                 args.top = value()?.parse().map_err(|_| CliError("invalid top count".into()))?
@@ -262,6 +276,7 @@ mod tests {
         assert_eq!(a.chunking, ChunkingSpec::None);
         assert_eq!(a.merge, None);
         assert_eq!(a.prefetch, 1);
+        assert_eq!(a.pool, PoolSpec::Wave);
     }
 
     #[test]
@@ -311,6 +326,23 @@ mod tests {
             Some(MergeSpec::PWay(4))
         );
         assert!(parse_args(&argv("wc --generate 1K --merge sideways")).is_err());
+    }
+
+    #[test]
+    fn pool_specs() {
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --pool persistent")).unwrap().pool,
+            PoolSpec::Persistent
+        );
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --pool pooled")).unwrap().pool,
+            PoolSpec::Persistent
+        );
+        assert_eq!(
+            parse_args(&argv("wc --generate 1K --pool wave-per-round")).unwrap().pool,
+            PoolSpec::Wave
+        );
+        assert!(parse_args(&argv("wc --generate 1K --pool forever")).is_err());
     }
 
     #[test]

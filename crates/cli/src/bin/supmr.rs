@@ -16,6 +16,7 @@ options:
   --workers N        mapper/reducer threads
   --split SIZE       input split size (default 1M)
   --prefetch N       ingest chunks buffered ahead (default 1)
+  --pool MODE        wave (spawn/join per round, default) | persistent
   --throttle RATE    cap storage bandwidth (e.g. 24M = 24 MiB/s)
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
@@ -45,10 +46,7 @@ fn main() {
         Ok(summary) => {
             println!("{}", PhaseTimings::table_header());
             println!("{}", summary.timings.table_row("job"));
-            println!(
-                "\n{} output pairs, {} ingest chunks\n",
-                summary.output_pairs, summary.chunks
-            );
+            println!("\n{} output pairs, {} ingest chunks\n", summary.output_pairs, summary.chunks);
             for line in &summary.lines {
                 println!("{line}");
             }

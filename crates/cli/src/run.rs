@@ -1,11 +1,11 @@
 //! Execution layer of the `supmr` CLI: build inputs, configure the
 //! runtime, run the selected application, and render a report.
 
-use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec};
+use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec, PoolSpec};
 use std::io;
 use supmr::chunk::AdaptiveConfig;
 use supmr::runtime::{run_job, Input, JobConfig, JobResult, MergeMode};
-use supmr::Chunking;
+use supmr::{Chunking, PoolMode};
 use supmr_apps::{
     kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
 };
@@ -71,6 +71,10 @@ fn job_config(
         chunking: to_chunking(args.chunking),
         merge: to_merge(args.merge, default_merge),
         prefetch_depth: args.prefetch,
+        pool: match args.pool {
+            PoolSpec::Wave => PoolMode::WavePerRound,
+            PoolSpec::Persistent => PoolMode::Persistent,
+        },
         ..JobConfig::default()
     };
     if let Some(w) = args.workers {
@@ -121,10 +125,9 @@ fn build_input(args: &CliArgs) -> io::Result<Input> {
         if path.is_dir() {
             let set = DirFileSet::open(path)?;
             return Ok(match throttle {
-                Some(rate) => Input::files(ThrottledFileSet::with_bucket(
-                    set,
-                    TokenBucket::new(rate),
-                )),
+                Some(rate) => {
+                    Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)))
+                }
                 None => Input::files(set),
             });
         }
@@ -143,9 +146,7 @@ fn build_input(args: &CliArgs) -> io::Result<Input> {
         let corpus = small_files_corpus(args.seed, files, per);
         let set = supmr_storage::MemFileSet::new(corpus);
         return Ok(match throttle {
-            Some(rate) => {
-                Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)))
-            }
+            Some(rate) => Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate))),
             None => Input::files(set),
         });
     }
@@ -166,19 +167,18 @@ pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
     let top = args.top;
     match args.app {
         AppKind::WordCount => {
-            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config =
+                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
             let r = run_job(WordCount::new(), build_input(args)?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            let lines =
-                pairs.iter().take(top).map(|(w, c)| format!("{c:>10}  {w}")).collect();
+            let lines = pairs.iter().take(top).map(|(w, c)| format!("{c:>10}  {w}")).collect();
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::TeraSort => {
             // Sorting is the point: default to a p-way merge, but an
             // explicit --merge unsorted is honoured.
-            let config =
-                job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 });
+            let config = job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 });
             let r = run_job(TeraSort::new(), build_input(args)?, config)?;
             let sorted = r.pairs.windows(2).all(|w| w[0].0 <= w[1].0);
             let mut lines: Vec<String> = r
@@ -191,7 +191,8 @@ pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::Grep => {
-            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config =
+                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
             let patterns: Vec<Vec<u8>> =
                 args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
             let r = run_job(Grep::new(patterns), build_input(args)?, config)?;
@@ -220,30 +221,25 @@ pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::LinReg => {
-            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config =
+                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
             let r = run_job(LinearRegression::new(), build_input(args)?, config)?;
             let lines = match linreg::fit(&r.pairs) {
-                Some(f) => vec![format!(
-                    "y = {:.6}x + {:.6}   (n = {})",
-                    f.slope, f.intercept, f.n
-                )],
+                Some(f) => {
+                    vec![format!("y = {:.6}x + {:.6}   (n = {})", f.slope, f.intercept, f.n)]
+                }
                 None => vec!["(degenerate input: no fit)".to_string()],
             };
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::KMeans => {
-            let config = job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config =
+                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
             // kmeans re-ingests per iteration: rebuild the input each time.
             let args2 = args.clone();
             let init: Vec<(f64, f64)> =
                 (0..args.k).map(|i| (i as f64 * 3.1 + 0.5, i as f64 * -2.3)).collect();
-            let result = run_kmeans(
-                move || build_input(&args2),
-                init,
-                &config,
-                args.iters,
-                1e-6,
-            )?;
+            let result = run_kmeans(move || build_input(&args2), init, &config, args.iters, 1e-6)?;
             let mut lines: Vec<String> = result
                 .centroids
                 .iter()
@@ -322,6 +318,16 @@ mod tests {
     }
 
     #[test]
+    fn persistent_pool_via_cli_matches_wave() {
+        let wave = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5");
+        let pooled = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
+             --pool persistent");
+        assert_eq!(pooled.lines, wave.lines);
+        assert_eq!(pooled.output_pairs, wave.output_pairs);
+        assert_eq!(pooled.chunks, wave.chunks);
+    }
+
+    #[test]
     fn intra_chunking_synthesizes_a_file_set() {
         let s = run("wordcount --generate 512K --chunking intra:2 --workers 2");
         assert!(s.chunks >= 2);
@@ -358,10 +364,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("a.txt"), b"x y\n").unwrap();
         std::fs::write(dir.join("b.txt"), b"x z\n").unwrap();
-        let s = run(&format!(
-            "wordcount --input {} --chunking intra:1 --workers 1",
-            dir.display()
-        ));
+        let s = run(&format!("wordcount --input {} --chunking intra:1 --workers 1", dir.display()));
         assert_eq!(s.output_pairs, 3);
         assert_eq!(s.chunks, 2);
         let _ = std::fs::remove_dir_all(&dir);

@@ -25,8 +25,7 @@ pub trait Emit<K, V> {
 
 /// Convenience accumulator type alias: the accumulator a job's combiner
 /// produces for its values.
-pub type AccOf<J> =
-    <<J as MapReduce>::Combiner as Combiner<<J as MapReduce>::Value>>::Acc;
+pub type AccOf<J> = <<J as MapReduce>::Combiner as Combiner<<J as MapReduce>::Value>>::Acc;
 
 /// A MapReduce application.
 ///

@@ -129,10 +129,9 @@ impl<S: DataSource> AdaptiveChunker<S> {
         };
         let f = self.config.overhead_fraction;
         let ideal = overhead * rate * (1.0 / f - 1.0);
-        let target = ideal.clamp(
-            self.config.min_chunk_bytes as f64,
-            self.config.max_chunk_bytes as f64,
-        ) as u64;
+        let target = ideal
+            .clamp(self.config.min_chunk_bytes as f64, self.config.max_chunk_bytes as f64)
+            as u64;
         // Damped move (geometric mean) so one noisy round cannot slam
         // the size across its whole range.
         let damped = ((self.current as f64) * (target as f64)).sqrt() as u64;

@@ -13,7 +13,7 @@
 use super::{Chunker, IngestChunk};
 use std::io;
 use std::ops::Range;
-use supmr_storage::{FileSet, RecordFormat};
+use supmr_storage::{FileSet, RecordFormat, SharedBytes};
 
 /// Byte-targeted chunking over a [`FileSet`] with mixed file sizes.
 pub struct HybridChunker<F> {
@@ -37,15 +37,7 @@ impl<F: FileSet> HybridChunker<F> {
     /// Panics if `chunk_bytes == 0`.
     pub fn new(files: F, chunk_bytes: u64, format: RecordFormat) -> Self {
         assert!(chunk_bytes > 0, "chunk size must be non-zero");
-        HybridChunker {
-            files,
-            chunk_bytes,
-            format,
-            next_file: 0,
-            carry: None,
-            index: 0,
-            offset: 0,
-        }
+        HybridChunker { files, chunk_bytes, format, next_file: 0, carry: None, index: 0, offset: 0 }
     }
 
     /// Take up to `want` bytes (extended to a record boundary) from a
@@ -108,7 +100,12 @@ impl<F: FileSet> Chunker for HybridChunker<F> {
         if data.is_empty() {
             return Ok(None);
         }
-        let chunk = IngestChunk { index: self.index, offset: self.offset, data, segments };
+        let chunk = IngestChunk {
+            index: self.index,
+            offset: self.offset,
+            data: SharedBytes::from(data),
+            segments,
+        };
         self.index += 1;
         self.offset += chunk.data.len() as u64;
         Ok(Some(chunk))
@@ -137,7 +134,7 @@ mod tests {
     }
 
     fn reassemble(chunks: &[IngestChunk]) -> Vec<u8> {
-        chunks.iter().flat_map(|c| c.data.clone()).collect()
+        chunks.iter().flat_map(|c| c.data.to_vec()).collect()
     }
 
     #[test]
@@ -146,11 +143,7 @@ mod tests {
         // chunk.
         let files: Vec<Vec<u8>> = (0..10).map(|i| lines(10, b'a' + i)).collect();
         let total: Vec<u8> = files.iter().flatten().copied().collect();
-        let chunks = drain(HybridChunker::new(
-            MemFileSet::new(files),
-            200,
-            RecordFormat::Newline,
-        ));
+        let chunks = drain(HybridChunker::new(MemFileSet::new(files), 200, RecordFormat::Newline));
         assert_eq!(reassemble(&chunks), total);
         // Every chunk except possibly the final remainder coalesces
         // several files.
@@ -164,11 +157,8 @@ mod tests {
         // One 8KB file, 1KB chunks.
         let big = lines(1000, b'x');
         let total = big.clone();
-        let chunks = drain(HybridChunker::new(
-            MemFileSet::new(vec![big]),
-            1024,
-            RecordFormat::Newline,
-        ));
+        let chunks =
+            drain(HybridChunker::new(MemFileSet::new(vec![big]), 1024, RecordFormat::Newline));
         assert!(chunks.len() >= 7);
         assert_eq!(reassemble(&chunks), total);
         for c in &chunks {
@@ -213,8 +203,7 @@ mod tests {
             .is_empty());
         let files = vec![Vec::new(), lines(5, b'a'), Vec::new()];
         let total: Vec<u8> = files.iter().flatten().copied().collect();
-        let chunks =
-            drain(HybridChunker::new(MemFileSet::new(files), 100, RecordFormat::Newline));
+        let chunks = drain(HybridChunker::new(MemFileSet::new(files), 100, RecordFormat::Newline));
         assert_eq!(reassemble(&chunks), total);
     }
 

@@ -35,7 +35,7 @@ pub use hybrid::HybridChunker;
 
 use std::io;
 use std::ops::Range;
-use supmr_storage::{DataSource, FileSet, RecordFormat};
+use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes};
 
 /// How the input is partitioned into ingest chunks.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -76,6 +76,12 @@ impl Chunking {
 }
 
 /// One ingest chunk: a contiguous region of input resident in memory.
+///
+/// `data` is a [`SharedBytes`] view: the ingest thread, the feedback
+/// path, and every map split reference one shared allocation, and
+/// cloning a chunk (or handing its bytes to a map wave) never copies
+/// the payload. Fully resident sources go further — each chunk is a
+/// window of the *source's* buffer, so chunking itself is copy-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestChunk {
     /// Chunk sequence number (0-based).
@@ -83,8 +89,8 @@ pub struct IngestChunk {
     /// Absolute byte offset of the chunk in the logical input (inter-file)
     /// or of its first file (intra-file, cumulative).
     pub offset: u64,
-    /// The chunk bytes.
-    pub data: Vec<u8>,
+    /// The chunk bytes (a shared, immutable view).
+    pub data: SharedBytes,
     /// Sub-ranges of `data` that must not be split across map tasks
     /// beyond record boundaries. Inter-file chunks have one range
     /// covering everything; intra-file chunks have one per file.
@@ -222,9 +228,7 @@ impl<S: DataSource> InterFileChunker<S> {
                 RecordFormat::CrLf => {
                     if data.last() == Some(&b'\r') && window[0] == b'\n' {
                         data.push(b'\n');
-                    } else if let Some(i) =
-                        window.windows(2).position(|w| w == b"\r\n")
-                    {
+                    } else if let Some(i) = window.windows(2).position(|w| w == b"\r\n") {
                         data.extend_from_slice(&window[..i + 2]);
                     } else {
                         data.extend_from_slice(&window);
@@ -243,6 +247,26 @@ impl<S: DataSource> Chunker for InterFileChunker<S> {
         if self.offset >= total {
             return Ok(None);
         }
+
+        // Zero-copy fast path: a fully resident source hands out
+        // record-aligned windows of its one shared allocation.
+        if let Some(all) = self.source.shared().filter(|b| b.len() as u64 == total) {
+            let start = self.offset as usize;
+            let nominal_end = start + self.chunk_bytes.min(total - self.offset) as usize;
+            let end = resident_boundary(&all, start, nominal_end, self.format);
+            let data = all.slice(start..end);
+            let chunk = IngestChunk {
+                index: self.index,
+                offset: self.offset,
+                #[allow(clippy::single_range_in_vec_init)] // one segment covering the chunk
+                segments: vec![0..data.len()],
+                data,
+            };
+            self.offset = end as u64;
+            self.index += 1;
+            return Ok(Some(chunk));
+        }
+
         let want = self.chunk_bytes.min(total - self.offset) as usize;
         let mut data = vec![0u8; want];
         let mut filled = 0;
@@ -259,6 +283,7 @@ impl<S: DataSource> Chunker for InterFileChunker<S> {
         }
         self.extend_to_boundary(&mut data, self.offset)?;
 
+        let data = SharedBytes::from(data);
         let chunk = IngestChunk {
             index: self.index,
             offset: self.offset,
@@ -273,6 +298,44 @@ impl<S: DataSource> Chunker for InterFileChunker<S> {
 
     fn total_bytes(&self) -> u64 {
         self.source.len()
+    }
+}
+
+/// Record-aligned end of a chunk over a fully resident buffer: the
+/// in-memory equivalent of [`InterFileChunker::extend_to_boundary`].
+/// `start`/`nominal_end` are absolute indices into `all`; returns the
+/// absolute end, extended forward to the first record boundary at or
+/// after `nominal_end` (or EOF when the input ends mid-record).
+fn resident_boundary(all: &[u8], start: usize, nominal_end: usize, format: RecordFormat) -> usize {
+    let total = all.len();
+    let e0 = nominal_end.min(total);
+    match format {
+        RecordFormat::None => e0,
+        RecordFormat::Newline => {
+            if e0 > start && all[e0 - 1] == b'\n' {
+                e0
+            } else {
+                match all[e0..].iter().position(|&b| b == b'\n') {
+                    Some(i) => e0 + i + 1,
+                    None => total,
+                }
+            }
+        }
+        RecordFormat::CrLf => {
+            let mut e = e0;
+            while e <= total {
+                if e - start >= 2 && &all[e - 2..e] == b"\r\n" {
+                    return e;
+                }
+                e += 1;
+            }
+            total
+        }
+        RecordFormat::FixedWidth(w) => {
+            assert!(w > 0, "record width must be non-zero");
+            let aligned = if e0.is_multiple_of(w) { e0 } else { (e0 / w + 1) * w };
+            aligned.min(total)
+        }
     }
 }
 
@@ -303,6 +366,25 @@ impl<F: FileSet> Chunker for IntraFileChunker<F> {
             return Ok(None);
         }
         let end_file = (self.next_file + self.files_per_chunk).min(count);
+
+        // Zero-copy fast path: a single-file chunk of a resident file
+        // set is a view of that file's buffer.
+        if end_file - self.next_file == 1 {
+            if let Some(data) = self.files.shared_file(self.next_file) {
+                let chunk = IngestChunk {
+                    index: self.index,
+                    offset: self.offset,
+                    #[allow(clippy::single_range_in_vec_init)] // one segment: the file
+                    segments: vec![0..data.len()],
+                    data,
+                };
+                self.offset += chunk.data.len() as u64;
+                self.index += 1;
+                self.next_file = end_file;
+                return Ok(Some(chunk));
+            }
+        }
+
         // Pre-size to the first file's length, then grow dynamically —
         // "the runtime dynamically increases the allocated space to
         // ensure that all files in the intra-file chunk are collocated".
@@ -313,7 +395,12 @@ impl<F: FileSet> Chunker for IntraFileChunker<F> {
             data.extend_from_slice(&self.files.read_file(i)?);
             segments.push(start..data.len());
         }
-        let chunk = IngestChunk { index: self.index, offset: self.offset, data, segments };
+        let chunk = IngestChunk {
+            index: self.index,
+            offset: self.offset,
+            data: SharedBytes::from(data),
+            segments,
+        };
         self.offset += chunk.data.len() as u64;
         self.index += 1;
         self.next_file = end_file;
@@ -355,7 +442,7 @@ mod tests {
             InterFileChunker::new(MemSource::from(input.clone()), 256, RecordFormat::Newline);
         let chunks = drain(chunker);
         assert!(chunks.len() >= 3);
-        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.to_vec()).collect();
         assert_eq!(rebuilt, input);
         // Offsets are cumulative and indices sequential.
         let mut expect_offset = 0;
@@ -371,8 +458,7 @@ mod tests {
     fn inter_chunks_end_on_record_boundaries() {
         let input = newline_input(100, 10);
         // 250 is mid-record (records are 10 bytes).
-        let chunker =
-            InterFileChunker::new(MemSource::from(input), 250, RecordFormat::Newline);
+        let chunker = InterFileChunker::new(MemSource::from(input), 250, RecordFormat::Newline);
         for chunk in drain(chunker) {
             assert_eq!(*chunk.data.last().unwrap(), b'\n', "chunk must end at a record end");
             assert!(chunk.len() >= 250 || chunk.index > 0);
@@ -387,10 +473,9 @@ mod tests {
             input.extend_from_slice(format!("{i:018}\r\n").as_bytes());
         }
         // Chunk size chosen to land between \r and \n (20*k + 19).
-        let chunker =
-            InterFileChunker::new(MemSource::from(input.clone()), 99, RecordFormat::CrLf);
+        let chunker = InterFileChunker::new(MemSource::from(input.clone()), 99, RecordFormat::CrLf);
         let chunks = drain(chunker);
-        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.to_vec()).collect();
         assert_eq!(rebuilt, input);
         for chunk in &chunks {
             assert!(chunk.data.ends_with(b"\r\n"));
@@ -420,7 +505,7 @@ mod tests {
             InterFileChunker::new(MemSource::from(input.clone()), 100, RecordFormat::Newline);
         let chunks = drain(chunker);
         assert_eq!(chunks[0].len(), 10_001);
-        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.to_vec()).collect();
         assert_eq!(rebuilt, input);
     }
 
@@ -430,14 +515,13 @@ mod tests {
         let chunker =
             InterFileChunker::new(MemSource::from(input.clone()), 4, RecordFormat::Newline);
         let chunks = drain(chunker);
-        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.clone()).collect();
+        let rebuilt: Vec<u8> = chunks.iter().flat_map(|c| c.data.to_vec()).collect();
         assert_eq!(rebuilt, input, "partial trailing record must not be lost");
     }
 
     #[test]
     fn empty_source_yields_no_chunks() {
-        let chunker =
-            InterFileChunker::new(MemSource::from(Vec::new()), 64, RecordFormat::Newline);
+        let chunker = InterFileChunker::new(MemSource::from(Vec::new()), 64, RecordFormat::Newline);
         assert!(drain(chunker).is_empty());
     }
 
@@ -485,11 +569,7 @@ mod tests {
 
     #[test]
     fn chunker_total_bytes() {
-        let c = InterFileChunker::new(
-            MemSource::from(vec![0u8; 500]),
-            100,
-            RecordFormat::None,
-        );
+        let c = InterFileChunker::new(MemSource::from(vec![0u8; 500]), 100, RecordFormat::None);
         assert_eq!(c.total_bytes(), 500);
         let f = IntraFileChunker::new(MemFileSet::new(vec![vec![1; 10], vec![2; 20]]), 1);
         assert_eq!(f.total_bytes(), 30);
@@ -500,5 +580,79 @@ mod tests {
         assert!(!Chunking::None.is_pipelined());
         assert!(Chunking::Inter { chunk_bytes: 1 }.is_pipelined());
         assert!(Chunking::Intra { files_per_chunk: 1 }.is_pipelined());
+    }
+
+    /// A source that hides its residency, forcing the read/copy path.
+    struct CopyOnly<S>(S);
+
+    impl<S: DataSource> DataSource for CopyOnly<S> {
+        fn len(&self) -> u64 {
+            self.0.len()
+        }
+
+        fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+            self.0.read_at(offset, buf)
+        }
+    }
+
+    #[test]
+    fn resident_fast_path_matches_copy_path_for_every_format() {
+        let mut crlf = Vec::new();
+        for i in 0..50 {
+            crlf.extend_from_slice(format!("{i:018}\r\n").as_bytes());
+        }
+        let cases: Vec<(Vec<u8>, RecordFormat)> = vec![
+            (newline_input(100, 10), RecordFormat::Newline),
+            (b"complete\npartial-record-no-newline".to_vec(), RecordFormat::Newline),
+            (crlf, RecordFormat::CrLf),
+            (vec![7u8; 1000], RecordFormat::FixedWidth(100)),
+            ((0u8..=255).collect(), RecordFormat::None),
+        ];
+        for (input, format) in cases {
+            for chunk_bytes in [1u64, 7, 19, 99, 250, 10_000] {
+                let fast = drain(InterFileChunker::new(
+                    MemSource::from(input.clone()),
+                    chunk_bytes,
+                    format,
+                ));
+                let copy = drain(InterFileChunker::new(
+                    CopyOnly(MemSource::from(input.clone())),
+                    chunk_bytes,
+                    format,
+                ));
+                assert_eq!(fast, copy, "format {format:?}, chunk_bytes {chunk_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn resident_inter_chunks_share_the_source_allocation() {
+        let input = newline_input(40, 10);
+        let chunker = InterFileChunker::new(MemSource::from(input), 64, RecordFormat::Newline);
+        let chunks = drain(chunker);
+        assert!(chunks.len() > 1);
+        // Every chunk is a window of the one MemSource buffer (held by
+        // the drained chunker's source until it was dropped; the chunks
+        // alone keep it alive now).
+        for c in &chunks {
+            assert_eq!(c.data.ref_count(), chunks.len(), "no per-chunk copies");
+        }
+    }
+
+    #[test]
+    fn single_file_intra_chunks_share_file_buffers() {
+        let files: Vec<Vec<u8>> = (0..4).map(|i| format!("file-{i}\n").into_bytes()).collect();
+        let chunks = drain(IntraFileChunker::new(MemFileSet::new(files.clone()), 1));
+        assert_eq!(chunks.len(), 4);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.data, files[i]);
+            // The chunk's view plus the MemFileSet's own Arc (the set
+            // was dropped with the chunker, so just the view remains).
+            assert_eq!(c.data.ref_count(), 1);
+        }
+        // Multi-file chunks still coalesce (and therefore copy).
+        let grouped = drain(IntraFileChunker::new(MemFileSet::new(files), 2));
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].segments.len(), 2);
     }
 }

@@ -161,8 +161,7 @@ mod tests {
             local.emit("k".to_string(), 2);
             c.absorb(local);
         }
-        let all: Vec<(String, u64)> =
-            c.into_partitions(3).into_iter().flatten().collect();
+        let all: Vec<(String, u64)> = c.into_partitions(3).into_iter().flatten().collect();
         assert_eq!(all, vec![("k".to_string(), 16)]);
     }
 
@@ -226,8 +225,7 @@ mod tests {
         assert_eq!(c.total_pairs(), 8 * 1000);
         assert_eq!(c.distinct_keys(), 50 + 8 * 500);
         let all: Vec<(String, u64)> = c.into_partitions(4).into_iter().flatten().collect();
-        let shared: u64 =
-            all.iter().filter(|(k, _)| k.starts_with("key")).map(|(_, v)| v).sum();
+        let shared: u64 = all.iter().filter(|(k, _)| k.starts_with("key")).map(|(_, v)| v).sum();
         assert_eq!(shared, 8 * 500);
     }
 }

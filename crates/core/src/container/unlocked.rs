@@ -103,11 +103,8 @@ mod tests {
     use crate::combiner::Identity;
 
     fn absorb_run(c: &UnlockedContainer<u64, String>, pairs: Vec<(u64, String)>) {
-        let mut local = <UnlockedContainer<u64, String> as Container<
-            u64,
-            String,
-            Identity,
-        >>::local(c);
+        let mut local =
+            <UnlockedContainer<u64, String> as Container<u64, String, Identity>>::local(c);
         for (k, v) in pairs {
             local.emit(k, v);
         }
@@ -115,9 +112,7 @@ mod tests {
     }
 
     fn partitions(c: UnlockedContainer<u64, String>) -> Vec<Vec<(u64, String)>> {
-        <UnlockedContainer<u64, String> as Container<u64, String, Identity>>::into_partitions(
-            c, 99,
-        )
+        <UnlockedContainer<u64, String> as Container<u64, String, Identity>>::into_partitions(c, 99)
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //! * [`chunk`] — ingest chunks: inter-file (byte ranges with record
 //!   boundary adjustment) and intra-file (groups of small files).
 //! * [`split`] — record-aligned input splits inside a chunk.
-//! * [`pool`] — Phoenix-style wave execution of map/reduce tasks.
+//! * [`pool`] — map/reduce task execution: Phoenix-style per-wave
+//!   spawn/join plus a persistent worker pool
+//!   ([`pool::PoolMode`] chooses per job).
 //! * [`runtime`] — job configuration and the two runtimes
 //!   ([`runtime::run_job`] dispatches on the chunking strategy).
 //!
@@ -80,4 +82,5 @@ pub mod split;
 
 pub use api::{Emit, MapReduce};
 pub use chunk::{Chunking, IngestChunk};
+pub use pool::PoolMode;
 pub use runtime::{run_job, Input, Job, JobConfig, JobResult, JobStats, MergeMode};

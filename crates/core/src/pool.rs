@@ -1,4 +1,4 @@
-//! Wave-based task execution.
+//! Wave-based and pooled task execution.
 //!
 //! Phoenix++ launches mapper/reducer threads in *waves*: a wave starts a
 //! set of worker threads, the workers drain a task queue, and the wave
@@ -9,8 +9,40 @@
 //! Conclusion 2) is about. [`run_wave`] reproduces exactly that lifecycle
 //! (real spawn + join per wave) and reports how many threads were
 //! started, so that overhead is observable in experiments.
+//!
+//! [`WorkerPool`] is the avoidable version of the same cost: a set of
+//! long-lived threads created once per job that dispatch map *and*
+//! reduce tasks over a channel. [`PoolMode`] selects between the two at
+//! the [`JobConfig`](crate::runtime::JobConfig) level, and
+//! [`WaveOutcome::threads_reused`] quantifies the spawns a pooled wave
+//! avoided, so ablations can put a number on the paper's overhead.
 
 use parking_lot::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the runtime provisions worker threads for map/reduce waves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Spawn and join a fresh set of threads per wave (the Phoenix++
+    /// lifecycle the paper measures). The default, so the per-chunk
+    /// thread overhead of §III-A2 stays observable.
+    #[default]
+    WavePerRound,
+    /// One long-lived pool of threads created at job start dispatches
+    /// every map and reduce task over a channel; no spawns after setup.
+    Persistent,
+}
+
+impl std::fmt::Display for PoolMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolMode::WavePerRound => write!(f, "wave"),
+            PoolMode::Persistent => write!(f, "persistent"),
+        }
+    }
+}
 
 /// What a completed wave did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -19,6 +51,9 @@ pub struct WaveOutcome {
     pub tasks: u64,
     /// Worker threads spawned (and destroyed) for the wave.
     pub threads_spawned: u64,
+    /// Pre-existing pool threads the wave dispatched to instead of
+    /// spawning — the spawn/join cost a persistent pool saved.
+    pub threads_reused: u64,
 }
 
 /// Run `tasks` to completion on a wave of at most `workers` fresh
@@ -56,11 +91,15 @@ where
         }
     });
 
-    WaveOutcome { tasks: task_count, threads_spawned: thread_count as u64 }
+    WaveOutcome { tasks: task_count, threads_spawned: thread_count as u64, threads_reused: 0 }
 }
 
 /// Run a wave whose tasks each produce a value; results come back in
 /// task order.
+///
+/// Slots are index-disjoint, so no per-slot lock is needed: workers send
+/// `(index, result)` over a channel and the caller places each result at
+/// its index after the wave joins.
 pub fn run_wave_collect<T, R, F>(workers: usize, tasks: Vec<T>, f: F) -> (Vec<R>, WaveOutcome)
 where
     T: Send,
@@ -68,15 +107,186 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     let n = tasks.len();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let (tx, rx) = crossbeam_channel::bounded::<(usize, R)>(n.max(1));
     let outcome = run_wave(workers, tasks, |idx, task| {
-        *slots[idx].lock() = Some(f(idx, task));
+        let result = f(idx, task);
+        tx.send((idx, result)).expect("wave outlives its result channel");
     });
-    let results = slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("wave task did not store a result"))
-        .collect();
+    drop(tx);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (idx, result) in rx {
+        slots[idx] = Some(result);
+    }
+    let results = slots.into_iter().map(|s| s.expect("wave task did not store a result")).collect();
     (results, outcome)
+}
+
+/// One unit of work queued to the pool.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads.
+///
+/// Threads are spawned once in [`WorkerPool::new`] and live until the
+/// pool is dropped; [`run_collect`](WorkerPool::run_collect) dispatches
+/// a batch of tasks over a channel and blocks until all of them finish.
+/// A panic inside any task is caught on the worker (keeping the thread
+/// alive for later waves) and re-raised on the caller after the batch
+/// drains, mirroring [`run_wave`]'s propagation semantics.
+pub struct WorkerPool {
+    tx: Option<crossbeam_channel::Sender<PoolTask>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `size` long-lived worker threads.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> WorkerPool {
+        assert!(size > 0, "a worker pool needs at least one thread");
+        let (tx, rx) = crossbeam_channel::unbounded::<PoolTask>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("supmr-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers }
+    }
+
+    /// Number of threads in the pool.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Dispatch `tasks` to the pool and block until all complete.
+    /// Results come back in task order. A panicking task fails the batch
+    /// (the panic is re-raised here after every task has settled), but
+    /// the pool itself stays usable for subsequent batches.
+    pub fn run_collect<T, R, F>(&self, tasks: Vec<T>, f: F) -> (Vec<R>, WaveOutcome)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return (Vec::new(), WaveOutcome::default());
+        }
+        let f = Arc::new(f);
+        let (rtx, rrx) = crossbeam_channel::bounded::<(usize, std::thread::Result<R>)>(n);
+        let tx = self.tx.as_ref().expect("pool channel lives as long as the pool");
+        for (idx, task) in tasks.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let rtx = rtx.clone();
+            let body: PoolTask = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(idx, task)));
+                // Release this task's handle on `f` (and everything it
+                // captures) *before* reporting completion, so that once
+                // the caller has drained all n results, dropping its own
+                // `f` provably leaves no other owner.
+                drop(f);
+                let _ = rtx.send((idx, result));
+            });
+            tx.send(body).expect("pool workers outlive dispatched batches");
+        }
+        drop(rtx);
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panic_payload = None;
+        // Drain every result even after a panic so the batch fully
+        // settles before the caller unwinds.
+        for (idx, result) in rrx {
+            match result {
+                Ok(value) => slots[idx] = Some(value),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+        let results =
+            slots.into_iter().map(|s| s.expect("pool task did not store a result")).collect();
+        let outcome = WaveOutcome {
+            tasks: n as u64,
+            threads_spawned: 0,
+            threads_reused: self.size().min(n) as u64,
+        };
+        (results, outcome)
+    }
+
+    /// Dispatch `tasks` that produce no value. See
+    /// [`run_collect`](WorkerPool::run_collect).
+    pub fn run<T, F>(&self, tasks: Vec<T>, f: F) -> WaveOutcome
+    where
+        T: Send + 'static,
+        F: Fn(usize, T) + Send + Sync + 'static,
+    {
+        let (_, outcome) = self.run_collect(tasks, f);
+        outcome
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the task channel lets every worker's `recv` fail once
+        // the queue drains; then join them all. Worker bodies never
+        // unwind (task panics are caught), so these joins cannot fail.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// How a runtime executes one wave of tasks: per-wave spawned threads or
+/// a borrowed persistent pool.
+///
+/// The `workers` argument of [`Executor::run`] caps thread count only in
+/// wave mode; a pool is provisioned once per job (sized for the larger
+/// of map/reduce workers) and a dispatch uses whatever threads it has.
+#[derive(Clone, Copy)]
+pub enum Executor<'p> {
+    /// Spawn/join a fresh wave per call ([`PoolMode::WavePerRound`]).
+    Wave,
+    /// Dispatch to a long-lived pool ([`PoolMode::Persistent`]).
+    Pool(&'p WorkerPool),
+}
+
+impl Executor<'_> {
+    /// Execute `tasks`, blocking until all complete.
+    pub fn run<T, F>(&self, workers: usize, tasks: Vec<T>, f: F) -> WaveOutcome
+    where
+        T: Send + 'static,
+        F: Fn(usize, T) + Send + Sync + 'static,
+    {
+        match self {
+            Executor::Wave => run_wave(workers, tasks, f),
+            Executor::Pool(pool) => pool.run(tasks, f),
+        }
+    }
+
+    /// Execute `tasks` collecting per-task results in task order.
+    pub fn run_collect<T, R, F>(&self, workers: usize, tasks: Vec<T>, f: F) -> (Vec<R>, WaveOutcome)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        match self {
+            Executor::Wave => run_wave_collect(workers, tasks, f),
+            Executor::Pool(pool) => pool.run_collect(tasks, f),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +303,7 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(outcome.tasks, 100);
         assert_eq!(outcome.threads_spawned, 4);
+        assert_eq!(outcome.threads_reused, 0);
     }
 
     #[test]
@@ -152,5 +363,101 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn pool_runs_every_task_and_reports_reuse() {
+        let pool = WorkerPool::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let outcome = pool.run((0..100).collect::<Vec<i32>>(), move |_, _| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(outcome.tasks, 100);
+        assert_eq!(outcome.threads_spawned, 0, "pooled waves spawn nothing");
+        assert_eq!(outcome.threads_reused, 4);
+    }
+
+    #[test]
+    fn pool_reuse_capped_by_task_count() {
+        let pool = WorkerPool::new(8);
+        let outcome = pool.run(vec![1, 2], |_, _| {});
+        assert_eq!(outcome.threads_reused, 2);
+    }
+
+    #[test]
+    fn pool_collect_preserves_task_order() {
+        let pool = WorkerPool::new(3);
+        let (results, outcome) =
+            pool.run_collect((0u64..50).collect(), |idx, x| (idx as u64) * 1000 + x * 2);
+        assert_eq!(outcome.tasks, 50);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, (i as u64) * 1000 + (i as u64) * 2);
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The whole point: one spawn cost amortized across waves.
+        let pool = WorkerPool::new(2);
+        let mut total = 0u64;
+        for round in 0..20u64 {
+            let (results, _) = pool.run_collect((0..10u64).collect(), move |_, x| x + round);
+            total += results.iter().sum::<u64>();
+        }
+        assert_eq!(total, 20 * 45 + 10 * (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_task_panics_propagate_and_pool_stays_usable() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![1, 2, 3], |_, x: i32| {
+                if x == 2 {
+                    panic!("pooled task exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "a panicking pooled task must fail the batch");
+        // The worker that caught the panic is still alive and serving.
+        let (results, outcome) = pool.run_collect(vec![10, 20], |_, x| x * 2);
+        assert_eq!(results, vec![20, 40]);
+        assert_eq!(outcome.threads_reused, 2);
+    }
+
+    #[test]
+    fn pool_releases_task_captures_before_returning() {
+        // The runtime relies on this to reclaim the container with
+        // `Arc::into_inner` right after the last wave.
+        let pool = WorkerPool::new(3);
+        let shared = Arc::new(());
+        let captured = Arc::clone(&shared);
+        pool.run(vec![(); 16], move |_, ()| {
+            let _hold = &captured;
+        });
+        assert_eq!(Arc::strong_count(&shared), 1, "pool must drop the closure before returning");
+    }
+
+    #[test]
+    fn pool_drop_joins_cleanly() {
+        let pool = WorkerPool::new(4);
+        pool.run(vec![1u8; 8], |_, _| {});
+        drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_sized_pool_panics() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn executor_dispatches_to_either_backend() {
+        let wave = Executor::Wave.run_collect(2, vec![1, 2, 3], |_, x: i32| x * 10).0;
+        let pool = WorkerPool::new(2);
+        let pooled = Executor::Pool(&pool).run_collect(2, vec![1, 2, 3], |_, x: i32| x * 10).0;
+        assert_eq!(wave, pooled);
+        assert_eq!(wave, vec![10, 20, 30]);
     }
 }

@@ -41,6 +41,7 @@
 use super::{run_job, Input, JobConfig, JobResult, MergeMode};
 use crate::api::MapReduce;
 use crate::chunk::Chunking;
+use crate::pool::PoolMode;
 use std::io;
 use std::time::Duration;
 use supmr_storage::RecordFormat;
@@ -93,6 +94,13 @@ impl<J: MapReduce> Job<J> {
     /// Set the ingest prefetch depth (1 = the paper's double buffering).
     pub fn prefetch_depth(mut self, depth: usize) -> Self {
         self.config.prefetch_depth = depth;
+        self
+    }
+
+    /// Set the worker provisioning mode (per-wave spawn/join vs one
+    /// persistent pool per job).
+    pub fn pool(mut self, mode: PoolMode) -> Self {
+        self.config.pool = mode;
         self
     }
 
@@ -163,6 +171,7 @@ mod tests {
             .split_bytes(64)
             .record_format(RecordFormat::Newline)
             .prefetch_depth(2)
+            .pool(PoolMode::Persistent)
             .sample_utilization(Duration::from_millis(50));
         let c = job.config_ref();
         assert_eq!(c.chunking, Chunking::Inter { chunk_bytes: 128 });
@@ -171,6 +180,7 @@ mod tests {
         assert_eq!(c.reduce_workers, 3);
         assert_eq!(c.split_bytes, 64);
         assert_eq!(c.prefetch_depth, 2);
+        assert_eq!(c.pool, PoolMode::Persistent);
         assert!(c.sample_utilization.is_some());
     }
 
@@ -183,11 +193,7 @@ mod tests {
             .split_bytes(4)
             .run(Input::stream(MemSource::from(b"aa b\nab\n".to_vec())))
             .unwrap();
-        assert_eq!(
-            result.pairs,
-            vec![(b'a', 3), (b'b', 2)],
-            "sorted by key via p-way merge"
-        );
+        assert_eq!(result.pairs, vec![(b'a', 3), (b'b', 2)], "sorted by key via p-way merge");
     }
 
     #[test]

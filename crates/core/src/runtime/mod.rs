@@ -19,14 +19,15 @@ pub use builder::Job;
 use crate::api::{AccOf, MapReduce};
 use crate::chunk::{Chunking, IngestChunk};
 use crate::container::Container;
-use crate::pool::{run_wave, run_wave_collect, WaveOutcome};
+use crate::pool::{Executor, PoolMode, WaveOutcome, WorkerPool};
 use crate::split::chunk_splits;
 use std::io;
+use std::sync::Arc;
 use std::time::Duration;
 use supmr_merge::{pairwise_merge_rounds, parallel_kway_merge};
 use supmr_metrics::sampler::UtilizationSampler;
 use supmr_metrics::{Phase, PhaseTimer, PhaseTimings, UtilTrace};
-use supmr_storage::{DataSource, FileSet, RecordFormat, SourceExt};
+use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes, SourceExt};
 
 /// Job input: one large byte stream or a set of small files — the two
 /// Hadoop input shapes the paper's chunking strategies mirror.
@@ -97,6 +98,9 @@ pub struct JobConfig {
     pub chunking: Chunking,
     /// Final merge behaviour.
     pub merge: MergeMode,
+    /// Worker provisioning: fresh threads per wave (the paper's
+    /// observable per-chunk overhead) or one persistent pool per job.
+    pub pool: PoolMode,
     /// How many ingest chunks may be buffered ahead of the mappers.
     /// `1` is the paper's double-buffering (one ingest thread created
     /// and destroyed per round); larger values use one long-lived
@@ -117,6 +121,7 @@ impl Default for JobConfig {
             record_format: RecordFormat::Newline,
             chunking: Chunking::None,
             merge: MergeMode::Unsorted,
+            pool: PoolMode::default(),
             prefetch_depth: 1,
             sample_utilization: None,
         }
@@ -195,8 +200,13 @@ pub struct JobStats {
     /// Reduce tasks (partitions) executed.
     pub reduce_tasks: u64,
     /// Threads spawned across all waves plus ingest threads — the
-    /// recurring thread cost the chunk-size discussion is about.
+    /// recurring thread cost the chunk-size discussion is about. With
+    /// [`PoolMode::Persistent`] the pool's threads are counted exactly
+    /// once, at job start.
     pub threads_spawned: u64,
+    /// Pool-thread dispatches that replaced a spawn — the per-wave cost
+    /// a persistent pool avoided (0 in [`PoolMode::WavePerRound`]).
+    pub threads_reused: u64,
     /// Intermediate pairs emitted by map (pre-combining).
     pub intermediate_pairs: u64,
     /// Distinct intermediate keys.
@@ -217,6 +227,7 @@ pub struct JobStats {
 impl JobStats {
     fn add_wave(&mut self, outcome: WaveOutcome) {
         self.threads_spawned += outcome.threads_spawned;
+        self.threads_reused += outcome.threads_reused;
     }
 }
 
@@ -257,10 +268,21 @@ pub fn run_job<J: MapReduce>(
 ) -> io::Result<JobResult<J::Key, J::Output>> {
     config.validate()?;
     let sampler = config.sample_utilization.map(UtilizationSampler::start);
+    let job = Arc::new(job);
+    let pool = (config.pool == PoolMode::Persistent)
+        .then(|| WorkerPool::new(config.map_workers.max(config.reduce_workers)));
+    let exec = match &pool {
+        Some(p) => Executor::Pool(p),
+        None => Executor::Wave,
+    };
     let mut result = match config.chunking {
-        Chunking::None => original::run(&job, input, &config),
-        _ => pipeline::run(&job, input, &config),
+        Chunking::None => original::run(&job, input, &config, exec),
+        _ => pipeline::run(&job, input, &config, exec),
     }?;
+    if let Some(p) = &pool {
+        // The pool's one-time spawn cost, counted once per job.
+        result.stats.threads_spawned += p.size() as u64;
+    }
     if let Some(s) = sampler {
         result.trace = Some(s.stop());
     }
@@ -269,15 +291,30 @@ pub fn run_job<J: MapReduce>(
 
 /// Read the entire input into one resident chunk (the original runtime's
 /// ingest phase). File inputs keep per-file segment boundaries.
+///
+/// Sources whose bytes are already resident in shared memory
+/// ([`DataSource::shared`]) are wrapped zero-copy; everything else is
+/// read once and sealed into a [`SharedBytes`] allocation.
 pub(crate) fn ingest_entire(input: Input) -> io::Result<IngestChunk> {
     match input {
         Input::Stream(mut s) => {
-            let data = s.read_all()?;
+            let total = s.len();
+            let data = match s.shared().filter(|b| b.len() as u64 == total) {
+                Some(resident) => resident,
+                None => SharedBytes::from(s.read_all()?),
+            };
             #[allow(clippy::single_range_in_vec_init)] // one segment covering everything
             let segments = vec![0..data.len()];
             Ok(IngestChunk { index: 0, offset: 0, segments, data })
         }
         Input::Files(mut f) => {
+            if f.file_count() == 1 {
+                if let Some(data) = f.shared_file(0) {
+                    #[allow(clippy::single_range_in_vec_init)] // one segment covering everything
+                    let segments = vec![0..data.len()];
+                    return Ok(IngestChunk { index: 0, offset: 0, segments, data });
+                }
+            }
             let mut data = Vec::new();
             let mut segments = Vec::with_capacity(f.file_count());
             for i in 0..f.file_count() {
@@ -285,46 +322,62 @@ pub(crate) fn ingest_entire(input: Input) -> io::Result<IngestChunk> {
                 data.extend_from_slice(&f.read_file(i)?);
                 segments.push(start..data.len());
             }
-            Ok(IngestChunk { index: 0, offset: 0, segments, data })
+            Ok(IngestChunk { index: 0, offset: 0, segments, data: SharedBytes::from(data) })
         }
     }
 }
 
 /// Run one map wave over a chunk's splits.
+///
+/// Tasks get `'static` clones of the job, container, and chunk buffer —
+/// all `Arc`-backed, so no chunk bytes are copied — which lets the same
+/// closure run on scoped wave threads or long-lived pool threads.
 pub(crate) fn map_wave<J: MapReduce>(
-    job: &J,
-    container: &J::Container,
+    job: &Arc<J>,
+    container: &Arc<J::Container>,
     chunk: &IngestChunk,
     config: &JobConfig,
+    exec: Executor<'_>,
 ) -> WaveOutcome {
     let splits = chunk_splits(chunk, config.split_bytes, config.record_format);
-    run_wave(config.map_workers, splits, |_, range| {
+    let job = Arc::clone(job);
+    let container = Arc::clone(container);
+    let data = chunk.data.clone();
+    exec.run(config.map_workers, splits, move |_, range| {
         let mut local = container.local();
-        job.map(&chunk.data[range], &mut local);
+        job.map(&data[range], &mut local);
         container.absorb(local);
     })
 }
 
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
 pub(crate) fn finish_job<J: MapReduce>(
-    job: &J,
-    container: J::Container,
+    job: &Arc<J>,
+    container: Arc<J::Container>,
     config: &JobConfig,
+    exec: Executor<'_>,
     mut timer: PhaseTimer,
     mut stats: JobStats,
 ) -> JobResult<J::Key, J::Output> {
     stats.intermediate_pairs = container.total_pairs();
     stats.distinct_keys = container.distinct_keys() as u64;
 
+    // Every map task dropped its container clone before its wave
+    // reported completion (see `WorkerPool::run_collect`), so by now the
+    // runtime holds the only reference.
+    let container = Arc::into_inner(container)
+        .expect("map tasks release their container handles before the wave ends");
+
     timer.begin(Phase::Reduce);
     let partitions = container.into_partitions(config.reduce_workers);
-    let (reduced, outcome) = run_wave_collect(
+    let reduce_job = Arc::clone(job);
+    let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
         partitions,
-        |_, part: Vec<(J::Key, AccOf<J>)>| {
+        move |_, part: Vec<(J::Key, AccOf<J>)>| {
             part.into_iter()
                 .map(|(k, acc)| {
-                    let out = job.reduce(&k, acc);
+                    let out = reduce_job.reduce(&k, acc);
                     (k, out)
                 })
                 .collect::<Vec<(J::Key, J::Output)>>()
@@ -335,7 +388,7 @@ pub(crate) fn finish_job<J: MapReduce>(
     stats.add_wave(outcome);
 
     timer.begin(Phase::Merge);
-    let pairs = merge_phase::<J>(reduced, config, &mut stats);
+    let pairs = merge_phase::<J>(reduced, config, exec, &mut stats);
     timer.end(Phase::Merge);
     stats.output_pairs = pairs.len() as u64;
 
@@ -368,6 +421,7 @@ impl<K: Ord, O> Ord for ByKey<K, O> {
 fn merge_phase<J: MapReduce>(
     reduced: Vec<Vec<(J::Key, J::Output)>>,
     config: &JobConfig,
+    exec: Executor<'_>,
     stats: &mut JobStats,
 ) -> Vec<(J::Key, J::Output)> {
     if matches!(config.merge, MergeMode::Unsorted) {
@@ -375,7 +429,7 @@ fn merge_phase<J: MapReduce>(
     }
     // "each round (1) sorts many small lists in parallel and (2) merges
     // the lists" — step (1) is a full-width wave for both backends.
-    let (runs, outcome) = run_wave_collect(config.map_workers, reduced, |_, part| {
+    let (runs, outcome) = exec.run_collect(config.map_workers, reduced, |_, part| {
         let mut run: Vec<ByKey<J::Key, J::Output>> =
             part.into_iter().map(|(k, o)| ByKey(k, o)).collect();
         run.sort();
@@ -418,11 +472,9 @@ mod tests {
 
     #[test]
     fn ingest_entire_preserves_file_segments() {
-        let chunk = ingest_entire(Input::files(MemFileSet::new(vec![
-            b"aaa".to_vec(),
-            b"bb".to_vec(),
-        ])))
-        .unwrap();
+        let chunk =
+            ingest_entire(Input::files(MemFileSet::new(vec![b"aaa".to_vec(), b"bb".to_vec()])))
+                .unwrap();
         assert_eq!(chunk.data, b"aaabb".to_vec());
         assert_eq!(chunk.segments, vec![0..3, 3..5]);
     }

@@ -8,18 +8,21 @@
 
 use super::{finish_job, ingest_entire, map_wave, Input, JobConfig, JobResult, JobStats};
 use crate::api::MapReduce;
+use crate::pool::Executor;
 use std::io;
+use std::sync::Arc;
 use supmr_metrics::{Phase, PhaseTimer};
 
 /// Execute `job` on the original runtime.
 pub fn run<J: MapReduce>(
-    job: &J,
+    job: &Arc<J>,
     input: Input,
     config: &JobConfig,
+    exec: Executor<'_>,
 ) -> io::Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     let mut stats = JobStats::default();
-    let container = job.make_container();
+    let container = Arc::new(job.make_container());
 
     timer.begin(Phase::Ingest);
     let chunk = ingest_entire(input)?;
@@ -28,12 +31,12 @@ pub fn run<J: MapReduce>(
     stats.ingest_chunks = 1;
 
     timer.begin(Phase::Map);
-    let outcome = map_wave(job, &container, &chunk, config);
+    let outcome = map_wave(job, &container, &chunk, config, exec);
     timer.end(Phase::Map);
     stats.map_rounds = 1;
     stats.map_tasks = outcome.tasks;
     stats.add_wave(outcome);
     drop(chunk); // input buffer freed before reduce, as in Phoenix++
 
-    Ok(finish_job(job, container, config, timer, stats))
+    Ok(finish_job(job, container, config, exec, timer, stats))
 }

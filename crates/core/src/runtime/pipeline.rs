@@ -37,7 +37,9 @@ use crate::chunk::{
     AdaptiveChunker, Chunker, Chunking, HybridChunker, InterFileChunker, IntraFileChunker,
     RoundFeedback,
 };
+use crate::pool::Executor;
 use std::io;
+use std::sync::Arc;
 use std::time::Instant;
 use supmr_metrics::{Phase, PhaseTimer};
 
@@ -45,21 +47,20 @@ use supmr_metrics::{Phase, PhaseTimer};
 /// mismatched input shapes: inter-file and adaptive chunking need a
 /// stream, intra-file and hybrid chunking need a file set.
 fn make_chunker(input: Input, config: &JobConfig) -> io::Result<Box<dyn Chunker>> {
-    let mismatch =
-        |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+    let mismatch = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
     match (config.chunking, input) {
-        (Chunking::Inter { chunk_bytes }, Input::Stream(s)) => Ok(Box::new(
-            InterFileChunker::new(s, chunk_bytes, config.record_format),
-        )),
-        (Chunking::Adaptive(adaptive), Input::Stream(s)) => Ok(Box::new(
-            AdaptiveChunker::new(s, config.record_format, adaptive),
-        )),
+        (Chunking::Inter { chunk_bytes }, Input::Stream(s)) => {
+            Ok(Box::new(InterFileChunker::new(s, chunk_bytes, config.record_format)))
+        }
+        (Chunking::Adaptive(adaptive), Input::Stream(s)) => {
+            Ok(Box::new(AdaptiveChunker::new(s, config.record_format, adaptive)))
+        }
         (Chunking::Intra { files_per_chunk }, Input::Files(f)) => {
             Ok(Box::new(IntraFileChunker::new(f, files_per_chunk)))
         }
-        (Chunking::Hybrid { chunk_bytes }, Input::Files(f)) => Ok(Box::new(
-            HybridChunker::new(f, chunk_bytes, config.record_format),
-        )),
+        (Chunking::Hybrid { chunk_bytes }, Input::Files(f)) => {
+            Ok(Box::new(HybridChunker::new(f, chunk_bytes, config.record_format)))
+        }
         (Chunking::Inter { .. } | Chunking::Adaptive(_), Input::Files(_)) => {
             mismatch("inter-file/adaptive chunking requires a stream input; got a file set")
         }
@@ -73,29 +74,31 @@ fn make_chunker(input: Input, config: &JobConfig) -> io::Result<Box<dyn Chunker>
 /// Execute `job` on the ingest chunk pipeline (`run_ingestMR()` in the
 /// paper's API).
 pub fn run<J: MapReduce>(
-    job: &J,
+    job: &Arc<J>,
     input: Input,
     config: &JobConfig,
+    exec: Executor<'_>,
 ) -> io::Result<JobResult<J::Key, J::Output>> {
     let chunker = make_chunker(input, config)?;
     if config.prefetch_depth > 1 {
-        run_buffered(job, chunker, config)
+        run_buffered(job, chunker, config, exec)
     } else {
-        run_double_buffered(job, chunker, config)
+        run_double_buffered(job, chunker, config, exec)
     }
 }
 
 /// The paper's pipeline: one ingest thread per round (double buffering).
 fn run_double_buffered<J: MapReduce>(
-    job: &J,
+    job: &Arc<J>,
     mut chunker: Box<dyn Chunker>,
     config: &JobConfig,
+    exec: Executor<'_>,
 ) -> io::Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
     // Created once, persists across all map rounds.
-    let container = job.make_container();
+    let container = Arc::new(job.make_container());
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
@@ -118,7 +121,7 @@ fn run_double_buffered<J: MapReduce>(
                 (next, t0.elapsed())
             });
             let t0 = Instant::now();
-            let outcome = map_wave(job, &container, &chunk, config);
+            let outcome = map_wave(job, &container, &chunk, config, exec);
             let map = t0.elapsed();
             stats.map_tasks += outcome.tasks;
             stats.add_wave(outcome);
@@ -140,7 +143,7 @@ fn run_double_buffered<J: MapReduce>(
         current = next;
     }
 
-    Ok(finish_job(job, container, config, timer, stats))
+    Ok(finish_job(job, container, config, exec, timer, stats))
 }
 
 /// N-buffered variant: a single long-lived ingest thread streams chunks
@@ -149,21 +152,21 @@ fn run_double_buffered<J: MapReduce>(
 /// chunker lives on the ingest thread — so adaptive chunking pairs with
 /// `prefetch_depth == 1` (enforced by config validation).
 fn run_buffered<J: MapReduce>(
-    job: &J,
+    job: &Arc<J>,
     mut chunker: Box<dyn Chunker>,
     config: &JobConfig,
+    exec: Executor<'_>,
 ) -> io::Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
-    let container = job.make_container();
+    let container = Arc::new(job.make_container());
 
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);
     let ingest_result: io::Result<()> = std::thread::scope(|scope| {
-        let (tx, rx) = crossbeam_channel::bounded::<crate::chunk::IngestChunk>(
-            config.prefetch_depth,
-        );
+        let (tx, rx) =
+            crossbeam_channel::bounded::<crate::chunk::IngestChunk>(config.prefetch_depth);
         let producer = scope.spawn(move || -> io::Result<()> {
             while let Some(chunk) = chunker.next_chunk()? {
                 if tx.send(chunk).is_err() {
@@ -176,7 +179,7 @@ fn run_buffered<J: MapReduce>(
             stats.ingest_chunks += 1;
             stats.bytes_ingested += chunk.len() as u64;
             stats.map_rounds += 1;
-            let outcome = map_wave(job, &container, &chunk, config);
+            let outcome = map_wave(job, &container, &chunk, config, exec);
             stats.map_tasks += outcome.tasks;
             stats.add_wave(outcome);
         }
@@ -187,7 +190,7 @@ fn run_buffered<J: MapReduce>(
     timer.end(Phase::Map);
     timer.end(Phase::Ingest);
 
-    Ok(finish_job(job, container, config, timer, stats))
+    Ok(finish_job(job, container, config, exec, timer, stats))
 }
 
 #[cfg(test)]

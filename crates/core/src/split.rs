@@ -103,12 +103,8 @@ mod tests {
         // Two segments (two files); splits must not cross the segment
         // boundary even though the bytes are contiguous.
         let data = b"aaaa\nbb\nCCCC\nDD\n".to_vec();
-        let chunk = IngestChunk {
-            index: 0,
-            offset: 0,
-            segments: vec![0..8, 8..16],
-            data,
-        };
+        let chunk =
+            IngestChunk { index: 0, offset: 0, segments: vec![0..8, 8..16], data: data.into() };
         let splits = chunk_splits(&chunk, 1000, RecordFormat::Newline);
         assert_eq!(splits, vec![0..8, 8..16]);
     }
@@ -117,12 +113,8 @@ mod tests {
     fn chunk_splits_split_large_segments() {
         let data = lines(40); // 400 bytes
         #[allow(clippy::single_range_in_vec_init)] // one segment covering the chunk
-        let chunk = IngestChunk {
-            index: 0,
-            offset: 0,
-            segments: vec![0..data.len()],
-            data,
-        };
+        let chunk =
+            IngestChunk { index: 0, offset: 0, segments: vec![0..data.len()], data: data.into() };
         let splits = chunk_splits(&chunk, 100, RecordFormat::Newline);
         assert_eq!(splits.len(), 4);
         assert_eq!(splits.iter().map(|s| s.end - s.start).sum::<usize>(), 400);

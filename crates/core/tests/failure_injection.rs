@@ -4,14 +4,15 @@
 //! (original, double-buffered pipeline, N-buffered pipeline) and both
 //! input shapes.
 
+use std::io::ErrorKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
 use supmr::runtime::{run_job, Input, JobConfig};
-use supmr::Chunking;
+use supmr::{Chunking, PoolMode};
 use supmr_storage::{FaultyFileSet, FaultySource, MemFileSet, MemSource};
 use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
-use std::io::ErrorKind;
 
 struct WordCount;
 
@@ -27,6 +28,34 @@ impl MapReduce for WordCount {
     }
 
     fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &String, acc: u64) -> u64 {
+        acc
+    }
+}
+
+/// WordCount whose map panics when its split contains the trigger token.
+struct PanicOnToken;
+
+impl MapReduce for PanicOnToken {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        assert!(!split.windows(5).any(|w| w == b"BOOM!"), "injected map panic");
         for word in split.split(|b| b.is_ascii_whitespace()) {
             if !word.is_empty() {
                 emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
@@ -113,13 +142,54 @@ fn original_runtime_surfaces_file_errors() {
 }
 
 #[test]
+fn pooled_map_panic_fails_the_job_with_the_original_payload() {
+    // The trigger sits near the end so several waves dispatch through
+    // the pool (reusing its threads) before one of them panics. The
+    // pool must propagate the payload to run_job's caller, not hang
+    // waiting for results and not kill the process.
+    let mut data = text(40_000);
+    data.extend_from_slice(b"\nBOOM! tail words\n");
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
+    cfg.pool = PoolMode::Persistent;
+    let payload = catch_unwind(AssertUnwindSafe(|| {
+        run_job(PanicOnToken, Input::stream(MemSource::from(data)), cfg)
+    }))
+    .expect_err("map panic must propagate out of run_job");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("injected map panic"), "unexpected panic payload: {msg:?}");
+
+    // The unwind dropped the job's pool (joining its workers); a fresh
+    // pooled job afterwards must run to completion.
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
+    cfg.pool = PoolMode::Persistent;
+    let r = run_job(WordCount, Input::stream(MemSource::from(text(20_000))), cfg).unwrap();
+    assert!(!r.pairs.is_empty());
+    assert!(r.stats.threads_reused > 0);
+}
+
+#[test]
+fn pooled_job_surfaces_ingest_errors_and_joins_the_pool() {
+    let source = FaultySource::new(MemSource::from(text(200_000)), 90_000, ErrorKind::BrokenPipe);
+    let mut cfg = config();
+    cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
+    cfg.pool = PoolMode::Persistent;
+    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+}
+
+#[test]
 fn fault_beyond_input_never_fires() {
     // A fault past EOF must be unreachable: job completes normally.
     let data = text(30_000);
     let expected =
         run_job(WordCount, Input::stream(MemSource::from(data.clone())), config()).unwrap();
-    let source =
-        FaultySource::new(MemSource::from(data), u64::MAX, ErrorKind::BrokenPipe);
+    let source = FaultySource::new(MemSource::from(data), u64::MAX, ErrorKind::BrokenPipe);
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
     let result = run_job(WordCount, Input::stream(source), cfg).unwrap();

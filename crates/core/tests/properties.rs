@@ -9,7 +9,7 @@ use supmr::chunk::{Chunker, InterFileChunker, IntraFileChunker};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
 use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
-use supmr::Chunking;
+use supmr::{Chunking, PoolMode};
 use supmr_storage::{MemFileSet, MemSource, RecordFormat};
 
 struct WordCount;
@@ -41,24 +41,20 @@ impl MapReduce for WordCount {
 /// Arbitrary newline-framed text (words of a–e letters so collisions are
 /// frequent and combining is exercised).
 fn arb_text() -> impl Strategy<Value = Vec<u8>> {
-    vec(vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')], 0..30), 0..40)
-        .prop_map(|lines| {
+    vec(vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')], 0..30), 0..40).prop_map(
+        |lines| {
             let mut out = Vec::new();
             for l in lines {
                 out.extend_from_slice(&l);
                 out.push(b'\n');
             }
             out
-        })
+        },
+    )
 }
 
 fn small_config() -> JobConfig {
-    JobConfig {
-        map_workers: 3,
-        reduce_workers: 2,
-        split_bytes: 16,
-        ..JobConfig::default()
-    }
+    JobConfig { map_workers: 3, reduce_workers: 2, split_bytes: 16, ..JobConfig::default() }
 }
 
 proptest! {
@@ -142,6 +138,55 @@ proptest! {
             }
         }
         prop_assert_eq!(seen_files, files);
+    }
+
+    #[test]
+    fn pool_modes_produce_identical_results(
+        data in arb_text(),
+        chunk_bytes in 1u64..200,
+    ) {
+        // Persistent pool vs per-wave spawning: pure execution policy,
+        // zero observable difference — on the original runtime and on
+        // the chunked pipeline alike.
+        for chunking in [Chunking::None, Chunking::Inter { chunk_bytes }] {
+            let run = |pool: PoolMode| {
+                let mut config = small_config();
+                config.chunking = chunking;
+                config.pool = pool;
+                run_job(
+                    WordCount,
+                    Input::stream(MemSource::from(data.clone())),
+                    config,
+                ).unwrap()
+            };
+            let wave = run(PoolMode::WavePerRound);
+            let pooled = run(PoolMode::Persistent);
+            prop_assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs());
+            prop_assert_eq!(pooled.stats.map_tasks, wave.stats.map_tasks);
+            if !data.is_empty() {
+                prop_assert!(pooled.stats.threads_reused > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_modes_agree_on_file_sets(
+        files in vec(arb_text(), 0..8),
+        files_per_chunk in 1usize..5,
+    ) {
+        let run = |pool: PoolMode| {
+            let mut config = small_config();
+            config.chunking = Chunking::Intra { files_per_chunk };
+            config.pool = pool;
+            run_job(
+                WordCount,
+                Input::files(MemFileSet::new(files.clone())),
+                config,
+            ).unwrap()
+        };
+        let wave = run(PoolMode::WavePerRound);
+        let pooled = run(PoolMode::Persistent);
+        prop_assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs());
     }
 
     #[test]

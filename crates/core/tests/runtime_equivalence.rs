@@ -5,10 +5,11 @@
 //! moves, never *what* is computed.
 
 use supmr::api::{Emit, MapReduce};
+use supmr::chunk::AdaptiveConfig;
 use supmr::combiner::{Count, Identity, Sum};
 use supmr::container::{ArrayContainer, HashContainer, UnlockedContainer};
 use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
-use supmr::Chunking;
+use supmr::{Chunking, PoolMode};
 use supmr_storage::{MemFileSet, MemSource, RecordFormat};
 use supmr_workloads::{small_files_corpus, TeraGen, TextGen, TextGenConfig, TERA_KEY_LEN};
 
@@ -95,12 +96,7 @@ impl MapReduce for ByteHistogram {
 // ------------------------------------------------------------- helpers
 
 fn base_config() -> JobConfig {
-    JobConfig {
-        map_workers: 4,
-        reduce_workers: 4,
-        split_bytes: 512,
-        ..JobConfig::default()
-    }
+    JobConfig { map_workers: 4, reduce_workers: 4, split_bytes: 512, ..JobConfig::default() }
 }
 
 fn text_input(bytes: usize) -> Vec<u8> {
@@ -113,12 +109,8 @@ fn text_input(bytes: usize) -> Vec<u8> {
 #[test]
 fn wordcount_pipeline_equals_original_across_chunk_sizes() {
     let data = text_input(20_000);
-    let baseline = run_job(
-        WordCount,
-        Input::stream(MemSource::from(data.clone())),
-        base_config(),
-    )
-    .unwrap();
+    let baseline =
+        run_job(WordCount, Input::stream(MemSource::from(data.clone())), base_config()).unwrap();
     assert!(baseline.stats.ingest_chunks == 1 && baseline.stats.map_rounds == 1);
 
     for chunk_bytes in [256u64, 1000, 4096, 100_000] {
@@ -126,11 +118,7 @@ fn wordcount_pipeline_equals_original_across_chunk_sizes() {
         config.chunking = Chunking::Inter { chunk_bytes };
         let piped =
             run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap();
-        assert_eq!(
-            piped.sorted_pairs(),
-            baseline.sorted_pairs(),
-            "chunk_bytes = {chunk_bytes}"
-        );
+        assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs(), "chunk_bytes = {chunk_bytes}");
         assert_eq!(piped.stats.intermediate_pairs, baseline.stats.intermediate_pairs);
         assert_eq!(piped.stats.bytes_ingested, data.len() as u64);
         if chunk_bytes < data.len() as u64 {
@@ -148,11 +136,7 @@ fn wordcount_counts_are_exact() {
     let result = run_job(WordCount, Input::stream(MemSource::from(data)), base_config()).unwrap();
     assert_eq!(
         result.sorted_pairs(),
-        vec![
-            ("apple".to_string(), 3),
-            ("pear".to_string(), 2),
-            ("plum".to_string(), 1)
-        ]
+        vec![("apple".to_string(), 3), ("pear".to_string(), 2), ("plum".to_string(), 1)]
     );
     assert_eq!(result.stats.intermediate_pairs, 6);
     assert_eq!(result.stats.distinct_keys, 3);
@@ -162,12 +146,8 @@ fn wordcount_counts_are_exact() {
 #[test]
 fn intra_file_pipeline_equals_original_on_file_sets() {
     let files = small_files_corpus(3, 13, 700);
-    let baseline = run_job(
-        WordCount,
-        Input::files(MemFileSet::new(files.clone())),
-        base_config(),
-    )
-    .unwrap();
+    let baseline =
+        run_job(WordCount, Input::files(MemFileSet::new(files.clone())), base_config()).unwrap();
 
     for files_per_chunk in [1usize, 4, 13, 50] {
         let mut config = base_config();
@@ -206,8 +186,10 @@ fn sort_produces_globally_sorted_output_on_both_runtimes_and_merges() {
         assert_eq!(r.pairs.len(), 300);
         assert!(r.pairs.windows(2).all(|w| w[0].0 <= w[1].0), "output must be sorted");
     }
-    assert_eq!(baseline.pairs.iter().map(|p| &p.0).collect::<Vec<_>>(),
-               supmr.pairs.iter().map(|p| &p.0).collect::<Vec<_>>());
+    assert_eq!(
+        baseline.pairs.iter().map(|p| &p.0).collect::<Vec<_>>(),
+        supmr.pairs.iter().map(|p| &p.0).collect::<Vec<_>>()
+    );
 
     // The headline merge-work claim: pairwise rounds re-scan, p-way does
     // a single pass.
@@ -235,8 +217,7 @@ fn histogram_on_array_container_both_runtimes() {
 
 #[test]
 fn empty_inputs_produce_empty_results() {
-    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), base_config())
-        .unwrap();
+    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), base_config()).unwrap();
     assert!(r.pairs.is_empty());
     assert_eq!(r.stats.bytes_ingested, 0);
 
@@ -290,9 +271,7 @@ fn invalid_configs_are_rejected_before_running() {
         JobConfig { chunking: Chunking::Inter { chunk_bytes: 0 }, ..base_config() },
         JobConfig { merge: MergeMode::PWay { ways: 0 }, ..base_config() },
     ] {
-        assert!(
-            run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config).is_err()
-        );
+        assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config).is_err());
     }
 }
 
@@ -307,6 +286,119 @@ fn pipeline_counts_rounds_and_threads() {
     // Threads: at least one ingest thread per round plus map waves.
     assert!(r.stats.threads_spawned as u32 >= 2 * r.stats.map_rounds);
     assert!(r.stats.map_tasks >= r.stats.map_rounds as u64);
+}
+
+#[test]
+fn persistent_pool_matches_wave_per_round_on_streams() {
+    // Both pool modes must compute byte-identical results for every
+    // stream chunking strategy and both runtimes (None = original).
+    let data = text_input(20_000);
+    let strategies = [
+        Chunking::None,
+        Chunking::Inter { chunk_bytes: 1000 },
+        Chunking::Inter { chunk_bytes: 4096 },
+        Chunking::Adaptive(AdaptiveConfig::default()),
+    ];
+    for chunking in strategies {
+        let run = |pool: PoolMode| {
+            let mut config = base_config();
+            config.chunking = chunking;
+            config.pool = pool;
+            run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap()
+        };
+        let wave = run(PoolMode::WavePerRound);
+        let pooled = run(PoolMode::Persistent);
+        assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs(), "chunking = {chunking:?}");
+        assert_eq!(pooled.stats.map_tasks, wave.stats.map_tasks);
+        assert_eq!(pooled.stats.bytes_ingested, wave.stats.bytes_ingested);
+        assert_eq!(wave.stats.threads_reused, 0, "waves never reuse threads");
+        assert!(
+            pooled.stats.threads_reused > 0,
+            "pooled job must report reused threads (chunking = {chunking:?})"
+        );
+    }
+}
+
+#[test]
+fn persistent_pool_matches_wave_per_round_on_file_sets() {
+    let files = small_files_corpus(7, 11, 600);
+    for chunking in [
+        Chunking::None,
+        Chunking::Intra { files_per_chunk: 2 },
+        Chunking::Hybrid { chunk_bytes: 2000 },
+    ] {
+        let run = |pool: PoolMode| {
+            let mut config = base_config();
+            config.chunking = chunking;
+            config.pool = pool;
+            run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config).unwrap()
+        };
+        let wave = run(PoolMode::WavePerRound);
+        let pooled = run(PoolMode::Persistent);
+        assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs(), "chunking = {chunking:?}");
+        assert!(pooled.stats.threads_reused > 0);
+    }
+}
+
+#[test]
+fn persistent_pool_matches_wave_for_sort_merges_and_prefetch() {
+    let data = TeraGen::new(33, 400).generate_all();
+    for merge in [MergeMode::PairwiseRounds, MergeMode::PWay { ways: 4 }] {
+        for prefetch_depth in [1usize, 4] {
+            let run = |pool: PoolMode| {
+                let mut config = base_config();
+                config.record_format = RecordFormat::CrLf;
+                config.split_bytes = 1000;
+                config.chunking = Chunking::Inter { chunk_bytes: 5000 };
+                config.merge = merge;
+                config.prefetch_depth = prefetch_depth;
+                config.pool = pool;
+                run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap()
+            };
+            let wave = run(PoolMode::WavePerRound);
+            let pooled = run(PoolMode::Persistent);
+            assert_eq!(pooled.pairs, wave.pairs, "merge = {merge:?}, prefetch = {prefetch_depth}");
+            assert!(pooled.stats.threads_reused > 0);
+        }
+    }
+}
+
+#[test]
+fn persistent_pool_spawns_once_per_job() {
+    // A multi-chunk job: wave mode pays a spawn per wave per round,
+    // persistent mode pays the pool once plus per-round ingest threads.
+    let data = text_input(20_000);
+    let run = |pool: PoolMode| {
+        let mut config = base_config();
+        config.chunking = Chunking::Inter { chunk_bytes: 1000 };
+        config.pool = pool;
+        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap()
+    };
+    let wave = run(PoolMode::WavePerRound);
+    let pooled = run(PoolMode::Persistent);
+    assert!(wave.stats.ingest_chunks > 5);
+    assert!(
+        pooled.stats.threads_spawned < wave.stats.threads_spawned,
+        "pool must spawn fewer threads ({} vs {})",
+        pooled.stats.threads_spawned,
+        wave.stats.threads_spawned
+    );
+    // Pool size (4) + one ingest thread per round.
+    assert_eq!(pooled.stats.threads_spawned, 4 + u64::from(pooled.stats.map_rounds));
+}
+
+#[test]
+fn persistent_pool_handles_empty_input() {
+    let mut config = base_config();
+    config.pool = PoolMode::Persistent;
+    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    assert!(r.pairs.is_empty());
+
+    let mut config = base_config();
+    config.pool = PoolMode::Persistent;
+    config.chunking = Chunking::Inter { chunk_bytes: 64 };
+    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    assert!(r.pairs.is_empty());
 }
 
 #[test]

@@ -129,9 +129,7 @@ pub fn spill_sorted_runs(
     let mut buffer: Vec<Vec<u8>> = Vec::new();
     let mut buffered_bytes = 0usize;
 
-    let spill = |buffer: &mut Vec<Vec<u8>>,
-                 paths: &mut Vec<(PathBuf, u64)>|
-     -> io::Result<()> {
+    let spill = |buffer: &mut Vec<Vec<u8>>, paths: &mut Vec<(PathBuf, u64)>| -> io::Result<()> {
         if buffer.is_empty() {
             return Ok(());
         }
@@ -164,13 +162,8 @@ pub fn spill_sorted_runs(
 /// iterator protocol has nowhere to put them). Callers that must detect
 /// truncation should compare the merged record count against the counts
 /// returned by [`spill_sorted_runs`], as [`external_sort`] does.
-pub fn merge_run_files(
-    paths: &[PathBuf],
-) -> io::Result<impl Iterator<Item = Vec<u8>>> {
-    let readers = paths
-        .iter()
-        .map(RunReader::open)
-        .collect::<io::Result<Vec<RunReader>>>()?;
+pub fn merge_run_files(paths: &[PathBuf]) -> io::Result<impl Iterator<Item = Vec<u8>>> {
+    let readers = paths.iter().map(RunReader::open).collect::<io::Result<Vec<RunReader>>>()?;
     Ok(merge_iterators(readers))
 }
 

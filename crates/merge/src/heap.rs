@@ -77,9 +77,8 @@ mod tests {
     #[test]
     fn agrees_with_loser_tree_on_many_shapes() {
         for k in [0usize, 1, 2, 5, 16, 33] {
-            let runs: Vec<Vec<u32>> = (0..k)
-                .map(|i| (0..((i * 7) % 19)).map(|j| (j * k + i) as u32).collect())
-                .collect();
+            let runs: Vec<Vec<u32>> =
+                (0..k).map(|i| (0..((i * 7) % 19)).map(|j| (j * k + i) as u32).collect()).collect();
             let (heap_out, _) = heap_kway_merge(runs.clone());
             let (tree_out, _) = kway_merge(runs);
             assert_eq!(heap_out, tree_out, "k = {k}");

@@ -77,8 +77,7 @@ where
     let mut partition_jobs: Vec<Vec<Vec<T>>> =
         (0..parts_count).map(|_| Vec::with_capacity(runs.len())).collect();
     for mut run in runs {
-        let cuts: Vec<usize> =
-            splitters.iter().map(|s| run.partition_point(|x| x < s)).collect();
+        let cuts: Vec<usize> = splitters.iter().map(|s| run.partition_point(|x| x < s)).collect();
         for p in (1..parts_count).rev() {
             let tail = run.split_off(cuts[p - 1].min(run.len()));
             partition_jobs[p].push(tail);
@@ -120,8 +119,12 @@ fn sample_splitters<T: Ord + Clone>(runs: &[Vec<T>], ways: usize) -> Vec<T> {
         if run.is_empty() {
             continue;
         }
-        for i in 0..per_run {
-            let idx = i * run.len() / per_run;
+        // Cap at the run length: sampling a short run more times than it
+        // has elements would duplicate them, over-weighting the short
+        // run in the pooled quantiles and skewing partition balance.
+        let take = per_run.min(run.len());
+        for i in 0..take {
+            let idx = i * run.len() / take;
             sample.push(run[idx].clone());
         }
     }
@@ -129,9 +132,7 @@ fn sample_splitters<T: Ord + Clone>(runs: &[Vec<T>], ways: usize) -> Vec<T> {
     if sample.is_empty() {
         return Vec::new();
     }
-    (1..ways)
-        .map(|p| sample[(p * sample.len() / ways).min(sample.len() - 1)].clone())
-        .collect()
+    (1..ways).map(|p| sample[(p * sample.len() / ways).min(sample.len() - 1)].clone()).collect()
 }
 
 #[cfg(test)]
@@ -203,6 +204,20 @@ mod tests {
     fn splitters_empty_when_all_runs_empty() {
         let runs: Vec<Vec<u32>> = vec![vec![], vec![]];
         assert!(sample_splitters(&runs, 4).is_empty());
+    }
+
+    #[test]
+    fn short_runs_do_not_dominate_the_sample() {
+        // A 2-element run next to a 100-element run. Uncapped sampling
+        // would push 32 copies of {5, 6} into the pool (vs 32 samples of
+        // 0..100), dragging every low quantile into the tiny run and
+        // starving the early partitions.
+        let runs: Vec<Vec<u32>> = vec![vec![5, 6], (0..100).collect()];
+        let s = sample_splitters(&runs, 4);
+        assert_eq!(s.len(), 3);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert!(s[0] > 6, "first splitter stuck inside the short run: {s:?}");
+        assert!(s[2] > 50, "upper splitter must reach the long run's top half: {s:?}");
     }
 
     #[test]

@@ -52,8 +52,8 @@ where
         for s in sources.iter_mut() {
             heads.push(s.next());
         }
-        let remaining = heads.iter().flatten().count()
-            + sources.iter().map(|s| s.size_hint().0).sum::<usize>();
+        let remaining =
+            heads.iter().flatten().count() + sources.iter().map(|s| s.size_hint().0).sum::<usize>();
         let mut lt = LoserTree {
             k2,
             tree: vec![usize::MAX; k2.max(1)],
@@ -230,10 +230,7 @@ mod tests {
         ];
         let out: Vec<Tagged> =
             LoserTree::new(runs.into_iter().map(|r| r.into_iter()).collect()).collect();
-        assert_eq!(
-            out,
-            vec![Tagged(1, 0), Tagged(1, 1), Tagged(1, 2), Tagged(2, 0), Tagged(2, 1)]
-        );
+        assert_eq!(out, vec![Tagged(1, 0), Tagged(1, 1), Tagged(1, 2), Tagged(2, 0), Tagged(2, 1)]);
     }
 
     #[test]

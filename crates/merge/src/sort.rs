@@ -68,17 +68,18 @@ impl SortStats {
 ///
 /// # Panics
 /// Panics if `run_count == 0`.
-pub fn parallel_sort<T>(data: Vec<T>, run_count: usize, backend: MergeBackend) -> (Vec<T>, SortStats)
+pub fn parallel_sort<T>(
+    data: Vec<T>,
+    run_count: usize,
+    backend: MergeBackend,
+) -> (Vec<T>, SortStats)
 where
     T: Ord + Clone + Send + Sync,
 {
     assert!(run_count > 0, "need at least one run");
     let n = data.len();
     if n <= 1 {
-        return (
-            data,
-            SortStats { runs: usize::from(n == 1), ..SortStats::default() },
-        );
+        return (data, SortStats { runs: usize::from(n == 1), ..SortStats::default() });
     }
 
     // Split into near-equal runs and sort each in parallel. Unstable sort

@@ -59,8 +59,7 @@ pub fn render_trace(trace: &UtilTrace, opts: &ChartOptions) -> String {
             }
         } else {
             busy_cols[col] = window.iter().map(|s| s.busy()).sum::<f64>() / window.len() as f64;
-            total_cols[col] =
-                window.iter().map(|s| s.total()).sum::<f64>() / window.len() as f64;
+            total_cols[col] = window.iter().map(|s| s.total()).sum::<f64>() / window.len() as f64;
         }
     }
 
@@ -120,10 +119,8 @@ mod tests {
 
     #[test]
     fn renders_full_height_column_for_full_utilization() {
-        let chart = render_trace(
-            &trace_step(),
-            &ChartOptions { width: 10, height: 4, title: "t".into() },
-        );
+        let chart =
+            render_trace(&trace_step(), &ChartOptions { width: 10, height: 4, title: "t".into() });
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines[0], "t");
         // Top row: only the 100%-busy second half reaches it. The column

@@ -33,14 +33,8 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in canonical execution order.
-    pub const ALL: [Phase; 6] = [
-        Phase::Setup,
-        Phase::Ingest,
-        Phase::Map,
-        Phase::Reduce,
-        Phase::Merge,
-        Phase::Cleanup,
-    ];
+    pub const ALL: [Phase; 6] =
+        [Phase::Setup, Phase::Ingest, Phase::Map, Phase::Reduce, Phase::Merge, Phase::Cleanup];
 
     /// Column label used in table output.
     pub fn label(self) -> &'static str {
@@ -153,9 +147,7 @@ impl PhaseTimings {
     pub fn ingest_map_span(&self) -> Duration {
         match self.fused_ingest_map {
             Some(f) => f,
-            None => {
-                self.durations[Phase::Ingest.index()] + self.durations[Phase::Map.index()]
-            }
+            None => self.durations[Phase::Ingest.index()] + self.durations[Phase::Map.index()],
         }
     }
 

@@ -25,24 +25,14 @@ impl Summary {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
         let var = if n > 1 {
             samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
         } else {
             0.0
         };
-        Some(Summary {
-            n,
-            mean,
-            min: sorted[0],
-            max: sorted[n - 1],
-            stdev: var.sqrt(),
-            median,
-        })
+        Some(Summary { n, mean, min: sorted[0], max: sorted[n - 1], stdev: var.sqrt(), median })
     }
 
     /// Number of observations.

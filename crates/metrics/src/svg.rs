@@ -91,16 +91,10 @@ pub fn render_svg(trace: &UtilTrace, opts: &SvgOptions) -> String {
             let _ = write!(d, " L {:.2} {:.2} Z", x_of(samples.last().unwrap().t), y_of(0.0));
             d
         };
-        let _ = write!(
-            svg,
-            r##"<path d="{}" fill="#c6dbef" stroke="none"/>"##,
-            area(&|s| s.total())
-        );
-        let _ = write!(
-            svg,
-            r##"<path d="{}" fill="#2171b5" stroke="none"/>"##,
-            area(&|s| s.busy())
-        );
+        let _ =
+            write!(svg, r##"<path d="{}" fill="#c6dbef" stroke="none"/>"##, area(&|s| s.total()));
+        let _ =
+            write!(svg, r##"<path d="{}" fill="#2171b5" stroke="none"/>"##, area(&|s| s.busy()));
     }
 
     // Phase marks as dashed verticals with labels.
@@ -161,7 +155,8 @@ mod tests {
 
     #[test]
     fn produces_valid_looking_svg() {
-        let svg = render_svg(&trace(), &SvgOptions { title: "test <fig>".into(), ..Default::default() });
+        let svg =
+            render_svg(&trace(), &SvgOptions { title: "test <fig>".into(), ..Default::default() });
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         // Title escaped.
@@ -197,7 +192,8 @@ mod tests {
 
     #[test]
     fn coordinates_stay_inside_canvas() {
-        let svg = render_svg(&trace(), &SvgOptions { width: 400, height: 200, title: String::new() });
+        let svg =
+            render_svg(&trace(), &SvgOptions { width: 400, height: 200, title: String::new() });
         // All x coordinates in path data must be <= 400.
         for cap in svg.split(['L', 'M']).skip(1) {
             if let Some(x) = cap.trim().split(' ').next().and_then(|v| v.parse::<f64>().ok()) {

@@ -64,12 +64,7 @@ impl UtilTrace {
     /// Panics if sample times decrease.
     pub fn from_samples(samples: Vec<UtilSample>) -> Self {
         for w in samples.windows(2) {
-            assert!(
-                w[0].t <= w[1].t,
-                "trace samples out of order: {} then {}",
-                w[0].t,
-                w[1].t
-            );
+            assert!(w[0].t <= w[1].t, "trace samples out of order: {} then {}", w[0].t, w[1].t);
         }
         UtilTrace { samples, marks: Vec::new() }
     }
@@ -277,12 +272,8 @@ impl TraceBuilder {
             return;
         }
         let pct = |x: f64| (x / self.contexts * 100.0).min(100.0);
-        let s = UtilSample {
-            t: t0,
-            user: pct(user_busy),
-            sys: pct(sys_busy),
-            iowait: pct(io_blocked),
-        };
+        let s =
+            UtilSample { t: t0, user: pct(user_busy), sys: pct(sys_busy), iowait: pct(io_blocked) };
         self.trace.push(s);
         self.trace.push(UtilSample { t: t1, ..s });
     }
@@ -430,9 +421,7 @@ mod tests {
     }
 
     fn trace_of(points: &[(f64, f64)]) -> UtilTrace {
-        UtilTrace::from_samples(
-            points.iter().map(|&(t, u)| sample(t, u, 0.0, 0.0)).collect(),
-        )
+        UtilTrace::from_samples(points.iter().map(|&(t, u)| sample(t, u, 0.0, 0.0)).collect())
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl EnergyModel {
             busy_joules: busy_j,
             idle_joules: idle_j,
             average_watts: if span > 0.0 { total_j / span } else { 0.0 },
-            peak_watts: self.base_watts
-                + machine.contexts as f64 * self.busy_core_watts,
+            peak_watts: self.base_watts + machine.contexts as f64 * self.busy_core_watts,
         }
     }
 }
@@ -93,11 +92,7 @@ mod tests {
     use supmr_metrics::Phase;
 
     fn machine(contexts: usize) -> MachineSpec {
-        MachineSpec {
-            contexts,
-            devices: vec![Device::new("disk", 100.0)],
-            thread_spawn_cost: 0.0,
-        }
+        MachineSpec { contexts, devices: vec![Device::new("disk", 100.0)], thread_spawn_cost: 0.0 }
     }
 
     fn model() -> EnergyModel {
@@ -109,7 +104,11 @@ mod tests {
         let m = machine(2);
         let mut sim = Sim::new(m.clone());
         for _ in 0..2 {
-            sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
+            sim.add_task(TaskSpec {
+                phase: Phase::Map,
+                demands: vec![Demand::Cpu(10.0)],
+                deps: vec![],
+            });
         }
         let r = sim.run();
         let e = model().evaluate(&r, &m);
@@ -144,14 +143,26 @@ mod tests {
         let m = machine(2);
         let slow = {
             let mut sim = Sim::new(m.clone());
-            let a = sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
-            sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![a] });
+            let a = sim.add_task(TaskSpec {
+                phase: Phase::Map,
+                demands: vec![Demand::Cpu(10.0)],
+                deps: vec![],
+            });
+            sim.add_task(TaskSpec {
+                phase: Phase::Map,
+                demands: vec![Demand::Cpu(10.0)],
+                deps: vec![a],
+            });
             model().evaluate(&sim.run(), &m)
         };
         let fast = {
             let mut sim = Sim::new(m.clone());
             for _ in 0..2 {
-                sim.add_task(TaskSpec { phase: Phase::Map, demands: vec![Demand::Cpu(10.0)], deps: vec![] });
+                sim.add_task(TaskSpec {
+                    phase: Phase::Map,
+                    demands: vec![Demand::Cpu(10.0)],
+                    deps: vec![],
+                });
             }
             model().evaluate(&sim.run(), &m)
         };

@@ -16,9 +16,9 @@
 //! collectl figures are regenerated without a wall clock.
 
 use crate::machine::MachineSpec;
+use std::collections::VecDeque;
 use supmr_metrics::trace::TraceBuilder;
 use supmr_metrics::{Phase, UtilTrace};
-use std::collections::VecDeque;
 
 /// Identifies a task within one simulation.
 pub type TaskId = usize;
@@ -117,13 +117,8 @@ impl SimReport {
         if end <= start {
             return 0.0;
         }
-        let samples: Vec<_> = self
-            .trace
-            .samples()
-            .iter()
-            .filter(|s| s.t >= start && s.t <= end)
-            .copied()
-            .collect();
+        let samples: Vec<_> =
+            self.trace.samples().iter().filter(|s| s.t >= start && s.t <= end).copied().collect();
         if samples.len() < 2 {
             return 0.0;
         }
@@ -287,8 +282,7 @@ impl Sim {
             // Dispatch ready CPU demands onto free cores (FCFS).
             while free_cores > 0 {
                 let Some(id) = cpu_ready.pop_front() else { break };
-                let Demand::Cpu(s) = self.tasks[id].spec.demands[self.tasks[id].demand_idx]
-                else {
+                let Demand::Cpu(s) = self.tasks[id].spec.demands[self.tasks[id].demand_idx] else {
                     unreachable!("ReadyCpu task must face a Cpu demand");
                 };
                 self.tasks[id].start.get_or_insert(now);
@@ -387,12 +381,7 @@ impl Sim {
                 phase: t.spec.phase,
             })
             .collect();
-        SimReport {
-            tasks: records,
-            makespan: now,
-            trace: tracer.build(),
-            busy_core_seconds,
-        }
+        SimReport { tasks: records, makespan: now, trace: tracer.build(), busy_core_seconds }
     }
 }
 
@@ -404,7 +393,11 @@ mod tests {
     fn machine(contexts: usize, bws: &[f64]) -> MachineSpec {
         MachineSpec {
             contexts,
-            devices: bws.iter().enumerate().map(|(i, &b)| Device::new(format!("d{i}"), b)).collect(),
+            devices: bws
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| Device::new(format!("d{i}"), b))
+                .collect(),
             thread_spawn_cost: 0.0,
         }
     }

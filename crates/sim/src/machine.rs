@@ -86,10 +86,7 @@ impl MachineSpec {
     pub fn paper_testbed(disk_bandwidth: f64) -> MachineSpec {
         MachineSpec {
             contexts: 32,
-            devices: vec![
-                Device::new("disk", disk_bandwidth),
-                Device::cpu_bound("mem", 1.88e9),
-            ],
+            devices: vec![Device::new("disk", disk_bandwidth), Device::cpu_bound("mem", 1.88e9)],
             thread_spawn_cost: 100e-6,
         }
     }

@@ -29,8 +29,8 @@ pub use scaleout::{scaleout_machine, simulate_scaleout, ScaleOutParams};
 
 use crate::engine::{Demand, Sim, SimReport, TaskId, TaskSpec};
 use crate::machine::MachineSpec;
-use supmr_metrics::{Phase, PhaseTimings};
 use std::time::Duration;
+use supmr_metrics::{Phase, PhaseTimings};
 
 /// Calibrated per-application constants.
 #[derive(Debug, Clone)]
@@ -129,9 +129,7 @@ pub fn simulate(
     }
     timings.set_total(secs(report.makespan));
     if matches!(model, JobModel::SupMr(_)) {
-        let fused = report
-            .fused_span(Phase::Ingest, Phase::Map)
-            .map_or(0.0, |(s, e)| e - s);
+        let fused = report.fused_span(Phase::Ingest, Phase::Map).map_or(0.0, |(s, e)| e - s);
         timings.set_fused_ingest_map(secs(fused));
     }
 
@@ -187,8 +185,7 @@ fn reduce_wave(
     deps: &[TaskId],
 ) -> Vec<TaskId> {
     let workers = machine.contexts;
-    let per_task =
-        profile.input_bytes * profile.reduce_ns_per_byte * 1e-9 / workers as f64;
+    let per_task = profile.input_bytes * profile.reduce_ns_per_byte * 1e-9 / workers as f64;
     (0..workers)
         .map(|_| {
             sim.add_task(TaskSpec {
@@ -326,12 +323,7 @@ fn build_supmr(
     n
 }
 
-fn build_openmp(
-    sim: &mut Sim,
-    profile: &AppProfile,
-    machine: &MachineSpec,
-    ingest_device: usize,
-) {
+fn build_openmp(sim: &mut Sim, profile: &AppProfile, machine: &MachineSpec, ingest_device: usize) {
     // Serial ingest + single-threaded parse: the whole reason OpenMP
     // loses on time-to-result despite a faster compute phase.
     let ingest = sim.add_task(TaskSpec {
@@ -424,16 +416,10 @@ mod tests {
         let merge_speedup = base.timings.phase(Phase::Merge).as_secs_f64()
             / supmr.timings.phase(Phase::Merge).as_secs_f64();
         // Paper: 3.12-3.13×.
-        assert!(
-            merge_speedup > 2.5 && merge_speedup < 3.6,
-            "merge speedup = {merge_speedup}"
-        );
+        assert!(merge_speedup > 2.5 && merge_speedup < 3.6, "merge speedup = {merge_speedup}");
         let total_speedup = base.total_secs() / supmr.total_secs();
         // Paper: 1.46×.
-        assert!(
-            total_speedup > 1.3 && total_speedup < 1.6,
-            "total speedup = {total_speedup}"
-        );
+        assert!(total_speedup > 1.3 && total_speedup < 1.6, "total speedup = {total_speedup}");
     }
 
     #[test]
@@ -466,10 +452,7 @@ mod tests {
         );
         let speedup_secs = base.total_secs() - supmr.total_secs();
         // Paper: "only a 7 second speedup" on a ~260s job.
-        assert!(
-            speedup_secs > 2.0 && speedup_secs < 20.0,
-            "speedup = {speedup_secs}s"
-        );
+        assert!(speedup_secs > 2.0 && speedup_secs < 20.0, "speedup = {speedup_secs}s");
         assert!(base.total_secs() > 200.0);
         // Utilization during ingest is higher for SupMR (map overlays).
         assert!(supmr.report.mean_utilization() > base.report.mean_utilization());
@@ -488,8 +471,7 @@ mod tests {
             MachineSpec::DISK,
         );
         assert!(
-            supmr.report.trace.mean_busy_utilization()
-                > base.report.trace.mean_busy_utilization()
+            supmr.report.trace.mean_busy_utilization() > base.report.trace.mean_busy_utilization()
         );
     }
 

@@ -62,10 +62,7 @@ impl AppProfile {
     /// [`AppProfile::word_count_155gb`]; only the size and the ingest
     /// path change.
     pub fn word_count_30gb_hdfs() -> AppProfile {
-        AppProfile {
-            input_bytes: 30e9,
-            ..AppProfile::word_count_155gb()
-        }
+        AppProfile { input_bytes: 30e9, ..AppProfile::word_count_155gb() }
     }
 }
 

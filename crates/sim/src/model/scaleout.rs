@@ -132,8 +132,8 @@ pub fn simulate_scaleout(profile: &AppProfile, params: &ScaleOutParams) -> Model
     let reduce_deps = if shuffles.is_empty() { all_map.clone() } else { shuffles.clone() };
     let mut reduces: Vec<TaskId> = Vec::new();
     for _node in 0..n {
-        let per_core = profile.input_bytes * profile.reduce_ns_per_byte * 1e-9
-            / machine.contexts as f64;
+        let per_core =
+            profile.input_bytes * profile.reduce_ns_per_byte * 1e-9 / machine.contexts as f64;
         for _ in 0..params.cores_per_node {
             reduces.push(sim.add_task(TaskSpec {
                 phase: Phase::Reduce,
@@ -233,10 +233,8 @@ mod tests {
         let machine = scaleout_machine(&params);
         let out = simulate_scaleout(&profile, &params);
         let per_node = EnergyModel::paper_server();
-        let cluster_model = EnergyModel {
-            base_watts: per_node.base_watts * params.nodes as f64,
-            ..per_node
-        };
+        let cluster_model =
+            EnergyModel { base_watts: per_node.base_watts * params.nodes as f64, ..per_node };
         let cluster_energy = cluster_model.evaluate(&out.report, &machine);
 
         let scale_up_machine = MachineSpec::paper_testbed(profile.disk_bandwidth);

@@ -71,10 +71,7 @@ impl<F: FileSet> FileSet for FaultyFileSet<F> {
 
     fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>> {
         if idx == self.fail_file {
-            return Err(io::Error::new(
-                self.kind,
-                format!("injected fault reading file {idx}"),
-            ));
+            return Err(io::Error::new(self.kind, format!("injected fault reading file {idx}")));
         }
         self.inner.read_file(idx)
     }
@@ -99,11 +96,8 @@ mod tests {
 
     #[test]
     fn reads_across_the_fault_fail() {
-        let mut s = FaultySource::new(
-            MemSource::from(vec![0u8; 100]),
-            50,
-            io::ErrorKind::BrokenPipe,
-        );
+        let mut s =
+            FaultySource::new(MemSource::from(vec![0u8; 100]), 50, io::ErrorKind::BrokenPipe);
         let err = s.read_range(40, 20).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
         assert!(s.read_all().is_err());

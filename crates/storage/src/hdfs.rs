@@ -132,12 +132,7 @@ mod tests {
     use std::time::Instant;
 
     fn fast_config(nodes: usize, block: u64) -> HdfsConfig {
-        HdfsConfig {
-            datanodes: nodes,
-            node_disk_rate: 1e12,
-            link_rate: 1e12,
-            block_size: block,
-        }
+        HdfsConfig { datanodes: nodes, node_disk_rate: 1e12, link_rate: 1e12, block_size: block }
     }
 
     #[test]

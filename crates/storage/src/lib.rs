@@ -34,12 +34,14 @@
 pub mod fault;
 pub mod hdfs;
 pub mod record;
+pub mod shared;
 pub mod source;
 pub mod throttle;
 
 pub use fault::{FaultyFileSet, FaultySource};
 pub use hdfs::{HdfsConfig, HdfsSource};
 pub use record::RecordFormat;
+pub use shared::SharedBytes;
 pub use source::{
     CachedSource, DataSource, DirFileSet, FileSet, FileSource, MemFileSet, MemSource, SourceExt,
 };

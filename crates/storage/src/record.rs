@@ -51,11 +51,8 @@ impl RecordFormat {
             RecordFormat::CrLf => {
                 // A split landing exactly between \r and \n is inside the
                 // terminator; step back one so the scan finds that pair.
-                let start = if data[want - 1] == b'\r' && data[want] == b'\n' {
-                    want - 1
-                } else {
-                    want
-                };
+                let start =
+                    if data[want - 1] == b'\r' && data[want] == b'\n' { want - 1 } else { want };
                 let mut i = start;
                 while i + 1 < data.len() {
                     if data[i] == b'\r' && data[i + 1] == b'\n' {

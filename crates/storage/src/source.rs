@@ -7,6 +7,7 @@
 //! many-small-files shape — whole files are the unit of ingest and of
 //! intra-file chunking.
 
+use crate::shared::SharedBytes;
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -29,6 +30,16 @@ pub trait DataSource: Send {
     /// number of bytes read (0 at or past end of input).
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize>;
 
+    /// A zero-copy view of the *entire* source, if the bytes are already
+    /// resident in shared memory. `None` (the default) means callers must
+    /// fall back to [`read_at`](DataSource::read_at) copies. Pacing
+    /// wrappers ([`ThrottledSource`](crate::ThrottledSource),
+    /// [`FaultySource`](crate::FaultySource)) keep the default so their
+    /// per-read behavior cannot be bypassed.
+    fn shared(&mut self) -> Option<SharedBytes> {
+        None
+    }
+
     /// Human-readable description for logs and experiment records.
     fn describe(&self) -> String {
         format!("source ({} bytes)", self.len())
@@ -42,6 +53,10 @@ impl<S: DataSource + ?Sized> DataSource for Box<S> {
 
     fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
         (**self).read_at(offset, buf)
+    }
+
+    fn shared(&mut self) -> Option<SharedBytes> {
+        (**self).shared()
     }
 
     fn describe(&self) -> String {
@@ -120,6 +135,10 @@ impl DataSource for MemSource {
         let n = buf.len().min(self.data.len() - offset);
         buf[..n].copy_from_slice(&self.data[offset..offset + n]);
         Ok(n)
+    }
+
+    fn shared(&mut self) -> Option<SharedBytes> {
+        Some(SharedBytes::from(Arc::clone(&self.data)))
     }
 
     fn describe(&self) -> String {
@@ -219,6 +238,12 @@ impl<S: DataSource> DataSource for CachedSource<S> {
         Ok(n)
     }
 
+    fn shared(&mut self) -> Option<SharedBytes> {
+        // Only a *warm* cache is zero-copy; a cold one would have to pay
+        // the inner device first, and errors cannot surface from here.
+        self.cache.as_ref().map(|c| SharedBytes::from(Arc::clone(c)))
+    }
+
     fn describe(&self) -> String {
         format!(
             "{} (cached: {})",
@@ -243,6 +268,15 @@ pub trait FileSet: Send {
     /// Read the whole contents of file `idx`.
     fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>>;
 
+    /// A zero-copy view of file `idx`, if its bytes are already resident
+    /// in shared memory. Mirrors [`DataSource::shared`]: `None` (the
+    /// default) means callers fall back to
+    /// [`read_file`](FileSet::read_file) copies, and pacing/fault
+    /// wrappers keep the default.
+    fn shared_file(&mut self, _idx: usize) -> Option<SharedBytes> {
+        None
+    }
+
     /// Total bytes across all files.
     fn total_len(&self) -> u64 {
         (0..self.file_count()).map(|i| self.file_len(i)).sum()
@@ -265,6 +299,10 @@ impl<F: FileSet + ?Sized> FileSet for Box<F> {
 
     fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>> {
         (**self).read_file(idx)
+    }
+
+    fn shared_file(&mut self, idx: usize) -> Option<SharedBytes> {
+        (**self).shared_file(idx)
     }
 
     fn describe(&self) -> String {
@@ -301,6 +339,10 @@ impl FileSet for MemFileSet {
 
     fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>> {
         Ok(self.files[idx].to_vec())
+    }
+
+    fn shared_file(&mut self, idx: usize) -> Option<SharedBytes> {
+        Some(SharedBytes::from(Arc::clone(&self.files[idx])))
     }
 }
 
@@ -448,6 +490,36 @@ mod tests {
         assert_eq!(fs.total_len(), 11);
         assert_eq!(fs.read_file(2).unwrap(), b"world!".to_vec());
         assert!(fs.describe().contains("3 files"));
+    }
+
+    #[test]
+    fn mem_source_shares_without_copy() {
+        let data: Vec<u8> = (0..64).collect();
+        let mut s = MemSource::from(data.clone());
+        let a = s.shared().expect("mem sources are always resident");
+        let b = s.shared().expect("shared view is repeatable");
+        assert_eq!(a, data);
+        // Both views plus the source itself reference one allocation.
+        assert_eq!(a.ref_count(), 3);
+        drop(b);
+        assert_eq!(a.ref_count(), 2);
+    }
+
+    #[test]
+    fn cached_source_shares_only_when_warm() {
+        let mut c = CachedSource::new(MemSource::from(vec![9u8; 16]));
+        assert!(c.shared().is_none(), "cold cache must not claim residency");
+        c.cached().unwrap();
+        let view = c.shared().expect("warm cache is resident");
+        assert_eq!(view, vec![9u8; 16]);
+    }
+
+    #[test]
+    fn mem_fileset_shares_individual_files() {
+        let mut fs = MemFileSet::new(vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(fs.shared_file(1).unwrap(), b"two");
+        let boxed: &mut dyn FileSet = &mut fs;
+        assert_eq!(boxed.shared_file(0).unwrap(), b"one");
     }
 
     #[test]

@@ -138,11 +138,8 @@ impl TokenBucket {
                 let mut st = self.state.lock();
                 let got = st.take(n, self.now_nanos());
                 let remaining = n - got;
-                let wait = if remaining > 0 {
-                    st.time_until_available(remaining)
-                } else {
-                    Duration::ZERO
-                };
+                let wait =
+                    if remaining > 0 { st.time_until_available(remaining) } else { Duration::ZERO };
                 (got, wait)
             };
             n -= granted;
@@ -210,11 +207,7 @@ impl<S: DataSource> DataSource for ThrottledSource<S> {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "{} @ {:.1} MB/s",
-            self.inner.describe(),
-            self.bucket.rate() / (1024.0 * 1024.0)
-        )
+        format!("{} @ {:.1} MB/s", self.inner.describe(), self.bucket.rate() / (1024.0 * 1024.0))
     }
 }
 
@@ -254,11 +247,7 @@ impl<F: FileSet> FileSet for ThrottledFileSet<F> {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "{} @ {:.1} MB/s",
-            self.inner.describe(),
-            self.bucket.rate() / (1024.0 * 1024.0)
-        )
+        format!("{} @ {:.1} MB/s", self.inner.describe(), self.bucket.rate() / (1024.0 * 1024.0))
     }
 }
 
@@ -387,12 +376,9 @@ mod tests {
         // Two sources on one bucket: total wall time reflects combined
         // bytes.
         let bucket = TokenBucket::with_burst(1_000_000.0, 32.0 * 1024.0);
-        let mut a = ThrottledSource::with_bucket(
-            MemSource::from(vec![0u8; 75_000]),
-            bucket.clone(),
-        );
-        let mut b =
-            ThrottledSource::with_bucket(MemSource::from(vec![0u8; 75_000]), bucket);
+        let mut a =
+            ThrottledSource::with_bucket(MemSource::from(vec![0u8; 75_000]), bucket.clone());
+        let mut b = ThrottledSource::with_bucket(MemSource::from(vec![0u8; 75_000]), bucket);
         let t0 = Instant::now();
         a.read_all().unwrap();
         b.read_all().unwrap();

@@ -13,9 +13,7 @@ use std::path::Path;
 /// contents (index = file order). Contents are deterministic in `seed`.
 pub fn small_files_corpus(seed: u64, count: usize, bytes_per_file: usize) -> Vec<Vec<u8>> {
     let gen = TextGen::new(TextGenConfig::default());
-    (0..count)
-        .map(|i| gen.generate_bytes(seed.wrapping_add(i as u64), bytes_per_file))
-        .collect()
+    (0..count).map(|i| gen.generate_bytes(seed.wrapping_add(i as u64), bytes_per_file)).collect()
 }
 
 /// Write a small-files corpus into `dir` as `part-00000 … part-NNNNN`

@@ -91,12 +91,8 @@ mod tests {
 
     #[test]
     fn points_hug_their_centers() {
-        let config = PointsConfig {
-            clusters: 2,
-            points_per_cluster: 200,
-            spread: 0.1,
-            separation: 100.0,
-        };
+        let config =
+            PointsConfig { clusters: 2, points_per_cluster: 200, spread: 0.1, separation: 100.0 };
         let centers = true_centers(&config);
         let data = clustered_points(3, &config);
         for line in String::from_utf8(data).unwrap().lines() {

@@ -45,9 +45,8 @@ impl TextGen {
     pub fn new(config: TextGenConfig) -> TextGen {
         assert!(config.vocabulary > 0, "vocabulary must be non-empty");
         assert!(config.line_len > 0, "line length must be non-zero");
-        let mut weights: Vec<f64> = (1..=config.vocabulary)
-            .map(|rank| 1.0 / (rank as f64).powf(config.exponent))
-            .collect();
+        let mut weights: Vec<f64> =
+            (1..=config.vocabulary).map(|rank| 1.0 / (rank as f64).powf(config.exponent)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {

@@ -60,8 +60,7 @@ fn main() {
     // Forgy initialization: k points sampled evenly through the input.
     let init: Vec<(f64, f64)> = {
         let warm = cache.lock().unwrap().cached().expect("cache input");
-        let lines: Vec<&[u8]> =
-            warm.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+        let lines: Vec<&[u8]> = warm.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
         (0..pc.clusters)
             .map(|i| {
                 // The generator interleaves blobs round-robin, so
@@ -70,10 +69,7 @@ fn main() {
                 let line = lines[i + pc.clusters * 8];
                 let s = std::str::from_utf8(line).expect("utf8 line");
                 let mut it = s.split(' ');
-                (
-                    it.next().unwrap().parse().expect("x"),
-                    it.next().unwrap().parse().expect("y"),
-                )
+                (it.next().unwrap().parse().expect("x"), it.next().unwrap().parse().expect("y"))
             })
             .collect()
     };

@@ -17,44 +17,76 @@ fn main() {
     let wc = AppProfile::word_count_155gb();
     let m = MachineSpec::paper_testbed(wc.disk_bandwidth);
     let wc_none = simulate(JobModel::Original, &wc, &m, MachineSpec::DISK);
-    let wc_1g = simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }), &wc, &m, MachineSpec::DISK);
-    let wc_50g = simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 50e9 }), &wc, &m, MachineSpec::DISK);
+    let wc_1g =
+        simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }), &wc, &m, MachineSpec::DISK);
+    let wc_50g =
+        simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 50e9 }), &wc, &m, MachineSpec::DISK);
     println!("word count 155GB:");
     println!("  original        {:7.2}s   (paper 471.75s)", wc_none.total_secs());
-    println!("  supmr 1GB       {:7.2}s   (paper 407.58s)  speedup {:.2}x (paper 1.16x)",
-        wc_1g.total_secs(), wc_none.total_secs() / wc_1g.total_secs());
-    println!("  supmr 50GB      {:7.2}s   (paper 429.76s)  speedup {:.2}x (paper 1.10x)",
-        wc_50g.total_secs(), wc_none.total_secs() / wc_50g.total_secs());
+    println!(
+        "  supmr 1GB       {:7.2}s   (paper 407.58s)  speedup {:.2}x (paper 1.16x)",
+        wc_1g.total_secs(),
+        wc_none.total_secs() / wc_1g.total_secs()
+    );
+    println!(
+        "  supmr 50GB      {:7.2}s   (paper 429.76s)  speedup {:.2}x (paper 1.10x)",
+        wc_50g.total_secs(),
+        wc_none.total_secs() / wc_50g.total_secs()
+    );
 
     // Sort: merge bottleneck.
     let sort = AppProfile::sort_60gb();
     let m = MachineSpec::paper_testbed(sort.disk_bandwidth);
     let s_none = simulate(JobModel::Original, &sort, &m, MachineSpec::DISK);
-    let s_1g = simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }), &sort, &m, MachineSpec::DISK);
+    let s_1g = simulate(
+        JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }),
+        &sort,
+        &m,
+        MachineSpec::DISK,
+    );
     let omp = simulate(JobModel::OpenMp, &sort, &m, MachineSpec::DISK);
     println!("\nsort 60GB:");
-    println!("  original        {:7.2}s   (paper 397.31s), merge {:.2}s (paper 191.23s)",
-        s_none.total_secs(), s_none.timings.phase(Phase::Merge).as_secs_f64());
-    println!("  supmr 1GB       {:7.2}s   (paper 272.58s), merge {:.2}s (paper 61.14s)",
-        s_1g.total_secs(), s_1g.timings.phase(Phase::Merge).as_secs_f64());
-    println!("  merge speedup   {:7.2}x   (paper 3.12x); total speedup {:.2}x (paper 1.46x)",
-        s_none.timings.phase(Phase::Merge).as_secs_f64() / s_1g.timings.phase(Phase::Merge).as_secs_f64(),
-        s_none.total_secs() / s_1g.total_secs());
-    println!("  openmp          {:7.2}s   -> {:.0}s slower time-to-result (paper: 192s slower)",
-        omp.total_secs(), omp.total_secs() - s_none.total_secs());
+    println!(
+        "  original        {:7.2}s   (paper 397.31s), merge {:.2}s (paper 191.23s)",
+        s_none.total_secs(),
+        s_none.timings.phase(Phase::Merge).as_secs_f64()
+    );
+    println!(
+        "  supmr 1GB       {:7.2}s   (paper 272.58s), merge {:.2}s (paper 61.14s)",
+        s_1g.total_secs(),
+        s_1g.timings.phase(Phase::Merge).as_secs_f64()
+    );
+    println!(
+        "  merge speedup   {:7.2}x   (paper 3.12x); total speedup {:.2}x (paper 1.46x)",
+        s_none.timings.phase(Phase::Merge).as_secs_f64()
+            / s_1g.timings.phase(Phase::Merge).as_secs_f64(),
+        s_none.total_secs() / s_1g.total_secs()
+    );
+    println!(
+        "  openmp          {:7.2}s   -> {:.0}s slower time-to-result (paper: 192s slower)",
+        omp.total_secs(),
+        omp.total_secs() - s_none.total_secs()
+    );
 
     // HDFS case study.
     let hdfs = AppProfile::word_count_30gb_hdfs();
     let m = MachineSpec::paper_testbed_hdfs();
     let h_none = simulate(JobModel::Original, &hdfs, &m, MachineSpec::NET);
-    let h_1g = simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }), &hdfs, &m, MachineSpec::NET);
+    let h_1g =
+        simulate(JobModel::SupMr(PipelineParams { chunk_bytes: 1e9 }), &hdfs, &m, MachineSpec::NET);
     println!("\nword count 30GB over 1GbE HDFS:");
-    println!("  original {:.1}s vs supmr {:.1}s -> {:.1}s saved (paper: ~7s despite full overlap)",
-        h_none.total_secs(), h_1g.total_secs(), h_none.total_secs() - h_1g.total_secs());
+    println!(
+        "  original {:.1}s vs supmr {:.1}s -> {:.1}s saved (paper: ~7s despite full overlap)",
+        h_none.total_secs(),
+        h_1g.total_secs(),
+        h_none.total_secs() - h_1g.total_secs()
+    );
 
     println!("\nutilization (mean busy %):");
-    println!("  wc original {:.0}%, supmr 1GB {:.0}%, supmr 50GB {:.0}%  (paper: +50-100% with chunks)",
+    println!(
+        "  wc original {:.0}%, supmr 1GB {:.0}%, supmr 50GB {:.0}%  (paper: +50-100% with chunks)",
         wc_none.report.trace.mean_busy_utilization(),
         wc_1g.report.trace.mean_busy_utilization(),
-        wc_50g.report.trace.mean_busy_utilization());
+        wc_50g.report.trace.mean_busy_utilization()
+    );
 }

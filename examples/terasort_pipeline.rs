@@ -46,7 +46,8 @@ fn main() {
         run_job(TeraSort::new(), Input::stream(open_disk()), config).expect("sort failed")
     };
 
-    let baseline = run("original + iterative 2-way merge", Chunking::None, MergeMode::PairwiseRounds);
+    let baseline =
+        run("original + iterative 2-way merge", Chunking::None, MergeMode::PairwiseRounds);
     let supmr = run(
         "SupMR: 512KB ingest chunks + p-way merge",
         Chunking::Inter { chunk_bytes: 512 * 1024 },
@@ -68,10 +69,7 @@ fn main() {
         supmr.stats.merge_rounds,
         supmr.stats.merge_elements_moved,
     );
-    println!(
-        "total speedup {:.2}x",
-        supmr.timings.total_speedup_vs(&baseline.timings)
-    );
+    println!("total speedup {:.2}x", supmr.timings.total_speedup_vs(&baseline.timings));
 
     let _ = std::fs::remove_file(&path);
 }

@@ -5,13 +5,15 @@
 
 use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
 use supmr::Chunking;
-use supmr_apps::{sort::validate_sorted_output, Grep, Histogram, InvertedIndex, TeraSort, WordCount};
+use supmr_apps::{
+    sort::validate_sorted_output, Grep, Histogram, InvertedIndex, TeraSort, WordCount,
+};
 use supmr_metrics::Phase;
 use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, PipelineParams};
-use supmr_storage::{
-    DirFileSet, FileSource, HdfsConfig, HdfsSource, MemSource, ThrottledSource,
+use supmr_storage::{DirFileSet, FileSource, HdfsConfig, HdfsSource, MemSource, ThrottledSource};
+use supmr_workloads::{
+    files::write_corpus_dir, small_files_corpus, TeraGen, TextGen, TextGenConfig,
 };
-use supmr_workloads::{files::write_corpus_dir, small_files_corpus, TeraGen, TextGen, TextGenConfig};
 
 fn config(workers: usize) -> JobConfig {
     JobConfig {
@@ -34,8 +36,7 @@ fn wordcount_from_real_files_through_throttled_pipeline() {
             64.0 * 1024.0 * 1024.0,
         )
     };
-    let baseline =
-        run_job(WordCount::new(), Input::files(throttled()), config(3)).unwrap();
+    let baseline = run_job(WordCount::new(), Input::files(throttled()), config(3)).unwrap();
     let mut piped_config = config(3);
     piped_config.chunking = Chunking::Intra { files_per_chunk: 5 };
     let piped = run_job(WordCount::new(), Input::files(throttled()), piped_config).unwrap();
@@ -167,12 +168,9 @@ fn grep_and_histogram_and_index_run_through_the_pipeline() {
         .collect();
     let mut cfg = config(2);
     cfg.chunking = Chunking::Intra { files_per_chunk: 2 };
-    let index = run_job(
-        InvertedIndex::new(),
-        Input::files(supmr_storage::MemFileSet::new(files)),
-        cfg,
-    )
-    .unwrap();
+    let index =
+        run_job(InvertedIndex::new(), Input::files(supmr_storage::MemFileSet::new(files)), cfg)
+            .unwrap();
     let alpha = index.pairs.iter().find(|(k, _)| k == "alpha").unwrap();
     assert_eq!(alpha.1.len(), 60);
 }
@@ -190,9 +188,8 @@ fn simulator_and_real_runtime_agree_on_the_shape() {
     let rate = 4.0 * 1024.0 * 1024.0;
     let corpus = TextGen::new(TextGenConfig::default()).generate_bytes(1, real_bytes);
 
-    let throttled = |data: Vec<u8>| {
-        Input::stream(ThrottledSource::new(MemSource::from(data), rate))
-    };
+    let throttled =
+        |data: Vec<u8>| Input::stream(ThrottledSource::new(MemSource::from(data), rate));
     let base_cfg = config(2);
     let baseline = run_job(WordCount::new(), throttled(corpus.clone()), base_cfg.clone()).unwrap();
     let mut piped_cfg = base_cfg;
