@@ -118,15 +118,15 @@ pub struct KMeansResult {
 /// re-ingests each pass, as a real out-of-core job would).
 ///
 /// # Errors
-/// Propagates job-configuration or ingest I/O errors, including
-/// failures to rebuild the input between iterations.
+/// Propagates [`supmr::SupmrError`]s from each iteration's job, plus
+/// failures to rebuild the input between iterations (as ingest errors).
 pub fn run_kmeans(
     mut make_input: impl FnMut() -> io::Result<Input>,
     initial_centroids: Vec<(f64, f64)>,
     config: &JobConfig,
     max_iterations: usize,
     tolerance: f64,
-) -> io::Result<KMeansResult> {
+) -> supmr::Result<KMeansResult> {
     assert!(!initial_centroids.is_empty(), "kmeans needs at least one centroid");
     let mut centroids = initial_centroids;
     let mut converged = false;

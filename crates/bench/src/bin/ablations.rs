@@ -44,26 +44,38 @@ fn main() {
 
     // --- 1: prefetch depth ---
     println!("== Ablation 1: prefetch depth (word count, 16MB @ 24MB/s) ==");
-    println!("{:>8} {:>9} {:>8} {:>9}", "depth", "total_s", "chunks", "threads");
+    println!(
+        "{:>8} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "depth", "total_s", "chunks", "threads", "map_wait", "ing_wait"
+    );
     for depth in [1usize, 2, 4, 8] {
         let mut cfg = wc_config();
         cfg.chunking = Chunking::Inter { chunk_bytes: 1024 * 1024 };
         cfg.prefetch_depth = depth;
         let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
-        let total = r.timings.total().as_secs_f64();
+        let total = r.report.timings.total().as_secs_f64();
+        let stalls = r.report.stalls();
         println!(
-            "{:>8} {:>9.2} {:>8} {:>9}",
-            depth, total, r.stats.ingest_chunks, r.stats.threads_spawned
+            "{:>8} {:>9.2} {:>8} {:>9} {:>9.2}s {:>9.2}s",
+            depth,
+            total,
+            r.report.stats.ingest_chunks,
+            r.report.stats.threads_spawned,
+            stalls.map_waiting.as_secs_f64(),
+            stalls.ingest_waiting.as_secs_f64(),
         );
         csv.row(&[
             "prefetch_depth".into(),
             format!("{depth}"),
             format!("{total:.3}"),
-            format!("{}", r.stats.ingest_chunks),
-            format!("{}", r.stats.threads_spawned),
+            format!("{}", r.report.stats.ingest_chunks),
+            format!("{}", r.report.stats.threads_spawned),
         ]);
     }
-    println!("(ingest-bound: deeper prefetch cannot beat the device; depth>1 saves one thread create/destroy per round)");
+    println!(
+        "(ingest-bound: deeper prefetch cannot beat the device — map_wait stays dominated by \
+         the throttle; depth>1 saves one thread create/destroy per round)"
+    );
 
     // --- 2: adaptive vs fixed chunk size ---
     println!("\n== Ablation 2: adaptive vs fixed chunk size (same workload) ==");
@@ -74,13 +86,13 @@ fn main() {
         let mut cfg = wc_config();
         cfg.chunking = Chunking::Inter { chunk_bytes };
         let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
-        let total = r.timings.total().as_secs_f64();
-        println!("{:>12} {:>9.2} {:>8}", label, total, r.stats.ingest_chunks);
+        let total = r.report.timings.total().as_secs_f64();
+        println!("{:>12} {:>9.2} {:>8}", label, total, r.report.stats.ingest_chunks);
         csv.row(&[
             "chunk_size".into(),
             label.into(),
             format!("{total:.3}"),
-            format!("{}", r.stats.ingest_chunks),
+            format!("{}", r.report.stats.ingest_chunks),
             String::new(),
         ]);
     }
@@ -92,13 +104,16 @@ fn main() {
         overhead_fraction: 0.05,
     });
     let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
-    let total = r.timings.total().as_secs_f64();
-    println!("{:>12} {:>9.2} {:>8}  (feedback-tuned)", "adaptive", total, r.stats.ingest_chunks);
+    let total = r.report.timings.total().as_secs_f64();
+    println!(
+        "{:>12} {:>9.2} {:>8}  (feedback-tuned)",
+        "adaptive", total, r.report.stats.ingest_chunks
+    );
     csv.row(&[
         "chunk_size".into(),
         "adaptive".into(),
         format!("{total:.3}"),
-        format!("{}", r.stats.ingest_chunks),
+        format!("{}", r.report.stats.ingest_chunks),
         String::new(),
     ]);
 
@@ -117,16 +132,16 @@ fn main() {
         println!(
             "{:>16} {:>9.3} {:>8} {:>14}",
             label,
-            r.timings.phase(supmr_metrics::Phase::Merge).as_secs_f64(),
-            r.stats.merge_rounds,
-            r.stats.merge_elements_moved
+            r.report.timings.phase(supmr_metrics::Phase::Merge).as_secs_f64(),
+            r.report.stats.merge_rounds,
+            r.report.stats.merge_elements_moved
         );
         csv.row(&[
             "merge_backend".into(),
             label.into(),
-            format!("{:.3}", r.timings.phase(supmr_metrics::Phase::Merge).as_secs_f64()),
-            format!("{}", r.stats.merge_rounds),
-            format!("{}", r.stats.merge_elements_moved),
+            format!("{:.3}", r.report.timings.phase(supmr_metrics::Phase::Merge).as_secs_f64()),
+            format!("{}", r.report.stats.merge_rounds),
+            format!("{}", r.report.stats.merge_elements_moved),
         ]);
     }
 
@@ -142,21 +157,21 @@ fn main() {
         let r =
             run_job(WordCount::new(), Input::stream(MemSource::from(small_corpus.clone())), cfg)
                 .unwrap();
-        let total = r.timings.total().as_secs_f64();
+        let total = r.report.timings.total().as_secs_f64();
         println!(
             "{:>12} {:>9.3} {:>8} {:>9} {:>8}",
             format!("{pool}"),
             total,
-            r.stats.map_rounds,
-            r.stats.threads_spawned,
-            r.stats.threads_reused
+            r.report.stats.map_rounds,
+            r.report.stats.threads_spawned,
+            r.report.stats.threads_reused
         );
         csv.row(&[
             "pool_mode".into(),
             format!("{pool}"),
             format!("{total:.3}"),
-            format!("{}", r.stats.ingest_chunks),
-            format!("{}", r.stats.threads_spawned),
+            format!("{}", r.report.stats.ingest_chunks),
+            format!("{}", r.report.stats.threads_spawned),
         ]);
     }
     println!("(64 rounds: the wave baseline re-provisions every round, the pool is built once)");

@@ -1,11 +1,19 @@
 //! Regenerates the **Fig. 2 / Fig. 4 mechanism** as *measured* data: a
 //! per-round Gantt of the real pipeline showing ingest of chunk `i+1`
 //! proceeding while mappers work on chunk `i` — the "ingest chunk
-//! pipeline" schematic of the paper, drawn from actual timings instead
-//! of a diagram.
+//! pipeline" schematic of the paper, drawn from the job's recorded
+//! event trace instead of a diagram.
+//!
+//! The rounds come out of the typed trace (`JobReport::trace`): each
+//! `MapWave` span is paired with the `ChunkIngest` span that overlapped
+//! it, and the per-round stall events say which side idled. The same
+//! trace is also rendered as a per-thread ASCII timeline and exported
+//! as Chrome `trace_event` JSON for chrome://tracing.
 
 use supmr_bench::results_dir;
 use supmr_bench::RealScale;
+use supmr_metrics::ascii::{render_timeline, ChartOptions};
+use supmr_metrics::chrome::to_chrome_json;
 use supmr_metrics::csv::CsvTable;
 
 fn bar(secs: f64, scale: f64, ch: char) -> String {
@@ -20,8 +28,10 @@ fn main() {
         scale.wordcount_bytes / (1024 * 1024),
         scale.disk_rate / (1024.0 * 1024.0),
     );
-    let result = scale.run_wordcount(scale.wordcount_data(), Some(1024 * 1024));
-    let rounds = &result.stats.rounds;
+    let result = scale.run_wordcount_traced(scale.wordcount_data(), Some(1024 * 1024));
+    let trace = result.report.trace.as_ref().expect("tracing requested");
+    trace.validate().expect("trace invariants");
+    let rounds = trace.rounds();
     assert!(!rounds.is_empty(), "pipeline must record rounds");
 
     let max_secs = rounds
@@ -32,7 +42,15 @@ fn main() {
     let chart_scale = 48.0 / max_secs;
 
     println!("{:>5} {:>8}  {:<50}", "round", "chunk", "I = ingest next chunk, M = map this chunk");
-    let mut csv = CsvTable::new(&["round", "chunk_bytes", "ingest_s", "map_s", "overlap_s"]);
+    let mut csv = CsvTable::new(&[
+        "round",
+        "ingest_bytes",
+        "ingest_s",
+        "map_s",
+        "overlap_s",
+        "map_wait_s",
+        "ingest_wait_s",
+    ]);
     let (mut sum_i, mut sum_m, mut sum_overlap) = (0.0, 0.0, 0.0);
     for (i, r) in rounds.iter().enumerate() {
         let ingest = r.ingest.as_secs_f64();
@@ -45,7 +63,7 @@ fn main() {
             println!(
                 "{:>5} {:>7}K  I|{:<48}| {:>7.3}s",
                 i,
-                r.chunk_bytes / 1024,
+                r.ingest_bytes / 1024,
                 bar(ingest, chart_scale, '#'),
                 ingest
             );
@@ -53,9 +71,21 @@ fn main() {
         } else if i == 12 {
             println!("  ... {} more rounds ...", rounds.len() - 15);
         }
-        csv.row_f64(&[i as f64, r.chunk_bytes as f64, ingest, map, overlap], 4);
+        csv.row_f64(
+            &[
+                i as f64,
+                r.ingest_bytes as f64,
+                ingest,
+                map,
+                overlap,
+                r.map_wait.as_secs_f64(),
+                r.ingest_wait.as_secs_f64(),
+            ],
+            4,
+        );
     }
 
+    let stalls = trace.stall_totals();
     println!(
         "\nrounds: {}   Σingest {:.2}s   Σmap {:.2}s   Σoverlap {:.2}s hidden by the pipeline",
         rounds.len(),
@@ -64,12 +94,28 @@ fn main() {
         sum_overlap
     );
     println!(
-        "fused read+map span: {:.2}s  vs  serial sum {:.2}s  (total job {:.2}s)",
-        result.timings.fused_ingest_map().unwrap().as_secs_f64(),
-        sum_i + sum_m,
-        result.timings.total().as_secs_f64(),
+        "stalls: mappers waited {:.2}s for chunks, ingest waited {:.2}s for mappers",
+        stalls.map_waiting.as_secs_f64(),
+        stalls.ingest_waiting.as_secs_f64(),
     );
+    println!(
+        "fused read+map span: {:.2}s  vs  serial sum {:.2}s  (total job {:.2}s)",
+        result.report.timings.fused_ingest_map().unwrap().as_secs_f64(),
+        sum_i + sum_m,
+        result.report.timings.total().as_secs_f64(),
+    );
+
+    println!(
+        "\n{}",
+        render_timeline(
+            trace,
+            &ChartOptions { title: "pipeline event timeline".to_string(), ..Default::default() }
+        )
+    );
+
     let path = results_dir().join("fig2_rounds.csv");
     csv.write_to(&path).expect("write rounds CSV");
-    println!("  data: {}", path.display());
+    let trace_path = results_dir().join("fig2_trace.json");
+    std::fs::write(&trace_path, to_chrome_json(trace)).expect("write Chrome trace");
+    println!("  data: {}   trace (chrome://tracing): {}", path.display(), trace_path.display());
 }

@@ -31,7 +31,7 @@ fn main() {
     let mut traces = Vec::new();
     for (name, title, chunk) in runs {
         let result = scale.run_wordcount(data.clone(), chunk);
-        let trace = result.trace.expect("sampling requested");
+        let trace = result.report.util.expect("sampling requested");
         println!();
         if trace.samples().len() < 4 {
             println!("{title}: (too few samples on this platform — skipping chart)");
@@ -40,8 +40,8 @@ fn main() {
         }
         println!(
             "  total {:.2}s, chunks {}, mean busy {:.0}%, mean iowait-inclusive {:.0}%",
-            result.timings.total().as_secs_f64(),
-            result.stats.ingest_chunks,
+            result.report.timings.total().as_secs_f64(),
+            result.report.stats.ingest_chunks,
             trace.mean_busy_utilization(),
             trace.mean_total_utilization(),
         );

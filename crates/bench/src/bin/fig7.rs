@@ -83,9 +83,9 @@ fn run_real() {
     assert_eq!(original.sorted_pairs(), piped.sorted_pairs());
     println!(
         "original {:.2}s vs SupMR {:.2}s over {} chunks -> speedup {:.2}s (ingest-bound, as in the paper)",
-        original.timings.total().as_secs_f64(),
-        piped.timings.total().as_secs_f64(),
-        piped.stats.ingest_chunks,
-        original.timings.total().as_secs_f64() - piped.timings.total().as_secs_f64(),
+        original.report.timings.total().as_secs_f64(),
+        piped.report.timings.total().as_secs_f64(),
+        piped.report.stats.ingest_chunks,
+        original.report.timings.total().as_secs_f64() - piped.report.timings.total().as_secs_f64(),
     );
 }

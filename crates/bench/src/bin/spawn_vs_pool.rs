@@ -82,15 +82,15 @@ fn main() {
             cfg.pool = pool;
             let r = run_job(WordCount::new(), Input::stream(MemSource::from(corpus.clone())), cfg)
                 .unwrap();
-            let total = r.timings.total().as_secs_f64();
+            let total = r.report.timings.total().as_secs_f64();
             println!(
                 "{:>9}K {:>12} {:>9.3} {:>8} {:>9} {:>8}",
                 chunk_kb,
                 format!("{pool}"),
                 total,
-                r.stats.map_rounds,
-                r.stats.threads_spawned,
-                r.stats.threads_reused
+                r.report.stats.map_rounds,
+                r.report.stats.threads_spawned,
+                r.report.stats.threads_reused
             );
             csv.row(&[
                 "wordcount_e2e".into(),

@@ -9,7 +9,7 @@
 use supmr::runtime::MergeMode;
 use supmr_bench::{print_timing_block, results_dir, RealScale};
 use supmr_metrics::csv::CsvTable;
-use supmr_metrics::Phase;
+use supmr_metrics::{Json, Phase};
 use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, ModelOutput, PipelineParams};
 
 fn phase_cols(out: &ModelOutput) -> [f64; 5] {
@@ -145,15 +145,15 @@ fn run_real() {
     print_timing_block(
         "Word Count (real, scaled)",
         &[
-            ("none".to_string(), wc_none.timings.clone()),
-            ("1MB".to_string(), wc_small.timings.clone()),
-            ("8MB".to_string(), wc_large.timings.clone()),
+            ("none".to_string(), wc_none.report.timings.clone()),
+            ("1MB".to_string(), wc_small.report.timings.clone()),
+            ("8MB".to_string(), wc_large.report.timings.clone()),
         ],
     );
     println!(
         "  total speedup: 1MB {:.2}x, 8MB {:.2}x",
-        wc_small.timings.total_speedup_vs(&wc_none.timings),
-        wc_large.timings.total_speedup_vs(&wc_none.timings),
+        wc_small.report.timings.total_speedup_vs(&wc_none.report.timings),
+        wc_large.report.timings.total_speedup_vs(&wc_none.report.timings),
     );
 
     let sort_data = scale.sort_data();
@@ -162,16 +162,28 @@ fn run_real() {
     print_timing_block(
         "Sort (real, scaled)",
         &[
-            ("none".to_string(), s_none.timings.clone()),
-            ("1MB".to_string(), s_supmr.timings.clone()),
+            ("none".to_string(), s_none.report.timings.clone()),
+            ("1MB".to_string(), s_supmr.report.timings.clone()),
         ],
     );
     println!(
         "  total speedup {:.2}x; merge rounds {} -> {}; merge elements moved {} -> {}",
-        s_supmr.timings.total_speedup_vs(&s_none.timings),
-        s_none.stats.merge_rounds,
-        s_supmr.stats.merge_rounds,
-        s_none.stats.merge_elements_moved,
-        s_supmr.stats.merge_elements_moved,
+        s_supmr.report.timings.total_speedup_vs(&s_none.report.timings),
+        s_none.report.stats.merge_rounds,
+        s_supmr.report.stats.merge_rounds,
+        s_none.report.stats.merge_elements_moved,
+        s_supmr.report.stats.merge_elements_moved,
     );
+
+    // Full machine-readable reports (stable supmr.job_report.v1 schema).
+    let reports = Json::obj(vec![
+        ("wordcount_none", wc_none.report.to_json()),
+        ("wordcount_1mb", wc_small.report.to_json()),
+        ("wordcount_8mb", wc_large.report.to_json()),
+        ("sort_none", s_none.report.to_json()),
+        ("sort_1mb", s_supmr.report.to_json()),
+    ]);
+    let path = results_dir().join("table2_real_reports.json");
+    std::fs::write(&path, reports.render()).expect("write table2 reports JSON");
+    println!("  reports: {}", path.display());
 }

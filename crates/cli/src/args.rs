@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use supmr_metrics::TraceLevel;
 
 /// Which bundled application to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,11 @@ pub struct CliArgs {
     pub k: usize,
     /// KMeans iteration cap.
     pub iters: usize,
+    /// Event-trace detail level.
+    pub trace: TraceLevel,
+    /// Where to write the recorded trace (`.json` Chrome trace,
+    /// `.jsonl` line-delimited events, `.txt` ASCII timeline).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// A user-facing argument error.
@@ -203,6 +209,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         patterns: Vec::new(),
         k: 4,
         iters: 20,
+        trace: TraceLevel::Off,
+        trace_out: None,
     };
     while let Some(flag) = it.next() {
         let mut value =
@@ -230,6 +238,13 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                 args.seed = value()?.parse().map_err(|_| CliError("invalid seed".into()))?
             }
             "--pattern" => args.patterns.push(value()?),
+            "--trace" => {
+                let v = value()?;
+                args.trace = v
+                    .parse()
+                    .map_err(|_| CliError(format!("unknown trace level '{v}' (off|wave|task)")))?;
+            }
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
             "--k" => args.k = value()?.parse().map_err(|_| CliError("invalid k".into()))?,
             "--iters" => {
                 args.iters = value()?.parse().map_err(|_| CliError("invalid iters".into()))?
@@ -245,6 +260,11 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     }
     if args.app == AppKind::Grep && args.patterns.is_empty() {
         return Err(CliError("grep needs at least one --pattern".into()));
+    }
+    // `--trace-out report.json` alone is a natural ask; record at wave
+    // level rather than erroring (or silently writing an empty trace).
+    if args.trace_out.is_some() && !args.trace.enabled() {
+        args.trace = TraceLevel::Wave;
     }
     Ok(args)
 }
@@ -354,6 +374,31 @@ mod tests {
         assert!(parse_args(&argv("grep --generate 1K")).is_err(), "grep needs patterns");
         assert!(parse_args(&argv("wc --generate")).is_err(), "missing value");
         assert!(parse_args(&argv("wc --generate 1K --bogus 3")).is_err());
+    }
+
+    #[test]
+    fn trace_flags() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert_eq!(a.trace, TraceLevel::Off);
+        assert_eq!(a.trace_out, None);
+
+        let a = parse_args(&argv("wc --generate 1K --trace task")).unwrap();
+        assert_eq!(a.trace, TraceLevel::Task);
+
+        let a = parse_args(&argv("wc --generate 1K --trace wave --trace-out t.json")).unwrap();
+        assert_eq!(a.trace, TraceLevel::Wave);
+        assert_eq!(a.trace_out, Some(PathBuf::from("t.json")));
+
+        // --trace-out alone implies wave-level tracing.
+        let a = parse_args(&argv("wc --generate 1K --trace-out t.jsonl")).unwrap();
+        assert_eq!(a.trace, TraceLevel::Wave);
+
+        // --trace off --trace-out still gets upgraded (never write empty).
+        let a = parse_args(&argv("wc --generate 1K --trace off --trace-out t.txt")).unwrap();
+        assert_eq!(a.trace, TraceLevel::Wave);
+
+        assert!(parse_args(&argv("wc --generate 1K --trace verbose")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --trace")).is_err());
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The `supmr` command-line tool. See crate docs / `--help` for usage.
 
-use supmr_cli::{execute, parse_args};
-use supmr_metrics::PhaseTimings;
+use std::path::Path;
+use supmr_cli::{execute, parse_args, RunSummary};
+use supmr_metrics::ascii::{render_timeline, ChartOptions};
+use supmr_metrics::chrome::{to_chrome_json, to_jsonl};
+use supmr_metrics::{JobTrace, PhaseTimings};
 
 const USAGE: &str = "\
 usage: supmr <app> [--input PATH | --generate SIZE] [options]
@@ -18,6 +21,10 @@ options:
   --prefetch N       ingest chunks buffered ahead (default 1)
   --pool MODE        wave (spawn/join per round, default) | persistent
   --throttle RATE    cap storage bandwidth (e.g. 24M = 24 MiB/s)
+  --trace LEVEL      event tracing: off (default) | wave | task
+  --trace-out PATH   write the trace: .json Chrome trace (chrome://tracing),
+                     .jsonl line-delimited events, .txt ASCII timeline
+                     (implies --trace wave if tracing is off)
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
   --pattern P        grep pattern (repeatable)
@@ -25,9 +32,53 @@ options:
 
 examples:
   supmr wordcount --generate 64M --chunking inter:4M --throttle 24M
+  supmr wordcount --generate 64M --chunking inter:4M --trace-out trace.json
   supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
   supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
 ";
+
+/// Serialize `trace` in the format implied by `path`'s extension.
+fn render_trace(trace: &JobTrace, path: &Path) -> String {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("jsonl") => to_jsonl(trace),
+        Some("txt") => render_timeline(
+            trace,
+            &ChartOptions { title: "supmr job timeline".to_string(), ..Default::default() },
+        ),
+        _ => to_chrome_json(trace),
+    }
+}
+
+fn print_summary(summary: &RunSummary, trace_out: Option<&Path>) {
+    println!("{}", PhaseTimings::table_header());
+    println!("{}", summary.report.timings.table_row("job"));
+    let stalls = summary.report.stalls();
+    if !stalls.map_waiting.is_zero() || !stalls.ingest_waiting.is_zero() {
+        println!(
+            "stalls: map waited {:.3}s for chunks, ingest waited {:.3}s for mappers",
+            stalls.map_waiting.as_secs_f64(),
+            stalls.ingest_waiting.as_secs_f64()
+        );
+    }
+    println!("\n{} output pairs, {} ingest chunks\n", summary.output_pairs(), summary.chunks());
+    for line in &summary.lines {
+        println!("{line}");
+    }
+    if let Some(path) = trace_out {
+        match &summary.report.trace {
+            Some(trace) => match std::fs::write(path, render_trace(trace, path)) {
+                Ok(()) => println!("\ntrace ({} events): {}", trace.event_count(), path.display()),
+                Err(e) => {
+                    eprintln!("supmr: cannot write trace to {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            },
+            // Only the kmeans driver lands here (per-iteration jobs,
+            // no single job trace).
+            None => eprintln!("supmr: no trace recorded for this app; nothing written"),
+        }
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -43,14 +94,7 @@ fn main() {
         }
     };
     match execute(&args) {
-        Ok(summary) => {
-            println!("{}", PhaseTimings::table_header());
-            println!("{}", summary.timings.table_row("job"));
-            println!("\n{} output pairs, {} ingest chunks\n", summary.output_pairs, summary.chunks);
-            for line in &summary.lines {
-                println!("{line}");
-            }
-        }
+        Ok(summary) => print_summary(&summary, args.trace_out.as_deref()),
         Err(e) => {
             eprintln!("supmr: {e}");
             std::process::exit(1);

@@ -21,6 +21,9 @@
 //!   --split SIZE        input split size                [default: 1M]
 //!   --prefetch N        ingest chunks buffered ahead    [default: 1]
 //!   --throttle RATE     cap storage bandwidth, e.g. 24M (bytes/sec)
+//!   --trace LEVEL       event tracing: off | wave | task [default: off]
+//!   --trace-out PATH    write the recorded trace (.json Chrome trace,
+//!                       .jsonl events, .txt ASCII timeline)
 //!   --top N             print the N largest results     [default: 10]
 //!   --seed N            generator seed                  [default: 42]
 //! ```
@@ -32,4 +35,4 @@ pub mod args;
 pub mod run;
 
 pub use args::{parse_args, AppKind, ChunkingSpec, CliArgs, CliError, MergeSpec};
-pub use run::execute;
+pub use run::{execute, RunSummary};

@@ -4,12 +4,11 @@
 use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec, PoolSpec};
 use std::io;
 use supmr::chunk::AdaptiveConfig;
-use supmr::runtime::{run_job, Input, JobConfig, JobResult, MergeMode};
-use supmr::{Chunking, PoolMode};
+use supmr::runtime::{run_job, Input, JobConfig, JobReport, JobResult, MergeMode};
+use supmr::{Chunking, PoolMode, Result};
 use supmr_apps::{
     kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
 };
-use supmr_metrics::PhaseTimings;
 use supmr_storage::{
     DirFileSet, FileSource, MemSource, ThrottledFileSet, ThrottledSource, TokenBucket,
 };
@@ -20,24 +19,25 @@ use supmr_workloads::{
 /// What a CLI run produced, separated from printing for testability.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
-    /// Phase breakdown of the (final) job.
-    pub timings: PhaseTimings,
-    /// Number of output pairs.
-    pub output_pairs: u64,
-    /// Ingest chunks processed.
-    pub chunks: u32,
+    /// The job's full report (timings, counters, stalls, traces).
+    pub report: JobReport,
     /// Rendered result lines (already truncated to `--top`).
     pub lines: Vec<String>,
 }
 
 impl RunSummary {
     fn from_result<K, O>(r: &JobResult<K, O>, lines: Vec<String>) -> RunSummary {
-        RunSummary {
-            timings: r.timings.clone(),
-            output_pairs: r.stats.output_pairs,
-            chunks: r.stats.ingest_chunks,
-            lines,
-        }
+        RunSummary { report: r.report.clone(), lines }
+    }
+
+    /// Number of output pairs.
+    pub fn output_pairs(&self) -> u64 {
+        self.report.stats.output_pairs
+    }
+
+    /// Ingest chunks processed.
+    pub fn chunks(&self) -> u32 {
+        self.report.stats.ingest_chunks
     }
 }
 
@@ -75,6 +75,7 @@ fn job_config(
             PoolSpec::Wave => PoolMode::WavePerRound,
             PoolSpec::Persistent => PoolMode::Persistent,
         },
+        trace: args.trace,
         ..JobConfig::default()
     };
     if let Some(w) = args.workers {
@@ -161,9 +162,10 @@ fn build_input(args: &CliArgs) -> io::Result<Input> {
 /// Run the job described by `args` and return a printable summary.
 ///
 /// # Errors
-/// I/O failures (missing input, ingest errors) and invalid
-/// configurations surface as `io::Error`.
-pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
+/// Returns the runtime's typed [`supmr::SupmrError`]: missing inputs
+/// and ingest failures as `Ingest`, bad flag combinations as
+/// `InvalidConfig`, and map/reduce panics as `TaskPanic`.
+pub fn execute(args: &CliArgs) -> Result<RunSummary> {
     let top = args.top;
     match args.app {
         AppKind::WordCount => {
@@ -250,12 +252,12 @@ pub fn execute(args: &CliArgs) -> io::Result<RunSummary> {
                 "{} iterations, converged: {}, {} points",
                 result.iterations, result.converged, result.points
             ));
-            Ok(RunSummary {
-                timings: PhaseTimings::zero(),
-                output_pairs: result.centroids.len() as u64,
-                chunks: 0,
-                lines,
-            })
+            // The iterative driver runs one job per pass; no single
+            // job report summarizes it, so return an empty one with
+            // the output counter filled in.
+            let mut report = JobReport::default();
+            report.stats.output_pairs = result.centroids.len() as u64;
+            Ok(RunSummary { report, lines })
         }
     }
 }
@@ -277,15 +279,15 @@ mod tests {
     fn wordcount_generate_and_top() {
         let s = run("wordcount --generate 64K --chunking inter:16K --top 3 --workers 2");
         assert_eq!(s.lines.len(), 3);
-        assert!(s.output_pairs > 3);
-        assert!(s.chunks >= 3);
+        assert!(s.output_pairs() > 3);
+        assert!(s.chunks() >= 3);
     }
 
     #[test]
     fn terasort_reports_sorted_output() {
         let s = run("terasort --generate 32K --chunking inter:8K --merge pway:2 --workers 2");
         assert!(s.lines.last().unwrap().contains("sorted: true"));
-        assert_eq!(s.output_pairs, 32 * 1024 / 100);
+        assert_eq!(s.output_pairs(), 32 * 1024 / 100);
     }
 
     #[test]
@@ -300,7 +302,7 @@ mod tests {
     fn histogram_over_generated_pixels() {
         let s = run("histogram --generate 30K --workers 2 --top 4");
         assert_eq!(s.lines.len(), 4);
-        assert!(s.output_pairs > 100);
+        assert!(s.output_pairs() > 100);
     }
 
     #[test]
@@ -314,7 +316,7 @@ mod tests {
         let s = run("kmeans --generate 64K --k 4 --iters 30 --workers 2");
         let last = s.lines.last().unwrap();
         assert!(last.contains("converged: true"), "{last}");
-        assert_eq!(s.output_pairs, 4);
+        assert_eq!(s.output_pairs(), 4);
     }
 
     #[test]
@@ -323,26 +325,26 @@ mod tests {
         let pooled = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
              --pool persistent");
         assert_eq!(pooled.lines, wave.lines);
-        assert_eq!(pooled.output_pairs, wave.output_pairs);
-        assert_eq!(pooled.chunks, wave.chunks);
+        assert_eq!(pooled.output_pairs(), wave.output_pairs());
+        assert_eq!(pooled.chunks(), wave.chunks());
     }
 
     #[test]
     fn intra_chunking_synthesizes_a_file_set() {
         let s = run("wordcount --generate 512K --chunking intra:2 --workers 2");
-        assert!(s.chunks >= 2);
+        assert!(s.chunks() >= 2);
     }
 
     #[test]
     fn hybrid_chunking_synthesizes_a_file_set() {
         let s = run("wordcount --generate 512K --chunking hybrid:64K --workers 2");
-        assert!(s.chunks >= 4);
+        assert!(s.chunks() >= 4);
     }
 
     #[test]
     fn adaptive_chunking_via_cli() {
         let s = run("wordcount --generate 256K --chunking adaptive --workers 2");
-        assert!(s.output_pairs > 0);
+        assert!(s.output_pairs() > 0);
     }
 
     #[test]
@@ -352,7 +354,7 @@ mod tests {
         let path = dir.join("input.txt");
         std::fs::write(&path, b"apple banana apple\n").unwrap();
         let s = run(&format!("wordcount --input {} --workers 1", path.display()));
-        assert_eq!(s.output_pairs, 2);
+        assert_eq!(s.output_pairs(), 2);
         assert!(s.lines[0].contains("apple"));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -365,8 +367,8 @@ mod tests {
         std::fs::write(dir.join("a.txt"), b"x y\n").unwrap();
         std::fs::write(dir.join("b.txt"), b"x z\n").unwrap();
         let s = run(&format!("wordcount --input {} --chunking intra:1 --workers 1", dir.display()));
-        assert_eq!(s.output_pairs, 3);
-        assert_eq!(s.chunks, 2);
+        assert_eq!(s.output_pairs(), 3);
+        assert_eq!(s.chunks(), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -374,5 +376,20 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = parse_args(&argv("wordcount --input /nonexistent/supmr")).unwrap();
         assert!(execute(&args).is_err());
+    }
+
+    #[test]
+    fn traced_run_attaches_a_valid_trace() {
+        let s = run("wordcount --generate 128K --chunking inter:32K --workers 2 --trace wave");
+        let trace = s.report.trace.as_ref().expect("trace requested");
+        assert!(trace.event_count() > 0);
+        trace.validate().expect("spans nest cleanly");
+        assert!(!trace.rounds().is_empty(), "pipelined run must reconstruct rounds");
+    }
+
+    #[test]
+    fn untraced_run_attaches_no_trace() {
+        let s = run("wordcount --generate 32K --workers 1");
+        assert!(s.report.trace.is_none());
     }
 }

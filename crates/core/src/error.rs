@@ -1,0 +1,181 @@
+//! The typed error surface of the runtime.
+//!
+//! Every fallible runtime entry point ([`run_job`](crate::run_job),
+//! [`Job::run`](crate::Job::run)) returns [`SupmrError`] instead of a
+//! bare [`io::Error`], so callers can tell a retryable storage fault
+//! ([`SupmrError::Ingest`]) apart from a configuration bug
+//! ([`SupmrError::InvalidConfig`]) or a crashed user task
+//! ([`SupmrError::TaskPanic`]) without string matching.
+
+use std::fmt;
+use std::io;
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, SupmrError>;
+
+/// Why a job failed.
+#[derive(Debug)]
+pub enum SupmrError {
+    /// The [`JobConfig`](crate::JobConfig) (or its pairing with the
+    /// input shape) is invalid. Not retryable: the job can never run as
+    /// configured.
+    InvalidConfig {
+        /// What was wrong.
+        message: String,
+    },
+    /// Reading input from primary storage failed. Retryable when the
+    /// underlying I/O condition is ([`SupmrError::is_retryable`]).
+    Ingest {
+        /// Ingest chunk being read when the fault hit; `None` when the
+        /// fault predates chunk assignment (e.g. whole-input ingest
+        /// planning).
+        chunk: Option<u32>,
+        /// The storage-level fault.
+        source: io::Error,
+    },
+    /// The merge phase could not combine the reduce outputs.
+    Merge {
+        /// What went wrong.
+        message: String,
+    },
+    /// A user map/reduce task panicked; the runtime caught the unwind
+    /// and failed the job instead of aborting the process.
+    TaskPanic {
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
+}
+
+impl SupmrError {
+    /// Shorthand for an [`SupmrError::InvalidConfig`].
+    pub fn invalid_config(message: impl Into<String>) -> SupmrError {
+        SupmrError::InvalidConfig { message: message.into() }
+    }
+
+    /// Shorthand for an [`SupmrError::Ingest`] attributed to a chunk.
+    pub fn ingest(chunk: u32, source: io::Error) -> SupmrError {
+        SupmrError::Ingest { chunk: Some(chunk), source }
+    }
+
+    /// The underlying [`io::ErrorKind`], when this error wraps an I/O
+    /// fault. Config, merge, and panic errors return `None`.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            SupmrError::Ingest { source, .. } => Some(source.kind()),
+            _ => None,
+        }
+    }
+
+    /// Whether retrying the job might succeed: true only for ingest
+    /// faults whose I/O condition is transient (interrupted calls,
+    /// timeouts, exhausted connections).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self.io_kind(),
+            Some(
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ConnectionReset
+            )
+        )
+    }
+}
+
+impl fmt::Display for SupmrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupmrError::InvalidConfig { message } => write!(f, "invalid job config: {message}"),
+            SupmrError::Ingest { chunk: Some(c), source } => {
+                write!(f, "ingest of chunk {c} failed: {source}")
+            }
+            SupmrError::Ingest { chunk: None, source } => write!(f, "ingest failed: {source}"),
+            SupmrError::Merge { message } => write!(f, "merge failed: {message}"),
+            SupmrError::TaskPanic { payload } => write!(f, "a task panicked: {payload}"),
+        }
+    }
+}
+
+impl std::error::Error for SupmrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupmrError::Ingest { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SupmrError {
+    fn from(source: io::Error) -> SupmrError {
+        SupmrError::Ingest { chunk: None, source }
+    }
+}
+
+/// Render a caught panic payload as a string (the common `&str` and
+/// `String` payloads verbatim, anything else a placeholder).
+pub(crate) fn panic_payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SupmrError::ingest(3, io::Error::new(io::ErrorKind::TimedOut, "disk gone"));
+        assert_eq!(e.to_string(), "ingest of chunk 3 failed: disk gone");
+        assert!(SupmrError::invalid_config("bad").to_string().contains("bad"));
+        let p = SupmrError::TaskPanic { payload: "boom".into() };
+        assert!(p.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_kind_surfaces_only_for_ingest() {
+        let e = SupmrError::ingest(0, io::Error::from(io::ErrorKind::NotFound));
+        assert_eq!(e.io_kind(), Some(io::ErrorKind::NotFound));
+        assert_eq!(SupmrError::invalid_config("x").io_kind(), None);
+        assert_eq!(SupmrError::TaskPanic { payload: String::new() }.io_kind(), None);
+    }
+
+    #[test]
+    fn retryability_tracks_transient_io_kinds() {
+        let transient = SupmrError::ingest(0, io::Error::from(io::ErrorKind::Interrupted));
+        assert!(transient.is_retryable());
+        let permanent = SupmrError::ingest(0, io::Error::from(io::ErrorKind::NotFound));
+        assert!(!permanent.is_retryable());
+        assert!(!SupmrError::invalid_config("x").is_retryable());
+    }
+
+    #[test]
+    fn source_chains_to_the_io_error() {
+        let e = SupmrError::ingest(1, io::Error::from(io::ErrorKind::UnexpectedEof));
+        assert!(e.source().is_some());
+        assert!(SupmrError::Merge { message: "m".into() }.source().is_none());
+    }
+
+    #[test]
+    fn from_io_error_has_no_chunk() {
+        let e: SupmrError = io::Error::from(io::ErrorKind::PermissionDenied).into();
+        match e {
+            SupmrError::Ingest { chunk: None, source } => {
+                assert_eq!(source.kind(), io::ErrorKind::PermissionDenied);
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_payloads_render() {
+        assert_eq!(panic_payload_string(Box::new("oops")), "oops");
+        assert_eq!(panic_payload_string(Box::new("owned".to_string())), "owned");
+        assert_eq!(panic_payload_string(Box::new(42u32)), "non-string panic payload");
+    }
+}

@@ -72,15 +72,27 @@
 //! assert_eq!(pairs, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
 //! ```
 
+//! # Observability
+//!
+//! Every run produces a [`runtime::JobReport`] (phase timings, counters
+//! with pipeline **stall accounting**, optional CPU-utilization and
+//! typed event traces) with a stable JSON rendering. Tracing is enabled
+//! per job ([`Job::trace`](runtime::Job::trace)) and exported through
+//! `supmr-metrics` (Chrome `trace_event` JSON, JSONL, ASCII timeline).
+//! Fallible entry points return the typed [`SupmrError`] ([`error`]).
+
 pub mod api;
 pub mod chunk;
 pub mod combiner;
 pub mod container;
+pub mod error;
 pub mod pool;
 pub mod runtime;
 pub mod split;
 
 pub use api::{Emit, MapReduce};
 pub use chunk::{Chunking, IngestChunk};
+pub use error::{Result, SupmrError};
 pub use pool::PoolMode;
-pub use runtime::{run_job, Input, Job, JobConfig, JobResult, JobStats, MergeMode};
+pub use runtime::{run_job, Input, Job, JobConfig, JobReport, JobResult, JobStats, MergeMode};
+pub use supmr_metrics::{EventKind, JobTrace, StallStats, TraceEvent, TraceLevel};

@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use supmr_metrics::{EventKind, Tracer};
 
 /// How the runtime provisions worker threads for map/reduce waves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -135,6 +136,7 @@ type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<crossbeam_channel::Sender<PoolTask>>,
     workers: Vec<JoinHandle<()>>,
+    tracer: Tracer,
 }
 
 impl WorkerPool {
@@ -143,6 +145,15 @@ impl WorkerPool {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new(size: usize) -> WorkerPool {
+        WorkerPool::new_traced(size, Tracer::off())
+    }
+
+    /// Spawn `size` long-lived worker threads that report each batch
+    /// dispatch ([`EventKind::PoolDispatch`]) to `tracer`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new_traced(size: usize, tracer: Tracer) -> WorkerPool {
         assert!(size > 0, "a worker pool needs at least one thread");
         let (tx, rx) = crossbeam_channel::unbounded::<PoolTask>();
         let workers = (0..size)
@@ -158,7 +169,7 @@ impl WorkerPool {
                     .expect("spawning a pool worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers }
+        WorkerPool { tx: Some(tx), workers, tracer }
     }
 
     /// Number of threads in the pool.
@@ -180,6 +191,7 @@ impl WorkerPool {
         if n == 0 {
             return (Vec::new(), WaveOutcome::default());
         }
+        self.tracer.emit(EventKind::PoolDispatch { tasks: n as u64, workers: self.size() as u64 });
         let f = Arc::new(f);
         let (rtx, rrx) = crossbeam_channel::bounded::<(usize, std::thread::Result<R>)>(n);
         let tx = self.tx.as_ref().expect("pool channel lives as long as the pool");

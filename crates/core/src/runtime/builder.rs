@@ -41,9 +41,11 @@
 use super::{run_job, Input, JobConfig, JobResult, MergeMode};
 use crate::api::MapReduce;
 use crate::chunk::Chunking;
+use crate::error::Result;
 use crate::pool::PoolMode;
-use std::io;
+use std::sync::Arc;
 use std::time::Duration;
+use supmr_metrics::{TraceEvent, TraceLevel};
 use supmr_storage::RecordFormat;
 
 /// A configured-but-not-yet-run job.
@@ -110,6 +112,22 @@ impl<J: MapReduce> Job<J> {
         self
     }
 
+    /// Record a typed event trace at this detail level; the trace comes
+    /// back in [`JobReport::trace`](super::JobReport::trace).
+    pub fn trace(mut self, level: TraceLevel) -> Self {
+        self.config.trace = level;
+        self
+    }
+
+    /// Invoke `callback` synchronously on every trace event as the job
+    /// runs (live progress, streaming exporters). Requires
+    /// [`trace`](Job::trace) to be set to an enabled level. Keep the
+    /// callback cheap: it runs on the emitting worker thread.
+    pub fn on_event(mut self, callback: impl Fn(&TraceEvent) + Send + Sync + 'static) -> Self {
+        self.config.on_event = Some(Arc::new(callback));
+        self
+    }
+
     /// Override the whole configuration.
     pub fn config(mut self, config: JobConfig) -> Self {
         self.config = config;
@@ -124,8 +142,9 @@ impl<J: MapReduce> Job<J> {
     /// Run the job on `input`.
     ///
     /// # Errors
-    /// Propagates configuration and ingest errors from [`run_job`].
-    pub fn run(self, input: Input) -> io::Result<JobResult<J::Key, J::Output>> {
+    /// Propagates configuration, ingest, and task-panic errors from
+    /// [`run_job`].
+    pub fn run(self, input: Input) -> Result<JobResult<J::Key, J::Output>> {
         run_job(self.app, input, self.config)
     }
 }
@@ -202,6 +221,34 @@ mod tests {
             .workers(0)
             .run(Input::stream(MemSource::from(vec![1u8])))
             .unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(matches!(err, crate::SupmrError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn trace_and_on_event_reach_the_config() {
+        let job = Job::new(CharCount).trace(TraceLevel::Task).on_event(|_e| {});
+        assert_eq!(job.config_ref().trace, TraceLevel::Task);
+        assert!(job.config_ref().on_event.is_some());
+    }
+
+    #[test]
+    fn traced_run_returns_a_trace_and_callback_fires() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        let result = Job::new(CharCount)
+            .chunking(Chunking::Inter { chunk_bytes: 8 })
+            .workers(2)
+            .split_bytes(4)
+            .trace(TraceLevel::Wave)
+            .on_event(move |_e| {
+                seen2.fetch_add(1, Ordering::Relaxed);
+            })
+            .run(Input::stream(MemSource::from(b"aa b\nab\ncd e\nfg\n".to_vec())))
+            .unwrap();
+        let trace = result.report.trace.as_ref().expect("trace recorded");
+        assert!(trace.event_count() > 0);
+        trace.validate().expect("spans nest cleanly");
+        assert_eq!(seen.load(Ordering::Relaxed), trace.event_count() as u64);
     }
 }

@@ -19,14 +19,19 @@ pub use builder::Job;
 use crate::api::{AccOf, MapReduce};
 use crate::chunk::{Chunking, IngestChunk};
 use crate::container::Container;
+use crate::error::{panic_payload_string, Result, SupmrError};
 use crate::pool::{Executor, PoolMode, WaveOutcome, WorkerPool};
 use crate::split::chunk_splits;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use supmr_merge::{pairwise_merge_rounds, parallel_kway_merge};
 use supmr_metrics::sampler::UtilizationSampler;
-use supmr_metrics::{Phase, PhaseTimer, PhaseTimings, UtilTrace};
+use supmr_metrics::{
+    EventCallback, EventKind, JobTrace, Json, Phase, PhaseTimer, PhaseTimings, StallStats,
+    TraceLevel, Tracer, UtilTrace,
+};
 use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes, SourceExt};
 
 /// Job input: one large byte stream or a set of small files — the two
@@ -84,7 +89,7 @@ pub enum MergeMode {
 
 /// Runtime configuration — the original Phoenix++ knobs plus SupMR's
 /// "few additional chunk-related parameters".
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct JobConfig {
     /// Mapper threads per map wave.
     pub map_workers: usize,
@@ -109,6 +114,29 @@ pub struct JobConfig {
     /// If set, sample real CPU utilization at this interval for the
     /// duration of the job (collectl-style trace in the result).
     pub sample_utilization: Option<Duration>,
+    /// Event-trace detail recorded into [`JobReport::trace`].
+    pub trace: TraceLevel,
+    /// Callback invoked synchronously on every trace event (requires
+    /// `trace` to be enabled).
+    pub on_event: Option<EventCallback>,
+}
+
+impl std::fmt::Debug for JobConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobConfig")
+            .field("map_workers", &self.map_workers)
+            .field("reduce_workers", &self.reduce_workers)
+            .field("split_bytes", &self.split_bytes)
+            .field("record_format", &self.record_format)
+            .field("chunking", &self.chunking)
+            .field("merge", &self.merge)
+            .field("pool", &self.pool)
+            .field("prefetch_depth", &self.prefetch_depth)
+            .field("sample_utilization", &self.sample_utilization)
+            .field("trace", &self.trace)
+            .field("on_event", &self.on_event.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
 impl Default for JobConfig {
@@ -124,13 +152,15 @@ impl Default for JobConfig {
             pool: PoolMode::default(),
             prefetch_depth: 1,
             sample_utilization: None,
+            trace: TraceLevel::Off,
+            on_event: None,
         }
     }
 }
 
 impl JobConfig {
-    fn validate(&self) -> io::Result<()> {
-        let bad = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+    fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| Err(SupmrError::invalid_config(msg));
         if self.map_workers == 0 || self.reduce_workers == 0 {
             return bad("worker counts must be non-zero");
         }
@@ -167,6 +197,9 @@ impl JobConfig {
         }
         if let RecordFormat::FixedWidth(0) = self.record_format {
             return bad("record width must be non-zero");
+        }
+        if self.on_event.is_some() && !self.trace.enabled() {
+            return bad("an on_event callback requires trace level wave or task");
         }
         Ok(())
     }
@@ -222,6 +255,13 @@ pub struct JobStats {
     /// for `prefetch_depth > 1`, where rounds are not individually
     /// bounded).
     pub rounds: Vec<RoundRecord>,
+    /// Total time the map side sat idle waiting for a chunk's ingest to
+    /// complete — the pipeline was ingest-bound for this long. Always
+    /// accounted, independent of the trace level.
+    pub map_waiting: Duration,
+    /// Total time the ingest side sat idle waiting for the mappers to
+    /// release the buffer — the pipeline was map-bound for this long.
+    pub ingest_waiting: Duration,
 }
 
 impl JobStats {
@@ -231,18 +271,115 @@ impl JobStats {
     }
 }
 
-/// A finished job: output pairs plus the measurements every experiment
-/// needs.
+/// Everything measured about a finished job, in one handle with a
+/// stable JSON rendering: phase timings (a Table II row), execution
+/// counters with stall accounting, and the optional utilization and
+/// event traces.
+#[derive(Debug, Clone, Default)]
+pub struct JobReport {
+    /// Per-phase wall-clock breakdown (a Table II row).
+    pub timings: PhaseTimings,
+    /// Execution counters, including stall totals.
+    pub stats: JobStats,
+    /// CPU utilization trace, when sampling was requested.
+    pub util: Option<UtilTrace>,
+    /// Typed event trace, when tracing was enabled.
+    pub trace: Option<JobTrace>,
+}
+
+impl JobReport {
+    /// Summed pipeline stall time by side.
+    pub fn stalls(&self) -> StallStats {
+        StallStats {
+            map_waiting: self.stats.map_waiting,
+            ingest_waiting: self.stats.ingest_waiting,
+        }
+    }
+
+    /// The report as a JSON value with the stable
+    /// `supmr.job_report.v1` schema. Full event traces are exported
+    /// separately ([`supmr_metrics::chrome`]); here the trace appears
+    /// as a summary (thread/event counts).
+    pub fn to_json(&self) -> Json {
+        let us = |d: Duration| Json::from(d.as_micros() as u64);
+        let timings = Json::obj(vec![
+            ("total_us", us(self.timings.total())),
+            ("ingest_us", us(self.timings.phase(Phase::Ingest))),
+            ("map_us", us(self.timings.phase(Phase::Map))),
+            ("reduce_us", us(self.timings.phase(Phase::Reduce))),
+            ("merge_us", us(self.timings.phase(Phase::Merge))),
+            ("fused_ingest_map", Json::Bool(self.timings.is_fused())),
+        ]);
+        let s = &self.stats;
+        let rounds = Json::Arr(
+            s.rounds
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("chunk_bytes", Json::from(r.chunk_bytes)),
+                        ("ingest_us", us(r.ingest)),
+                        ("map_us", us(r.map)),
+                    ])
+                })
+                .collect(),
+        );
+        let stats = Json::obj(vec![
+            ("bytes_ingested", Json::from(s.bytes_ingested)),
+            ("ingest_chunks", Json::from(u64::from(s.ingest_chunks))),
+            ("map_rounds", Json::from(u64::from(s.map_rounds))),
+            ("map_tasks", Json::from(s.map_tasks)),
+            ("reduce_tasks", Json::from(s.reduce_tasks)),
+            ("threads_spawned", Json::from(s.threads_spawned)),
+            ("threads_reused", Json::from(s.threads_reused)),
+            ("intermediate_pairs", Json::from(s.intermediate_pairs)),
+            ("distinct_keys", Json::from(s.distinct_keys)),
+            ("output_pairs", Json::from(s.output_pairs)),
+            ("merge_rounds", Json::from(u64::from(s.merge_rounds))),
+            ("merge_elements_moved", Json::from(s.merge_elements_moved)),
+            ("rounds", rounds),
+        ]);
+        let stalls = Json::obj(vec![
+            ("map_waiting_us", us(s.map_waiting)),
+            ("ingest_waiting_us", us(s.ingest_waiting)),
+        ]);
+        let util = match &self.util {
+            Some(u) => Json::obj(vec![
+                ("samples", Json::from(u.samples().len() as u64)),
+                ("duration_s", Json::Num(u.duration())),
+            ]),
+            None => Json::Null,
+        };
+        let trace = match &self.trace {
+            Some(t) => Json::obj(vec![
+                ("threads", Json::from(t.threads.len() as u64)),
+                ("events", Json::from(t.event_count() as u64)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("schema", Json::str("supmr.job_report.v1")),
+            ("timings", timings),
+            ("stats", stats),
+            ("stalls", stalls),
+            ("util", util),
+            ("trace", trace),
+        ])
+    }
+
+    /// [`to_json`](JobReport::to_json) rendered as compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+/// A finished job: output pairs plus the [`JobReport`] every experiment
+/// consumes.
 #[derive(Debug)]
 pub struct JobResult<K, O> {
     /// Reduced output pairs, ordered according to [`MergeMode`].
     pub pairs: Vec<(K, O)>,
-    /// Per-phase wall-clock breakdown (a Table II row).
-    pub timings: PhaseTimings,
-    /// Execution counters.
-    pub stats: JobStats,
-    /// CPU utilization trace, when sampling was requested.
-    pub trace: Option<UtilTrace>,
+    /// Everything measured about the run.
+    pub report: JobReport,
 }
 
 impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
@@ -258,33 +395,50 @@ impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
 /// Run a MapReduce job. Dispatches to the original runtime
 /// ([`Chunking::None`]) or the SupMR ingest chunk pipeline.
 ///
+/// A panic inside a user map/reduce function (on either executor) is
+/// caught here and converted into [`SupmrError::TaskPanic`], so a
+/// crashing task fails the job instead of the process.
+///
 /// # Errors
-/// Returns an error for invalid configurations, a chunking strategy that
-/// does not match the input shape, or I/O failures during ingest.
+/// Returns [`SupmrError::InvalidConfig`] for invalid configurations or
+/// a chunking strategy that does not match the input shape,
+/// [`SupmrError::Ingest`] for I/O failures during ingest, and
+/// [`SupmrError::TaskPanic`] for crashed tasks.
 pub fn run_job<J: MapReduce>(
     job: J,
     input: Input,
     config: JobConfig,
-) -> io::Result<JobResult<J::Key, J::Output>> {
+) -> Result<JobResult<J::Key, J::Output>> {
     config.validate()?;
+    let tracer = Tracer::new(config.trace, config.on_event.clone());
     let sampler = config.sample_utilization.map(UtilizationSampler::start);
     let job = Arc::new(job);
-    let pool = (config.pool == PoolMode::Persistent)
-        .then(|| WorkerPool::new(config.map_workers.max(config.reduce_workers)));
+    let pool = (config.pool == PoolMode::Persistent).then(|| {
+        WorkerPool::new_traced(config.map_workers.max(config.reduce_workers), tracer.clone())
+    });
     let exec = match &pool {
         Some(p) => Executor::Pool(p),
         None => Executor::Wave,
     };
-    let mut result = match config.chunking {
-        Chunking::None => original::run(&job, input, &config, exec),
-        _ => pipeline::run(&job, input, &config, exec),
-    }?;
+    let dispatch = catch_unwind(AssertUnwindSafe(|| match config.chunking {
+        Chunking::None => original::run(&job, input, &config, exec, &tracer),
+        _ => pipeline::run(&job, input, &config, exec, &tracer),
+    }));
+    let mut result = match dispatch {
+        Ok(runtime_result) => runtime_result?,
+        Err(payload) => {
+            return Err(SupmrError::TaskPanic { payload: panic_payload_string(payload) })
+        }
+    };
     if let Some(p) = &pool {
         // The pool's one-time spawn cost, counted once per job.
-        result.stats.threads_spawned += p.size() as u64;
+        result.report.stats.threads_spawned += p.size() as u64;
     }
     if let Some(s) = sampler {
-        result.trace = Some(s.stop());
+        result.report.util = Some(s.stop());
+    }
+    if tracer.level().enabled() {
+        result.report.trace = Some(tracer.finish());
     }
     Ok(result)
 }
@@ -338,16 +492,28 @@ pub(crate) fn map_wave<J: MapReduce>(
     chunk: &IngestChunk,
     config: &JobConfig,
     exec: Executor<'_>,
+    tracer: &Tracer,
+    round: u32,
 ) -> WaveOutcome {
     let splits = chunk_splits(chunk, config.split_bytes, config.record_format);
+    tracer.emit(EventKind::MapWaveStart { round, tasks: splits.len() as u64 });
     let job = Arc::clone(job);
     let container = Arc::clone(container);
     let data = chunk.data.clone();
-    exec.run(config.map_workers, splits, move |_, range| {
+    let task_tracer = tracer.level().tasks().then(|| tracer.clone());
+    let outcome = exec.run(config.map_workers, splits, move |idx, range| {
+        if let Some(t) = &task_tracer {
+            t.emit(EventKind::MapTaskStart { round, task: idx as u64, bytes: range.len() as u64 });
+        }
         let mut local = container.local();
         job.map(&data[range], &mut local);
         container.absorb(local);
-    })
+        if let Some(t) = &task_tracer {
+            t.emit(EventKind::MapTaskEnd { round, task: idx as u64 });
+        }
+    });
+    tracer.emit(EventKind::MapWaveEnd { round });
+    outcome
 }
 
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
@@ -356,6 +522,7 @@ pub(crate) fn finish_job<J: MapReduce>(
     container: Arc<J::Container>,
     config: &JobConfig,
     exec: Executor<'_>,
+    tracer: &Tracer,
     mut timer: PhaseTimer,
     mut stats: JobStats,
 ) -> JobResult<J::Key, J::Output> {
@@ -370,29 +537,43 @@ pub(crate) fn finish_job<J: MapReduce>(
 
     timer.begin(Phase::Reduce);
     let partitions = container.into_partitions(config.reduce_workers);
+    tracer.emit(EventKind::ReduceWaveStart { partitions: partitions.len() as u64 });
     let reduce_job = Arc::clone(job);
+    let task_tracer = tracer.level().tasks().then(|| tracer.clone());
     let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
         partitions,
-        move |_, part: Vec<(J::Key, AccOf<J>)>| {
-            part.into_iter()
+        move |idx, part: Vec<(J::Key, AccOf<J>)>| {
+            if let Some(t) = &task_tracer {
+                t.emit(EventKind::ReducePartitionStart { partition: idx as u64 });
+            }
+            let out = part
+                .into_iter()
                 .map(|(k, acc)| {
                     let out = reduce_job.reduce(&k, acc);
                     (k, out)
                 })
-                .collect::<Vec<(J::Key, J::Output)>>()
+                .collect::<Vec<(J::Key, J::Output)>>();
+            if let Some(t) = &task_tracer {
+                t.emit(EventKind::ReducePartitionEnd { partition: idx as u64 });
+            }
+            out
         },
     );
+    tracer.emit(EventKind::ReduceWaveEnd);
     timer.end(Phase::Reduce);
     stats.reduce_tasks = outcome.tasks;
     stats.add_wave(outcome);
 
     timer.begin(Phase::Merge);
-    let pairs = merge_phase::<J>(reduced, config, exec, &mut stats);
+    let pairs = merge_phase::<J>(reduced, config, exec, tracer, &mut stats);
     timer.end(Phase::Merge);
     stats.output_pairs = pairs.len() as u64;
 
-    JobResult { pairs, timings: timer.finish(), stats, trace: None }
+    JobResult {
+        pairs,
+        report: JobReport { timings: timer.finish(), stats, util: None, trace: None },
+    }
 }
 
 /// Pair wrapper ordering on the key only, so outputs need not be `Ord`.
@@ -422,6 +603,7 @@ fn merge_phase<J: MapReduce>(
     reduced: Vec<Vec<(J::Key, J::Output)>>,
     config: &JobConfig,
     exec: Executor<'_>,
+    tracer: &Tracer,
     stats: &mut JobStats,
 ) -> Vec<(J::Key, J::Output)> {
     if matches!(config.merge, MergeMode::Unsorted) {
@@ -437,16 +619,31 @@ fn merge_phase<J: MapReduce>(
     });
     stats.add_wave(outcome);
 
+    let merge_start = Instant::now();
     let merged: Vec<ByKey<J::Key, J::Output>> = match config.merge {
         MergeMode::Unsorted => unreachable!("handled above"),
         MergeMode::PairwiseRounds => {
             let (merged, pw) = pairwise_merge_rounds(runs, true);
+            // The backend timed each round; replay them as spans laid
+            // end to end from the merge start.
+            let mut t = merge_start;
+            for (round, (&width, &dur)) in pw.wave_widths.iter().zip(&pw.round_times).enumerate() {
+                tracer.emit_at(
+                    t,
+                    EventKind::MergeRoundStart { round: round as u32, width: width as u32 },
+                );
+                t += dur;
+                tracer.emit_at(t, EventKind::MergeRoundEnd { round: round as u32 });
+            }
             stats.merge_rounds = pw.rounds;
             stats.merge_elements_moved = pw.elements_moved;
             merged
         }
         MergeMode::PWay { ways } => {
+            tracer
+                .emit_at(merge_start, EventKind::MergeRoundStart { round: 0, width: ways as u32 });
             let (merged, kw) = parallel_kway_merge(runs, ways);
+            tracer.emit(EventKind::MergeRoundEnd { round: 0 });
             stats.merge_rounds = u32::from(kw.partitions >= 1 && !merged.is_empty());
             stats.merge_elements_moved = kw.elements_moved;
             merged

@@ -8,10 +8,10 @@
 
 use super::{finish_job, ingest_entire, map_wave, Input, JobConfig, JobResult, JobStats};
 use crate::api::MapReduce;
+use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
-use std::io;
 use std::sync::Arc;
-use supmr_metrics::{Phase, PhaseTimer};
+use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
 
 /// Execute `job` on the original runtime.
 pub fn run<J: MapReduce>(
@@ -19,24 +19,27 @@ pub fn run<J: MapReduce>(
     input: Input,
     config: &JobConfig,
     exec: Executor<'_>,
-) -> io::Result<JobResult<J::Key, J::Output>> {
+    tracer: &Tracer,
+) -> Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     let mut stats = JobStats::default();
     let container = Arc::new(job.make_container());
 
     timer.begin(Phase::Ingest);
-    let chunk = ingest_entire(input)?;
+    tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });
+    let chunk = ingest_entire(input).map_err(|source| SupmrError::ingest(0, source))?;
+    tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: chunk.len() as u64 });
     timer.end(Phase::Ingest);
     stats.bytes_ingested = chunk.len() as u64;
     stats.ingest_chunks = 1;
 
     timer.begin(Phase::Map);
-    let outcome = map_wave(job, &container, &chunk, config, exec);
+    let outcome = map_wave(job, &container, &chunk, config, exec, tracer, 0);
     timer.end(Phase::Map);
     stats.map_rounds = 1;
     stats.map_tasks = outcome.tasks;
     stats.add_wave(outcome);
     drop(chunk); // input buffer freed before reduce, as in Phoenix++
 
-    Ok(finish_job(job, container, config, exec, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
 }

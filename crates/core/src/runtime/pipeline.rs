@@ -20,6 +20,15 @@
 //! and **persists across every map round** (§III-C) — each wave's local
 //! emitters absorb into the same shared container.
 //!
+//! The pipeline is also where the job's **stall accounting** is
+//! measured: each round ends with either the mappers waiting for the
+//! next chunk's ingest ([`EventKind::MapWaitingForChunk`], the pipeline
+//! is ingest-bound) or the finished ingest waiting for the mappers to
+//! release it ([`EventKind::IngestWaitingForContainer`], map-bound).
+//! Exactly one side idles per round; both totals accumulate into
+//! [`JobStats`] regardless of the trace level, so the Fig. 2 overlap is
+//! always quantified, not inferred.
+//!
 //! Two extensions beyond the paper's prototype live here as well:
 //!
 //! * **Round feedback** — each round's measured ingest/map durations are
@@ -29,25 +38,28 @@
 //! * **Deeper prefetch** — `JobConfig::prefetch_depth > 1` replaces the
 //!   per-round create/destroy ingest thread with one long-lived ingest
 //!   thread pushing into a bounded buffer of that depth (N-buffering
-//!   instead of double-buffering), an ablatable design variant.
+//!   instead of double-buffering), an ablatable design variant. There
+//!   the stalls are measured at the buffer boundary: map-side time
+//!   blocked in `recv` and ingest-side time blocked in `send`.
 
 use super::{finish_job, map_wave, Input, JobConfig, JobResult, JobStats};
 use crate::api::MapReduce;
 use crate::chunk::{
-    AdaptiveChunker, Chunker, Chunking, HybridChunker, InterFileChunker, IntraFileChunker,
-    RoundFeedback,
+    AdaptiveChunker, Chunker, Chunking, HybridChunker, IngestChunk, InterFileChunker,
+    IntraFileChunker, RoundFeedback,
 };
+use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
 use std::io;
 use std::sync::Arc;
-use std::time::Instant;
-use supmr_metrics::{Phase, PhaseTimer};
+use std::time::{Duration, Instant};
+use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
 
 /// Build the chunker matching the configured strategy, rejecting
 /// mismatched input shapes: inter-file and adaptive chunking need a
 /// stream, intra-file and hybrid chunking need a file set.
-fn make_chunker(input: Input, config: &JobConfig) -> io::Result<Box<dyn Chunker>> {
-    let mismatch = |msg: &str| Err(io::Error::new(io::ErrorKind::InvalidInput, msg.to_string()));
+fn make_chunker(input: Input, config: &JobConfig) -> Result<Box<dyn Chunker>> {
+    let mismatch = |msg: &str| Err(SupmrError::invalid_config(msg));
     match (config.chunking, input) {
         (Chunking::Inter { chunk_bytes }, Input::Stream(s)) => {
             Ok(Box::new(InterFileChunker::new(s, chunk_bytes, config.record_format)))
@@ -78,13 +90,24 @@ pub fn run<J: MapReduce>(
     input: Input,
     config: &JobConfig,
     exec: Executor<'_>,
-) -> io::Result<JobResult<J::Key, J::Output>> {
+    tracer: &Tracer,
+) -> Result<JobResult<J::Key, J::Output>> {
     let chunker = make_chunker(input, config)?;
     if config.prefetch_depth > 1 {
-        run_buffered(job, chunker, config, exec)
+        run_buffered(job, chunker, config, exec, tracer)
     } else {
-        run_double_buffered(job, chunker, config, exec)
+        run_double_buffered(job, chunker, config, exec, tracer)
     }
+}
+
+/// What one overlapped ingest reports back to the round loop.
+struct IngestProbe {
+    next: io::Result<Option<IngestChunk>>,
+    /// Time the read itself took.
+    took: Duration,
+    /// When the read finished (the ingest side idles from here until
+    /// the map wave releases the container).
+    done: Instant,
 }
 
 /// The paper's pipeline: one ingest thread per round (double buffering).
@@ -93,7 +116,8 @@ fn run_double_buffered<J: MapReduce>(
     mut chunker: Box<dyn Chunker>,
     config: &JobConfig,
     exec: Executor<'_>,
-) -> io::Result<JobResult<J::Key, J::Output>> {
+    tracer: &Tracer,
+) -> Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
@@ -102,48 +126,93 @@ fn run_double_buffered<J: MapReduce>(
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
-    let mut current = chunker.next_chunk()?;
+    let ingest0 = Instant::now();
+    let mut current = chunker.next_chunk().map_err(|e| SupmrError::ingest(0, e))?;
+    if let Some(chunk) = &current {
+        tracer.emit_at(ingest0, EventKind::ChunkIngestStart { chunk: 0 });
+        tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: chunk.len() as u64 });
+    }
     timer.end(Phase::Ingest);
 
+    let mut round: u32 = 0;
     while let Some(chunk) = current.take() {
         stats.ingest_chunks += 1;
         stats.bytes_ingested += chunk.len() as u64;
         stats.map_rounds += 1;
+        let next_index = round + 1;
 
         timer.begin(Phase::Ingest);
         timer.begin(Phase::Map);
         // "create thread to ingest next chunk / run mappers on previous
         // chunk / destroy thread" — the scope is the create/destroy.
-        let (next, round) = std::thread::scope(|scope| {
-            let ingest = scope.spawn(|| {
-                let t0 = Instant::now();
-                let next = chunker.next_chunk();
-                (next, t0.elapsed())
-            });
+        let ingest_tracer = tracer.clone();
+        let chunker_ref = &mut chunker;
+        let (probe, map_time, map_done) = std::thread::scope(|scope| {
+            let ingest = std::thread::Builder::new()
+                .name("supmr-ingest".to_string())
+                .spawn_scoped(scope, move || {
+                    let t0 = Instant::now();
+                    let next = chunker_ref.next_chunk();
+                    let took = t0.elapsed();
+                    if let Ok(Some(c)) = &next {
+                        ingest_tracer
+                            .emit_at(t0, EventKind::ChunkIngestStart { chunk: next_index });
+                        ingest_tracer.emit(EventKind::ChunkIngestEnd {
+                            chunk: next_index,
+                            bytes: c.len() as u64,
+                        });
+                    }
+                    IngestProbe { next, took, done: Instant::now() }
+                })
+                .expect("spawning the round's ingest thread");
             let t0 = Instant::now();
-            let outcome = map_wave(job, &container, &chunk, config, exec);
-            let map = t0.elapsed();
+            let outcome = map_wave(job, &container, &chunk, config, exec, tracer, round);
+            let map_time = t0.elapsed();
+            let map_done = Instant::now();
             stats.map_tasks += outcome.tasks;
             stats.add_wave(outcome);
-            let (next, ingest_time) = ingest.join().expect("ingest thread panicked");
-            let feedback =
-                RoundFeedback { chunk_bytes: chunk.len() as u64, ingest: ingest_time, map };
-            next.map(|n| (n, feedback))
-        })?;
+            (ingest.join().expect("ingest thread panicked"), map_time, map_done)
+        });
         stats.threads_spawned += 1; // the ingest thread
         timer.end(Phase::Map);
         timer.end(Phase::Ingest);
 
-        chunker.feedback(round);
+        let next = probe.next.map_err(|e| SupmrError::ingest(next_index, e))?;
+        // Exactly one side of the pipeline idled this round: mappers
+        // from their wave end until the ingest came back, or the ingest
+        // from its read end until the wave released the container.
+        if next.is_some() {
+            let map_wait = probe.done.saturating_duration_since(map_done);
+            let ingest_wait = map_done.saturating_duration_since(probe.done);
+            stats.map_waiting += map_wait;
+            stats.ingest_waiting += ingest_wait;
+            if !map_wait.is_zero() {
+                tracer.emit(EventKind::MapWaitingForChunk {
+                    round,
+                    wait_us: map_wait.as_micros() as u64,
+                });
+            }
+            if !ingest_wait.is_zero() {
+                tracer.emit(EventKind::IngestWaitingForContainer {
+                    chunk: next_index,
+                    wait_us: ingest_wait.as_micros() as u64,
+                });
+            }
+        }
+
+        let feedback =
+            RoundFeedback { chunk_bytes: chunk.len() as u64, ingest: probe.took, map: map_time };
+        chunker.feedback(feedback);
         stats.rounds.push(super::RoundRecord {
-            chunk_bytes: round.chunk_bytes,
-            ingest: round.ingest,
-            map: round.map,
+            chunk_bytes: feedback.chunk_bytes,
+            ingest: feedback.ingest,
+            map: feedback.map,
         });
         current = next;
+        round += 1;
     }
 
-    Ok(finish_job(job, container, config, exec, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
 }
 
 /// N-buffered variant: a single long-lived ingest thread streams chunks
@@ -156,7 +225,8 @@ fn run_buffered<J: MapReduce>(
     mut chunker: Box<dyn Chunker>,
     config: &JobConfig,
     exec: Executor<'_>,
-) -> io::Result<JobResult<J::Key, J::Output>> {
+    tracer: &Tracer,
+) -> Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
@@ -164,33 +234,80 @@ fn run_buffered<J: MapReduce>(
 
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);
-    let ingest_result: io::Result<()> = std::thread::scope(|scope| {
-        let (tx, rx) =
-            crossbeam_channel::bounded::<crate::chunk::IngestChunk>(config.prefetch_depth);
-        let producer = scope.spawn(move || -> io::Result<()> {
-            while let Some(chunk) = chunker.next_chunk()? {
-                if tx.send(chunk).is_err() {
-                    break; // consumer went away (map-side panic)
+    let mut map_waiting = Duration::ZERO;
+    let ingest_result: Result<Duration> = std::thread::scope(|scope| {
+        let (tx, rx) = crossbeam_channel::bounded::<IngestChunk>(config.prefetch_depth);
+        let producer_tracer = tracer.clone();
+        let producer = std::thread::Builder::new()
+            .name("supmr-ingest".to_string())
+            .spawn_scoped(scope, move || -> (Result<()>, Duration) {
+                let mut index: u32 = 0;
+                let mut waited = Duration::ZERO;
+                loop {
+                    let t0 = Instant::now();
+                    match chunker.next_chunk() {
+                        Ok(Some(chunk)) => {
+                            producer_tracer
+                                .emit_at(t0, EventKind::ChunkIngestStart { chunk: index });
+                            producer_tracer.emit(EventKind::ChunkIngestEnd {
+                                chunk: index,
+                                bytes: chunk.len() as u64,
+                            });
+                            let s0 = Instant::now();
+                            if tx.send(chunk).is_err() {
+                                break (Ok(()), waited); // consumer went away
+                            }
+                            // Time blocked handing over = buffer full =
+                            // the ingest side waiting on the mappers.
+                            let wait = s0.elapsed();
+                            waited += wait;
+                            if !wait.is_zero() {
+                                producer_tracer.emit(EventKind::IngestWaitingForContainer {
+                                    chunk: index,
+                                    wait_us: wait.as_micros() as u64,
+                                });
+                            }
+                            index += 1;
+                        }
+                        Ok(None) => break (Ok(()), waited),
+                        Err(e) => break (Err(SupmrError::ingest(index, e)), waited),
+                    }
                 }
+            })
+            .expect("spawning the pipeline ingest thread");
+        let mut round: u32 = 0;
+        loop {
+            let r0 = Instant::now();
+            let Ok(chunk) = rx.recv() else { break };
+            // Time blocked in recv = the mappers waiting on ingest. The
+            // first recv is the pipeline filling (the serial first
+            // ingest), not a stall.
+            let wait = r0.elapsed();
+            if round > 0 && !wait.is_zero() {
+                map_waiting += wait;
+                tracer.emit(EventKind::MapWaitingForChunk {
+                    round: round - 1,
+                    wait_us: wait.as_micros() as u64,
+                });
             }
-            Ok(())
-        });
-        for chunk in rx {
             stats.ingest_chunks += 1;
             stats.bytes_ingested += chunk.len() as u64;
             stats.map_rounds += 1;
-            let outcome = map_wave(job, &container, &chunk, config, exec);
+            let outcome = map_wave(job, &container, &chunk, config, exec, tracer, round);
             stats.map_tasks += outcome.tasks;
             stats.add_wave(outcome);
+            round += 1;
         }
-        producer.join().expect("ingest thread panicked")
+        let (result, ingest_waited) = producer.join().expect("ingest thread panicked");
+        result.map(|()| ingest_waited)
     });
-    ingest_result?;
+    stats.ingest_waiting += ingest_result?;
+    stats.map_waiting += map_waiting;
     stats.threads_spawned += 1; // the long-lived ingest thread
     timer.end(Phase::Map);
     timer.end(Phase::Ingest);
 
-    Ok(finish_job(job, container, config, exec, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
 }
 
 #[cfg(test)]
@@ -221,5 +338,17 @@ mod tests {
 
         config.chunking = Chunking::None;
         assert!(make_chunker(Input::stream(MemSource::from(vec![])), &config).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_invalid_config_error() {
+        let mut config = JobConfig::default();
+        config.chunking = Chunking::Inter { chunk_bytes: 64 };
+        let err = match make_chunker(Input::files(MemFileSet::new(vec![])), &config) {
+            Err(err) => err,
+            Ok(_) => panic!("shape mismatch accepted"),
+        };
+        assert!(matches!(err, SupmrError::InvalidConfig { .. }));
+        assert_eq!(err.io_kind(), None);
     }
 }

@@ -69,8 +69,8 @@ fn adaptive_chunking_end_to_end_matches_baseline() {
     )
     .unwrap();
     assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
-    assert!(piped.stats.ingest_chunks > 1);
-    assert!(piped.timings.is_fused());
+    assert!(piped.report.stats.ingest_chunks > 1);
+    assert!(piped.report.timings.is_fused());
 }
 
 #[test]
@@ -80,7 +80,8 @@ fn adaptive_requires_depth_one() {
     cfg.prefetch_depth = 4;
     let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg)
         .expect_err("adaptive + deep prefetch must be rejected");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
+    assert_eq!(err.io_kind(), None);
 }
 
 #[test]
@@ -97,7 +98,7 @@ fn hybrid_chunking_end_to_end_matches_baseline() {
     assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
     // The big file alone forces more chunks than intra-file grouping of
     // 7 files would produce.
-    assert!(piped.stats.ingest_chunks >= 8, "chunks = {}", piped.stats.ingest_chunks);
+    assert!(piped.report.stats.ingest_chunks >= 8, "chunks = {}", piped.report.stats.ingest_chunks);
 }
 
 #[test]
@@ -115,13 +116,13 @@ fn prefetch_depths_agree_and_count_one_ingest_thread() {
     assert_eq!(d1.sorted_pairs(), d2.sorted_pairs());
     assert_eq!(d1.sorted_pairs(), d8.sorted_pairs());
     for r in [&d1, &d2, &d8] {
-        assert_eq!(r.stats.ingest_chunks, d1.stats.ingest_chunks);
-        assert_eq!(r.stats.bytes_ingested, data.len() as u64);
-        assert!(r.timings.is_fused());
+        assert_eq!(r.report.stats.ingest_chunks, d1.report.stats.ingest_chunks);
+        assert_eq!(r.report.stats.bytes_ingested, data.len() as u64);
+        assert!(r.report.timings.is_fused());
     }
     // Depth 1 spawns one ingest thread per round; deeper prefetch uses
     // a single long-lived one.
-    assert!(d1.stats.threads_spawned > d8.stats.threads_spawned);
+    assert!(d1.report.stats.threads_spawned > d8.report.stats.threads_spawned);
 }
 
 #[test]

@@ -1,16 +1,16 @@
-//! Failure injection: ingest errors must surface as `Err` from
-//! `run_job` — cleanly, from whichever thread hit them — never as
-//! hangs, partial results, or panics. Exercises all three ingest paths
-//! (original, double-buffered pipeline, N-buffered pipeline) and both
-//! input shapes.
+//! Failure injection: ingest errors must surface as typed
+//! [`SupmrError`]s from `run_job` — cleanly, from whichever thread hit
+//! them — never as hangs, partial results, or panics. Exercises all
+//! three ingest paths (original, double-buffered pipeline, N-buffered
+//! pipeline) and both input shapes, plus map panics (which come back as
+//! [`SupmrError::TaskPanic`] rather than unwinding through the caller).
 
 use std::io::ErrorKind;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
 use supmr::runtime::{run_job, Input, JobConfig};
-use supmr::{Chunking, PoolMode};
+use supmr::{Chunking, PoolMode, SupmrError};
 use supmr_storage::{FaultyFileSet, FaultySource, MemFileSet, MemSource};
 use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
 
@@ -80,7 +80,7 @@ fn config() -> JobConfig {
 fn original_runtime_surfaces_ingest_errors() {
     let source = FaultySource::new(MemSource::from(text(100_000)), 50_000, ErrorKind::BrokenPipe);
     let err = run_job(WordCount, Input::stream(source), config()).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+    assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
 }
 
 #[test]
@@ -91,7 +91,11 @@ fn double_buffered_pipeline_surfaces_mid_stream_errors() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
     let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+    assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
+    assert!(
+        matches!(err, SupmrError::Ingest { chunk: Some(c), .. } if c > 0),
+        "mid-stream fault must carry a non-zero chunk index: {err:?}"
+    );
 }
 
 #[test]
@@ -101,7 +105,7 @@ fn buffered_pipeline_surfaces_mid_stream_errors() {
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
     cfg.prefetch_depth = 4;
     let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::TimedOut);
+    assert_eq!(err.io_kind(), Some(ErrorKind::TimedOut));
 }
 
 #[test]
@@ -110,7 +114,11 @@ fn fault_on_first_chunk_fails_before_any_round() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
     let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::NotFound);
+    assert_eq!(err.io_kind(), Some(ErrorKind::NotFound));
+    assert!(
+        matches!(err, SupmrError::Ingest { chunk: Some(0), .. }),
+        "first-chunk fault must name chunk 0: {err:?}"
+    );
 }
 
 #[test]
@@ -120,7 +128,7 @@ fn intra_file_pipeline_surfaces_file_errors() {
     let mut cfg = config();
     cfg.chunking = Chunking::Intra { files_per_chunk: 2 };
     let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+    assert_eq!(err.io_kind(), Some(ErrorKind::PermissionDenied));
 }
 
 #[test]
@@ -130,7 +138,7 @@ fn hybrid_pipeline_surfaces_file_errors() {
     let mut cfg = config();
     cfg.chunking = Chunking::Hybrid { chunk_bytes: 3_000 };
     let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::PermissionDenied);
+    assert_eq!(err.io_kind(), Some(ErrorKind::PermissionDenied));
 }
 
 #[test]
@@ -138,30 +146,30 @@ fn original_runtime_surfaces_file_errors() {
     let files = small_files_corpus(6, 4, 1_000);
     let faulty = FaultyFileSet::new(MemFileSet::new(files), 0, ErrorKind::Interrupted);
     let err = run_job(WordCount, Input::files(faulty), config()).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::Interrupted);
+    assert_eq!(err.io_kind(), Some(ErrorKind::Interrupted));
 }
 
 #[test]
 fn pooled_map_panic_fails_the_job_with_the_original_payload() {
     // The trigger sits near the end so several waves dispatch through
     // the pool (reusing its threads) before one of them panics. The
-    // pool must propagate the payload to run_job's caller, not hang
-    // waiting for results and not kill the process.
+    // panic must come back to run_job's caller as a typed
+    // `TaskPanic` carrying the payload text — not hang waiting for
+    // results, not kill the process, and not unwind through run_job.
     let mut data = text(40_000);
     data.extend_from_slice(b"\nBOOM! tail words\n");
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
     cfg.pool = PoolMode::Persistent;
-    let payload = catch_unwind(AssertUnwindSafe(|| {
-        run_job(PanicOnToken, Input::stream(MemSource::from(data)), cfg)
-    }))
-    .expect_err("map panic must propagate out of run_job");
-    let msg = payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
-    assert!(msg.contains("injected map panic"), "unexpected panic payload: {msg:?}");
+    let err = run_job(PanicOnToken, Input::stream(MemSource::from(data)), cfg)
+        .expect_err("map panic must surface as an error from run_job");
+    match &err {
+        SupmrError::TaskPanic { payload } => {
+            assert!(payload.contains("injected map panic"), "unexpected payload: {payload:?}");
+        }
+        other => panic!("expected TaskPanic, got {other:?}"),
+    }
+    assert_eq!(err.io_kind(), None);
 
     // The unwind dropped the job's pool (joining its workers); a fresh
     // pooled job afterwards must run to completion.
@@ -170,7 +178,7 @@ fn pooled_map_panic_fails_the_job_with_the_original_payload() {
     cfg.pool = PoolMode::Persistent;
     let r = run_job(WordCount, Input::stream(MemSource::from(text(20_000))), cfg).unwrap();
     assert!(!r.pairs.is_empty());
-    assert!(r.stats.threads_reused > 0);
+    assert!(r.report.stats.threads_reused > 0);
 }
 
 #[test]
@@ -180,7 +188,7 @@ fn pooled_job_surfaces_ingest_errors_and_joins_the_pool() {
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
     cfg.pool = PoolMode::Persistent;
     let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
-    assert_eq!(err.kind(), ErrorKind::BrokenPipe);
+    assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
 }
 
 #[test]

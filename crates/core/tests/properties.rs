@@ -78,7 +78,7 @@ proptest! {
             config,
         ).unwrap();
         prop_assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
-        prop_assert_eq!(piped.stats.bytes_ingested, data.len() as u64);
+        prop_assert_eq!(piped.report.stats.bytes_ingested, data.len() as u64);
     }
 
     #[test]
@@ -162,9 +162,9 @@ proptest! {
             let wave = run(PoolMode::WavePerRound);
             let pooled = run(PoolMode::Persistent);
             prop_assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs());
-            prop_assert_eq!(pooled.stats.map_tasks, wave.stats.map_tasks);
+            prop_assert_eq!(pooled.report.stats.map_tasks, wave.report.stats.map_tasks);
             if !data.is_empty() {
-                prop_assert!(pooled.stats.threads_reused > 0);
+                prop_assert!(pooled.report.stats.threads_reused > 0);
             }
         }
     }

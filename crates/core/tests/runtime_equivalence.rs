@@ -111,7 +111,7 @@ fn wordcount_pipeline_equals_original_across_chunk_sizes() {
     let data = text_input(20_000);
     let baseline =
         run_job(WordCount, Input::stream(MemSource::from(data.clone())), base_config()).unwrap();
-    assert!(baseline.stats.ingest_chunks == 1 && baseline.stats.map_rounds == 1);
+    assert!(baseline.report.stats.ingest_chunks == 1 && baseline.report.stats.map_rounds == 1);
 
     for chunk_bytes in [256u64, 1000, 4096, 100_000] {
         let mut config = base_config();
@@ -119,12 +119,12 @@ fn wordcount_pipeline_equals_original_across_chunk_sizes() {
         let piped =
             run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap();
         assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs(), "chunk_bytes = {chunk_bytes}");
-        assert_eq!(piped.stats.intermediate_pairs, baseline.stats.intermediate_pairs);
-        assert_eq!(piped.stats.bytes_ingested, data.len() as u64);
+        assert_eq!(piped.report.stats.intermediate_pairs, baseline.report.stats.intermediate_pairs);
+        assert_eq!(piped.report.stats.bytes_ingested, data.len() as u64);
         if chunk_bytes < data.len() as u64 {
-            assert!(piped.stats.ingest_chunks > 1);
-            assert_eq!(piped.stats.map_rounds, piped.stats.ingest_chunks);
-            assert!(piped.timings.is_fused());
+            assert!(piped.report.stats.ingest_chunks > 1);
+            assert_eq!(piped.report.stats.map_rounds, piped.report.stats.ingest_chunks);
+            assert!(piped.report.timings.is_fused());
         }
     }
 }
@@ -138,9 +138,9 @@ fn wordcount_counts_are_exact() {
         result.sorted_pairs(),
         vec![("apple".to_string(), 3), ("pear".to_string(), 2), ("plum".to_string(), 1)]
     );
-    assert_eq!(result.stats.intermediate_pairs, 6);
-    assert_eq!(result.stats.distinct_keys, 3);
-    assert_eq!(result.stats.output_pairs, 3);
+    assert_eq!(result.report.stats.intermediate_pairs, 6);
+    assert_eq!(result.report.stats.distinct_keys, 3);
+    assert_eq!(result.report.stats.output_pairs, 3);
 }
 
 #[test]
@@ -160,7 +160,7 @@ fn intra_file_pipeline_equals_original_on_file_sets() {
             "files_per_chunk = {files_per_chunk}"
         );
         let expected_chunks = 13_usize.div_ceil(files_per_chunk);
-        assert_eq!(piped.stats.ingest_chunks as usize, expected_chunks);
+        assert_eq!(piped.report.stats.ingest_chunks as usize, expected_chunks);
     }
 }
 
@@ -193,10 +193,10 @@ fn sort_produces_globally_sorted_output_on_both_runtimes_and_merges() {
 
     // The headline merge-work claim: pairwise rounds re-scan, p-way does
     // a single pass.
-    assert!(baseline.stats.merge_rounds >= 2);
-    assert_eq!(supmr.stats.merge_rounds, 1);
-    assert!(baseline.stats.merge_elements_moved > supmr.stats.merge_elements_moved);
-    assert_eq!(supmr.stats.merge_elements_moved, 300);
+    assert!(baseline.report.stats.merge_rounds >= 2);
+    assert_eq!(supmr.report.stats.merge_rounds, 1);
+    assert!(baseline.report.stats.merge_elements_moved > supmr.report.stats.merge_elements_moved);
+    assert_eq!(supmr.report.stats.merge_elements_moved, 300);
 }
 
 #[test]
@@ -212,20 +212,20 @@ fn histogram_on_array_container_both_runtimes() {
     assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
     let total: u64 = baseline.pairs.iter().map(|(_, c)| c).sum();
     assert_eq!(total, 10_000);
-    assert_eq!(baseline.stats.distinct_keys, 251);
+    assert_eq!(baseline.report.stats.distinct_keys, 251);
 }
 
 #[test]
 fn empty_inputs_produce_empty_results() {
     let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), base_config()).unwrap();
     assert!(r.pairs.is_empty());
-    assert_eq!(r.stats.bytes_ingested, 0);
+    assert_eq!(r.report.stats.bytes_ingested, 0);
 
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 64 };
     let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
     assert!(r.pairs.is_empty());
-    assert_eq!(r.stats.ingest_chunks, 0);
+    assert_eq!(r.report.stats.ingest_chunks, 0);
 
     let mut config = base_config();
     config.chunking = Chunking::Intra { files_per_chunk: 3 };
@@ -254,13 +254,13 @@ fn mismatched_chunking_and_input_shape_is_an_error() {
     config.chunking = Chunking::Intra { files_per_chunk: 2 };
     let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config)
         .expect_err("stream input with intra-file chunking must fail");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
 
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 64 };
     let err = run_job(WordCount, Input::files(MemFileSet::new(vec![])), config)
         .expect_err("file input with inter-file chunking must fail");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
 }
 
 #[test]
@@ -281,11 +281,11 @@ fn pipeline_counts_rounds_and_threads() {
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 1000 };
     let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
-    assert!(r.stats.ingest_chunks >= 9);
-    assert_eq!(r.stats.map_rounds, r.stats.ingest_chunks);
+    assert!(r.report.stats.ingest_chunks >= 9);
+    assert_eq!(r.report.stats.map_rounds, r.report.stats.ingest_chunks);
     // Threads: at least one ingest thread per round plus map waves.
-    assert!(r.stats.threads_spawned as u32 >= 2 * r.stats.map_rounds);
-    assert!(r.stats.map_tasks >= r.stats.map_rounds as u64);
+    assert!(r.report.stats.threads_spawned as u32 >= 2 * r.report.stats.map_rounds);
+    assert!(r.report.stats.map_tasks >= r.report.stats.map_rounds as u64);
 }
 
 #[test]
@@ -309,11 +309,11 @@ fn persistent_pool_matches_wave_per_round_on_streams() {
         let wave = run(PoolMode::WavePerRound);
         let pooled = run(PoolMode::Persistent);
         assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs(), "chunking = {chunking:?}");
-        assert_eq!(pooled.stats.map_tasks, wave.stats.map_tasks);
-        assert_eq!(pooled.stats.bytes_ingested, wave.stats.bytes_ingested);
-        assert_eq!(wave.stats.threads_reused, 0, "waves never reuse threads");
+        assert_eq!(pooled.report.stats.map_tasks, wave.report.stats.map_tasks);
+        assert_eq!(pooled.report.stats.bytes_ingested, wave.report.stats.bytes_ingested);
+        assert_eq!(wave.report.stats.threads_reused, 0, "waves never reuse threads");
         assert!(
-            pooled.stats.threads_reused > 0,
+            pooled.report.stats.threads_reused > 0,
             "pooled job must report reused threads (chunking = {chunking:?})"
         );
     }
@@ -336,7 +336,7 @@ fn persistent_pool_matches_wave_per_round_on_file_sets() {
         let wave = run(PoolMode::WavePerRound);
         let pooled = run(PoolMode::Persistent);
         assert_eq!(pooled.sorted_pairs(), wave.sorted_pairs(), "chunking = {chunking:?}");
-        assert!(pooled.stats.threads_reused > 0);
+        assert!(pooled.report.stats.threads_reused > 0);
     }
 }
 
@@ -358,7 +358,7 @@ fn persistent_pool_matches_wave_for_sort_merges_and_prefetch() {
             let wave = run(PoolMode::WavePerRound);
             let pooled = run(PoolMode::Persistent);
             assert_eq!(pooled.pairs, wave.pairs, "merge = {merge:?}, prefetch = {prefetch_depth}");
-            assert!(pooled.stats.threads_reused > 0);
+            assert!(pooled.report.stats.threads_reused > 0);
         }
     }
 }
@@ -376,15 +376,15 @@ fn persistent_pool_spawns_once_per_job() {
     };
     let wave = run(PoolMode::WavePerRound);
     let pooled = run(PoolMode::Persistent);
-    assert!(wave.stats.ingest_chunks > 5);
+    assert!(wave.report.stats.ingest_chunks > 5);
     assert!(
-        pooled.stats.threads_spawned < wave.stats.threads_spawned,
+        pooled.report.stats.threads_spawned < wave.report.stats.threads_spawned,
         "pool must spawn fewer threads ({} vs {})",
-        pooled.stats.threads_spawned,
-        wave.stats.threads_spawned
+        pooled.report.stats.threads_spawned,
+        wave.report.stats.threads_spawned
     );
     // Pool size (4) + one ingest thread per round.
-    assert_eq!(pooled.stats.threads_spawned, 4 + u64::from(pooled.stats.map_rounds));
+    assert_eq!(pooled.report.stats.threads_spawned, 4 + u64::from(pooled.report.stats.map_rounds));
 }
 
 #[test]
@@ -427,7 +427,7 @@ fn utilization_sampling_attaches_a_trace() {
     let mut config = base_config();
     config.sample_utilization = Some(std::time::Duration::from_millis(5));
     let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
-    let trace = r.trace.expect("trace requested");
+    let trace = r.report.util.expect("trace requested");
     if std::path::Path::new("/proc/stat").exists() {
         // The job may be too fast for many samples, but the plumbing
         // must deliver a well-formed trace object.

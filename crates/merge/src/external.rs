@@ -6,7 +6,8 @@
 //! runs, spill each to a run file, and k-way merge the run streams. The
 //! in-memory SupMR runtime never needs this on the paper's 384GB box,
 //! but a library a downstream user adopts for "large batch computations"
-//! does; this module provides it on top of the same [`LoserTree`].
+//! does; this module provides it on top of the same
+//! [`LoserTree`](crate::LoserTree).
 //!
 //! Records are opaque byte strings ordered lexicographically (the
 //! Terasort order), stored length-prefixed (`u32` little-endian) in the

@@ -12,6 +12,7 @@
 //! comparison independently of wall-clock noise on small machines.
 
 use rayon::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Work counters from an iterative pairwise merge.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -27,6 +28,10 @@ pub struct PairwiseStats {
     /// Number of concurrent pair-merges in each round: k/2, k/4, …, 1.
     /// The step-down utilization curve is this sequence.
     pub wave_widths: Vec<usize>,
+    /// Wall-clock duration of each round, parallel to `wave_widths` —
+    /// the runtime turns these into retroactive `MergeRound` trace
+    /// spans.
+    pub round_times: Vec<Duration>,
 }
 
 /// Merge two sorted runs, counting comparisons. Stable: ties come from
@@ -73,6 +78,7 @@ where
         return (Vec::new(), stats);
     }
     while runs.len() > 1 {
+        let round_start = Instant::now();
         stats.rounds += 1;
         let pairs = runs.len() / 2;
         stats.wave_widths.push(pairs);
@@ -107,6 +113,7 @@ where
             }
             runs.push(r);
         }
+        stats.round_times.push(round_start.elapsed());
     }
     (runs.pop().unwrap_or_default(), stats)
 }
@@ -146,6 +153,7 @@ mod tests {
         let runs: Vec<Vec<u64>> = (0..16).map(|i| vec![i as u64]).collect();
         let (_, stats) = pairwise_merge_rounds(runs, false);
         assert_eq!(stats.wave_widths, vec![8, 4, 2, 1]);
+        assert_eq!(stats.round_times.len(), stats.wave_widths.len());
     }
 
     #[test]

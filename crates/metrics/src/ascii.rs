@@ -4,6 +4,7 @@
 //! benchmark binaries print the regenerated figures with [`render_trace`];
 //! the same data is also emitted as CSV for external plotting.
 
+use crate::events::{JobTrace, SpanKey};
 use crate::trace::UtilTrace;
 use std::fmt::Write as _;
 
@@ -103,9 +104,83 @@ pub fn render_trace(trace: &UtilTrace, opts: &ChartOptions) -> String {
     out
 }
 
+fn timeline_glyph(key: SpanKey) -> char {
+    match key {
+        SpanKey::Ingest(_) => 'I',
+        SpanKey::MapWave(_) | SpanKey::MapTask(..) => 'M',
+        SpanKey::ReduceWave | SpanKey::Reduce(_) => 'R',
+        SpanKey::Merge(_) => 'G',
+    }
+}
+
+/// Render a [`JobTrace`] as an ASCII Gantt timeline: one row per thread,
+/// phase spans drawn with per-phase glyphs (`I` ingest, `M` map, `R`
+/// reduce, `G` merge) and stalls drawn as `.` — the textual analogue of
+/// the paper's Fig. 2 pipeline diagram.
+pub fn render_timeline(trace: &JobTrace, opts: &ChartOptions) -> String {
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "{}", opts.title);
+    }
+    let spans = trace.spans();
+    if spans.is_empty() || opts.width == 0 {
+        let _ = writeln!(out, "(empty trace)");
+        return out;
+    }
+    let t_end = spans
+        .iter()
+        .map(|s| s.start_us + s.dur_us)
+        .chain(trace.threads.iter().flat_map(|t| t.events.iter().map(|e| e.t_us)))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let col_of = |t_us: u64| ((t_us as u128 * opts.width as u128) / (t_end as u128 + 1)) as usize;
+
+    let name_w = trace.threads.iter().map(|t| t.name.len()).max().unwrap_or(0).min(18);
+    for (tid, thread) in trace.threads.iter().enumerate() {
+        let mut row = vec![' '; opts.width];
+        // Wider (outer) spans first so nested/task spans overwrite them.
+        let mut mine: Vec<_> = spans.iter().filter(|s| s.thread == tid).collect();
+        mine.sort_by_key(|s| std::cmp::Reverse(s.dur_us));
+        for span in mine {
+            let glyph = timeline_glyph(span.key);
+            let (c0, c1) = (col_of(span.start_us), col_of(span.start_us + span.dur_us));
+            for cell in &mut row[c0..=c1.min(opts.width - 1)] {
+                *cell = glyph;
+            }
+        }
+        // Stalls overwrite everything: idle time is the headline.
+        for event in &thread.events {
+            if let Some((_, wait_us)) = event.kind.stall_us() {
+                let (c0, c1) = (col_of(event.t_us.saturating_sub(wait_us)), col_of(event.t_us));
+                for cell in &mut row[c0..=c1.min(opts.width - 1)] {
+                    *cell = '.';
+                }
+            }
+        }
+        let name: String = thread.name.chars().take(name_w).collect();
+        let _ = writeln!(out, "{name:>name_w$}|{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{}+{}", " ".repeat(name_w), "-".repeat(opts.width));
+    let _ = writeln!(
+        out,
+        "{} 0s{:>width$}",
+        " ".repeat(name_w),
+        format!("{:.2}s", t_end as f64 / 1e6),
+        width = opts.width.saturating_sub(2)
+    );
+    let _ = writeln!(
+        out,
+        "{} I = ingest  M = map  R = reduce  G = merge  . = stall",
+        " ".repeat(name_w)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{EventKind, ThreadTrace, TraceEvent};
     use crate::trace::UtilSample;
 
     fn trace_step() -> UtilTrace {
@@ -164,5 +239,58 @@ mod tests {
         assert!(chart.contains("# = cpu busy"));
         assert!(chart.contains("100%|"));
         assert!(chart.contains("  0%|"));
+    }
+
+    fn gantt_trace() -> JobTrace {
+        let main = ThreadTrace {
+            name: "main".into(),
+            events: vec![
+                TraceEvent {
+                    seq: 0,
+                    t_us: 0,
+                    kind: EventKind::MapWaveStart { round: 0, tasks: 2 },
+                },
+                TraceEvent { seq: 2, t_us: 500_000, kind: EventKind::MapWaveEnd { round: 0 } },
+                TraceEvent {
+                    seq: 4,
+                    t_us: 800_000,
+                    kind: EventKind::MapWaitingForChunk { round: 0, wait_us: 300_000 },
+                },
+            ],
+        };
+        let ingest = ThreadTrace {
+            name: "ingest".into(),
+            events: vec![
+                TraceEvent { seq: 1, t_us: 0, kind: EventKind::ChunkIngestStart { chunk: 1 } },
+                TraceEvent {
+                    seq: 3,
+                    t_us: 800_000,
+                    kind: EventKind::ChunkIngestEnd { chunk: 1, bytes: 1 << 20 },
+                },
+            ],
+        };
+        JobTrace { threads: vec![main, ingest] }
+    }
+
+    #[test]
+    fn timeline_draws_one_row_per_thread_with_glyphs() {
+        let chart = render_timeline(
+            &gantt_trace(),
+            &ChartOptions { width: 40, height: 0, title: "fig2".into() },
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines[0], "fig2");
+        let main_row = lines.iter().find(|l| l.contains("main|")).unwrap();
+        assert!(main_row.contains('M'), "map span drawn: {main_row:?}");
+        assert!(main_row.contains('.'), "stall drawn: {main_row:?}");
+        let ingest_row = lines.iter().find(|l| l.contains("ingest|")).unwrap();
+        assert!(ingest_row.contains('I'), "ingest span drawn: {ingest_row:?}");
+        assert!(chart.contains(". = stall"));
+    }
+
+    #[test]
+    fn timeline_handles_empty_trace() {
+        let chart = render_timeline(&JobTrace::default(), &ChartOptions::default());
+        assert!(chart.contains("(empty trace)"));
     }
 }

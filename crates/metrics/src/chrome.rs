@@ -1,0 +1,299 @@
+//! Trace exporters: Chrome `trace_event` JSON and JSONL.
+//!
+//! [`to_chrome_json`] renders a [`JobTrace`] in the Chrome trace-event
+//! format (the `{"traceEvents": [...]}` object form), loadable in
+//! `chrome://tracing` or Perfetto. Each runtime thread becomes a track
+//! (via `"M"` thread-name metadata), paired span events become `"X"`
+//! complete events, stalls become `"X"` events under the `"stall"`
+//! category (so they are visually distinct and easy to sum in the UI),
+//! and pool dispatches become `"i"` instants.
+//!
+//! [`to_jsonl`] is the machine-diffable alternative: one JSON object
+//! per line, one line per raw event, in global sequence order.
+
+use crate::events::{EventKind, JobTrace, Span, SpanKey, TraceEvent};
+use crate::json::Json;
+
+/// Process id used for all tracks; the trace describes one job.
+const PID: u64 = 1;
+
+fn span_name(key: SpanKey) -> String {
+    match key {
+        SpanKey::Ingest(chunk) => format!("ingest chunk {chunk}"),
+        SpanKey::MapWave(round) => format!("map wave {round}"),
+        SpanKey::MapTask(round, task) => format!("map task {round}.{task}"),
+        SpanKey::ReduceWave => "reduce wave".to_string(),
+        SpanKey::Reduce(partition) => format!("reduce partition {partition}"),
+        SpanKey::Merge(round) => format!("merge round {round}"),
+    }
+}
+
+fn span_category(key: SpanKey) -> &'static str {
+    match key {
+        SpanKey::Ingest(_) => "ingest",
+        SpanKey::MapWave(_) | SpanKey::MapTask(..) => "map",
+        SpanKey::ReduceWave | SpanKey::Reduce(_) => "reduce",
+        SpanKey::Merge(_) => "merge",
+    }
+}
+
+fn span_args(start: &EventKind) -> Vec<(&'static str, Json)> {
+    match *start {
+        EventKind::MapWaveStart { tasks, .. } => vec![("tasks", Json::from(tasks))],
+        EventKind::MapTaskStart { bytes, .. } => vec![("bytes", Json::from(bytes))],
+        EventKind::ReduceWaveStart { partitions } => {
+            vec![("partitions", Json::from(partitions))]
+        }
+        EventKind::MergeRoundStart { width, .. } => vec![("width", Json::from(u64::from(width)))],
+        _ => Vec::new(),
+    }
+}
+
+fn complete_event(
+    name: String,
+    cat: &str,
+    tid: u64,
+    ts_us: u64,
+    dur_us: u64,
+    args: Vec<(&'static str, Json)>,
+) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("X")),
+        ("pid", Json::from(PID)),
+        ("tid", Json::from(tid)),
+        ("ts", Json::from(ts_us)),
+        ("dur", Json::from(dur_us)),
+    ];
+    if !args.is_empty() {
+        pairs.push(("args", Json::obj(args)));
+    }
+    Json::obj(pairs)
+}
+
+/// Render a trace as Chrome `trace_event` JSON (object form).
+pub fn to_chrome_json(trace: &JobTrace) -> String {
+    let mut events: Vec<Json> = Vec::new();
+    // Track metadata: name each tid after its runtime thread.
+    for (tid, thread) in trace.threads.iter().enumerate() {
+        events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::from(PID)),
+            ("tid", Json::from(tid as u64)),
+            ("args", Json::obj(vec![("name", Json::str(thread.name.clone()))])),
+        ]));
+    }
+    // Paired spans as complete events.
+    for span in trace.spans() {
+        let Span { thread, key, ref start, start_us, dur_us } = span;
+        events.push(complete_event(
+            span_name(key),
+            span_category(key),
+            thread as u64,
+            start_us,
+            dur_us,
+            span_args(start),
+        ));
+    }
+    // Stalls as complete events in their own category; the event is
+    // emitted when the wait ends, so the block starts `wait_us` earlier.
+    // Pool dispatches as instants.
+    for (tid, thread) in trace.threads.iter().enumerate() {
+        for event in &thread.events {
+            match event.kind {
+                EventKind::MapWaitingForChunk { round, wait_us } => {
+                    events.push(complete_event(
+                        format!("map waiting for chunk (round {round})"),
+                        "stall",
+                        tid as u64,
+                        event.t_us.saturating_sub(wait_us),
+                        wait_us,
+                        vec![("side", Json::str("map"))],
+                    ));
+                }
+                EventKind::IngestWaitingForContainer { chunk, wait_us } => {
+                    events.push(complete_event(
+                        format!("ingest waiting for container (chunk {chunk})"),
+                        "stall",
+                        tid as u64,
+                        event.t_us.saturating_sub(wait_us),
+                        wait_us,
+                        vec![("side", Json::str("ingest"))],
+                    ));
+                }
+                EventKind::PoolDispatch { tasks, workers } => {
+                    events.push(Json::obj(vec![
+                        ("name", Json::str("pool dispatch")),
+                        ("cat", Json::str("pool")),
+                        ("ph", Json::str("i")),
+                        ("s", Json::str("t")),
+                        ("pid", Json::from(PID)),
+                        ("tid", Json::from(tid as u64)),
+                        ("ts", Json::from(event.t_us)),
+                        (
+                            "args",
+                            Json::obj(vec![
+                                ("tasks", Json::from(tasks)),
+                                ("workers", Json::from(workers)),
+                            ]),
+                        ),
+                    ]));
+                }
+                _ => {}
+            }
+        }
+    }
+    Json::obj(vec![("traceEvents", Json::Arr(events)), ("displayTimeUnit", Json::str("ms"))])
+        .render()
+}
+
+fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
+    let mut pairs = vec![
+        ("seq", Json::from(event.seq)),
+        ("t_us", Json::from(event.t_us)),
+        ("thread", Json::str(thread_name)),
+        ("event", Json::str(event.kind.name())),
+    ];
+    match event.kind {
+        EventKind::ChunkIngestStart { chunk } => {
+            pairs.push(("chunk", Json::from(u64::from(chunk))))
+        }
+        EventKind::ChunkIngestEnd { chunk, bytes } => {
+            pairs.push(("chunk", Json::from(u64::from(chunk))));
+            pairs.push(("bytes", Json::from(bytes)));
+        }
+        EventKind::MapWaveStart { round, tasks } => {
+            pairs.push(("round", Json::from(u64::from(round))));
+            pairs.push(("tasks", Json::from(tasks)));
+        }
+        EventKind::MapWaveEnd { round } => pairs.push(("round", Json::from(u64::from(round)))),
+        EventKind::MapTaskStart { round, task, bytes } => {
+            pairs.push(("round", Json::from(u64::from(round))));
+            pairs.push(("task", Json::from(task)));
+            pairs.push(("bytes", Json::from(bytes)));
+        }
+        EventKind::MapTaskEnd { round, task } => {
+            pairs.push(("round", Json::from(u64::from(round))));
+            pairs.push(("task", Json::from(task)));
+        }
+        EventKind::ReduceWaveStart { partitions } => {
+            pairs.push(("partitions", Json::from(partitions)));
+        }
+        EventKind::ReduceWaveEnd => {}
+        EventKind::ReducePartitionStart { partition }
+        | EventKind::ReducePartitionEnd { partition } => {
+            pairs.push(("partition", Json::from(partition)));
+        }
+        EventKind::MergeRoundStart { round, width } => {
+            pairs.push(("round", Json::from(u64::from(round))));
+            pairs.push(("width", Json::from(u64::from(width))));
+        }
+        EventKind::MergeRoundEnd { round } => pairs.push(("round", Json::from(u64::from(round)))),
+        EventKind::PoolDispatch { tasks, workers } => {
+            pairs.push(("tasks", Json::from(tasks)));
+            pairs.push(("workers", Json::from(workers)));
+        }
+        EventKind::MapWaitingForChunk { round, wait_us } => {
+            pairs.push(("round", Json::from(u64::from(round))));
+            pairs.push(("wait_us", Json::from(wait_us)));
+        }
+        EventKind::IngestWaitingForContainer { chunk, wait_us } => {
+            pairs.push(("chunk", Json::from(u64::from(chunk))));
+            pairs.push(("wait_us", Json::from(wait_us)));
+        }
+    }
+    Json::obj(pairs)
+}
+
+/// Render a trace as JSONL: one object per event, in global sequence
+/// order, terminated by a newline.
+pub fn to_jsonl(trace: &JobTrace) -> String {
+    let mut rows: Vec<(u64, String)> = Vec::new();
+    for thread in &trace.threads {
+        for event in &thread.events {
+            rows.push((event.seq, event_line(&thread.name, event).render()));
+        }
+    }
+    rows.sort_by_key(|(seq, _)| *seq);
+    let mut out = String::new();
+    for (_, line) in rows {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{TraceLevel, Tracer};
+
+    fn sample_trace() -> JobTrace {
+        let tracer = Tracer::new(TraceLevel::Wave, None);
+        tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });
+        tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: 4096 });
+        tracer.emit(EventKind::MapWaveStart { round: 0, tasks: 2 });
+        tracer.emit(EventKind::PoolDispatch { tasks: 2, workers: 2 });
+        tracer.emit(EventKind::MapWaveEnd { round: 0 });
+        tracer.emit(EventKind::MapWaitingForChunk { round: 0, wait_us: 250 });
+        tracer.finish()
+    }
+
+    #[test]
+    fn chrome_json_parses_and_has_expected_shapes() {
+        let text = to_chrome_json(&sample_trace());
+        let value = Json::parse(&text).expect("exporter output is valid JSON");
+        let events = value.get("traceEvents").unwrap().as_arr().unwrap();
+        let phase = |e: &Json| e.get("ph").unwrap().as_str().unwrap().to_string();
+        assert!(events.iter().any(|e| phase(e) == "M"), "thread metadata present");
+        assert!(events.iter().any(|e| phase(e) == "X"), "complete spans present");
+        assert!(events.iter().any(|e| phase(e) == "i"), "pool dispatch instant present");
+        let stall = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("stall"))
+            .expect("stall event exported");
+        assert_eq!(stall.get("dur").unwrap().as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn stall_block_starts_wait_us_before_emit() {
+        let trace = sample_trace();
+        let emit_t = trace.threads[0]
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::MapWaitingForChunk { .. }))
+            .unwrap()
+            .t_us;
+        let text = to_chrome_json(&trace);
+        let value = Json::parse(&text).unwrap();
+        let stall = value
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("stall"))
+            .unwrap()
+            .clone();
+        let ts = stall.get("ts").unwrap().as_f64().unwrap() as u64;
+        assert_eq!(ts, emit_t.saturating_sub(250));
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line_in_seq_order() {
+        let text = to_jsonl(&sample_trace());
+        let mut last_seq = -1i64;
+        let mut lines = 0;
+        for line in text.lines() {
+            let value = Json::parse(line).expect("each line is valid JSON");
+            let seq = value.get("seq").unwrap().as_f64().unwrap() as i64;
+            assert!(seq > last_seq, "global sequence order");
+            last_seq = seq;
+            assert!(value.get("event").unwrap().as_str().is_some());
+            lines += 1;
+        }
+        assert_eq!(lines, 6);
+    }
+}

@@ -16,8 +16,17 @@
 //! [`stats`] carries the small summary statistics the evaluation needs
 //! (each experiment is run three times and averaged).
 
+//! A third concern was added for the observability layer: **typed job
+//! event traces** ([`events`]) with exporters to Chrome `trace_event`
+//! JSON and JSONL ([`chrome`]) plus an ASCII Gantt timeline
+//! ([`ascii::render_timeline`]), all built on a dependency-free JSON
+//! value model ([`json`]).
+
 pub mod ascii;
+pub mod chrome;
 pub mod csv;
+pub mod events;
+pub mod json;
 pub mod phase;
 pub mod sampler;
 pub mod stats;
@@ -25,6 +34,11 @@ pub mod stopwatch;
 pub mod svg;
 pub mod trace;
 
+pub use events::{
+    EventCallback, EventKind, JobTrace, Span, SpanKey, StallSide, StallStats, ThreadTrace,
+    TraceEvent, TraceLevel, TraceRound, Tracer,
+};
+pub use json::Json;
 pub use phase::{Phase, PhaseTimer, PhaseTimings};
 pub use stats::Summary;
 pub use stopwatch::Stopwatch;

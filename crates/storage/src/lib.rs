@@ -18,6 +18,9 @@
 //! * [`hdfs`] — a simulated scale-out store: N datanodes with per-node
 //!   disk bandwidth behind one shared, rate-limited link (the Fig. 7
 //!   case study).
+//! * [`observe`] — metered source wrappers ([`IngestMeter`]) that count
+//!   bytes, reads, and time spent inside the storage layer, the
+//!   ingest-side complement of the runtime's event tracer.
 
 //! ```
 //! use supmr_storage::{DataSource, MemSource, SourceExt, ThrottledSource};
@@ -33,6 +36,7 @@
 
 pub mod fault;
 pub mod hdfs;
+pub mod observe;
 pub mod record;
 pub mod shared;
 pub mod source;
@@ -40,6 +44,7 @@ pub mod throttle;
 
 pub use fault::{FaultyFileSet, FaultySource};
 pub use hdfs::{HdfsConfig, HdfsSource};
+pub use observe::{IngestMeter, ObservedFileSet, ObservedSource};
 pub use record::RecordFormat;
 pub use shared::SharedBytes;
 pub use source::{

@@ -1,0 +1,257 @@
+//! Ingest-side observability: metered wrappers around sources.
+//!
+//! The runtime's tracer sees the pipeline's view of ingest (chunk spans,
+//! stalls); [`IngestMeter`] sees the storage layer's view — how many
+//! bytes crossed the [`DataSource`] / [`FileSet`] boundary, in how many
+//! reads, and how long
+//! those reads took inside the source. Comparing the two separates "the
+//! disk was slow" from "the pipeline did not ask" when diagnosing an
+//! ingest-bound run.
+//!
+//! Wrap any source with [`ObservedSource`] / [`ObservedFileSet`] and
+//! keep a clone of the meter; the counters are shared atomics, so the
+//! meter can be polled from another thread while the job runs.
+
+use crate::shared::SharedBytes;
+use crate::source::{DataSource, FileSet};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct MeterInner {
+    bytes: AtomicU64,
+    reads: AtomicU64,
+    read_nanos: AtomicU64,
+}
+
+/// Shared read counters for one wrapped source. Cloning is cheap and
+/// every clone observes the same totals.
+#[derive(Debug, Clone, Default)]
+pub struct IngestMeter {
+    inner: Arc<MeterInner>,
+}
+
+impl IngestMeter {
+    /// A meter with all counters at zero.
+    pub fn new() -> IngestMeter {
+        IngestMeter::default()
+    }
+
+    /// Total bytes delivered by the wrapped source (including zero-copy
+    /// [`shared`](crate::DataSource::shared) views, counted once when
+    /// taken).
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of read calls (a shared view counts as one read).
+    pub fn read_calls(&self) -> u64 {
+        self.inner.reads.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside the wrapped source's reads. For a
+    /// throttled source this includes the pacing sleeps, so it is the
+    /// delivered-bandwidth denominator.
+    pub fn time_reading(&self) -> Duration {
+        Duration::from_nanos(self.inner.read_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Observed delivery rate in bytes/sec, or 0.0 before any timed read.
+    pub fn throughput_bytes_per_sec(&self) -> f64 {
+        let secs = self.time_reading().as_secs_f64();
+        if secs > 0.0 {
+            self.bytes_read() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn record(&self, bytes: u64, elapsed: Duration) {
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A [`DataSource`] wrapper that meters every read through an
+/// [`IngestMeter`]. Forwards [`shared`](DataSource::shared) (zero-copy
+/// stays zero-copy); a taken view is counted as one read of the full
+/// source length.
+#[derive(Debug)]
+pub struct ObservedSource<S> {
+    inner: S,
+    meter: IngestMeter,
+}
+
+impl<S: DataSource> ObservedSource<S> {
+    /// Wrap `inner`, reporting into `meter`.
+    pub fn new(inner: S, meter: IngestMeter) -> Self {
+        ObservedSource { inner, meter }
+    }
+
+    /// The shared meter (clone it to keep polling after the source is
+    /// moved into a job).
+    pub fn meter(&self) -> &IngestMeter {
+        &self.meter
+    }
+
+    /// Unwrap, discarding the meter handle.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: DataSource> DataSource for ObservedSource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<usize> {
+        let start = Instant::now();
+        let n = self.inner.read_at(offset, buf)?;
+        self.meter.record(n as u64, start.elapsed());
+        Ok(n)
+    }
+
+    fn shared(&mut self) -> Option<SharedBytes> {
+        let start = Instant::now();
+        let view = self.inner.shared()?;
+        self.meter.record(view.len() as u64, start.elapsed());
+        Some(view)
+    }
+
+    fn describe(&self) -> String {
+        format!("observed {}", self.inner.describe())
+    }
+}
+
+/// A [`FileSet`] wrapper that meters every file read; the [`FileSet`]
+/// counterpart of [`ObservedSource`].
+#[derive(Debug)]
+pub struct ObservedFileSet<F> {
+    inner: F,
+    meter: IngestMeter,
+}
+
+impl<F: FileSet> ObservedFileSet<F> {
+    /// Wrap `inner`, reporting into `meter`.
+    pub fn new(inner: F, meter: IngestMeter) -> Self {
+        ObservedFileSet { inner, meter }
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &IngestMeter {
+        &self.meter
+    }
+
+    /// Unwrap, discarding the meter handle.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+}
+
+impl<F: FileSet> FileSet for ObservedFileSet<F> {
+    fn file_count(&self) -> usize {
+        self.inner.file_count()
+    }
+
+    fn file_len(&self, idx: usize) -> u64 {
+        self.inner.file_len(idx)
+    }
+
+    fn read_file(&mut self, idx: usize) -> io::Result<Vec<u8>> {
+        let start = Instant::now();
+        let data = self.inner.read_file(idx)?;
+        self.meter.record(data.len() as u64, start.elapsed());
+        Ok(data)
+    }
+
+    fn shared_file(&mut self, idx: usize) -> Option<SharedBytes> {
+        let start = Instant::now();
+        let view = self.inner.shared_file(idx)?;
+        self.meter.record(view.len() as u64, start.elapsed());
+        Some(view)
+    }
+
+    fn describe(&self) -> String {
+        format!("observed {}", self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{MemFileSet, MemSource, SourceExt};
+    use crate::throttle::ThrottledSource;
+
+    #[test]
+    fn meter_counts_bytes_reads_and_time() {
+        let meter = IngestMeter::new();
+        let mut src = ObservedSource::new(MemSource::from(vec![7u8; 1000]), meter.clone());
+        let mut buf = [0u8; 256];
+        let n = src.read_at(0, &mut buf).unwrap();
+        assert_eq!(n, 256);
+        src.read_at(256, &mut buf).unwrap();
+        assert_eq!(meter.bytes_read(), 512);
+        assert_eq!(meter.read_calls(), 2);
+    }
+
+    #[test]
+    fn shared_view_counts_whole_source_once() {
+        let meter = IngestMeter::new();
+        let mut src = ObservedSource::new(MemSource::from(vec![1u8; 300]), meter.clone());
+        let view = src.shared().expect("mem source is shared");
+        assert_eq!(view.len(), 300);
+        assert_eq!(meter.bytes_read(), 300);
+        assert_eq!(meter.read_calls(), 1);
+    }
+
+    #[test]
+    fn read_all_accounts_every_byte() {
+        let meter = IngestMeter::new();
+        let mut src = ObservedSource::new(MemSource::from(vec![2u8; 4096]), meter.clone());
+        let data = src.read_all().unwrap();
+        assert_eq!(data.len(), 4096);
+        assert_eq!(meter.bytes_read(), 4096);
+        assert_eq!(src.len(), 4096);
+    }
+
+    #[test]
+    fn throttled_reads_show_up_as_time_reading() {
+        let meter = IngestMeter::new();
+        // 1 MiB at 16 MiB/s with a small burst: reads must take real time.
+        let inner = ThrottledSource::new(MemSource::from(vec![3u8; 1 << 20]), 16.0 * 1048576.0);
+        let mut src = ObservedSource::new(inner, meter.clone());
+        src.read_all().unwrap();
+        assert_eq!(meter.bytes_read(), 1 << 20);
+        assert!(meter.time_reading() > Duration::ZERO);
+        let rate = meter.throughput_bytes_per_sec();
+        assert!(rate > 0.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn throttled_source_does_not_expose_shared_view() {
+        let meter = IngestMeter::new();
+        let inner = ThrottledSource::new(MemSource::from(vec![4u8; 64]), 1e9);
+        let mut src = ObservedSource::new(inner, meter.clone());
+        assert!(src.shared().is_none(), "pacing wrappers must not be bypassed");
+        assert_eq!(meter.bytes_read(), 0, "a refused view is not a read");
+    }
+
+    #[test]
+    fn file_set_reads_are_metered() {
+        let meter = IngestMeter::new();
+        let files = MemFileSet::new(vec![vec![0u8; 100], vec![0u8; 250]]);
+        let mut set = ObservedFileSet::new(files, meter.clone());
+        assert_eq!(set.file_count(), 2);
+        assert_eq!(set.total_len(), 350);
+        set.read_file(0).unwrap();
+        let view = set.shared_file(1).expect("mem file set is shared");
+        assert_eq!(view.len(), 250);
+        assert_eq!(meter.bytes_read(), 350);
+        assert_eq!(meter.read_calls(), 2);
+        assert!(set.describe().starts_with("observed "));
+    }
+}

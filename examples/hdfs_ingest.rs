@@ -43,12 +43,13 @@ fn main() {
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs());
 
     println!("\n{}", PhaseTimings::table_header());
-    println!("{}", original.timings.table_row("none"));
-    println!("{}", supmr.timings.table_row("512KB"));
-    let saved = original.timings.total().as_secs_f64() - supmr.timings.total().as_secs_f64();
+    println!("{}", original.report.timings.table_row("none"));
+    println!("{}", supmr.report.timings.table_row("512KB"));
+    let saved =
+        original.report.timings.total().as_secs_f64() - supmr.report.timings.total().as_secs_f64();
     println!(
         "\nspeedup only {saved:.2}s on a {:.1}s job — the paper's Conclusion 4: with an \
          ingest-bound job there is little map work to overlay",
-        original.timings.total().as_secs_f64()
+        original.report.timings.total().as_secs_f64()
     );
 }

@@ -61,13 +61,13 @@ fn main() {
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs(), "identical results");
 
     println!("\n{}", PhaseTimings::table_header());
-    println!("{}", original.timings.table_row("none"));
-    println!("{}", supmr.timings.table_row("1MB"));
+    println!("{}", original.report.timings.table_row("none"));
+    println!("{}", supmr.report.timings.table_row("1MB"));
     println!(
         "\nspeedup {:.2}x over {} ingest chunks / {} map rounds",
-        supmr.timings.total_speedup_vs(&original.timings),
-        supmr.stats.ingest_chunks,
-        supmr.stats.map_rounds,
+        supmr.report.timings.total_speedup_vs(&original.report.timings),
+        supmr.report.stats.ingest_chunks,
+        supmr.report.stats.map_rounds,
     );
 
     let mut top: Vec<(String, u64)> = supmr.pairs.clone();

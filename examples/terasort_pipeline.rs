@@ -60,16 +60,19 @@ fn main() {
     println!("both outputs fully sorted, {} records each", records);
 
     println!("\n{}", PhaseTimings::table_header());
-    println!("{}", baseline.timings.table_row("none"));
-    println!("{}", supmr.timings.table_row("512KB"));
+    println!("{}", baseline.report.timings.table_row("none"));
+    println!("{}", supmr.report.timings.table_row("512KB"));
     println!(
         "\nmerge work: baseline {} rounds / {} elements moved; supmr {} round / {} elements moved",
-        baseline.stats.merge_rounds,
-        baseline.stats.merge_elements_moved,
-        supmr.stats.merge_rounds,
-        supmr.stats.merge_elements_moved,
+        baseline.report.stats.merge_rounds,
+        baseline.report.stats.merge_elements_moved,
+        supmr.report.stats.merge_rounds,
+        supmr.report.stats.merge_elements_moved,
     );
-    println!("total speedup {:.2}x", supmr.timings.total_speedup_vs(&baseline.timings));
+    println!(
+        "total speedup {:.2}x",
+        supmr.report.timings.total_speedup_vs(&baseline.report.timings)
+    );
 
     let _ = std::fs::remove_file(&path);
 }

@@ -43,17 +43,17 @@ fn main() {
     let supmr = run_job(WordCount::new(), Input::files(throttled()), config).unwrap();
 
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs());
-    assert_eq!(supmr.stats.ingest_chunks, 8, "30 files / 4 per chunk = 8 chunks");
+    assert_eq!(supmr.report.stats.ingest_chunks, 8, "30 files / 4 per chunk = 8 chunks");
 
     println!("\n{}", PhaseTimings::table_header());
-    println!("{}", original.timings.table_row("none"));
-    println!("{}", supmr.timings.table_row("4 files"));
+    println!("{}", original.report.timings.table_row("none"));
+    println!("{}", supmr.report.timings.table_row("4 files"));
     println!(
         "\n{} chunks, {} map rounds, {} distinct words, speedup {:.2}x",
-        supmr.stats.ingest_chunks,
-        supmr.stats.map_rounds,
-        supmr.stats.distinct_keys,
-        supmr.timings.total_speedup_vs(&original.timings),
+        supmr.report.stats.ingest_chunks,
+        supmr.report.stats.map_rounds,
+        supmr.report.stats.distinct_keys,
+        supmr.report.timings.total_speedup_vs(&original.report.timings),
     );
 
     let _ = std::fs::remove_dir_all(&dir);

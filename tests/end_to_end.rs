@@ -42,8 +42,8 @@ fn wordcount_from_real_files_through_throttled_pipeline() {
     let piped = run_job(WordCount::new(), Input::files(throttled()), piped_config).unwrap();
 
     assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
-    assert_eq!(piped.stats.ingest_chunks, 3); // 12 files / 5 per chunk
-    assert!(baseline.stats.distinct_keys > 100);
+    assert_eq!(piped.report.stats.ingest_chunks, 3); // 12 files / 5 per chunk
+    assert!(baseline.report.stats.distinct_keys > 100);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -68,9 +68,9 @@ fn terasort_from_real_file_is_correct_and_single_merge_round() {
     .unwrap();
 
     validate_sorted_output(&result.pairs, 2_000).unwrap();
-    assert_eq!(result.stats.merge_rounds, 1);
-    assert_eq!(result.stats.bytes_ingested, gen.total_bytes());
-    assert!(result.stats.ingest_chunks >= 4);
+    assert_eq!(result.report.stats.merge_rounds, 1);
+    assert_eq!(result.report.stats.bytes_ingested, gen.total_bytes());
+    assert!(result.report.stats.ingest_chunks >= 4);
     let _ = std::fs::remove_file(&path);
 }
 
@@ -90,19 +90,19 @@ fn sort_baseline_vs_supmr_work_accounting() {
     let baseline = run(Chunking::None, MergeMode::PairwiseRounds);
     let supmr = run(Chunking::Inter { chunk_bytes: 50_000 }, MergeMode::PWay { ways: 4 });
 
-    assert_eq!(supmr.stats.merge_elements_moved, 3_000);
+    assert_eq!(supmr.report.stats.merge_elements_moved, 3_000);
     // Each round re-scans the data, except that an odd run carried to
     // the next round unmerged is skipped — so the exact bound is
     // N·(rounds−1) < moved ≤ N·rounds.
-    let rounds = baseline.stats.merge_rounds as u64;
+    let rounds = baseline.report.stats.merge_rounds as u64;
     assert!(
-        baseline.stats.merge_elements_moved > 3_000 * (rounds - 1)
-            && baseline.stats.merge_elements_moved <= 3_000 * rounds,
+        baseline.report.stats.merge_elements_moved > 3_000 * (rounds - 1)
+            && baseline.report.stats.merge_elements_moved <= 3_000 * rounds,
         "baseline re-scans every round: moved {} over {} rounds",
-        baseline.stats.merge_elements_moved,
+        baseline.report.stats.merge_elements_moved,
         rounds
     );
-    assert!(baseline.stats.merge_rounds > supmr.stats.merge_rounds);
+    assert!(baseline.report.stats.merge_rounds > supmr.report.stats.merge_rounds);
     // Identical final orderings.
     assert_eq!(
         baseline.pairs.iter().map(|p| &p.0).collect::<Vec<_>>(),
@@ -196,7 +196,7 @@ fn simulator_and_real_runtime_agree_on_the_shape() {
     piped_cfg.chunking = Chunking::Inter { chunk_bytes: 256 * 1024 };
     let piped = run_job(WordCount::new(), throttled(corpus), piped_cfg).unwrap();
 
-    let real_speedup = piped.timings.total_speedup_vs(&baseline.timings);
+    let real_speedup = piped.report.timings.total_speedup_vs(&baseline.report.timings);
     assert!(real_speedup > 1.0, "pipeline must win on a throttled source: {real_speedup}");
 
     // Simulated counterpart with matching proportions.
@@ -231,8 +231,9 @@ fn simulator_and_real_runtime_agree_on_the_shape() {
 
     // Fused span sanity on both sides: pipeline read+map < baseline
     // read + map sum.
-    let base_sum = baseline.timings.phase(Phase::Ingest) + baseline.timings.phase(Phase::Map);
-    let fused = piped.timings.fused_ingest_map().unwrap();
+    let base_sum =
+        baseline.report.timings.phase(Phase::Ingest) + baseline.report.timings.phase(Phase::Map);
+    let fused = piped.report.timings.fused_ingest_map().unwrap();
     assert!(fused < base_sum, "real: fused {fused:?} !< sum {base_sum:?}");
     assert!(
         sim_piped.timings.fused_ingest_map().unwrap().as_secs_f64()
