@@ -1,0 +1,68 @@
+//! Write the `BENCH_baseline.json` regression baseline.
+//!
+//! Runs the canonical word count and sort workloads under both runtimes
+//! with a live metrics registry attached and serializes the results as
+//! `supmr.bench_report.v1` (see `supmr_bench::report`). Committed at
+//! the repo root, the file is the baseline the CI regression job — and
+//! any human comparing two checkouts — diffs against.
+
+use std::path::PathBuf;
+use supmr_bench::report::{collect, to_json, validate};
+use supmr_bench::RealScale;
+
+const USAGE: &str = "\
+usage: bench_report [--quick] [--out PATH]
+
+  --quick     run at the tiny test scale (sub-second; CI fixture)
+  --out PATH  where to write the report [default: BENCH_baseline.json]
+";
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_baseline.json");
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("bench_report: --out needs a path\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("bench_report: unknown flag '{other}'\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scale = if quick { RealScale::tiny() } else { RealScale::default() };
+    println!(
+        "bench_report: {} scale (wordcount {} KiB, sort {} KiB, {} workers)",
+        if quick { "quick" } else { "full" },
+        scale.wordcount_bytes / 1024,
+        scale.sort_bytes / 1024,
+        scale.workers
+    );
+    let runs = collect(&scale);
+    for run in &runs {
+        println!(
+            "  {:>9}/{:<8} wall {:>8.3}s  {:>8} pairs  {:>3} chunks",
+            run.workload,
+            run.runtime,
+            run.report.timings.total().as_secs_f64(),
+            run.report.stats.output_pairs,
+            run.report.stats.ingest_chunks
+        );
+    }
+    let json = to_json(&scale, &runs, quick);
+    validate(&json).expect("generated report validates");
+    std::fs::write(&out, json.render() + "\n").expect("write bench report");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,256 @@
+//! The `BENCH_*.json` regression harness.
+//!
+//! [`collect`] runs the canonical word count and sort workloads under
+//! both runtimes (original and ingest pipeline) with a live metrics
+//! [`Registry`] attached; [`to_json`] renders the results as
+//! schema-stable JSON (`supmr.bench_report.v1`) so a committed baseline
+//! (`BENCH_baseline.json` at the repo root, written by the
+//! `bench_report` binary) diffs cleanly against future runs, and
+//! [`validate`] rejects anything that drifts from the schema.
+//!
+//! Values (wall times, latency percentiles) vary run to run; the
+//! *shape* — key names, run set, metric families — must not.
+
+use crate::RealScale;
+use std::time::Duration;
+use supmr::runtime::{run_job, Input, JobConfig, JobReport, MergeMode};
+use supmr::{Chunking, Registry};
+use supmr_apps::{TeraSort, WordCount};
+use supmr_metrics::Json;
+use supmr_storage::{MemSource, ThrottledSource, TokenBucket};
+
+/// Schema identifier written into (and required of) every report.
+pub const BENCH_SCHEMA: &str = "supmr.bench_report.v1";
+
+/// The four canonical runs, in report order.
+pub const RUN_MATRIX: [(&str, &str); 4] = [
+    ("wordcount", "original"),
+    ("wordcount", "pipeline"),
+    ("sort", "original"),
+    ("sort", "pipeline"),
+];
+
+/// One benchmark execution: which cell of [`RUN_MATRIX`] it is, plus
+/// the job's full report (with the final metrics snapshot attached).
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// `"wordcount"` or `"sort"`.
+    pub workload: &'static str,
+    /// `"original"` or `"pipeline"`.
+    pub runtime: &'static str,
+    /// The run's report; `report.metrics` is always `Some`.
+    pub report: JobReport,
+}
+
+fn throttled(scale: &RealScale, data: Vec<u8>) -> Input {
+    Input::stream(ThrottledSource::with_bucket(
+        MemSource::from(data),
+        TokenBucket::with_burst(scale.disk_rate, 256.0 * 1024.0),
+    ))
+}
+
+fn run_cell(scale: &RealScale, workload: &'static str, runtime: &'static str) -> BenchRun {
+    let pipeline = runtime == "pipeline";
+    let registry = Registry::new();
+    let report = match workload {
+        "wordcount" => {
+            let chunk = (scale.wordcount_bytes as u64 / 8).max(64 * 1024);
+            let config = JobConfig {
+                map_workers: scale.workers,
+                reduce_workers: scale.workers,
+                split_bytes: 256 * 1024,
+                chunking: if pipeline {
+                    Chunking::Inter { chunk_bytes: chunk }
+                } else {
+                    Chunking::None
+                },
+                merge: MergeMode::Unsorted,
+                metrics: Some(registry),
+                ..JobConfig::default()
+            };
+            run_job(WordCount::new(), throttled(scale, scale.wordcount_data()), config)
+                .expect("bench word count run failed")
+                .report
+        }
+        _ => {
+            let chunk = (scale.sort_bytes as u64 / 8).max(64 * 1024);
+            let config = JobConfig {
+                map_workers: scale.workers,
+                reduce_workers: scale.workers,
+                split_bytes: 128 * 1024,
+                record_format: TeraSort::record_format(),
+                chunking: if pipeline {
+                    Chunking::Inter { chunk_bytes: chunk }
+                } else {
+                    Chunking::None
+                },
+                merge: if pipeline {
+                    MergeMode::PWay { ways: scale.workers.max(2) }
+                } else {
+                    MergeMode::PairwiseRounds
+                },
+                metrics: Some(registry),
+                ..JobConfig::default()
+            };
+            run_job(TeraSort::new(), throttled(scale, scale.sort_data()), config)
+                .expect("bench sort run failed")
+                .report
+        }
+    };
+    BenchRun { workload, runtime, report }
+}
+
+/// Execute the full [`RUN_MATRIX`] at `scale`.
+pub fn collect(scale: &RealScale) -> Vec<BenchRun> {
+    RUN_MATRIX.iter().map(|&(w, r)| run_cell(scale, w, r)).collect()
+}
+
+fn us(d: Duration) -> Json {
+    Json::from(d.as_micros().min(u64::MAX as u128) as u64)
+}
+
+/// Render a report. `quick` records which scale produced it so a CI
+/// fixture baseline is never diffed against a full-scale one.
+pub fn to_json(scale: &RealScale, runs: &[BenchRun], quick: bool) -> Json {
+    let scale_obj = Json::obj(vec![
+        ("wordcount_bytes", Json::from(scale.wordcount_bytes as u64)),
+        ("sort_bytes", Json::from(scale.sort_bytes as u64)),
+        ("disk_rate", Json::Num(scale.disk_rate)),
+        ("workers", Json::from(scale.workers as u64)),
+    ]);
+    let runs_json = runs
+        .iter()
+        .map(|r| {
+            let metrics =
+                r.report.metrics.as_ref().map(|m| m.to_json()).unwrap_or(Json::Arr(Vec::new()));
+            Json::obj(vec![
+                ("workload", Json::str(r.workload)),
+                ("runtime", Json::str(r.runtime)),
+                ("wall_us", us(r.report.timings.total())),
+                ("output_pairs", Json::from(r.report.stats.output_pairs)),
+                ("ingest_chunks", Json::from(u64::from(r.report.stats.ingest_chunks))),
+                ("map_waiting_us", us(r.report.stats.map_waiting)),
+                ("ingest_waiting_us", us(r.report.stats.ingest_waiting)),
+                ("metrics", metrics),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::str(BENCH_SCHEMA)),
+        ("quick", Json::Bool(quick)),
+        ("scale", scale_obj),
+        ("runs", Json::Arr(runs_json)),
+    ])
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key).and_then(Json::as_f64).ok_or_else(|| format!("{ctx}: missing numeric '{key}'"))
+}
+
+fn require_str<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    obj.get(key).and_then(Json::as_str).ok_or_else(|| format!("{ctx}: missing string '{key}'"))
+}
+
+/// Check that `json` is a structurally valid `supmr.bench_report.v1`
+/// document: schema tag, scale block, the full run matrix, and
+/// well-formed per-run metrics (histogram percentiles ordered
+/// p50 ≤ p90 ≤ p99 ≤ max).
+pub fn validate(json: &Json) -> Result<(), String> {
+    if require_str(json, "schema", "report")? != BENCH_SCHEMA {
+        return Err(format!("schema is not {BENCH_SCHEMA}"));
+    }
+    let scale = json.get("scale").ok_or("report: missing 'scale'")?;
+    for key in ["wordcount_bytes", "sort_bytes", "disk_rate", "workers"] {
+        require_num(scale, key, "scale")?;
+    }
+    let runs = json.get("runs").and_then(Json::as_arr).ok_or("report: missing 'runs' array")?;
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for run in runs {
+        let workload = require_str(run, "workload", "run")?;
+        let runtime = require_str(run, "runtime", "run")?;
+        let ctx = format!("run {workload}/{runtime}");
+        for key in
+            ["wall_us", "output_pairs", "ingest_chunks", "map_waiting_us", "ingest_waiting_us"]
+        {
+            require_num(run, key, &ctx)?;
+        }
+        let metrics =
+            run.get("metrics").and_then(Json::as_arr).ok_or(format!("{ctx}: missing metrics"))?;
+        if metrics.is_empty() {
+            return Err(format!("{ctx}: empty metrics snapshot"));
+        }
+        for entry in metrics {
+            let name = require_str(entry, "name", &ctx)?;
+            let kind = require_str(entry, "kind", &ctx)?;
+            let value = entry.get("value").ok_or(format!("{ctx}: {name}: missing value"))?;
+            if kind == "histogram" {
+                let ectx = format!("{ctx}: {name}");
+                let (p50, p90) =
+                    (require_num(value, "p50", &ectx)?, require_num(value, "p90", &ectx)?);
+                let (p99, max) =
+                    (require_num(value, "p99", &ectx)?, require_num(value, "max", &ectx)?);
+                require_num(value, "count", &ectx)?;
+                require_num(value, "sum", &ectx)?;
+                require_num(value, "mean", &ectx)?;
+                if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+                    return Err(format!("{ectx}: percentiles not ordered"));
+                }
+            } else if value.as_f64().is_none() {
+                return Err(format!("{ctx}: {name}: non-numeric {kind}"));
+            }
+        }
+        seen.push((workload.to_string(), runtime.to_string()));
+    }
+    for (w, r) in RUN_MATRIX {
+        if !seen.iter().any(|(sw, sr)| sw == w && sr == r) {
+            return Err(format!("run matrix incomplete: missing {w}/{r}"));
+        }
+    }
+    Ok(())
+}
+
+/// Parse and [`validate`] report text (file contents).
+pub fn validate_text(text: &str) -> Result<(), String> {
+    validate(&Json::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_round_trips_and_validates() {
+        let scale = RealScale::tiny();
+        let runs = collect(&scale);
+        assert_eq!(runs.len(), RUN_MATRIX.len());
+        for run in &runs {
+            assert!(run.report.metrics.is_some(), "{}/{} has metrics", run.workload, run.runtime);
+        }
+        let json = to_json(&scale, &runs, true);
+        validate(&json).expect("fresh report validates");
+        validate_text(&json.render()).expect("rendered text re-parses and validates");
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        assert!(validate_text("{}").is_err(), "empty object");
+        assert!(validate_text("not json").is_err(), "parse failure");
+        let wrong_schema = r#"{"schema": "supmr.bench_report.v2", "scale": {}, "runs": []}"#;
+        assert!(validate_text(wrong_schema).unwrap_err().contains("schema"));
+        let missing_runs = format!(
+            r#"{{"schema": "{BENCH_SCHEMA}", "quick": true,
+                "scale": {{"wordcount_bytes": 1, "sort_bytes": 1, "disk_rate": 1.0, "workers": 1}},
+                "runs": []}}"#
+        );
+        assert!(validate_text(&missing_runs).unwrap_err().contains("matrix incomplete"));
+    }
+
+    #[test]
+    fn committed_baseline_validates() {
+        // The repo root carries the baseline the CI regression job diffs
+        // against; it must always parse under the current schema.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_baseline.json exists at repo root");
+        validate_text(&text).expect("committed baseline validates");
+    }
+}

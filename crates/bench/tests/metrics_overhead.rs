@@ -1,0 +1,73 @@
+//! Registry overhead budget.
+//!
+//! DESIGN.md §3e budgets live metrics at under 2% of wall-clock on the
+//! pool-dispatch microbenchmark (the hottest instrumented path: one
+//! gauge pair, one histogram record, one counter per task). Timing that
+//! tightly in a shared-CI test would flake, so the assertion uses a
+//! deliberately generous margin — it exists to catch a *pathological*
+//! regression (a lock or allocation sneaking onto the record path), not
+//! to re-measure the budget. The precise number comes from running
+//! `spawn_vs_pool` with and without `--metrics-*` by hand.
+
+use std::time::{Duration, Instant};
+use supmr::pool::{PoolMetrics, WorkerPool};
+use supmr::Registry;
+use supmr_metrics::{MetricValue, Tracer};
+
+const WORKERS: usize = 2;
+const ROUNDS: usize = 200;
+
+/// Dispatch `ROUNDS` small waves; each task does a few microseconds of
+/// arithmetic, the floor a real map task sits far above.
+fn dispatch_loop(pool: &WorkerPool) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        pool.run((0..WORKERS as u64).collect(), |_, x| {
+            let mut acc = x;
+            for i in 0..2_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+    }
+    t0.elapsed()
+}
+
+#[test]
+fn registry_overhead_is_within_budget() {
+    let plain = WorkerPool::new(WORKERS);
+    let registry = Registry::new();
+    let metrics = PoolMetrics::register(&registry);
+    let instrumented = WorkerPool::new_instrumented(WORKERS, Tracer::off(), Some(metrics));
+
+    // Interleave and keep the minimum of each: the minimum discards
+    // scheduler noise, interleaving discards thermal drift.
+    let mut best_plain = Duration::MAX;
+    let mut best_instrumented = Duration::MAX;
+    for _ in 0..5 {
+        best_plain = best_plain.min(dispatch_loop(&plain));
+        best_instrumented = best_instrumented.min(dispatch_loop(&instrumented));
+    }
+
+    let budget = best_plain.mul_f64(1.5) + Duration::from_millis(50);
+    assert!(
+        best_instrumented <= budget,
+        "instrumented dispatch {best_instrumented:?} vs plain {best_plain:?} \
+         (allowed {budget:?}): metrics handles cost far more than budgeted"
+    );
+
+    // The comparison is meaningless if the instrumented pool did not
+    // actually record anything.
+    let snap = registry.snapshot();
+    let dispatch = snap
+        .entries
+        .iter()
+        .find(|e| e.name == "supmr.pool.dispatch_us")
+        .expect("dispatch histogram registered");
+    match &dispatch.value {
+        MetricValue::Histogram(h) => {
+            assert_eq!(h.count, (5 * ROUNDS * WORKERS) as u64, "one record per dispatched task")
+        }
+        other => panic!("dispatch_us is a histogram, got {other:?}"),
+    }
+}

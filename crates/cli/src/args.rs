@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 use supmr_metrics::TraceLevel;
 
 /// Which bundled application to run.
@@ -111,6 +112,11 @@ pub struct CliArgs {
     /// Where to write the recorded trace (`.json` Chrome trace,
     /// `.jsonl` line-delimited events, `.txt` ASCII timeline).
     pub trace_out: Option<PathBuf>,
+    /// Serve a live `/metrics` OpenMetrics scrape endpoint here (e.g.
+    /// `127.0.0.1:9400`) while the job runs.
+    pub metrics_addr: Option<String>,
+    /// Print an ASCII metrics snapshot to stderr at this interval.
+    pub metrics_interval: Option<Duration>,
 }
 
 /// A user-facing argument error.
@@ -139,6 +145,24 @@ pub fn parse_size(s: &str) -> Result<u64, CliError> {
         return Err(CliError(format!("negative size '{s}'")));
     }
     Ok((n * mult as f64) as u64)
+}
+
+/// Parse a duration: bare numbers are seconds, `ms`/`s` suffixes are
+/// explicit ("500ms", "2s", "1.5").
+pub fn parse_duration(s: &str) -> Result<Duration, CliError> {
+    let s = s.trim();
+    let (digits, ms_per_unit) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000.0)
+    } else {
+        (s, 1000.0)
+    };
+    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid duration '{s}'")))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(CliError(format!("invalid duration '{s}'")));
+    }
+    Ok(Duration::from_millis((n * ms_per_unit) as u64))
 }
 
 fn parse_chunking(s: &str) -> Result<ChunkingSpec, CliError> {
@@ -211,6 +235,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         iters: 20,
         trace: TraceLevel::Off,
         trace_out: None,
+        metrics_addr: None,
+        metrics_interval: None,
     };
     while let Some(flag) = it.next() {
         let mut value =
@@ -245,6 +271,14 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                     .map_err(|_| CliError(format!("unknown trace level '{v}' (off|wave|task)")))?;
             }
             "--trace-out" => args.trace_out = Some(PathBuf::from(value()?)),
+            "--metrics-addr" => args.metrics_addr = Some(value()?),
+            "--metrics-interval" => {
+                let d = parse_duration(&value()?)?;
+                if d.is_zero() {
+                    return Err(CliError("--metrics-interval must be positive".into()));
+                }
+                args.metrics_interval = Some(d);
+            }
             "--k" => args.k = value()?.parse().map_err(|_| CliError("invalid k".into()))?,
             "--iters" => {
                 args.iters = value()?.parse().map_err(|_| CliError("invalid iters".into()))?
@@ -399,6 +433,32 @@ mod tests {
 
         assert!(parse_args(&argv("wc --generate 1K --trace verbose")).is_err());
         assert!(parse_args(&argv("wc --generate 1K --trace")).is_err());
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_millis(1500));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-1s").is_err());
+    }
+
+    #[test]
+    fn metrics_flags() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert_eq!(a.metrics_addr, None);
+        assert_eq!(a.metrics_interval, None);
+
+        let a = parse_args(&argv(
+            "wc --generate 1K --metrics-addr 127.0.0.1:9400 --metrics-interval 250ms",
+        ))
+        .unwrap();
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:9400"));
+        assert_eq!(a.metrics_interval, Some(Duration::from_millis(250)));
+
+        assert!(parse_args(&argv("wc --generate 1K --metrics-interval 0")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --metrics-addr")).is_err());
     }
 
     #[test]

@@ -25,6 +25,11 @@ options:
   --trace-out PATH   write the trace: .json Chrome trace (chrome://tracing),
                      .jsonl line-delimited events, .txt ASCII timeline
                      (implies --trace wave if tracing is off)
+  --metrics-addr A   serve live OpenMetrics at http://A/metrics while the
+                     job runs (curl http://A/metrics)
+  --metrics-interval D
+                     print ASCII metrics snapshots to stderr every D
+                     (500ms, 2s, ...)
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
   --pattern P        grep pattern (repeatable)
@@ -33,6 +38,7 @@ options:
 examples:
   supmr wordcount --generate 64M --chunking inter:4M --throttle 24M
   supmr wordcount --generate 64M --chunking inter:4M --trace-out trace.json
+  supmr wordcount --generate 64M --metrics-addr 127.0.0.1:9400
   supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
   supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
 ";

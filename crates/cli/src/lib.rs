@@ -24,6 +24,10 @@
 //!   --trace LEVEL       event tracing: off | wave | task [default: off]
 //!   --trace-out PATH    write the recorded trace (.json Chrome trace,
 //!                       .jsonl events, .txt ASCII timeline)
+//!   --metrics-addr A    serve live OpenMetrics at http://A/metrics
+//!                       while the job runs (e.g. 127.0.0.1:9400)
+//!   --metrics-interval D  print ASCII metrics snapshots to stderr
+//!                       every D (e.g. 500ms, 2s)
 //!   --top N             print the N largest results     [default: 10]
 //!   --seed N            generator seed                  [default: 42]
 //! ```
@@ -32,7 +36,9 @@
 //! dependency) kept separate from execution so it is unit-testable.
 
 pub mod args;
+pub mod reporter;
 pub mod run;
 
 pub use args::{parse_args, AppKind, ChunkingSpec, CliArgs, CliError, MergeSpec};
+pub use reporter::SnapshotReporter;
 pub use run::{execute, RunSummary};

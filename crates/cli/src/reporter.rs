@@ -1,0 +1,140 @@
+//! Periodic ASCII metrics snapshots.
+//!
+//! `--metrics-interval` starts a [`SnapshotReporter`]: a background
+//! thread that renders the live [`Registry`] as an aligned text table
+//! every interval (to stderr in the CLI, to any writer in tests) while
+//! the job runs, then emits one final snapshot when stopped. This is
+//! the no-curl counterpart of the `/metrics` scrape endpoint — the same
+//! registry, rendered locally.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use supmr_metrics::Registry;
+
+/// Background thread printing registry snapshots at a fixed interval.
+#[derive(Debug)]
+pub struct SnapshotReporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SnapshotReporter {
+    /// Start reporting `registry` every `interval` into `out`. The
+    /// first snapshot prints after one full interval; [`finish`]
+    /// (or drop) always prints a final one, so even a short run shows
+    /// its metrics.
+    ///
+    /// [`finish`]: SnapshotReporter::finish
+    pub fn start(
+        registry: Registry,
+        interval: Duration,
+        mut out: impl Write + Send + 'static,
+    ) -> SnapshotReporter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("supmr-metrics-report".into())
+            .spawn(move || {
+                let mut tick = 0u64;
+                while !sleep_unless_stopped(&stop2, interval) {
+                    tick += 1;
+                    write_snapshot(&mut out, &registry, &format!("tick {tick}"));
+                }
+                write_snapshot(&mut out, &registry, "final");
+            })
+            .expect("spawn metrics reporter thread");
+        SnapshotReporter { stop, handle: Some(handle) }
+    }
+
+    /// Report to stderr — what the CLI wires `--metrics-interval` to.
+    pub fn to_stderr(registry: Registry, interval: Duration) -> SnapshotReporter {
+        SnapshotReporter::start(registry, interval, std::io::stderr())
+    }
+
+    /// Stop the reporter; prints one last snapshot before returning.
+    pub fn finish(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SnapshotReporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Sleep for `interval` in short slices so a stop request interrupts
+/// promptly. Returns true if stopped.
+fn sleep_unless_stopped(stop: &AtomicBool, interval: Duration) -> bool {
+    let slice = Duration::from_millis(20).min(interval);
+    let mut slept = Duration::ZERO;
+    while slept < interval {
+        if stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        std::thread::sleep(slice);
+        slept += slice;
+    }
+    stop.load(Ordering::Relaxed)
+}
+
+fn write_snapshot(out: &mut impl Write, registry: &Registry, label: &str) {
+    let body = registry.snapshot().render_ascii();
+    let _ = writeln!(out, "-- supmr metrics ({label}) --\n{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn reporter_emits_ticks_and_a_final_snapshot() {
+        let registry = Registry::new();
+        let jobs = registry.counter("supmr.jobs_completed", "Jobs finished.", &[]);
+        jobs.inc();
+        let buf = SharedBuf::default();
+        let rep = SnapshotReporter::start(registry, Duration::from_millis(30), buf.clone());
+        std::thread::sleep(Duration::from_millis(100));
+        rep.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("tick 1"), "at least one periodic tick:\n{text}");
+        assert!(text.contains("(final)"), "final snapshot on finish:\n{text}");
+        assert!(text.contains("supmr.jobs_completed"), "series rendered:\n{text}");
+    }
+
+    #[test]
+    fn short_run_still_prints_a_final_snapshot() {
+        let registry = Registry::new();
+        registry.counter("supmr.jobs_completed", "Jobs finished.", &[]);
+        let buf = SharedBuf::default();
+        let rep = SnapshotReporter::start(registry, Duration::from_secs(3600), buf.clone());
+        rep.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(!text.contains("tick"), "no interval elapsed:\n{text}");
+        assert!(text.contains("(final)"), "{text}");
+    }
+}

@@ -2,15 +2,17 @@
 //! runtime, run the selected application, and render a report.
 
 use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec, PoolSpec};
+use crate::reporter::SnapshotReporter;
 use std::io;
 use supmr::chunk::AdaptiveConfig;
 use supmr::runtime::{run_job, Input, JobConfig, JobReport, JobResult, MergeMode};
-use supmr::{Chunking, PoolMode, Result};
+use supmr::{Chunking, PoolMode, Registry, Result};
 use supmr_apps::{
     kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
 };
 use supmr_storage::{
-    DirFileSet, FileSource, MemSource, ThrottledFileSet, ThrottledSource, TokenBucket,
+    DataSource, DirFileSet, FileSet, FileSource, IngestMeter, MemSource, ObservedFileSet,
+    ObservedSource, ThrottledFileSet, ThrottledSource, TokenBucket,
 };
 use supmr_workloads::{
     clustered_points, small_files_corpus, PointsConfig, TeraGen, TextGen, TextGenConfig,
@@ -64,6 +66,7 @@ fn job_config(
     args: &CliArgs,
     record_format: supmr_storage::RecordFormat,
     default_merge: MergeMode,
+    metrics: Option<&Registry>,
 ) -> JobConfig {
     let mut config = JobConfig {
         split_bytes: args.split_bytes,
@@ -76,6 +79,8 @@ fn job_config(
             PoolSpec::Persistent => PoolMode::Persistent,
         },
         trace: args.trace,
+        metrics: metrics.cloned(),
+        metrics_addr: args.metrics_addr.clone(),
         ..JobConfig::default()
     };
     if let Some(w) = args.workers {
@@ -119,23 +124,40 @@ fn generated_bytes(app: AppKind, seed: u64, bytes: u64, k: usize) -> Vec<u8> {
     }
 }
 
+/// Wrap a stream source into an [`Input`], metering it if a meter is
+/// present (`--metrics-*` flags feed `supmr.storage.*` families).
+fn stream_input(src: impl DataSource + 'static, meter: Option<&IngestMeter>) -> Input {
+    match meter {
+        Some(m) => Input::stream(ObservedSource::new(src, m.clone())),
+        None => Input::stream(src),
+    }
+}
+
+/// [`stream_input`]'s file-set counterpart.
+fn files_input(set: impl FileSet + 'static, meter: Option<&IngestMeter>) -> Input {
+    match meter {
+        Some(m) => Input::files(ObservedFileSet::new(set, m.clone())),
+        None => Input::files(set),
+    }
+}
+
 /// Build the job input from the CLI arguments.
-fn build_input(args: &CliArgs) -> io::Result<Input> {
+fn build_input(args: &CliArgs, meter: Option<&IngestMeter>) -> io::Result<Input> {
     let throttle = args.throttle;
     if let Some(path) = &args.input {
         if path.is_dir() {
             let set = DirFileSet::open(path)?;
             return Ok(match throttle {
                 Some(rate) => {
-                    Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)))
+                    files_input(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)), meter)
                 }
-                None => Input::files(set),
+                None => files_input(set, meter),
             });
         }
         let src = FileSource::open(path)?;
         return Ok(match throttle {
-            Some(rate) => Input::stream(ThrottledSource::new(src, rate)),
-            None => Input::stream(src),
+            Some(rate) => stream_input(ThrottledSource::new(src, rate), meter),
+            None => stream_input(src, meter),
         });
     }
     let bytes = args.generate.expect("validated: generate or input");
@@ -147,31 +169,57 @@ fn build_input(args: &CliArgs) -> io::Result<Input> {
         let corpus = small_files_corpus(args.seed, files, per);
         let set = supmr_storage::MemFileSet::new(corpus);
         return Ok(match throttle {
-            Some(rate) => Input::files(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate))),
-            None => Input::files(set),
+            Some(rate) => {
+                files_input(ThrottledFileSet::with_bucket(set, TokenBucket::new(rate)), meter)
+            }
+            None => files_input(set, meter),
         });
     }
     let data = generated_bytes(args.app, args.seed, bytes, args.k);
     let src = MemSource::from(data);
     Ok(match throttle {
-        Some(rate) => Input::stream(ThrottledSource::new(src, rate)),
-        None => Input::stream(src),
+        Some(rate) => stream_input(ThrottledSource::new(src, rate), meter),
+        None => stream_input(src, meter),
     })
 }
 
 /// Run the job described by `args` and return a printable summary.
+///
+/// When `--metrics-addr` or `--metrics-interval` is given, a live
+/// [`Registry`] is attached to the job (and to the storage layer via an
+/// [`IngestMeter`]); the interval flag additionally streams ASCII
+/// snapshots to stderr while the job runs.
 ///
 /// # Errors
 /// Returns the runtime's typed [`supmr::SupmrError`]: missing inputs
 /// and ingest failures as `Ingest`, bad flag combinations as
 /// `InvalidConfig`, and map/reduce panics as `TaskPanic`.
 pub fn execute(args: &CliArgs) -> Result<RunSummary> {
+    let registry =
+        (args.metrics_addr.is_some() || args.metrics_interval.is_some()).then(Registry::new);
+    let reporter = match (&registry, args.metrics_interval) {
+        (Some(r), Some(interval)) => Some(SnapshotReporter::to_stderr(r.clone(), interval)),
+        _ => None,
+    };
+    let result = execute_app(args, registry.as_ref());
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    result
+}
+
+fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary> {
     let top = args.top;
+    let meter = registry.map(IngestMeter::with_registry);
     match args.app {
         AppKind::WordCount => {
-            let config =
-                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
-            let r = run_job(WordCount::new(), build_input(args)?, config)?;
+            let config = job_config(
+                args,
+                supmr_storage::RecordFormat::Newline,
+                MergeMode::Unsorted,
+                registry,
+            );
+            let r = run_job(WordCount::new(), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             let lines = pairs.iter().take(top).map(|(w, c)| format!("{c:>10}  {w}")).collect();
@@ -180,8 +228,9 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
         AppKind::TeraSort => {
             // Sorting is the point: default to a p-way merge, but an
             // explicit --merge unsorted is honoured.
-            let config = job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 });
-            let r = run_job(TeraSort::new(), build_input(args)?, config)?;
+            let config =
+                job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 }, registry);
+            let r = run_job(TeraSort::new(), build_input(args, meter.as_ref())?, config)?;
             let sorted = r.pairs.windows(2).all(|w| w[0].0 <= w[1].0);
             let mut lines: Vec<String> = r
                 .pairs
@@ -193,11 +242,15 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::Grep => {
-            let config =
-                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config = job_config(
+                args,
+                supmr_storage::RecordFormat::Newline,
+                MergeMode::Unsorted,
+                registry,
+            );
             let patterns: Vec<Vec<u8>> =
                 args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
-            let r = run_job(Grep::new(patterns), build_input(args)?, config)?;
+            let r = run_job(Grep::new(patterns), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             let lines = pairs
@@ -208,8 +261,9 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::Histogram => {
-            let config = job_config(args, Histogram::record_format(), MergeMode::Unsorted);
-            let r = run_job(Histogram::new(), build_input(args)?, config)?;
+            let config =
+                job_config(args, Histogram::record_format(), MergeMode::Unsorted, registry);
+            let r = run_job(Histogram::new(), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             let lines = pairs
@@ -223,9 +277,13 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::LinReg => {
-            let config =
-                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
-            let r = run_job(LinearRegression::new(), build_input(args)?, config)?;
+            let config = job_config(
+                args,
+                supmr_storage::RecordFormat::Newline,
+                MergeMode::Unsorted,
+                registry,
+            );
+            let r = run_job(LinearRegression::new(), build_input(args, meter.as_ref())?, config)?;
             let lines = match linreg::fit(&r.pairs) {
                 Some(f) => {
                     vec![format!("y = {:.6}x + {:.6}   (n = {})", f.slope, f.intercept, f.n)]
@@ -235,13 +293,24 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::KMeans => {
-            let config =
-                job_config(args, supmr_storage::RecordFormat::Newline, MergeMode::Unsorted);
+            let config = job_config(
+                args,
+                supmr_storage::RecordFormat::Newline,
+                MergeMode::Unsorted,
+                registry,
+            );
             // kmeans re-ingests per iteration: rebuild the input each time.
             let args2 = args.clone();
+            let meter2 = meter.clone();
             let init: Vec<(f64, f64)> =
                 (0..args.k).map(|i| (i as f64 * 3.1 + 0.5, i as f64 * -2.3)).collect();
-            let result = run_kmeans(move || build_input(&args2), init, &config, args.iters, 1e-6)?;
+            let result = run_kmeans(
+                move || build_input(&args2, meter2.as_ref()),
+                init,
+                &config,
+                args.iters,
+                1e-6,
+            )?;
             let mut lines: Vec<String> = result
                 .centroids
                 .iter()
@@ -376,6 +445,29 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = parse_args(&argv("wordcount --input /nonexistent/supmr")).unwrap();
         assert!(execute(&args).is_err());
+    }
+
+    #[test]
+    fn metrics_run_scrapes_and_reports() {
+        // Port 0: the OS picks a free port; the run still exercises the
+        // full wiring (registry -> runtimes, pool, storage meter).
+        let s = run("wordcount --generate 64K --chunking inter:16K --workers 2 \
+             --pool persistent --metrics-addr 127.0.0.1:0");
+        let snap = s.report.metrics.as_ref().expect("metrics attached");
+        let has = |name: &str| snap.entries.iter().any(|e| e.name == name);
+        assert!(has("supmr.map.task_us"), "map histogram registered");
+        assert!(has("supmr.ingest.bytes"), "ingest counter registered");
+        assert!(has("supmr.pool.dispatch_us"), "pool histogram registered");
+        assert!(has("supmr.storage.bytes_read"), "storage meter fed the registry");
+        assert!(has("supmr.jobs_completed"), "job completion counted");
+        // The JSON report carries the metrics section.
+        assert!(s.report.to_json().render().contains("\"metrics\""));
+    }
+
+    #[test]
+    fn unmetered_run_attaches_no_metrics() {
+        let s = run("wordcount --generate 32K --workers 1");
+        assert!(s.report.metrics.is_none());
     }
 
     #[test]

@@ -80,6 +80,15 @@
 //! per job ([`Job::trace`](runtime::Job::trace)) and exported through
 //! `supmr-metrics` (Chrome `trace_event` JSON, JSONL, ASCII timeline).
 //! Fallible entry points return the typed [`SupmrError`] ([`error`]).
+//!
+//! For *live* visibility, attach a metrics [`Registry`]
+//! ([`Job::metrics`](runtime::Job::metrics)) or serve an OpenMetrics
+//! scrape endpoint for the duration of a run
+//! ([`Job::metrics_addr`](runtime::Job::metrics_addr)): the runtimes,
+//! worker pool, and merge backends then maintain `supmr.*` counter,
+//! gauge, and HDR-histogram families ([`runtime::JobMetrics`],
+//! [`pool::PoolMetrics`]) cheap enough to leave on under load, and the
+//! job report folds the final percentile snapshot into its JSON.
 
 pub mod api;
 pub mod chunk;
@@ -93,6 +102,11 @@ pub mod split;
 pub use api::{Emit, MapReduce};
 pub use chunk::{Chunking, IngestChunk};
 pub use error::{Result, SupmrError};
-pub use pool::PoolMode;
-pub use runtime::{run_job, Input, Job, JobConfig, JobReport, JobResult, JobStats, MergeMode};
-pub use supmr_metrics::{EventKind, JobTrace, StallStats, TraceEvent, TraceLevel};
+pub use pool::{PoolMetrics, PoolMode};
+pub use runtime::{
+    run_job, Input, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
+};
+pub use supmr_metrics::{
+    EventKind, JobTrace, MetricsServer, MetricsSnapshot, Registry, StallStats, TraceEvent,
+    TraceLevel,
+};

@@ -21,7 +21,8 @@ use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use supmr_metrics::{EventKind, Tracer};
+use std::time::Instant;
+use supmr_metrics::{Counter, EventKind, Gauge, Histogram, Registry, Tracer};
 
 /// How the runtime provisions worker threads for map/reduce waves.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -122,6 +123,55 @@ where
     (results, outcome)
 }
 
+/// Live instrumentation handles for a [`WorkerPool`], registered under
+/// the `supmr.pool.*` families of a [`Registry`].
+///
+/// Queue depth and in-flight levels are maintained through RAII
+/// [`supmr_metrics::GaugeGuard`]s held by the task closures themselves,
+/// so a panicking task (surfaced to callers as
+/// [`SupmrError::TaskPanic`](crate::SupmrError::TaskPanic)) restores
+/// both gauges during unwinding instead of skewing them for the rest of
+/// the job.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Tasks enqueued to the pool but not yet picked up by a worker.
+    pub queue_depth: Gauge,
+    /// Tasks currently executing on a worker thread.
+    pub in_flight: Gauge,
+    /// Enqueue→start dispatch latency, microseconds.
+    pub dispatch_us: Histogram,
+    /// Pool threads a batch dispatched to instead of spawning.
+    pub threads_reused: Counter,
+}
+
+impl PoolMetrics {
+    /// Register (or re-attach to) the `supmr.pool.*` families.
+    pub fn register(registry: &Registry) -> PoolMetrics {
+        PoolMetrics {
+            queue_depth: registry.gauge(
+                "supmr.pool.queue_depth",
+                "Tasks enqueued to the persistent pool awaiting a worker.",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "supmr.pool.in_flight",
+                "Tasks currently executing on pool worker threads.",
+                &[],
+            ),
+            dispatch_us: registry.histogram(
+                "supmr.pool.dispatch_us",
+                "Latency from task enqueue to execution start, microseconds.",
+                &[],
+            ),
+            threads_reused: registry.counter(
+                "supmr.pool.threads_reused",
+                "Pool threads batches dispatched to instead of spawning.",
+                &[],
+            ),
+        }
+    }
+}
+
 /// One unit of work queued to the pool.
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 
@@ -137,6 +187,7 @@ pub struct WorkerPool {
     tx: Option<crossbeam_channel::Sender<PoolTask>>,
     workers: Vec<JoinHandle<()>>,
     tracer: Tracer,
+    metrics: Option<PoolMetrics>,
 }
 
 impl WorkerPool {
@@ -154,6 +205,19 @@ impl WorkerPool {
     /// # Panics
     /// Panics if `size == 0`.
     pub fn new_traced(size: usize, tracer: Tracer) -> WorkerPool {
+        WorkerPool::new_instrumented(size, tracer, None)
+    }
+
+    /// Spawn `size` long-lived worker threads with optional tracing and
+    /// live metrics ([`PoolMetrics`]).
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new_instrumented(
+        size: usize,
+        tracer: Tracer,
+        metrics: Option<PoolMetrics>,
+    ) -> WorkerPool {
         assert!(size > 0, "a worker pool needs at least one thread");
         let (tx, rx) = crossbeam_channel::unbounded::<PoolTask>();
         let workers = (0..size)
@@ -169,7 +233,7 @@ impl WorkerPool {
                     .expect("spawning a pool worker thread")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers, tracer }
+        WorkerPool { tx: Some(tx), workers, tracer, metrics }
     }
 
     /// Number of threads in the pool.
@@ -198,13 +262,24 @@ impl WorkerPool {
         for (idx, task) in tasks.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let rtx = rtx.clone();
+            // RAII: the queued guard travels inside the closure, so the
+            // queue-depth gauge is restored when the task starts — or
+            // when an undelivered closure is dropped — never skewed.
+            let metrics = self.metrics.clone();
+            let queued = metrics.as_ref().map(|m| (m.queue_depth.track(1), Instant::now()));
             let body: PoolTask = Box::new(move || {
+                let running = metrics.as_ref().map(|m| m.in_flight.track(1));
+                if let (Some(m), Some((guard, enqueued))) = (&metrics, queued) {
+                    drop(guard);
+                    m.dispatch_us.record_duration_us(enqueued.elapsed());
+                }
                 let result = catch_unwind(AssertUnwindSafe(|| f(idx, task)));
                 // Release this task's handle on `f` (and everything it
                 // captures) *before* reporting completion, so that once
                 // the caller has drained all n results, dropping its own
                 // `f` provably leaves no other owner.
                 drop(f);
+                drop(running);
                 let _ = rtx.send((idx, result));
             });
             tx.send(body).expect("pool workers outlive dispatched batches");
@@ -233,6 +308,9 @@ impl WorkerPool {
             threads_spawned: 0,
             threads_reused: self.size().min(n) as u64,
         };
+        if let Some(m) = &self.metrics {
+            m.threads_reused.add(outcome.threads_reused);
+        }
         (results, outcome)
     }
 
@@ -462,6 +540,39 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_sized_pool_panics() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn instrumented_pool_records_metrics() {
+        let registry = Registry::new();
+        let metrics = PoolMetrics::register(&registry);
+        let pool = WorkerPool::new_instrumented(2, Tracer::off(), Some(metrics.clone()));
+        pool.run(vec![1, 2, 3, 4], |_, _| {});
+        assert_eq!(metrics.queue_depth.value(), 0, "queue drains to zero");
+        assert_eq!(metrics.in_flight.value(), 0, "nothing left running");
+        assert_eq!(metrics.dispatch_us.count(), 4, "one dispatch sample per task");
+        assert_eq!(metrics.threads_reused.value(), 2);
+    }
+
+    #[test]
+    fn pool_gauges_return_to_zero_after_task_panic() {
+        let registry = Registry::new();
+        let metrics = PoolMetrics::register(&registry);
+        let pool = WorkerPool::new_instrumented(2, Tracer::off(), Some(metrics.clone()));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(vec![1, 2, 3, 4, 5], |_, x: i32| {
+                if x % 2 == 0 {
+                    panic!("pooled task exploded");
+                }
+            });
+        }));
+        assert!(result.is_err(), "the batch must re-raise the panic");
+        assert_eq!(metrics.queue_depth.value(), 0, "panic must not skew queue depth");
+        assert_eq!(metrics.in_flight.value(), 0, "panic must not skew in-flight");
+        // The pool is still usable and keeps metering.
+        pool.run(vec![1], |_, _| {});
+        assert_eq!(metrics.dispatch_us.count(), 6);
+        assert_eq!(metrics.in_flight.value(), 0);
     }
 
     #[test]

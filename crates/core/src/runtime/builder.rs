@@ -45,7 +45,7 @@ use crate::error::Result;
 use crate::pool::PoolMode;
 use std::sync::Arc;
 use std::time::Duration;
-use supmr_metrics::{TraceEvent, TraceLevel};
+use supmr_metrics::{Registry, TraceEvent, TraceLevel};
 use supmr_storage::RecordFormat;
 
 /// A configured-but-not-yet-run job.
@@ -125,6 +125,23 @@ impl<J: MapReduce> Job<J> {
     /// callback cheap: it runs on the emitting worker thread.
     pub fn on_event(mut self, callback: impl Fn(&TraceEvent) + Send + Sync + 'static) -> Self {
         self.config.on_event = Some(Arc::new(callback));
+        self
+    }
+
+    /// Attach a live metrics [`Registry`]: every layer maintains its
+    /// `supmr.*` families there while the job runs, and the final
+    /// snapshot comes back in
+    /// [`JobReport::metrics`](super::JobReport::metrics).
+    pub fn metrics(mut self, registry: Registry) -> Self {
+        self.config.metrics = Some(registry);
+        self
+    }
+
+    /// Serve a `/metrics` OpenMetrics scrape endpoint at `addr` (e.g.
+    /// `"127.0.0.1:9400"`) for the duration of the job. Creates a
+    /// registry if [`metrics`](Job::metrics) was not called.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.metrics_addr = Some(addr.into());
         self
     }
 

@@ -1,0 +1,137 @@
+//! Live metric families the runtimes maintain while a job executes.
+//!
+//! [`JobMetrics`] bundles every `supmr.*` handle the hot path touches:
+//! map task latency and wave occupancy, chunk ingest bytes/latency,
+//! reduce partition latency, merge round/key accounting, and the
+//! pipeline stall totals. Handles are registered once per job against
+//! the [`Registry`] in [`JobConfig::metrics`](super::JobConfig::metrics)
+//! and then only touch their own sharded atomics, so recording from a
+//! map task costs a few relaxed atomic adds — cheap enough to leave on
+//! under load, unlike the post-hoc `collectl` numbers the paper reads
+//! after a 155GB run finishes.
+//!
+//! Families that differ between the two runtimes carry a
+//! `runtime="original"|"pipeline"` label, mirroring how the paper's
+//! Table II compares the same workload across runtimes.
+
+use std::sync::Arc;
+use std::time::Duration;
+use supmr_metrics::{Counter, Gauge, Histogram, Registry};
+
+/// Per-job handles into the `supmr.*` metric families.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// `supmr.map.task_us{runtime}` — per-map-task latency.
+    pub map_task_us: Histogram,
+    /// `supmr.map.in_flight` — map tasks currently executing (wave
+    /// occupancy as a live level; RAII-guarded, see
+    /// [`supmr_metrics::Gauge::track`]).
+    pub map_in_flight: Gauge,
+    /// `supmr.map.wave_tasks{runtime}` — tasks per map wave.
+    pub wave_tasks: Histogram,
+    /// `supmr.ingest.bytes{runtime}` — bytes read from primary storage.
+    pub ingest_bytes: Counter,
+    /// `supmr.ingest.chunk_us{runtime}` — per-chunk ingest latency.
+    pub ingest_chunk_us: Histogram,
+    /// `supmr.reduce.partition_us` — per-reduce-partition latency.
+    pub reduce_partition_us: Histogram,
+    /// `supmr.merge.rounds` — merge rounds executed.
+    pub merge_rounds: Counter,
+    /// `supmr.merge.keys_merged` — elements moved while merging.
+    pub merge_keys: Counter,
+    /// `supmr.merge.round_us` — per-merge-round latency.
+    pub merge_round_us: Histogram,
+    /// `supmr.stall.map_us` — time the map side waited on ingest.
+    pub stall_map_us: Counter,
+    /// `supmr.stall.ingest_us` — time the ingest side waited on maps.
+    pub stall_ingest_us: Counter,
+    /// `supmr.jobs_completed` — jobs finished successfully.
+    pub jobs_completed: Counter,
+}
+
+impl JobMetrics {
+    /// Register (or re-attach to) every family under `registry`, with
+    /// `runtime` as the label value for runtime-specific families.
+    pub fn register(registry: &Registry, runtime: &str) -> Arc<JobMetrics> {
+        let rt = &[("runtime", runtime)][..];
+        Arc::new(JobMetrics {
+            map_task_us: registry.histogram(
+                "supmr.map.task_us",
+                "Map task latency, microseconds.",
+                rt,
+            ),
+            map_in_flight: registry.gauge(
+                "supmr.map.in_flight",
+                "Map tasks currently executing (wave occupancy).",
+                &[],
+            ),
+            wave_tasks: registry.histogram(
+                "supmr.map.wave_tasks",
+                "Tasks dispatched per map wave.",
+                rt,
+            ),
+            ingest_bytes: registry.counter(
+                "supmr.ingest.bytes",
+                "Bytes read from primary storage into ingest chunks.",
+                rt,
+            ),
+            ingest_chunk_us: registry.histogram(
+                "supmr.ingest.chunk_us",
+                "Per-chunk ingest latency, microseconds.",
+                rt,
+            ),
+            reduce_partition_us: registry.histogram(
+                "supmr.reduce.partition_us",
+                "Reduce partition latency, microseconds.",
+                &[],
+            ),
+            merge_rounds: registry.counter(
+                "supmr.merge.rounds",
+                "Merge rounds executed across all jobs.",
+                &[],
+            ),
+            merge_keys: registry.counter(
+                "supmr.merge.keys_merged",
+                "Elements moved while merging (the re-scanning cost).",
+                &[],
+            ),
+            merge_round_us: registry.histogram(
+                "supmr.merge.round_us",
+                "Per-merge-round latency, microseconds.",
+                &[],
+            ),
+            stall_map_us: registry.counter(
+                "supmr.stall.map_us",
+                "Time the map side sat idle waiting for chunk ingest, microseconds.",
+                &[],
+            ),
+            stall_ingest_us: registry.counter(
+                "supmr.stall.ingest_us",
+                "Time the ingest side sat idle waiting for the mappers, microseconds.",
+                &[],
+            ),
+            jobs_completed: registry.counter(
+                "supmr.jobs_completed",
+                "Jobs that ran to completion.",
+                &[],
+            ),
+        })
+    }
+
+    /// Record one chunk's ingest (size and read latency).
+    pub fn record_ingest(&self, bytes: u64, took: Duration) {
+        self.ingest_bytes.add(bytes);
+        self.ingest_chunk_us.record_duration_us(took);
+    }
+
+    /// Record a pipeline round's stall split (at most one side is
+    /// non-zero per round).
+    pub fn record_stalls(&self, map_wait: Duration, ingest_wait: Duration) {
+        if !map_wait.is_zero() {
+            self.stall_map_us.add(map_wait.as_micros() as u64);
+        }
+        if !ingest_wait.is_zero() {
+            self.stall_ingest_us.add(ingest_wait.as_micros() as u64);
+        }
+    }
+}

@@ -11,16 +11,18 @@
 //! modifications.
 
 pub mod builder;
+pub mod metrics;
 pub mod original;
 pub mod pipeline;
 
 pub use builder::Job;
+pub use metrics::JobMetrics;
 
 use crate::api::{AccOf, MapReduce};
 use crate::chunk::{Chunking, IngestChunk};
 use crate::container::Container;
 use crate::error::{panic_payload_string, Result, SupmrError};
-use crate::pool::{Executor, PoolMode, WaveOutcome, WorkerPool};
+use crate::pool::{Executor, PoolMetrics, PoolMode, WaveOutcome, WorkerPool};
 use crate::split::chunk_splits;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,8 +31,8 @@ use std::time::{Duration, Instant};
 use supmr_merge::{pairwise_merge_rounds, parallel_kway_merge};
 use supmr_metrics::sampler::UtilizationSampler;
 use supmr_metrics::{
-    EventCallback, EventKind, JobTrace, Json, Phase, PhaseTimer, PhaseTimings, StallStats,
-    TraceLevel, Tracer, UtilTrace,
+    EventCallback, EventKind, JobTrace, Json, MetricsServer, MetricsSnapshot, Phase, PhaseTimer,
+    PhaseTimings, Registry, StallStats, TraceLevel, Tracer, UtilTrace,
 };
 use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes, SourceExt};
 
@@ -119,6 +121,15 @@ pub struct JobConfig {
     /// Callback invoked synchronously on every trace event (requires
     /// `trace` to be enabled).
     pub on_event: Option<EventCallback>,
+    /// Live metrics registry. When set, every layer (runtimes, pool,
+    /// merge) maintains its `supmr.*` families here while the job runs,
+    /// and [`JobReport::metrics`] carries a final snapshot.
+    pub metrics: Option<Registry>,
+    /// Serve a `/metrics` OpenMetrics scrape endpoint at this address
+    /// (e.g. `"127.0.0.1:9400"`; port 0 picks a free port) for the
+    /// duration of the job. Implies a registry: if [`JobConfig::metrics`]
+    /// is unset, one is created for the run.
+    pub metrics_addr: Option<String>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -135,6 +146,8 @@ impl std::fmt::Debug for JobConfig {
             .field("sample_utilization", &self.sample_utilization)
             .field("trace", &self.trace)
             .field("on_event", &self.on_event.as_ref().map(|_| "<callback>"))
+            .field("metrics", &self.metrics)
+            .field("metrics_addr", &self.metrics_addr)
             .finish()
     }
 }
@@ -154,6 +167,8 @@ impl Default for JobConfig {
             sample_utilization: None,
             trace: TraceLevel::Off,
             on_event: None,
+            metrics: None,
+            metrics_addr: None,
         }
     }
 }
@@ -285,6 +300,9 @@ pub struct JobReport {
     pub util: Option<UtilTrace>,
     /// Typed event trace, when tracing was enabled.
     pub trace: Option<JobTrace>,
+    /// Final snapshot of the live metrics registry, when one was
+    /// attached ([`JobConfig::metrics`] / [`JobConfig::metrics_addr`]).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl JobReport {
@@ -344,6 +362,7 @@ impl JobReport {
         ]);
         let util = match &self.util {
             Some(u) => Json::obj(vec![
+                ("available", Json::Bool(!u.is_unavailable())),
                 ("samples", Json::from(u.samples().len() as u64)),
                 ("duration_s", Json::Num(u.duration())),
             ]),
@@ -356,6 +375,10 @@ impl JobReport {
             ]),
             None => Json::Null,
         };
+        let metrics = match &self.metrics {
+            Some(m) => m.to_json(),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("schema", Json::str("supmr.job_report.v1")),
             ("timings", timings),
@@ -363,6 +386,7 @@ impl JobReport {
             ("stalls", stalls),
             ("util", util),
             ("trace", trace),
+            ("metrics", metrics),
         ])
     }
 
@@ -407,14 +431,29 @@ impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
 pub fn run_job<J: MapReduce>(
     job: J,
     input: Input,
-    config: JobConfig,
+    mut config: JobConfig,
 ) -> Result<JobResult<J::Key, J::Output>> {
     config.validate()?;
+    // A scrape endpoint implies a registry for it to expose.
+    if config.metrics_addr.is_some() && config.metrics.is_none() {
+        config.metrics = Some(Registry::new());
+    }
+    let registry = config.metrics.clone();
+    let server = match (&config.metrics_addr, &registry) {
+        (Some(addr), Some(r)) => Some(MetricsServer::serve(addr, r.clone()).map_err(|e| {
+            SupmrError::invalid_config(format!("cannot serve metrics on {addr}: {e}"))
+        })?),
+        _ => None,
+    };
     let tracer = Tracer::new(config.trace, config.on_event.clone());
     let sampler = config.sample_utilization.map(UtilizationSampler::start);
     let job = Arc::new(job);
     let pool = (config.pool == PoolMode::Persistent).then(|| {
-        WorkerPool::new_traced(config.map_workers.max(config.reduce_workers), tracer.clone())
+        WorkerPool::new_instrumented(
+            config.map_workers.max(config.reduce_workers),
+            tracer.clone(),
+            registry.as_ref().map(PoolMetrics::register),
+        )
     });
     let exec = match &pool {
         Some(p) => Executor::Pool(p),
@@ -439,6 +478,12 @@ pub fn run_job<J: MapReduce>(
     }
     if tracer.level().enabled() {
         result.report.trace = Some(tracer.finish());
+    }
+    if let Some(r) = &registry {
+        result.report.metrics = Some(r.snapshot());
+    }
+    if let Some(s) = server {
+        s.shutdown();
     }
     Ok(result)
 }
@@ -486,6 +531,7 @@ pub(crate) fn ingest_entire(input: Input) -> io::Result<IngestChunk> {
 /// Tasks get `'static` clones of the job, container, and chunk buffer —
 /// all `Arc`-backed, so no chunk bytes are copied — which lets the same
 /// closure run on scoped wave threads or long-lived pool threads.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 pub(crate) fn map_wave<J: MapReduce>(
     job: &Arc<J>,
     container: &Arc<J::Container>,
@@ -493,21 +539,32 @@ pub(crate) fn map_wave<J: MapReduce>(
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
+    metrics: Option<&Arc<JobMetrics>>,
     round: u32,
 ) -> WaveOutcome {
     let splits = chunk_splits(chunk, config.split_bytes, config.record_format);
     tracer.emit(EventKind::MapWaveStart { round, tasks: splits.len() as u64 });
+    if let Some(m) = metrics {
+        m.wave_tasks.record(splits.len() as u64);
+    }
     let job = Arc::clone(job);
     let container = Arc::clone(container);
     let data = chunk.data.clone();
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
+    let task_metrics = metrics.cloned();
     let outcome = exec.run(config.map_workers, splits, move |idx, range| {
         if let Some(t) = &task_tracer {
             t.emit(EventKind::MapTaskStart { round, task: idx as u64, bytes: range.len() as u64 });
         }
+        // RAII occupancy guard + latency sample: both survive a
+        // panicking `map` (the guard restores the gauge on unwind).
+        let started = task_metrics.as_ref().map(|m| (m.map_in_flight.track(1), Instant::now()));
         let mut local = container.local();
         job.map(&data[range], &mut local);
         container.absorb(local);
+        if let (Some(m), Some((_guard, t0))) = (&task_metrics, started) {
+            m.map_task_us.record_duration_us(t0.elapsed());
+        }
         if let Some(t) = &task_tracer {
             t.emit(EventKind::MapTaskEnd { round, task: idx as u64 });
         }
@@ -517,12 +574,14 @@ pub(crate) fn map_wave<J: MapReduce>(
 }
 
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 pub(crate) fn finish_job<J: MapReduce>(
     job: &Arc<J>,
     container: Arc<J::Container>,
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
+    metrics: Option<&Arc<JobMetrics>>,
     mut timer: PhaseTimer,
     mut stats: JobStats,
 ) -> JobResult<J::Key, J::Output> {
@@ -540,6 +599,7 @@ pub(crate) fn finish_job<J: MapReduce>(
     tracer.emit(EventKind::ReduceWaveStart { partitions: partitions.len() as u64 });
     let reduce_job = Arc::clone(job);
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
+    let task_metrics = metrics.cloned();
     let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
         partitions,
@@ -547,6 +607,7 @@ pub(crate) fn finish_job<J: MapReduce>(
             if let Some(t) = &task_tracer {
                 t.emit(EventKind::ReducePartitionStart { partition: idx as u64 });
             }
+            let t0 = task_metrics.as_ref().map(|_| Instant::now());
             let out = part
                 .into_iter()
                 .map(|(k, acc)| {
@@ -554,6 +615,9 @@ pub(crate) fn finish_job<J: MapReduce>(
                     (k, out)
                 })
                 .collect::<Vec<(J::Key, J::Output)>>();
+            if let (Some(m), Some(t0)) = (&task_metrics, t0) {
+                m.reduce_partition_us.record_duration_us(t0.elapsed());
+            }
             if let Some(t) = &task_tracer {
                 t.emit(EventKind::ReducePartitionEnd { partition: idx as u64 });
             }
@@ -566,13 +630,22 @@ pub(crate) fn finish_job<J: MapReduce>(
     stats.add_wave(outcome);
 
     timer.begin(Phase::Merge);
-    let pairs = merge_phase::<J>(reduced, config, exec, tracer, &mut stats);
+    let pairs = merge_phase::<J>(reduced, config, exec, tracer, metrics, &mut stats);
     timer.end(Phase::Merge);
     stats.output_pairs = pairs.len() as u64;
 
+    if let Some(m) = metrics {
+        m.jobs_completed.inc();
+    }
     JobResult {
         pairs,
-        report: JobReport { timings: timer.finish(), stats, util: None, trace: None },
+        report: JobReport {
+            timings: timer.finish(),
+            stats,
+            util: None,
+            trace: None,
+            metrics: None,
+        },
     }
 }
 
@@ -604,6 +677,7 @@ fn merge_phase<J: MapReduce>(
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
+    metrics: Option<&Arc<JobMetrics>>,
     stats: &mut JobStats,
 ) -> Vec<(J::Key, J::Output)> {
     if matches!(config.merge, MergeMode::Unsorted) {
@@ -635,6 +709,13 @@ fn merge_phase<J: MapReduce>(
                 t += dur;
                 tracer.emit_at(t, EventKind::MergeRoundEnd { round: round as u32 });
             }
+            if let Some(m) = metrics {
+                for (&dur, &keys) in pw.round_times.iter().zip(&pw.round_keys) {
+                    m.merge_round_us.record_duration_us(dur);
+                    m.merge_keys.add(keys);
+                }
+                m.merge_rounds.add(u64::from(pw.rounds));
+            }
             stats.merge_rounds = pw.rounds;
             stats.merge_elements_moved = pw.elements_moved;
             merged
@@ -646,6 +727,11 @@ fn merge_phase<J: MapReduce>(
             tracer.emit(EventKind::MergeRoundEnd { round: 0 });
             stats.merge_rounds = u32::from(kw.partitions >= 1 && !merged.is_empty());
             stats.merge_elements_moved = kw.elements_moved;
+            if let Some(m) = metrics {
+                m.merge_round_us.record_duration_us(merge_start.elapsed());
+                m.merge_rounds.add(u64::from(stats.merge_rounds));
+                m.merge_keys.add(kw.elements_moved);
+            }
             merged
         }
     };

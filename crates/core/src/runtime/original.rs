@@ -6,11 +6,14 @@
 //! then launches one wave of mapper threads over the input splits, then
 //! reduces and merges.
 
-use super::{finish_job, ingest_entire, map_wave, Input, JobConfig, JobResult, JobStats};
+use super::{
+    finish_job, ingest_entire, map_wave, Input, JobConfig, JobMetrics, JobResult, JobStats,
+};
 use crate::api::MapReduce;
 use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
 use std::sync::Arc;
+use std::time::Instant;
 use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
 
 /// Execute `job` on the original runtime.
@@ -23,23 +26,28 @@ pub fn run<J: MapReduce>(
 ) -> Result<JobResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     let mut stats = JobStats::default();
+    let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "original"));
     let container = Arc::new(job.make_container());
 
     timer.begin(Phase::Ingest);
     tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });
+    let ingest0 = Instant::now();
     let chunk = ingest_entire(input).map_err(|source| SupmrError::ingest(0, source))?;
     tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: chunk.len() as u64 });
+    if let Some(m) = &metrics {
+        m.record_ingest(chunk.len() as u64, ingest0.elapsed());
+    }
     timer.end(Phase::Ingest);
     stats.bytes_ingested = chunk.len() as u64;
     stats.ingest_chunks = 1;
 
     timer.begin(Phase::Map);
-    let outcome = map_wave(job, &container, &chunk, config, exec, tracer, 0);
+    let outcome = map_wave(job, &container, &chunk, config, exec, tracer, metrics.as_ref(), 0);
     timer.end(Phase::Map);
     stats.map_rounds = 1;
     stats.map_tasks = outcome.tasks;
     stats.add_wave(outcome);
     drop(chunk); // input buffer freed before reduce, as in Phoenix++
 
-    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
 }

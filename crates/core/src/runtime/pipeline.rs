@@ -42,7 +42,7 @@
 //!   the stalls are measured at the buffer boundary: map-side time
 //!   blocked in `recv` and ingest-side time blocked in `send`.
 
-use super::{finish_job, map_wave, Input, JobConfig, JobResult, JobStats};
+use super::{finish_job, map_wave, Input, JobConfig, JobMetrics, JobResult, JobStats};
 use crate::api::MapReduce;
 use crate::chunk::{
     AdaptiveChunker, Chunker, Chunking, HybridChunker, IngestChunk, InterFileChunker,
@@ -121,6 +121,7 @@ fn run_double_buffered<J: MapReduce>(
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
+    let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     // Created once, persists across all map rounds.
     let container = Arc::new(job.make_container());
 
@@ -131,6 +132,9 @@ fn run_double_buffered<J: MapReduce>(
     if let Some(chunk) = &current {
         tracer.emit_at(ingest0, EventKind::ChunkIngestStart { chunk: 0 });
         tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: chunk.len() as u64 });
+        if let Some(m) = &metrics {
+            m.record_ingest(chunk.len() as u64, ingest0.elapsed());
+        }
     }
     timer.end(Phase::Ingest);
 
@@ -146,6 +150,7 @@ fn run_double_buffered<J: MapReduce>(
         // "create thread to ingest next chunk / run mappers on previous
         // chunk / destroy thread" — the scope is the create/destroy.
         let ingest_tracer = tracer.clone();
+        let ingest_metrics = metrics.clone();
         let chunker_ref = &mut chunker;
         let (probe, map_time, map_done) = std::thread::scope(|scope| {
             let ingest = std::thread::Builder::new()
@@ -161,12 +166,16 @@ fn run_double_buffered<J: MapReduce>(
                             chunk: next_index,
                             bytes: c.len() as u64,
                         });
+                        if let Some(m) = &ingest_metrics {
+                            m.record_ingest(c.len() as u64, took);
+                        }
                     }
                     IngestProbe { next, took, done: Instant::now() }
                 })
                 .expect("spawning the round's ingest thread");
             let t0 = Instant::now();
-            let outcome = map_wave(job, &container, &chunk, config, exec, tracer, round);
+            let outcome =
+                map_wave(job, &container, &chunk, config, exec, tracer, metrics.as_ref(), round);
             let map_time = t0.elapsed();
             let map_done = Instant::now();
             stats.map_tasks += outcome.tasks;
@@ -186,6 +195,9 @@ fn run_double_buffered<J: MapReduce>(
             let ingest_wait = map_done.saturating_duration_since(probe.done);
             stats.map_waiting += map_wait;
             stats.ingest_waiting += ingest_wait;
+            if let Some(m) = &metrics {
+                m.record_stalls(map_wait, ingest_wait);
+            }
             if !map_wait.is_zero() {
                 tracer.emit(EventKind::MapWaitingForChunk {
                     round,
@@ -212,7 +224,7 @@ fn run_double_buffered<J: MapReduce>(
         round += 1;
     }
 
-    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
 }
 
 /// N-buffered variant: a single long-lived ingest thread streams chunks
@@ -230,6 +242,7 @@ fn run_buffered<J: MapReduce>(
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
+    let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     let container = Arc::new(job.make_container());
 
     timer.begin(Phase::Ingest);
@@ -238,6 +251,7 @@ fn run_buffered<J: MapReduce>(
     let ingest_result: Result<Duration> = std::thread::scope(|scope| {
         let (tx, rx) = crossbeam_channel::bounded::<IngestChunk>(config.prefetch_depth);
         let producer_tracer = tracer.clone();
+        let producer_metrics = metrics.clone();
         let producer = std::thread::Builder::new()
             .name("supmr-ingest".to_string())
             .spawn_scoped(scope, move || -> (Result<()>, Duration) {
@@ -253,6 +267,9 @@ fn run_buffered<J: MapReduce>(
                                 chunk: index,
                                 bytes: chunk.len() as u64,
                             });
+                            if let Some(m) = &producer_metrics {
+                                m.record_ingest(chunk.len() as u64, t0.elapsed());
+                            }
                             let s0 = Instant::now();
                             if tx.send(chunk).is_err() {
                                 break (Ok(()), waited); // consumer went away
@@ -266,6 +283,9 @@ fn run_buffered<J: MapReduce>(
                                     chunk: index,
                                     wait_us: wait.as_micros() as u64,
                                 });
+                                if let Some(m) = &producer_metrics {
+                                    m.record_stalls(Duration::ZERO, wait);
+                                }
                             }
                             index += 1;
                         }
@@ -289,11 +309,15 @@ fn run_buffered<J: MapReduce>(
                     round: round - 1,
                     wait_us: wait.as_micros() as u64,
                 });
+                if let Some(m) = &metrics {
+                    m.record_stalls(wait, Duration::ZERO);
+                }
             }
             stats.ingest_chunks += 1;
             stats.bytes_ingested += chunk.len() as u64;
             stats.map_rounds += 1;
-            let outcome = map_wave(job, &container, &chunk, config, exec, tracer, round);
+            let outcome =
+                map_wave(job, &container, &chunk, config, exec, tracer, metrics.as_ref(), round);
             stats.map_tasks += outcome.tasks;
             stats.add_wave(outcome);
             round += 1;
@@ -307,7 +331,7 @@ fn run_buffered<J: MapReduce>(
     timer.end(Phase::Map);
     timer.end(Phase::Ingest);
 
-    Ok(finish_job(job, container, config, exec, tracer, timer, stats))
+    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
 }
 
 #[cfg(test)]

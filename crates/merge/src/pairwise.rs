@@ -32,6 +32,11 @@ pub struct PairwiseStats {
     /// the runtime turns these into retroactive `MergeRound` trace
     /// spans.
     pub round_times: Vec<Duration>,
+    /// Elements written by each round, parallel to `round_times` (sums
+    /// to `elements_moved`). The runtime pairs these with the per-round
+    /// durations when feeding `supmr.merge.*` registry families, so a
+    /// scrape shows which round moved how many keys and how slowly.
+    pub round_keys: Vec<u64>,
 }
 
 /// Merge two sorted runs, counting comparisons. Stable: ties come from
@@ -106,13 +111,16 @@ where
         };
 
         runs = Vec::with_capacity(merged.len());
+        let mut round_keys = 0u64;
         for (r, c, was_merged) in merged {
             stats.comparisons += c;
             if was_merged {
-                stats.elements_moved += r.len() as u64;
+                round_keys += r.len() as u64;
             }
             runs.push(r);
         }
+        stats.elements_moved += round_keys;
+        stats.round_keys.push(round_keys);
         stats.round_times.push(round_start.elapsed());
     }
     (runs.pop().unwrap_or_default(), stats)
@@ -154,6 +162,16 @@ mod tests {
         let (_, stats) = pairwise_merge_rounds(runs, false);
         assert_eq!(stats.wave_widths, vec![8, 4, 2, 1]);
         assert_eq!(stats.round_times.len(), stats.wave_widths.len());
+        assert_eq!(stats.round_keys, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn round_keys_sum_to_elements_moved() {
+        // 5 runs: the odd run carried over unmerged must not count.
+        let runs: Vec<Vec<u64>> = (0..5).map(|i| vec![i as u64, i as u64 + 10]).collect();
+        let (_, stats) = pairwise_merge_rounds(runs, false);
+        assert_eq!(stats.round_keys.len(), stats.rounds as usize);
+        assert_eq!(stats.round_keys.iter().sum::<u64>(), stats.elements_moved);
     }
 
     #[test]

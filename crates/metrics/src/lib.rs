@@ -22,13 +22,22 @@
 //! ([`ascii::render_timeline`]), all built on a dependency-free JSON
 //! value model ([`json`]).
 
+//! A fourth concern arrived with the live-metrics layer: a
+//! dependency-free, lock-cheap [`registry`] of sharded counters, gauges,
+//! and HDR-style log-bucketed histograms, exposed as OpenMetrics text
+//! ([`openmetrics`]) over an std-only scrape endpoint ([`server`]) and
+//! folded into `JobReport` JSON as percentile summaries.
+
 pub mod ascii;
 pub mod chrome;
 pub mod csv;
 pub mod events;
 pub mod json;
+pub mod openmetrics;
 pub mod phase;
+pub mod registry;
 pub mod sampler;
+pub mod server;
 pub mod stats;
 pub mod stopwatch;
 pub mod svg;
@@ -40,6 +49,11 @@ pub use events::{
 };
 pub use json::Json;
 pub use phase::{Phase, PhaseTimer, PhaseTimings};
+pub use registry::{
+    Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot, MetricEntry, MetricKind, MetricValue,
+    MetricsSnapshot, Registry,
+};
+pub use server::MetricsServer;
 pub use stats::Summary;
 pub use stopwatch::Stopwatch;
 pub use trace::{UtilSample, UtilTrace};

@@ -1,0 +1,148 @@
+//! OpenMetrics / Prometheus text exposition for [`crate::registry`].
+//!
+//! Renders a [`MetricsSnapshot`] in the OpenMetrics text format: for each
+//! family a `# HELP` and `# TYPE` comment, then one sample line per
+//! series. Counters get the mandatory `_total` suffix; histograms expose
+//! cumulative `_bucket{le="..."}` samples at power-of-two boundaries
+//! (derived from [`HistogramSnapshot::cumulative_pow2`]) plus `_sum` and
+//! `_count`. The exposition ends with `# EOF` as the spec requires.
+//!
+//! Dotted family names (`supmr.map.task_us`) are sanitized to the
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` metric-name alphabet by mapping every
+//! invalid byte to `_`. Label values are escaped per the spec
+//! (`\\`, `\"`, `\n`).
+//!
+//! [`MetricsSnapshot`]: crate::registry::MetricsSnapshot
+//! [`HistogramSnapshot::cumulative_pow2`]: crate::registry::HistogramSnapshot::cumulative_pow2
+
+use crate::registry::{MetricEntry, MetricValue, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Sanitize a dotted metric name into the Prometheus name alphabet.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escape a label value per the exposition format.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+}
+
+fn render_entry(out: &mut String, name: &str, e: &MetricEntry) {
+    match &e.value {
+        MetricValue::Counter(v) => {
+            let _ = write!(out, "{name}_total");
+            render_labels(out, &e.labels, None);
+            let _ = writeln!(out, " {v}");
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str(name);
+            render_labels(out, &e.labels, None);
+            let _ = writeln!(out, " {v}");
+        }
+        MetricValue::Histogram(h) => {
+            for (bound, cum) in h.cumulative_pow2() {
+                let _ = write!(out, "{name}_bucket");
+                render_labels(out, &e.labels, Some(("le", &bound.to_string())));
+                let _ = writeln!(out, " {cum}");
+            }
+            let _ = write!(out, "{name}_bucket");
+            render_labels(out, &e.labels, Some(("le", "+Inf")));
+            let _ = writeln!(out, " {}", h.count);
+            let _ = write!(out, "{name}_sum");
+            render_labels(out, &e.labels, None);
+            let _ = writeln!(out, " {}", h.sum);
+            let _ = write!(out, "{name}_count");
+            render_labels(out, &e.labels, None);
+            let _ = writeln!(out, " {}", h.count);
+        }
+    }
+}
+
+/// Render a snapshot as OpenMetrics text. Families appear in
+/// registration order; each is announced once with `# HELP`/`# TYPE`
+/// even when several label sets share the name.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut announced: Option<&str> = None;
+    for e in &snapshot.entries {
+        let name = sanitize_name(&e.name);
+        if announced != Some(e.name.as_str()) {
+            if !e.help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {}", e.help.replace('\n', " "));
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", e.kind.as_str());
+            announced = Some(e.name.as_str());
+        }
+        render_entry(&mut out, &name, e);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("supmr.map.task_us"), "supmr_map_task_us");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counter_gets_total_suffix() {
+        let r = Registry::new();
+        r.counter("supmr.ingest.bytes", "Bytes read.", &[("runtime", "pipeline")]).add(42);
+        let text = r.render_openmetrics();
+        assert!(text.contains("# HELP supmr_ingest_bytes Bytes read."), "{text}");
+        assert!(text.contains("# TYPE supmr_ingest_bytes counter"), "{text}");
+        assert!(text.contains("supmr_ingest_bytes_total{runtime=\"pipeline\"} 42"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+}

@@ -3,7 +3,9 @@
 //! Reads `/proc/stat` on a fixed interval from a background thread and
 //! produces a [`UtilTrace`] with user/sys/iowait percentages, exactly the
 //! series the paper's figures plot. On platforms without `/proc` the
-//! sampler degrades to an empty trace rather than failing the run.
+//! sampler degrades to an explicit [`UtilTrace::unavailable`] marker
+//! rather than failing the run — or silently yielding an empty trace
+//! that is indistinguishable from "the job finished between samples".
 
 use crate::trace::{UtilSample, UtilTrace};
 use parking_lot::Mutex;
@@ -72,6 +74,7 @@ fn read_cpu_times() -> Option<CpuTimes> {
 pub struct UtilizationSampler {
     stop_flag: Arc<AtomicBool>,
     shared: Arc<Mutex<UtilTrace>>,
+    source_seen: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -82,16 +85,24 @@ impl UtilizationSampler {
     pub fn start(interval: Duration) -> UtilizationSampler {
         let stop_flag = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Mutex::new(UtilTrace::new()));
+        let source_seen = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop_flag);
         let trace = Arc::clone(&shared);
+        let seen = Arc::clone(&source_seen);
         let handle = std::thread::Builder::new()
             .name("util-sampler".into())
             .spawn(move || {
                 let t0 = Instant::now();
                 let mut prev = read_cpu_times();
+                if prev.is_some() {
+                    seen.store(true, Ordering::Relaxed);
+                }
                 while !flag.load(Ordering::Relaxed) {
                     std::thread::sleep(interval);
                     let now = read_cpu_times();
+                    if now.is_some() {
+                        seen.store(true, Ordering::Relaxed);
+                    }
                     if let (Some(p), Some(n)) = (prev, now) {
                         let (user, sys, iowait) = p.delta_percent(&n);
                         trace.lock().push(UtilSample {
@@ -105,14 +116,19 @@ impl UtilizationSampler {
                 }
             })
             .expect("spawn sampler thread");
-        UtilizationSampler { stop_flag, shared, handle: Some(handle) }
+        UtilizationSampler { stop_flag, shared, source_seen, handle: Some(handle) }
     }
 
-    /// Stop sampling and return the collected trace.
+    /// Stop sampling and return the collected trace. If `/proc/stat` was
+    /// never readable, the result is the explicit
+    /// [`UtilTrace::unavailable`] marker rather than an empty trace.
     pub fn stop(mut self) -> UtilTrace {
         self.stop_flag.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+        }
+        if !self.source_seen.load(Ordering::Relaxed) {
+            return UtilTrace::unavailable();
         }
         std::mem::take(&mut *self.shared.lock())
     }
@@ -190,10 +206,21 @@ ctxt 6789
         std::hint::black_box(x);
         let trace = sampler.stop();
         if std::path::Path::new("/proc/stat").exists() {
+            assert!(!trace.is_unavailable(), "source exists, trace must not be marked");
             assert!(!trace.samples().is_empty(), "expected samples on Linux");
             for s in trace.samples() {
                 assert!(s.total() <= 100.0 + 1e-6);
             }
+        } else {
+            assert!(trace.is_unavailable(), "no /proc/stat must yield the explicit marker");
         }
+    }
+
+    #[test]
+    fn unavailable_marker_is_distinct_from_empty() {
+        assert!(UtilTrace::unavailable().is_unavailable());
+        assert!(!UtilTrace::new().is_unavailable());
+        assert_ne!(UtilTrace::unavailable(), UtilTrace::new());
+        assert_eq!(UtilTrace::unavailable().samples().len(), 0);
     }
 }

@@ -1,0 +1,161 @@
+//! A std-only `/metrics` scrape endpoint for [`crate::registry`].
+//!
+//! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] and answers
+//! `GET /metrics` with the live OpenMetrics exposition of a
+//! [`Registry`] — enough HTTP for `curl` and a Prometheus scraper, with
+//! no framework dependency. The accept loop runs on one background
+//! thread; each request is read with a short timeout and answered from a
+//! fresh [`Registry::snapshot`], so scrapes observe the job mid-flight.
+//! Dropping the server (or calling [`MetricsServer::shutdown`]) stops
+//! the thread by poking the listener with a loopback connection.
+
+use crate::registry::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The exposition content type OpenMetrics scrapers negotiate.
+pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// A running scrape endpoint. Stops when dropped.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9400`; port 0 picks a free port) and
+    /// serve `registry` until shutdown.
+    pub fn serve(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-server".into())
+            .spawn(move || accept_loop(listener, registry, flag))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address — useful when serving on port 0.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Serve inline: scrapes are tiny and rare relative to the work
+        // the job is doing, so a per-connection thread buys nothing.
+        let _ = handle_connection(stream, &registry);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = read_request_path(&mut stream)?;
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/metrics") | Some("/") => ("200 OK", CONTENT_TYPE, registry.render_openmetrics()),
+        Some(_) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read up to the end of the request line and return its path, tolerant
+/// of clients that send the full header block in one segment.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = [0u8; 1024];
+    let mut line = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        line.extend_from_slice(&buf[..n]);
+        if line.contains(&b'\n') || line.len() > 8 * 1024 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&line);
+    let request_line = text.lines().next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write request");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read response");
+        out
+    }
+
+    #[test]
+    fn serves_openmetrics_and_404s_elsewhere() {
+        let registry = Registry::new();
+        registry.counter("supmr.test.hits", "Scrape test counter.", &[]).add(3);
+        registry.histogram("supmr.test.lat_us", "", &[]).record(50);
+        let server = MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind");
+        let addr = server.addr();
+
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("application/openmetrics-text"), "{ok}");
+        assert!(ok.contains("supmr_test_hits_total 3"), "{ok}");
+        assert!(ok.contains("supmr_test_lat_us_bucket"), "{ok}");
+        assert!(ok.contains("# EOF"), "{ok}");
+
+        // A second scrape observes updated values from the same cells.
+        registry.counter("supmr.test.hits", "", &[]).add(2);
+        assert!(get(addr, "/metrics").contains("supmr_test_hits_total 5"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+    }
+}

@@ -50,12 +50,26 @@ pub struct Mark {
 pub struct UtilTrace {
     samples: Vec<UtilSample>,
     marks: Vec<Mark>,
+    unavailable: bool,
 }
 
 impl UtilTrace {
     /// Empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An explicit "no utilization source" marker: the sampler ran but
+    /// `/proc/stat` was unreachable (non-Linux hosts, restricted
+    /// sandboxes). Distinguishable from a legitimately empty trace so
+    /// `JobReport` JSON can say *why* the series is missing.
+    pub fn unavailable() -> Self {
+        UtilTrace { samples: Vec::new(), marks: Vec::new(), unavailable: true }
+    }
+
+    /// True if this trace is the [`UtilTrace::unavailable`] marker.
+    pub fn is_unavailable(&self) -> bool {
+        self.unavailable
     }
 
     /// Build from raw samples (must be in nondecreasing time order).
@@ -66,7 +80,7 @@ impl UtilTrace {
         for w in samples.windows(2) {
             assert!(w[0].t <= w[1].t, "trace samples out of order: {} then {}", w[0].t, w[1].t);
         }
-        UtilTrace { samples, marks: Vec::new() }
+        UtilTrace { samples, marks: Vec::new(), unavailable: false }
     }
 
     /// Append a sample; time must not decrease.
@@ -153,7 +167,7 @@ impl UtilTrace {
             out.push(UtilSample { t, ..s });
             t += step;
         }
-        UtilTrace { samples: out, marks: self.marks.clone() }
+        UtilTrace { samples: out, marks: self.marks.clone(), unavailable: self.unavailable }
     }
 
     /// Render as CSV with header `t,user,sys,iowait,total`.

@@ -1,0 +1,101 @@
+//! Property tests for histogram snapshots (proptest).
+//!
+//! Two invariants the registry's correctness rests on:
+//!
+//! 1. **Merging is exact**: combining per-shard / per-run snapshots
+//!    loses no observations — total count and sum are preserved, and
+//!    the merged distribution answers quantiles as if every value had
+//!    been recorded into one histogram.
+//! 2. **Quantiles are error-bounded**: any reported quantile is ≥ the
+//!    true order statistic and within the bucket layout's relative
+//!    error (1/32 above the linear range, exact below it).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use supmr_metrics::{Histogram, HistogramSnapshot};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true (exact) quantile: the smallest value with rank ≥ ⌈q·n⌉.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Allowed overshoot for a reported quantile: exact below the linear
+/// range, 1/32 relative above it (plus 1 for bound rounding).
+fn error_bound(truth: u64) -> u64 {
+    if truth < 32 {
+        truth
+    } else {
+        truth + truth / 32 + 1
+    }
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes: sub-linear-range, mid, and large values, so both
+    // the exact and the log-bucketed paths are exercised.
+    vec(prop_oneof![0u64..32, 32u64..4096, 4096u64..10_000_000, Just(u64::MAX >> 20)], 1..200)
+}
+
+proptest! {
+    #[test]
+    fn merged_snapshots_preserve_count_sum_and_max(
+        a in values_strategy(),
+        b in values_strategy(),
+        c in values_strategy(),
+    ) {
+        let mut merged = HistogramSnapshot::empty();
+        for part in [&a, &b, &c] {
+            merged.merge(&snapshot_of(part));
+        }
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let whole = snapshot_of(&all);
+        prop_assert_eq!(merged.count, whole.count);
+        prop_assert_eq!(merged.sum, whole.sum);
+        prop_assert_eq!(merged.max, whole.max);
+        // Bucket-wise equality: merging is lossless, so the merged
+        // snapshot IS the whole-distribution snapshot.
+        prop_assert_eq!(&merged, &whole);
+    }
+
+    #[test]
+    fn merged_quantiles_stay_error_bounded(
+        a in values_strategy(),
+        b in values_strategy(),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut all: Vec<u64> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        let truth = exact_quantile(&all, q);
+        let est = merged.quantile(q);
+        prop_assert!(est >= truth, "quantile underestimates: est {est} < true {truth}");
+        prop_assert!(
+            est <= error_bound(truth),
+            "quantile overshoots: est {est}, true {truth}, bound {}",
+            error_bound(truth)
+        );
+    }
+
+    #[test]
+    fn single_histogram_quantiles_stay_error_bounded(
+        values in values_strategy(),
+        q in 0.0f64..=1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let truth = exact_quantile(&sorted, q);
+        let est = snap.quantile(q);
+        prop_assert!(est >= truth, "est {est} < true {truth}");
+        prop_assert!(est <= error_bound(truth), "est {est}, true {truth}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Golden and structural tests for the OpenMetrics text exposition.
+//!
+//! The golden test pins the exact byte output for a deterministic
+//! registry — a scraping stack is a parser pipeline, so the format is
+//! API. The structural tests re-parse rendered histograms and check the
+//! spec invariants a pinned string cannot: cumulative buckets are
+//! monotone and close at `_count`, and `_sum`/`_count` agree with the
+//! recorded data.
+
+use supmr_metrics::Registry;
+
+fn deterministic_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("supmr.ingest.bytes", "Bytes ingested.", &[("runtime", "pipeline")]).add(4096);
+    r.counter("supmr.ingest.bytes", "Bytes ingested.", &[("runtime", "original")]).add(512);
+    r.gauge("supmr.pool.queue_depth", "Tasks enqueued, not yet started.", &[]).set(3);
+    let h = r.histogram("supmr.map.task_us", "Map task latency.", &[]);
+    for v in [1u64, 2, 3, 100, 1000] {
+        h.record(v);
+    }
+    r
+}
+
+#[test]
+fn golden_exposition() {
+    let text = deterministic_registry().render_openmetrics();
+    let expected = "\
+# HELP supmr_ingest_bytes Bytes ingested.
+# TYPE supmr_ingest_bytes counter
+supmr_ingest_bytes_total{runtime=\"pipeline\"} 4096
+supmr_ingest_bytes_total{runtime=\"original\"} 512
+# HELP supmr_pool_queue_depth Tasks enqueued, not yet started.
+# TYPE supmr_pool_queue_depth gauge
+supmr_pool_queue_depth 3
+# HELP supmr_map_task_us Map task latency.
+# TYPE supmr_map_task_us histogram
+supmr_map_task_us_bucket{le=\"1\"} 1
+supmr_map_task_us_bucket{le=\"2\"} 2
+supmr_map_task_us_bucket{le=\"4\"} 3
+supmr_map_task_us_bucket{le=\"8\"} 3
+supmr_map_task_us_bucket{le=\"16\"} 3
+supmr_map_task_us_bucket{le=\"32\"} 3
+supmr_map_task_us_bucket{le=\"64\"} 3
+supmr_map_task_us_bucket{le=\"128\"} 4
+supmr_map_task_us_bucket{le=\"256\"} 4
+supmr_map_task_us_bucket{le=\"512\"} 4
+supmr_map_task_us_bucket{le=\"1024\"} 5
+supmr_map_task_us_bucket{le=\"+Inf\"} 5
+supmr_map_task_us_sum 1106
+supmr_map_task_us_count 5
+# EOF
+";
+    assert_eq!(text, expected, "exposition drifted:\n{text}");
+}
+
+#[test]
+fn label_values_are_escaped_in_exposition() {
+    let r = Registry::new();
+    r.counter("supmr.test", "", &[("path", "a\\b\"c\nd")]).inc();
+    let text = r.render_openmetrics();
+    assert!(text.contains(r#"supmr_test_total{path="a\\b\"c\nd"} 1"#), "{text}");
+}
+
+/// Pull every `<family>_bucket{...le="..."}` sample out of an exposition.
+fn bucket_samples(text: &str, family: &str) -> Vec<(String, u64)> {
+    let prefix = format!("{family}_bucket{{");
+    text.lines()
+        .filter(|l| l.starts_with(&prefix))
+        .map(|l| {
+            let le_start = l.find("le=\"").expect("le label") + 4;
+            let le_end = le_start + l[le_start..].find('"').expect("closing quote");
+            let value = l.rsplit(' ').next().expect("sample value");
+            (l[le_start..le_end].to_string(), value.parse().expect("integer sample"))
+        })
+        .collect()
+}
+
+fn sample_value(text: &str, series: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(series) && !l.starts_with(&format!("{series}_")))
+        .unwrap_or_else(|| panic!("series {series} present"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("integer sample")
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_monotone_and_close_at_count() {
+    let r = Registry::new();
+    let h = r.histogram("supmr.map.task_us", "Map task latency.", &[]);
+    // A spread with repeats, a zero, and a large outlier.
+    for v in [0u64, 1, 1, 7, 40, 40, 41, 999, 70_000, 70_000, 1_000_000] {
+        h.record(v);
+    }
+    let text = r.render_openmetrics();
+    let buckets = bucket_samples(&text, "supmr_map_task_us");
+    assert!(buckets.len() >= 3, "power-of-two ladder rendered: {text}");
+    for pair in buckets.windows(2) {
+        assert!(pair[0].1 <= pair[1].1, "cumulative counts must not decrease: {buckets:?}");
+    }
+    let (last_le, last_cum) = buckets.last().unwrap().clone();
+    assert_eq!(last_le, "+Inf", "ladder ends at +Inf");
+    let count = sample_value(&text, "supmr_map_task_us_count");
+    let sum = sample_value(&text, "supmr_map_task_us_sum");
+    assert_eq!(last_cum, count, "+Inf bucket equals _count");
+    assert_eq!(count, 11);
+    assert_eq!(sum, 1 + 1 + 7 + 40 + 40 + 41 + 999 + 70_000 + 70_000 + 1_000_000);
+}
+
+#[test]
+fn scrape_endpoint_serves_the_same_exposition() {
+    use std::io::{Read, Write};
+    let registry = deterministic_registry();
+    let server =
+        supmr_metrics::MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.contains("application/openmetrics-text"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    assert_eq!(body, registry.render_openmetrics(), "scrape equals local render");
+    server.shutdown();
+}

@@ -18,6 +18,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use supmr_metrics::{Counter, Histogram, Registry};
 
 #[derive(Debug, Default)]
 struct MeterInner {
@@ -26,17 +27,58 @@ struct MeterInner {
     read_nanos: AtomicU64,
 }
 
+/// Live registry handles a meter can additionally feed: the
+/// `supmr.storage.*` families.
+#[derive(Debug, Clone)]
+struct MeterSink {
+    bytes: Counter,
+    reads: Counter,
+    read_us: Histogram,
+}
+
 /// Shared read counters for one wrapped source. Cloning is cheap and
 /// every clone observes the same totals.
+///
+/// A meter built with [`IngestMeter::with_registry`] additionally feeds
+/// the `supmr.storage.bytes_read` / `supmr.storage.read_calls` counters
+/// and the `supmr.storage.read_us` latency histogram of a live
+/// [`Registry`], so scrapes see storage-level read behaviour while the
+/// job runs.
 #[derive(Debug, Clone, Default)]
 pub struct IngestMeter {
     inner: Arc<MeterInner>,
+    sink: Option<MeterSink>,
 }
 
 impl IngestMeter {
     /// A meter with all counters at zero.
     pub fn new() -> IngestMeter {
         IngestMeter::default()
+    }
+
+    /// A meter that also maintains the `supmr.storage.*` families of
+    /// `registry` on every read.
+    pub fn with_registry(registry: &Registry) -> IngestMeter {
+        IngestMeter {
+            inner: Arc::default(),
+            sink: Some(MeterSink {
+                bytes: registry.counter(
+                    "supmr.storage.bytes_read",
+                    "Bytes delivered across the storage boundary.",
+                    &[],
+                ),
+                reads: registry.counter(
+                    "supmr.storage.read_calls",
+                    "Read calls against wrapped sources (a shared view counts once).",
+                    &[],
+                ),
+                read_us: registry.histogram(
+                    "supmr.storage.read_us",
+                    "Latency inside wrapped sources' reads, microseconds.",
+                    &[],
+                ),
+            }),
+        }
     }
 
     /// Total bytes delivered by the wrapped source (including zero-copy
@@ -72,6 +114,11 @@ impl IngestMeter {
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.reads.fetch_add(1, Ordering::Relaxed);
         self.inner.read_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.bytes.add(bytes);
+            sink.reads.inc();
+            sink.read_us.record_duration_us(elapsed);
+        }
     }
 }
 
@@ -238,6 +285,34 @@ mod tests {
         let mut src = ObservedSource::new(inner, meter.clone());
         assert!(src.shared().is_none(), "pacing wrappers must not be bypassed");
         assert_eq!(meter.bytes_read(), 0, "a refused view is not a read");
+    }
+
+    #[test]
+    fn registry_backed_meter_feeds_storage_families() {
+        let registry = Registry::new();
+        let meter = IngestMeter::with_registry(&registry);
+        let mut src = ObservedSource::new(MemSource::from(vec![9u8; 768]), meter.clone());
+        let mut buf = [0u8; 256];
+        src.read_at(0, &mut buf).unwrap();
+        src.read_at(256, &mut buf).unwrap();
+        src.read_at(512, &mut buf).unwrap();
+        // The local meter and the registry families agree.
+        assert_eq!(meter.bytes_read(), 768);
+        let snap = registry.snapshot();
+        let value = |name: &str| {
+            snap.entries
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} registered"))
+                .value
+                .clone()
+        };
+        assert_eq!(value("supmr.storage.bytes_read"), supmr_metrics::MetricValue::Counter(768));
+        assert_eq!(value("supmr.storage.read_calls"), supmr_metrics::MetricValue::Counter(3));
+        match value("supmr.storage.read_us") {
+            supmr_metrics::MetricValue::Histogram(h) => assert_eq!(h.count, 3),
+            other => panic!("read_us is a histogram, got {other:?}"),
+        }
     }
 
     #[test]
