@@ -1,0 +1,34 @@
+//! Criterion bench: the rebuilt shuffle path vs the per-key-lock
+//! baseline it replaced.
+//!
+//! Two workload shapes (see `supmr_bench::shuffle`): word-count-shaped
+//! (hot key universe, absorb-heavy, contended shard locks) and
+//! sort-shaped (all keys unique, shard maps only grow). Each runs the
+//! full emit + absorb + drain cycle on both paths, so the measured
+//! ratio is the same speedup `bench_report` records in
+//! `BENCH_baseline.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use supmr_bench::shuffle::{run_baseline, run_sharded, ShuffleWorkload};
+
+fn bench_shuffle(c: &mut Criterion) {
+    for workload in [ShuffleWorkload::wordcount(), ShuffleWorkload::sort()] {
+        let mut group = c.benchmark_group(&format!("shuffle_drain/{}", workload.name));
+        group.throughput(Throughput::Elements(workload.total_pairs()));
+        group.bench_function("per_key_lock_baseline", |b| {
+            b.iter(|| run_baseline(black_box(&workload)));
+        });
+        group.bench_function("sharded_batched", |b| {
+            b.iter(|| run_sharded(black_box(&workload)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_shuffle
+}
+criterion_main!(benches);

@@ -1,21 +1,44 @@
 //! Write the `BENCH_baseline.json` regression baseline.
 //!
 //! Runs the canonical word count and sort workloads under both runtimes
-//! with a live metrics registry attached and serializes the results as
+//! with a live metrics registry attached, measures the shuffle-path
+//! speedup (`supmr_bench::shuffle`), and serializes the results as
 //! `supmr.bench_report.v1` (see `supmr_bench::report`). Committed at
 //! the repo root, the file is the baseline the CI regression job — and
-//! any human comparing two checkouts — diffs against.
+//! any human comparing two checkouts — diffs against. A sibling `.svg`
+//! renders every run's latency histograms as small-multiple panels.
 
 use std::path::PathBuf;
-use supmr_bench::report::{collect, to_json, validate};
-use supmr_bench::RealScale;
+use supmr_bench::report::{collect, to_json, validate, BenchRun};
+use supmr_bench::{shuffle, RealScale};
+use supmr_metrics::svg::{render_histogram_panels, PanelOptions};
+use supmr_metrics::MetricsSnapshot;
 
 const USAGE: &str = "\
 usage: bench_report [--quick] [--out PATH]
 
   --quick     run at the tiny test scale (sub-second; CI fixture)
   --out PATH  where to write the report [default: BENCH_baseline.json]
+
+Also writes histogram panels for every run next to the report, as
+<out stem>.svg.
 ";
+
+/// Flatten every run's histogram families into one snapshot, with a
+/// `run` label telling the panels apart.
+fn merged_metrics(runs: &[BenchRun]) -> MetricsSnapshot {
+    let mut merged = MetricsSnapshot::default();
+    for run in runs {
+        if let Some(m) = &run.report.metrics {
+            for entry in &m.entries {
+                let mut entry = entry.clone();
+                entry.labels.push(("run".into(), format!("{}/{}", run.workload, run.runtime)));
+                merged.entries.push(entry);
+            }
+        }
+    }
+    merged
+}
 
 fn main() {
     let mut out = PathBuf::from("BENCH_baseline.json");
@@ -61,8 +84,25 @@ fn main() {
             run.report.stats.ingest_chunks
         );
     }
-    let json = to_json(&scale, &runs, quick);
+    let rows = shuffle::measure(quick);
+    for row in &rows {
+        println!(
+            "  shuffle/{:<9} {:>9} pairs  baseline {:>10.0}/s  sharded {:>10.0}/s  {:>5.2}x",
+            row.workload,
+            row.pairs,
+            row.baseline_pairs_per_s,
+            row.sharded_pairs_per_s,
+            row.speedup()
+        );
+    }
+    let json = to_json(&scale, &runs, &rows, quick);
     validate(&json).expect("generated report validates");
     std::fs::write(&out, json.render() + "\n").expect("write bench report");
-    println!("wrote {}", out.display());
+    let svg_out = out.with_extension("svg");
+    let svg = render_histogram_panels(
+        &merged_metrics(&runs),
+        &PanelOptions { title: "bench_report latency histograms".into(), ..Default::default() },
+    );
+    std::fs::write(&svg_out, svg).expect("write histogram panels");
+    println!("wrote {} and {}", out.display(), svg_out.display());
 }

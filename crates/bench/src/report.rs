@@ -11,6 +11,7 @@
 //! Values (wall times, latency percentiles) vary run to run; the
 //! *shape* — key names, run set, metric families — must not.
 
+use crate::shuffle::ShuffleRow;
 use crate::RealScale;
 use std::time::Duration;
 use supmr::runtime::{run_job, Input, JobConfig, JobReport, MergeMode};
@@ -110,8 +111,9 @@ fn us(d: Duration) -> Json {
 }
 
 /// Render a report. `quick` records which scale produced it so a CI
-/// fixture baseline is never diffed against a full-scale one.
-pub fn to_json(scale: &RealScale, runs: &[BenchRun], quick: bool) -> Json {
+/// fixture baseline is never diffed against a full-scale one. The
+/// `shuffle` rows come from [`crate::shuffle::measure`].
+pub fn to_json(scale: &RealScale, runs: &[BenchRun], shuffle: &[ShuffleRow], quick: bool) -> Json {
     let scale_obj = Json::obj(vec![
         ("wordcount_bytes", Json::from(scale.wordcount_bytes as u64)),
         ("sort_bytes", Json::from(scale.sort_bytes as u64)),
@@ -135,11 +137,24 @@ pub fn to_json(scale: &RealScale, runs: &[BenchRun], quick: bool) -> Json {
             ])
         })
         .collect();
+    let shuffle_json = shuffle
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("workload", Json::str(r.workload)),
+                ("pairs", Json::from(r.pairs)),
+                ("baseline_pairs_per_s", Json::Num(r.baseline_pairs_per_s)),
+                ("sharded_pairs_per_s", Json::Num(r.sharded_pairs_per_s)),
+                ("speedup", Json::Num(r.speedup())),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema", Json::str(BENCH_SCHEMA)),
         ("quick", Json::Bool(quick)),
         ("scale", scale_obj),
         ("runs", Json::Arr(runs_json)),
+        ("shuffle", Json::Arr(shuffle_json)),
     ])
 }
 
@@ -206,6 +221,24 @@ pub fn validate(json: &Json) -> Result<(), String> {
             return Err(format!("run matrix incomplete: missing {w}/{r}"));
         }
     }
+    let shuffle =
+        json.get("shuffle").and_then(Json::as_arr).ok_or("report: missing 'shuffle' array")?;
+    let mut shuffled: Vec<&str> = Vec::new();
+    for row in shuffle {
+        let workload = require_str(row, "workload", "shuffle")?;
+        let ctx = format!("shuffle {workload}");
+        for key in ["pairs", "baseline_pairs_per_s", "sharded_pairs_per_s", "speedup"] {
+            if require_num(row, key, &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: '{key}' must be positive"));
+            }
+        }
+        shuffled.push(workload);
+    }
+    for w in ["wordcount", "sort"] {
+        if !shuffled.contains(&w) {
+            return Err(format!("shuffle rows incomplete: missing {w}"));
+        }
+    }
     Ok(())
 }
 
@@ -226,9 +259,14 @@ mod tests {
         for run in &runs {
             assert!(run.report.metrics.is_some(), "{}/{} has metrics", run.workload, run.runtime);
         }
-        let json = to_json(&scale, &runs, true);
+        let shuffle = crate::shuffle::measure(true);
+        let json = to_json(&scale, &runs, &shuffle, true);
         validate(&json).expect("fresh report validates");
-        validate_text(&json.render()).expect("rendered text re-parses and validates");
+        let text = json.render();
+        validate_text(&text).expect("rendered text re-parses and validates");
+        // Dropping the shuffle section is schema drift.
+        let gutted = text.replace("\"shuffle\":", "\"shuffle_gone\":");
+        assert!(validate_text(&gutted).unwrap_err().contains("shuffle"));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Shuffle-path micro-harness: the sharded hash container against the
+//! per-key-lock design it replaced.
+//!
+//! The baseline reimplements the pre-overhaul shuffle exactly as it
+//! used to work — SipHash for both the local map and shard selection
+//! (every key hashed twice more on absorb), shard chosen by `hash % 64`,
+//! and one lock acquisition per key moved. The current path hashes each
+//! key once at emit, picks the shard from the hash's high bits, and
+//! takes each shard lock once per absorbed batch. [`measure`] times
+//! both over identical workloads and reports pairs-per-second; the rows
+//! land in `BENCH_baseline.json` (see [`crate::report`]) so the speedup
+//! is a tracked regression surface, and `benches/shuffle_drain.rs`
+//! covers the same comparison under criterion.
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::Mutex;
+use std::time::Instant;
+use supmr::api::Emit;
+use supmr::combiner::Sum;
+use supmr::container::{Container, HashContainer};
+
+/// Shard count of the old design (and, coincidentally, the new one).
+const BASELINE_SHARDS: usize = 64;
+
+/// The pre-overhaul intermediate table, preserved as a measured
+/// baseline: a `% 64`-sharded map that re-hashes every key with SipHash
+/// twice per absorb (once for shard choice, once inside the shard map)
+/// and locks the destination shard once per key.
+struct PerKeyLockTable {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    state: RandomState,
+}
+
+impl PerKeyLockTable {
+    fn new() -> PerKeyLockTable {
+        PerKeyLockTable {
+            shards: (0..BASELINE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            state: RandomState::new(),
+        }
+    }
+
+    fn absorb(&self, local: HashMap<u64, u64>) {
+        for (k, v) in local {
+            let shard = (self.state.hash_one(k) % BASELINE_SHARDS as u64) as usize;
+            let mut map = self.shards[shard].lock().expect("baseline shard lock");
+            *map.entry(k).or_insert(0) += v;
+        }
+    }
+
+    fn drain(self) -> Vec<Vec<(u64, u64)>> {
+        self.shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("baseline shard lock").into_iter().collect())
+            .filter(|v: &Vec<_>| !v.is_empty())
+            .collect()
+    }
+}
+
+/// One shuffle workload shape: how many mapper threads emit how many
+/// batches of how many pairs, over which key distribution.
+#[derive(Debug, Clone)]
+pub struct ShuffleWorkload {
+    /// Row label (`"wordcount"` / `"sort"`).
+    pub name: &'static str,
+    /// Concurrent mapper threads.
+    pub threads: usize,
+    /// Emit-then-absorb rounds per thread.
+    pub batches_per_thread: usize,
+    /// Pairs emitted per round.
+    pub pairs_per_batch: usize,
+    /// Key universe size; `0` means every key is globally unique.
+    pub distinct_keys: u64,
+}
+
+impl ShuffleWorkload {
+    /// Word-count shape: a hot vocabulary hit over and over, so absorb
+    /// moves a combined map of hot keys every round and shard locks are
+    /// contended.
+    pub fn wordcount() -> ShuffleWorkload {
+        ShuffleWorkload {
+            name: "wordcount",
+            threads: 8,
+            batches_per_thread: 32,
+            pairs_per_batch: 4096,
+            distinct_keys: 1024,
+        }
+    }
+
+    /// Sort shape: every key unique, no combining anywhere — absorb
+    /// moves every emitted pair and the shard maps only grow.
+    pub fn sort() -> ShuffleWorkload {
+        ShuffleWorkload {
+            name: "sort",
+            threads: 8,
+            batches_per_thread: 32,
+            pairs_per_batch: 4096,
+            distinct_keys: 0,
+        }
+    }
+
+    /// Shrink to a sub-second size for tests and `--quick` reports.
+    pub fn quick(mut self) -> ShuffleWorkload {
+        self.threads = 2;
+        self.batches_per_thread = 4;
+        self.pairs_per_batch = 512;
+        if self.distinct_keys != 0 {
+            self.distinct_keys = 128;
+        }
+        self
+    }
+
+    /// Total pairs emitted across all threads and batches.
+    pub fn total_pairs(&self) -> u64 {
+        (self.threads * self.batches_per_thread * self.pairs_per_batch) as u64
+    }
+
+    /// Deterministic key for pair `i` of `(thread, batch)`.
+    fn key(&self, thread: usize, batch: usize, i: usize) -> u64 {
+        let seq = ((batch * self.pairs_per_batch + i) as u64) << 8 | thread as u64;
+        match self.distinct_keys {
+            0 => seq,
+            d => {
+                // Cheap mix so hot keys are not emit-ordered.
+                let x = seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                (x ^ (x >> 32)) % d
+            }
+        }
+    }
+
+    /// Check a drained key count: the unique shape must preserve every
+    /// pair; the hot shape lands within its universe (a handful of
+    /// buckets may go unhit).
+    fn check_drained(&self, drained: u64) {
+        match self.distinct_keys {
+            0 => assert_eq!(drained, self.total_pairs(), "unique-key shuffle lost pairs"),
+            d => assert!(
+                drained > 0 && drained <= d.min(self.total_pairs()),
+                "hot-key shuffle drained {drained} of {d}"
+            ),
+        }
+    }
+}
+
+/// Run `w` through the per-key-lock baseline; returns pairs/second over
+/// the full emit + absorb + drain cycle. Emit is timed on purpose: the
+/// old design hashes at emit too (SipHash in the local map), and
+/// replacing that with one reusable FxHash per key is part of the
+/// shuffle path under comparison.
+pub fn run_baseline(w: &ShuffleWorkload) -> f64 {
+    let start = Instant::now();
+    let table = PerKeyLockTable::new();
+    std::thread::scope(|s| {
+        for t in 0..w.threads {
+            let table = &table;
+            s.spawn(move || {
+                for b in 0..w.batches_per_thread {
+                    let mut local: HashMap<u64, u64> = HashMap::new();
+                    for i in 0..w.pairs_per_batch {
+                        *local.entry(w.key(t, b, i)).or_insert(0) += 1;
+                    }
+                    table.absorb(local);
+                }
+            });
+        }
+    });
+    let drained: u64 = table.drain().iter().map(|p| p.len() as u64).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    w.check_drained(drained);
+    w.total_pairs() as f64 / elapsed
+}
+
+/// Run `w` through the sharded [`HashContainer`]; returns pairs/second
+/// over the full emit + absorb + drain cycle.
+pub fn run_sharded(w: &ShuffleWorkload) -> f64 {
+    let start = Instant::now();
+    let c: HashContainer<u64, u64, Sum> = HashContainer::new();
+    std::thread::scope(|s| {
+        for t in 0..w.threads {
+            let c = &c;
+            s.spawn(move || {
+                for b in 0..w.batches_per_thread {
+                    let mut local = c.local();
+                    for i in 0..w.pairs_per_batch {
+                        local.emit(w.key(t, b, i), 1);
+                    }
+                    c.absorb(local);
+                }
+            });
+        }
+    });
+    let drained: u64 = c.into_partitions(w.threads.max(1)).iter().map(|p| p.len() as u64).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    w.check_drained(drained);
+    w.total_pairs() as f64 / elapsed
+}
+
+/// One measured comparison row, as written into the bench report's
+/// `shuffle` section.
+#[derive(Debug, Clone)]
+pub struct ShuffleRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Pairs pushed through each path.
+    pub pairs: u64,
+    /// Per-key-lock baseline throughput, pairs/second.
+    pub baseline_pairs_per_s: f64,
+    /// Sharded-container throughput, pairs/second.
+    pub sharded_pairs_per_s: f64,
+}
+
+impl ShuffleRow {
+    /// Sharded over baseline throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.sharded_pairs_per_s / self.baseline_pairs_per_s
+    }
+}
+
+/// Measure both paths over both workload shapes. Each path runs
+/// best-of-3 so a stray scheduling hiccup does not land in the
+/// committed baseline.
+pub fn measure(quick: bool) -> Vec<ShuffleRow> {
+    let workloads = [ShuffleWorkload::wordcount(), ShuffleWorkload::sort()];
+    workloads
+        .into_iter()
+        .map(|w| {
+            let w = if quick { w.quick() } else { w };
+            let reps = if quick { 1 } else { 3 };
+            let best = |f: &dyn Fn(&ShuffleWorkload) -> f64| {
+                (0..reps).map(|_| f(&w)).fold(0.0f64, f64::max)
+            };
+            ShuffleRow {
+                workload: w.name,
+                pairs: w.total_pairs(),
+                baseline_pairs_per_s: best(&run_baseline),
+                sharded_pairs_per_s: best(&run_sharded),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_agree_on_key_counts() {
+        // The asserts inside the run functions are the real check.
+        for w in [ShuffleWorkload::wordcount().quick(), ShuffleWorkload::sort().quick()] {
+            assert!(run_baseline(&w) > 0.0);
+            assert!(run_sharded(&w) > 0.0);
+        }
+    }
+
+    #[test]
+    fn measure_produces_both_rows() {
+        let rows = measure(true);
+        let names: Vec<&str> = rows.iter().map(|r| r.workload).collect();
+        assert_eq!(names, ["wordcount", "sort"]);
+        for r in &rows {
+            assert!(r.pairs > 0);
+            assert!(r.baseline_pairs_per_s > 0.0);
+            assert!(r.sharded_pairs_per_s > 0.0);
+            assert!(r.speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unique_and_hot_key_generators_behave() {
+        let hot = ShuffleWorkload::wordcount().quick();
+        for t in 0..hot.threads {
+            for b in 0..hot.batches_per_thread {
+                for i in 0..hot.pairs_per_batch {
+                    assert!(hot.key(t, b, i) < hot.distinct_keys);
+                }
+            }
+        }
+        let unique = ShuffleWorkload::sort().quick();
+        // Unique keys really are unique across threads and batches.
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..unique.threads {
+            for b in 0..unique.batches_per_thread {
+                for i in 0..unique.pairs_per_batch {
+                    assert!(seen.insert(unique.key(t, b, i)));
+                }
+            }
+        }
+    }
+}

@@ -101,6 +101,9 @@ pub struct CliArgs {
     pub top: usize,
     /// Generator seed.
     pub seed: u64,
+    /// Container hash seed: fixes key→partition placement across runs
+    /// (`None` keeps the default random seed).
+    pub hash_seed: Option<u64>,
     /// Grep patterns.
     pub patterns: Vec<String>,
     /// KMeans cluster count.
@@ -230,6 +233,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         throttle: None,
         top: 10,
         seed: 42,
+        hash_seed: None,
         patterns: Vec::new(),
         k: 4,
         iters: 20,
@@ -262,6 +266,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
             }
             "--seed" => {
                 args.seed = value()?.parse().map_err(|_| CliError("invalid seed".into()))?
+            }
+            "--hash-seed" => {
+                args.hash_seed =
+                    Some(value()?.parse().map_err(|_| CliError("invalid hash seed".into()))?)
             }
             "--pattern" => args.patterns.push(value()?),
             "--trace" => {
@@ -337,7 +345,8 @@ mod tests {
     fn full_invocation() {
         let a = parse_args(&argv(
             "terasort --generate 8M --chunking inter:512K --merge pway:8 \
-             --workers 4 --split 128K --prefetch 2 --throttle 24M --top 5 --seed 7",
+             --workers 4 --split 128K --prefetch 2 --throttle 24M --top 5 --seed 7 \
+             --hash-seed 99",
         ))
         .unwrap();
         assert_eq!(a.app, AppKind::TeraSort);
@@ -349,6 +358,14 @@ mod tests {
         assert_eq!(a.throttle, Some(24.0 * 1024.0 * 1024.0));
         assert_eq!(a.top, 5);
         assert_eq!(a.seed, 7);
+        assert_eq!(a.hash_seed, Some(99));
+    }
+
+    #[test]
+    fn hash_seed_defaults_to_random() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert_eq!(a.hash_seed, None);
+        assert!(parse_args(&argv("wc --generate 1K --hash-seed nope")).is_err());
     }
 
     #[test]

@@ -32,6 +32,8 @@ options:
                      (500ms, 2s, ...)
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
+  --hash-seed N      fix the container hash seed for reproducible
+                     key placement (default: random per run)
   --pattern P        grep pattern (repeatable)
   --k N --iters N    kmeans parameters
 

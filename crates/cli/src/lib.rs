@@ -30,6 +30,8 @@
 //!                       every D (e.g. 500ms, 2s)
 //!   --top N             print the N largest results     [default: 10]
 //!   --seed N            generator seed                  [default: 42]
+//!   --hash-seed N       fix the container hash seed so key placement
+//!                       is reproducible across runs  [default: random]
 //! ```
 //!
 //! The parsing layer is a small hand-rolled option walker (no external

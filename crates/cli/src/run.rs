@@ -81,6 +81,7 @@ fn job_config(
         trace: args.trace,
         metrics: metrics.cloned(),
         metrics_addr: args.metrics_addr.clone(),
+        hash_seed: args.hash_seed,
         ..JobConfig::default()
     };
     if let Some(w) = args.workers {

@@ -60,12 +60,20 @@ impl<V, C: Combiner<V>> Emit<usize, V> for LocalArray<V, C> {
     }
 }
 
+/// One contiguous slot range, carrying the index of its first slot so
+/// draining can reconstruct the dense keys.
+pub struct ArrayDrain<A> {
+    base: usize,
+    slots: Vec<Option<A>>,
+}
+
 impl<V, C> Container<usize, V, C> for ArrayContainer<V, C>
 where
     V: Clone + Send + Sync + 'static,
     C: Combiner<V>,
 {
     type Local = LocalArray<V, C>;
+    type Drain = ArrayDrain<C::Acc>;
 
     fn local(&self) -> Self::Local {
         LocalArray { slots: vec![None; self.size], emitted: 0, _marker: PhantomData }
@@ -92,11 +100,34 @@ where
         self.pairs.load(Ordering::Relaxed)
     }
 
-    fn into_partitions(self, parts: usize) -> Vec<Vec<(usize, C::Acc)>> {
+    /// Splits the slot array into at most `parts` contiguous index
+    /// ranges (so partitions stay key-ordered end to end); ranges with
+    /// no occupied slot are dropped.
+    fn into_drains(self, parts: usize) -> Vec<Self::Drain> {
         let slots = self.slots.into_inner();
-        let occupied: Vec<(usize, C::Acc)> =
-            slots.into_iter().enumerate().filter_map(|(i, s)| s.map(|acc| (i, acc))).collect();
-        super::chunk_into(occupied, parts)
+        let parts = parts.clamp(1, self.size);
+        let per = self.size.div_ceil(parts);
+        let mut drains = Vec::with_capacity(parts);
+        let mut rest = slots;
+        let mut base = 0;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per.min(rest.len()));
+            if rest.iter().any(Option::is_some) {
+                drains.push(ArrayDrain { base, slots: rest });
+            }
+            base += per;
+            rest = tail;
+        }
+        drains
+    }
+
+    fn drain(payload: Self::Drain) -> Vec<(usize, C::Acc)> {
+        payload
+            .slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|acc| (payload.base + i, acc)))
+            .collect()
     }
 }
 
@@ -166,5 +197,18 @@ mod tests {
         assert_eq!(c.size(), 16);
         assert_eq!(c.distinct_keys(), 0);
         assert!(c.into_partitions(3).is_empty());
+    }
+
+    #[test]
+    fn sparse_occupancy_drops_empty_ranges() {
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(64);
+        let mut local = c.local();
+        local.emit(0, 7);
+        local.emit(63, 9);
+        c.absorb(local);
+        let parts = c.into_partitions(8);
+        assert_eq!(parts.len(), 2, "only the first and last slot ranges are occupied");
+        let flat: Vec<(usize, u64)> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, vec![(0, 7), (63, 9)]);
     }
 }

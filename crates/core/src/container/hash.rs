@@ -1,43 +1,120 @@
 //! The hash container: keys hash to cells, values combine at insert.
+//!
+//! The shuffle path hashes each key **exactly once**: a local emit
+//! computes the key's Fx hash ([`FxSeededState`]), stores it beside the
+//! key, and every later step reuses it — the high bits pick the shard
+//! (power-of-two mask), the shard map keys on the stored value through a
+//! passthrough hasher, and the drain unwraps without rehashing. Absorbs
+//! are batched: the local map is grouped by destination shard first,
+//! then each shard lock is taken once per task instead of once per key.
+//! Shards are hash-prefix partitions, so draining partition `p` is the
+//! concatenation of a contiguous shard range — no re-bucketing.
 
-use super::{chunk_into, Container};
+use super::fast_hash::{FxSeededState, PassthroughState, SeedableBuildHasher};
+use super::{Container, ContainerHooks, ContainerMetrics};
 use crate::api::Emit;
 use crate::combiner::Combiner;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, RandomState};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
-/// Number of lock shards in the global table. Larger than any realistic
-/// worker count so absorbs rarely contend.
+/// Lock shards in the global table; must stay a power of two (shard
+/// index is a mask over the hash's high bits). Larger than any
+/// realistic worker count so absorbs rarely contend, and enough
+/// hash-prefix granularity to feed up to 64 reduce partitions.
 const SHARDS: usize = 64;
+/// log₂([`SHARDS`]).
+const SHARD_BITS: u32 = SHARDS.trailing_zeros();
+
+/// Shard index from a key hash: the high [`SHARD_BITS`] bits, masked —
+/// never a modulo. High bits are the best-mixed bits of an Fx hash
+/// (carries propagate upward through the multiply).
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    ((hash >> (64 - SHARD_BITS)) as usize) & (SHARDS - 1)
+}
+
+/// A key carrying its hash, computed once at emit time. Equality is on
+/// the key (hash equality is implied); hashing writes the stored value
+/// for [`PassthroughState`] maps.
+struct Prehashed<K> {
+    hash: u64,
+    key: K,
+}
+
+impl<K: Eq> PartialEq for Prehashed<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<K: Eq> Eq for Prehashed<K> {}
+
+impl<K> Hash for Prehashed<K> {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+type Shard<K, A> = HashMap<Prehashed<K>, A, PassthroughState>;
 
 /// Phoenix++-style hash container.
 ///
-/// Each map task combines into a private `HashMap`; task completion
-/// merges that map into a sharded global table. The reduce phase drains
-/// the shards into partitions.
-pub struct HashContainer<K, V, C>
+/// Each map task combines into a private map; task completion merges
+/// that map into a sharded global table, shard-batched. The reduce
+/// phase drains contiguous shard ranges as hash-prefix partitions.
+///
+/// `S` is the key hasher — [`FxSeededState`] by default; tests inject
+/// instrumented states through [`HashContainer::with_hasher`].
+pub struct HashContainer<K, V, C, S = FxSeededState>
 where
     K: Eq + Hash,
     C: Combiner<V>,
+    S: BuildHasher,
 {
-    shards: Vec<Mutex<HashMap<K, C::Acc>>>,
-    hasher: RandomState,
+    shards: Vec<Mutex<Shard<K, C::Acc>>>,
+    state: Mutex<S>,
+    metrics: Mutex<Option<Arc<ContainerMetrics>>>,
     pairs: AtomicU64,
     _marker: PhantomData<fn(V)>,
 }
 
-impl<K, V, C> Default for HashContainer<K, V, C>
+impl<K, V, C, S> Default for HashContainer<K, V, C, S>
 where
     K: Eq + Hash,
     C: Combiner<V>,
+    S: BuildHasher + Default,
 {
     fn default() -> Self {
+        Self::with_hasher(S::default())
+    }
+}
+
+impl<K, V, C, S> HashContainer<K, V, C, S>
+where
+    K: Eq + Hash,
+    C: Combiner<V>,
+    S: BuildHasher,
+{
+    /// An empty container (random hash seed).
+    pub fn new() -> Self
+    where
+        S: Default,
+    {
+        Self::default()
+    }
+
+    /// An empty container keyed by an explicit build hasher.
+    pub fn with_hasher(state: S) -> Self {
         HashContainer {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            hasher: RandomState::new(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            state: Mutex::new(state),
+            metrics: Mutex::new(None),
             pairs: AtomicU64::new(0),
             _marker: PhantomData,
         }
@@ -49,31 +126,32 @@ where
     K: Eq + Hash,
     C: Combiner<V>,
 {
-    /// An empty container.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn shard_for(&self, key: &K) -> usize {
-        (self.hasher.hash_one(key) % SHARDS as u64) as usize
+    /// An empty container with a fixed hash seed: key→shard placement
+    /// (and therefore partition contents) is identical across runs.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::with_hasher(FxSeededState::with_seed(seed))
     }
 }
 
 /// Thread-local insert handle: a private map with insert-time combining.
-pub struct LocalHash<K, V, C: Combiner<V>> {
-    map: HashMap<K, C::Acc>,
+/// Keys are hashed here, once, and never again.
+pub struct LocalHash<K, V, C: Combiner<V>, S = FxSeededState> {
+    map: Shard<K, C::Acc>,
+    state: S,
     emitted: u64,
     _marker: PhantomData<fn(V)>,
 }
 
-impl<K, V, C> Emit<K, V> for LocalHash<K, V, C>
+impl<K, V, C, S> Emit<K, V> for LocalHash<K, V, C, S>
 where
     K: Eq + Hash,
     C: Combiner<V>,
+    S: BuildHasher + Send,
 {
     fn emit(&mut self, key: K, value: V) {
         self.emitted += 1;
-        match self.map.entry(key) {
+        let pk = Prehashed { hash: self.state.hash_one(&key), key };
+        match self.map.entry(pk) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 C::fold(e.get_mut(), value);
             }
@@ -84,32 +162,89 @@ where
     }
 }
 
-impl<K, V, C> Container<K, V, C> for HashContainer<K, V, C>
+/// One hash partition's payload: a contiguous range of shard maps,
+/// concatenated (and unwrapped) on a worker by [`Container::drain`].
+pub struct HashDrain<K, A> {
+    maps: Vec<Shard<K, A>>,
+}
+
+impl<K, V, C, S> Container<K, V, C> for HashContainer<K, V, C, S>
 where
     K: Ord + Eq + Hash + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
     C: Combiner<V>,
+    S: SeedableBuildHasher,
 {
-    type Local = LocalHash<K, V, C>;
+    type Local = LocalHash<K, V, C, S>;
+    type Drain = HashDrain<K, C::Acc>;
 
     fn local(&self) -> Self::Local {
-        LocalHash { map: HashMap::new(), emitted: 0, _marker: PhantomData }
+        LocalHash {
+            map: Shard::default(),
+            state: self.state.lock().clone(),
+            emitted: 0,
+            _marker: PhantomData,
+        }
     }
 
     fn absorb(&self, local: Self::Local) {
         self.pairs.fetch_add(local.emitted, Ordering::Relaxed);
-        for (k, acc) in local.map {
-            let shard = self.shard_for(&k);
-            let mut guard = self.shards[shard].lock();
-            match guard.entry(k) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    C::merge(e.get_mut(), acc);
+        if local.map.is_empty() {
+            return;
+        }
+        let metrics = self.metrics.lock().clone();
+        // RAII occupancy guard: decrements even if a combiner merge
+        // panics mid-absorb, so the gauge cannot leak upward.
+        let _in_flight = metrics.as_ref().map(|m| m.absorb_in_flight.track(1));
+
+        // Group by destination shard first so each shard lock is taken
+        // once per task, not once per key. Uniform hashing spreads the
+        // local map evenly, so size every batch for its expected share
+        // up front instead of growing it a doubling at a time.
+        let hint = local.map.len() / SHARDS + 1;
+        let mut batches: Vec<Vec<(Prehashed<K>, C::Acc)>> =
+            (0..SHARDS).map(|_| Vec::with_capacity(hint)).collect();
+        for (pk, acc) in local.map {
+            batches[shard_of(pk.hash)].push((pk, acc));
+        }
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut guard = match &metrics {
+                Some(m) => {
+                    let t0 = Instant::now();
+                    let guard = self.shards[shard].lock();
+                    m.absorb_wait_us.record_duration_us(t0.elapsed());
+                    m.absorb_batch.record(batch.len() as u64);
+                    guard
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(acc);
+                None => self.shards[shard].lock(),
+            };
+            guard.reserve(batch.len());
+            for (pk, acc) in batch {
+                match guard.entry(pk) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        C::merge(e.get_mut(), acc);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(acc);
+                    }
                 }
             }
         }
+    }
+
+    fn configure(&self, hooks: &ContainerHooks) {
+        debug_assert_eq!(
+            self.pairs.load(Ordering::Relaxed),
+            0,
+            "configure must precede the first absorb"
+        );
+        if let Some(seed) = hooks.hash_seed {
+            *self.state.lock() = S::from_seed(seed);
+        }
+        *self.metrics.lock() = hooks.metrics.clone();
     }
 
     fn distinct_keys(&self) -> usize {
@@ -120,12 +255,28 @@ where
         self.pairs.load(Ordering::Relaxed)
     }
 
-    fn into_partitions(self, parts: usize) -> Vec<Vec<(K, C::Acc)>> {
-        let mut all: Vec<(K, C::Acc)> = Vec::new();
-        for shard in self.shards {
-            all.extend(shard.into_inner());
+    /// Shards *are* hash-prefix partitions: with `p` the largest power
+    /// of two ≤ `parts` (capped at the 64 shards), partition `i` is the
+    /// contiguous shard range `[i·64/p, (i+1)·64/p)` — the keys whose
+    /// hashes start with prefix `i`. No per-key work happens here;
+    /// all-empty ranges are dropped.
+    fn into_drains(self, parts: usize) -> Vec<Self::Drain> {
+        let p = 1usize << parts.clamp(1, SHARDS).ilog2();
+        let per = SHARDS / p;
+        let mut shards = self.shards.into_iter().map(Mutex::into_inner);
+        (0..p)
+            .map(|_| HashDrain { maps: shards.by_ref().take(per).collect() })
+            .filter(|d| d.maps.iter().any(|m| !m.is_empty()))
+            .collect()
+    }
+
+    fn drain(payload: Self::Drain) -> Vec<(K, C::Acc)> {
+        let total: usize = payload.maps.iter().map(HashMap::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for map in payload.maps {
+            out.extend(map.into_iter().map(|(pk, acc)| (pk.key, acc)));
         }
-        chunk_into(all, parts)
+        out
     }
 }
 
@@ -133,6 +284,7 @@ where
 mod tests {
     use super::*;
     use crate::combiner::{Buffer, Sum};
+    use supmr_metrics::Registry;
 
     type WC = HashContainer<String, u64, Sum>;
 
@@ -227,5 +379,145 @@ mod tests {
         let all: Vec<(String, u64)> = c.into_partitions(4).into_iter().flatten().collect();
         let shared: u64 = all.iter().filter(|(k, _)| k.starts_with("key")).map(|(_, v)| v).sum();
         assert_eq!(shared, 8 * 500);
+    }
+
+    #[test]
+    fn fixed_seed_makes_partition_contents_reproducible() {
+        let run = || {
+            let c: HashContainer<String, u64, Sum> = HashContainer::with_seed(99);
+            let mut local = c.local();
+            for i in 0..500 {
+                local.emit(format!("key{i}"), 1);
+            }
+            c.absorb(local);
+            c.into_partitions(8)
+                .into_iter()
+                .map(|mut p| {
+                    p.sort();
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "same seed, same key→partition placement");
+    }
+
+    #[test]
+    fn configure_reseeds_and_attaches_metrics() {
+        let registry = Registry::new();
+        let hooks = ContainerHooks {
+            hash_seed: Some(7),
+            metrics: Some(ContainerMetrics::register(&registry)),
+        };
+        let place = |with_hooks: bool| {
+            let c: HashContainer<String, u64, Sum> = HashContainer::new();
+            if with_hooks {
+                c.configure(&hooks);
+            }
+            let mut local = c.local();
+            for i in 0..200 {
+                local.emit(format!("key{i}"), 1);
+            }
+            c.absorb(local);
+            c.into_partitions(8).into_iter().map(|p| p.len()).collect::<Vec<_>>()
+        };
+        assert_eq!(place(true), place(true), "seed 7 fixes placement");
+        let batches = registry
+            .snapshot()
+            .entries
+            .iter()
+            .find_map(|e| match (&e.name[..], &e.value) {
+                ("supmr.container.absorb_batch", supmr_metrics::MetricValue::Histogram(h)) => {
+                    Some(h.clone())
+                }
+                _ => None,
+            })
+            .expect("absorb batch histogram registered");
+        assert_eq!(batches.sum, 2 * 200, "every key counted in exactly one shard batch");
+    }
+
+    /// A build hasher that counts how many hashers it hands out — i.e.
+    /// how many times a key is hashed through it.
+    #[derive(Clone, Default)]
+    struct CountingState {
+        inner: FxSeededState,
+        handed_out: Arc<AtomicU64>,
+    }
+
+    impl BuildHasher for CountingState {
+        type Hasher = <FxSeededState as BuildHasher>::Hasher;
+
+        fn build_hasher(&self) -> Self::Hasher {
+            self.handed_out.fetch_add(1, Ordering::Relaxed);
+            self.inner.build_hasher()
+        }
+    }
+
+    impl SeedableBuildHasher for CountingState {
+        fn from_seed(seed: u64) -> Self {
+            CountingState {
+                inner: FxSeededState::with_seed(seed),
+                handed_out: Arc::new(AtomicU64::new(0)),
+            }
+        }
+    }
+
+    #[test]
+    fn one_hash_invocation_per_absorbed_key() {
+        // Regression for the old double-hash shuffle path (SipHash for
+        // shard_for + SipHash again inside the shard map): each emitted
+        // key is hashed exactly once, and absorb + drain add zero.
+        let state = CountingState::default();
+        let counter = Arc::clone(&state.handed_out);
+        let c: HashContainer<String, u64, Sum, CountingState> = HashContainer::with_hasher(state);
+        let mut local = c.local();
+        for i in 0..300 {
+            local.emit(format!("key{i}"), 1);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 300, "one hash per emitted key");
+        c.absorb(local);
+        let parts = c.into_partitions(4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 300);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            300,
+            "absorb and drain must reuse the emit-time hash"
+        );
+    }
+
+    /// Sum-like combiner whose cross-task `merge` panics, to prove
+    /// absorb unwinds cleanly.
+    struct BoomOnMerge;
+
+    impl Combiner<u64> for BoomOnMerge {
+        type Acc = u64;
+        fn unit(v: u64) -> u64 {
+            v
+        }
+        fn fold(acc: &mut u64, v: u64) {
+            *acc += v;
+        }
+        fn merge(_into: &mut u64, _from: u64) {
+            panic!("merge exploded");
+        }
+    }
+
+    #[test]
+    fn panicking_absorb_leaves_gauges_consistent() {
+        let registry = Registry::new();
+        let metrics = ContainerMetrics::register(&registry);
+        let c: HashContainer<String, u64, BoomOnMerge> = HashContainer::new();
+        c.configure(&ContainerHooks { hash_seed: None, metrics: Some(Arc::clone(&metrics)) });
+        let mut a = c.local();
+        a.emit("k".to_string(), 1);
+        c.absorb(a);
+        let mut b = c.local();
+        b.emit("k".to_string(), 1);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c.absorb(b)));
+        assert!(panicked.is_err(), "duplicate key must hit the panicking merge");
+        assert_eq!(
+            metrics.absorb_in_flight.value(),
+            0,
+            "in-flight gauge must unwind with the absorb"
+        );
     }
 }

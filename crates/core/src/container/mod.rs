@@ -16,17 +16,85 @@
 //! All containers are **persistent across map rounds** (§III-C): the
 //! pipeline runtime creates a container once and every map wave absorbs
 //! into it; nothing is reinitialized between rounds.
+//!
+//! The map→reduce handoff is split in two so it can run on the worker
+//! pool: [`Container::into_drains`] decomposes the finished container
+//! into independent per-partition payloads (cheap, on the calling
+//! thread), and [`Container::drain`] materializes one payload into
+//! reduce input (the expensive part, dispatched as reduce-wave tasks by
+//! `finish_job`). [`Container::into_partitions`] composes the two for
+//! call sites that don't need the parallelism.
 
 mod array;
+pub mod fast_hash;
 mod hash;
 mod unlocked;
 
 pub use array::ArrayContainer;
+pub use fast_hash::{FxSeededState, SeedableBuildHasher};
 pub use hash::HashContainer;
 pub use unlocked::UnlockedContainer;
 
 use crate::api::Emit;
 use crate::combiner::Combiner;
+use std::sync::Arc;
+use supmr_metrics::{Gauge, Histogram, Registry};
+
+/// Runtime-provided wiring a container receives once, after
+/// construction and before the first map wave.
+///
+/// [`MapReduce::make_container`](crate::api::MapReduce::make_container)
+/// takes no configuration, so knobs that originate in
+/// [`JobConfig`](crate::runtime::JobConfig) — the hash seed, the live
+/// metrics registry — reach the container through this hook instead.
+#[derive(Debug, Clone, Default)]
+pub struct ContainerHooks {
+    /// Reseed the container's key hasher for reproducible placement
+    /// (`--hash-seed`). `None` keeps the per-container random seed.
+    pub hash_seed: Option<u64>,
+    /// Handles into the `supmr.container.*` metric families.
+    pub metrics: Option<Arc<ContainerMetrics>>,
+}
+
+/// Handles into the `supmr.container.*` metric families the shuffle
+/// path maintains: absorb lock acquisition wait, absorbed batch sizes,
+/// and absorb occupancy (drain duration is recorded by the runtime,
+/// which owns the clock around [`Container::drain`]).
+#[derive(Debug, Clone)]
+pub struct ContainerMetrics {
+    /// `supmr.container.absorb_wait_us` — time an absorb spent waiting
+    /// to acquire shard locks, microseconds (per shard batch).
+    pub absorb_wait_us: Histogram,
+    /// `supmr.container.absorb_batch` — keys merged per shard-lock
+    /// acquisition (how well absorbs amortize locking).
+    pub absorb_batch: Histogram,
+    /// `supmr.container.absorb_in_flight` — absorbs currently merging
+    /// into the shared table (RAII-guarded; consistent across panics).
+    pub absorb_in_flight: Gauge,
+}
+
+impl ContainerMetrics {
+    /// Register (or re-attach to) the container families in `registry`.
+    pub fn register(registry: &Registry) -> Arc<ContainerMetrics> {
+        Arc::new(ContainerMetrics {
+            absorb_wait_us: registry.histogram(
+                "supmr.container.absorb_wait_us",
+                "Shard-lock acquisition wait during absorb, microseconds.",
+                &[],
+            ),
+            absorb_batch: registry.histogram(
+                "supmr.container.absorb_batch",
+                "Keys merged per shard-lock acquisition.",
+                &[],
+            ),
+            absorb_in_flight: registry.gauge(
+                "supmr.container.absorb_in_flight",
+                "Absorb operations currently merging into the shared table.",
+                &[],
+            ),
+        })
+    }
+}
 
 /// Storage for intermediate pairs between the map and reduce phases.
 ///
@@ -35,13 +103,16 @@ use crate::combiner::Combiner;
 /// 1. Each map task obtains a [`Container::local`] handle, emits into it
 ///    (combining happens there, unsynchronized), and the worker
 ///    [`Container::absorb`]s it when the task ends.
-/// 2. After the last map round, [`Container::into_partitions`] hands the
-///    accumulated pairs to the reduce phase, split into at most `parts`
-///    disjoint groups that can be reduced concurrently. Every key
+/// 2. After the last map round, [`Container::into_drains`] splits the
+///    accumulated pairs into at most `parts` disjoint payloads, each
+///    [`Container::drain`]ed to reduce input on a worker. Every key
 ///    appears in exactly one partition, exactly once.
 pub trait Container<K, V, C: Combiner<V>>: Send + Sync + Sized + 'static {
     /// Thread-local insert handle for one map task.
     type Local: Emit<K, V> + Send;
+
+    /// One partition's un-materialized payload, movable to a worker.
+    type Drain: Send + 'static;
 
     /// Create a fresh local insert handle.
     fn local(&self) -> Self::Local;
@@ -49,56 +120,31 @@ pub trait Container<K, V, C: Combiner<V>>: Send + Sync + Sized + 'static {
     /// Fold a finished task's local pairs into the shared state.
     fn absorb(&self, local: Self::Local);
 
+    /// Apply runtime wiring (hash seed, metrics). Called at most once,
+    /// before any [`Container::local`] handle exists; the default
+    /// ignores the hooks.
+    fn configure(&self, _hooks: &ContainerHooks) {}
+
     /// Number of distinct keys currently held.
     fn distinct_keys(&self) -> usize;
 
     /// Total pairs emitted into the container (pre-combining).
     fn total_pairs(&self) -> u64;
 
-    /// Drain into reduce partitions. Returns at least one partition when
-    /// any pairs are held; implementations may return more or fewer than
-    /// `parts` groups (the unlocked container returns one per map run).
-    fn into_partitions(self, parts: usize) -> Vec<Vec<(K, C::Acc)>>;
-}
+    /// Decompose into at most `parts` disjoint drain payloads (plus
+    /// implementation slack: the unlocked container returns one per map
+    /// run). This is the cheap step — no per-key work — so it may run
+    /// on the coordinating thread.
+    fn into_drains(self, parts: usize) -> Vec<Self::Drain>;
 
-/// Split `items` into at most `parts` near-equal contiguous groups.
-pub(crate) fn chunk_into<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
-    let parts = parts.max(1);
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let per = items.len().div_ceil(parts);
-    let mut out = Vec::with_capacity(parts);
-    let mut it = items.into_iter();
-    loop {
-        let group: Vec<T> = it.by_ref().take(per).collect();
-        if group.is_empty() {
-            break;
-        }
-        out.push(group);
-    }
-    out
-}
+    /// Materialize one payload into reduce input. Associated function
+    /// (no `&self`): the container is already consumed, and workers own
+    /// their payloads outright.
+    fn drain(payload: Self::Drain) -> Vec<(K, C::Acc)>;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn chunk_into_partitions_evenly() {
-        let groups = chunk_into((0..10).collect(), 3);
-        assert_eq!(groups.len(), 3);
-        assert_eq!(groups[0], vec![0, 1, 2, 3]);
-        assert_eq!(groups[2], vec![8, 9]);
-        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
-    }
-
-    #[test]
-    fn chunk_into_handles_edges() {
-        assert!(chunk_into(Vec::<u8>::new(), 4).is_empty());
-        let one = chunk_into(vec![1], 8);
-        assert_eq!(one, vec![vec![1]]);
-        let zero_parts = chunk_into(vec![1, 2], 0);
-        assert_eq!(zero_parts, vec![vec![1, 2]]);
+    /// [`Container::into_drains`] + [`Container::drain`] on the calling
+    /// thread. Returns at least one partition when any pairs are held.
+    fn into_partitions(self, parts: usize) -> Vec<Vec<(K, C::Acc)>> {
+        self.into_drains(parts).into_iter().map(Self::drain).filter(|p| !p.is_empty()).collect()
     }
 }

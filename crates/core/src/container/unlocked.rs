@@ -66,6 +66,7 @@ where
     C: Combiner<V, Acc = V>,
 {
     type Local = LocalRun<K, V>;
+    type Drain = Vec<(K, V)>;
 
     fn local(&self) -> Self::Local {
         LocalRun { pairs: Vec::new() }
@@ -88,12 +89,17 @@ where
         self.pairs.load(Ordering::Relaxed)
     }
 
-    /// Returns one partition per map run, ignoring `parts`: the runs are
+    /// Returns one drain per map run, ignoring `parts`: the runs are
     /// exactly the sorted lists the merge phase operates on, and keeping
     /// them separate is what lets the merge experiments control the
     /// baseline's round count.
-    fn into_partitions(self, _parts: usize) -> Vec<Vec<(K, V)>> {
+    fn into_drains(self, _parts: usize) -> Vec<Self::Drain> {
         self.runs.into_inner()
+    }
+
+    /// A run already *is* reduce input; draining is the identity.
+    fn drain(payload: Self::Drain) -> Vec<(K, V)> {
+        payload
     }
 }
 

@@ -145,6 +145,14 @@ impl<J: MapReduce> Job<J> {
         self
     }
 
+    /// Fix the container's hash seed so key→partition placement (and,
+    /// single-threaded, output order) is reproducible across runs. The
+    /// default is a random per-container seed.
+    pub fn hash_seed(mut self, seed: u64) -> Self {
+        self.config.hash_seed = Some(seed);
+        self
+    }
+
     /// Override the whole configuration.
     pub fn config(mut self, config: JobConfig) -> Self {
         self.config = config;
@@ -208,7 +216,8 @@ mod tests {
             .record_format(RecordFormat::Newline)
             .prefetch_depth(2)
             .pool(PoolMode::Persistent)
-            .sample_utilization(Duration::from_millis(50));
+            .sample_utilization(Duration::from_millis(50))
+            .hash_seed(42);
         let c = job.config_ref();
         assert_eq!(c.chunking, Chunking::Inter { chunk_bytes: 128 });
         assert_eq!(c.merge, MergeMode::PWay { ways: 2 });
@@ -218,6 +227,7 @@ mod tests {
         assert_eq!(c.prefetch_depth, 2);
         assert_eq!(c.pool, PoolMode::Persistent);
         assert!(c.sample_utilization.is_some());
+        assert_eq!(c.hash_seed, Some(42));
     }
 
     #[test]

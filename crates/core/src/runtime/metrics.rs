@@ -33,6 +33,9 @@ pub struct JobMetrics {
     pub ingest_bytes: Counter,
     /// `supmr.ingest.chunk_us{runtime}` — per-chunk ingest latency.
     pub ingest_chunk_us: Histogram,
+    /// `supmr.container.drain_us` — per-partition container drain
+    /// latency (shard payload → reduce input, on a reduce worker).
+    pub drain_us: Histogram,
     /// `supmr.reduce.partition_us` — per-reduce-partition latency.
     pub reduce_partition_us: Histogram,
     /// `supmr.merge.rounds` — merge rounds executed.
@@ -79,6 +82,11 @@ impl JobMetrics {
                 "supmr.ingest.chunk_us",
                 "Per-chunk ingest latency, microseconds.",
                 rt,
+            ),
+            drain_us: registry.histogram(
+                "supmr.container.drain_us",
+                "Per-partition container drain latency, microseconds.",
+                &[],
             ),
             reduce_partition_us: registry.histogram(
                 "supmr.reduce.partition_us",

@@ -20,7 +20,7 @@ pub use metrics::JobMetrics;
 
 use crate::api::{AccOf, MapReduce};
 use crate::chunk::{Chunking, IngestChunk};
-use crate::container::Container;
+use crate::container::{Container, ContainerHooks, ContainerMetrics};
 use crate::error::{panic_payload_string, Result, SupmrError};
 use crate::pool::{Executor, PoolMetrics, PoolMode, WaveOutcome, WorkerPool};
 use crate::split::chunk_splits;
@@ -130,6 +130,11 @@ pub struct JobConfig {
     /// duration of the job. Implies a registry: if [`JobConfig::metrics`]
     /// is unset, one is created for the run.
     pub metrics_addr: Option<String>,
+    /// Seed for the container's key hasher. `Some` makes key→partition
+    /// placement (and, with one worker, output order) reproducible
+    /// across runs; `None` (default) keeps the per-container random
+    /// seed, the HashDoS posture documented in DESIGN.md §3f.
+    pub hash_seed: Option<u64>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -148,6 +153,7 @@ impl std::fmt::Debug for JobConfig {
             .field("on_event", &self.on_event.as_ref().map(|_| "<callback>"))
             .field("metrics", &self.metrics)
             .field("metrics_addr", &self.metrics_addr)
+            .field("hash_seed", &self.hash_seed)
             .finish()
     }
 }
@@ -169,6 +175,7 @@ impl Default for JobConfig {
             on_event: None,
             metrics: None,
             metrics_addr: None,
+            hash_seed: None,
         }
     }
 }
@@ -573,6 +580,16 @@ pub(crate) fn map_wave<J: MapReduce>(
     outcome
 }
 
+/// The wiring a runtime hands its freshly built container: the job's
+/// hash seed and, when a registry is live, the `supmr.container.*`
+/// metric handles.
+pub(crate) fn container_hooks(config: &JobConfig) -> ContainerHooks {
+    ContainerHooks {
+        hash_seed: config.hash_seed,
+        metrics: config.metrics.as_ref().map(ContainerMetrics::register),
+    }
+}
+
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
 #[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 pub(crate) fn finish_job<J: MapReduce>(
@@ -595,16 +612,29 @@ pub(crate) fn finish_job<J: MapReduce>(
         .expect("map tasks release their container handles before the wave ends");
 
     timer.begin(Phase::Reduce);
-    let partitions = container.into_partitions(config.reduce_workers);
-    tracer.emit(EventKind::ReduceWaveStart { partitions: partitions.len() as u64 });
+    // Decompose the container into per-partition drain payloads (cheap,
+    // here) and materialize each on a reduce worker (the expensive part,
+    // previously single-threaded on this thread), fused with that
+    // partition's reduce so the pairs stay hot in the worker's cache.
+    let drains = container.into_drains(config.reduce_workers);
+    tracer.emit(EventKind::ReduceWaveStart { partitions: drains.len() as u64 });
     let reduce_job = Arc::clone(job);
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
     let task_metrics = metrics.cloned();
     let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
-        partitions,
-        move |idx, part: Vec<(J::Key, AccOf<J>)>| {
+        drains,
+        move |idx, payload: <J::Container as Container<J::Key, J::Value, J::Combiner>>::Drain| {
             if let Some(t) = &task_tracer {
+                t.emit(EventKind::DrainPartitionStart { partition: idx as u64 });
+            }
+            let drain_t0 = task_metrics.as_ref().map(|_| Instant::now());
+            let part: Vec<(J::Key, AccOf<J>)> = <J::Container>::drain(payload);
+            if let (Some(m), Some(t0)) = (&task_metrics, drain_t0) {
+                m.drain_us.record_duration_us(t0.elapsed());
+            }
+            if let Some(t) = &task_tracer {
+                t.emit(EventKind::DrainPartitionEnd { partition: idx as u64 });
                 t.emit(EventKind::ReducePartitionStart { partition: idx as u64 });
             }
             let t0 = task_metrics.as_ref().map(|_| Instant::now());

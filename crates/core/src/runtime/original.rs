@@ -10,6 +10,7 @@ use super::{
     finish_job, ingest_entire, map_wave, Input, JobConfig, JobMetrics, JobResult, JobStats,
 };
 use crate::api::MapReduce;
+use crate::container::Container;
 use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
 use std::sync::Arc;
@@ -28,6 +29,7 @@ pub fn run<J: MapReduce>(
     let mut stats = JobStats::default();
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "original"));
     let container = Arc::new(job.make_container());
+    container.configure(&super::container_hooks(config));
 
     timer.begin(Phase::Ingest);
     tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });

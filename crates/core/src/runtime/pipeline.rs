@@ -48,6 +48,7 @@ use crate::chunk::{
     AdaptiveChunker, Chunker, Chunking, HybridChunker, IngestChunk, InterFileChunker,
     IntraFileChunker, RoundFeedback,
 };
+use crate::container::Container;
 use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
 use std::io;
@@ -124,6 +125,7 @@ fn run_double_buffered<J: MapReduce>(
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     // Created once, persists across all map rounds.
     let container = Arc::new(job.make_container());
+    container.configure(&super::container_hooks(config));
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
@@ -244,6 +246,7 @@ fn run_buffered<J: MapReduce>(
     let mut stats = JobStats::default();
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     let container = Arc::new(job.make_container());
+    container.configure(&super::container_hooks(config));
 
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);

@@ -5,7 +5,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use supmr::api::Emit;
 use supmr::combiner::{Buffer, Count, Sum};
 use supmr::container::{ArrayContainer, Container, HashContainer, UnlockedContainer};
@@ -14,6 +14,44 @@ type Batch = Vec<(u8, u16)>;
 
 fn arb_batches() -> impl Strategy<Value = Vec<Batch>> {
     vec(vec((any::<u8>(), any::<u16>()), 0..60), 0..8)
+}
+
+/// Key distributions the sharded shuffle path must survive: arbitrary
+/// mixes, the all-keys-collide extreme (every pair fights over one
+/// shard entry), and the all-keys-unique extreme (no combining, maximal
+/// shard-map growth).
+fn arb_shaped_batches() -> impl Strategy<Value = Vec<Vec<(u32, u16)>>> {
+    let arbitrary = vec(vec((0u32..64, any::<u16>()), 0..60), 0..8);
+    let all_collide = (any::<u32>(), vec(vec(any::<u16>(), 0..60), 0..8)).prop_map(
+        |(k, bs)| -> Vec<Vec<(u32, u16)>> {
+            bs.into_iter().map(|vs| vs.into_iter().map(|v| (k, v)).collect()).collect()
+        },
+    );
+    let all_unique = vec(0usize..60, 0..8).prop_map(|lens| -> Vec<Vec<(u32, u16)>> {
+        let mut next = 0u32;
+        lens.into_iter()
+            .map(|n| {
+                (0..n)
+                    .map(|_| {
+                        next += 1;
+                        (next, 1u16)
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    prop_oneof![arbitrary, all_collide, all_unique]
+}
+
+/// Reference model: a plain `BTreeMap` fold of the same batches.
+fn btree_sums(batches: &[Vec<(u32, u16)>]) -> BTreeMap<u32, u64> {
+    let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+    for b in batches {
+        for &(k, v) in b {
+            *m.entry(k).or_default() += u64::from(v);
+        }
+    }
+    m
 }
 
 /// Reference: fold all batches with a plain map.
@@ -100,6 +138,77 @@ proptest! {
         prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
         let drained: HashMap<usize, u64> = parts.into_iter().flatten().collect();
         prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn sharded_hash_matches_btreemap_reference(
+        batches in arb_shaped_batches(),
+        parts in 1usize..9,
+        seed in proptest::option::of(any::<u64>()),
+    ) {
+        let c: HashContainer<u32, u64, Sum> = match seed {
+            Some(s) => HashContainer::with_seed(s),
+            None => HashContainer::new(),
+        };
+        std::thread::scope(|s| {
+            for batch in &batches {
+                let c = &c;
+                s.spawn(move || {
+                    let mut local = c.local();
+                    for &(k, v) in batch {
+                        local.emit(k, u64::from(v));
+                    }
+                    c.absorb(local);
+                });
+            }
+        });
+        let expected = btree_sums(&batches);
+        prop_assert_eq!(c.distinct_keys(), expected.len());
+        // Every key lands in exactly one partition, exactly once, with
+        // the reference accumulator — identical reduce inputs.
+        let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+        for part in c.into_partitions(parts) {
+            prop_assert!(!part.is_empty(), "empty partitions must be dropped");
+            for (k, v) in part {
+                prop_assert!(seen.insert(k, v).is_none(), "key split across partitions");
+            }
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn array_matches_btreemap_reference(
+        batches in arb_shaped_batches(),
+        parts in 1usize..9,
+    ) {
+        // Same distributions, keys masked into the dense universe.
+        let c: ArrayContainer<u64, Sum> = ArrayContainer::new(64);
+        std::thread::scope(|s| {
+            for batch in &batches {
+                let c = &c;
+                s.spawn(move || {
+                    let mut local = c.local();
+                    for &(k, v) in batch {
+                        local.emit(k as usize % 64, u64::from(v));
+                    }
+                    c.absorb(local);
+                });
+            }
+        });
+        let masked: Vec<Vec<(u32, u16)>> = batches
+            .iter()
+            .map(|b| b.iter().map(|&(k, v)| (k % 64, v)).collect())
+            .collect();
+        let expected = btree_sums(&masked);
+        prop_assert_eq!(c.distinct_keys(), expected.len());
+        let mut seen: BTreeMap<u32, u64> = BTreeMap::new();
+        for part in c.into_partitions(parts) {
+            prop_assert!(!part.is_empty(), "empty partitions must be dropped");
+            for (k, v) in part {
+                prop_assert!(seen.insert(k as u32, v).is_none(), "key split across partitions");
+            }
+        }
+        prop_assert_eq!(seen, expected);
     }
 
     #[test]

@@ -109,6 +109,7 @@ fn timeline_glyph(key: SpanKey) -> char {
         SpanKey::Ingest(_) => 'I',
         SpanKey::MapWave(_) | SpanKey::MapTask(..) => 'M',
         SpanKey::ReduceWave | SpanKey::Reduce(_) => 'R',
+        SpanKey::Drain(_) => 'D',
         SpanKey::Merge(_) => 'G',
     }
 }

@@ -23,6 +23,7 @@ fn span_name(key: SpanKey) -> String {
         SpanKey::MapWave(round) => format!("map wave {round}"),
         SpanKey::MapTask(round, task) => format!("map task {round}.{task}"),
         SpanKey::ReduceWave => "reduce wave".to_string(),
+        SpanKey::Drain(partition) => format!("drain partition {partition}"),
         SpanKey::Reduce(partition) => format!("reduce partition {partition}"),
         SpanKey::Merge(round) => format!("merge round {round}"),
     }
@@ -32,7 +33,7 @@ fn span_category(key: SpanKey) -> &'static str {
     match key {
         SpanKey::Ingest(_) => "ingest",
         SpanKey::MapWave(_) | SpanKey::MapTask(..) => "map",
-        SpanKey::ReduceWave | SpanKey::Reduce(_) => "reduce",
+        SpanKey::ReduceWave | SpanKey::Drain(_) | SpanKey::Reduce(_) => "reduce",
         SpanKey::Merge(_) => "merge",
     }
 }
@@ -182,7 +183,9 @@ fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
             pairs.push(("partitions", Json::from(partitions)));
         }
         EventKind::ReduceWaveEnd => {}
-        EventKind::ReducePartitionStart { partition }
+        EventKind::DrainPartitionStart { partition }
+        | EventKind::DrainPartitionEnd { partition }
+        | EventKind::ReducePartitionStart { partition }
         | EventKind::ReducePartitionEnd { partition } => {
             pairs.push(("partition", Json::from(partition)));
         }

@@ -125,6 +125,18 @@ pub enum EventKind {
     },
     /// The reduce wave completed.
     ReduceWaveEnd,
+    /// A partition's container drain began on a reduce worker (task
+    /// level only): the shard payload is being materialized into reduce
+    /// input, immediately before that partition's reduce span.
+    DrainPartitionStart {
+        /// Partition index.
+        partition: u64,
+    },
+    /// The partition's container drain finished (task level only).
+    DrainPartitionEnd {
+        /// Partition index.
+        partition: u64,
+    },
     /// One reduce partition began (task level only).
     ReducePartitionStart {
         /// Partition index.
@@ -187,6 +199,8 @@ impl EventKind {
             EventKind::MapTaskEnd { .. } => "MapTaskEnd",
             EventKind::ReduceWaveStart { .. } => "ReduceWaveStart",
             EventKind::ReduceWaveEnd => "ReduceWaveEnd",
+            EventKind::DrainPartitionStart { .. } => "DrainPartitionStart",
+            EventKind::DrainPartitionEnd { .. } => "DrainPartitionEnd",
             EventKind::ReducePartitionStart { .. } => "ReducePartitionStart",
             EventKind::ReducePartitionEnd { .. } => "ReducePartitionEnd",
             EventKind::MergeRoundStart { .. } => "MergeRoundStart",
@@ -204,6 +218,7 @@ impl EventKind {
             EventKind::MapWaveStart { round, .. } => Some(SpanKey::MapWave(round)),
             EventKind::MapTaskStart { round, task, .. } => Some(SpanKey::MapTask(round, task)),
             EventKind::ReduceWaveStart { .. } => Some(SpanKey::ReduceWave),
+            EventKind::DrainPartitionStart { partition } => Some(SpanKey::Drain(partition)),
             EventKind::ReducePartitionStart { partition } => Some(SpanKey::Reduce(partition)),
             EventKind::MergeRoundStart { round, .. } => Some(SpanKey::Merge(round)),
             _ => None,
@@ -217,6 +232,7 @@ impl EventKind {
             EventKind::MapWaveEnd { round } => Some(SpanKey::MapWave(round)),
             EventKind::MapTaskEnd { round, task } => Some(SpanKey::MapTask(round, task)),
             EventKind::ReduceWaveEnd => Some(SpanKey::ReduceWave),
+            EventKind::DrainPartitionEnd { partition } => Some(SpanKey::Drain(partition)),
             EventKind::ReducePartitionEnd { partition } => Some(SpanKey::Reduce(partition)),
             EventKind::MergeRoundEnd { round } => Some(SpanKey::Merge(round)),
             _ => None,
@@ -255,6 +271,8 @@ pub enum SpanKey {
     MapTask(u32, u64),
     /// The reduce wave.
     ReduceWave,
+    /// Container drain of a partition, by index.
+    Drain(u64),
     /// Reduce partition, by index.
     Reduce(u64),
     /// Merge round, by index.

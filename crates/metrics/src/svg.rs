@@ -1,11 +1,13 @@
-//! SVG rendering of utilization traces.
+//! SVG rendering of utilization traces and metric distributions.
 //!
 //! The ASCII charts ([`crate::ascii`]) make figures readable in a
-//! terminal; this module emits the same stacked area chart as a
-//! self-contained SVG so the regenerated figures can go straight into a
-//! paper or web page. No dependencies — the chart is assembled as a
-//! string.
+//! terminal; this module emits the same stacked area chart
+//! ([`render_svg`]) — and small-multiple histogram panels over a
+//! registry snapshot ([`render_histogram_panels`]) — as self-contained
+//! SVG so the regenerated figures can go straight into a paper or web
+//! page. No dependencies — the chart is assembled as a string.
 
+use crate::registry::{MetricValue, MetricsSnapshot};
 use crate::trace::UtilTrace;
 use std::fmt::Write as _;
 
@@ -137,6 +139,125 @@ fn escape_xml(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
 }
 
+/// Options for [`render_histogram_panels`].
+#[derive(Debug, Clone)]
+pub struct PanelOptions {
+    /// Width of one panel in pixels.
+    pub panel_width: u32,
+    /// Height of one panel in pixels.
+    pub panel_height: u32,
+    /// Panels per row.
+    pub columns: u32,
+    /// Figure title across the top.
+    pub title: String,
+}
+
+impl Default for PanelOptions {
+    fn default() -> Self {
+        PanelOptions { panel_width: 250, panel_height: 150, columns: 3, title: String::new() }
+    }
+}
+
+const PANEL_PAD: f64 = 10.0;
+const PANEL_TITLE_H: f64 = 16.0;
+const PANEL_AXIS_H: f64 = 14.0;
+const TITLE_BAND: f64 = 26.0;
+
+/// Render every non-empty histogram in `snapshot` as a small-multiple
+/// bar panel: one log-bucketed bar per occupied bucket (heights scaled
+/// to the fullest bucket) with dashed p50/p90/p99 markers. Counters and
+/// gauges are skipped — distributions are what a flat JSON report
+/// cannot show. Returns a self-contained SVG; an empty snapshot renders
+/// a frame saying so.
+pub fn render_histogram_panels(snapshot: &MetricsSnapshot, opts: &PanelOptions) -> String {
+    let hists: Vec<_> = snapshot
+        .entries
+        .iter()
+        .filter_map(|e| match &e.value {
+            MetricValue::Histogram(h) if h.count > 0 => Some((e, h)),
+            _ => None,
+        })
+        .collect();
+    let cols = opts.columns.max(1) as usize;
+    let rows = hists.len().div_ceil(cols).max(1);
+    let pw = opts.panel_width as f64;
+    let ph = opts.panel_height as f64;
+    let w = PANEL_PAD + cols as f64 * (pw + PANEL_PAD);
+    let h = TITLE_BAND + rows as f64 * (ph + PANEL_PAD);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.0} {h:.0}" font-family="sans-serif">"#,
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{w:.0}" height="{h:.0}" fill="white"/><text x="{PANEL_PAD}" y="18" font-size="14">{}</text>"#,
+        escape_xml(&opts.title)
+    );
+    if hists.is_empty() {
+        let _ = write!(
+            svg,
+            r##"<text x="{PANEL_PAD}" y="{}" font-size="11" fill="#888">no histogram observations</text>"##,
+            TITLE_BAND + 14.0
+        );
+    }
+
+    for (i, (entry, hist)) in hists.iter().enumerate() {
+        let x0 = PANEL_PAD + (i % cols) as f64 * (pw + PANEL_PAD);
+        let y0 = TITLE_BAND + (i / cols) as f64 * (ph + PANEL_PAD);
+        let mut label = entry.name.clone();
+        for (k, v) in &entry.labels {
+            let _ = write!(label, " {k}={v}");
+        }
+        let _ = write!(
+            svg,
+            r##"<rect x="{x0:.1}" y="{y0:.1}" width="{pw:.0}" height="{ph:.0}" fill="none" stroke="#ccc"/><text x="{:.1}" y="{:.1}" font-size="10">{}</text>"##,
+            x0 + 4.0,
+            y0 + 12.0,
+            escape_xml(&label)
+        );
+
+        let buckets = hist.nonzero_buckets();
+        let plot_h = ph - PANEL_TITLE_H - PANEL_AXIS_H;
+        let base_y = y0 + PANEL_TITLE_H + plot_h;
+        let slot = (pw - 8.0) / buckets.len() as f64;
+        let tallest = buckets.iter().map(|&(_, n)| n).max().unwrap_or(1) as f64;
+        for (j, &(_, n)) in buckets.iter().enumerate() {
+            let bar_h = (n as f64 / tallest * (plot_h - 4.0)).max(1.0);
+            let _ = write!(
+                svg,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{bar_h:.1}" fill="#2171b5"/>"##,
+                x0 + 4.0 + j as f64 * slot,
+                base_y - bar_h,
+                (slot - 1.0).max(0.5),
+            );
+        }
+        // Percentile markers sit at the bucket holding that quantile.
+        for (q, label) in [(hist.p50(), "p50"), (hist.p90(), "p90"), (hist.p99(), "p99")] {
+            let j = buckets.iter().position(|&(bound, _)| q <= bound).unwrap_or(buckets.len() - 1);
+            let x = x0 + 4.0 + (j as f64 + 0.5) * slot;
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{base_y:.1}" stroke="#d62728" stroke-dasharray="2 2"/><text x="{x:.1}" y="{:.1}" font-size="8" fill="#d62728" text-anchor="middle">{label}</text>"##,
+                y0 + PANEL_TITLE_H,
+                y0 + PANEL_TITLE_H + 8.0,
+            );
+        }
+        // Axis annotation: observation count and max value.
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" fill="#444">n={} max={}</text>"##,
+            x0 + 4.0,
+            y0 + ph - 3.0,
+            hist.count,
+            hist.max
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +305,55 @@ mod tests {
         let svg = render_svg(&trace(), &SvgOptions::default());
         assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
         for tag in ["rect", "line", "text", "path"] {
+            let opens = svg.matches(&format!("<{tag} ")).count();
+            let closes = svg.matches("/>").count() + svg.matches(&format!("</{tag}>")).count();
+            assert!(closes >= opens, "{tag}: {opens} opens");
+        }
+    }
+
+    #[test]
+    fn histogram_panels_render_one_panel_per_distribution() {
+        use crate::registry::Registry;
+        let reg = Registry::new();
+        let fast = reg.histogram("test.fast_us", "fast things", &[]);
+        let slow = reg.histogram("test.slow_us", "slow things", &[("runtime", "pipeline")]);
+        for v in [1u64, 2, 3, 900, 1000] {
+            fast.record(v);
+            slow.record(v * 1000);
+        }
+        // A histogram with no observations and a counter: both skipped.
+        reg.histogram("test.empty_us", "never recorded", &[]);
+        reg.counter("test.total", "a counter", &[]).add(7);
+        let svg = render_histogram_panels(
+            &reg.snapshot(),
+            &PanelOptions { title: "bench <metrics>".into(), ..Default::default() },
+        );
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("bench &lt;metrics&gt;"));
+        assert!(svg.contains("test.fast_us"));
+        assert!(svg.contains("test.slow_us runtime=pipeline"));
+        assert!(!svg.contains("test.empty_us"));
+        assert!(!svg.contains("test.total"));
+        // Each panel carries its percentile markers and count note.
+        assert_eq!(svg.matches(">p50<").count(), 2);
+        assert_eq!(svg.matches(">p99<").count(), 2);
+        assert!(svg.contains("n=5"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder_frame() {
+        let svg = render_histogram_panels(&MetricsSnapshot::default(), &PanelOptions::default());
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(svg.contains("no histogram observations"));
+    }
+
+    #[test]
+    fn panel_tags_are_balanced() {
+        use crate::registry::Registry;
+        let reg = Registry::new();
+        reg.histogram("t.h", "h", &[]).record(5);
+        let svg = render_histogram_panels(&reg.snapshot(), &PanelOptions::default());
+        for tag in ["rect", "line", "text"] {
             let opens = svg.matches(&format!("<{tag} ")).count();
             let closes = svg.matches("/>").count() + svg.matches(&format!("</{tag}>")).count();
             assert!(closes >= opens, "{tag}: {opens} opens");
