@@ -11,6 +11,7 @@
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Identity;
 use supmr::container::UnlockedContainer;
+use supmr::PairCodec;
 use supmr_storage::RecordFormat;
 use supmr_workloads::TERA_KEY_LEN;
 
@@ -53,6 +54,26 @@ impl MapReduce for TeraSort {
 
     fn reduce(&self, _key: &Vec<u8>, record: Vec<u8>) -> Vec<u8> {
         record
+    }
+
+    /// Spill format: `u32 LE` key length, key bytes, record bytes.
+    fn spill_codec(&self) -> Option<PairCodec<Vec<u8>, Vec<u8>>> {
+        fn encode(key: &Vec<u8>, record: &Vec<u8>, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+            buf.extend_from_slice(record);
+        }
+        fn decode(rec: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+            let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
+            let key = rec.get(4..4 + klen)?.to_vec();
+            let record = rec.get(4 + klen..)?.to_vec();
+            Some((key, record))
+        }
+        fn size_hint(key: &Vec<u8>, record: &Vec<u8>) -> usize {
+            // Two Vec headers plus both heap allocations.
+            2 * std::mem::size_of::<Vec<u8>>() + key.len() + record.len()
+        }
+        Some(PairCodec { encode, decode, size_hint })
     }
 }
 

@@ -9,6 +9,7 @@
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
+use supmr::PairCodec;
 
 /// The word count application.
 #[derive(Debug, Clone, Default)]
@@ -62,6 +63,26 @@ impl MapReduce for WordCount {
 
     fn reduce(&self, _key: &String, count: u64) -> u64 {
         count
+    }
+
+    /// Spill format: `u32 LE` word length, word bytes, `u64 LE` count.
+    fn spill_codec(&self) -> Option<PairCodec<String, u64>> {
+        fn encode(key: &String, count: &u64, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key.as_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        fn decode(rec: &[u8]) -> Option<(String, u64)> {
+            let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
+            let key = String::from_utf8(rec.get(4..4 + klen)?.to_vec()).ok()?;
+            let count = u64::from_le_bytes(rec.get(4 + klen..4 + klen + 8)?.try_into().ok()?);
+            (rec.len() == 4 + klen + 8).then_some((key, count))
+        }
+        fn size_hint(key: &String, _count: &u64) -> usize {
+            // String header + heap bytes + the u64 accumulator.
+            std::mem::size_of::<String>() + key.len() + std::mem::size_of::<u64>()
+        }
+        Some(PairCodec { encode, decode, size_hint })
     }
 }
 

@@ -97,6 +97,11 @@ pub struct CliArgs {
     pub pool: PoolSpec,
     /// Storage bandwidth cap, bytes/sec.
     pub throttle: Option<f64>,
+    /// Intermediate-set memory budget, bytes; past it the job spills
+    /// sorted runs to disk and reduces via an external merge.
+    pub memory_budget: Option<u64>,
+    /// Where spill runs go (`None` = a per-job temp directory).
+    pub spill_dir: Option<PathBuf>,
     /// How many results to print.
     pub top: usize,
     /// Generator seed.
@@ -134,20 +139,37 @@ impl fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
-/// Parse a size with optional K/M/G suffix ("64M" → 67108864).
+/// Parse a size with optional K/M/G/T suffix ("64M" → 67108864).
+/// Fractional magnitudes are allowed ("1.5M"); whole numbers parse
+/// exactly (no float rounding), and anything that does not fit in `u64`
+/// is an overflow error rather than a silent wrap or saturation.
 pub fn parse_size(s: &str) -> Result<u64, CliError> {
     let s = s.trim();
     let (digits, mult) = match s.chars().last() {
         Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
         Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
         Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        Some('T') | Some('t') => (&s[..s.len() - 1], 1024 * 1024 * 1024 * 1024),
         _ => (s, 1),
     };
-    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid size '{s}'")))?;
-    if n < 0.0 {
-        return Err(CliError(format!("negative size '{s}'")));
+    let digits = digits.trim();
+    if digits.is_empty() {
+        return Err(CliError(format!("invalid size '{s}'")));
     }
-    Ok((n * mult as f64) as u64)
+    // Whole numbers take the exact integer path: `u64::MAX` must round-
+    // trip, and overflow must be detected, neither of which f64 can do.
+    if let Ok(whole) = digits.parse::<u64>() {
+        return whole.checked_mul(mult).ok_or_else(|| CliError(format!("size '{s}' overflows")));
+    }
+    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid size '{s}'")))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(CliError(format!("invalid size '{s}'")));
+    }
+    let scaled = n * mult as f64;
+    if scaled >= u64::MAX as f64 {
+        return Err(CliError(format!("size '{s}' overflows")));
+    }
+    Ok(scaled as u64)
 }
 
 /// Parse a duration: bare numbers are seconds, `ms`/`s` suffixes are
@@ -231,6 +253,8 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         prefetch: 1,
         pool: PoolSpec::Wave,
         throttle: None,
+        memory_budget: None,
+        spill_dir: None,
         top: 10,
         seed: 42,
         hash_seed: None,
@@ -261,6 +285,14 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
             }
             "--pool" => args.pool = parse_pool(&value()?)?,
             "--throttle" => args.throttle = Some(parse_size(&value()?)?.max(1) as f64),
+            "--memory-budget" => {
+                let budget = parse_size(&value()?)?;
+                if budget == 0 {
+                    return Err(CliError("--memory-budget must be positive".into()));
+                }
+                args.memory_budget = Some(budget);
+            }
+            "--spill-dir" => args.spill_dir = Some(PathBuf::from(value()?)),
             "--top" => {
                 args.top = value()?.parse().map_err(|_| CliError("invalid top count".into()))?
             }
@@ -325,9 +357,36 @@ mod tests {
         assert_eq!(parse_size("64K").unwrap(), 64 * 1024);
         assert_eq!(parse_size("64M").unwrap(), 64 * 1024 * 1024);
         assert_eq!(parse_size("2G").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(parse_size("1T").unwrap(), 1024u64.pow(4));
         assert_eq!(parse_size("1.5M").unwrap(), 3 * 512 * 1024);
+        assert_eq!(parse_size(" 8k ").unwrap(), 8 * 1024, "whitespace and lowercase suffixes");
         assert!(parse_size("abc").is_err());
         assert!(parse_size("-5M").is_err());
+    }
+
+    #[test]
+    fn size_whole_numbers_parse_exactly() {
+        // f64 cannot represent u64::MAX; the integer path must.
+        assert_eq!(parse_size("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(parse_size("9007199254740993").unwrap(), 9007199254740993);
+    }
+
+    #[test]
+    fn size_overflow_is_an_error_not_a_wrap() {
+        assert!(parse_size("18446744073709551616").is_err(), "u64::MAX + 1");
+        assert!(parse_size("99999999999G").is_err());
+        assert!(parse_size("20000000000000000000.5").is_err());
+        assert!(parse_size("1e300").is_err());
+    }
+
+    #[test]
+    fn size_rejects_degenerate_inputs() {
+        assert!(parse_size("").is_err());
+        assert!(parse_size("K").is_err(), "suffix with no magnitude");
+        assert!(parse_size(" M ").is_err());
+        assert!(parse_size("nan").is_err());
+        assert!(parse_size("inf").is_err());
+        assert!(parse_size("infG").is_err());
     }
 
     #[test]
@@ -476,6 +535,24 @@ mod tests {
 
         assert!(parse_args(&argv("wc --generate 1K --metrics-interval 0")).is_err());
         assert!(parse_args(&argv("wc --generate 1K --metrics-addr")).is_err());
+    }
+
+    #[test]
+    fn spill_flags() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert_eq!(a.memory_budget, None);
+        assert_eq!(a.spill_dir, None);
+
+        let a = parse_args(&argv(
+            "wc --generate 1K --memory-budget 256M --spill-dir /tmp/spills",
+        ))
+        .unwrap();
+        assert_eq!(a.memory_budget, Some(256 * 1024 * 1024));
+        assert_eq!(a.spill_dir, Some(PathBuf::from("/tmp/spills")));
+
+        assert!(parse_args(&argv("wc --generate 1K --memory-budget 0")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --memory-budget lots")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --memory-budget")).is_err());
     }
 
     #[test]

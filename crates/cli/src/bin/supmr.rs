@@ -21,6 +21,10 @@ options:
   --prefetch N       ingest chunks buffered ahead (default 1)
   --pool MODE        wave (spawn/join per round, default) | persistent
   --throttle RATE    cap storage bandwidth (e.g. 24M = 24 MiB/s)
+  --memory-budget SIZE
+                     cap the intermediate set; past it the job spills
+                     sorted runs to disk and reduces via external merge
+  --spill-dir PATH   where spill runs go (default: per-job temp dir)
   --trace LEVEL      event tracing: off (default) | wave | task
   --trace-out PATH   write the trace: .json Chrome trace (chrome://tracing),
                      .jsonl line-delimited events, .txt ASCII timeline
@@ -42,6 +46,7 @@ examples:
   supmr wordcount --generate 64M --chunking inter:4M --trace-out trace.json
   supmr wordcount --generate 64M --metrics-addr 127.0.0.1:9400
   supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
+  supmr terasort  --generate 8G --memory-budget 2G --spill-dir /mnt/fast/spill
   supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
 ";
 

@@ -21,6 +21,10 @@
 //!   --split SIZE        input split size                [default: 1M]
 //!   --prefetch N        ingest chunks buffered ahead    [default: 1]
 //!   --throttle RATE     cap storage bandwidth, e.g. 24M (bytes/sec)
+//!   --memory-budget SIZE  cap the intermediate set's resident bytes;
+//!                       past it the job spills sorted runs to disk and
+//!                       the reduce phase streams an external merge
+//!   --spill-dir PATH    where spill runs go [default: per-job temp dir]
 //!   --trace LEVEL       event tracing: off | wave | task [default: off]
 //!   --trace-out PATH    write the recorded trace (.json Chrome trace,
 //!                       .jsonl events, .txt ASCII timeline)

@@ -4,6 +4,8 @@
 use crate::args::{AppKind, ChunkingSpec, CliArgs, MergeSpec, PoolSpec};
 use crate::reporter::SnapshotReporter;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use supmr::chunk::AdaptiveConfig;
 use supmr::runtime::{run_job, Input, JobConfig, JobReport, JobResult, MergeMode};
 use supmr::{Chunking, PoolMode, Registry, Result};
@@ -11,8 +13,9 @@ use supmr_apps::{
     kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
 };
 use supmr_storage::{
-    DataSource, DirFileSet, FileSet, FileSource, IngestMeter, MemSource, ObservedFileSet,
-    ObservedSource, ThrottledFileSet, ThrottledSource, TokenBucket,
+    DataSource, DirFileSet, DiskRunStore, FileSet, FileSource, IngestMeter, MemSource,
+    ObservedFileSet, ObservedRunStore, ObservedSource, RunStore, ThrottledFileSet,
+    ThrottledRunStore, ThrottledSource, TokenBucket,
 };
 use supmr_workloads::{
     clustered_points, small_files_corpus, PointsConfig, TeraGen, TextGen, TextGenConfig,
@@ -67,7 +70,8 @@ fn job_config(
     record_format: supmr_storage::RecordFormat,
     default_merge: MergeMode,
     metrics: Option<&Registry>,
-) -> JobConfig {
+    meter: Option<&IngestMeter>,
+) -> io::Result<JobConfig> {
     let mut config = JobConfig {
         split_bytes: args.split_bytes,
         record_format,
@@ -88,7 +92,45 @@ fn job_config(
         config.map_workers = w;
         config.reduce_workers = w;
     }
-    config
+    configure_spill(args, meter, &mut config)?;
+    Ok(config)
+}
+
+/// Apply `--memory-budget`/`--spill-dir`. Spill runs go through the
+/// storage layer like ingest does: under `--throttle` they draw from a
+/// token bucket, and with metrics attached they feed the storage meter —
+/// which requires building the run store here rather than leaving it to
+/// the runtime.
+fn configure_spill(
+    args: &CliArgs,
+    meter: Option<&IngestMeter>,
+    config: &mut JobConfig,
+) -> io::Result<()> {
+    let Some(budget) = args.memory_budget else { return Ok(()) };
+    config.memory_budget = Some(budget);
+    if args.throttle.is_none() && meter.is_none() {
+        // Nothing to wrap; the runtime manages the store (and cleans up
+        // the temp directory when no --spill-dir is given).
+        config.spill_dir = args.spill_dir.clone();
+        return Ok(());
+    }
+    static CLI_SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = args.spill_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "supmr-spill-{}-{}",
+            std::process::id(),
+            CLI_SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    });
+    let mut store: Arc<dyn RunStore> = Arc::new(DiskRunStore::create(&dir)?);
+    if let Some(rate) = args.throttle {
+        store = Arc::new(ThrottledRunStore::new(store, TokenBucket::new(rate)));
+    }
+    if let Some(m) = meter {
+        store = Arc::new(ObservedRunStore::new(store, m.clone()));
+    }
+    config.spill_store = Some(store);
+    Ok(())
 }
 
 /// Generate an app-appropriate synthetic input of ~`bytes`.
@@ -219,7 +261,8 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 supmr_storage::RecordFormat::Newline,
                 MergeMode::Unsorted,
                 registry,
-            );
+                meter.as_ref(),
+            )?;
             let r = run_job(WordCount::new(), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -229,8 +272,13 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
         AppKind::TeraSort => {
             // Sorting is the point: default to a p-way merge, but an
             // explicit --merge unsorted is honoured.
-            let config =
-                job_config(args, TeraSort::record_format(), MergeMode::PWay { ways: 4 }, registry);
+            let config = job_config(
+                args,
+                TeraSort::record_format(),
+                MergeMode::PWay { ways: 4 },
+                registry,
+                meter.as_ref(),
+            )?;
             let r = run_job(TeraSort::new(), build_input(args, meter.as_ref())?, config)?;
             let sorted = r.pairs.windows(2).all(|w| w[0].0 <= w[1].0);
             let mut lines: Vec<String> = r
@@ -248,7 +296,8 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 supmr_storage::RecordFormat::Newline,
                 MergeMode::Unsorted,
                 registry,
-            );
+                meter.as_ref(),
+            )?;
             let patterns: Vec<Vec<u8>> =
                 args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
             let r = run_job(Grep::new(patterns), build_input(args, meter.as_ref())?, config)?;
@@ -262,8 +311,13 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::Histogram => {
-            let config =
-                job_config(args, Histogram::record_format(), MergeMode::Unsorted, registry);
+            let config = job_config(
+                args,
+                Histogram::record_format(),
+                MergeMode::Unsorted,
+                registry,
+                meter.as_ref(),
+            )?;
             let r = run_job(Histogram::new(), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
@@ -283,7 +337,8 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 supmr_storage::RecordFormat::Newline,
                 MergeMode::Unsorted,
                 registry,
-            );
+                meter.as_ref(),
+            )?;
             let r = run_job(LinearRegression::new(), build_input(args, meter.as_ref())?, config)?;
             let lines = match linreg::fit(&r.pairs) {
                 Some(f) => {
@@ -299,7 +354,8 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 supmr_storage::RecordFormat::Newline,
                 MergeMode::Unsorted,
                 registry,
-            );
+                meter.as_ref(),
+            )?;
             // kmeans re-ingests per iteration: rebuild the input each time.
             let args2 = args.clone();
             let meter2 = meter.clone();
@@ -446,6 +502,47 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = parse_args(&argv("wordcount --input /nonexistent/supmr")).unwrap();
         assert!(execute(&args).is_err());
+    }
+
+    #[test]
+    fn budgeted_wordcount_spills_and_matches_unbounded() {
+        let base = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
+             --hash-seed 7");
+        let budgeted = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
+             --hash-seed 7 --memory-budget 2K");
+        assert!(budgeted.report.stats.spill_runs > 0, "2K budget must spill");
+        assert_eq!(budgeted.lines, base.lines, "spilling must not change the output");
+        assert_eq!(budgeted.output_pairs(), base.output_pairs());
+    }
+
+    #[test]
+    fn budgeted_terasort_still_sorts() {
+        let s = run("terasort --generate 32K --merge pway:2 --workers 2 --memory-budget 4K");
+        assert!(s.lines.last().unwrap().contains("sorted: true"));
+        assert!(s.report.stats.spill_runs > 0, "4K budget must spill");
+        assert_eq!(s.output_pairs(), 32 * 1024 / 100);
+    }
+
+    #[test]
+    fn budgeted_run_with_throttle_and_metrics_observes_spill_io() {
+        let dir = std::env::temp_dir().join("supmr-cli-spill-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = run(&format!(
+            "wordcount --generate 64K --workers 2 --memory-budget 1K \
+             --spill-dir {} --throttle 64M --metrics-addr 127.0.0.1:0",
+            dir.display()
+        ));
+        assert!(s.report.stats.spill_runs > 0);
+        let snap = s.report.metrics.as_ref().expect("metrics attached");
+        let value = |name: &str| snap.entries.iter().find(|e| e.name == name).map(|e| &e.value);
+        assert!(value("supmr.spill.runs").is_some(), "spill families registered");
+        // The runs went through the observed store, so the storage
+        // meter's write side counted their bytes.
+        match value("supmr.storage.bytes_written") {
+            Some(supmr_metrics::MetricValue::Counter(n)) => assert!(*n > 0, "spill writes metered"),
+            other => panic!("expected a bytes_written counter, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

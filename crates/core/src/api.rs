@@ -12,6 +12,7 @@
 
 use crate::combiner::Combiner;
 use crate::container::Container;
+use crate::spill::PairCodec;
 use std::hash::Hash;
 
 /// Sink for intermediate key/value pairs emitted by `map`.
@@ -57,6 +58,17 @@ pub trait MapReduce: Send + Sync + 'static {
 
     /// Coalesce the accumulated values of one key into an output.
     fn reduce(&self, key: &Self::Key, acc: AccOf<Self>) -> Self::Output;
+
+    /// How this application's intermediate pairs cross the byte
+    /// boundary into spill run files, enabling out-of-core execution
+    /// under [`JobConfig::memory_budget`]. The default — `None` — keeps
+    /// the job fully in-memory; setting a budget without a codec is an
+    /// [`InvalidConfig`](crate::error::SupmrError::InvalidConfig) error.
+    ///
+    /// [`JobConfig::memory_budget`]: crate::runtime::JobConfig::memory_budget
+    fn spill_codec(&self) -> Option<PairCodec<Self::Key, AccOf<Self>>> {
+        None
+    }
 }
 
 /// An [`Emit`] adapter that counts pairs as they pass through, used by

@@ -14,6 +14,7 @@ use super::fast_hash::{FxSeededState, PassthroughState, SeedableBuildHasher};
 use super::{Container, ContainerHooks, ContainerMetrics};
 use crate::api::Emit;
 use crate::combiner::Combiner;
+use crate::spill::SpillHooks;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
@@ -36,6 +37,15 @@ const SHARD_BITS: u32 = SHARDS.trailing_zeros();
 #[inline]
 fn shard_of(hash: u64) -> usize {
     ((hash >> (64 - SHARD_BITS)) as usize) & (SHARDS - 1)
+}
+
+/// Reduce partition a shard belongs to — the inverse of the contiguous
+/// ranges [`Container::into_drains`] hands out: with `p` the largest
+/// power of two ≤ `parts`, partition = shard / (64/p). Spilled runs are
+/// tagged with this so they meet their in-memory remainder at merge.
+fn partition_of(shard: usize, parts: usize) -> usize {
+    let p = 1usize << parts.clamp(1, SHARDS).ilog2();
+    shard / (SHARDS / p)
 }
 
 /// A key carrying its hash, computed once at emit time. Equality is on
@@ -81,6 +91,17 @@ where
     state: Mutex<S>,
     metrics: Mutex<Option<Arc<ContainerMetrics>>>,
     pairs: AtomicU64,
+    /// Out-of-core wiring, set once via [`Container::configure_spill`]
+    /// when the job runs under a memory budget; `None` leaves absorb on
+    /// the unmetered hot path.
+    spill: Mutex<Option<SpillHooks<K, C::Acc>>>,
+    /// Estimated resident bytes per shard (vacant-insert size hints),
+    /// maintained only while spilling is configured. The hottest shard
+    /// by this estimate is the spill victim.
+    shard_bytes: Vec<AtomicU64>,
+    /// Single-spiller token: absorbs that find the ledger over budget
+    /// while another thread is already draining just keep going.
+    spilling: Mutex<()>,
     _marker: PhantomData<fn(V)>,
 }
 
@@ -116,7 +137,39 @@ where
             state: Mutex::new(state),
             metrics: Mutex::new(None),
             pairs: AtomicU64::new(0),
+            spill: Mutex::new(None),
+            shard_bytes: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
+            spilling: Mutex::new(()),
             _marker: PhantomData,
+        }
+    }
+
+    /// Drain hottest shards into spill runs until the ledger is below
+    /// its low watermark. At most one thread spills at a time; the
+    /// estimate is swapped out *before* the shard map is taken, so keys
+    /// racing in between are still charged (the ledger over-counts
+    /// rather than leaks).
+    fn spill_down(&self, hooks: &SpillHooks<K, C::Acc>) {
+        let Some(_token) = self.spilling.try_lock() else { return };
+        while hooks.accountant.over_low() {
+            let victim = self
+                .shard_bytes
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .enumerate()
+                .max_by_key(|&(_, bytes)| bytes);
+            let Some((idx, est)) = victim else { break };
+            if est == 0 {
+                break; // every shard already drained; remainder is local maps
+            }
+            let est = self.shard_bytes[idx].swap(0, Ordering::Relaxed);
+            let map = std::mem::take(&mut *self.shards[idx].lock());
+            if !map.is_empty() {
+                let pairs: Vec<(K, C::Acc)> =
+                    map.into_iter().map(|(pk, acc)| (pk.key, acc)).collect();
+                (hooks.sink)(partition_of(idx, hooks.partitions), pairs);
+            }
+            hooks.accountant.release(est);
         }
     }
 }
@@ -193,6 +246,7 @@ where
             return;
         }
         let metrics = self.metrics.lock().clone();
+        let spill = self.spill.lock().clone();
         // RAII occupancy guard: decrements even if a combiner merge
         // panics mid-absorb, so the gauge cannot leak upward.
         let _in_flight = metrics.as_ref().map(|m| m.absorb_in_flight.track(1));
@@ -207,6 +261,10 @@ where
         for (pk, acc) in local.map {
             batches[shard_of(pk.hash)].push((pk, acc));
         }
+        // Ledger approximation under a budget: vacant inserts charge
+        // their codec size hint; merges charge nothing (for counting
+        // combiners the accumulator does not grow).
+        let mut charged: u64 = 0;
         for (shard, batch) in batches.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
@@ -222,15 +280,28 @@ where
                 None => self.shards[shard].lock(),
             };
             guard.reserve(batch.len());
+            let mut added: u64 = 0;
             for (pk, acc) in batch {
+                let size = spill.as_ref().map(|h| (h.size_hint)(&pk.key, &acc) as u64);
                 match guard.entry(pk) {
                     std::collections::hash_map::Entry::Occupied(mut e) => {
                         C::merge(e.get_mut(), acc);
                     }
                     std::collections::hash_map::Entry::Vacant(e) => {
+                        added += size.unwrap_or(0);
                         e.insert(acc);
                     }
                 }
+            }
+            drop(guard);
+            if added > 0 {
+                self.shard_bytes[shard].fetch_add(added, Ordering::Relaxed);
+                charged += added;
+            }
+        }
+        if let Some(hooks) = &spill {
+            if charged > 0 && hooks.accountant.charge(charged) {
+                self.spill_down(hooks);
             }
         }
     }
@@ -247,6 +318,16 @@ where
         *self.metrics.lock() = hooks.metrics.clone();
     }
 
+    fn configure_spill(&self, hooks: &SpillHooks<K, C::Acc>) -> bool {
+        debug_assert_eq!(
+            self.pairs.load(Ordering::Relaxed),
+            0,
+            "configure_spill must precede the first absorb"
+        );
+        *self.spill.lock() = Some(hooks.clone());
+        true
+    }
+
     fn distinct_keys(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
@@ -261,12 +342,19 @@ where
     /// hashes start with prefix `i`. No per-key work happens here;
     /// all-empty ranges are dropped.
     fn into_drains(self, parts: usize) -> Vec<Self::Drain> {
+        self.into_indexed_drains(parts).into_iter().map(|(_, d)| d).collect()
+    }
+
+    /// Enumerate *before* filtering out all-empty ranges, so a drain's
+    /// tag is its true hash-prefix partition — the index spilled runs
+    /// of the same shard range carry ([`partition_of`]).
+    fn into_indexed_drains(self, parts: usize) -> Vec<(usize, Self::Drain)> {
         let p = 1usize << parts.clamp(1, SHARDS).ilog2();
         let per = SHARDS / p;
         let mut shards = self.shards.into_iter().map(Mutex::into_inner);
         (0..p)
-            .map(|_| HashDrain { maps: shards.by_ref().take(per).collect() })
-            .filter(|d| d.maps.iter().any(|m| !m.is_empty()))
+            .map(|i| (i, HashDrain { maps: shards.by_ref().take(per).collect() }))
+            .filter(|(_, d)| d.maps.iter().any(|m| !m.is_empty()))
             .collect()
     }
 

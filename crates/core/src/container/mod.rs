@@ -37,6 +37,7 @@ pub use unlocked::UnlockedContainer;
 
 use crate::api::Emit;
 use crate::combiner::Combiner;
+use crate::spill::SpillHooks;
 use std::sync::Arc;
 use supmr_metrics::{Gauge, Histogram, Registry};
 
@@ -124,6 +125,35 @@ pub trait Container<K, V, C: Combiner<V>>: Send + Sync + Sized + 'static {
     /// before any [`Container::local`] handle exists; the default
     /// ignores the hooks.
     fn configure(&self, _hooks: &ContainerHooks) {}
+
+    /// Attach the out-of-core spill wiring. Called at most once, before
+    /// any [`Container::local`] handle exists, and only when the job
+    /// runs under a memory budget. Returns whether this container can
+    /// spill; the default refuses, which the runtime turns into an
+    /// [`InvalidConfig`](crate::error::SupmrError::InvalidConfig) error
+    /// rather than silently running unbounded.
+    fn configure_spill(&self, _hooks: &SpillHooks<K, C::Acc>) -> bool {
+        false
+    }
+
+    /// Whether spilled runs from this container hold *folded*
+    /// accumulators that must keep folding when equal keys meet across
+    /// runs in the external merge (`true` for combining containers), or
+    /// independent pairs that must pass through unfolded (`false` for
+    /// identity/run containers).
+    fn spill_folds() -> bool {
+        true
+    }
+
+    /// [`Container::into_drains`], with each payload tagged by the
+    /// partition index its keys belong to — the same index a spilled
+    /// run of those keys carries, so the external merge can pair
+    /// in-memory remainders with their on-disk runs. The default
+    /// enumeration is correct for containers whose drains *are* the
+    /// partitions in order.
+    fn into_indexed_drains(self, parts: usize) -> Vec<(usize, Self::Drain)> {
+        self.into_drains(parts).into_iter().enumerate().collect()
+    }
 
     /// Number of distinct keys currently held.
     fn distinct_keys(&self) -> usize;

@@ -14,18 +14,36 @@
 use super::Container;
 use crate::api::Emit;
 use crate::combiner::Combiner;
+use crate::spill::SpillHooks;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// One published map run, with its estimated in-memory footprint (the
+/// summed codec size hints; 0 when no budget is configured).
+struct SizedRun<K, V> {
+    bytes: u64,
+    pairs: Vec<(K, V)>,
+}
+
 /// Run-per-task storage for unique-key workloads.
 pub struct UnlockedContainer<K, V> {
-    runs: Mutex<Vec<Vec<(K, V)>>>,
+    runs: Mutex<Vec<SizedRun<K, V>>>,
     pairs: AtomicU64,
+    /// Out-of-core wiring ([`Container::configure_spill`]); `None`
+    /// keeps absorb on the unmetered hot path.
+    spill: Mutex<Option<SpillHooks<K, V>>>,
+    /// Single-spiller token (see the hash container's counterpart).
+    spilling: Mutex<()>,
 }
 
 impl<K, V> Default for UnlockedContainer<K, V> {
     fn default() -> Self {
-        UnlockedContainer { runs: Mutex::new(Vec::new()), pairs: AtomicU64::new(0) }
+        UnlockedContainer {
+            runs: Mutex::new(Vec::new()),
+            pairs: AtomicU64::new(0),
+            spill: Mutex::new(None),
+            spilling: Mutex::new(()),
+        }
     }
 }
 
@@ -45,6 +63,29 @@ impl<K, V> UnlockedContainer<K, V> {
     /// [`Container::total_pairs`], callable without naming a combiner).
     pub fn pair_count(&self) -> u64 {
         self.pairs.load(Ordering::Relaxed)
+    }
+
+    /// Spill largest published runs until the ledger is below its low
+    /// watermark. All runs carry partition tag 0: map runs are not
+    /// key-range partitioned, so under a budget the whole key space is
+    /// one external-merge partition.
+    fn spill_down(&self, hooks: &SpillHooks<K, V>) {
+        let Some(_token) = self.spilling.try_lock() else { return };
+        while hooks.accountant.over_low() {
+            let run = {
+                let mut runs = self.runs.lock();
+                let victim =
+                    runs.iter().enumerate().max_by_key(|(_, r)| r.bytes).map(|(idx, _)| idx);
+                match victim {
+                    Some(idx) => runs.swap_remove(idx),
+                    None => break,
+                }
+            };
+            if !run.pairs.is_empty() {
+                (hooks.sink)(0, run.pairs);
+            }
+            hooks.accountant.release(run.bytes);
+        }
     }
 }
 
@@ -77,7 +118,34 @@ where
             return;
         }
         self.pairs.fetch_add(local.pairs.len() as u64, Ordering::Relaxed);
-        self.runs.lock().push(local.pairs);
+        let spill = self.spill.lock().clone();
+        let bytes = match &spill {
+            Some(h) => local.pairs.iter().map(|(k, v)| (h.size_hint)(k, v) as u64).sum(),
+            None => 0,
+        };
+        self.runs.lock().push(SizedRun { bytes, pairs: local.pairs });
+        if let Some(hooks) = &spill {
+            if hooks.accountant.charge(bytes) {
+                self.spill_down(hooks);
+            }
+        }
+    }
+
+    fn configure_spill(&self, hooks: &SpillHooks<K, V>) -> bool {
+        *self.spill.lock() = Some(hooks.clone());
+        true
+    }
+
+    /// Runs hold independent unique-key pairs; folding them across runs
+    /// would corrupt identity-combined values.
+    fn spill_folds() -> bool {
+        false
+    }
+
+    /// Every run (like every spilled run) belongs to partition 0 — see
+    /// [`UnlockedContainer::spill_down`].
+    fn into_indexed_drains(self, _parts: usize) -> Vec<(usize, Self::Drain)> {
+        self.runs.into_inner().into_iter().map(|r| (0, r.pairs)).collect()
     }
 
     /// Unique-key assumption: every pair is its own key.
@@ -94,7 +162,7 @@ where
     /// them separate is what lets the merge experiments control the
     /// baseline's round count.
     fn into_drains(self, _parts: usize) -> Vec<Self::Drain> {
-        self.runs.into_inner()
+        self.runs.into_inner().into_iter().map(|r| r.pairs).collect()
     }
 
     /// A run already *is* reduce input; draining is the identity.

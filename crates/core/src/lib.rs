@@ -97,6 +97,7 @@ pub mod container;
 pub mod error;
 pub mod pool;
 pub mod runtime;
+pub mod spill;
 pub mod split;
 
 pub use api::{Emit, MapReduce};
@@ -106,6 +107,7 @@ pub use pool::{PoolMetrics, PoolMode};
 pub use runtime::{
     run_job, Input, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
 };
+pub use spill::{MemoryAccountant, PairCodec, SpillMetrics};
 pub use supmr_metrics::{
     EventKind, JobTrace, MetricsServer, MetricsSnapshot, Registry, StallStats, TraceEvent,
     TraceLevel,

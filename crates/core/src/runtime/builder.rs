@@ -153,6 +153,23 @@ impl<J: MapReduce> Job<J> {
         self
     }
 
+    /// Cap the intermediate set's resident footprint at `bytes`: past
+    /// the budget the container spills sorted runs to disk and the
+    /// reduce phase streams an external merge over them. Requires the
+    /// application to provide a
+    /// [`spill_codec`](crate::api::MapReduce::spill_codec).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Write spill runs under `dir` (created if absent) instead of a
+    /// per-job temporary directory.
+    pub fn spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.config.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Override the whole configuration.
     pub fn config(mut self, config: JobConfig) -> Self {
         self.config = config;

@@ -23,18 +23,25 @@ use crate::chunk::{Chunking, IngestChunk};
 use crate::container::{Container, ContainerHooks, ContainerMetrics};
 use crate::error::{panic_payload_string, Result, SupmrError};
 use crate::pool::{Executor, PoolMetrics, PoolMode, WaveOutcome, WorkerPool};
+use crate::spill::{DecodedRun, JobSpill, MemoryAccountant, SpillHooks, SpillMetrics, SpilledRun};
 use crate::split::chunk_splits;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use supmr_merge::{pairwise_merge_rounds, parallel_kway_merge};
+use supmr_merge::{merge_by_key, merge_fold, pairwise_merge_rounds, parallel_kway_merge};
 use supmr_metrics::sampler::UtilizationSampler;
 use supmr_metrics::{
     EventCallback, EventKind, JobTrace, Json, MetricsServer, MetricsSnapshot, Phase, PhaseTimer,
     PhaseTimings, Registry, StallStats, TraceLevel, Tracer, UtilTrace,
 };
-use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes, SourceExt};
+use supmr_storage::{
+    DataSource, DiskRunStore, FileSet, RecordFormat, RunStore, SharedBytes, SourceExt,
+};
 
 /// Job input: one large byte stream or a set of small files — the two
 /// Hadoop input shapes the paper's chunking strategies mirror.
@@ -135,6 +142,24 @@ pub struct JobConfig {
     /// across runs; `None` (default) keeps the per-container random
     /// seed, the HashDoS posture documented in DESIGN.md §3f.
     pub hash_seed: Option<u64>,
+    /// Byte budget for the intermediate container. `Some` engages
+    /// out-of-core execution: under memory pressure the container
+    /// spills sorted runs to the spill store and the reduce phase
+    /// switches to a streaming external merge (DESIGN.md §3g). Requires
+    /// the application to provide a
+    /// [`spill_codec`](crate::api::MapReduce::spill_codec) and the
+    /// container to accept
+    /// [`configure_spill`](crate::container::Container::configure_spill).
+    pub memory_budget: Option<u64>,
+    /// Directory for spill run files. `None` (default) uses a fresh
+    /// per-job directory under the system temp dir, removed when the
+    /// job completes. Ignored when [`JobConfig::spill_store`] is set.
+    pub spill_dir: Option<PathBuf>,
+    /// Explicit spill run store — how spill traffic joins the simulated
+    /// storage environment (throttled, observed, fault-injected run
+    /// stores stack like ingest sources do). `None` builds a plain
+    /// [`DiskRunStore`] from [`JobConfig::spill_dir`].
+    pub spill_store: Option<Arc<dyn RunStore>>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -154,6 +179,9 @@ impl std::fmt::Debug for JobConfig {
             .field("metrics", &self.metrics)
             .field("metrics_addr", &self.metrics_addr)
             .field("hash_seed", &self.hash_seed)
+            .field("memory_budget", &self.memory_budget)
+            .field("spill_dir", &self.spill_dir)
+            .field("spill_store", &self.spill_store.as_ref().map(|s| s.describe()))
             .finish()
     }
 }
@@ -176,6 +204,9 @@ impl Default for JobConfig {
             metrics: None,
             metrics_addr: None,
             hash_seed: None,
+            memory_budget: None,
+            spill_dir: None,
+            spill_store: None,
         }
     }
 }
@@ -222,6 +253,9 @@ impl JobConfig {
         }
         if self.on_event.is_some() && !self.trace.enabled() {
             return bad("an on_event callback requires trace level wave or task");
+        }
+        if self.memory_budget == Some(0) {
+            return bad("a memory budget must be non-zero (omit it to run unbounded)");
         }
         Ok(())
     }
@@ -284,6 +318,11 @@ pub struct JobStats {
     /// Total time the ingest side sat idle waiting for the mappers to
     /// release the buffer — the pipeline was map-bound for this long.
     pub ingest_waiting: Duration,
+    /// Sorted run files spilled under the memory budget (0 without a
+    /// budget or when the intermediate set stayed under it).
+    pub spill_runs: u64,
+    /// Framed bytes written into spill run files.
+    pub spill_bytes: u64,
 }
 
 impl JobStats {
@@ -361,6 +400,8 @@ impl JobReport {
             ("output_pairs", Json::from(s.output_pairs)),
             ("merge_rounds", Json::from(u64::from(s.merge_rounds))),
             ("merge_elements_moved", Json::from(s.merge_elements_moved)),
+            ("spill_runs", Json::from(s.spill_runs)),
+            ("spill_bytes", Json::from(s.spill_bytes)),
             ("rounds", rounds),
         ]);
         let stalls = Json::obj(vec![
@@ -590,7 +631,82 @@ pub(crate) fn container_hooks(config: &JobConfig) -> ContainerHooks {
     }
 }
 
+/// The out-of-core wiring for one job, when
+/// [`JobConfig::memory_budget`] is set: build the run store (explicit
+/// store > spill dir > fresh temp dir), the byte ledger, and the
+/// job-level spill sink, then hand the container its [`SpillHooks`].
+///
+/// Fails with [`SupmrError::InvalidConfig`] when the application has no
+/// [`spill_codec`](MapReduce::spill_codec) or the container refuses to
+/// spill — a budget the runtime cannot honor must not silently run
+/// unbounded.
+pub(crate) fn setup_spill<J: MapReduce>(
+    job: &Arc<J>,
+    container: &J::Container,
+    config: &JobConfig,
+    tracer: &Tracer,
+) -> Result<Option<Arc<JobSpill<J::Key, AccOf<J>>>>> {
+    let Some(budget) = config.memory_budget else { return Ok(None) };
+    let codec = job.spill_codec().ok_or_else(|| {
+        SupmrError::invalid_config(
+            "memory_budget is set but the application provides no spill codec",
+        )
+    })?;
+    let (store, cleanup): (Arc<dyn RunStore>, Option<PathBuf>) =
+        match (&config.spill_store, &config.spill_dir) {
+            (Some(store), _) => (Arc::clone(store), None),
+            (None, Some(dir)) => (Arc::new(DiskRunStore::create(dir)?), None),
+            (None, None) => {
+                // Unique per job within the process; removed (with the
+                // runs already gone) when the spill state drops.
+                static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+                let dir = std::env::temp_dir().join(format!(
+                    "supmr-spill-{}-{}",
+                    std::process::id(),
+                    SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                (Arc::new(DiskRunStore::create(&dir)?), Some(dir))
+            }
+        };
+    let metrics = config.metrics.as_ref().map(SpillMetrics::register);
+    let mut accountant = MemoryAccountant::new(budget);
+    if let Some(m) = &metrics {
+        m.budget_bytes.set(budget.min(i64::MAX as u64) as i64);
+        accountant = accountant.with_gauge(m.resident_bytes.clone());
+    }
+    let accountant = Arc::new(accountant);
+    let spill = Arc::new(JobSpill::new(
+        Arc::clone(&accountant),
+        codec,
+        store,
+        metrics,
+        tracer.clone(),
+        cleanup,
+    ));
+    let sink = {
+        let spill = Arc::clone(&spill);
+        Arc::new(move |partition: usize, pairs: Vec<(J::Key, AccOf<J>)>| {
+            spill.spill_partition(partition, pairs);
+        })
+    };
+    let hooks = SpillHooks {
+        accountant,
+        partitions: config.reduce_workers,
+        size_hint: codec.size_hint,
+        sink,
+    };
+    if !container.configure_spill(&hooks) {
+        return Err(SupmrError::invalid_config(
+            "memory_budget is set but the job's container does not support spilling",
+        ));
+    }
+    Ok(Some(spill))
+}
+
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
+/// With spilled runs on disk the reduce phase runs as a streaming
+/// external merge per partition; otherwise it is the in-memory
+/// drain-and-reduce wave.
 #[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 pub(crate) fn finish_job<J: MapReduce>(
     job: &Arc<J>,
@@ -599,9 +715,10 @@ pub(crate) fn finish_job<J: MapReduce>(
     exec: Executor<'_>,
     tracer: &Tracer,
     metrics: Option<&Arc<JobMetrics>>,
+    spill: Option<Arc<JobSpill<J::Key, AccOf<J>>>>,
     mut timer: PhaseTimer,
     mut stats: JobStats,
-) -> JobResult<J::Key, J::Output> {
+) -> Result<JobResult<J::Key, J::Output>> {
     stats.intermediate_pairs = container.total_pairs();
     stats.distinct_keys = container.distinct_keys() as u64;
 
@@ -611,11 +728,59 @@ pub(crate) fn finish_job<J: MapReduce>(
     let container = Arc::into_inner(container)
         .expect("map tasks release their container handles before the wave ends");
 
+    // A run that failed to write means the intermediate set is
+    // incomplete: surface the parked fault before reducing over it.
+    if let Some(sp) = &spill {
+        sp.check().map_err(|source| SupmrError::Ingest { chunk: None, source })?;
+        stats.spill_runs = sp.runs_written();
+        stats.spill_bytes = sp.bytes_written();
+    }
+
     timer.begin(Phase::Reduce);
-    // Decompose the container into per-partition drain payloads (cheap,
-    // here) and materialize each on a reduce worker (the expensive part,
-    // previously single-threaded on this thread), fused with that
-    // partition's reduce so the pairs stay hot in the worker's cache.
+    let reduced = match &spill {
+        Some(sp) if sp.runs_written() > 0 => {
+            external_reduce(job, container, sp, config, exec, tracer, &mut stats)?
+        }
+        _ => in_memory_reduce(job, container, config, exec, tracer, metrics, &mut stats),
+    };
+    timer.end(Phase::Reduce);
+    // Run guards have deleted their files inside the reduce tasks; this
+    // removes the per-job temp spill directory, when we created one.
+    drop(spill);
+
+    timer.begin(Phase::Merge);
+    let pairs = merge_phase::<J>(reduced, config, exec, tracer, metrics, &mut stats);
+    timer.end(Phase::Merge);
+    stats.output_pairs = pairs.len() as u64;
+
+    if let Some(m) = metrics {
+        m.jobs_completed.inc();
+    }
+    Ok(JobResult {
+        pairs,
+        report: JobReport {
+            timings: timer.finish(),
+            stats,
+            util: None,
+            trace: None,
+            metrics: None,
+        },
+    })
+}
+
+/// The in-memory reduce wave: decompose the container into per-partition
+/// drain payloads (cheap, here) and materialize each on a reduce worker
+/// (the expensive part), fused with that partition's reduce so the pairs
+/// stay hot in the worker's cache.
+fn in_memory_reduce<J: MapReduce>(
+    job: &Arc<J>,
+    container: J::Container,
+    config: &JobConfig,
+    exec: Executor<'_>,
+    tracer: &Tracer,
+    metrics: Option<&Arc<JobMetrics>>,
+    stats: &mut JobStats,
+) -> Vec<Vec<(J::Key, J::Output)>> {
     let drains = container.into_drains(config.reduce_workers);
     tracer.emit(EventKind::ReduceWaveStart { partitions: drains.len() as u64 });
     let reduce_job = Arc::clone(job);
@@ -655,28 +820,101 @@ pub(crate) fn finish_job<J: MapReduce>(
         },
     );
     tracer.emit(EventKind::ReduceWaveEnd);
-    timer.end(Phase::Reduce);
     stats.reduce_tasks = outcome.tasks;
     stats.add_wave(outcome);
+    reduced
+}
 
-    timer.begin(Phase::Merge);
-    let pairs = merge_phase::<J>(reduced, config, exec, tracer, metrics, &mut stats);
-    timer.end(Phase::Merge);
-    stats.output_pairs = pairs.len() as u64;
-
-    if let Some(m) = metrics {
-        m.jobs_completed.inc();
+/// The out-of-core reduce wave: group in-memory drains and spilled runs
+/// by partition, then per partition stream a p-way merge of the sorted
+/// run files plus the sorted in-memory remainder straight through
+/// `reduce` — one pass, no run read twice, run files deleted (by their
+/// guards) the moment their partition completes. Combining containers
+/// keep folding equal keys across runs; identity containers pass pairs
+/// through unfolded.
+fn external_reduce<J: MapReduce>(
+    job: &Arc<J>,
+    container: J::Container,
+    spill: &Arc<JobSpill<J::Key, AccOf<J>>>,
+    config: &JobConfig,
+    exec: Executor<'_>,
+    tracer: &Tracer,
+    stats: &mut JobStats,
+) -> Result<Vec<Vec<(J::Key, J::Output)>>> {
+    type Grouped<D> = BTreeMap<usize, (Vec<D>, Vec<SpilledRun>)>;
+    let mut grouped: Grouped<
+        <J::Container as Container<J::Key, J::Value, J::Combiner>>::Drain,
+    > = BTreeMap::new();
+    for (partition, drain) in container.into_indexed_drains(config.reduce_workers) {
+        grouped.entry(partition).or_default().0.push(drain);
     }
-    JobResult {
-        pairs,
-        report: JobReport {
-            timings: timer.finish(),
-            stats,
-            util: None,
-            trace: None,
-            metrics: None,
+    for run in spill.take_runs() {
+        grouped.entry(run.partition).or_default().1.push(run);
+    }
+    let tasks: Vec<_> = grouped.into_iter().map(|(p, (drains, runs))| (p, drains, runs)).collect();
+
+    tracer.emit(EventKind::ReduceWaveStart { partitions: tasks.len() as u64 });
+    let reduce_job = Arc::clone(job);
+    let task_tracer = tracer.level().tasks().then(|| tracer.clone());
+    let store = spill.store();
+    let codec = spill.codec();
+    let spill_metrics = spill.metrics();
+    let folds = <J::Container as Container<J::Key, J::Value, J::Combiner>>::spill_folds();
+    let (reduced, outcome) = exec.run_collect(
+        config.reduce_workers,
+        tasks,
+        move |_idx, (partition, drains, runs)| -> Result<Vec<(J::Key, J::Output)>> {
+            if let Some(t) = &task_tracer {
+                t.emit(EventKind::ExternalMergeStart {
+                    partition: partition as u64,
+                    runs: runs.len() as u64,
+                });
+            }
+            let t0 = Instant::now();
+            // Read/decode faults inside the merge stream park here (an
+            // iterator can't return Result mid-merge).
+            let parked: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+            let mut sources: Vec<Box<dyn Iterator<Item = (J::Key, AccOf<J>)>>> =
+                Vec::with_capacity(drains.len() + runs.len());
+            for payload in drains {
+                let mut part = <J::Container>::drain(payload);
+                part.sort_by(|a, b| a.0.cmp(&b.0));
+                sources.push(Box::new(part.into_iter()));
+            }
+            for run in &runs {
+                let decoded =
+                    DecodedRun::open(store.as_ref(), &run.name, codec.decode, Arc::clone(&parked))
+                        .map_err(|source| SupmrError::Ingest { chunk: None, source })?;
+                sources.push(Box::new(decoded));
+            }
+            let merged: Box<dyn Iterator<Item = (J::Key, AccOf<J>)>> = if folds {
+                Box::new(merge_fold(sources, |acc, other| {
+                    <J::Combiner as crate::combiner::Combiner<J::Value>>::merge(acc, other);
+                }))
+            } else {
+                Box::new(merge_by_key(sources))
+            };
+            let mut out = Vec::new();
+            for (k, acc) in merged {
+                let o = reduce_job.reduce(&k, acc);
+                out.push((k, o));
+            }
+            if let Some(detail) = parked.lock().take() {
+                return Err(SupmrError::Merge { message: detail });
+            }
+            if let Some(m) = &spill_metrics {
+                m.merge_us.record_duration_us(t0.elapsed());
+            }
+            if let Some(t) = &task_tracer {
+                t.emit(EventKind::ExternalMergeEnd { partition: partition as u64 });
+            }
+            Ok(out)
         },
-    }
+    );
+    tracer.emit(EventKind::ReduceWaveEnd);
+    stats.reduce_tasks = outcome.tasks;
+    stats.add_wave(outcome);
+    reduced.into_iter().collect()
 }
 
 /// Pair wrapper ordering on the key only, so outputs need not be `Ord`.

@@ -30,6 +30,7 @@ pub fn run<J: MapReduce>(
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "original"));
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
+    let spill = super::setup_spill(job, &container, config, tracer)?;
 
     timer.begin(Phase::Ingest);
     tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });
@@ -51,5 +52,5 @@ pub fn run<J: MapReduce>(
     stats.add_wave(outcome);
     drop(chunk); // input buffer freed before reduce, as in Phoenix++
 
-    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
 }

@@ -126,6 +126,7 @@ fn run_double_buffered<J: MapReduce>(
     // Created once, persists across all map rounds.
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
+    let spill = super::setup_spill(job, &container, config, tracer)?;
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
@@ -226,7 +227,7 @@ fn run_double_buffered<J: MapReduce>(
         round += 1;
     }
 
-    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
 }
 
 /// N-buffered variant: a single long-lived ingest thread streams chunks
@@ -247,6 +248,7 @@ fn run_buffered<J: MapReduce>(
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
+    let spill = super::setup_spill(job, &container, config, tracer)?;
 
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);
@@ -334,7 +336,7 @@ fn run_buffered<J: MapReduce>(
     timer.end(Phase::Map);
     timer.end(Phase::Ingest);
 
-    Ok(finish_job(job, container, config, exec, tracer, metrics.as_ref(), timer, stats))
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,360 @@
+//! Out-of-core execution: jobs run under a memory budget must spill,
+//! produce output identical to an unbounded run, surface spill-run I/O
+//! faults as typed errors (never panics or hangs), and leave no run
+//! files behind — on success, failure, or task panic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::ErrorKind;
+use std::sync::Arc;
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::{Identity, Sum};
+use supmr::container::{HashContainer, UnlockedContainer};
+use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::{Chunking, PairCodec, SupmrError};
+use supmr_storage::{FaultyRunStore, MemRunStore, MemSource};
+
+/// WordCount with a spill codec: `u32 LE` word length, word, `u64 LE`
+/// count. Folding container, so spilled runs keep folding on merge.
+struct SpillingWordCount;
+
+impl MapReduce for SpillingWordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &String, acc: u64) -> u64 {
+        acc
+    }
+
+    fn spill_codec(&self) -> Option<PairCodec<String, u64>> {
+        fn encode(key: &String, count: &u64, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key.as_bytes());
+            buf.extend_from_slice(&count.to_le_bytes());
+        }
+        fn decode(rec: &[u8]) -> Option<(String, u64)> {
+            let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
+            let key = String::from_utf8(rec.get(4..4 + klen)?.to_vec()).ok()?;
+            let count = u64::from_le_bytes(rec.get(4 + klen..4 + klen + 8)?.try_into().ok()?);
+            (rec.len() == 4 + klen + 8).then_some((key, count))
+        }
+        fn size_hint(key: &String, _count: &u64) -> usize {
+            std::mem::size_of::<String>() + key.len() + 8
+        }
+        Some(PairCodec { encode, decode, size_hint })
+    }
+}
+
+/// WordCount without a codec, for the must-reject configuration test.
+struct CodeclessWordCount;
+
+impl MapReduce for CodeclessWordCount {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &String, acc: u64) -> u64 {
+        acc
+    }
+}
+
+/// A tiny identity-combined sorter over newline records (key = first 3
+/// bytes), exercising the unlocked container's spill path, which must
+/// NOT fold duplicate keys across runs.
+struct MiniSort;
+
+impl MapReduce for MiniSort {
+    type Key = Vec<u8>;
+    type Value = Vec<u8>;
+    type Combiner = Identity;
+    type Output = Vec<u8>;
+    type Container = UnlockedContainer<Vec<u8>, Vec<u8>>;
+
+    fn make_container(&self) -> Self::Container {
+        UnlockedContainer::new()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<Vec<u8>, Vec<u8>>) {
+        for rec in split.split(|&b| b == b'\n').filter(|r| !r.is_empty()) {
+            emit.emit(rec[..rec.len().min(3)].to_vec(), rec.to_vec());
+        }
+    }
+
+    fn reduce(&self, _k: &Vec<u8>, rec: Vec<u8>) -> Vec<u8> {
+        rec
+    }
+
+    fn spill_codec(&self) -> Option<PairCodec<Vec<u8>, Vec<u8>>> {
+        fn encode(key: &Vec<u8>, rec: &Vec<u8>, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+            buf.extend_from_slice(rec);
+        }
+        fn decode(rec: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+            let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
+            Some((rec.get(4..4 + klen)?.to_vec(), rec.get(4 + klen..)?.to_vec()))
+        }
+        fn size_hint(key: &Vec<u8>, rec: &Vec<u8>) -> usize {
+            2 * std::mem::size_of::<Vec<u8>>() + key.len() + rec.len()
+        }
+        Some(PairCodec { encode, decode, size_hint })
+    }
+}
+
+fn base_config() -> JobConfig {
+    JobConfig {
+        map_workers: 3,
+        reduce_workers: 2,
+        split_bytes: 16,
+        merge: MergeMode::PWay { ways: 4 },
+        ..JobConfig::default()
+    }
+}
+
+fn budgeted_config(budget: u64, store: &MemRunStore) -> JobConfig {
+    let mut config = base_config();
+    config.memory_budget = Some(budget);
+    config.spill_store = Some(Arc::new(store.clone()));
+    config
+}
+
+/// Newline text over a small alphabet so keys collide and fold.
+fn arb_text() -> impl Strategy<Value = Vec<u8>> {
+    vec(vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b' ')], 0..30), 0..60).prop_map(
+        |lines| {
+            let mut out = Vec::new();
+            for l in lines {
+                out.extend_from_slice(&l);
+                out.push(b'\n');
+            }
+            out
+        },
+    )
+}
+
+/// Enough distinct words that any byte-scale budget forces spills.
+fn wide_corpus() -> Vec<u8> {
+    let mut text = Vec::new();
+    for i in 0..400u32 {
+        text.extend_from_slice(format!("word{:04} common{} word{:04}\n", i, i % 7, i / 2).as_bytes());
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn budgeted_wordcount_matches_unbounded(data in arb_text(), budget in 1u64..4096) {
+        let unbounded = run_job(
+            SpillingWordCount,
+            Input::stream(MemSource::from(data.clone())),
+            base_config(),
+        ).unwrap();
+        let store = MemRunStore::new();
+        let spilled = run_job(
+            SpillingWordCount,
+            Input::stream(MemSource::from(data)),
+            budgeted_config(budget, &store),
+        ).unwrap();
+        prop_assert_eq!(spilled.sorted_pairs(), unbounded.sorted_pairs());
+        prop_assert!(store.is_empty(), "run files must be deleted after the merge");
+    }
+
+    #[test]
+    fn budgeted_sort_matches_unbounded(data in arb_text(), budget in 1u64..4096) {
+        let unbounded = run_job(
+            MiniSort,
+            Input::stream(MemSource::from(data.clone())),
+            base_config(),
+        ).unwrap();
+        let store = MemRunStore::new();
+        let spilled = run_job(
+            MiniSort,
+            Input::stream(MemSource::from(data)),
+            budgeted_config(budget, &store),
+        ).unwrap();
+        // Duplicate keys make equal-key order path-dependent; compare
+        // the full (key, record) multiset.
+        let mut a = unbounded.pairs;
+        let mut b = spilled.pairs;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert!(store.is_empty(), "run files must be deleted after the merge");
+    }
+}
+
+#[test]
+fn tiny_budget_actually_spills_and_reports_it() {
+    let store = MemRunStore::new();
+    let r = run_job(
+        SpillingWordCount,
+        Input::stream(MemSource::from(wide_corpus())),
+        budgeted_config(64, &store),
+    )
+    .unwrap();
+    assert!(r.report.stats.spill_runs > 0, "64-byte budget must spill");
+    assert!(r.report.stats.spill_bytes > 0);
+    let json = r.report.to_json().render();
+    assert!(json.contains("\"spill_runs\""), "report JSON carries spill stats: {json}");
+    assert!(store.is_empty(), "run files must be deleted after the merge");
+}
+
+#[test]
+fn unbudgeted_jobs_report_zero_spill() {
+    let r = run_job(
+        SpillingWordCount,
+        Input::stream(MemSource::from(wide_corpus())),
+        base_config(),
+    )
+    .unwrap();
+    assert_eq!(r.report.stats.spill_runs, 0);
+    assert_eq!(r.report.stats.spill_bytes, 0);
+}
+
+#[test]
+fn budgeted_pipeline_runtime_matches_unbounded() {
+    let data = wide_corpus();
+    let mut unbounded_cfg = base_config();
+    unbounded_cfg.chunking = Chunking::Inter { chunk_bytes: 512 };
+    let unbounded =
+        run_job(SpillingWordCount, Input::stream(MemSource::from(data.clone())), unbounded_cfg)
+            .unwrap();
+    let store = MemRunStore::new();
+    let mut cfg = budgeted_config(128, &store);
+    cfg.chunking = Chunking::Inter { chunk_bytes: 512 };
+    let spilled =
+        run_job(SpillingWordCount, Input::stream(MemSource::from(data)), cfg).unwrap();
+    assert!(spilled.report.stats.spill_runs > 0);
+    assert_eq!(spilled.sorted_pairs(), unbounded.sorted_pairs());
+    assert!(store.is_empty());
+}
+
+#[test]
+fn budget_without_codec_is_rejected() {
+    let mut config = base_config();
+    config.memory_budget = Some(1024);
+    let err = run_job(CodeclessWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+        .unwrap_err();
+    assert!(matches!(err, SupmrError::InvalidConfig { .. }), "got {err:?}");
+}
+
+#[test]
+fn zero_budget_is_rejected() {
+    let mut config = base_config();
+    config.memory_budget = Some(0);
+    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(vec![b'a'])), config)
+        .unwrap_err();
+    assert!(matches!(err, SupmrError::InvalidConfig { .. }), "got {err:?}");
+}
+
+#[test]
+fn run_write_faults_surface_as_ingest_errors() {
+    let store = MemRunStore::new();
+    let faulty = FaultyRunStore::fail_writes_after(Arc::new(store.clone()), 0, ErrorKind::Other);
+    let mut config = base_config();
+    config.memory_budget = Some(64);
+    config.spill_store = Some(Arc::new(faulty));
+    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+        .unwrap_err();
+    assert!(matches!(err, SupmrError::Ingest { .. }), "got {err:?}");
+    assert!(store.is_empty(), "partial runs must be cleaned up after a write fault");
+}
+
+#[test]
+fn run_read_faults_surface_as_typed_errors_not_panics() {
+    let store = MemRunStore::new();
+    // Writes succeed (runs land intact), reads die partway through the
+    // external merge.
+    let faulty = FaultyRunStore::fail_reads_after(Arc::new(store.clone()), 32, ErrorKind::Other);
+    let mut config = base_config();
+    config.memory_budget = Some(64);
+    config.spill_store = Some(Arc::new(faulty));
+    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+        .unwrap_err();
+    assert!(
+        matches!(err, SupmrError::Merge { .. } | SupmrError::Ingest { .. }),
+        "read faults must come back typed, got {err:?}"
+    );
+    assert!(store.is_empty(), "run files must be cleaned up after a read fault");
+}
+
+/// WordCount that panics mid-map once enough input has passed, so some
+/// spill runs exist when the wave dies.
+struct PanicAfterSpill;
+
+impl MapReduce for PanicAfterSpill {
+    type Key = String;
+    type Value = u64;
+    type Combiner = Sum;
+    type Output = u64;
+    type Container = HashContainer<String, u64, Sum>;
+
+    fn make_container(&self) -> Self::Container {
+        HashContainer::default()
+    }
+
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
+        if split.contains(&b'!') {
+            panic!("injected map panic");
+        }
+        for word in split.split(|b| b.is_ascii_whitespace()) {
+            if !word.is_empty() {
+                emit.emit(String::from_utf8_lossy(word).into_owned(), 1);
+            }
+        }
+    }
+
+    fn reduce(&self, _k: &String, acc: u64) -> u64 {
+        acc
+    }
+
+    fn spill_codec(&self) -> Option<PairCodec<String, u64>> {
+        SpillingWordCount.spill_codec()
+    }
+}
+
+#[test]
+fn map_panic_mid_spill_leaks_no_run_files() {
+    let mut data = wide_corpus();
+    data.extend_from_slice(b"boom!\n");
+    let store = MemRunStore::new();
+    let err = run_job(
+        PanicAfterSpill,
+        Input::stream(MemSource::from(data)),
+        budgeted_config(64, &store),
+    )
+    .unwrap_err();
+    assert!(matches!(err, SupmrError::TaskPanic { .. }), "got {err:?}");
+    assert!(store.is_empty(), "abandoned runs must be deleted when the job dies");
+}

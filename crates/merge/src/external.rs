@@ -7,32 +7,143 @@
 //! in-memory SupMR runtime never needs this on the paper's 384GB box,
 //! but a library a downstream user adopts for "large batch computations"
 //! does; this module provides it on top of the same
-//! [`LoserTree`](crate::LoserTree).
+//! [`LoserTree`](crate::LoserTree), and the runtime's out-of-core spill
+//! path (`supmr::spill`) builds on the same run format.
 //!
 //! Records are opaque byte strings ordered lexicographically (the
-//! Terasort order), stored length-prefixed (`u32` little-endian) in the
-//! run files.
+//! Terasort order). Each record is framed as
+//! `u32 length (LE) | u32 CRC32 (LE) | payload`: the checksum covers the
+//! payload, so a truncated or bit-rotted run file surfaces as a typed
+//! [`RunReadError::Corrupt`] instead of a mis-parsed length prefix.
 
 use crate::loser_tree::merge_iterators;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-/// Writes one sorted run as a length-prefixed record file.
-pub struct RunWriter {
-    out: BufWriter<File>,
-    path: PathBuf,
-    records: u64,
+/// IEEE CRC-32 lookup table (reflected polynomial 0xEDB88320),
+/// generated at compile time so the crate stays dependency-free.
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
 }
 
-impl RunWriter {
+/// IEEE CRC-32 of `data` (the zlib/PNG polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// What went wrong while reading a run file.
+///
+/// `Io` is the transport failing (disk error, injected fault); `Corrupt`
+/// is the file contents lying (truncation mid-record, checksum
+/// mismatch, impossible length prefix).
+#[derive(Debug)]
+pub enum RunReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file bytes are inconsistent with the run format.
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl RunReadError {
+    /// The closest `io::ErrorKind`: corruption maps to `InvalidData`.
+    pub fn kind(&self) -> io::ErrorKind {
+        match self {
+            RunReadError::Io(e) => e.kind(),
+            RunReadError::Corrupt { .. } => io::ErrorKind::InvalidData,
+        }
+    }
+
+    /// Whether this is a corruption (vs transport) error.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, RunReadError::Corrupt { .. })
+    }
+}
+
+impl fmt::Display for RunReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunReadError::Io(e) => write!(f, "run file read failed: {e}"),
+            RunReadError::Corrupt { detail } => write!(f, "run file corrupt: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RunReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunReadError::Io(e) => Some(e),
+            RunReadError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<RunReadError> for io::Error {
+    fn from(e: RunReadError) -> io::Error {
+        match e {
+            RunReadError::Io(e) => e,
+            RunReadError::Corrupt { detail } => io::Error::new(io::ErrorKind::InvalidData, detail),
+        }
+    }
+}
+
+/// Writes one sorted run as a checksummed, length-prefixed record file.
+///
+/// Generic over the sink so spill runs can be written through the
+/// storage layer (throttled, observed, fault-injected); plain file runs
+/// use the [`RunWriter::create`] constructor.
+pub struct RunWriter<W: Write = BufWriter<File>> {
+    out: W,
+    path: PathBuf,
+    records: u64,
+    bytes: u64,
+}
+
+impl RunWriter<BufWriter<File>> {
     /// Create a run file at `path` (parent directories are created).
     pub fn create(path: impl AsRef<Path>) -> io::Result<RunWriter> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        Ok(RunWriter { out: BufWriter::new(File::create(&path)?), path, records: 0 })
+        Ok(RunWriter {
+            out: BufWriter::new(File::create(&path)?),
+            path,
+            records: 0,
+            bytes: 0,
+        })
+    }
+}
+
+impl<W: Write> RunWriter<W> {
+    /// Wrap an arbitrary sink (the returned path from [`finish`] is
+    /// empty; stream writers name their runs out of band).
+    ///
+    /// [`finish`]: RunWriter::finish
+    pub fn from_writer(out: W) -> RunWriter<W> {
+        RunWriter { out, path: PathBuf::new(), records: 0, bytes: 0 }
     }
 
     /// Append one record (caller guarantees run order).
@@ -43,9 +154,21 @@ impl RunWriter {
         let len = u32::try_from(record.len())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "record too large"))?;
         self.out.write_all(&len.to_le_bytes())?;
+        self.out.write_all(&crc32(record).to_le_bytes())?;
         self.out.write_all(record)?;
         self.records += 1;
+        self.bytes += 8 + record.len() as u64;
         Ok(())
+    }
+
+    /// Records pushed so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes framed so far (record payloads plus headers).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Flush and close, returning the path and record count.
@@ -55,41 +178,77 @@ impl RunWriter {
     }
 }
 
-/// Streams the records of one run file.
-pub struct RunReader {
-    input: BufReader<File>,
-    /// Deferred I/O error (iterators can't return `Result` cleanly; the
+/// Streams the records of one run file, verifying each checksum.
+///
+/// Generic over the byte source so spill runs can be read back through
+/// the storage layer; plain files use [`RunReader::open`].
+pub struct RunReader<R: Read = BufReader<File>> {
+    input: R,
+    /// Deferred error (iterators can't return `Result` cleanly; the
     /// merge surfaces this after iteration).
-    error: Option<io::Error>,
+    error: Option<RunReadError>,
 }
 
-impl RunReader {
+impl RunReader<BufReader<File>> {
     /// Open a run file.
     pub fn open(path: impl AsRef<Path>) -> io::Result<RunReader> {
         Ok(RunReader { input: BufReader::new(File::open(path)?), error: None })
     }
+}
 
-    /// Any I/O error encountered while iterating.
-    pub fn take_error(&mut self) -> Option<io::Error> {
+impl<R: Read> RunReader<R> {
+    /// Wrap an arbitrary byte source (callers buffer if they need to).
+    pub fn from_reader(input: R) -> RunReader<R> {
+        RunReader { input, error: None }
+    }
+
+    /// Any error encountered while iterating.
+    pub fn take_error(&mut self) -> Option<RunReadError> {
         self.error.take()
+    }
+
+    /// Read exactly `buf.len()` bytes; EOF mid-way is corruption
+    /// (truncated file), any other failure is transport.
+    fn fill(&mut self, buf: &mut [u8], what: &str) -> Result<(), RunReadError> {
+        self.input.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                RunReadError::Corrupt { detail: format!("truncated while reading {what}") }
+            } else {
+                RunReadError::Io(e)
+            }
+        })
     }
 }
 
-impl Iterator for RunReader {
+impl<R: Read> Iterator for RunReader<R> {
     type Item = Vec<u8>;
 
     fn next(&mut self) -> Option<Vec<u8>> {
         if self.error.is_some() {
             return None;
         }
+        // The length prefix is the one place EOF is legitimate — but
+        // only on a record boundary, so read it byte-aware: zero bytes
+        // is a clean end, a partial prefix is truncation.
         let mut len_buf = [0u8; 4];
-        match self.input.read_exact(&mut len_buf) {
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
-            Err(e) => {
-                self.error = Some(e);
-                return None;
+        let mut filled = 0;
+        while filled < 4 {
+            match self.input.read(&mut len_buf[filled..]) {
+                Ok(0) if filled == 0 => return None,
+                Ok(0) => {
+                    self.error = Some(RunReadError::Corrupt {
+                        detail: format!("truncated length prefix ({filled} of 4 bytes)"),
+                    });
+                    return None;
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && filled == 0 => return None,
+                Err(e) => {
+                    self.error = Some(RunReadError::Io(e));
+                    return None;
+                }
             }
-            Ok(()) => {}
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         // A corrupt prefix must surface as an error, not a giant
@@ -97,15 +256,26 @@ impl Iterator for RunReader {
         // this bound.
         const MAX_RECORD: usize = 256 * 1024 * 1024;
         if len > MAX_RECORD {
-            self.error = Some(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("corrupt record length {len}"),
-            ));
+            self.error =
+                Some(RunReadError::Corrupt { detail: format!("impossible record length {len}") });
             return None;
         }
-        let mut rec = vec![0u8; len];
-        if let Err(e) = self.input.read_exact(&mut rec) {
+        let mut crc_buf = [0u8; 4];
+        if let Err(e) = self.fill(&mut crc_buf, "record checksum") {
             self.error = Some(e);
+            return None;
+        }
+        let expected = u32::from_le_bytes(crc_buf);
+        let mut rec = vec![0u8; len];
+        if let Err(e) = self.fill(&mut rec, "record payload") {
+            self.error = Some(e);
+            return None;
+        }
+        let actual = crc32(&rec);
+        if actual != expected {
+            self.error = Some(RunReadError::Corrupt {
+                detail: format!("record checksum mismatch (stored {expected:08x}, computed {actual:08x})"),
+            });
             return None;
         }
         Some(rec)
@@ -145,7 +315,7 @@ pub fn spill_sorted_runs(
     };
 
     for rec in records {
-        buffered_bytes += rec.len() + 4;
+        buffered_bytes += rec.len() + 8;
         buffer.push(rec);
         if buffered_bytes >= run_budget_bytes {
             spill(&mut buffer, &mut paths)?;
@@ -159,7 +329,7 @@ pub fn spill_sorted_runs(
 /// Merge previously-spilled run files into one sorted record stream.
 /// The merge is streaming: memory use is one buffered record per run.
 ///
-/// Caveat: mid-stream I/O errors end the affected run silently (the
+/// Caveat: mid-stream read errors end the affected run silently (the
 /// iterator protocol has nowhere to put them). Callers that must detect
 /// truncation should compare the merged record count against the counts
 /// returned by [`spill_sorted_runs`], as [`external_sort`] does.
@@ -222,6 +392,13 @@ mod tests {
     }
 
     #[test]
+    fn crc32_known_vectors() {
+        // The zlib/PNG IEEE polynomial's canonical check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn run_file_round_trip() {
         let dir = temp_dir("roundtrip");
         let mut w = RunWriter::create(dir.join("r.dat")).unwrap();
@@ -229,6 +406,7 @@ mod tests {
         for r in &records {
             w.push(r).unwrap();
         }
+        assert_eq!(w.records(), 3);
         let (path, count) = w.finish().unwrap();
         assert_eq!(count, 3);
         let mut reader = RunReader::open(&path).unwrap();
@@ -239,14 +417,63 @@ mod tests {
     }
 
     #[test]
+    fn stream_writer_reader_round_trip() {
+        let mut buf = Vec::new();
+        let mut w = RunWriter::from_writer(&mut buf);
+        w.push(b"one").unwrap();
+        w.push(b"two").unwrap();
+        assert_eq!(w.bytes(), 8 + 3 + 8 + 3);
+        let (path, n) = w.finish().unwrap();
+        assert_eq!(path, PathBuf::new());
+        assert_eq!(n, 2);
+        let mut r = RunReader::from_reader(buf.as_slice());
+        let got: Vec<Vec<u8>> = r.by_ref().collect();
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(r.take_error().is_none());
+    }
+
+    #[test]
     fn truncated_run_file_reports_an_error() {
         let dir = temp_dir("truncated");
         let path = dir.join("bad.dat");
-        // Length prefix says 100 bytes, only 3 present.
+        // Length prefix says 100 bytes; the checksum and payload are cut
+        // short.
         std::fs::write(&path, [100u32.to_le_bytes().as_slice(), b"abc"].concat()).unwrap();
         let mut reader = RunReader::open(&path).unwrap();
         assert!(reader.by_ref().next().is_none());
-        assert!(reader.take_error().is_some(), "truncation must surface");
+        let err = reader.take_error().expect("truncation must surface");
+        assert!(err.is_corrupt(), "truncation is corruption: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_length_prefix_reports_an_error() {
+        let dir = temp_dir("shortlen");
+        let path = dir.join("bad.dat");
+        std::fs::write(&path, [7u8, 0]).unwrap();
+        let mut reader = RunReader::open(&path).unwrap();
+        assert!(reader.by_ref().next().is_none());
+        let err = reader.take_error().expect("partial prefix must surface");
+        assert!(err.is_corrupt(), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_rot_fails_the_checksum() {
+        let dir = temp_dir("bitrot");
+        let mut w = RunWriter::create(dir.join("r.dat")).unwrap();
+        w.push(b"stable payload").unwrap();
+        let (path, _) = w.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip one payload bit
+        std::fs::write(&path, &bytes).unwrap();
+        let mut reader = RunReader::open(&path).unwrap();
+        assert!(reader.by_ref().next().is_none());
+        let err = reader.take_error().expect("bit rot must surface");
+        assert!(err.is_corrupt(), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -299,6 +526,7 @@ mod tests {
         assert!(reader.by_ref().next().is_none());
         let err = reader.take_error().expect("corruption must surface");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.is_corrupt());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,156 @@
+//! Key-ordered merging of `(key, accumulator)` streams.
+//!
+//! The spill-aware reduce path merges several key-sorted sources per
+//! partition — spilled run files plus the in-memory remainder — and must
+//! either **fold** equal keys with the job's combiner (hash-container
+//! jobs, where each source holds at most one entry per key) or keep
+//! every record (identity-combiner jobs like Terasort, where duplicates
+//! are real data). Both shapes ride the same
+//! [`LoserTree`](crate::LoserTree) used everywhere else in this crate,
+//! ordered by key only.
+
+use crate::loser_tree::{merge_iterators, LoserTree};
+
+/// A `(key, accumulator)` pair ordered **by key only**, so the loser
+/// tree never compares (or requires ordering on) accumulator values.
+pub struct Keyed<K, A> {
+    /// Sort key.
+    pub key: K,
+    /// Payload carried alongside the key, ignored by comparisons.
+    pub acc: A,
+}
+
+impl<K: Ord, A> PartialEq for Keyed<K, A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<K: Ord, A> Eq for Keyed<K, A> {}
+
+impl<K: Ord, A> PartialOrd for Keyed<K, A> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord, A> Ord for Keyed<K, A> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Adapts an `Iterator<Item = (K, A)>` into keyed items for the tree.
+pub struct KeyedIter<I>(I);
+
+impl<K, A, I: Iterator<Item = (K, A)>> Iterator for KeyedIter<I> {
+    type Item = Keyed<K, A>;
+
+    fn next(&mut self) -> Option<Keyed<K, A>> {
+        self.0.next().map(|(key, acc)| Keyed { key, acc })
+    }
+}
+
+/// Merge key-sorted `(key, acc)` sources into one key-sorted stream,
+/// preserving duplicates (no folding). Memory use is one buffered pair
+/// per source.
+pub fn merge_by_key<K: Ord, A, I>(sources: Vec<I>) -> impl Iterator<Item = (K, A)>
+where
+    I: Iterator<Item = (K, A)>,
+{
+    merge_iterators(sources.into_iter().map(KeyedIter).collect()).map(|k| (k.key, k.acc))
+}
+
+/// Merge key-sorted `(key, acc)` sources into one key-sorted stream,
+/// folding equal keys with `fold` (first accumulator wins the slot, the
+/// rest are folded into it in merge order). One output pair per
+/// distinct key.
+pub fn merge_fold<K, A, I, F>(sources: Vec<I>, fold: F) -> FoldedMerge<K, A, I, F>
+where
+    K: Ord,
+    I: Iterator<Item = (K, A)>,
+    F: FnMut(&mut A, A),
+{
+    FoldedMerge {
+        inner: merge_iterators(sources.into_iter().map(KeyedIter).collect()),
+        pending: None,
+        fold,
+    }
+}
+
+/// Streaming combiner-folding merge returned by [`merge_fold`].
+pub struct FoldedMerge<K: Ord, A, I: Iterator<Item = (K, A)>, F> {
+    inner: LoserTree<Keyed<K, A>, KeyedIter<I>>,
+    pending: Option<(K, A)>,
+    fold: F,
+}
+
+impl<K, A, I, F> Iterator for FoldedMerge<K, A, I, F>
+where
+    K: Ord,
+    I: Iterator<Item = (K, A)>,
+    F: FnMut(&mut A, A),
+{
+    type Item = (K, A);
+
+    fn next(&mut self) -> Option<(K, A)> {
+        loop {
+            match self.inner.next() {
+                Some(Keyed { key, acc }) => match &mut self.pending {
+                    Some((pk, pa)) if *pk == key => (self.fold)(pa, acc),
+                    pending => {
+                        if let Some(done) = pending.replace((key, acc)) {
+                            return Some(done);
+                        }
+                    }
+                },
+                None => return self.pending.take(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_by_key_keeps_duplicates() {
+        let a = vec![(1, "a1"), (3, "a3"), (3, "a3b")];
+        let b = vec![(2, "b2"), (3, "b3")];
+        let merged: Vec<(i32, &str)> = merge_by_key(vec![a.into_iter(), b.into_iter()]).collect();
+        assert_eq!(merged.len(), 5);
+        let keys: Vec<i32> = merged.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn merge_fold_folds_equal_keys() {
+        let a = vec![("ant", 2u64), ("bee", 1)];
+        let b = vec![("ant", 5u64), ("cat", 7)];
+        let c = vec![("bee", 10u64)];
+        let merged: Vec<(&str, u64)> =
+            merge_fold(vec![a.into_iter(), b.into_iter(), c.into_iter()], |acc, v| *acc += v)
+                .collect();
+        assert_eq!(merged, vec![("ant", 7), ("bee", 11), ("cat", 7)]);
+    }
+
+    #[test]
+    fn merge_fold_handles_empty_and_single_sources() {
+        let empty: Vec<(i32, i32)> = Vec::new();
+        let merged: Vec<(i32, i32)> =
+            merge_fold(vec![empty.into_iter()], |acc, v| *acc += v).collect();
+        assert!(merged.is_empty());
+
+        let one = vec![(1, 10), (1, 20), (2, 5)];
+        let merged: Vec<(i32, i32)> =
+            merge_fold(vec![one.into_iter()], |acc, v| *acc += v).collect();
+        assert_eq!(merged, vec![(1, 30), (2, 5)]);
+    }
+
+    #[test]
+    fn merge_no_sources_is_empty() {
+        let sources: Vec<std::vec::IntoIter<(u8, u8)>> = Vec::new();
+        assert_eq!(merge_by_key(sources).count(), 0);
+    }
+}

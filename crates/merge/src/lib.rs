@@ -36,13 +36,17 @@
 //! ```
 
 pub mod external;
+pub mod folded;
 pub mod heap;
 pub mod kway;
 pub mod loser_tree;
 pub mod pairwise;
 pub mod sort;
 
-pub use external::{external_sort, merge_run_files, spill_sorted_runs, RunReader, RunWriter};
+pub use external::{
+    crc32, external_sort, merge_run_files, spill_sorted_runs, RunReadError, RunReader, RunWriter,
+};
+pub use folded::{merge_by_key, merge_fold, FoldedMerge, Keyed};
 pub use heap::heap_kway_merge;
 pub use kway::{kway_merge, parallel_kway_merge, KwayStats};
 pub use loser_tree::{merge_iterators, LoserTree};

@@ -111,13 +111,16 @@ fn timeline_glyph(key: SpanKey) -> char {
         SpanKey::ReduceWave | SpanKey::Reduce(_) => 'R',
         SpanKey::Drain(_) => 'D',
         SpanKey::Merge(_) => 'G',
+        SpanKey::SpillRun(_) => 'S',
+        SpanKey::ExternalMerge(_) => 'X',
     }
 }
 
 /// Render a [`JobTrace`] as an ASCII Gantt timeline: one row per thread,
 /// phase spans drawn with per-phase glyphs (`I` ingest, `M` map, `R`
-/// reduce, `G` merge) and stalls drawn as `.` — the textual analogue of
-/// the paper's Fig. 2 pipeline diagram.
+/// reduce, `G` merge, `S` spill run, `X` external merge) and stalls
+/// drawn as `.` — the textual analogue of the paper's Fig. 2 pipeline
+/// diagram.
 pub fn render_timeline(trace: &JobTrace, opts: &ChartOptions) -> String {
     let mut out = String::new();
     if !opts.title.is_empty() {

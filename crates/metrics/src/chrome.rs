@@ -26,6 +26,8 @@ fn span_name(key: SpanKey) -> String {
         SpanKey::Drain(partition) => format!("drain partition {partition}"),
         SpanKey::Reduce(partition) => format!("reduce partition {partition}"),
         SpanKey::Merge(round) => format!("merge round {round}"),
+        SpanKey::SpillRun(run) => format!("spill run {run}"),
+        SpanKey::ExternalMerge(partition) => format!("external merge partition {partition}"),
     }
 }
 
@@ -35,6 +37,7 @@ fn span_category(key: SpanKey) -> &'static str {
         SpanKey::MapWave(_) | SpanKey::MapTask(..) => "map",
         SpanKey::ReduceWave | SpanKey::Drain(_) | SpanKey::Reduce(_) => "reduce",
         SpanKey::Merge(_) => "merge",
+        SpanKey::SpillRun(_) | SpanKey::ExternalMerge(_) => "spill",
     }
 }
 
@@ -46,6 +49,10 @@ fn span_args(start: &EventKind) -> Vec<(&'static str, Json)> {
             vec![("partitions", Json::from(partitions))]
         }
         EventKind::MergeRoundStart { width, .. } => vec![("width", Json::from(u64::from(width)))],
+        EventKind::SpillRunStart { partition, .. } => {
+            vec![("partition", Json::from(partition))]
+        }
+        EventKind::ExternalMergeStart { runs, .. } => vec![("runs", Json::from(runs))],
         _ => Vec::new(),
     }
 }
@@ -197,6 +204,22 @@ fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
         EventKind::PoolDispatch { tasks, workers } => {
             pairs.push(("tasks", Json::from(tasks)));
             pairs.push(("workers", Json::from(workers)));
+        }
+        EventKind::SpillRunStart { run, partition } => {
+            pairs.push(("run", Json::from(run)));
+            pairs.push(("partition", Json::from(partition)));
+        }
+        EventKind::SpillRunEnd { run, records, bytes } => {
+            pairs.push(("run", Json::from(run)));
+            pairs.push(("records", Json::from(records)));
+            pairs.push(("bytes", Json::from(bytes)));
+        }
+        EventKind::ExternalMergeStart { partition, runs } => {
+            pairs.push(("partition", Json::from(partition)));
+            pairs.push(("runs", Json::from(runs)));
+        }
+        EventKind::ExternalMergeEnd { partition } => {
+            pairs.push(("partition", Json::from(partition)));
         }
         EventKind::MapWaitingForChunk { round, wait_us } => {
             pairs.push(("round", Json::from(u64::from(round))));

@@ -167,6 +167,37 @@ pub enum EventKind {
         /// Pool threads the batch can use.
         workers: u64,
     },
+    /// The memory accountant tripped and a container region is being
+    /// drained to a sorted spill run on disk.
+    SpillRunStart {
+        /// Job-wide spill run sequence number.
+        run: u64,
+        /// Reduce partition the run's keys belong to.
+        partition: u64,
+    },
+    /// The spill run finished writing.
+    SpillRunEnd {
+        /// Job-wide spill run sequence number.
+        run: u64,
+        /// Records written to the run.
+        records: u64,
+        /// Framed bytes written to the run.
+        bytes: u64,
+    },
+    /// A partition's external merge (spilled runs + in-memory remainder)
+    /// began on a reduce worker.
+    ExternalMergeStart {
+        /// Partition index.
+        partition: u64,
+        /// Spilled runs feeding the merge (the in-memory remainder adds
+        /// one more source).
+        runs: u64,
+    },
+    /// The partition's external merge finished.
+    ExternalMergeEnd {
+        /// Partition index.
+        partition: u64,
+    },
     /// **Stall:** the map side sat idle for `wait_us` µs after finishing
     /// its wave because the next chunk's ingest had not completed — the
     /// pipeline was ingest-bound at this round.
@@ -206,6 +237,10 @@ impl EventKind {
             EventKind::MergeRoundStart { .. } => "MergeRoundStart",
             EventKind::MergeRoundEnd { .. } => "MergeRoundEnd",
             EventKind::PoolDispatch { .. } => "PoolDispatch",
+            EventKind::SpillRunStart { .. } => "SpillRunStart",
+            EventKind::SpillRunEnd { .. } => "SpillRunEnd",
+            EventKind::ExternalMergeStart { .. } => "ExternalMergeStart",
+            EventKind::ExternalMergeEnd { .. } => "ExternalMergeEnd",
             EventKind::MapWaitingForChunk { .. } => "MapWaitingForChunk",
             EventKind::IngestWaitingForContainer { .. } => "IngestWaitingForContainer",
         }
@@ -221,6 +256,10 @@ impl EventKind {
             EventKind::DrainPartitionStart { partition } => Some(SpanKey::Drain(partition)),
             EventKind::ReducePartitionStart { partition } => Some(SpanKey::Reduce(partition)),
             EventKind::MergeRoundStart { round, .. } => Some(SpanKey::Merge(round)),
+            EventKind::SpillRunStart { run, .. } => Some(SpanKey::SpillRun(run)),
+            EventKind::ExternalMergeStart { partition, .. } => {
+                Some(SpanKey::ExternalMerge(partition))
+            }
             _ => None,
         }
     }
@@ -235,6 +274,8 @@ impl EventKind {
             EventKind::DrainPartitionEnd { partition } => Some(SpanKey::Drain(partition)),
             EventKind::ReducePartitionEnd { partition } => Some(SpanKey::Reduce(partition)),
             EventKind::MergeRoundEnd { round } => Some(SpanKey::Merge(round)),
+            EventKind::SpillRunEnd { run, .. } => Some(SpanKey::SpillRun(run)),
+            EventKind::ExternalMergeEnd { partition } => Some(SpanKey::ExternalMerge(partition)),
             _ => None,
         }
     }
@@ -277,6 +318,10 @@ pub enum SpanKey {
     Reduce(u64),
     /// Merge round, by index.
     Merge(u32),
+    /// Spill run write, by job-wide run sequence number.
+    SpillRun(u64),
+    /// External (spill-aware) merge of a partition, by index.
+    ExternalMerge(u64),
 }
 
 /// One recorded event.

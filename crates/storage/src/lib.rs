@@ -21,6 +21,9 @@
 //! * [`observe`] — metered source wrappers ([`IngestMeter`]) that count
 //!   bytes, reads, and time spent inside the storage layer, the
 //!   ingest-side complement of the runtime's event tracer.
+//! * [`spill`] — named run stores for the runtime's out-of-core spill
+//!   pipeline, stackable with the same throttle/observe/fault
+//!   decorators so spilled runs share the simulated device.
 
 //! ```
 //! use supmr_storage::{DataSource, MemSource, SourceExt, ThrottledSource};
@@ -40,11 +43,16 @@ pub mod observe;
 pub mod record;
 pub mod shared;
 pub mod source;
+pub mod spill;
 pub mod throttle;
 
 pub use fault::{FaultyFileSet, FaultySource};
 pub use hdfs::{HdfsConfig, HdfsSource};
 pub use observe::{IngestMeter, ObservedFileSet, ObservedSource};
+pub use spill::{
+    DiskRunStore, FaultyRunStore, MemRunStore, ObservedRunStore, RunGuard, RunStore,
+    ThrottledRunStore,
+};
 pub use record::RecordFormat;
 pub use shared::SharedBytes;
 pub use source::{

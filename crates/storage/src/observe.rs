@@ -25,6 +25,9 @@ struct MeterInner {
     bytes: AtomicU64,
     reads: AtomicU64,
     read_nanos: AtomicU64,
+    bytes_written: AtomicU64,
+    writes: AtomicU64,
+    write_nanos: AtomicU64,
 }
 
 /// Live registry handles a meter can additionally feed: the
@@ -34,6 +37,9 @@ struct MeterSink {
     bytes: Counter,
     reads: Counter,
     read_us: Histogram,
+    bytes_written: Counter,
+    writes: Counter,
+    write_us: Histogram,
 }
 
 /// Shared read counters for one wrapped source. Cloning is cheap and
@@ -77,6 +83,21 @@ impl IngestMeter {
                     "Latency inside wrapped sources' reads, microseconds.",
                     &[],
                 ),
+                bytes_written: registry.counter(
+                    "supmr.storage.bytes_written",
+                    "Bytes pushed across the storage boundary (spill runs).",
+                    &[],
+                ),
+                writes: registry.counter(
+                    "supmr.storage.write_calls",
+                    "Write calls against wrapped sinks.",
+                    &[],
+                ),
+                write_us: registry.histogram(
+                    "supmr.storage.write_us",
+                    "Latency inside wrapped sinks' writes, microseconds.",
+                    &[],
+                ),
             }),
         }
     }
@@ -110,7 +131,22 @@ impl IngestMeter {
         }
     }
 
-    fn record(&self, bytes: u64, elapsed: Duration) {
+    /// Total bytes pushed through wrapped sinks (spill run writes).
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Number of write calls against wrapped sinks.
+    pub fn write_calls(&self) -> u64 {
+        self.inner.writes.load(Ordering::Relaxed)
+    }
+
+    /// Wall time spent inside wrapped sinks' writes (pacing included).
+    pub fn time_writing(&self) -> Duration {
+        Duration::from_nanos(self.inner.write_nanos.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn record(&self, bytes: u64, elapsed: Duration) {
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.reads.fetch_add(1, Ordering::Relaxed);
         self.inner.read_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -118,6 +154,17 @@ impl IngestMeter {
             sink.bytes.add(bytes);
             sink.reads.inc();
             sink.read_us.record_duration_us(elapsed);
+        }
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, elapsed: Duration) {
+        self.inner.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.write_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink.bytes_written.add(bytes);
+            sink.writes.inc();
+            sink.write_us.record_duration_us(elapsed);
         }
     }
 }
