@@ -8,6 +8,8 @@
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
+use supmr::CompactKey;
+use supmr_storage::scan::find_byte;
 
 /// Count occurrences of fixed byte patterns.
 #[derive(Debug, Clone)]
@@ -34,44 +36,55 @@ impl Grep {
 }
 
 /// Count non-overlapping occurrences of `needle` in `haystack`.
+///
+/// The word-at-a-time [`find_byte`] scanner skips to each candidate
+/// first byte; only candidates pay the full slice comparison, so the
+/// common no-match stretches run at SWAR speed instead of byte-at-a-time.
 fn count_occurrences(haystack: &[u8], needle: &[u8]) -> u64 {
     if needle.is_empty() || haystack.len() < needle.len() {
         return 0;
     }
+    let (&first, rest) = needle.split_first().expect("needle checked non-empty");
+    let last_start = haystack.len() - needle.len();
     let mut count = 0;
     let mut i = 0;
-    while i + needle.len() <= haystack.len() {
-        if &haystack[i..i + needle.len()] == needle {
+    while i <= last_start {
+        let Some(j) = find_byte(&haystack[i..], first) else { break };
+        let start = i + j;
+        if start > last_start {
+            break;
+        }
+        if &haystack[start + 1..start + needle.len()] == rest {
             count += 1;
-            i += needle.len();
+            i = start + needle.len();
         } else {
-            i += 1;
+            i = start + 1;
         }
     }
     count
 }
 
 impl MapReduce for Grep {
-    type Key = Vec<u8>;
+    type Key = CompactKey;
     type Value = u64;
     type Combiner = Sum;
     type Output = u64;
-    type Container = HashContainer<Vec<u8>, u64, Sum>;
+    type Container = HashContainer<CompactKey, u64, Sum>;
 
     fn make_container(&self) -> Self::Container {
         HashContainer::default()
     }
 
-    fn map(&self, split: &[u8], emit: &mut dyn Emit<Vec<u8>, u64>) {
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<CompactKey, u64>) {
         for pattern in &self.patterns {
             let hits = count_occurrences(split, pattern);
             if hits > 0 {
-                emit.emit(pattern.clone(), hits);
+                emit.emit_bytes(pattern, hits);
             }
         }
     }
 
-    fn reduce(&self, _key: &Vec<u8>, count: u64) -> u64 {
+    fn reduce(&self, _key: &CompactKey, count: u64) -> u64 {
         count
     }
 }
@@ -92,6 +105,9 @@ mod tests {
         assert_eq!(count_occurrences(b"xyz", b"q"), 0);
         assert_eq!(count_occurrences(b"", b"a"), 0);
         assert_eq!(count_occurrences(b"a", b""), 0);
+        // First-byte candidate too close to the end to fit the needle.
+        assert_eq!(count_occurrences(b"xxa", b"ab"), 0);
+        assert_eq!(count_occurrences(b"aab", b"ab"), 1);
     }
 
     #[test]
@@ -100,7 +116,7 @@ mod tests {
         assert_eq!(grep.patterns().len(), 2, "empty pattern dropped");
         let mut sink = VecEmit::default();
         grep.map(b"cat catalog dogcat", &mut sink);
-        let get = |p: &[u8]| sink.pairs.iter().find(|(k, _)| k == p).map(|(_, c)| *c);
+        let get = |p: &[u8]| sink.pairs.iter().find(|(k, _)| k.as_bytes() == p).map(|(_, c)| *c);
         assert_eq!(get(b"cat"), Some(3));
         assert_eq!(get(b"dog"), Some(1));
     }
@@ -124,6 +140,6 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.pairs.len(), 1);
-        assert_eq!(r.pairs[0], (b"needle".to_vec(), 200));
+        assert_eq!(r.pairs[0], (CompactKey::from("needle"), 200));
     }
 }

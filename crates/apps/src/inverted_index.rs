@@ -10,6 +10,8 @@
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Buffer;
 use supmr::container::HashContainer;
+use supmr::CompactKey;
+use supmr_storage::scan::{self, find_byte, ByteClass};
 
 /// Build an inverted index over `docid<TAB>text` lines.
 #[derive(Debug, Clone, Default)]
@@ -28,35 +30,43 @@ impl InvertedIndex {
 }
 
 impl MapReduce for InvertedIndex {
-    type Key = String;
+    type Key = CompactKey;
     type Value = u32;
     type Combiner = Buffer;
     type Output = Vec<u32>;
-    type Container = HashContainer<String, u32, Buffer>;
+    type Container = HashContainer<CompactKey, u32, Buffer>;
 
     fn make_container(&self) -> Self::Container {
         HashContainer::default()
     }
 
-    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u32>) {
-        for line in split.split(|&b| b == b'\n') {
-            let Some(tab) = line.iter().position(|&b| b == b'\t') else {
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<CompactKey, u32>) {
+        // Line and tab scans are word-at-a-time ([`find_byte`]); terms
+        // are alphanumeric runs from the SWAR tokenizer, emitted as
+        // borrowed slices so repeated terms never re-allocate.
+        let mut pos = 0;
+        while pos < split.len() {
+            let end = match find_byte(&split[pos..], b'\n') {
+                Some(i) => pos + i,
+                None => split.len(),
+            };
+            let line = &split[pos..end];
+            pos = end + 1;
+            let Some(tab) = find_byte(line, b'\t') else {
                 continue;
             };
             let Ok(doc_id) = std::str::from_utf8(&line[..tab]).unwrap_or("").trim().parse::<u32>()
             else {
                 continue;
             };
-            for word in
-                line[tab + 1..].split(|b| !b.is_ascii_alphanumeric()).filter(|w| !w.is_empty())
-            {
-                emit.emit(String::from_utf8_lossy(word).into_owned(), doc_id);
+            for word in scan::tokens(&line[tab + 1..], ByteClass::Alnum) {
+                emit.emit_bytes(word, doc_id);
             }
         }
     }
 
     /// Sort and deduplicate the posting list.
-    fn reduce(&self, _key: &String, mut postings: Vec<u32>) -> Vec<u32> {
+    fn reduce(&self, _key: &CompactKey, mut postings: Vec<u32>) -> Vec<u32> {
         postings.sort_unstable();
         postings.dedup();
         postings
@@ -85,7 +95,8 @@ mod tests {
         config.merge = MergeMode::PWay { ways: 2 };
         let r = run_job(InvertedIndex::new(), Input::stream(MemSource::from(corpus())), config)
             .unwrap();
-        let index: std::collections::HashMap<String, Vec<u32>> = r.pairs.into_iter().collect();
+        let index: std::collections::HashMap<String, Vec<u32>> =
+            r.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         assert_eq!(index["rust"], vec![1, 2, 3]); // deduped despite doc 3 repeats
         assert_eq!(index["memory"], vec![1, 3]);
         assert_eq!(index["speed"], vec![2, 3]);
@@ -101,7 +112,8 @@ mod tests {
             JobConfig::default(),
         )
         .unwrap();
-        let index: std::collections::HashMap<String, Vec<u32>> = r.pairs.into_iter().collect();
+        let index: std::collections::HashMap<String, Vec<u32>> =
+            r.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         assert_eq!(index.len(), 2);
         assert_eq!(index["good"], vec![7]);
         assert_eq!(index["words"], vec![7]);
@@ -132,7 +144,8 @@ mod tests {
         let piped =
             run_job(InvertedIndex::new(), Input::files(MemFileSet::new(files)), config).unwrap();
         assert_eq!(base.sorted_pairs(), piped.sorted_pairs());
-        let index: std::collections::HashMap<String, Vec<u32>> = base.pairs.into_iter().collect();
+        let index: std::collections::HashMap<String, Vec<u32>> =
+            base.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         assert_eq!(index["shared"].len(), 45);
     }
 }

@@ -5,11 +5,19 @@
 //! a vocabulary-sized intermediate set and the reduce/merge phases are
 //! nearly free (Table II: 0.03s / 0.01s). What remains is ingest — which
 //! is exactly why the ingest chunk pipeline helps this application most.
+//!
+//! The map path is the SWAR/zero-copy fast path end to end: the
+//! tokenizer walks word-class runs eight bytes at a time
+//! ([`scan::tokens`]), every token is emitted as a *borrowed* slice of
+//! the ingest chunk ([`Emit::emit_bytes`]), and [`CompactKey`] keeps
+//! vocabulary words ≤ 22 bytes inline — so a hot word costs zero
+//! allocations after its first appearance.
 
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
-use supmr::PairCodec;
+use supmr::{CompactKey, PairCodec};
+use supmr_storage::scan::{self, ByteClass};
 
 /// The word count application.
 #[derive(Debug, Clone, Default)]
@@ -30,69 +38,59 @@ impl WordCount {
     }
 }
 
-/// Is `b` part of a word?
-#[inline]
-fn is_word_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_' || b == b'\''
-}
-
 impl MapReduce for WordCount {
-    type Key = String;
+    type Key = CompactKey;
     type Value = u64;
     type Combiner = Sum;
     type Output = u64;
-    type Container = HashContainer<String, u64, Sum>;
+    type Container = HashContainer<CompactKey, u64, Sum>;
 
     fn make_container(&self) -> Self::Container {
         HashContainer::default()
     }
 
-    fn map(&self, split: &[u8], emit: &mut dyn Emit<String, u64>) {
-        let mut start = None;
-        for (i, &b) in split.iter().enumerate() {
-            if is_word_byte(b) {
-                start.get_or_insert(i);
-            } else if let Some(s) = start.take() {
-                self.emit_word(&split[s..i], emit);
+    fn map(&self, split: &[u8], emit: &mut dyn Emit<CompactKey, u64>) {
+        if self.case_insensitive {
+            // Fold case during tokenization, on the borrowed slice, into
+            // one reusable scratch buffer — the container still probes
+            // with borrowed bytes, so a token allocates at most once (on
+            // its first container insert), never per emission.
+            let mut folded = Vec::with_capacity(CompactKey::INLINE_CAP);
+            for word in scan::tokens(split, ByteClass::Word) {
+                folded.clear();
+                scan::push_ascii_lower(word, &mut folded);
+                emit.emit_bytes(&folded, 1);
             }
-        }
-        if let Some(s) = start {
-            self.emit_word(&split[s..], emit);
+        } else {
+            for word in scan::tokens(split, ByteClass::Word) {
+                emit.emit_bytes(word, 1);
+            }
         }
     }
 
-    fn reduce(&self, _key: &String, count: u64) -> u64 {
+    fn reduce(&self, _key: &CompactKey, count: u64) -> u64 {
         count
     }
 
-    /// Spill format: `u32 LE` word length, word bytes, `u64 LE` count.
-    fn spill_codec(&self) -> Option<PairCodec<String, u64>> {
-        fn encode(key: &String, count: &u64, buf: &mut Vec<u8>) {
+    /// Spill format: `u32 LE` word length, word bytes, `u64 LE` count —
+    /// byte-identical to the `String`-keyed codec it replaced.
+    fn spill_codec(&self) -> Option<PairCodec<CompactKey, u64>> {
+        fn encode(key: &CompactKey, count: &u64, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
             buf.extend_from_slice(key.as_bytes());
             buf.extend_from_slice(&count.to_le_bytes());
         }
-        fn decode(rec: &[u8]) -> Option<(String, u64)> {
+        fn decode(rec: &[u8]) -> Option<(CompactKey, u64)> {
             let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
-            let key = String::from_utf8(rec.get(4..4 + klen)?.to_vec()).ok()?;
+            let key = CompactKey::from_bytes(rec.get(4..4 + klen)?);
             let count = u64::from_le_bytes(rec.get(4 + klen..4 + klen + 8)?.try_into().ok()?);
             (rec.len() == 4 + klen + 8).then_some((key, count))
         }
-        fn size_hint(key: &String, _count: &u64) -> usize {
-            // String header + heap bytes + the u64 accumulator.
-            std::mem::size_of::<String>() + key.len() + std::mem::size_of::<u64>()
+        fn size_hint(key: &CompactKey, _count: &u64) -> usize {
+            // Inline cell + any heap spill + the u64 accumulator.
+            std::mem::size_of::<CompactKey>() + key.heap_bytes() + std::mem::size_of::<u64>()
         }
         Some(PairCodec { encode, decode, size_hint })
-    }
-}
-
-impl WordCount {
-    fn emit_word(&self, word: &[u8], emit: &mut dyn Emit<String, u64>) {
-        let mut w = String::from_utf8_lossy(word).into_owned();
-        if self.case_insensitive {
-            w.make_ascii_lowercase();
-        }
-        emit.emit(w, 1);
     }
 }
 
@@ -108,7 +106,7 @@ mod tests {
     fn tokenizes_on_non_word_bytes() {
         let mut sink = VecEmit::default();
         WordCount::new().map(b"it's a test--really, a_test!", &mut sink);
-        let words: Vec<&str> = sink.pairs.iter().map(|(w, _)| w.as_str()).collect();
+        let words: Vec<String> = sink.pairs.iter().map(|(w, _)| w.to_string()).collect();
         assert_eq!(words, vec!["it's", "a", "test", "really", "a_test"]);
     }
 
@@ -116,14 +114,15 @@ mod tests {
     fn case_folding() {
         let mut sink = VecEmit::default();
         WordCount::case_insensitive().map(b"The THE the", &mut sink);
-        assert!(sink.pairs.iter().all(|(w, _)| w == "the"));
+        assert!(!sink.pairs.is_empty());
+        assert!(sink.pairs.iter().all(|(w, _)| w.as_bytes() == b"the"));
     }
 
     #[test]
     fn word_at_split_edges_counted_once() {
         let mut sink = VecEmit::default();
         WordCount::new().map(b"edge", &mut sink);
-        assert_eq!(sink.pairs, vec![("edge".to_string(), 1)]);
+        assert_eq!(sink.pairs, vec![(CompactKey::from("edge"), 1)]);
     }
 
     #[test]
@@ -143,10 +142,10 @@ mod tests {
         assert_eq!(
             r.pairs,
             vec![
-                ("dog".to_string(), 2),
-                ("lazy".to_string(), 1),
-                ("quick".to_string(), 1),
-                ("the".to_string(), 3),
+                (CompactKey::from("dog"), 2),
+                (CompactKey::from("lazy"), 1),
+                (CompactKey::from("quick"), 1),
+                (CompactKey::from("the"), 3),
             ]
         );
     }

@@ -1,0 +1,72 @@
+//! Property tests for the application library: the word-count map's
+//! SWAR tokenizer must emit exactly what a scalar byte-at-a-time
+//! tokenizer produces, and the spill codec must frame `CompactKey`
+//! pairs byte-identically to the `String` framing it replaced — spill
+//! files written before and after the key-type switch stay
+//! interchangeable.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use supmr::api::{MapReduce, VecEmit};
+use supmr::CompactKey;
+use supmr_apps::WordCount;
+
+/// The spill framing as the `String`-keyed codec wrote it: u32 LE key
+/// length, key bytes, u64 LE count.
+fn string_reference_encoding(key: &[u8], count: u64) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(&count.to_le_bytes());
+    buf
+}
+
+proptest! {
+    #[test]
+    fn spill_codec_is_byte_identical_to_string_framing(
+        key in vec(any::<u8>(), 0..48),
+        count in any::<u64>(),
+    ) {
+        let codec = WordCount::new().spill_codec().expect("word count spills");
+        let mut buf = Vec::new();
+        (codec.encode)(&CompactKey::from_bytes(&key), &count, &mut buf);
+        prop_assert_eq!(&buf, &string_reference_encoding(&key, count));
+        let (k, c) = (codec.decode)(&buf).expect("well-formed record decodes");
+        prop_assert_eq!(k.as_bytes(), &key[..]);
+        prop_assert_eq!(c, count);
+    }
+
+    #[test]
+    fn wordcount_map_tokens_match_scalar_tokenizer(
+        data in vec(any::<u8>(), 0..400),
+        ci in any::<bool>(),
+    ) {
+        let job = if ci { WordCount::case_insensitive() } else { WordCount::new() };
+        let mut emit = VecEmit::default();
+        job.map(&data, &mut emit);
+        // Scalar reference: maximal runs of word bytes, in order,
+        // case-folded when the job is.
+        let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_' || b == b'\'';
+        let mut expect: Vec<Vec<u8>> = Vec::new();
+        let mut start = None;
+        for (i, &b) in data.iter().enumerate() {
+            if is_word(b) {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                expect.push(data[s..i].to_vec());
+            }
+        }
+        if let Some(s) = start {
+            expect.push(data[s..].to_vec());
+        }
+        if ci {
+            for w in &mut expect {
+                w.make_ascii_lowercase();
+            }
+        }
+        let got: Vec<Vec<u8>> =
+            emit.pairs.iter().map(|(k, _)| k.as_bytes().to_vec()).collect();
+        prop_assert_eq!(got, expect);
+        prop_assert!(emit.pairs.iter().all(|(_, v)| *v == 1));
+    }
+}

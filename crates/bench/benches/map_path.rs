@@ -1,0 +1,35 @@
+//! Criterion bench: the SWAR/zero-copy map path vs the scalar
+//! byte-at-a-time + String-per-token path it replaced.
+//!
+//! Two workload shapes (see `supmr_bench::map_path`): case-sensitive
+//! word count and the case-folding variant (fold-during-tokenization
+//! scratch buffer). Each runs the full tokenize + emit + absorb + drain
+//! cycle on both paths over the same deterministic corpus, so the
+//! measured ratio is the same speedup `bench_report` records in
+//! `BENCH_baseline.json`'s `map` rows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use supmr_bench::map_path::{run_scalar, run_swar, MapWorkload};
+
+fn bench_map_path(c: &mut Criterion) {
+    for workload in [MapWorkload::wordcount(), MapWorkload::wordcount_ci()] {
+        let data = workload.data();
+        let mut group = c.benchmark_group(&format!("map_path/{}", workload.name));
+        group.throughput(Throughput::Bytes(workload.bytes as u64));
+        group.bench_function("scalar_string_baseline", |b| {
+            b.iter(|| run_scalar(black_box(&workload), black_box(&data)));
+        });
+        group.bench_function("swar_zero_copy", |b| {
+            b.iter(|| run_swar(black_box(&workload), black_box(&data)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_map_path
+}
+criterion_main!(benches);

@@ -9,16 +9,18 @@
 //! renders every run's latency histograms as small-multiple panels.
 
 use std::path::PathBuf;
-use supmr_bench::report::{collect, to_json, validate, BenchRun};
-use supmr_bench::{shuffle, RealScale};
+use supmr_bench::report::{check_map_regression, collect, to_json, validate, BenchRun};
+use supmr_bench::{map_path, shuffle, RealScale};
 use supmr_metrics::svg::{render_histogram_panels, PanelOptions};
-use supmr_metrics::MetricsSnapshot;
+use supmr_metrics::{Json, MetricsSnapshot};
 
 const USAGE: &str = "\
-usage: bench_report [--quick] [--out PATH]
+usage: bench_report [--quick] [--out PATH] [--check BASELINE]
 
-  --quick     run at the tiny test scale (sub-second; CI fixture)
-  --out PATH  where to write the report [default: BENCH_baseline.json]
+  --quick           run at the tiny test scale (sub-second; CI fixture)
+  --out PATH        where to write the report [default: BENCH_baseline.json]
+  --check BASELINE  after measuring, fail (exit 1) if this report's mean
+                    supmr.map.task_us exceeds BASELINE's by more than 10%
 
 Also writes histogram panels for every run next to the report, as
 <out stem>.svg.
@@ -43,6 +45,7 @@ fn merged_metrics(runs: &[BenchRun]) -> MetricsSnapshot {
 fn main() {
     let mut out = PathBuf::from("BENCH_baseline.json");
     let mut quick = false;
+    let mut check: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -51,6 +54,13 @@ fn main() {
                 Some(p) => out = PathBuf::from(p),
                 None => {
                     eprintln!("bench_report: --out needs a path\n\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bench_report: --check needs a baseline path\n\n{USAGE}");
                     std::process::exit(2);
                 }
             },
@@ -95,8 +105,31 @@ fn main() {
             row.speedup()
         );
     }
-    let json = to_json(&scale, &runs, &rows, quick);
+    let map_rows = map_path::measure(quick);
+    for row in &map_rows {
+        println!(
+            "  map/{:<13} {:>9} bytes  scalar {:>12.0} B/s  swar {:>12.0} B/s  {:>5.2}x",
+            row.workload,
+            row.bytes,
+            row.scalar_bytes_per_s,
+            row.swar_bytes_per_s,
+            row.speedup()
+        );
+    }
+    let json = to_json(&scale, &runs, &rows, &map_rows, quick);
     validate(&json).expect("generated report validates");
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
+        let baseline = Json::parse(&text).expect("baseline parses as JSON");
+        match check_map_regression(&json, &baseline) {
+            Ok(lines) => lines.iter().for_each(|l| println!("{l}")),
+            Err(msg) => {
+                eprintln!("bench_report: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     std::fs::write(&out, json.render() + "\n").expect("write bench report");
     let svg_out = out.with_extension("svg");
     let svg = render_histogram_panels(

@@ -1,0 +1,229 @@
+//! Map-path micro-harness: the SWAR/zero-copy word-count map against
+//! the scalar byte-at-a-time path it replaced.
+//!
+//! The baseline reimplements the pre-SWAR map exactly as it used to
+//! work — a per-byte word-class test driving the tokenizer and one
+//! `String::from_utf8_lossy(..).into_owned()` heap allocation per token
+//! emitted into the container. The current path tokenizes eight bytes
+//! at a time (`supmr_storage::scan`), emits every token as a borrowed
+//! slice ([`Emit::emit_bytes`]), and keys the container with
+//! [`CompactKey`], so a repeated word allocates nothing after its first
+//! insert. [`measure`] times both over identical corpora and reports
+//! input bytes/second; the rows land in `BENCH_baseline.json` (see
+//! [`crate::report`]) so the speedup is a tracked regression surface,
+//! and `benches/map_path.rs` covers the same comparison under criterion.
+//!
+//! Both runs drain their containers and the results are asserted equal
+//! key-for-key and count-for-count, so the harness doubles as an
+//! end-to-end equivalence check of the rewritten map path.
+
+use std::time::Instant;
+use supmr::api::{Emit, MapReduce};
+use supmr::combiner::Sum;
+use supmr::container::{Container, HashContainer};
+use supmr::CompactKey;
+use supmr_apps::WordCount;
+use supmr_workloads::{TextGen, TextGenConfig};
+
+/// One map-path workload shape: a deterministic text corpus pushed
+/// through both tokenizer/emit paths split by split.
+#[derive(Debug, Clone)]
+pub struct MapWorkload {
+    /// Row label (`"wordcount"` / `"wordcount_ci"`).
+    pub name: &'static str,
+    /// Corpus size in bytes.
+    pub bytes: usize,
+    /// Map-task split size in bytes.
+    pub split_bytes: usize,
+    /// Fold tokens to lowercase during tokenization.
+    pub case_insensitive: bool,
+}
+
+impl MapWorkload {
+    /// The canonical word-count shape: case-sensitive counting over the
+    /// generator's Zipf-flavored vocabulary.
+    pub fn wordcount() -> MapWorkload {
+        MapWorkload {
+            name: "wordcount",
+            bytes: 8 * 1024 * 1024,
+            split_bytes: 256 * 1024,
+            case_insensitive: false,
+        }
+    }
+
+    /// The case-folding variant: exercises the fold-during-tokenization
+    /// scratch-buffer path.
+    pub fn wordcount_ci() -> MapWorkload {
+        MapWorkload { name: "wordcount_ci", case_insensitive: true, ..MapWorkload::wordcount() }
+    }
+
+    /// Shrink to a sub-second size for tests and `--quick` reports.
+    pub fn quick(mut self) -> MapWorkload {
+        self.bytes = 256 * 1024;
+        self.split_bytes = 64 * 1024;
+        self
+    }
+
+    /// Deterministic corpus for this shape.
+    pub fn data(&self) -> Vec<u8> {
+        TextGen::new(TextGenConfig::default()).generate_bytes(42, self.bytes)
+    }
+}
+
+/// The pre-SWAR word-count map, preserved as a measured baseline:
+/// byte-at-a-time word-class scanning and one owned `String` per token.
+fn scalar_map(split: &[u8], case_insensitive: bool, emit: &mut dyn Emit<String, u64>) {
+    fn is_word_byte(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_' || b == b'\''
+    }
+    fn emit_word(word: &[u8], case_insensitive: bool, emit: &mut dyn Emit<String, u64>) {
+        let mut w = String::from_utf8_lossy(word).into_owned();
+        if case_insensitive {
+            w.make_ascii_lowercase();
+        }
+        emit.emit(w, 1);
+    }
+    let mut start = None;
+    for (i, &b) in split.iter().enumerate() {
+        if is_word_byte(b) {
+            start.get_or_insert(i);
+        } else if let Some(s) = start.take() {
+            emit_word(&split[s..i], case_insensitive, emit);
+        }
+    }
+    if let Some(s) = start {
+        emit_word(&split[s..], case_insensitive, emit);
+    }
+}
+
+/// Drained `(word bytes, count)` pairs, sorted — the comparable result
+/// of either path.
+type Counts = Vec<(Vec<u8>, u64)>;
+
+/// Run `w` through the scalar baseline; returns input bytes/second and
+/// the drained counts.
+pub fn run_scalar(w: &MapWorkload, data: &[u8]) -> (f64, Counts) {
+    let start = Instant::now();
+    let c: HashContainer<String, u64, Sum> = HashContainer::new();
+    for split in data.chunks(w.split_bytes) {
+        let mut local = c.local();
+        scalar_map(split, w.case_insensitive, &mut local);
+        c.absorb(local);
+    }
+    let mut out: Counts = c
+        .into_partitions(1)
+        .into_iter()
+        .flatten()
+        .map(|(k, v)| (k.into_bytes(), v))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    out.sort();
+    (data.len() as f64 / elapsed, out)
+}
+
+/// Run `w` through the SWAR/zero-copy path ([`WordCount::map`]);
+/// returns input bytes/second and the drained counts.
+pub fn run_swar(w: &MapWorkload, data: &[u8]) -> (f64, Counts) {
+    let job = if w.case_insensitive { WordCount::case_insensitive() } else { WordCount::new() };
+    let start = Instant::now();
+    let c: HashContainer<CompactKey, u64, Sum> = job.make_container();
+    for split in data.chunks(w.split_bytes) {
+        let mut local = c.local();
+        job.map(split, &mut local);
+        c.absorb(local);
+    }
+    let mut out: Counts = c
+        .into_partitions(1)
+        .into_iter()
+        .flatten()
+        .map(|(k, v)| (k.as_bytes().to_vec(), v))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    out.sort();
+    (data.len() as f64 / elapsed, out)
+}
+
+/// One measured comparison row, as written into the bench report's
+/// `map` section.
+#[derive(Debug, Clone)]
+pub struct MapRow {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Input bytes pushed through each path.
+    pub bytes: u64,
+    /// Scalar-baseline throughput, input bytes/second.
+    pub scalar_bytes_per_s: f64,
+    /// SWAR/zero-copy throughput, input bytes/second.
+    pub swar_bytes_per_s: f64,
+}
+
+impl MapRow {
+    /// SWAR over scalar throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.swar_bytes_per_s / self.scalar_bytes_per_s
+    }
+}
+
+/// Measure both paths over both workload shapes, asserting their
+/// outputs identical. Each path runs best-of-3 (1 rep under `quick`) so
+/// a stray scheduling hiccup does not land in the committed baseline.
+pub fn measure(quick: bool) -> Vec<MapRow> {
+    let workloads = [MapWorkload::wordcount(), MapWorkload::wordcount_ci()];
+    workloads
+        .into_iter()
+        .map(|w| {
+            let w = if quick { w.quick() } else { w };
+            let data = w.data();
+            let reps = if quick { 1 } else { 3 };
+            let mut scalar_best = 0.0f64;
+            let mut swar_best = 0.0f64;
+            for _ in 0..reps {
+                let (scalar_rate, scalar_counts) = run_scalar(&w, &data);
+                let (swar_rate, swar_counts) = run_swar(&w, &data);
+                assert_eq!(
+                    scalar_counts, swar_counts,
+                    "{}: SWAR map path diverged from the scalar reference",
+                    w.name
+                );
+                scalar_best = scalar_best.max(scalar_rate);
+                swar_best = swar_best.max(swar_rate);
+            }
+            MapRow {
+                workload: w.name,
+                bytes: w.bytes as u64,
+                scalar_bytes_per_s: scalar_best,
+                swar_bytes_per_s: swar_best,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_paths_agree_on_counts() {
+        for w in [MapWorkload::wordcount().quick(), MapWorkload::wordcount_ci().quick()] {
+            let data = w.data();
+            let (scalar_rate, scalar_counts) = run_scalar(&w, &data);
+            let (swar_rate, swar_counts) = run_swar(&w, &data);
+            assert!(scalar_rate > 0.0 && swar_rate > 0.0);
+            assert!(!scalar_counts.is_empty());
+            assert_eq!(scalar_counts, swar_counts, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn measure_produces_both_rows() {
+        let rows = measure(true);
+        let names: Vec<&str> = rows.iter().map(|r| r.workload).collect();
+        assert_eq!(names, ["wordcount", "wordcount_ci"]);
+        for r in &rows {
+            assert!(r.bytes > 0);
+            assert!(r.scalar_bytes_per_s > 0.0);
+            assert!(r.swar_bytes_per_s > 0.0);
+            assert!(r.speedup() > 0.0);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! Values (wall times, latency percentiles) vary run to run; the
 //! *shape* — key names, run set, metric families — must not.
 
+use crate::map_path::MapRow;
 use crate::shuffle::ShuffleRow;
 use crate::RealScale;
 use std::time::Duration;
@@ -112,8 +113,15 @@ fn us(d: Duration) -> Json {
 
 /// Render a report. `quick` records which scale produced it so a CI
 /// fixture baseline is never diffed against a full-scale one. The
-/// `shuffle` rows come from [`crate::shuffle::measure`].
-pub fn to_json(scale: &RealScale, runs: &[BenchRun], shuffle: &[ShuffleRow], quick: bool) -> Json {
+/// `shuffle` rows come from [`crate::shuffle::measure`], the `map` rows
+/// from [`crate::map_path::measure`].
+pub fn to_json(
+    scale: &RealScale,
+    runs: &[BenchRun],
+    shuffle: &[ShuffleRow],
+    map: &[MapRow],
+    quick: bool,
+) -> Json {
     let scale_obj = Json::obj(vec![
         ("wordcount_bytes", Json::from(scale.wordcount_bytes as u64)),
         ("sort_bytes", Json::from(scale.sort_bytes as u64)),
@@ -149,12 +157,25 @@ pub fn to_json(scale: &RealScale, runs: &[BenchRun], shuffle: &[ShuffleRow], qui
             ])
         })
         .collect();
+    let map_json = map
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("workload", Json::str(r.workload)),
+                ("bytes", Json::from(r.bytes)),
+                ("scalar_bytes_per_s", Json::Num(r.scalar_bytes_per_s)),
+                ("swar_bytes_per_s", Json::Num(r.swar_bytes_per_s)),
+                ("speedup", Json::Num(r.speedup())),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema", Json::str(BENCH_SCHEMA)),
         ("quick", Json::Bool(quick)),
         ("scale", scale_obj),
         ("runs", Json::Arr(runs_json)),
         ("shuffle", Json::Arr(shuffle_json)),
+        ("map", Json::Arr(map_json)),
     ])
 }
 
@@ -239,12 +260,96 @@ pub fn validate(json: &Json) -> Result<(), String> {
             return Err(format!("shuffle rows incomplete: missing {w}"));
         }
     }
+    let map = json.get("map").and_then(Json::as_arr).ok_or("report: missing 'map' array")?;
+    let mut mapped: Vec<&str> = Vec::new();
+    for row in map {
+        let workload = require_str(row, "workload", "map")?;
+        let ctx = format!("map {workload}");
+        for key in ["bytes", "scalar_bytes_per_s", "swar_bytes_per_s", "speedup"] {
+            if require_num(row, key, &ctx)? <= 0.0 {
+                return Err(format!("{ctx}: '{key}' must be positive"));
+            }
+        }
+        mapped.push(workload);
+    }
+    for w in ["wordcount", "wordcount_ci"] {
+        if !mapped.contains(&w) {
+            return Err(format!("map rows incomplete: missing {w}"));
+        }
+    }
     Ok(())
 }
 
 /// Parse and [`validate`] report text (file contents).
 pub fn validate_text(text: &str) -> Result<(), String> {
     validate(&Json::parse(text)?)
+}
+
+/// Allowed map-task latency growth over the baseline: the CI gate fails
+/// when a fresh report's mean `supmr.map.task_us` exceeds the committed
+/// baseline's by more than 10%.
+pub const MAP_TASK_HEADROOM: f64 = 1.10;
+
+/// Absolute slack added on top of the headroom, microseconds — absorbs
+/// scheduler/timer noise on short tasks without hiding a real
+/// regression on the multi-millisecond means the gate watches.
+const MAP_TASK_SLACK_US: f64 = 500.0;
+
+/// Mean `supmr.map.task_us` of one run cell in a report document.
+fn map_task_mean(json: &Json, workload: &str, runtime: &str) -> Result<f64, String> {
+    let runs = json.get("runs").and_then(Json::as_arr).ok_or("report: missing 'runs'")?;
+    let run = runs
+        .iter()
+        .find(|r| {
+            r.get("workload").and_then(Json::as_str) == Some(workload)
+                && r.get("runtime").and_then(Json::as_str) == Some(runtime)
+        })
+        .ok_or_else(|| format!("missing run {workload}/{runtime}"))?;
+    let metrics = run
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{workload}/{runtime}: missing metrics"))?;
+    metrics
+        .iter()
+        .find(|e| e.get("name").and_then(Json::as_str) == Some("supmr.map.task_us"))
+        .and_then(|e| e.get("value"))
+        .and_then(|v| v.get("mean"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{workload}/{runtime}: no supmr.map.task_us mean"))
+}
+
+/// The `bench_report --check` regression gate: compare `current`'s mean
+/// map-task latency against `baseline`'s for the word-count cells (the
+/// text map path this gate protects), failing any cell more than
+/// [`MAP_TASK_HEADROOM`] (plus a small absolute slack) slower.
+///
+/// Means are comparable across the quick and full scales because both
+/// use the same split size — only the task *count* differs.
+///
+/// Returns one human-readable line per compared cell; `Err` carries the
+/// first regression (or malformed report) found.
+pub fn check_map_regression(current: &Json, baseline: &Json) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    for (workload, runtime) in RUN_MATRIX {
+        if workload != "wordcount" {
+            continue;
+        }
+        let base = map_task_mean(baseline, workload, runtime)?;
+        let now = map_task_mean(current, workload, runtime)?;
+        let limit = base * MAP_TASK_HEADROOM + MAP_TASK_SLACK_US;
+        if now > limit {
+            return Err(format!(
+                "map_task_us regression in {workload}/{runtime}: \
+                 mean {now:.0}us exceeds baseline {base:.0}us by more than 10% \
+                 (limit {limit:.0}us)"
+            ));
+        }
+        lines.push(format!(
+            "  check {workload}/{runtime}: map_task_us mean {now:.0}us \
+             <= limit {limit:.0}us (baseline {base:.0}us)"
+        ));
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -260,13 +365,54 @@ mod tests {
             assert!(run.report.metrics.is_some(), "{}/{} has metrics", run.workload, run.runtime);
         }
         let shuffle = crate::shuffle::measure(true);
-        let json = to_json(&scale, &runs, &shuffle, true);
+        let map = crate::map_path::measure(true);
+        let json = to_json(&scale, &runs, &shuffle, &map, true);
         validate(&json).expect("fresh report validates");
         let text = json.render();
         validate_text(&text).expect("rendered text re-parses and validates");
-        // Dropping the shuffle section is schema drift.
+        // Dropping the shuffle or map sections is schema drift.
         let gutted = text.replace("\"shuffle\":", "\"shuffle_gone\":");
         assert!(validate_text(&gutted).unwrap_err().contains("shuffle"));
+        let gutted = text.replace("\"map\":", "\"map_gone\":");
+        assert!(validate_text(&gutted).unwrap_err().contains("map"));
+
+        // A report is always within 10% of itself.
+        let lines = check_map_regression(&json, &json).expect("self-comparison passes");
+        assert_eq!(lines.len(), 2, "both wordcount cells compared");
+    }
+
+    /// A minimal document carrying just what [`map_task_mean`] reads.
+    fn gate_doc(mean_us: f64) -> Json {
+        let cell = |workload: &str, runtime: &str| {
+            Json::obj(vec![
+                ("workload", Json::str(workload)),
+                ("runtime", Json::str(runtime)),
+                (
+                    "metrics",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::str("supmr.map.task_us")),
+                        ("kind", Json::str("histogram")),
+                        ("value", Json::obj(vec![("mean", Json::Num(mean_us))])),
+                    ])]),
+                ),
+            ])
+        };
+        Json::obj(vec![(
+            "runs",
+            Json::Arr(vec![cell("wordcount", "original"), cell("wordcount", "pipeline")]),
+        )])
+    }
+
+    #[test]
+    fn map_regression_gate_trips_past_the_headroom() {
+        let baseline = gate_doc(10_000.0);
+        // Inside 1.10x + slack: passes.
+        check_map_regression(&gate_doc(11_400.0), &baseline).expect("within headroom");
+        // Past it: fails, naming the metric.
+        let err = check_map_regression(&gate_doc(11_600.0), &baseline).unwrap_err();
+        assert!(err.contains("map_task_us regression"), "{err}");
+        // Malformed baselines are errors, not silent passes.
+        assert!(check_map_regression(&gate_doc(1.0), &Json::obj(vec![])).is_err());
     }
 
     #[test]

@@ -303,11 +303,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
             let r = run_job(Grep::new(patterns), build_input(args, meter.as_ref())?, config)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-            let lines = pairs
-                .iter()
-                .take(top)
-                .map(|(p, c)| format!("{c:>10}  {}", String::from_utf8_lossy(p)))
-                .collect();
+            let lines = pairs.iter().take(top).map(|(p, c)| format!("{c:>10}  {p}")).collect();
             Ok(RunSummary::from_result(&r, lines))
         }
         AppKind::Histogram => {

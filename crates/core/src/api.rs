@@ -12,6 +12,7 @@
 
 use crate::combiner::Combiner;
 use crate::container::Container;
+use crate::key::ByteKey;
 use crate::spill::PairCodec;
 use std::hash::Hash;
 
@@ -22,6 +23,21 @@ use std::hash::Hash;
 pub trait Emit<K, V> {
     /// Emit one intermediate pair.
     fn emit(&mut self, key: K, value: V);
+
+    /// Emit one pair whose key is a *borrowed* byte slice — typically a
+    /// token pointing straight into the ingest chunk.
+    ///
+    /// The default materializes an owned key and forwards to
+    /// [`Emit::emit`]; containers override it to probe with the
+    /// borrowed bytes and only call [`ByteKey::from_bytes`] on the
+    /// first insert of each distinct key, so a repeat of a hot word
+    /// costs zero allocations.
+    fn emit_bytes(&mut self, key: &[u8], value: V)
+    where
+        K: ByteKey,
+    {
+        self.emit(K::from_bytes(key), value);
+    }
 }
 
 /// Convenience accumulator type alias: the accumulator a job's combiner
@@ -94,6 +110,14 @@ impl<K, V> Emit<K, V> for CountingEmit<'_, K, V> {
     fn emit(&mut self, key: K, value: V) {
         self.emitted += 1;
         self.inner.emit(key, value);
+    }
+
+    fn emit_bytes(&mut self, key: &[u8], value: V)
+    where
+        K: ByteKey,
+    {
+        self.emitted += 1;
+        self.inner.emit_bytes(key, value);
     }
 }
 

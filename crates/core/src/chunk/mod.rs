@@ -35,6 +35,7 @@ pub use hybrid::HybridChunker;
 
 use std::io;
 use std::ops::Range;
+use supmr_storage::scan::{find_byte, find_crlf};
 use supmr_storage::{DataSource, FileSet, RecordFormat, SharedBytes};
 
 /// How the input is partitioned into ingest chunks.
@@ -219,7 +220,7 @@ impl<S: DataSource> InterFileChunker<S> {
             // window (accounting for a \r left hanging at the seam).
             match self.format {
                 RecordFormat::Newline => {
-                    if let Some(i) = window.iter().position(|&b| b == b'\n') {
+                    if let Some(i) = find_byte(&window, b'\n') {
                         data.extend_from_slice(&window[..=i]);
                     } else {
                         data.extend_from_slice(&window);
@@ -228,7 +229,7 @@ impl<S: DataSource> InterFileChunker<S> {
                 RecordFormat::CrLf => {
                     if data.last() == Some(&b'\r') && window[0] == b'\n' {
                         data.push(b'\n');
-                    } else if let Some(i) = window.windows(2).position(|w| w == b"\r\n") {
+                    } else if let Some(i) = find_crlf(&window) {
                         data.extend_from_slice(&window[..i + 2]);
                     } else {
                         data.extend_from_slice(&window);
@@ -315,21 +316,21 @@ fn resident_boundary(all: &[u8], start: usize, nominal_end: usize, format: Recor
             if e0 > start && all[e0 - 1] == b'\n' {
                 e0
             } else {
-                match all[e0..].iter().position(|&b| b == b'\n') {
+                match find_byte(&all[e0..], b'\n') {
                     Some(i) => e0 + i + 1,
                     None => total,
                 }
             }
         }
         RecordFormat::CrLf => {
-            let mut e = e0;
-            while e <= total {
-                if e - start >= 2 && &all[e - 2..e] == b"\r\n" {
-                    return e;
-                }
-                e += 1;
+            // The first acceptable end is a pair finishing at or after
+            // `e0` whose `\r` is inside the chunk, i.e. a pair starting
+            // at `max(start, e0 - 2)` or later.
+            let p0 = start.max(e0.saturating_sub(2));
+            match find_crlf(&all[p0..]) {
+                Some(p) => p0 + p + 2,
+                None => total,
             }
-            total
         }
         RecordFormat::FixedWidth(w) => {
             assert!(w > 0, "record width must be non-zero");

@@ -105,12 +105,26 @@ impl Hasher for FxHasher {
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let tail = chunks.remainder();
-        if !tail.is_empty() {
-            let mut word = [0u8; 8];
-            word[..tail.len()].copy_from_slice(tail);
+        let n = tail.len();
+        if n > 0 {
+            // Assemble the zero-padded little-endian tail word from two
+            // overlapping loads instead of a serial byte loop — with
+            // 2-7-byte word-count tokens the loop dominated the hash.
+            // The overlap re-ORs identical bits, so the value (and thus
+            // every previously computed hash) is unchanged.
+            let word = if n >= 4 {
+                let lo = u32::from_le_bytes(tail[..4].try_into().unwrap()) as u64;
+                let hi = u32::from_le_bytes(tail[n - 4..].try_into().unwrap()) as u64;
+                lo | (hi << ((n - 4) * 8))
+            } else {
+                let lo = tail[0] as u64;
+                let mid = (tail[n / 2] as u64) << (8 * (n / 2));
+                let hi = (tail[n - 1] as u64) << (8 * (n - 1));
+                lo | mid | hi
+            };
             // Fold the tail length in so "ab" + "" and "a" + "b"
             // prefixes cannot collide trivially.
-            self.add_to_hash(u64::from_le_bytes(word) ^ (tail.len() as u64) << 56);
+            self.add_to_hash(word ^ (n as u64) << 56);
         }
     }
 

@@ -11,15 +11,17 @@
 //! concatenation of a contiguous shard range — no re-bucketing.
 
 use super::fast_hash::{FxSeededState, PassthroughState, SeedableBuildHasher};
+use super::local_table::{Entry, LocalTable};
 use super::{Container, ContainerHooks, ContainerMetrics};
 use crate::api::Emit;
 use crate::combiner::Combiner;
+use crate::key::ByteKey;
 use crate::spill::SpillHooks;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -102,6 +104,10 @@ where
     /// Single-spiller token: absorbs that find the ledger over budget
     /// while another thread is already draining just keep going.
     spilling: Mutex<()>,
+    /// High-water mark of absorbed local-table sizes. New locals
+    /// pre-size to it, so steady-state map tasks (same split size, same
+    /// vocabulary) skip the whole grow-and-rehash cascade.
+    local_hint: AtomicUsize,
     _marker: PhantomData<fn(V)>,
 }
 
@@ -140,6 +146,7 @@ where
             spill: Mutex::new(None),
             shard_bytes: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
             spilling: Mutex::new(()),
+            local_hint: AtomicUsize::new(0),
             _marker: PhantomData,
         }
     }
@@ -186,12 +193,24 @@ where
     }
 }
 
-/// Thread-local insert handle: a private map with insert-time combining.
-/// Keys are hashed here, once, and never again.
+/// Thread-local insert handle: a private table with insert-time
+/// combining. Keys are hashed here, once, and never again.
+///
+/// The table is an open-addressed [`LocalTable`] rather than a std
+/// `HashMap` so the zero-copy emit path can probe with a *borrowed*
+/// byte slice: [`Emit::emit_bytes`] hashes the slice through
+/// [`ByteKey::write_bytes`], compares against stored keys bytewise, and
+/// materializes an owned key only on the first insert of each distinct
+/// key — the allocation-hardening half of the SWAR map path.
 pub struct LocalHash<K, V, C: Combiner<V>, S = FxSeededState> {
-    map: Shard<K, C::Acc>,
+    table: LocalTable<K, C::Acc>,
     state: S,
     emitted: u64,
+    /// Borrowed-slice emissions seen (`supmr.map.tokens`).
+    tokens: u64,
+    /// Borrowed-slice first-inserts that heap-allocated
+    /// (`supmr.map.alloc_spills`).
+    alloc_spills: u64,
     _marker: PhantomData<fn(V)>,
 }
 
@@ -203,13 +222,32 @@ where
 {
     fn emit(&mut self, key: K, value: V) {
         self.emitted += 1;
-        let pk = Prehashed { hash: self.state.hash_one(&key), key };
-        match self.map.entry(pk) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                C::fold(e.get_mut(), value);
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(C::unit(value));
+        let hash = self.state.hash_one(&key);
+        match self.table.entry(hash, |k| *k == key) {
+            Entry::Occupied(acc) => C::fold(acc, value),
+            Entry::Vacant(slot) => slot.insert(key, C::unit(value)),
+        }
+    }
+
+    fn emit_bytes(&mut self, key: &[u8], value: V)
+    where
+        K: ByteKey,
+    {
+        self.emitted += 1;
+        self.tokens += 1;
+        // One build_hasher call per emission, same as the owned path —
+        // the `one_hash_invocation_per_absorbed_key` invariant holds
+        // for borrowed emissions too.
+        let mut hasher = self.state.build_hasher();
+        K::write_bytes(key, &mut hasher);
+        let hash = hasher.finish();
+        match self.table.entry(hash, |k| k.eq_bytes(key)) {
+            Entry::Occupied(acc) => C::fold(acc, value),
+            Entry::Vacant(slot) => {
+                if K::spills(key) {
+                    self.alloc_spills += 1;
+                }
+                slot.insert(K::from_bytes(key), C::unit(value));
             }
         }
     }
@@ -233,19 +271,30 @@ where
 
     fn local(&self) -> Self::Local {
         LocalHash {
-            map: Shard::default(),
+            table: LocalTable::with_capacity(self.local_hint.load(Ordering::Relaxed)),
             state: self.state.lock().clone(),
             emitted: 0,
+            tokens: 0,
+            alloc_spills: 0,
             _marker: PhantomData,
         }
     }
 
     fn absorb(&self, local: Self::Local) {
         self.pairs.fetch_add(local.emitted, Ordering::Relaxed);
-        if local.map.is_empty() {
+        let metrics = self.metrics.lock().clone();
+        if let Some(m) = &metrics {
+            if local.tokens > 0 {
+                m.emit_tokens.add(local.tokens);
+            }
+            if local.alloc_spills > 0 {
+                m.alloc_spills.add(local.alloc_spills);
+            }
+        }
+        if local.table.is_empty() {
             return;
         }
-        let metrics = self.metrics.lock().clone();
+        self.local_hint.fetch_max(local.table.len(), Ordering::Relaxed);
         let spill = self.spill.lock().clone();
         // RAII occupancy guard: decrements even if a combiner merge
         // panics mid-absorb, so the gauge cannot leak upward.
@@ -255,11 +304,11 @@ where
         // once per task, not once per key. Uniform hashing spreads the
         // local map evenly, so size every batch for its expected share
         // up front instead of growing it a doubling at a time.
-        let hint = local.map.len() / SHARDS + 1;
+        let hint = local.table.len() / SHARDS + 1;
         let mut batches: Vec<Vec<(Prehashed<K>, C::Acc)>> =
             (0..SHARDS).map(|_| Vec::with_capacity(hint)).collect();
-        for (pk, acc) in local.map {
-            batches[shard_of(pk.hash)].push((pk, acc));
+        for (hash, key, acc) in local.table {
+            batches[shard_of(hash)].push((Prehashed { hash, key }, acc));
         }
         // Ledger approximation under a budget: vacant inserts charge
         // their codec size hint; merges charge nothing (for counting
@@ -570,6 +619,61 @@ mod tests {
             300,
             "absorb and drain must reuse the emit-time hash"
         );
+    }
+
+    #[test]
+    fn borrowed_emit_hashes_once_and_matches_owned_path() {
+        use crate::key::CompactKey;
+        let state = CountingState::default();
+        let counter = Arc::clone(&state.handed_out);
+        let c: HashContainer<CompactKey, u64, Sum, CountingState> =
+            HashContainer::with_hasher(state);
+        let mut local = c.local();
+        for _ in 0..50 {
+            local.emit_bytes(b"the", 1);
+        }
+        let long = "a-key-well-beyond-the-twenty-two-byte-inline-cap";
+        local.emit_bytes(long.as_bytes(), 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 51, "one hash per borrowed emission");
+        c.absorb(local);
+        let mut all: Vec<(CompactKey, u64)> = c.into_partitions(4).into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, vec![(CompactKey::from(long), 1), (CompactKey::from("the"), 50)]);
+        assert_eq!(counter.load(Ordering::Relaxed), 51, "absorb and drain reuse the emit hash");
+    }
+
+    #[test]
+    fn borrowed_emissions_feed_map_counters() {
+        use crate::key::CompactKey;
+        let registry = Registry::new();
+        let c: HashContainer<CompactKey, u64, Sum> = HashContainer::new();
+        c.configure(&ContainerHooks {
+            hash_seed: None,
+            metrics: Some(ContainerMetrics::register(&registry)),
+        });
+        let mut local = c.local();
+        for _ in 0..10 {
+            local.emit_bytes(b"short", 1);
+        }
+        // Two emissions of one heap-spilling key: only the first insert
+        // allocates, so alloc_spills counts 1, not 2.
+        let long = b"this key is long enough to heap-spill".as_slice();
+        local.emit_bytes(long, 1);
+        local.emit_bytes(long, 1);
+        c.absorb(local);
+        let snapshot = registry.snapshot();
+        let counter = |name: &str| {
+            snapshot
+                .entries
+                .iter()
+                .find_map(|e| match (&e.name[..], &e.value) {
+                    (n, supmr_metrics::MetricValue::Counter(v)) if n == name => Some(*v),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        assert_eq!(counter("supmr.map.tokens"), 12);
+        assert_eq!(counter("supmr.map.alloc_spills"), 1);
     }
 
     /// Sum-like combiner whose cross-task `merge` panics, to prove

@@ -1,0 +1,273 @@
+//! Open-addressed task-local hash table with borrowed-slice probes.
+//!
+//! `std::collections::HashMap` cannot look a key up by a *borrowed*
+//! `&[u8]` unless the owned key implements `Borrow<[u8]>` with a
+//! byte-slice-consistent hash — impossible for `Prehashed`-style wrapped
+//! keys, and the unstable raw-entry API is off the table. This small
+//! linear-probe table is the stable-Rust replacement backing
+//! [`LocalHash`](super::hash::LocalHash): the caller supplies the
+//! precomputed hash and an equality closure, so the zero-copy emit path
+//! ([`Emit::emit_bytes`](crate::api::Emit::emit_bytes)) probes with the
+//! borrowed token bytes and materializes an owned key only when the
+//! probe misses.
+//!
+//! The layout packs each slot's stored hash next to its entry —
+//! `(u64, Option<(K, A)>)` — so the probe's hash check and the
+//! key/accumulator it guards share one cache line (with a 10k-word
+//! Zipf vocabulary the table is L2-resident, and a split hash/entry
+//! layout paid a second dependent miss per successful probe). A zero
+//! stored hash marks an empty slot. Growth happens on *insert*, not on
+//! probe, keeping the repeat-token fold path free of load-factor
+//! arithmetic. The stored hash both short-circuits probe comparisons
+//! and travels with the key into the sharded global table, preserving
+//! the hash-exactly-once shuffle invariant.
+
+/// Initial slot count on first insert (power of two).
+const FIRST_CAPACITY: usize = 16;
+
+/// Stand-in for the (2⁻⁶⁴-probability) input hash of zero, which the
+/// empty-slot sentinel reserves. Applied identically on every probe, so
+/// all tasks agree on the remapped value.
+const ZERO_HASH: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A task-local linear-probe table keyed by precomputed hashes.
+pub struct LocalTable<K, A> {
+    /// `(stored hash, entry)`; hash 0 = empty slot.
+    slots: Vec<(u64, Option<(K, A)>)>,
+    len: usize,
+}
+
+impl<K, A> Default for LocalTable<K, A> {
+    fn default() -> Self {
+        LocalTable { slots: Vec::new(), len: 0 }
+    }
+}
+
+impl<K, A> LocalTable<K, A> {
+    /// An empty table pre-sized so `expected` entries insert without
+    /// growing (used by containers to carry a high-water-mark hint
+    /// across tasks, skipping the per-task rehash cascade).
+    pub fn with_capacity(expected: usize) -> Self {
+        if expected == 0 {
+            return LocalTable::default();
+        }
+        // Slots such that `expected` stays under the 7/8 load limit.
+        let slots = (expected + expected / 7 + 1).next_power_of_two().max(FIRST_CAPACITY);
+        LocalTable { slots: (0..slots).map(|_| (0, None)).collect(), len: 0 }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Locate `hash`'s entry: `Occupied` borrows the accumulator of the
+    /// slot whose stored hash matches and whose key satisfies `eq`;
+    /// `Vacant` is positioned at the insertion slot (and re-probes
+    /// after growing if materializing it would cross 7/8 load).
+    #[inline]
+    pub fn entry(&mut self, hash: u64, eq: impl Fn(&K) -> bool) -> Entry<'_, K, A> {
+        let hash = if hash == 0 { ZERO_HASH } else { hash };
+        if self.slots.is_empty() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let h = self.slots[i].0;
+            if h == 0 {
+                return Entry::Vacant(VacantSlot { table: self, index: i, hash });
+            }
+            if h == hash {
+                if let Some((k, _)) = &self.slots[i].1 {
+                    if eq(k) {
+                        let Some((_, acc)) = self.slots[i].1.as_mut() else { unreachable!() };
+                        return Entry::Occupied(acc);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Double the slot array and re-place every entry by stored hash
+    /// (no key re-hashing).
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(FIRST_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, (0..new_cap).map(|_| (0, None)).collect());
+        let mask = new_cap - 1;
+        for (h, entry) in old {
+            if h == 0 {
+                continue;
+            }
+            let mut i = (h as usize) & mask;
+            while self.slots[i].0 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (h, entry);
+        }
+    }
+}
+
+/// Result of a [`LocalTable::entry`] probe.
+pub enum Entry<'t, K, A> {
+    /// The key is present; fold into its accumulator.
+    Occupied(&'t mut A),
+    /// The key is absent; insert at the probed slot.
+    Vacant(VacantSlot<'t, K, A>),
+}
+
+/// An insertion point returned by a missed probe.
+pub struct VacantSlot<'t, K, A> {
+    table: &'t mut LocalTable<K, A>,
+    index: usize,
+    hash: u64,
+}
+
+impl<K, A> VacantSlot<'_, K, A> {
+    /// Materialize the key into the probed slot, growing (and
+    /// re-probing, since growth moves slots) when this insert would
+    /// cross the 7/8 load limit. The limit keeps the table strictly
+    /// under-full, so every probe sequence terminates at an empty slot.
+    #[inline]
+    pub fn insert(self, key: K, acc: A) {
+        let t = self.table;
+        let mut i = self.index;
+        if t.len + 1 > t.slots.len() - t.slots.len() / 8 {
+            t.grow();
+            let mask = t.slots.len() - 1;
+            i = (self.hash as usize) & mask;
+            while t.slots[i].0 != 0 {
+                i = (i + 1) & mask;
+            }
+        }
+        t.slots[i] = (self.hash, Some((key, acc)));
+        t.len += 1;
+    }
+}
+
+/// Draining iterator over `(stored hash, key, accumulator)`.
+pub struct IntoIter<K, A> {
+    slots: std::vec::IntoIter<(u64, Option<(K, A)>)>,
+}
+
+impl<K, A> Iterator for IntoIter<K, A> {
+    type Item = (u64, K, A);
+
+    fn next(&mut self) -> Option<(u64, K, A)> {
+        loop {
+            let (h, entry) = self.slots.next()?;
+            if let Some((k, a)) = entry {
+                debug_assert_ne!(h, 0, "occupied slot with sentinel hash");
+                return Some((h, k, a));
+            }
+        }
+    }
+}
+
+impl<K, A> IntoIterator for LocalTable<K, A> {
+    type Item = (u64, K, A);
+    type IntoIter = IntoIter<K, A>;
+
+    fn into_iter(self) -> IntoIter<K, A> {
+        IntoIter { slots: self.slots.into_iter() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn insert_str(t: &mut LocalTable<String, u64>, key: &str, hash: u64) {
+        match t.entry(hash, |k| k == key) {
+            Entry::Occupied(acc) => *acc += 1,
+            Entry::Vacant(v) => v.insert(key.to_string(), 1),
+        }
+    }
+
+    #[test]
+    fn folds_repeats_and_inserts_distinct() {
+        let mut t = LocalTable::default();
+        for _ in 0..10 {
+            insert_str(&mut t, "the", 42);
+        }
+        insert_str(&mut t, "word", 7);
+        assert_eq!(t.len(), 2);
+        let mut all: Vec<(u64, String, u64)> = t.into_iter().collect();
+        all.sort();
+        assert_eq!(all, vec![(7, "word".into(), 1), (42, "the".into(), 10)]);
+    }
+
+    #[test]
+    fn colliding_hashes_stay_distinct_keys() {
+        // Same hash, different keys: linear probing must keep both.
+        let mut t = LocalTable::default();
+        insert_str(&mut t, "alpha", 99);
+        insert_str(&mut t, "beta", 99);
+        insert_str(&mut t, "alpha", 99);
+        assert_eq!(t.len(), 2);
+        let mut all: Vec<(String, u64)> = t.into_iter().map(|(_, k, a)| (k, a)).collect();
+        all.sort();
+        assert_eq!(all, vec![("alpha".into(), 2), ("beta".into(), 1)]);
+    }
+
+    #[test]
+    fn hash_zero_keys_survive_the_sentinel() {
+        // 0 marks empty slots internally; a real zero hash must still
+        // insert, fold, and drain (with the remapped stored hash).
+        let mut t = LocalTable::default();
+        insert_str(&mut t, "zero", 0);
+        insert_str(&mut t, "zero", 0);
+        assert_eq!(t.len(), 1);
+        let all: Vec<(u64, String, u64)> = t.into_iter().collect();
+        assert_eq!(all, vec![(ZERO_HASH, "zero".into(), 2)]);
+    }
+
+    #[test]
+    fn growth_preserves_every_entry() {
+        let mut t = LocalTable::default();
+        // Far past several doublings, with adversarial hashes that all
+        // target the same initial slot (multiples of a large power of 2).
+        for i in 0..5_000u64 {
+            let key = format!("key{i}");
+            let hash = i << 32;
+            match t.entry(hash, |k| *k == key) {
+                Entry::Occupied(acc) => *acc += 1,
+                Entry::Vacant(v) => v.insert(key, 1),
+            }
+        }
+        assert_eq!(t.len(), 5_000);
+        for i in (0..5_000u64).step_by(97) {
+            let key = format!("key{i}");
+            match t.entry(i << 32, |k| *k == key) {
+                Entry::Occupied(acc) => assert_eq!(*acc, 1),
+                Entry::Vacant(_) => panic!("key{i} lost in growth"),
+            }
+        }
+    }
+
+    #[test]
+    fn with_capacity_inserts_without_growing() {
+        let mut t: LocalTable<String, u64> = LocalTable::with_capacity(100);
+        let slots = t.slots.len();
+        assert!(slots >= 100);
+        for i in 0..100u64 {
+            insert_str(&mut t, &format!("key{i}"), i + 1);
+        }
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.slots.len(), slots, "pre-sized table must not grow");
+    }
+
+    #[test]
+    fn empty_table_iterates_nothing() {
+        let t: LocalTable<String, u64> = LocalTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.into_iter().count(), 0);
+    }
+}

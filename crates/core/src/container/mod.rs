@@ -28,6 +28,7 @@
 mod array;
 pub mod fast_hash;
 mod hash;
+mod local_table;
 mod unlocked;
 
 pub use array::ArrayContainer;
@@ -39,7 +40,7 @@ use crate::api::Emit;
 use crate::combiner::Combiner;
 use crate::spill::SpillHooks;
 use std::sync::Arc;
-use supmr_metrics::{Gauge, Histogram, Registry};
+use supmr_metrics::{Counter, Gauge, Histogram, Registry};
 
 /// Runtime-provided wiring a container receives once, after
 /// construction and before the first map wave.
@@ -72,6 +73,13 @@ pub struct ContainerMetrics {
     /// `supmr.container.absorb_in_flight` — absorbs currently merging
     /// into the shared table (RAII-guarded; consistent across panics).
     pub absorb_in_flight: Gauge,
+    /// `supmr.map.tokens` — borrowed-slice emissions
+    /// ([`Emit::emit_bytes`]) folded through the zero-copy probe path.
+    pub emit_tokens: Counter,
+    /// `supmr.map.alloc_spills` — borrowed-slice first-inserts whose
+    /// key exceeded the inline cap and heap-allocated
+    /// ([`ByteKey::spills`](crate::key::ByteKey::spills)).
+    pub alloc_spills: Counter,
 }
 
 impl ContainerMetrics {
@@ -91,6 +99,16 @@ impl ContainerMetrics {
             absorb_in_flight: registry.gauge(
                 "supmr.container.absorb_in_flight",
                 "Absorb operations currently merging into the shared table.",
+                &[],
+            ),
+            emit_tokens: registry.counter(
+                "supmr.map.tokens",
+                "Borrowed-slice tokens emitted through the zero-copy map path.",
+                &[],
+            ),
+            alloc_spills: registry.counter(
+                "supmr.map.alloc_spills",
+                "Zero-copy emissions whose first insert heap-allocated the key.",
                 &[],
             ),
         })

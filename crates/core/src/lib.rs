@@ -95,6 +95,7 @@ pub mod chunk;
 pub mod combiner;
 pub mod container;
 pub mod error;
+pub mod key;
 pub mod pool;
 pub mod runtime;
 pub mod spill;
@@ -103,6 +104,7 @@ pub mod split;
 pub use api::{Emit, MapReduce};
 pub use chunk::{Chunking, IngestChunk};
 pub use error::{Result, SupmrError};
+pub use key::{ByteKey, CompactKey};
 pub use pool::{PoolMetrics, PoolMode};
 pub use runtime::{
     run_job, Input, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,

@@ -29,6 +29,9 @@ pub struct JobMetrics {
     pub map_in_flight: Gauge,
     /// `supmr.map.wave_tasks{runtime}` — tasks per map wave.
     pub wave_tasks: Histogram,
+    /// `supmr.map.scan_bytes{runtime}` — split bytes handed to map
+    /// tasks (the volume the SWAR scanners tokenized).
+    pub scan_bytes: Counter,
     /// `supmr.ingest.bytes{runtime}` — bytes read from primary storage.
     pub ingest_bytes: Counter,
     /// `supmr.ingest.chunk_us{runtime}` — per-chunk ingest latency.
@@ -71,6 +74,11 @@ impl JobMetrics {
             wave_tasks: registry.histogram(
                 "supmr.map.wave_tasks",
                 "Tasks dispatched per map wave.",
+                rt,
+            ),
+            scan_bytes: registry.counter(
+                "supmr.map.scan_bytes",
+                "Split bytes handed to map tasks (SWAR-scanned volume).",
                 rt,
             ),
             ingest_bytes: registry.counter(

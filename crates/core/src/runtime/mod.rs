@@ -607,6 +607,9 @@ pub(crate) fn map_wave<J: MapReduce>(
         // RAII occupancy guard + latency sample: both survive a
         // panicking `map` (the guard restores the gauge on unwind).
         let started = task_metrics.as_ref().map(|m| (m.map_in_flight.track(1), Instant::now()));
+        if let Some(m) = &task_metrics {
+            m.scan_bytes.add(range.len() as u64);
+        }
         let mut local = container.local();
         job.map(&data[range], &mut local);
         container.absorb(local);

@@ -4,12 +4,14 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use std::collections::hash_map::RandomState;
+use std::hash::BuildHasher;
 use supmr::api::{Emit, MapReduce};
 use supmr::chunk::{Chunker, InterFileChunker, IntraFileChunker};
 use supmr::combiner::Sum;
-use supmr::container::HashContainer;
+use supmr::container::{Container, HashContainer};
 use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
-use supmr::{Chunking, PoolMode};
+use supmr::{Chunking, CompactKey, PoolMode};
 use supmr_storage::{MemFileSet, MemSource, RecordFormat};
 
 struct WordCount;
@@ -212,5 +214,68 @@ proptest! {
         // post-reduce, so ordering is total).
         prop_assert_eq!(&a.pairs, &b.pairs);
         prop_assert!(a.pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}
+
+/// Arbitrary key bytes straddling both [`CompactKey`] representations
+/// (the inline cap is 22, so 0..48 crosses the heap boundary often).
+fn arb_key_bytes() -> impl Strategy<Value = Vec<u8>> {
+    vec(any::<u8>(), 0..48)
+}
+
+proptest! {
+    #[test]
+    fn compact_key_round_trips_and_orders_like_raw_bytes(
+        a in arb_key_bytes(),
+        b in arb_key_bytes(),
+    ) {
+        let ka = CompactKey::from_bytes(&a);
+        let kb = CompactKey::from_bytes(&b);
+        prop_assert_eq!(ka.as_bytes(), &a[..]);
+        prop_assert_eq!(ka.len(), a.len());
+        prop_assert_eq!(ka.is_heap(), a.len() > CompactKey::INLINE_CAP);
+        prop_assert_eq!(ka == kb, a == b);
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    #[test]
+    fn compact_key_hashes_exactly_like_string(
+        bytes in vec(b' '..=b'~', 0..48),
+    ) {
+        // Same RandomState: a CompactKey must land in the bucket a
+        // String key would, or borrowed-probe lookups silently miss.
+        let s = String::from_utf8(bytes.clone()).unwrap();
+        let state = RandomState::new();
+        prop_assert_eq!(
+            state.hash_one(CompactKey::from_bytes(&bytes)),
+            state.hash_one(&s)
+        );
+    }
+
+    #[test]
+    fn borrowed_and_owned_emission_fill_identical_tables(
+        words in vec(vec(b'a'..=b'd', 1..30), 0..60),
+    ) {
+        // emit_bytes (borrowed probe, key materialized on first insert)
+        // and emit (owned key up front) must build the same table.
+        let drain = |c: HashContainer<CompactKey, u64, Sum>| {
+            let mut v: Vec<(CompactKey, u64)> =
+                c.into_partitions(1).into_iter().flatten().collect();
+            v.sort();
+            v
+        };
+        let owned: HashContainer<CompactKey, u64, Sum> = HashContainer::new();
+        let mut local = owned.local();
+        for w in &words {
+            local.emit(CompactKey::from_bytes(w), 1);
+        }
+        owned.absorb(local);
+        let borrowed: HashContainer<CompactKey, u64, Sum> = HashContainer::new();
+        let mut local = borrowed.local();
+        for w in &words {
+            local.emit_bytes(w, 1);
+        }
+        borrowed.absorb(local);
+        prop_assert_eq!(drain(owned), drain(borrowed));
     }
 }

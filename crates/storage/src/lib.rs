@@ -41,6 +41,7 @@ pub mod fault;
 pub mod hdfs;
 pub mod observe;
 pub mod record;
+pub mod scan;
 pub mod shared;
 pub mod source;
 pub mod spill;
@@ -54,6 +55,7 @@ pub use spill::{
     ThrottledRunStore,
 };
 pub use record::RecordFormat;
+pub use scan::{find_byte, find_crlf, ByteClass};
 pub use shared::SharedBytes;
 pub use source::{
     CachedSource, DataSource, DirFileSet, FileSet, FileSource, MemFileSet, MemSource, SourceExt,

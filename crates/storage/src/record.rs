@@ -6,6 +6,12 @@
 //! increases the split point until reaching the end of the value" (§III-A).
 //! For Terasort the terminator is `\r\n`; for text workloads it is `\n`;
 //! fixed-width binary records round up to a record multiple.
+//!
+//! Terminator searches go through the SWAR scanners in [`crate::scan`]
+//! (8 bytes per step instead of byte-at-a-time); the `CrLf` paths in
+//! particular used to re-scan with a byte-stepping loop.
+
+use crate::scan::{find_byte, find_crlf};
 
 /// How records are delimited in the input byte stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,14 +59,10 @@ impl RecordFormat {
                 // terminator; step back one so the scan finds that pair.
                 let start =
                     if data[want - 1] == b'\r' && data[want] == b'\n' { want - 1 } else { want };
-                let mut i = start;
-                while i + 1 < data.len() {
-                    if data[i] == b'\r' && data[i + 1] == b'\n' {
-                        return i + 2;
-                    }
-                    i += 1;
+                match find_crlf(&data[start..]) {
+                    Some(i) => start + i + 2,
+                    None => data.len(),
                 }
-                data.len()
             }
         }
     }
@@ -115,27 +117,15 @@ impl<'d> Iterator for RecordIter<'d> {
                 Some(i) => pos + i + 1,
                 None => data.len(),
             },
-            RecordFormat::CrLf => {
-                let mut i = pos;
-                loop {
-                    if i + 1 >= data.len() {
-                        break data.len();
-                    }
-                    if data[i] == b'\r' && data[i + 1] == b'\n' {
-                        break i + 2;
-                    }
-                    i += 1;
-                }
-            }
+            RecordFormat::CrLf => match find_crlf(&data[pos..]) {
+                Some(i) => pos + i + 2,
+                None => data.len(),
+            },
         };
         let rec = &data[pos..end];
         self.pos = end;
         Some(rec)
     }
-}
-
-fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
-    haystack.iter().position(|&b| b == needle)
 }
 
 #[cfg(test)]
@@ -172,6 +162,25 @@ mod tests {
         // Right after a terminator is already a boundary-ish point; the
         // record containing index 11 is the second one, ending at 22.
         assert_eq!(f.adjust_split_point(data, 12), 22);
+    }
+
+    #[test]
+    fn crlf_straddle_step_back_survives_the_swar_rewrite() {
+        // Dedicated coverage for the \r|\n straddle fix: a split landing
+        // between the pair must step back so the scan still finds it —
+        // at every alignment relative to the SWAR lanes, including the
+        // pair itself straddling an 8-byte word seam.
+        for pad in 0..20 {
+            let mut data = vec![b'x'; pad];
+            data.extend_from_slice(b"\r\ntail\r\n");
+            let f = RecordFormat::CrLf;
+            // want = pad + 1 sits exactly between \r and \n.
+            assert_eq!(f.adjust_split_point(&data, pad + 1), pad + 2, "pad {pad}");
+            // And a mid-record split still finds the next pair.
+            if pad > 0 {
+                assert_eq!(f.adjust_split_point(&data, pad / 2 + 1).max(pad + 2), pad + 2);
+            }
+        }
     }
 
     #[test]

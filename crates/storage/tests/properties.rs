@@ -5,6 +5,7 @@
 
 use proptest::collection::vec;
 use proptest::prelude::*;
+use supmr_storage::scan::{self, ByteClass};
 use supmr_storage::throttle::BucketState;
 use supmr_storage::{MemSource, RecordFormat, SourceExt};
 
@@ -105,6 +106,76 @@ proptest! {
         let s = (start as usize).min(data.len());
         let e = (s + len).min(data.len());
         prop_assert_eq!(got, data[s..e].to_vec());
+    }
+
+    #[test]
+    fn swar_find_byte_matches_scalar_search(
+        data in vec(any::<u8>(), 0..300),
+        needle in any::<u8>(),
+    ) {
+        prop_assert_eq!(
+            scan::find_byte(&data, needle),
+            data.iter().position(|&b| b == needle)
+        );
+    }
+
+    #[test]
+    fn swar_find_crlf_matches_scalar_search(
+        data in vec(prop_oneof![Just(b'\r'), Just(b'\n'), Just(b'x')], 0..300),
+    ) {
+        prop_assert_eq!(
+            scan::find_crlf(&data),
+            data.windows(2).position(|w| w == b"\r\n")
+        );
+    }
+
+    #[test]
+    fn swar_class_scans_match_scalar_search(
+        data in vec(any::<u8>(), 0..300),
+        from in 0usize..320,
+        word in any::<bool>(),
+    ) {
+        let class = if word { ByteClass::Word } else { ByteClass::Alnum };
+        let from = from.min(data.len());
+        let scalar_member = (from..data.len()).find(|&i| class.contains(data[i]));
+        prop_assert_eq!(scan::find_member(&data, from, class), scalar_member);
+        let scalar_non = (from..data.len())
+            .find(|&i| !class.contains(data[i]))
+            .unwrap_or(data.len());
+        prop_assert_eq!(scan::find_non_member(&data, from, class), scalar_non);
+    }
+
+    #[test]
+    fn swar_tokens_match_scalar_tokenizer(
+        data in vec(any::<u8>(), 0..400),
+        word in any::<bool>(),
+    ) {
+        let class = if word { ByteClass::Word } else { ByteClass::Alnum };
+        // Scalar reference: maximal runs of class members, in order.
+        let mut scalar: Vec<&[u8]> = Vec::new();
+        let mut start = None;
+        for (i, &b) in data.iter().enumerate() {
+            if class.contains(b) {
+                start.get_or_insert(i);
+            } else if let Some(s) = start.take() {
+                scalar.push(&data[s..i]);
+            }
+        }
+        if let Some(s) = start {
+            scalar.push(&data[s..]);
+        }
+        let swar: Vec<&[u8]> = scan::tokens(&data, class).collect();
+        prop_assert_eq!(swar, scalar);
+    }
+
+    #[test]
+    fn swar_case_fold_matches_scalar_fold(
+        data in vec(any::<u8>(), 0..300),
+    ) {
+        let mut folded = Vec::new();
+        scan::push_ascii_lower(&data, &mut folded);
+        let scalar: Vec<u8> = data.iter().map(|b| b.to_ascii_lowercase()).collect();
+        prop_assert_eq!(folded, scalar);
     }
 
     #[test]
