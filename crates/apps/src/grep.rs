@@ -94,7 +94,7 @@ impl MapReduce for Grep {
 mod tests {
     use super::*;
     use supmr::api::VecEmit;
-    use supmr::runtime::{run_job, Input, JobConfig};
+    use supmr::runtime::{Input, Job, JobConfig};
     use supmr::Chunking;
     use supmr_storage::MemSource;
 
@@ -133,12 +133,10 @@ mod tests {
         let mut config = JobConfig::default();
         config.chunking = Chunking::Inter { chunk_bytes: 512 };
         config.split_bytes = 128;
-        let r = run_job(
-            Grep::new(vec![b"needle".to_vec(), b"missing".to_vec()]),
-            Input::stream(MemSource::from(text)),
-            config,
-        )
-        .unwrap();
+        let r = Job::new(Grep::new(vec![b"needle".to_vec(), b"missing".to_vec()]))
+            .config(config)
+            .run(Input::stream(MemSource::from(text)))
+            .unwrap();
         assert_eq!(r.pairs.len(), 1);
         assert_eq!(r.pairs[0], (CompactKey::from("needle"), 200));
     }

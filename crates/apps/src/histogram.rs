@@ -64,7 +64,7 @@ impl MapReduce for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+    use supmr::runtime::{Input, Job, JobConfig, MergeMode};
     use supmr::Chunking;
     use supmr_storage::MemSource;
 
@@ -82,12 +82,10 @@ mod tests {
     #[test]
     fn counts_channels_independently() {
         let data = vec![10u8, 20, 30, 10, 20, 30, 99, 20, 30];
-        let r = run_job(
-            Histogram::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() },
-        )
-        .unwrap();
+        let r = Job::new(Histogram::new())
+            .config(JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() })
+            .run(Input::stream(MemSource::from(data)))
+            .unwrap();
         let lookup = |b: usize| r.pairs.iter().find(|(k, _)| *k == b).map(|(_, c)| *c).unwrap_or(0);
         assert_eq!(lookup(Histogram::bucket(0, 10)), 2);
         assert_eq!(lookup(Histogram::bucket(0, 99)), 1);
@@ -100,23 +98,19 @@ mod tests {
     #[test]
     fn chunked_equals_unchunked() {
         let data = pixels(5_000, 7);
-        let base = run_job(
-            Histogram::new(),
-            Input::stream(MemSource::from(data.clone())),
-            JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() },
-        )
-        .unwrap();
-        let piped = run_job(
-            Histogram::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig {
+        let base = Job::new(Histogram::new())
+            .config(JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() })
+            .run(Input::stream(MemSource::from(data.clone())))
+            .unwrap();
+        let piped = Job::new(Histogram::new())
+            .config(JobConfig {
                 record_format: Histogram::record_format(),
                 chunking: Chunking::Inter { chunk_bytes: 1000 },
                 merge: MergeMode::PWay { ways: 3 },
                 ..JobConfig::default()
-            },
-        )
-        .unwrap();
+            })
+            .run(Input::stream(MemSource::from(data)))
+            .unwrap();
         assert_eq!(base.sorted_pairs(), piped.sorted_pairs());
     }
 
@@ -125,12 +119,10 @@ mod tests {
         // The array container's partitions are index-ordered by
         // construction, a property histogram consumers rely on.
         let data = pixels(100, 3);
-        let r = run_job(
-            Histogram::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() },
-        )
-        .unwrap();
+        let r = Job::new(Histogram::new())
+            .config(JobConfig { record_format: Histogram::record_format(), ..JobConfig::default() })
+            .run(Input::stream(MemSource::from(data)))
+            .unwrap();
         assert!(r.pairs.windows(2).all(|w| w[0].0 < w[1].0));
     }
 }

@@ -77,7 +77,7 @@ impl MapReduce for InvertedIndex {
 #[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
 mod tests {
     use super::*;
-    use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+    use supmr::runtime::{Input, Job, JobConfig, MergeMode};
     use supmr::Chunking;
     use supmr_storage::{MemFileSet, MemSource};
 
@@ -93,7 +93,9 @@ mod tests {
     fn builds_sorted_deduplicated_postings() {
         let mut config = JobConfig::default();
         config.merge = MergeMode::PWay { ways: 2 };
-        let r = run_job(InvertedIndex::new(), Input::stream(MemSource::from(corpus())), config)
+        let r = Job::new(InvertedIndex::new())
+            .config(config)
+            .run(Input::stream(MemSource::from(corpus())))
             .unwrap();
         let index: std::collections::HashMap<String, Vec<u32>> =
             r.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
@@ -106,12 +108,7 @@ mod tests {
     #[test]
     fn lines_without_tab_or_bad_ids_are_skipped() {
         let data = b"no tab here\nxyz\tbad id words\n7\tgood words\n".to_vec();
-        let r = run_job(
-            InvertedIndex::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig::default(),
-        )
-        .unwrap();
+        let r = Job::new(InvertedIndex::new()).run(Input::stream(MemSource::from(data))).unwrap();
         let index: std::collections::HashMap<String, Vec<u32>> =
             r.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
         assert_eq!(index.len(), 2);
@@ -133,16 +130,15 @@ mod tests {
                 s.into_bytes()
             })
             .collect();
-        let base = run_job(
-            InvertedIndex::new(),
-            Input::files(MemFileSet::new(files.clone())),
-            JobConfig::default(),
-        )
-        .unwrap();
+        let base = Job::new(InvertedIndex::new())
+            .run(Input::files(MemFileSet::new(files.clone())))
+            .unwrap();
         let mut config = JobConfig::default();
         config.chunking = Chunking::Intra { files_per_chunk: 4 };
-        let piped =
-            run_job(InvertedIndex::new(), Input::files(MemFileSet::new(files)), config).unwrap();
+        let piped = Job::new(InvertedIndex::new())
+            .config(config)
+            .run(Input::files(MemFileSet::new(files)))
+            .unwrap();
         assert_eq!(base.sorted_pairs(), piped.sorted_pairs());
         let index: std::collections::HashMap<String, Vec<u32>> =
             base.pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();

@@ -15,10 +15,12 @@
 //! values and iterates to convergence.
 
 use std::io;
+use std::sync::{Arc, Mutex};
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::ArrayContainer;
-use supmr::runtime::{run_job, Input, JobConfig, JobResult};
+use supmr::runtime::{Input, JobConfig, JobReport, Pipeline, Stage};
+use supmr::SupmrError;
 
 /// Partial sums for one cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -111,46 +113,95 @@ pub struct KMeansResult {
     pub converged: bool,
     /// Total points assigned in the final iteration.
     pub points: u64,
+    /// The pipeline's aggregated report: totals across all iterations,
+    /// with [`JobReport::stages`] carrying one entry per pass.
+    pub report: JobReport,
 }
 
-/// Run kmeans to convergence. `make_input` is called once per iteration
-/// to produce a fresh `Input` over the same point corpus (the driver
-/// re-ingests each pass, as a real out-of-core job would).
+/// Driver state shared between the per-iteration step factory and the
+/// convergence predicate of the iterative pipeline.
+#[derive(Debug)]
+struct KMeansState {
+    centroids: Vec<(f64, f64)>,
+    converged: bool,
+    points: u64,
+}
+
+/// Run kmeans to convergence as an iterative single-stage
+/// [`Pipeline`]: [`Stage::from_factory`] re-parameterizes the
+/// assignment step with the current centroids each pass,
+/// [`Stage::input_with`] re-opens the point corpus through `make_input`
+/// (the driver re-ingests each pass, as a real out-of-core job would),
+/// and [`Pipeline::until`] recomputes centroids from the reduced
+/// cluster sums and stops once every centroid moves less than
+/// `tolerance`.
 ///
 /// # Errors
 /// Propagates [`supmr::SupmrError`]s from each iteration's job, plus
 /// failures to rebuild the input between iterations (as ingest errors).
 pub fn run_kmeans(
-    mut make_input: impl FnMut() -> io::Result<Input>,
+    mut make_input: impl FnMut() -> io::Result<Input> + Send + 'static,
     initial_centroids: Vec<(f64, f64)>,
     config: &JobConfig,
     max_iterations: usize,
     tolerance: f64,
 ) -> supmr::Result<KMeansResult> {
     assert!(!initial_centroids.is_empty(), "kmeans needs at least one centroid");
-    let mut centroids = initial_centroids;
-    let mut converged = false;
-    let mut iterations = 0;
-    let mut points = 0;
-    while iterations < max_iterations && !converged {
-        iterations += 1;
-        let step = KMeansStep::new(centroids.clone());
-        let result: JobResult<usize, ClusterSum> = run_job(step, make_input()?, config.clone())?;
-        points = result.pairs.iter().map(|(_, s)| s.n).sum();
-        let mut next = centroids.clone();
-        for (cluster, sum) in &result.pairs {
-            if sum.n > 0 {
-                next[*cluster] = (sum.sum_x / sum.n as f64, sum.sum_y / sum.n as f64);
-            }
-            // Empty clusters keep their previous centroid.
-        }
-        converged = centroids
-            .iter()
-            .zip(&next)
-            .all(|(a, b)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt() < tolerance);
-        centroids = next;
+    if max_iterations == 0 {
+        return Ok(KMeansResult {
+            centroids: initial_centroids,
+            iterations: 0,
+            converged: false,
+            points: 0,
+            report: JobReport::default(),
+        });
     }
-    Ok(KMeansResult { centroids, iterations, converged, points })
+    let state = Arc::new(Mutex::new(KMeansState {
+        centroids: initial_centroids,
+        converged: false,
+        points: 0,
+    }));
+
+    let step_state = Arc::clone(&state);
+    let mut p: Pipeline<usize, ClusterSum> = Pipeline::new();
+    p.stage(
+        Stage::from_factory("assign", move |_| {
+            KMeansStep::new(step_state.lock().unwrap().centroids.clone())
+        })
+        .input_with(move |_| make_input().map_err(SupmrError::from)),
+    );
+
+    let pred_state = Arc::clone(&state);
+    let result =
+        p.config(config.clone())
+            .until(move |report| {
+                let mut st = pred_state.lock().unwrap();
+                st.points = report.pairs.iter().map(|(_, s)| s.n).sum();
+                let mut next = st.centroids.clone();
+                for (cluster, sum) in report.pairs {
+                    if sum.n > 0 {
+                        next[*cluster] = (sum.sum_x / sum.n as f64, sum.sum_y / sum.n as f64);
+                    }
+                    // Empty clusters keep their previous centroid.
+                }
+                st.converged =
+                    st.centroids.iter().zip(&next).all(|(a, b)| {
+                        ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt() < tolerance
+                    });
+                st.centroids = next;
+                st.converged
+            })
+            .max_iterations(max_iterations as u64)
+            .run()?;
+
+    let st = state.lock().unwrap();
+    Ok(KMeansResult {
+        centroids: st.centroids.clone(),
+        iterations: result.iterations as usize,
+        converged: st.converged,
+        points: st.points,
+        report: result.report,
+    })
 }
 
 #[cfg(test)]
@@ -183,7 +234,7 @@ mod tests {
         // correspondence is deterministic.
         let init: Vec<(f64, f64)> = truth.iter().map(|&(x, y)| (x + 1.0, y - 1.0)).collect();
         let result = run_kmeans(
-            || Ok(Input::stream(MemSource::from(data.clone()))),
+            move || Ok(Input::stream(MemSource::from(data.clone()))),
             init,
             &config(),
             30,
@@ -193,6 +244,12 @@ mod tests {
         assert!(result.converged, "did not converge in {} iterations", result.iterations);
         assert_eq!(result.points, 900);
         match_centers(&result.centroids, &truth, 0.2);
+        assert_eq!(
+            result.report.stages.len(),
+            result.iterations,
+            "the pipeline reports one stage execution per pass"
+        );
+        assert!(result.report.stats.map_tasks > 0, "aggregated counters are populated");
     }
 
     #[test]
@@ -200,8 +257,9 @@ mod tests {
         let pc = PointsConfig { clusters: 2, points_per_cluster: 200, ..Default::default() };
         let data = clustered_points(5, &pc);
         let init = vec![(1.0, 0.0), (-1.0, 0.0)];
+        let base_data = data.clone();
         let base = run_kmeans(
-            || Ok(Input::stream(MemSource::from(data.clone()))),
+            move || Ok(Input::stream(MemSource::from(base_data.clone()))),
             init.clone(),
             &config(),
             20,
@@ -211,7 +269,7 @@ mod tests {
         let mut chunked_config = config();
         chunked_config.chunking = Chunking::Inter { chunk_bytes: 4096 };
         let chunked = run_kmeans(
-            || Ok(Input::stream(MemSource::from(data.clone()))),
+            move || Ok(Input::stream(MemSource::from(data.clone()))),
             init,
             &chunked_config,
             20,
@@ -230,7 +288,7 @@ mod tests {
         let data = b"0 0\n0.5 0\n".to_vec();
         let init = vec![(0.0, 0.0), (100.0, 100.0), (0.6, 0.0)];
         let result = run_kmeans(
-            || Ok(Input::stream(MemSource::from(data.clone()))),
+            move || Ok(Input::stream(MemSource::from(data.clone()))),
             init,
             &config(),
             5,
@@ -245,7 +303,7 @@ mod tests {
     fn single_iteration_cap_is_respected() {
         let data = b"0 0\n10 10\n".to_vec();
         let result = run_kmeans(
-            || Ok(Input::stream(MemSource::from(data.clone()))),
+            move || Ok(Input::stream(MemSource::from(data.clone()))),
             vec![(5.0, 5.0)],
             &config(),
             1,

@@ -30,5 +30,5 @@ pub use histogram::Histogram;
 pub use inverted_index::InvertedIndex;
 pub use kmeans::{run_kmeans, KMeansStep};
 pub use linreg::LinearRegression;
-pub use sort::TeraSort;
+pub use sort::{terasort_pipeline, TeraMerge, TeraPartition, TeraSort};
 pub use wordcount::WordCount;

@@ -117,7 +117,7 @@ pub fn fit(pairs: &[(usize, Stat)]) -> Option<Fit> {
 #[allow(clippy::field_reassign_with_default)] // configs are clearer mutated stepwise
 mod tests {
     use super::*;
-    use supmr::runtime::{run_job, Input, JobConfig};
+    use supmr::runtime::{Input, Job, JobConfig};
     use supmr::Chunking;
     use supmr_storage::MemSource;
 
@@ -134,12 +134,8 @@ mod tests {
     #[test]
     fn recovers_exact_line() {
         let data = samples(2.5, -1.0, 1000);
-        let r = run_job(
-            LinearRegression::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig::default(),
-        )
-        .unwrap();
+        let r =
+            Job::new(LinearRegression::new()).run(Input::stream(MemSource::from(data))).unwrap();
         let f = fit(&r.pairs).unwrap();
         assert_eq!(f.n, 1000);
         assert!((f.slope - 2.5).abs() < 1e-9, "slope = {}", f.slope);
@@ -151,8 +147,10 @@ mod tests {
         let data = samples(0.5, 3.0, 2000);
         let mut config = JobConfig::default();
         config.chunking = Chunking::Inter { chunk_bytes: 512 };
-        let r =
-            run_job(LinearRegression::new(), Input::stream(MemSource::from(data)), config).unwrap();
+        let r = Job::new(LinearRegression::new())
+            .config(config)
+            .run(Input::stream(MemSource::from(data)))
+            .unwrap();
         let f = fit(&r.pairs).unwrap();
         assert!((f.slope - 0.5).abs() < 1e-9);
         assert!((f.intercept - 3.0).abs() < 1e-9);
@@ -161,12 +159,8 @@ mod tests {
     #[test]
     fn malformed_lines_are_skipped() {
         let data = b"1 2\nnot numbers\n3\n2 4\n".to_vec();
-        let r = run_job(
-            LinearRegression::new(),
-            Input::stream(MemSource::from(data)),
-            JobConfig::default(),
-        )
-        .unwrap();
+        let r =
+            Job::new(LinearRegression::new()).run(Input::stream(MemSource::from(data))).unwrap();
         let f = fit(&r.pairs).unwrap();
         assert_eq!(f.n, 2);
         assert!((f.slope - 2.0).abs() < 1e-9);
@@ -178,12 +172,9 @@ mod tests {
         // One sample.
         assert!(fit(&[(N, Stat(1.0)), (SUM_X, Stat(1.0))]).is_none());
         // Zero x-variance: all x equal.
-        let r = run_job(
-            LinearRegression::new(),
-            Input::stream(MemSource::from(b"1 2\n1 3\n1 4\n".to_vec())),
-            JobConfig::default(),
-        )
-        .unwrap();
+        let r = Job::new(LinearRegression::new())
+            .run(Input::stream(MemSource::from(b"1 2\n1 3\n1 4\n".to_vec())))
+            .unwrap();
         assert!(fit(&r.pairs).is_none());
     }
 }

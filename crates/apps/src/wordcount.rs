@@ -99,7 +99,7 @@ impl MapReduce for WordCount {
 mod tests {
     use super::*;
     use supmr::api::VecEmit;
-    use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+    use supmr::runtime::{Input, Job, JobConfig, MergeMode};
     use supmr_storage::MemSource;
 
     #[test]
@@ -138,7 +138,10 @@ mod tests {
         let text = b"the quick the lazy the dog dog".to_vec();
         let mut config = JobConfig::default();
         config.merge = MergeMode::PWay { ways: 2 };
-        let r = run_job(WordCount::new(), Input::stream(MemSource::from(text)), config).unwrap();
+        let r = Job::new(WordCount::new())
+            .config(config)
+            .run(Input::stream(MemSource::from(text)))
+            .unwrap();
         assert_eq!(
             r.pairs,
             vec![

@@ -15,7 +15,7 @@ use supmr_bench::map_path::{run_scalar, run_swar, MapWorkload};
 fn bench_map_path(c: &mut Criterion) {
     for workload in [MapWorkload::wordcount(), MapWorkload::wordcount_ci()] {
         let data = workload.data();
-        let mut group = c.benchmark_group(&format!("map_path/{}", workload.name));
+        let mut group = c.benchmark_group(format!("map_path/{}", workload.name));
         group.throughput(Throughput::Bytes(workload.bytes as u64));
         group.bench_function("scalar_string_baseline", |b| {
             b.iter(|| run_scalar(black_box(&workload), black_box(&data)));

@@ -14,7 +14,7 @@ use supmr_bench::shuffle::{run_baseline, run_sharded, ShuffleWorkload};
 
 fn bench_shuffle(c: &mut Criterion) {
     for workload in [ShuffleWorkload::wordcount(), ShuffleWorkload::sort()] {
-        let mut group = c.benchmark_group(&format!("shuffle_drain/{}", workload.name));
+        let mut group = c.benchmark_group(format!("shuffle_drain/{}", workload.name));
         group.throughput(Throughput::Elements(workload.total_pairs()));
         group.bench_function("per_key_lock_baseline", |b| {
             b.iter(|| run_baseline(black_box(&workload)));

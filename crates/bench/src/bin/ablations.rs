@@ -17,7 +17,7 @@
 
 use supmr::chunk::AdaptiveConfig;
 use supmr::pool::PoolMode;
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::Chunking;
 use supmr_apps::{TeraSort, WordCount};
 use supmr_bench::results_dir;
@@ -52,7 +52,7 @@ fn main() {
         let mut cfg = wc_config();
         cfg.chunking = Chunking::Inter { chunk_bytes: 1024 * 1024 };
         cfg.prefetch_depth = depth;
-        let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
+        let r = Job::new(WordCount::new()).config(cfg).run(throttled(corpus.clone())).unwrap();
         let total = r.report.timings.total().as_secs_f64();
         let stalls = r.report.stalls();
         println!(
@@ -85,7 +85,7 @@ fn main() {
     for (label, chunk_bytes) in fixed_sizes {
         let mut cfg = wc_config();
         cfg.chunking = Chunking::Inter { chunk_bytes };
-        let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
+        let r = Job::new(WordCount::new()).config(cfg).run(throttled(corpus.clone())).unwrap();
         let total = r.report.timings.total().as_secs_f64();
         println!("{:>12} {:>9.2} {:>8}", label, total, r.report.stats.ingest_chunks);
         csv.row(&[
@@ -103,7 +103,7 @@ fn main() {
         max_chunk_bytes: 8 * 1024 * 1024,
         overhead_fraction: 0.05,
     });
-    let r = run_job(WordCount::new(), throttled(corpus.clone()), cfg).unwrap();
+    let r = Job::new(WordCount::new()).config(cfg).run(throttled(corpus.clone())).unwrap();
     let total = r.report.timings.total().as_secs_f64();
     println!(
         "{:>12} {:>9.2} {:>8}  (feedback-tuned)",
@@ -128,7 +128,7 @@ fn main() {
         cfg.record_format = TeraSort::record_format();
         cfg.split_bytes = 64 * 1024;
         cfg.merge = merge;
-        let r = run_job(TeraSort::new(), throttled(sort_data.clone()), cfg).unwrap();
+        let r = Job::new(TeraSort::new()).config(cfg).run(throttled(sort_data.clone())).unwrap();
         println!(
             "{:>16} {:>9.3} {:>8} {:>14}",
             label,
@@ -154,9 +154,10 @@ fn main() {
         cfg.split_bytes = 32 * 1024;
         cfg.chunking = Chunking::Inter { chunk_bytes: 128 * 1024 };
         cfg.pool = pool;
-        let r =
-            run_job(WordCount::new(), Input::stream(MemSource::from(small_corpus.clone())), cfg)
-                .unwrap();
+        let r = Job::new(WordCount::new())
+            .config(cfg)
+            .run(Input::stream(MemSource::from(small_corpus.clone())))
+            .unwrap();
         let total = r.report.timings.total().as_secs_f64();
         println!(
             "{:>12} {:>9.3} {:>8} {:>9} {:>8}",

@@ -8,7 +8,7 @@
 //! `DataSource` (32 datanode buckets behind one shared link bucket) at
 //! a scaled size.
 
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::Chunking;
 use supmr_apps::WordCount;
 use supmr_bench::{emit_figure, trace_with_phase_marks};
@@ -75,10 +75,13 @@ fn run_real() {
         )
     };
     let mut config = JobConfig { map_workers: 4, reduce_workers: 4, ..JobConfig::default() };
-    let original =
-        run_job(WordCount::new(), Input::stream(cluster(data.clone())), config.clone()).unwrap();
+    let original = Job::new(WordCount::new())
+        .config(config.clone())
+        .run(Input::stream(cluster(data.clone())))
+        .unwrap();
     config.chunking = Chunking::Inter { chunk_bytes: 512 * 1024 };
-    let piped = run_job(WordCount::new(), Input::stream(cluster(data)), config).unwrap();
+    let piped =
+        Job::new(WordCount::new()).config(config).run(Input::stream(cluster(data))).unwrap();
 
     assert_eq!(original.sorted_pairs(), piped.sorted_pairs());
     println!(

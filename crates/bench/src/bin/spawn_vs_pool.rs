@@ -13,7 +13,7 @@
 
 use std::time::Instant;
 use supmr::pool::{run_wave, PoolMode, WorkerPool};
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::Chunking;
 use supmr_apps::WordCount;
 use supmr_bench::results_dir;
@@ -80,7 +80,9 @@ fn main() {
             };
             cfg.chunking = Chunking::Inter { chunk_bytes: chunk_kb * 1024 };
             cfg.pool = pool;
-            let r = run_job(WordCount::new(), Input::stream(MemSource::from(corpus.clone())), cfg)
+            let r = Job::new(WordCount::new())
+                .config(cfg)
+                .run(Input::stream(MemSource::from(corpus.clone())))
                 .unwrap();
             let total = r.report.timings.total().as_secs_f64();
             println!(

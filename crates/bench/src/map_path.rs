@@ -110,12 +110,8 @@ pub fn run_scalar(w: &MapWorkload, data: &[u8]) -> (f64, Counts) {
         scalar_map(split, w.case_insensitive, &mut local);
         c.absorb(local);
     }
-    let mut out: Counts = c
-        .into_partitions(1)
-        .into_iter()
-        .flatten()
-        .map(|(k, v)| (k.into_bytes(), v))
-        .collect();
+    let mut out: Counts =
+        c.into_partitions(1).into_iter().flatten().map(|(k, v)| (k.into_bytes(), v)).collect();
     let elapsed = start.elapsed().as_secs_f64();
     out.sort();
     (data.len() as f64 / elapsed, out)

@@ -15,7 +15,7 @@ use crate::map_path::MapRow;
 use crate::shuffle::ShuffleRow;
 use crate::RealScale;
 use std::time::Duration;
-use supmr::runtime::{run_job, Input, JobConfig, JobReport, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, JobReport, MergeMode};
 use supmr::{Chunking, Registry};
 use supmr_apps::{TeraSort, WordCount};
 use supmr_metrics::Json;
@@ -70,7 +70,9 @@ fn run_cell(scale: &RealScale, workload: &'static str, runtime: &'static str) ->
                 metrics: Some(registry),
                 ..JobConfig::default()
             };
-            run_job(WordCount::new(), throttled(scale, scale.wordcount_data()), config)
+            Job::new(WordCount::new())
+                .config(config)
+                .run(throttled(scale, scale.wordcount_data()))
                 .expect("bench word count run failed")
                 .report
         }
@@ -94,7 +96,9 @@ fn run_cell(scale: &RealScale, workload: &'static str, runtime: &'static str) ->
                 metrics: Some(registry),
                 ..JobConfig::default()
             };
-            run_job(TeraSort::new(), throttled(scale, scale.sort_data()), config)
+            Job::new(TeraSort::new())
+                .config(config)
+                .run(throttled(scale, scale.sort_data()))
                 .expect("bench sort run failed")
                 .report
         }

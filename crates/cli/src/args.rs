@@ -111,6 +111,11 @@ pub struct CliArgs {
     pub hash_seed: Option<u64>,
     /// Grep patterns.
     pub patterns: Vec<String>,
+    /// Run terasort as the two-stage partition→sort [`Pipeline`]
+    /// instead of a single job (same output, stage-labelled metrics).
+    ///
+    /// [`Pipeline`]: supmr::Pipeline
+    pub pipeline: bool,
     /// KMeans cluster count.
     pub k: usize,
     /// KMeans iteration cap.
@@ -259,6 +264,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         seed: 42,
         hash_seed: None,
         patterns: Vec::new(),
+        pipeline: false,
         k: 4,
         iters: 20,
         trace: TraceLevel::Off,
@@ -304,6 +310,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                     Some(value()?.parse().map_err(|_| CliError("invalid hash seed".into()))?)
             }
             "--pattern" => args.patterns.push(value()?),
+            "--pipeline" => args.pipeline = true,
             "--trace" => {
                 let v = value()?;
                 args.trace = v
@@ -334,6 +341,12 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     }
     if args.app == AppKind::Grep && args.patterns.is_empty() {
         return Err(CliError("grep needs at least one --pattern".into()));
+    }
+    if args.pipeline && args.app != AppKind::TeraSort {
+        return Err(CliError(
+            "--pipeline applies to terasort only (kmeans always runs as an iterative pipeline)"
+                .into(),
+        ));
     }
     // `--trace-out report.json` alone is a natural ask; record at wave
     // level rather than erroring (or silently writing an empty trace).
@@ -543,16 +556,22 @@ mod tests {
         assert_eq!(a.memory_budget, None);
         assert_eq!(a.spill_dir, None);
 
-        let a = parse_args(&argv(
-            "wc --generate 1K --memory-budget 256M --spill-dir /tmp/spills",
-        ))
-        .unwrap();
+        let a = parse_args(&argv("wc --generate 1K --memory-budget 256M --spill-dir /tmp/spills"))
+            .unwrap();
         assert_eq!(a.memory_budget, Some(256 * 1024 * 1024));
         assert_eq!(a.spill_dir, Some(PathBuf::from("/tmp/spills")));
 
         assert!(parse_args(&argv("wc --generate 1K --memory-budget 0")).is_err());
         assert!(parse_args(&argv("wc --generate 1K --memory-budget lots")).is_err());
         assert!(parse_args(&argv("wc --generate 1K --memory-budget")).is_err());
+    }
+
+    #[test]
+    fn pipeline_flag_is_terasort_only() {
+        let a = parse_args(&argv("terasort --generate 1K --pipeline")).unwrap();
+        assert!(a.pipeline);
+        assert!(!parse_args(&argv("terasort --generate 1K")).unwrap().pipeline);
+        assert!(parse_args(&argv("wc --generate 1K --pipeline")).is_err());
     }
 
     #[test]

@@ -7,10 +7,11 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use supmr::chunk::AdaptiveConfig;
-use supmr::runtime::{run_job, Input, JobConfig, JobReport, JobResult, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, JobReport, JobResult, MergeMode};
 use supmr::{Chunking, PoolMode, Registry, Result};
 use supmr_apps::{
-    kmeans::run_kmeans, linreg, Grep, Histogram, LinearRegression, TeraSort, WordCount,
+    kmeans::run_kmeans, linreg, terasort_pipeline, Grep, Histogram, LinearRegression, TeraSort,
+    WordCount,
 };
 use supmr_storage::{
     DataSource, DirFileSet, DiskRunStore, FileSet, FileSource, IngestMeter, MemSource,
@@ -263,7 +264,9 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 registry,
                 meter.as_ref(),
             )?;
-            let r = run_job(WordCount::new(), build_input(args, meter.as_ref())?, config)?;
+            let r = Job::new(WordCount::new())
+                .config(config)
+                .run(build_input(args, meter.as_ref())?)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             let lines = pairs.iter().take(top).map(|(w, c)| format!("{c:>10}  {w}")).collect();
@@ -279,16 +282,25 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 registry,
                 meter.as_ref(),
             )?;
-            let r = run_job(TeraSort::new(), build_input(args, meter.as_ref())?, config)?;
-            let sorted = r.pairs.windows(2).all(|w| w[0].0 <= w[1].0);
-            let mut lines: Vec<String> = r
-                .pairs
+            let input = build_input(args, meter.as_ref())?;
+            let (pairs, report) = if args.pipeline {
+                // Two-stage partition→sort pipeline: same output, but
+                // the report (and any scraped metrics) break down by
+                // stage.
+                let r = terasort_pipeline(input, config)?;
+                (r.pairs, r.report)
+            } else {
+                let r = Job::new(TeraSort::new()).config(config).run(input)?;
+                (r.pairs, r.report)
+            };
+            let sorted = pairs.windows(2).all(|w| w[0].0 <= w[1].0);
+            let mut lines: Vec<String> = pairs
                 .iter()
                 .take(top)
                 .map(|(k, _)| format!("{}", String::from_utf8_lossy(k)))
                 .collect();
             lines.push(format!("(output sorted: {sorted})"));
-            Ok(RunSummary::from_result(&r, lines))
+            Ok(RunSummary { report, lines })
         }
         AppKind::Grep => {
             let config = job_config(
@@ -300,7 +312,9 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
             )?;
             let patterns: Vec<Vec<u8>> =
                 args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
-            let r = run_job(Grep::new(patterns), build_input(args, meter.as_ref())?, config)?;
+            let r = Job::new(Grep::new(patterns))
+                .config(config)
+                .run(build_input(args, meter.as_ref())?)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             let lines = pairs.iter().take(top).map(|(p, c)| format!("{c:>10}  {p}")).collect();
@@ -314,7 +328,9 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 registry,
                 meter.as_ref(),
             )?;
-            let r = run_job(Histogram::new(), build_input(args, meter.as_ref())?, config)?;
+            let r = Job::new(Histogram::new())
+                .config(config)
+                .run(build_input(args, meter.as_ref())?)?;
             let mut pairs = r.pairs.clone();
             pairs.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             let lines = pairs
@@ -335,7 +351,9 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 registry,
                 meter.as_ref(),
             )?;
-            let r = run_job(LinearRegression::new(), build_input(args, meter.as_ref())?, config)?;
+            let r = Job::new(LinearRegression::new())
+                .config(config)
+                .run(build_input(args, meter.as_ref())?)?;
             let lines = match linreg::fit(&r.pairs) {
                 Some(f) => {
                     vec![format!("y = {:.6}x + {:.6}   (n = {})", f.slope, f.intercept, f.n)]
@@ -374,12 +392,9 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 "{} iterations, converged: {}, {} points",
                 result.iterations, result.converged, result.points
             ));
-            // The iterative driver runs one job per pass; no single
-            // job report summarizes it, so return an empty one with
-            // the output counter filled in.
-            let mut report = JobReport::default();
-            report.stats.output_pairs = result.centroids.len() as u64;
-            Ok(RunSummary { report, lines })
+            // The iterative pipeline aggregates all passes into one
+            // report, with a per-iteration stage breakdown.
+            Ok(RunSummary { report: result.report, lines })
         }
     }
 }
@@ -413,6 +428,36 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_terasort_matches_the_single_job() {
+        let single = run("terasort --generate 32K --chunking inter:8K --merge pway:2 --workers 2");
+        let piped = run("terasort --generate 32K --chunking inter:8K --merge pway:2 --workers 2 \
+             --pipeline");
+        assert_eq!(piped.lines, single.lines, "pipeline output must match the single job");
+        assert_eq!(piped.output_pairs(), single.output_pairs());
+        assert_eq!(piped.report.stages.len(), 2, "partition and sort stages reported");
+        let handoff = piped.report.stages[0].handoff.expect("partition stage hands off");
+        assert_eq!(handoff.materialized_pairs, 0, "the hand-off streams");
+    }
+
+    #[test]
+    fn pipeline_terasort_scrapes_stage_labelled_metrics() {
+        let s = run("terasort --generate 32K --merge pway:2 --workers 2 --pipeline \
+             --metrics-addr 127.0.0.1:0");
+        assert!(s.lines.last().unwrap().contains("sorted: true"));
+        let snap = s.report.metrics.as_ref().expect("metrics attached");
+        for stage in ["partition", "sort"] {
+            assert!(
+                snap.entries.iter().any(|e| {
+                    e.name == "supmr.stage.runs"
+                        && e.labels.iter().any(|(k, v)| k == "stage" && v == stage)
+                }),
+                "supmr.stage.runs{{stage={stage}}} registered"
+            );
+        }
+        assert!(snap.entries.iter().any(|e| e.name == "supmr.stage.handoff_bytes"));
+    }
+
+    #[test]
     fn grep_counts_generated_text() {
         // The generator's rank-0 word is "ca" (vocabulary order).
         let s = run("grep --generate 32K --pattern ca --pattern zzzzzz --workers 2");
@@ -438,7 +483,13 @@ mod tests {
         let s = run("kmeans --generate 64K --k 4 --iters 30 --workers 2");
         let last = s.lines.last().unwrap();
         assert!(last.contains("converged: true"), "{last}");
-        assert_eq!(s.output_pairs(), 4);
+        assert_eq!(s.lines.len(), 5, "4 centroid lines + the summary line");
+        // The final pass emits one pair per non-empty cluster; seeds
+        // that capture no points keep their centroid but emit nothing.
+        let pairs = s.output_pairs();
+        assert!((1..=4).contains(&pairs), "final pass emitted {pairs} cluster pairs");
+        assert!(!s.report.stages.is_empty(), "the iterative pipeline reports its passes");
+        assert!(s.report.stats.map_tasks > 0, "aggregated counters are real, not a stub");
     }
 
     #[test]

@@ -85,6 +85,19 @@ pub trait MapReduce: Send + Sync + 'static {
     fn spill_codec(&self) -> Option<PairCodec<Self::Key, AccOf<Self>>> {
         None
     }
+
+    /// How this application's *reduced output* pairs cross a pipeline
+    /// stage boundary: a non-terminal [`Pipeline`] stage encodes each
+    /// `(key, output)` straight out of its reduce workers into the
+    /// framed hand-off buffer the next stage maps over. The default —
+    /// `None` — limits the application to terminal (or single-stage)
+    /// use; wiring it into a stage that feeds another is an
+    /// [`InvalidConfig`](crate::error::SupmrError::InvalidConfig) error.
+    ///
+    /// [`Pipeline`]: crate::runtime::Pipeline
+    fn handoff_codec(&self) -> Option<PairCodec<Self::Key, Self::Output>> {
+        None
+    }
 }
 
 /// An [`Emit`] adapter that counts pairs as they pass through, used by

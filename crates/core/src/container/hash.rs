@@ -396,7 +396,7 @@ where
 
     /// Enumerate *before* filtering out all-empty ranges, so a drain's
     /// tag is its true hash-prefix partition — the index spilled runs
-    /// of the same shard range carry ([`partition_of`]).
+    /// of the same shard range carry (`partition_of`).
     fn into_indexed_drains(self, parts: usize) -> Vec<(usize, Self::Drain)> {
         let p = 1usize << parts.clamp(1, SHARDS).ilog2();
         let per = SHARDS / p;

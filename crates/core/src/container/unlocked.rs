@@ -143,7 +143,7 @@ where
     }
 
     /// Every run (like every spilled run) belongs to partition 0 — see
-    /// [`UnlockedContainer::spill_down`].
+    /// `UnlockedContainer::spill_down`.
     fn into_indexed_drains(self, _parts: usize) -> Vec<(usize, Self::Drain)> {
         self.runs.into_inner().into_iter().map(|r| (0, r.pairs)).collect()
     }

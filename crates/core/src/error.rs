@@ -1,7 +1,7 @@
 //! The typed error surface of the runtime.
 //!
-//! Every fallible runtime entry point ([`run_job`](crate::run_job),
-//! [`Job::run`](crate::Job::run)) returns [`SupmrError`] instead of a
+//! Every fallible runtime entry point ([`Job::run`](crate::Job::run),
+//! [`Pipeline::run`](crate::Pipeline::run)) returns [`SupmrError`] instead of a
 //! bare [`io::Error`], so callers can tell a retryable storage fault
 //! ([`SupmrError::Ingest`]) apart from a configuration bug
 //! ([`SupmrError::InvalidConfig`]) or a crashed user task

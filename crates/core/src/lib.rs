@@ -28,8 +28,10 @@
 //! * [`pool`] — map/reduce task execution: Phoenix-style per-wave
 //!   spawn/join plus a persistent worker pool
 //!   ([`pool::PoolMode`] chooses per job).
-//! * [`runtime`] — job configuration and the two runtimes
-//!   ([`runtime::run_job`] dispatches on the chunking strategy).
+//! * [`runtime`] — job configuration and the two runtimes behind one
+//!   entry surface: [`runtime::Job`] for a single job (dispatching on
+//!   the chunking strategy) and [`runtime::Pipeline`] for multi-stage
+//!   DAGs whose intermediate results stream between stages in memory.
 //!
 //! # Quick example
 //!
@@ -37,7 +39,7 @@
 //! use supmr::api::{Emit, MapReduce};
 //! use supmr::combiner::Sum;
 //! use supmr::container::HashContainer;
-//! use supmr::runtime::{run_job, Input, JobConfig};
+//! use supmr::runtime::{Input, Job};
 //! use supmr_storage::MemSource;
 //!
 //! struct WordCount;
@@ -67,7 +69,7 @@
 //! }
 //!
 //! let input = Input::stream(MemSource::from(b"a b a\n".to_vec()));
-//! let result = run_job(WordCount, input, JobConfig::default()).unwrap();
+//! let result = Job::new(WordCount).run(input).unwrap();
 //! let pairs = result.sorted_pairs();
 //! assert_eq!(pairs, vec![("a".to_string(), 2), ("b".to_string(), 1)]);
 //! ```
@@ -106,8 +108,12 @@ pub use chunk::{Chunking, IngestChunk};
 pub use error::{Result, SupmrError};
 pub use key::{ByteKey, CompactKey};
 pub use pool::{PoolMetrics, PoolMode};
+#[allow(deprecated)] // the shim stays re-exported for one release
+pub use runtime::run_job;
 pub use runtime::{
-    run_job, Input, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
+    FrameIter, HandoffStats, Input, IterationReport, Job, JobConfig, JobMetrics, JobReport,
+    JobResult, JobStats, MergeMode, Pipeline, PipelineResult, Stage, StageData, StageId,
+    StageMetrics, StageReport,
 };
 pub use spill::{MemoryAccountant, PairCodec, SpillMetrics};
 pub use supmr_metrics::{

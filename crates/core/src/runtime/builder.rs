@@ -38,7 +38,7 @@
 //! assert_eq!(result.pairs, vec![((), 3)]);
 //! ```
 
-use super::{run_job, Input, JobConfig, JobResult, MergeMode};
+use super::{run_single, Input, JobConfig, JobResult, MergeMode};
 use crate::api::MapReduce;
 use crate::chunk::Chunking;
 use crate::error::Result;
@@ -181,13 +181,18 @@ impl<J: MapReduce> Job<J> {
         &self.config
     }
 
-    /// Run the job on `input`.
+    /// Run the job on `input` — the degenerate single-stage pipeline.
     ///
     /// # Errors
-    /// Propagates configuration, ingest, and task-panic errors from
-    /// [`run_job`].
+    /// Returns [`SupmrError::InvalidConfig`](crate::SupmrError::InvalidConfig)
+    /// for invalid configurations or a chunking strategy that does not
+    /// match the input shape,
+    /// [`SupmrError::Ingest`](crate::SupmrError::Ingest) for I/O
+    /// failures during ingest, and
+    /// [`SupmrError::TaskPanic`](crate::SupmrError::TaskPanic) for
+    /// crashed tasks.
     pub fn run(self, input: Input) -> Result<JobResult<J::Key, J::Output>> {
-        run_job(self.app, input, self.config)
+        run_single(self.app, input, self.config)
     }
 }
 

@@ -151,3 +151,49 @@ impl JobMetrics {
         }
     }
 }
+
+/// Per-stage handles into the `supmr.stage.*` families, labelled with
+/// the stage's name — how a scrape tells a pipeline's stages apart.
+#[derive(Debug, Clone)]
+pub struct StageMetrics {
+    /// `supmr.stage.total_us{stage}` — stage wall-clock per execution.
+    pub total_us: Histogram,
+    /// `supmr.stage.pairs_out{stage}` — pairs the stage produced
+    /// (terminal output or hand-off frames).
+    pub pairs_out: Counter,
+    /// `supmr.stage.handoff_bytes{stage}` — framed bytes handed to the
+    /// downstream stage.
+    pub handoff_bytes: Counter,
+    /// `supmr.stage.runs{stage}` — executions (iterations × 1).
+    pub runs: Counter,
+}
+
+impl StageMetrics {
+    /// Register (or re-attach to) the stage families under `registry`,
+    /// with `stage` as the label value.
+    pub fn register(registry: &Registry, stage: &str) -> Arc<StageMetrics> {
+        let st = &[("stage", stage)][..];
+        Arc::new(StageMetrics {
+            total_us: registry.histogram(
+                "supmr.stage.total_us",
+                "Pipeline stage wall-clock per execution, microseconds.",
+                st,
+            ),
+            pairs_out: registry.counter(
+                "supmr.stage.pairs_out",
+                "Pairs a pipeline stage produced (terminal or hand-off).",
+                st,
+            ),
+            handoff_bytes: registry.counter(
+                "supmr.stage.handoff_bytes",
+                "Framed bytes a pipeline stage handed to its successor.",
+                st,
+            ),
+            runs: registry.counter(
+                "supmr.stage.runs",
+                "Pipeline stage executions (one per iteration).",
+                st,
+            ),
+        })
+    }
+}

@@ -1,29 +1,36 @@
 //! Job configuration, results, and the two runtimes.
 //!
-//! [`run_job`] is the single entry point (the paper's `run_ingestMR()`
+//! [`Job`] is the single entry surface (the paper's `run_ingestMR()`
 //! API launches "in exactly the same way as the original library with a
 //! few additional chunk-related parameters" — here those parameters live
-//! in [`JobConfig`]). Jobs with [`Chunking::None`] execute on the
-//! original Phoenix++-style runtime ([`original`]); any other chunking
-//! strategy engages the SupMR ingest chunk pipeline ([`pipeline`]). The
-//! reduce and merge phases are shared — the merge backend is chosen by
+//! in [`JobConfig`]); multi-stage work composes jobs into a [`Pipeline`]
+//! ([`dag`]). Jobs with [`Chunking::None`] execute on the original
+//! Phoenix++-style runtime ([`original`]); any other chunking strategy
+//! engages the SupMR ingest chunk pipeline ([`pipeline`]). The reduce
+//! and merge phases are shared — the merge backend is chosen by
 //! [`MergeMode`], which is how experiments isolate the paper's two
 //! modifications.
 
 pub mod builder;
+pub mod dag;
+pub mod handoff;
 pub mod metrics;
 pub mod original;
 pub mod pipeline;
 
 pub use builder::Job;
-pub use metrics::JobMetrics;
+pub use dag::{IterationReport, Pipeline, PipelineResult, Stage, StageId};
+pub use handoff::{FrameIter, HandoffStats, StageData};
+pub use metrics::{JobMetrics, StageMetrics};
 
 use crate::api::{AccOf, MapReduce};
 use crate::chunk::{Chunking, IngestChunk};
 use crate::container::{Container, ContainerHooks, ContainerMetrics};
 use crate::error::{panic_payload_string, Result, SupmrError};
 use crate::pool::{Executor, PoolMetrics, PoolMode, WaveOutcome, WorkerPool};
-use crate::spill::{DecodedRun, JobSpill, MemoryAccountant, SpillHooks, SpillMetrics, SpilledRun};
+use crate::spill::{
+    DecodedRun, JobSpill, MemoryAccountant, PairCodec, SpillHooks, SpillMetrics, SpilledRun,
+};
 use crate::split::chunk_splits;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -44,12 +51,19 @@ use supmr_storage::{
 };
 
 /// Job input: one large byte stream or a set of small files — the two
-/// Hadoop input shapes the paper's chunking strategies mirror.
+/// Hadoop input shapes the paper's chunking strategies mirror — or a
+/// chunk of bytes already resident in memory (a pipeline stage feeding
+/// the next).
 pub enum Input {
     /// A single byte-addressed input (Terasort shape).
     Stream(Box<dyn DataSource>),
     /// A set of small files (word count shape).
     Files(Box<dyn FileSet>),
+    /// Bytes already resident in shared memory, with segment
+    /// boundaries splits must respect — how a [`Pipeline`] stage's
+    /// hand-off buffer enters the next stage with zero copies. Ingest
+    /// is a no-op; chunked ingest strategies reject this shape.
+    Resident(IngestChunk),
 }
 
 impl Input {
@@ -63,11 +77,17 @@ impl Input {
         Input::Files(Box::new(files))
     }
 
+    /// Wrap an already-resident chunk of input bytes.
+    pub fn resident(chunk: IngestChunk) -> Input {
+        Input::Resident(chunk)
+    }
+
     /// Total input bytes.
     pub fn total_bytes(&self) -> u64 {
         match self {
             Input::Stream(s) => s.len(),
             Input::Files(f) => f.total_len(),
+            Input::Resident(c) => c.len() as u64,
         }
     }
 
@@ -76,6 +96,9 @@ impl Input {
         match self {
             Input::Stream(s) => s.describe(),
             Input::Files(f) => f.describe(),
+            Input::Resident(c) => {
+                format!("resident chunk ({} bytes, {} segments)", c.len(), c.segments.len())
+            }
         }
     }
 }
@@ -212,7 +235,17 @@ impl Default for JobConfig {
 }
 
 impl JobConfig {
-    fn validate(&self) -> Result<()> {
+    /// Check the configuration for inconsistent knobs — zero worker
+    /// counts, a zero split or chunk size, `prefetch_depth == 0`, a
+    /// zero-way p-way merge, a zero memory budget, an event callback
+    /// without tracing, and the adaptive-chunking shape constraints.
+    ///
+    /// Every entry path ([`Job::run`], [`Pipeline::run`], the CLI)
+    /// routes through this before any work starts.
+    ///
+    /// # Errors
+    /// Returns [`SupmrError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<()> {
         let bad = |msg: &str| Err(SupmrError::invalid_config(msg));
         if self.map_workers == 0 || self.reduce_workers == 0 {
             return bad("worker counts must be non-zero");
@@ -349,6 +382,51 @@ pub struct JobReport {
     /// Final snapshot of the live metrics registry, when one was
     /// attached ([`JobConfig::metrics`] / [`JobConfig::metrics_addr`]).
     pub metrics: Option<MetricsSnapshot>,
+    /// Per-stage breakdown, in completion order. Empty for single-stage
+    /// jobs run outside a [`Pipeline`].
+    pub stages: Vec<StageReport>,
+}
+
+/// One pipeline stage's slice of the [`JobReport`].
+#[derive(Debug, Clone, Default)]
+pub struct StageReport {
+    /// The stage's name, as given to [`Stage::new`].
+    pub name: String,
+    /// Scheduling index of the stage within its pipeline.
+    pub stage: u32,
+    /// Pipeline iteration this execution belongs to (0 except under
+    /// [`Pipeline::until`]).
+    pub iteration: u64,
+    /// The stage's own phase timings.
+    pub timings: PhaseTimings,
+    /// The stage's own execution counters.
+    pub stats: JobStats,
+    /// Hand-off counters, when the stage fed a downstream stage.
+    pub handoff: Option<HandoffStats>,
+}
+
+impl StageReport {
+    fn to_json(&self) -> Json {
+        let us = |d: Duration| Json::from(d.as_micros() as u64);
+        let handoff = match &self.handoff {
+            Some(h) => Json::obj(vec![
+                ("pairs", Json::from(h.pairs)),
+                ("bytes", Json::from(h.bytes)),
+                ("segments", Json::from(h.segments)),
+                ("materialized_pairs", Json::from(h.materialized_pairs)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("name", Json::str(self.name.as_str())),
+            ("stage", Json::from(u64::from(self.stage))),
+            ("iteration", Json::from(self.iteration)),
+            ("total_us", us(self.timings.total())),
+            ("output_pairs", Json::from(self.stats.output_pairs)),
+            ("spill_runs", Json::from(self.stats.spill_runs)),
+            ("handoff", handoff),
+        ])
+    }
 }
 
 impl JobReport {
@@ -427,11 +505,13 @@ impl JobReport {
             Some(m) => m.to_json(),
             None => Json::Null,
         };
+        let stages = Json::Arr(self.stages.iter().map(StageReport::to_json).collect());
         Json::obj(vec![
             ("schema", Json::str("supmr.job_report.v1")),
             ("timings", timings),
             ("stats", stats),
             ("stalls", stalls),
+            ("stages", stages),
             ("util", util),
             ("trace", trace),
             ("metrics", metrics),
@@ -464,19 +544,84 @@ impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
     }
 }
 
-/// Run a MapReduce job. Dispatches to the original runtime
-/// ([`Chunking::None`]) or the SupMR ingest chunk pipeline.
-///
-/// A panic inside a user map/reduce function (on either executor) is
-/// caught here and converted into [`SupmrError::TaskPanic`], so a
-/// crashing task fails the job instead of the process.
+/// Run a MapReduce job.
 ///
 /// # Errors
-/// Returns [`SupmrError::InvalidConfig`] for invalid configurations or
-/// a chunking strategy that does not match the input shape,
-/// [`SupmrError::Ingest`] for I/O failures during ingest, and
-/// [`SupmrError::TaskPanic`] for crashed tasks.
+/// Propagates configuration, ingest, and task-panic errors from
+/// [`Job::run`].
+#[deprecated(note = "use `Job::new(app).config(config).run(input)`; `Job` is the entry surface")]
 pub fn run_job<J: MapReduce>(
+    job: J,
+    input: Input,
+    config: JobConfig,
+) -> Result<JobResult<J::Key, J::Output>> {
+    Job::new(job).config(config).run(input)
+}
+
+/// What one stage hands back: either the job's terminal pairs or a
+/// framed hand-off buffer for the next stage.
+pub(crate) enum StageOutput<K, O> {
+    /// Terminal output, merged per [`MergeMode`].
+    Pairs(Vec<(K, O)>),
+    /// Framed bytes for the downstream stage (non-terminal stages).
+    Handoff(StageData),
+}
+
+/// One executed stage: its output plus its own report.
+pub(crate) struct StageResult<K, O> {
+    pub output: StageOutput<K, O>,
+    pub report: JobReport,
+}
+
+/// Pipeline-level wiring threaded into one stage execution. Default
+/// wiring (no hand-off codec, job-private accountant, empty run prefix)
+/// is the degenerate single-stage case.
+pub(crate) struct StageWiring<J: MapReduce> {
+    /// When set, the stage's reduced output is encoded through this
+    /// codec into a [`StageData`] instead of materializing pairs.
+    pub handoff: Option<PairCodec<J::Key, J::Output>>,
+    /// A pipeline-shared byte ledger; `None` builds a per-job one.
+    pub accountant: Option<Arc<MemoryAccountant>>,
+    /// Prefix for spill run names, so concurrent stages sharing one
+    /// run store never collide.
+    pub run_prefix: String,
+}
+
+impl<J: MapReduce> Default for StageWiring<J> {
+    fn default() -> Self {
+        StageWiring { handoff: None, accountant: None, run_prefix: String::new() }
+    }
+}
+
+/// Execute one stage: dispatch to the original runtime
+/// ([`Chunking::None`]) or the SupMR ingest chunk pipeline, converting
+/// a panic inside a user map/reduce function into
+/// [`SupmrError::TaskPanic`] so a crashing task fails the job instead
+/// of the process. The shared dispatch core under [`Job::run`] and
+/// [`Pipeline::run`].
+pub(crate) fn run_stage<J: MapReduce>(
+    job: &Arc<J>,
+    input: Input,
+    config: &JobConfig,
+    exec: Executor<'_>,
+    tracer: &Tracer,
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
+    let dispatch = catch_unwind(AssertUnwindSafe(|| match config.chunking {
+        Chunking::None => original::run(job, input, config, exec, tracer, wiring),
+        _ => pipeline::run(job, input, config, exec, tracer, wiring),
+    }));
+    match dispatch {
+        Ok(stage_result) => stage_result,
+        Err(payload) => Err(SupmrError::TaskPanic { payload: panic_payload_string(payload) }),
+    }
+}
+
+/// The single-stage orchestration behind [`Job::run`]: validate, stand
+/// up the job-scoped facilities (metrics registry + scrape server,
+/// tracer, utilization sampler, persistent pool), run the one stage,
+/// and fold the teardown artifacts into the report.
+pub(crate) fn run_single<J: MapReduce>(
     job: J,
     input: Input,
     mut config: JobConfig,
@@ -507,15 +652,10 @@ pub fn run_job<J: MapReduce>(
         Some(p) => Executor::Pool(p),
         None => Executor::Wave,
     };
-    let dispatch = catch_unwind(AssertUnwindSafe(|| match config.chunking {
-        Chunking::None => original::run(&job, input, &config, exec, &tracer),
-        _ => pipeline::run(&job, input, &config, exec, &tracer),
-    }));
-    let mut result = match dispatch {
-        Ok(runtime_result) => runtime_result?,
-        Err(payload) => {
-            return Err(SupmrError::TaskPanic { payload: panic_payload_string(payload) })
-        }
+    let stage = run_stage(&job, input, &config, exec, &tracer, StageWiring::default())?;
+    let mut result = match stage.output {
+        StageOutput::Pairs(pairs) => JobResult { pairs, report: stage.report },
+        StageOutput::Handoff(_) => unreachable!("single-stage wiring requests no hand-off"),
     };
     if let Some(p) = &pool {
         // The pool's one-time spawn cost, counted once per job.
@@ -544,6 +684,7 @@ pub fn run_job<J: MapReduce>(
 /// read once and sealed into a [`SharedBytes`] allocation.
 pub(crate) fn ingest_entire(input: Input) -> io::Result<IngestChunk> {
     match input {
+        Input::Resident(chunk) => Ok(chunk),
         Input::Stream(mut s) => {
             let total = s.len();
             let data = match s.shared().filter(|b| b.len() as u64 == total) {
@@ -624,6 +765,13 @@ pub(crate) fn map_wave<J: MapReduce>(
     outcome
 }
 
+/// One job's shared out-of-core state, typed by the application.
+type SpillOf<J> = Arc<JobSpill<<J as MapReduce>::Key, AccOf<J>>>;
+
+/// One sorted source feeding the external merge: an in-memory drain or
+/// a decoded run file.
+type MergeSource<J> = Box<dyn Iterator<Item = (<J as MapReduce>::Key, AccOf<J>)>>;
+
 /// The wiring a runtime hands its freshly built container: the job's
 /// hash seed and, when a registry is live, the `supmr.container.*`
 /// metric handles.
@@ -648,7 +796,8 @@ pub(crate) fn setup_spill<J: MapReduce>(
     container: &J::Container,
     config: &JobConfig,
     tracer: &Tracer,
-) -> Result<Option<Arc<JobSpill<J::Key, AccOf<J>>>>> {
+    wiring: &StageWiring<J>,
+) -> Result<Option<SpillOf<J>>> {
     let Some(budget) = config.memory_budget else { return Ok(None) };
     let codec = job.spill_codec().ok_or_else(|| {
         SupmrError::invalid_config(
@@ -672,12 +821,19 @@ pub(crate) fn setup_spill<J: MapReduce>(
             }
         };
     let metrics = config.metrics.as_ref().map(SpillMetrics::register);
-    let mut accountant = MemoryAccountant::new(budget);
-    if let Some(m) = &metrics {
-        m.budget_bytes.set(budget.min(i64::MAX as u64) as i64);
-        accountant = accountant.with_gauge(m.resident_bytes.clone());
-    }
-    let accountant = Arc::new(accountant);
+    let accountant = match &wiring.accountant {
+        // A pipeline-shared ledger arrives fully built (gauge attached
+        // at pipeline start); all stages budget against it together.
+        Some(shared) => Arc::clone(shared),
+        None => {
+            let mut accountant = MemoryAccountant::new(budget);
+            if let Some(m) = &metrics {
+                m.budget_bytes.set(budget.min(i64::MAX as u64) as i64);
+                accountant = accountant.with_gauge(m.resident_bytes.clone());
+            }
+            Arc::new(accountant)
+        }
+    };
     let spill = Arc::new(JobSpill::new(
         Arc::clone(&accountant),
         codec,
@@ -685,6 +841,7 @@ pub(crate) fn setup_spill<J: MapReduce>(
         metrics,
         tracer.clone(),
         cleanup,
+        wiring.run_prefix.clone(),
     ));
     let sink = {
         let spill = Arc::clone(&spill);
@@ -706,10 +863,31 @@ pub(crate) fn setup_spill<J: MapReduce>(
     Ok(Some(spill))
 }
 
+/// One reduce task's output: materialized pairs, or (on the streamed
+/// hand-off path) codec-framed bytes with no pair `Vec` ever built.
+struct PartOut<K, O> {
+    pairs: Vec<(K, O)>,
+    frames: handoff::FrameBuf,
+}
+
+impl<K, O> PartOut<K, O> {
+    fn from_pairs(pairs: Vec<(K, O)>) -> Self {
+        PartOut { pairs, frames: handoff::FrameBuf::default() }
+    }
+
+    fn from_frames(frames: handoff::FrameBuf) -> Self {
+        PartOut { pairs: Vec::new(), frames }
+    }
+}
+
 /// Shared tail of both runtimes: reduce, merge, and result assembly.
 /// With spilled runs on disk the reduce phase runs as a streaming
 /// external merge per partition; otherwise it is the in-memory
-/// drain-and-reduce wave.
+/// drain-and-reduce wave. With a hand-off codec in the wiring the
+/// output is a framed [`StageData`] for the next stage instead of
+/// terminal pairs — streamed pair-by-pair out of the reduce workers
+/// when the stage's merge mode is [`MergeMode::Unsorted`], or encoded
+/// after the merge (and counted as materialized) otherwise.
 #[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 pub(crate) fn finish_job<J: MapReduce>(
     job: &Arc<J>,
@@ -721,7 +899,8 @@ pub(crate) fn finish_job<J: MapReduce>(
     spill: Option<Arc<JobSpill<J::Key, AccOf<J>>>>,
     mut timer: PhaseTimer,
     mut stats: JobStats,
-) -> Result<JobResult<J::Key, J::Output>> {
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
     stats.intermediate_pairs = container.total_pairs();
     stats.distinct_keys = container.distinct_keys() as u64;
 
@@ -739,34 +918,75 @@ pub(crate) fn finish_job<J: MapReduce>(
         stats.spill_bytes = sp.bytes_written();
     }
 
+    // Stream reduced pairs straight into frames only when no merge
+    // reorders them afterwards; a sorted hand-off must materialize.
+    let streamed = wiring.handoff.filter(|_| matches!(config.merge, MergeMode::Unsorted));
     timer.begin(Phase::Reduce);
     let reduced = match &spill {
         Some(sp) if sp.runs_written() > 0 => {
-            external_reduce(job, container, sp, config, exec, tracer, &mut stats)?
+            external_reduce(job, container, sp, config, exec, tracer, &mut stats, streamed)?
         }
-        _ => in_memory_reduce(job, container, config, exec, tracer, metrics, &mut stats),
+        _ => in_memory_reduce(job, container, config, exec, tracer, metrics, &mut stats, streamed),
     };
     timer.end(Phase::Reduce);
     // Run guards have deleted their files inside the reduce tasks; this
     // removes the per-job temp spill directory, when we created one.
     drop(spill);
 
-    timer.begin(Phase::Merge);
-    let pairs = merge_phase::<J>(reduced, config, exec, tracer, metrics, &mut stats);
-    timer.end(Phase::Merge);
-    stats.output_pairs = pairs.len() as u64;
+    let output = match wiring.handoff {
+        Some(_) if streamed.is_some() => {
+            let data = handoff::assemble(reduced.into_iter().map(|p| p.frames).collect(), false);
+            stats.output_pairs = data.stats.pairs;
+            StageOutput::Handoff(data)
+        }
+        Some(codec) => {
+            // Sorted hand-off: merge the materialized pairs, then frame
+            // them as one segment. Every pair counts as materialized.
+            timer.begin(Phase::Merge);
+            let pairs = merge_phase::<J>(
+                reduced.into_iter().map(|p| p.pairs).collect(),
+                config,
+                exec,
+                tracer,
+                metrics,
+                &mut stats,
+            );
+            timer.end(Phase::Merge);
+            stats.output_pairs = pairs.len() as u64;
+            let mut frames = handoff::FrameBuf::default();
+            for (k, o) in &pairs {
+                frames.push(codec, k, o);
+            }
+            StageOutput::Handoff(handoff::assemble(vec![frames], true))
+        }
+        None => {
+            timer.begin(Phase::Merge);
+            let pairs = merge_phase::<J>(
+                reduced.into_iter().map(|p| p.pairs).collect(),
+                config,
+                exec,
+                tracer,
+                metrics,
+                &mut stats,
+            );
+            timer.end(Phase::Merge);
+            stats.output_pairs = pairs.len() as u64;
+            StageOutput::Pairs(pairs)
+        }
+    };
 
     if let Some(m) = metrics {
         m.jobs_completed.inc();
     }
-    Ok(JobResult {
-        pairs,
+    Ok(StageResult {
+        output,
         report: JobReport {
             timings: timer.finish(),
             stats,
             util: None,
             trace: None,
             metrics: None,
+            stages: Vec::new(),
         },
     })
 }
@@ -774,7 +994,10 @@ pub(crate) fn finish_job<J: MapReduce>(
 /// The in-memory reduce wave: decompose the container into per-partition
 /// drain payloads (cheap, here) and materialize each on a reduce worker
 /// (the expensive part), fused with that partition's reduce so the pairs
-/// stay hot in the worker's cache.
+/// stay hot in the worker's cache. With `encode` set, each reduced pair
+/// is framed straight into the partition's hand-off buffer instead of a
+/// pair `Vec` — the streamed stage boundary.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 fn in_memory_reduce<J: MapReduce>(
     job: &Arc<J>,
     container: J::Container,
@@ -783,7 +1006,8 @@ fn in_memory_reduce<J: MapReduce>(
     tracer: &Tracer,
     metrics: Option<&Arc<JobMetrics>>,
     stats: &mut JobStats,
-) -> Vec<Vec<(J::Key, J::Output)>> {
+    encode: Option<PairCodec<J::Key, J::Output>>,
+) -> Vec<PartOut<J::Key, J::Output>> {
     let drains = container.into_drains(config.reduce_workers);
     tracer.emit(EventKind::ReduceWaveStart { partitions: drains.len() as u64 });
     let reduce_job = Arc::clone(job);
@@ -806,13 +1030,24 @@ fn in_memory_reduce<J: MapReduce>(
                 t.emit(EventKind::ReducePartitionStart { partition: idx as u64 });
             }
             let t0 = task_metrics.as_ref().map(|_| Instant::now());
-            let out = part
-                .into_iter()
-                .map(|(k, acc)| {
-                    let out = reduce_job.reduce(&k, acc);
-                    (k, out)
-                })
-                .collect::<Vec<(J::Key, J::Output)>>();
+            let out = match encode {
+                Some(codec) => {
+                    let mut frames = handoff::FrameBuf::default();
+                    for (k, acc) in part {
+                        let o = reduce_job.reduce(&k, acc);
+                        frames.push(codec, &k, &o);
+                    }
+                    PartOut::from_frames(frames)
+                }
+                None => PartOut::from_pairs(
+                    part.into_iter()
+                        .map(|(k, acc)| {
+                            let out = reduce_job.reduce(&k, acc);
+                            (k, out)
+                        })
+                        .collect(),
+                ),
+            };
             if let (Some(m), Some(t0)) = (&task_metrics, t0) {
                 m.reduce_partition_us.record_duration_us(t0.elapsed());
             }
@@ -835,6 +1070,7 @@ fn in_memory_reduce<J: MapReduce>(
 /// guards) the moment their partition completes. Combining containers
 /// keep folding equal keys across runs; identity containers pass pairs
 /// through unfolded.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by both runtimes
 fn external_reduce<J: MapReduce>(
     job: &Arc<J>,
     container: J::Container,
@@ -843,11 +1079,22 @@ fn external_reduce<J: MapReduce>(
     exec: Executor<'_>,
     tracer: &Tracer,
     stats: &mut JobStats,
-) -> Result<Vec<Vec<(J::Key, J::Output)>>> {
-    type Grouped<D> = BTreeMap<usize, (Vec<D>, Vec<SpilledRun>)>;
-    let mut grouped: Grouped<
-        <J::Container as Container<J::Key, J::Value, J::Combiner>>::Drain,
-    > = BTreeMap::new();
+    encode: Option<PairCodec<J::Key, J::Output>>,
+) -> Result<Vec<PartOut<J::Key, J::Output>>> {
+    type Grouped<J> = BTreeMap<
+        usize,
+        (
+            Vec<
+                <<J as MapReduce>::Container as Container<
+                    <J as MapReduce>::Key,
+                    <J as MapReduce>::Value,
+                    <J as MapReduce>::Combiner,
+                >>::Drain,
+            >,
+            Vec<SpilledRun>,
+        ),
+    >;
+    let mut grouped: Grouped<J> = BTreeMap::new();
     for (partition, drain) in container.into_indexed_drains(config.reduce_workers) {
         grouped.entry(partition).or_default().0.push(drain);
     }
@@ -866,7 +1113,7 @@ fn external_reduce<J: MapReduce>(
     let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
         tasks,
-        move |_idx, (partition, drains, runs)| -> Result<Vec<(J::Key, J::Output)>> {
+        move |_idx, (partition, drains, runs)| -> Result<PartOut<J::Key, J::Output>> {
             if let Some(t) = &task_tracer {
                 t.emit(EventKind::ExternalMergeStart {
                     partition: partition as u64,
@@ -877,8 +1124,7 @@ fn external_reduce<J: MapReduce>(
             // Read/decode faults inside the merge stream park here (an
             // iterator can't return Result mid-merge).
             let parked: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
-            let mut sources: Vec<Box<dyn Iterator<Item = (J::Key, AccOf<J>)>>> =
-                Vec::with_capacity(drains.len() + runs.len());
+            let mut sources: Vec<MergeSource<J>> = Vec::with_capacity(drains.len() + runs.len());
             for payload in drains {
                 let mut part = <J::Container>::drain(payload);
                 part.sort_by(|a, b| a.0.cmp(&b.0));
@@ -890,18 +1136,31 @@ fn external_reduce<J: MapReduce>(
                         .map_err(|source| SupmrError::Ingest { chunk: None, source })?;
                 sources.push(Box::new(decoded));
             }
-            let merged: Box<dyn Iterator<Item = (J::Key, AccOf<J>)>> = if folds {
+            let merged: MergeSource<J> = if folds {
                 Box::new(merge_fold(sources, |acc, other| {
                     <J::Combiner as crate::combiner::Combiner<J::Value>>::merge(acc, other);
                 }))
             } else {
                 Box::new(merge_by_key(sources))
             };
-            let mut out = Vec::new();
-            for (k, acc) in merged {
-                let o = reduce_job.reduce(&k, acc);
-                out.push((k, o));
-            }
+            let out = match encode {
+                Some(codec) => {
+                    let mut frames = handoff::FrameBuf::default();
+                    for (k, acc) in merged {
+                        let o = reduce_job.reduce(&k, acc);
+                        frames.push(codec, &k, &o);
+                    }
+                    PartOut::from_frames(frames)
+                }
+                None => {
+                    let mut pairs = Vec::new();
+                    for (k, acc) in merged {
+                        let o = reduce_job.reduce(&k, acc);
+                        pairs.push((k, o));
+                    }
+                    PartOut::from_pairs(pairs)
+                }
+            };
             if let Some(detail) = parked.lock().take() {
                 return Err(SupmrError::Merge { message: detail });
             }

@@ -7,7 +7,8 @@
 //! reduces and merges.
 
 use super::{
-    finish_job, ingest_entire, map_wave, Input, JobConfig, JobMetrics, JobResult, JobStats,
+    finish_job, ingest_entire, map_wave, Input, JobConfig, JobMetrics, JobStats, StageResult,
+    StageWiring,
 };
 use crate::api::MapReduce;
 use crate::container::Container;
@@ -18,19 +19,20 @@ use std::time::Instant;
 use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
 
 /// Execute `job` on the original runtime.
-pub fn run<J: MapReduce>(
+pub(crate) fn run<J: MapReduce>(
     job: &Arc<J>,
     input: Input,
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
-) -> Result<JobResult<J::Key, J::Output>> {
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     let mut stats = JobStats::default();
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "original"));
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
-    let spill = super::setup_spill(job, &container, config, tracer)?;
+    let spill = super::setup_spill(job, &container, config, tracer, &wiring)?;
 
     timer.begin(Phase::Ingest);
     tracer.emit(EventKind::ChunkIngestStart { chunk: 0 });
@@ -52,5 +54,5 @@ pub fn run<J: MapReduce>(
     stats.add_wave(outcome);
     drop(chunk); // input buffer freed before reduce, as in Phoenix++
 
-    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats, wiring)
 }

@@ -42,7 +42,9 @@
 //!   the stalls are measured at the buffer boundary: map-side time
 //!   blocked in `recv` and ingest-side time blocked in `send`.
 
-use super::{finish_job, map_wave, Input, JobConfig, JobMetrics, JobResult, JobStats};
+use super::{
+    finish_job, map_wave, Input, JobConfig, JobMetrics, JobStats, StageResult, StageWiring,
+};
 use crate::api::MapReduce;
 use crate::chunk::{
     AdaptiveChunker, Chunker, Chunking, HybridChunker, IngestChunk, InterFileChunker,
@@ -80,24 +82,28 @@ fn make_chunker(input: Input, config: &JobConfig) -> Result<Box<dyn Chunker>> {
         (Chunking::Intra { .. } | Chunking::Hybrid { .. }, Input::Stream(_)) => {
             mismatch("intra-file/hybrid chunking requires a file-set input; got a stream")
         }
+        (_, Input::Resident(_)) => {
+            mismatch("chunked ingest requires an external input; resident hand-off bytes pair with Chunking::None")
+        }
         (Chunking::None, _) => mismatch("pipeline runtime requires a chunking strategy"),
     }
 }
 
 /// Execute `job` on the ingest chunk pipeline (`run_ingestMR()` in the
 /// paper's API).
-pub fn run<J: MapReduce>(
+pub(crate) fn run<J: MapReduce>(
     job: &Arc<J>,
     input: Input,
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
-) -> Result<JobResult<J::Key, J::Output>> {
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
     let chunker = make_chunker(input, config)?;
     if config.prefetch_depth > 1 {
-        run_buffered(job, chunker, config, exec, tracer)
+        run_buffered(job, chunker, config, exec, tracer, wiring)
     } else {
-        run_double_buffered(job, chunker, config, exec, tracer)
+        run_double_buffered(job, chunker, config, exec, tracer, wiring)
     }
 }
 
@@ -118,7 +124,8 @@ fn run_double_buffered<J: MapReduce>(
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
-) -> Result<JobResult<J::Key, J::Output>> {
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
@@ -126,7 +133,7 @@ fn run_double_buffered<J: MapReduce>(
     // Created once, persists across all map rounds.
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
-    let spill = super::setup_spill(job, &container, config, tracer)?;
+    let spill = super::setup_spill(job, &container, config, tracer, &wiring)?;
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
@@ -227,7 +234,7 @@ fn run_double_buffered<J: MapReduce>(
         round += 1;
     }
 
-    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats, wiring)
 }
 
 /// N-buffered variant: a single long-lived ingest thread streams chunks
@@ -241,14 +248,15 @@ fn run_buffered<J: MapReduce>(
     config: &JobConfig,
     exec: Executor<'_>,
     tracer: &Tracer,
-) -> Result<JobResult<J::Key, J::Output>> {
+    wiring: StageWiring<J>,
+) -> Result<StageResult<J::Key, J::Output>> {
     let mut timer = PhaseTimer::start_job();
     timer.mark_fused();
     let mut stats = JobStats::default();
     let metrics = config.metrics.as_ref().map(|r| JobMetrics::register(r, "pipeline"));
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
-    let spill = super::setup_spill(job, &container, config, tracer)?;
+    let spill = super::setup_spill(job, &container, config, tracer, &wiring)?;
 
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);
@@ -336,7 +344,7 @@ fn run_buffered<J: MapReduce>(
     timer.end(Phase::Map);
     timer.end(Phase::Ingest);
 
-    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats)
+    finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats, wiring)
 }
 
 #[cfg(test)]

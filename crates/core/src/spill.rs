@@ -167,6 +167,10 @@ impl<K, A> std::fmt::Debug for PairCodec<K, A> {
     }
 }
 
+/// Turn one drained batch into a sorted run file tagged with its
+/// partition ([`SpillHooks::sink`]).
+pub type SpillSink<K, A> = Arc<dyn Fn(usize, Vec<(K, A)>) + Send + Sync>;
+
 /// The wiring a container receives when the job runs under a memory
 /// budget ([`Container::configure_spill`]).
 ///
@@ -183,7 +187,7 @@ pub struct SpillHooks<K, A> {
     pub size_hint: fn(&K, &A) -> usize,
     /// Turn one drained batch into a sorted run file tagged with its
     /// partition. Never panics; I/O errors are parked on the job.
-    pub sink: Arc<dyn Fn(usize, Vec<(K, A)>) + Send + Sync>,
+    pub sink: SpillSink<K, A>,
 }
 
 impl<K, A> Clone for SpillHooks<K, A> {
@@ -299,6 +303,9 @@ pub struct JobSpill<K, A> {
     /// A temp directory the runtime created for this job, removed (if
     /// empty) when the spill state drops.
     cleanup_dir: Option<PathBuf>,
+    /// Run-name prefix — pipeline stages sharing one explicit store
+    /// prefix their runs with the stage index so names never collide.
+    run_prefix: String,
 }
 
 impl<K, A> JobSpill<K, A>
@@ -314,6 +321,7 @@ where
         metrics: Option<Arc<SpillMetrics>>,
         tracer: Tracer,
         cleanup_dir: Option<PathBuf>,
+        run_prefix: String,
     ) -> JobSpill<K, A> {
         JobSpill {
             accountant,
@@ -327,6 +335,7 @@ where
             metrics,
             tracer,
             cleanup_dir,
+            run_prefix,
         }
     }
 
@@ -373,13 +382,10 @@ where
         let run_id = self.seq.fetch_add(1, Ordering::Relaxed);
         let task_spans = self.tracer.level().tasks();
         if task_spans {
-            self.tracer.emit(EventKind::SpillRunStart {
-                run: run_id,
-                partition: partition as u64,
-            });
+            self.tracer.emit(EventKind::SpillRunStart { run: run_id, partition: partition as u64 });
         }
         let t0 = Instant::now();
-        let name = format!("run-{partition:03}-{run_id:06}");
+        let name = format!("{}run-{partition:03}-{run_id:06}", self.run_prefix);
         let result = (|| -> io::Result<(u64, u64)> {
             pairs.sort_by(|a, b| a.0.cmp(&b.0));
             let mut writer = RunWriter::from_writer(self.store.create(&name)?);
@@ -561,6 +567,7 @@ mod tests {
             None,
             Tracer::new(TraceLevel::Off, None),
             None,
+            String::new(),
         );
         spill.spill_partition(3, vec![(9, 1), (2, 2), (5, 3)]);
         assert_eq!(spill.runs_written(), 1);
@@ -589,6 +596,7 @@ mod tests {
             None,
             Tracer::new(TraceLevel::Off, None),
             None,
+            String::new(),
         );
         spill.spill_partition(0, Vec::new());
         assert_eq!(spill.runs_written(), 0);
@@ -611,6 +619,7 @@ mod tests {
             None,
             Tracer::new(TraceLevel::Off, None),
             None,
+            String::new(),
         );
         spill.spill_partition(0, vec![(1, 1), (2, 2)]);
         assert_eq!(spill.runs_written(), 0);

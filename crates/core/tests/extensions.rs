@@ -8,7 +8,7 @@ use supmr::api::{Emit, MapReduce};
 use supmr::chunk::AdaptiveConfig;
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::Chunking;
 use supmr_storage::{MemFileSet, MemSource, ThrottledSource};
 use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
@@ -50,8 +50,10 @@ fn text(bytes: usize) -> Vec<u8> {
 #[test]
 fn adaptive_chunking_end_to_end_matches_baseline() {
     let data = text(300_000);
-    let baseline =
-        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config()).unwrap();
+    let baseline = Job::new(WordCount)
+        .config(config())
+        .run(Input::stream(MemSource::from(data.clone())))
+        .unwrap();
 
     let mut cfg = config();
     cfg.chunking = Chunking::Adaptive(AdaptiveConfig {
@@ -62,12 +64,10 @@ fn adaptive_chunking_end_to_end_matches_baseline() {
     });
     // Throttle so rounds take measurable time and the controller gets
     // meaningful feedback.
-    let piped = run_job(
-        WordCount,
-        Input::stream(ThrottledSource::new(MemSource::from(data), 8.0 * 1024.0 * 1024.0)),
-        cfg,
-    )
-    .unwrap();
+    let piped = Job::new(WordCount)
+        .config(cfg)
+        .run(Input::stream(ThrottledSource::new(MemSource::from(data), 8.0 * 1024.0 * 1024.0)))
+        .unwrap();
     assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
     assert!(piped.report.stats.ingest_chunks > 1);
     assert!(piped.report.timings.is_fused());
@@ -78,7 +78,9 @@ fn adaptive_requires_depth_one() {
     let mut cfg = config();
     cfg.chunking = Chunking::Adaptive(AdaptiveConfig::default());
     cfg.prefetch_depth = 4;
-    let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg)
+    let err = Job::new(WordCount)
+        .config(cfg)
+        .run(Input::stream(MemSource::from(vec![1u8])))
         .expect_err("adaptive + deep prefetch must be rejected");
     assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
     assert_eq!(err.io_kind(), None);
@@ -89,12 +91,14 @@ fn hybrid_chunking_end_to_end_matches_baseline() {
     // Mixed directory: small files plus one big file.
     let mut files = small_files_corpus(8, 6, 3_000);
     files.insert(3, text(60_000)); // 20x the target
-    let baseline =
-        run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config()).unwrap();
+    let baseline = Job::new(WordCount)
+        .config(config())
+        .run(Input::files(MemFileSet::new(files.clone())))
+        .unwrap();
 
     let mut cfg = config();
     cfg.chunking = Chunking::Hybrid { chunk_bytes: 8_000 };
-    let piped = run_job(WordCount, Input::files(MemFileSet::new(files)), cfg).unwrap();
+    let piped = Job::new(WordCount).config(cfg).run(Input::files(MemFileSet::new(files))).unwrap();
     assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
     // The big file alone forces more chunks than intra-file grouping of
     // 7 files would produce.
@@ -108,7 +112,7 @@ fn prefetch_depths_agree_and_count_one_ingest_thread() {
         let mut cfg = config();
         cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
         cfg.prefetch_depth = depth;
-        run_job(WordCount, Input::stream(MemSource::from(data.clone())), cfg).unwrap()
+        Job::new(WordCount).config(cfg).run(Input::stream(MemSource::from(data.clone()))).unwrap()
     };
     let d1 = run_with_depth(1);
     let d2 = run_with_depth(2);
@@ -130,14 +134,17 @@ fn zero_prefetch_depth_rejected() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 1024 };
     cfg.prefetch_depth = 0;
-    assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg).is_err());
+    assert!(Job::new(WordCount)
+        .config(cfg)
+        .run(Input::stream(MemSource::from(vec![1u8])))
+        .is_err());
 }
 
 #[test]
 fn hybrid_with_zero_target_rejected() {
     let mut cfg = config();
     cfg.chunking = Chunking::Hybrid { chunk_bytes: 0 };
-    assert!(run_job(WordCount, Input::files(MemFileSet::new(vec![])), cfg).is_err());
+    assert!(Job::new(WordCount).config(cfg).run(Input::files(MemFileSet::new(vec![]))).is_err());
 }
 
 #[test]
@@ -149,5 +156,8 @@ fn adaptive_bad_bounds_rejected() {
         max_chunk_bytes: 100,
         overhead_fraction: 0.05,
     });
-    assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), cfg).is_err());
+    assert!(Job::new(WordCount)
+        .config(cfg)
+        .run(Input::stream(MemSource::from(vec![1u8])))
+        .is_err());
 }

@@ -1,5 +1,5 @@
 //! Failure injection: ingest errors must surface as typed
-//! [`SupmrError`]s from `run_job` — cleanly, from whichever thread hit
+//! [`SupmrError`]s from `Job::run` — cleanly, from whichever thread hit
 //! them — never as hangs, partial results, or panics. Exercises all
 //! three ingest paths (original, double-buffered pipeline, N-buffered
 //! pipeline) and both input shapes, plus map panics (which come back as
@@ -9,7 +9,7 @@ use std::io::ErrorKind;
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::{Chunking, PoolMode, SupmrError};
 use supmr_storage::{FaultyFileSet, FaultySource, MemFileSet, MemSource};
 use supmr_workloads::{small_files_corpus, TextGen, TextGenConfig};
@@ -79,7 +79,7 @@ fn config() -> JobConfig {
 #[test]
 fn original_runtime_surfaces_ingest_errors() {
     let source = FaultySource::new(MemSource::from(text(100_000)), 50_000, ErrorKind::BrokenPipe);
-    let err = run_job(WordCount, Input::stream(source), config()).unwrap_err();
+    let err = Job::new(WordCount).config(config()).run(Input::stream(source)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
 }
 
@@ -90,7 +90,7 @@ fn double_buffered_pipeline_surfaces_mid_stream_errors() {
     let source = FaultySource::new(MemSource::from(text(200_000)), 90_000, ErrorKind::BrokenPipe);
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
-    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::stream(source)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
     assert!(
         matches!(err, SupmrError::Ingest { chunk: Some(c), .. } if c > 0),
@@ -104,7 +104,7 @@ fn buffered_pipeline_surfaces_mid_stream_errors() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
     cfg.prefetch_depth = 4;
-    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::stream(source)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::TimedOut));
 }
 
@@ -113,7 +113,7 @@ fn fault_on_first_chunk_fails_before_any_round() {
     let source = FaultySource::new(MemSource::from(text(50_000)), 0, ErrorKind::NotFound);
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
-    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::stream(source)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::NotFound));
     assert!(
         matches!(err, SupmrError::Ingest { chunk: Some(0), .. }),
@@ -127,7 +127,7 @@ fn intra_file_pipeline_surfaces_file_errors() {
     let faulty = FaultyFileSet::new(MemFileSet::new(files), 5, ErrorKind::PermissionDenied);
     let mut cfg = config();
     cfg.chunking = Chunking::Intra { files_per_chunk: 2 };
-    let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::files(faulty)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::PermissionDenied));
 }
 
@@ -137,7 +137,7 @@ fn hybrid_pipeline_surfaces_file_errors() {
     let faulty = FaultyFileSet::new(MemFileSet::new(files), 3, ErrorKind::PermissionDenied);
     let mut cfg = config();
     cfg.chunking = Chunking::Hybrid { chunk_bytes: 3_000 };
-    let err = run_job(WordCount, Input::files(faulty), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::files(faulty)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::PermissionDenied));
 }
 
@@ -145,7 +145,7 @@ fn hybrid_pipeline_surfaces_file_errors() {
 fn original_runtime_surfaces_file_errors() {
     let files = small_files_corpus(6, 4, 1_000);
     let faulty = FaultyFileSet::new(MemFileSet::new(files), 0, ErrorKind::Interrupted);
-    let err = run_job(WordCount, Input::files(faulty), config()).unwrap_err();
+    let err = Job::new(WordCount).config(config()).run(Input::files(faulty)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::Interrupted));
 }
 
@@ -153,16 +153,18 @@ fn original_runtime_surfaces_file_errors() {
 fn pooled_map_panic_fails_the_job_with_the_original_payload() {
     // The trigger sits near the end so several waves dispatch through
     // the pool (reusing its threads) before one of them panics. The
-    // panic must come back to run_job's caller as a typed
+    // panic must come back to Job::run's caller as a typed
     // `TaskPanic` carrying the payload text — not hang waiting for
-    // results, not kill the process, and not unwind through run_job.
+    // results, not kill the process, and not unwind through Job::run.
     let mut data = text(40_000);
     data.extend_from_slice(b"\nBOOM! tail words\n");
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
     cfg.pool = PoolMode::Persistent;
-    let err = run_job(PanicOnToken, Input::stream(MemSource::from(data)), cfg)
-        .expect_err("map panic must surface as an error from run_job");
+    let err = Job::new(PanicOnToken)
+        .config(cfg)
+        .run(Input::stream(MemSource::from(data)))
+        .expect_err("map panic must surface as an error from Job::run");
     match &err {
         SupmrError::TaskPanic { payload } => {
             assert!(payload.contains("injected map panic"), "unexpected payload: {payload:?}");
@@ -176,7 +178,8 @@ fn pooled_map_panic_fails_the_job_with_the_original_payload() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
     cfg.pool = PoolMode::Persistent;
-    let r = run_job(WordCount, Input::stream(MemSource::from(text(20_000))), cfg).unwrap();
+    let r =
+        Job::new(WordCount).config(cfg).run(Input::stream(MemSource::from(text(20_000)))).unwrap();
     assert!(!r.pairs.is_empty());
     assert!(r.report.stats.threads_reused > 0);
 }
@@ -187,7 +190,7 @@ fn pooled_job_surfaces_ingest_errors_and_joins_the_pool() {
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 16 * 1024 };
     cfg.pool = PoolMode::Persistent;
-    let err = run_job(WordCount, Input::stream(source), cfg).unwrap_err();
+    let err = Job::new(WordCount).config(cfg).run(Input::stream(source)).unwrap_err();
     assert_eq!(err.io_kind(), Some(ErrorKind::BrokenPipe));
 }
 
@@ -195,11 +198,13 @@ fn pooled_job_surfaces_ingest_errors_and_joins_the_pool() {
 fn fault_beyond_input_never_fires() {
     // A fault past EOF must be unreachable: job completes normally.
     let data = text(30_000);
-    let expected =
-        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config()).unwrap();
+    let expected = Job::new(WordCount)
+        .config(config())
+        .run(Input::stream(MemSource::from(data.clone())))
+        .unwrap();
     let source = FaultySource::new(MemSource::from(data), u64::MAX, ErrorKind::BrokenPipe);
     let mut cfg = config();
     cfg.chunking = Chunking::Inter { chunk_bytes: 8 * 1024 };
-    let result = run_job(WordCount, Input::stream(source), cfg).unwrap();
+    let result = Job::new(WordCount).config(cfg).run(Input::stream(source)).unwrap();
     assert_eq!(result.sorted_pairs(), expected.sorted_pairs());
 }

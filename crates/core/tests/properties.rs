@@ -10,7 +10,7 @@ use supmr::api::{Emit, MapReduce};
 use supmr::chunk::{Chunker, InterFileChunker, IntraFileChunker};
 use supmr::combiner::Sum;
 use supmr::container::{Container, HashContainer};
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::{Chunking, CompactKey, PoolMode};
 use supmr_storage::{MemFileSet, MemSource, RecordFormat};
 
@@ -67,18 +67,10 @@ proptest! {
         data in arb_text(),
         chunk_bytes in 1u64..200,
     ) {
-        let baseline = run_job(
-            WordCount,
-            Input::stream(MemSource::from(data.clone())),
-            small_config(),
-        ).unwrap();
+        let baseline = Job::new(WordCount).config(small_config()).run(Input::stream(MemSource::from(data.clone()))).unwrap();
         let mut config = small_config();
         config.chunking = Chunking::Inter { chunk_bytes };
-        let piped = run_job(
-            WordCount,
-            Input::stream(MemSource::from(data.clone())),
-            config,
-        ).unwrap();
+        let piped = Job::new(WordCount).config(config).run(Input::stream(MemSource::from(data.clone()))).unwrap();
         prop_assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
         prop_assert_eq!(piped.report.stats.bytes_ingested, data.len() as u64);
     }
@@ -88,18 +80,10 @@ proptest! {
         files in vec(arb_text(), 0..10),
         files_per_chunk in 1usize..12,
     ) {
-        let baseline = run_job(
-            WordCount,
-            Input::files(MemFileSet::new(files.clone())),
-            small_config(),
-        ).unwrap();
+        let baseline = Job::new(WordCount).config(small_config()).run(Input::files(MemFileSet::new(files.clone()))).unwrap();
         let mut config = small_config();
         config.chunking = Chunking::Intra { files_per_chunk };
-        let piped = run_job(
-            WordCount,
-            Input::files(MemFileSet::new(files)),
-            config,
-        ).unwrap();
+        let piped = Job::new(WordCount).config(config).run(Input::files(MemFileSet::new(files))).unwrap();
         prop_assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs());
     }
 
@@ -155,11 +139,7 @@ proptest! {
                 let mut config = small_config();
                 config.chunking = chunking;
                 config.pool = pool;
-                run_job(
-                    WordCount,
-                    Input::stream(MemSource::from(data.clone())),
-                    config,
-                ).unwrap()
+                Job::new(WordCount).config(config).run(Input::stream(MemSource::from(data.clone()))).unwrap()
             };
             let wave = run(PoolMode::WavePerRound);
             let pooled = run(PoolMode::Persistent);
@@ -180,11 +160,7 @@ proptest! {
             let mut config = small_config();
             config.chunking = Chunking::Intra { files_per_chunk };
             config.pool = pool;
-            run_job(
-                WordCount,
-                Input::files(MemFileSet::new(files.clone())),
-                config,
-            ).unwrap()
+            Job::new(WordCount).config(config).run(Input::files(MemFileSet::new(files.clone()))).unwrap()
         };
         let wave = run(PoolMode::WavePerRound);
         let pooled = run(PoolMode::Persistent);
@@ -198,18 +174,10 @@ proptest! {
     ) {
         let mut sorted_config = small_config();
         sorted_config.merge = MergeMode::PairwiseRounds;
-        let a = run_job(
-            WordCount,
-            Input::stream(MemSource::from(data.clone())),
-            sorted_config,
-        ).unwrap();
+        let a = Job::new(WordCount).config(sorted_config).run(Input::stream(MemSource::from(data.clone()))).unwrap();
         let mut pway_config = small_config();
         pway_config.merge = MergeMode::PWay { ways };
-        let b = run_job(
-            WordCount,
-            Input::stream(MemSource::from(data)),
-            pway_config,
-        ).unwrap();
+        let b = Job::new(WordCount).config(pway_config).run(Input::stream(MemSource::from(data))).unwrap();
         // Both fully sorted and identical (word count keys are unique
         // post-reduce, so ordering is total).
         prop_assert_eq!(&a.pairs, &b.pairs);

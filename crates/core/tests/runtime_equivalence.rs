@@ -8,7 +8,7 @@ use supmr::api::{Emit, MapReduce};
 use supmr::chunk::AdaptiveConfig;
 use supmr::combiner::{Count, Identity, Sum};
 use supmr::container::{ArrayContainer, HashContainer, UnlockedContainer};
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::{Chunking, PoolMode};
 use supmr_storage::{MemFileSet, MemSource, RecordFormat};
 use supmr_workloads::{small_files_corpus, TeraGen, TextGen, TextGenConfig, TERA_KEY_LEN};
@@ -109,15 +109,19 @@ fn text_input(bytes: usize) -> Vec<u8> {
 #[test]
 fn wordcount_pipeline_equals_original_across_chunk_sizes() {
     let data = text_input(20_000);
-    let baseline =
-        run_job(WordCount, Input::stream(MemSource::from(data.clone())), base_config()).unwrap();
+    let baseline = Job::new(WordCount)
+        .config(base_config())
+        .run(Input::stream(MemSource::from(data.clone())))
+        .unwrap();
     assert!(baseline.report.stats.ingest_chunks == 1 && baseline.report.stats.map_rounds == 1);
 
     for chunk_bytes in [256u64, 1000, 4096, 100_000] {
         let mut config = base_config();
         config.chunking = Chunking::Inter { chunk_bytes };
-        let piped =
-            run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap();
+        let piped = Job::new(WordCount)
+            .config(config)
+            .run(Input::stream(MemSource::from(data.clone())))
+            .unwrap();
         assert_eq!(piped.sorted_pairs(), baseline.sorted_pairs(), "chunk_bytes = {chunk_bytes}");
         assert_eq!(piped.report.stats.intermediate_pairs, baseline.report.stats.intermediate_pairs);
         assert_eq!(piped.report.stats.bytes_ingested, data.len() as u64);
@@ -133,7 +137,10 @@ fn wordcount_pipeline_equals_original_across_chunk_sizes() {
 fn wordcount_counts_are_exact() {
     // Hand-checkable input.
     let data = b"apple pear apple\nplum apple pear\n".to_vec();
-    let result = run_job(WordCount, Input::stream(MemSource::from(data)), base_config()).unwrap();
+    let result = Job::new(WordCount)
+        .config(base_config())
+        .run(Input::stream(MemSource::from(data)))
+        .unwrap();
     assert_eq!(
         result.sorted_pairs(),
         vec![("apple".to_string(), 3), ("pear".to_string(), 2), ("plum".to_string(), 1)]
@@ -146,14 +153,18 @@ fn wordcount_counts_are_exact() {
 #[test]
 fn intra_file_pipeline_equals_original_on_file_sets() {
     let files = small_files_corpus(3, 13, 700);
-    let baseline =
-        run_job(WordCount, Input::files(MemFileSet::new(files.clone())), base_config()).unwrap();
+    let baseline = Job::new(WordCount)
+        .config(base_config())
+        .run(Input::files(MemFileSet::new(files.clone())))
+        .unwrap();
 
     for files_per_chunk in [1usize, 4, 13, 50] {
         let mut config = base_config();
         config.chunking = Chunking::Intra { files_per_chunk };
-        let piped =
-            run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config).unwrap();
+        let piped = Job::new(WordCount)
+            .config(config)
+            .run(Input::files(MemFileSet::new(files.clone())))
+            .unwrap();
         assert_eq!(
             piped.sorted_pairs(),
             baseline.sorted_pairs(),
@@ -175,7 +186,7 @@ fn sort_produces_globally_sorted_output_on_both_runtimes_and_merges() {
         config.split_bytes = 1000;
         config.chunking = chunking;
         config.merge = merge;
-        run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap()
+        Job::new(Sort).config(config).run(Input::stream(MemSource::from(data.clone()))).unwrap()
     };
 
     let baseline = run(Chunking::None, MergeMode::PairwiseRounds);
@@ -204,11 +215,13 @@ fn histogram_on_array_container_both_runtimes() {
     let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
     let mut config = base_config();
     config.record_format = RecordFormat::None;
-    let baseline =
-        run_job(ByteHistogram, Input::stream(MemSource::from(data.clone())), config.clone())
-            .unwrap();
+    let baseline = Job::new(ByteHistogram)
+        .config(config.clone())
+        .run(Input::stream(MemSource::from(data.clone())))
+        .unwrap();
     config.chunking = Chunking::Inter { chunk_bytes: 777 };
-    let piped = run_job(ByteHistogram, Input::stream(MemSource::from(data)), config).unwrap();
+    let piped =
+        Job::new(ByteHistogram).config(config).run(Input::stream(MemSource::from(data))).unwrap();
     assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
     let total: u64 = baseline.pairs.iter().map(|(_, c)| c).sum();
     assert_eq!(total, 10_000);
@@ -217,19 +230,23 @@ fn histogram_on_array_container_both_runtimes() {
 
 #[test]
 fn empty_inputs_produce_empty_results() {
-    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), base_config()).unwrap();
+    let r = Job::new(WordCount)
+        .config(base_config())
+        .run(Input::stream(MemSource::from(Vec::new())))
+        .unwrap();
     assert!(r.pairs.is_empty());
     assert_eq!(r.report.stats.bytes_ingested, 0);
 
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 64 };
-    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    let r =
+        Job::new(WordCount).config(config).run(Input::stream(MemSource::from(Vec::new()))).unwrap();
     assert!(r.pairs.is_empty());
     assert_eq!(r.report.stats.ingest_chunks, 0);
 
     let mut config = base_config();
     config.chunking = Chunking::Intra { files_per_chunk: 3 };
-    let r = run_job(WordCount, Input::files(MemFileSet::new(vec![])), config).unwrap();
+    let r = Job::new(WordCount).config(config).run(Input::files(MemFileSet::new(vec![]))).unwrap();
     assert!(r.pairs.is_empty());
 }
 
@@ -242,7 +259,7 @@ fn single_record_larger_than_chunk_size() {
     data.extend_from_slice(b"tail word\n");
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 100 };
-    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    let r = Job::new(WordCount).config(config).run(Input::stream(MemSource::from(data))).unwrap();
     let pairs = r.sorted_pairs();
     assert_eq!(pairs.len(), 3); // "x...x", "tail", "word"
     assert!(pairs.iter().any(|(k, c)| k == "tail" && *c == 1));
@@ -252,13 +269,17 @@ fn single_record_larger_than_chunk_size() {
 fn mismatched_chunking_and_input_shape_is_an_error() {
     let mut config = base_config();
     config.chunking = Chunking::Intra { files_per_chunk: 2 };
-    let err = run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config)
+    let err = Job::new(WordCount)
+        .config(config)
+        .run(Input::stream(MemSource::from(vec![1u8])))
         .expect_err("stream input with intra-file chunking must fail");
     assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
 
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 64 };
-    let err = run_job(WordCount, Input::files(MemFileSet::new(vec![])), config)
+    let err = Job::new(WordCount)
+        .config(config)
+        .run(Input::files(MemFileSet::new(vec![])))
         .expect_err("file input with inter-file chunking must fail");
     assert!(matches!(err, supmr::SupmrError::InvalidConfig { .. }), "{err:?}");
 }
@@ -271,7 +292,10 @@ fn invalid_configs_are_rejected_before_running() {
         JobConfig { chunking: Chunking::Inter { chunk_bytes: 0 }, ..base_config() },
         JobConfig { merge: MergeMode::PWay { ways: 0 }, ..base_config() },
     ] {
-        assert!(run_job(WordCount, Input::stream(MemSource::from(vec![1u8])), config).is_err());
+        assert!(Job::new(WordCount)
+            .config(config)
+            .run(Input::stream(MemSource::from(vec![1u8])))
+            .is_err());
     }
 }
 
@@ -280,7 +304,7 @@ fn pipeline_counts_rounds_and_threads() {
     let data = text_input(10_000);
     let mut config = base_config();
     config.chunking = Chunking::Inter { chunk_bytes: 1000 };
-    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    let r = Job::new(WordCount).config(config).run(Input::stream(MemSource::from(data))).unwrap();
     assert!(r.report.stats.ingest_chunks >= 9);
     assert_eq!(r.report.stats.map_rounds, r.report.stats.ingest_chunks);
     // Threads: at least one ingest thread per round plus map waves.
@@ -304,7 +328,10 @@ fn persistent_pool_matches_wave_per_round_on_streams() {
             let mut config = base_config();
             config.chunking = chunking;
             config.pool = pool;
-            run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap()
+            Job::new(WordCount)
+                .config(config)
+                .run(Input::stream(MemSource::from(data.clone())))
+                .unwrap()
         };
         let wave = run(PoolMode::WavePerRound);
         let pooled = run(PoolMode::Persistent);
@@ -331,7 +358,10 @@ fn persistent_pool_matches_wave_per_round_on_file_sets() {
             let mut config = base_config();
             config.chunking = chunking;
             config.pool = pool;
-            run_job(WordCount, Input::files(MemFileSet::new(files.clone())), config).unwrap()
+            Job::new(WordCount)
+                .config(config)
+                .run(Input::files(MemFileSet::new(files.clone())))
+                .unwrap()
         };
         let wave = run(PoolMode::WavePerRound);
         let pooled = run(PoolMode::Persistent);
@@ -353,7 +383,10 @@ fn persistent_pool_matches_wave_for_sort_merges_and_prefetch() {
                 config.merge = merge;
                 config.prefetch_depth = prefetch_depth;
                 config.pool = pool;
-                run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap()
+                Job::new(Sort)
+                    .config(config)
+                    .run(Input::stream(MemSource::from(data.clone())))
+                    .unwrap()
             };
             let wave = run(PoolMode::WavePerRound);
             let pooled = run(PoolMode::Persistent);
@@ -372,7 +405,10 @@ fn persistent_pool_spawns_once_per_job() {
         let mut config = base_config();
         config.chunking = Chunking::Inter { chunk_bytes: 1000 };
         config.pool = pool;
-        run_job(WordCount, Input::stream(MemSource::from(data.clone())), config).unwrap()
+        Job::new(WordCount)
+            .config(config)
+            .run(Input::stream(MemSource::from(data.clone())))
+            .unwrap()
     };
     let wave = run(PoolMode::WavePerRound);
     let pooled = run(PoolMode::Persistent);
@@ -391,13 +427,15 @@ fn persistent_pool_spawns_once_per_job() {
 fn persistent_pool_handles_empty_input() {
     let mut config = base_config();
     config.pool = PoolMode::Persistent;
-    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    let r =
+        Job::new(WordCount).config(config).run(Input::stream(MemSource::from(Vec::new()))).unwrap();
     assert!(r.pairs.is_empty());
 
     let mut config = base_config();
     config.pool = PoolMode::Persistent;
     config.chunking = Chunking::Inter { chunk_bytes: 64 };
-    let r = run_job(WordCount, Input::stream(MemSource::from(Vec::new())), config).unwrap();
+    let r =
+        Job::new(WordCount).config(config).run(Input::stream(MemSource::from(Vec::new()))).unwrap();
     assert!(r.pairs.is_empty());
 }
 
@@ -410,7 +448,10 @@ fn merge_modes_agree_on_content() {
         let mut config = base_config();
         config.record_format = RecordFormat::CrLf;
         config.merge = merge;
-        let r = run_job(Sort, Input::stream(MemSource::from(data.clone())), config).unwrap();
+        let r = Job::new(Sort)
+            .config(config)
+            .run(Input::stream(MemSource::from(data.clone())))
+            .unwrap();
         let mut keys: Vec<Vec<u8>> = r.pairs.into_iter().map(|(k, _)| k).collect();
         if matches!(merge, MergeMode::Unsorted) {
             keys.sort();
@@ -426,7 +467,7 @@ fn utilization_sampling_attaches_a_trace() {
     let data = text_input(30_000);
     let mut config = base_config();
     config.sample_utilization = Some(std::time::Duration::from_millis(5));
-    let r = run_job(WordCount, Input::stream(MemSource::from(data)), config).unwrap();
+    let r = Job::new(WordCount).config(config).run(Input::stream(MemSource::from(data))).unwrap();
     let trace = r.report.util.expect("trace requested");
     if std::path::Path::new("/proc/stat").exists() {
         // The job may be too fast for many samples, but the plumbing

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::{Identity, Sum};
 use supmr::container::{HashContainer, UnlockedContainer};
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::{Chunking, PairCodec, SupmrError};
 use supmr_storage::{FaultyRunStore, MemRunStore, MemSource};
 
@@ -53,6 +53,8 @@ impl MapReduce for SpillingWordCount {
             let count = u64::from_le_bytes(rec.get(4 + klen..4 + klen + 8)?.try_into().ok()?);
             (rec.len() == 4 + klen + 8).then_some((key, count))
         }
+        // `&String` is forced by `PairCodec`'s fn-pointer signature.
+        #[allow(clippy::ptr_arg)]
         fn size_hint(key: &String, _count: &u64) -> usize {
             std::mem::size_of::<String>() + key.len() + 8
         }
@@ -114,6 +116,8 @@ impl MapReduce for MiniSort {
     }
 
     fn spill_codec(&self) -> Option<PairCodec<Vec<u8>, Vec<u8>>> {
+        // `&Vec` is forced by `PairCodec`'s fn-pointer signature.
+        #[allow(clippy::ptr_arg)]
         fn encode(key: &Vec<u8>, rec: &Vec<u8>, buf: &mut Vec<u8>) {
             buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
             buf.extend_from_slice(key);
@@ -123,6 +127,7 @@ impl MapReduce for MiniSort {
             let klen = u32::from_le_bytes(rec.get(..4)?.try_into().ok()?) as usize;
             Some((rec.get(4..4 + klen)?.to_vec(), rec.get(4 + klen..)?.to_vec()))
         }
+        #[allow(clippy::ptr_arg)]
         fn size_hint(key: &Vec<u8>, rec: &Vec<u8>) -> usize {
             2 * std::mem::size_of::<Vec<u8>>() + key.len() + rec.len()
         }
@@ -165,7 +170,9 @@ fn arb_text() -> impl Strategy<Value = Vec<u8>> {
 fn wide_corpus() -> Vec<u8> {
     let mut text = Vec::new();
     for i in 0..400u32 {
-        text.extend_from_slice(format!("word{:04} common{} word{:04}\n", i, i % 7, i / 2).as_bytes());
+        text.extend_from_slice(
+            format!("word{:04} common{} word{:04}\n", i, i % 7, i / 2).as_bytes(),
+        );
     }
     text
 }
@@ -175,34 +182,18 @@ proptest! {
 
     #[test]
     fn budgeted_wordcount_matches_unbounded(data in arb_text(), budget in 1u64..4096) {
-        let unbounded = run_job(
-            SpillingWordCount,
-            Input::stream(MemSource::from(data.clone())),
-            base_config(),
-        ).unwrap();
+        let unbounded = Job::new(SpillingWordCount).config(base_config()).run(Input::stream(MemSource::from(data.clone()))).unwrap();
         let store = MemRunStore::new();
-        let spilled = run_job(
-            SpillingWordCount,
-            Input::stream(MemSource::from(data)),
-            budgeted_config(budget, &store),
-        ).unwrap();
+        let spilled = Job::new(SpillingWordCount).config(budgeted_config(budget, &store)).run(Input::stream(MemSource::from(data))).unwrap();
         prop_assert_eq!(spilled.sorted_pairs(), unbounded.sorted_pairs());
         prop_assert!(store.is_empty(), "run files must be deleted after the merge");
     }
 
     #[test]
     fn budgeted_sort_matches_unbounded(data in arb_text(), budget in 1u64..4096) {
-        let unbounded = run_job(
-            MiniSort,
-            Input::stream(MemSource::from(data.clone())),
-            base_config(),
-        ).unwrap();
+        let unbounded = Job::new(MiniSort).config(base_config()).run(Input::stream(MemSource::from(data.clone()))).unwrap();
         let store = MemRunStore::new();
-        let spilled = run_job(
-            MiniSort,
-            Input::stream(MemSource::from(data)),
-            budgeted_config(budget, &store),
-        ).unwrap();
+        let spilled = Job::new(MiniSort).config(budgeted_config(budget, &store)).run(Input::stream(MemSource::from(data))).unwrap();
         // Duplicate keys make equal-key order path-dependent; compare
         // the full (key, record) multiset.
         let mut a = unbounded.pairs;
@@ -217,12 +208,10 @@ proptest! {
 #[test]
 fn tiny_budget_actually_spills_and_reports_it() {
     let store = MemRunStore::new();
-    let r = run_job(
-        SpillingWordCount,
-        Input::stream(MemSource::from(wide_corpus())),
-        budgeted_config(64, &store),
-    )
-    .unwrap();
+    let r = Job::new(SpillingWordCount)
+        .config(budgeted_config(64, &store))
+        .run(Input::stream(MemSource::from(wide_corpus())))
+        .unwrap();
     assert!(r.report.stats.spill_runs > 0, "64-byte budget must spill");
     assert!(r.report.stats.spill_bytes > 0);
     let json = r.report.to_json().render();
@@ -232,12 +221,10 @@ fn tiny_budget_actually_spills_and_reports_it() {
 
 #[test]
 fn unbudgeted_jobs_report_zero_spill() {
-    let r = run_job(
-        SpillingWordCount,
-        Input::stream(MemSource::from(wide_corpus())),
-        base_config(),
-    )
-    .unwrap();
+    let r = Job::new(SpillingWordCount)
+        .config(base_config())
+        .run(Input::stream(MemSource::from(wide_corpus())))
+        .unwrap();
     assert_eq!(r.report.stats.spill_runs, 0);
     assert_eq!(r.report.stats.spill_bytes, 0);
 }
@@ -247,14 +234,15 @@ fn budgeted_pipeline_runtime_matches_unbounded() {
     let data = wide_corpus();
     let mut unbounded_cfg = base_config();
     unbounded_cfg.chunking = Chunking::Inter { chunk_bytes: 512 };
-    let unbounded =
-        run_job(SpillingWordCount, Input::stream(MemSource::from(data.clone())), unbounded_cfg)
-            .unwrap();
+    let unbounded = Job::new(SpillingWordCount)
+        .config(unbounded_cfg)
+        .run(Input::stream(MemSource::from(data.clone())))
+        .unwrap();
     let store = MemRunStore::new();
     let mut cfg = budgeted_config(128, &store);
     cfg.chunking = Chunking::Inter { chunk_bytes: 512 };
     let spilled =
-        run_job(SpillingWordCount, Input::stream(MemSource::from(data)), cfg).unwrap();
+        Job::new(SpillingWordCount).config(cfg).run(Input::stream(MemSource::from(data))).unwrap();
     assert!(spilled.report.stats.spill_runs > 0);
     assert_eq!(spilled.sorted_pairs(), unbounded.sorted_pairs());
     assert!(store.is_empty());
@@ -264,7 +252,9 @@ fn budgeted_pipeline_runtime_matches_unbounded() {
 fn budget_without_codec_is_rejected() {
     let mut config = base_config();
     config.memory_budget = Some(1024);
-    let err = run_job(CodeclessWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+    let err = Job::new(CodeclessWordCount)
+        .config(config)
+        .run(Input::stream(MemSource::from(wide_corpus())))
         .unwrap_err();
     assert!(matches!(err, SupmrError::InvalidConfig { .. }), "got {err:?}");
 }
@@ -273,7 +263,9 @@ fn budget_without_codec_is_rejected() {
 fn zero_budget_is_rejected() {
     let mut config = base_config();
     config.memory_budget = Some(0);
-    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(vec![b'a'])), config)
+    let err = Job::new(SpillingWordCount)
+        .config(config)
+        .run(Input::stream(MemSource::from(vec![b'a'])))
         .unwrap_err();
     assert!(matches!(err, SupmrError::InvalidConfig { .. }), "got {err:?}");
 }
@@ -285,7 +277,9 @@ fn run_write_faults_surface_as_ingest_errors() {
     let mut config = base_config();
     config.memory_budget = Some(64);
     config.spill_store = Some(Arc::new(faulty));
-    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+    let err = Job::new(SpillingWordCount)
+        .config(config)
+        .run(Input::stream(MemSource::from(wide_corpus())))
         .unwrap_err();
     assert!(matches!(err, SupmrError::Ingest { .. }), "got {err:?}");
     assert!(store.is_empty(), "partial runs must be cleaned up after a write fault");
@@ -300,7 +294,9 @@ fn run_read_faults_surface_as_typed_errors_not_panics() {
     let mut config = base_config();
     config.memory_budget = Some(64);
     config.spill_store = Some(Arc::new(faulty));
-    let err = run_job(SpillingWordCount, Input::stream(MemSource::from(wide_corpus())), config)
+    let err = Job::new(SpillingWordCount)
+        .config(config)
+        .run(Input::stream(MemSource::from(wide_corpus())))
         .unwrap_err();
     assert!(
         matches!(err, SupmrError::Merge { .. } | SupmrError::Ingest { .. }),
@@ -349,12 +345,10 @@ fn map_panic_mid_spill_leaks_no_run_files() {
     let mut data = wide_corpus();
     data.extend_from_slice(b"boom!\n");
     let store = MemRunStore::new();
-    let err = run_job(
-        PanicAfterSpill,
-        Input::stream(MemSource::from(data)),
-        budgeted_config(64, &store),
-    )
-    .unwrap_err();
+    let err = Job::new(PanicAfterSpill)
+        .config(budgeted_config(64, &store))
+        .run(Input::stream(MemSource::from(data)))
+        .unwrap_err();
     assert!(matches!(err, SupmrError::TaskPanic { .. }), "got {err:?}");
     assert!(store.is_empty(), "abandoned runs must be deleted when the job dies");
 }

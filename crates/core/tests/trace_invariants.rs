@@ -12,7 +12,7 @@ use std::time::Duration;
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
-use supmr::runtime::{run_job, Input, JobConfig, JobResult};
+use supmr::runtime::{Input, Job, JobConfig, JobResult};
 use supmr::{Chunking, PoolMode, TraceLevel};
 use supmr_metrics::chrome::to_chrome_json;
 use supmr_metrics::{JobTrace, Json, SpanKey};
@@ -134,10 +134,10 @@ proptest! {
         let mut untraced_cfg = cfg.clone();
         untraced_cfg.trace = TraceLevel::Off;
         let untraced =
-            run_job(WordCount, Input::stream(MemSource::from(data.clone())), untraced_cfg)
+            Job::new(WordCount).config(untraced_cfg).run(Input::stream(MemSource::from(data.clone())))
                 .unwrap();
 
-        let traced = run_job(WordCount, Input::stream(MemSource::from(data)), cfg).unwrap();
+        let traced = Job::new(WordCount).config(cfg).run(Input::stream(MemSource::from(data))).unwrap();
         prop_assert_eq!(traced.sorted_pairs(), untraced.sorted_pairs());
 
         let trace = traced.report.trace.as_ref().expect("traced run must attach a trace");
@@ -180,7 +180,7 @@ fn throttled_run(bytes: usize, chunk_bytes: u64, rate: f64) -> JobResult<String,
     let cfg = traced_config(chunk_bytes, PoolMode::WavePerRound, TraceLevel::Wave);
     let bucket = TokenBucket::with_burst(rate, 4096.0);
     let src = ThrottledSource::with_bucket(MemSource::from(text(bytes)), bucket);
-    run_job(WordCount, Input::stream(src), cfg).unwrap()
+    Job::new(WordCount).config(cfg).run(Input::stream(src)).unwrap()
 }
 
 /// Per round, the map side's busy + stall time must account for the
@@ -240,8 +240,10 @@ fn throttled_source_stalls_the_map_side_measurably() {
     let throttled = throttled_run(192 * 1024, 32 * 1024, 2.0 * 1024.0 * 1024.0);
 
     let cfg = traced_config(32 * 1024, PoolMode::WavePerRound, TraceLevel::Wave);
-    let unthrottled =
-        run_job(WordCount, Input::stream(MemSource::from(text(192 * 1024))), cfg).unwrap();
+    let unthrottled = Job::new(WordCount)
+        .config(cfg)
+        .run(Input::stream(MemSource::from(text(192 * 1024))))
+        .unwrap();
 
     let slow = throttled.report.stalls().map_waiting;
     let fast = unthrottled.report.stalls().map_waiting;

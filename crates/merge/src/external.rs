@@ -128,12 +128,7 @@ impl RunWriter<BufWriter<File>> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        Ok(RunWriter {
-            out: BufWriter::new(File::create(&path)?),
-            path,
-            records: 0,
-            bytes: 0,
-        })
+        Ok(RunWriter { out: BufWriter::new(File::create(&path)?), path, records: 0, bytes: 0 })
     }
 }
 
@@ -274,7 +269,9 @@ impl<R: Read> Iterator for RunReader<R> {
         let actual = crc32(&rec);
         if actual != expected {
             self.error = Some(RunReadError::Corrupt {
-                detail: format!("record checksum mismatch (stored {expected:08x}, computed {actual:08x})"),
+                detail: format!(
+                    "record checksum mismatch (stored {expected:08x}, computed {actual:08x})"
+                ),
             });
             return None;
         }

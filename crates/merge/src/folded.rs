@@ -6,7 +6,7 @@
 //! jobs, where each source holds at most one entry per key) or keep
 //! every record (identity-combiner jobs like Terasort, where duplicates
 //! are real data). Both shapes ride the same
-//! [`LoserTree`](crate::LoserTree) used everywhere else in this crate,
+//! [`LoserTree`] used everywhere else in this crate,
 //! ordered by key only.
 
 use crate::loser_tree::{merge_iterators, LoserTree};

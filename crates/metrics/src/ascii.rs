@@ -113,6 +113,7 @@ fn timeline_glyph(key: SpanKey) -> char {
         SpanKey::Merge(_) => 'G',
         SpanKey::SpillRun(_) => 'S',
         SpanKey::ExternalMerge(_) => 'X',
+        SpanKey::Stage(_) => 'P',
     }
 }
 

@@ -28,6 +28,7 @@ fn span_name(key: SpanKey) -> String {
         SpanKey::Merge(round) => format!("merge round {round}"),
         SpanKey::SpillRun(run) => format!("spill run {run}"),
         SpanKey::ExternalMerge(partition) => format!("external merge partition {partition}"),
+        SpanKey::Stage(stage) => format!("stage {stage}"),
     }
 }
 
@@ -38,6 +39,7 @@ fn span_category(key: SpanKey) -> &'static str {
         SpanKey::ReduceWave | SpanKey::Drain(_) | SpanKey::Reduce(_) => "reduce",
         SpanKey::Merge(_) => "merge",
         SpanKey::SpillRun(_) | SpanKey::ExternalMerge(_) => "spill",
+        SpanKey::Stage(_) => "stage",
     }
 }
 
@@ -220,6 +222,13 @@ fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
         }
         EventKind::ExternalMergeEnd { partition } => {
             pairs.push(("partition", Json::from(partition)));
+        }
+        EventKind::StageStart { stage } => {
+            pairs.push(("stage", Json::from(u64::from(stage))));
+        }
+        EventKind::StageEnd { stage, pairs: out } => {
+            pairs.push(("stage", Json::from(u64::from(stage))));
+            pairs.push(("pairs", Json::from(out)));
         }
         EventKind::MapWaitingForChunk { round, wait_us } => {
             pairs.push(("round", Json::from(u64::from(round))));

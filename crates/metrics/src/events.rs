@@ -198,6 +198,19 @@ pub enum EventKind {
         /// Partition index.
         partition: u64,
     },
+    /// A pipeline stage began executing on its driver thread.
+    StageStart {
+        /// Stage index within the pipeline (scheduling order).
+        stage: u32,
+    },
+    /// The pipeline stage finished.
+    StageEnd {
+        /// Stage index within the pipeline.
+        stage: u32,
+        /// Pairs the stage produced (reduced output, pre-merge count
+        /// for hand-off stages).
+        pairs: u64,
+    },
     /// **Stall:** the map side sat idle for `wait_us` µs after finishing
     /// its wave because the next chunk's ingest had not completed — the
     /// pipeline was ingest-bound at this round.
@@ -241,6 +254,8 @@ impl EventKind {
             EventKind::SpillRunEnd { .. } => "SpillRunEnd",
             EventKind::ExternalMergeStart { .. } => "ExternalMergeStart",
             EventKind::ExternalMergeEnd { .. } => "ExternalMergeEnd",
+            EventKind::StageStart { .. } => "StageStart",
+            EventKind::StageEnd { .. } => "StageEnd",
             EventKind::MapWaitingForChunk { .. } => "MapWaitingForChunk",
             EventKind::IngestWaitingForContainer { .. } => "IngestWaitingForContainer",
         }
@@ -260,6 +275,7 @@ impl EventKind {
             EventKind::ExternalMergeStart { partition, .. } => {
                 Some(SpanKey::ExternalMerge(partition))
             }
+            EventKind::StageStart { stage } => Some(SpanKey::Stage(stage)),
             _ => None,
         }
     }
@@ -276,6 +292,7 @@ impl EventKind {
             EventKind::MergeRoundEnd { round } => Some(SpanKey::Merge(round)),
             EventKind::SpillRunEnd { run, .. } => Some(SpanKey::SpillRun(run)),
             EventKind::ExternalMergeEnd { partition } => Some(SpanKey::ExternalMerge(partition)),
+            EventKind::StageEnd { stage, .. } => Some(SpanKey::Stage(stage)),
             _ => None,
         }
     }
@@ -322,6 +339,8 @@ pub enum SpanKey {
     SpillRun(u64),
     /// External (spill-aware) merge of a partition, by index.
     ExternalMerge(u64),
+    /// Pipeline stage, by scheduling index.
+    Stage(u32),
 }
 
 /// One recorded event.

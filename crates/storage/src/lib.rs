@@ -50,14 +50,14 @@ pub mod throttle;
 pub use fault::{FaultyFileSet, FaultySource};
 pub use hdfs::{HdfsConfig, HdfsSource};
 pub use observe::{IngestMeter, ObservedFileSet, ObservedSource};
-pub use spill::{
-    DiskRunStore, FaultyRunStore, MemRunStore, ObservedRunStore, RunGuard, RunStore,
-    ThrottledRunStore,
-};
 pub use record::RecordFormat;
 pub use scan::{find_byte, find_crlf, ByteClass};
 pub use shared::SharedBytes;
 pub use source::{
     CachedSource, DataSource, DirFileSet, FileSet, FileSource, MemFileSet, MemSource, SourceExt,
+};
+pub use spill::{
+    DiskRunStore, FaultyRunStore, MemRunStore, ObservedRunStore, RunGuard, RunStore,
+    ThrottledRunStore,
 };
 pub use throttle::{ThrottledFileSet, ThrottledSource, TokenBucket};

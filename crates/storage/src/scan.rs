@@ -220,7 +220,7 @@ pub fn tokens(data: &[u8], class: ByteClass) -> Tokens<'_> {
 /// Iterator over byte-class token runs. See [`tokens`].
 ///
 /// The classifier runs once per 64-byte window, not once per token: the
-/// eight lane masks of a window compress ([`movemask`]) into a single
+/// eight lane masks of a window compress (`movemask`) into a single
 /// `u64` byte-membership bitmask, and token boundaries inside the
 /// window are pure `trailing_zeros` arithmetic on it. Short tokens —
 /// the word-count common case — cost a couple of bit ops each; only
@@ -362,10 +362,10 @@ mod tests {
             b"\n",
             b"\n\r",
             b"\r\r\r\r\r\r\r\r\r\n",
-            b"xxxxxxx\r\nyyy",     // pair straddles the first 8-byte lane
-            b"xxxxxxxx\r\nyyy",    // pair starts exactly at lane 8
-            b"\x8d\x8a\r\n",       // high bytes must not alias \r \n
-            b"abc\rdef\nghi\r\n",  // bare \r and bare \n are data
+            b"xxxxxxx\r\nyyy",    // pair straddles the first 8-byte lane
+            b"xxxxxxxx\r\nyyy",   // pair starts exactly at lane 8
+            b"\x8d\x8a\r\n",      // high bytes must not alias \r \n
+            b"abc\rdef\nghi\r\n", // bare \r and bare \n are data
             b"\r\n",
             b"a\r\n",
         ];
@@ -396,10 +396,8 @@ mod tests {
     fn tokens_split_like_the_scalar_tokenizer() {
         let text = b"it's a test--really, a_test! over_9000 unicode\xc3\xa9mixed";
         let got: Vec<&[u8]> = tokens(text, ByteClass::Word).collect();
-        let expect: Vec<&[u8]> = text
-            .split(|&b| !ByteClass::Word.contains(b))
-            .filter(|t| !t.is_empty())
-            .collect();
+        let expect: Vec<&[u8]> =
+            text.split(|&b| !ByteClass::Word.contains(b)).filter(|t| !t.is_empty()).collect();
         assert_eq!(got, expect);
         assert_eq!(tokens(b"", ByteClass::Word).count(), 0);
         assert_eq!(tokens(b"---- .. !", ByteClass::Word).count(), 0);

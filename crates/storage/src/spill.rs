@@ -221,7 +221,10 @@ impl Read for ThrottledReader {
 
 impl RunStore for ThrottledRunStore {
     fn create(&self, name: &str) -> io::Result<Box<dyn Write + Send>> {
-        Ok(Box::new(ThrottledWriter { inner: self.inner.create(name)?, bucket: self.bucket.clone() }))
+        Ok(Box::new(ThrottledWriter {
+            inner: self.inner.create(name)?,
+            bucket: self.bucket.clone(),
+        }))
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn Read + Send>> {
@@ -233,11 +236,7 @@ impl RunStore for ThrottledRunStore {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "{} @ {:.1} MB/s",
-            self.inner.describe(),
-            self.bucket.rate() / (1024.0 * 1024.0)
-        )
+        format!("{} @ {:.1} MB/s", self.inner.describe(), self.bucket.rate() / (1024.0 * 1024.0))
     }
 }
 
@@ -319,7 +318,10 @@ impl FaultyState {
     fn check(&self, ctr: &AtomicU64, limit: Option<u64>, n: u64, dir: &str) -> io::Result<()> {
         let Some(limit) = limit else { return Ok(()) };
         if ctr.fetch_add(n, Ordering::Relaxed) + n > limit {
-            return Err(io::Error::new(self.kind, format!("injected spill {dir} fault at byte {limit}")));
+            return Err(io::Error::new(
+                self.kind,
+                format!("injected spill {dir} fault at byte {limit}"),
+            ));
         }
         Ok(())
     }
@@ -379,7 +381,12 @@ struct FaultyWriter {
 
 impl Write for FaultyWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.state.check(&self.state.write_bytes, self.state.write_fail_at, buf.len() as u64, "write")?;
+        self.state.check(
+            &self.state.write_bytes,
+            self.state.write_fail_at,
+            buf.len() as u64,
+            "write",
+        )?;
         self.inner.write(buf)
     }
 
@@ -395,14 +402,22 @@ struct FaultyReader {
 
 impl Read for FaultyReader {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.state.check(&self.state.read_bytes, self.state.read_fail_at, buf.len() as u64, "read")?;
+        self.state.check(
+            &self.state.read_bytes,
+            self.state.read_fail_at,
+            buf.len() as u64,
+            "read",
+        )?;
         self.inner.read(buf)
     }
 }
 
 impl RunStore for FaultyRunStore {
     fn create(&self, name: &str) -> io::Result<Box<dyn Write + Send>> {
-        Ok(Box::new(FaultyWriter { inner: self.inner.create(name)?, state: Arc::clone(&self.state) }))
+        Ok(Box::new(FaultyWriter {
+            inner: self.inner.create(name)?,
+            state: Arc::clone(&self.state),
+        }))
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn Read + Send>> {
@@ -561,8 +576,7 @@ mod tests {
     fn faulty_store_fails_reads_past_the_threshold() {
         let store = Arc::new(MemRunStore::new());
         write_run(store.as_ref(), "r", &vec![2u8; 8192]);
-        let faulty =
-            FaultyRunStore::fail_reads_after(store, 1024, io::ErrorKind::BrokenPipe);
+        let faulty = FaultyRunStore::fail_reads_after(store, 1024, io::ErrorKind::BrokenPipe);
         let mut rd = faulty.open("r").unwrap();
         let mut buf = vec![0u8; 512];
         rd.read_exact(&mut buf).unwrap();
@@ -577,8 +591,7 @@ mod tests {
     #[test]
     fn faulty_store_fails_writes_past_the_threshold() {
         let store = Arc::new(MemRunStore::new());
-        let faulty =
-            FaultyRunStore::fail_writes_after(store, 1024, io::ErrorKind::StorageFull);
+        let faulty = FaultyRunStore::fail_writes_after(store, 1024, io::ErrorKind::StorageFull);
         let mut w = faulty.create("w").unwrap();
         w.write_all(&vec![3u8; 512]).unwrap();
         let err = w.write_all(&vec![3u8; 1024]).unwrap_err();

@@ -7,7 +7,7 @@
 //! cargo run --release --example hdfs_ingest
 //! ```
 
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::Chunking;
 use supmr_apps::WordCount;
 use supmr_metrics::PhaseTimings;
@@ -33,12 +33,13 @@ fn main() {
     let base = JobConfig { map_workers: 4, reduce_workers: 4, ..JobConfig::default() };
 
     println!("original runtime: copy everything over the link, then compute");
-    let original = run_job(WordCount::new(), cluster(payload.clone()), base.clone()).unwrap();
+    let original =
+        Job::new(WordCount::new()).config(base.clone()).run(cluster(payload.clone())).unwrap();
 
     println!("SupMR: 512KB ingest chunks overlap the copy");
     let mut config = base;
     config.chunking = Chunking::Inter { chunk_bytes: 512 * 1024 };
-    let supmr = run_job(WordCount::new(), cluster(payload), config).unwrap();
+    let supmr = Job::new(WordCount::new()).config(config).run(cluster(payload)).unwrap();
 
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs());
 

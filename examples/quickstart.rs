@@ -8,7 +8,7 @@
 use supmr::api::{Emit, MapReduce};
 use supmr::combiner::Sum;
 use supmr::container::HashContainer;
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::Chunking;
 use supmr_metrics::PhaseTimings;
 use supmr_storage::{MemSource, ThrottledSource};
@@ -52,11 +52,11 @@ fn main() {
     let mut config = JobConfig { merge: MergeMode::PWay { ways: 4 }, ..JobConfig::default() };
 
     println!("running word count on the ORIGINAL runtime (ingest, then map)...");
-    let original = run_job(WordCount, disk(corpus.clone()), config.clone()).unwrap();
+    let original = Job::new(WordCount).config(config.clone()).run(disk(corpus.clone())).unwrap();
 
     println!("running word count on the SUPMR PIPELINE (1MB ingest chunks)...");
     config.chunking = Chunking::Inter { chunk_bytes: 1024 * 1024 };
-    let supmr = run_job(WordCount, disk(corpus), config).unwrap();
+    let supmr = Job::new(WordCount).config(config).run(disk(corpus)).unwrap();
 
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs(), "identical results");
 

@@ -7,9 +7,9 @@
 //! cargo run --release --example terasort_pipeline
 //! ```
 
-use supmr::runtime::{run_job, Input, JobConfig, JobResult, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, JobResult, MergeMode};
 use supmr::Chunking;
-use supmr_apps::{sort::validate_sorted_output, TeraSort};
+use supmr_apps::{sort::validate_sorted_output, terasort_pipeline, TeraSort};
 use supmr_metrics::PhaseTimings;
 use supmr_storage::{FileSource, ThrottledSource};
 use supmr_workloads::TeraGen;
@@ -43,7 +43,10 @@ fn main() {
             ..JobConfig::default()
         };
         println!("running {label}...");
-        run_job(TeraSort::new(), Input::stream(open_disk()), config).expect("sort failed")
+        Job::new(TeraSort::new())
+            .config(config)
+            .run(Input::stream(open_disk()))
+            .expect("sort failed")
     };
 
     let baseline =
@@ -72,6 +75,29 @@ fn main() {
     println!(
         "total speedup {:.2}x",
         supmr.report.timings.total_speedup_vs(&baseline.report.timings)
+    );
+
+    // The same sort as a two-stage partition→sort Pipeline: identical
+    // output, but the keyed records stream between the stages as framed
+    // bytes instead of materializing a pair vector.
+    println!("\nrunning two-stage partition→sort pipeline...");
+    let config = JobConfig {
+        map_workers: 4,
+        reduce_workers: 4,
+        split_bytes: 128 * 1024,
+        chunking: Chunking::Inter { chunk_bytes: 512 * 1024 },
+        merge: MergeMode::PWay { ways: 4 },
+        ..JobConfig::default()
+    };
+    let piped =
+        terasort_pipeline(Input::stream(open_disk()), config).expect("pipeline sort failed");
+    validate_sorted_output(&piped.pairs, records).expect("pipeline output sorted");
+    assert_eq!(piped.pairs, supmr.pairs, "pipeline output matches the single job");
+    let handoff = piped.report.stages[0].handoff.expect("partition stage hands off");
+    println!(
+        "pipeline matches the single job: {} records; hand-off {} frames / {} bytes, \
+         {} pairs materialized between the stages",
+        records, handoff.pairs, handoff.bytes, handoff.materialized_pairs
     );
 
     let _ = std::fs::remove_file(&path);

@@ -7,7 +7,7 @@
 //! cargo run --release --example wordcount_files
 //! ```
 
-use supmr::runtime::{run_job, Input, JobConfig};
+use supmr::runtime::{Input, Job, JobConfig};
 use supmr::Chunking;
 use supmr_apps::WordCount;
 use supmr_metrics::PhaseTimings;
@@ -32,15 +32,17 @@ fn main() {
     let base_config = JobConfig { map_workers: 4, reduce_workers: 4, ..JobConfig::default() };
 
     println!("\noriginal runtime: read all 30 files, then map...");
-    let original =
-        run_job(WordCount::new(), Input::files(throttled()), base_config.clone()).unwrap();
+    let original = Job::new(WordCount::new())
+        .config(base_config.clone())
+        .run(Input::files(throttled()))
+        .unwrap();
 
     // The paper's worked example: chunks of 4 files -> 8 chunks, the
     // last holding the 2 remaining files.
     println!("SupMR pipeline: intra-file chunks of 4 files...");
     let mut config = base_config;
     config.chunking = Chunking::Intra { files_per_chunk: 4 };
-    let supmr = run_job(WordCount::new(), Input::files(throttled()), config).unwrap();
+    let supmr = Job::new(WordCount::new()).config(config).run(Input::files(throttled())).unwrap();
 
     assert_eq!(original.sorted_pairs(), supmr.sorted_pairs());
     assert_eq!(supmr.report.stats.ingest_chunks, 8, "30 files / 4 per chunk = 8 chunks");

@@ -3,7 +3,7 @@
 //! and the simulator — the flows a downstream user would actually
 //! exercise.
 
-use supmr::runtime::{run_job, Input, JobConfig, MergeMode};
+use supmr::runtime::{Input, Job, JobConfig, MergeMode};
 use supmr::Chunking;
 use supmr_apps::{
     sort::validate_sorted_output, Grep, Histogram, InvertedIndex, TeraSort, WordCount,
@@ -36,10 +36,12 @@ fn wordcount_from_real_files_through_throttled_pipeline() {
             64.0 * 1024.0 * 1024.0,
         )
     };
-    let baseline = run_job(WordCount::new(), Input::files(throttled()), config(3)).unwrap();
+    let baseline =
+        Job::new(WordCount::new()).config(config(3)).run(Input::files(throttled())).unwrap();
     let mut piped_config = config(3);
     piped_config.chunking = Chunking::Intra { files_per_chunk: 5 };
-    let piped = run_job(WordCount::new(), Input::files(throttled()), piped_config).unwrap();
+    let piped =
+        Job::new(WordCount::new()).config(piped_config).run(Input::files(throttled())).unwrap();
 
     assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
     assert_eq!(piped.report.stats.ingest_chunks, 3); // 12 files / 5 per chunk
@@ -57,15 +59,13 @@ fn terasort_from_real_file_is_correct_and_single_merge_round() {
     cfg.record_format = TeraSort::record_format();
     cfg.chunking = Chunking::Inter { chunk_bytes: 40_000 };
     cfg.merge = MergeMode::PWay { ways: 4 };
-    let result = run_job(
-        TeraSort::new(),
-        Input::stream(ThrottledSource::new(
+    let result = Job::new(TeraSort::new())
+        .config(cfg)
+        .run(Input::stream(ThrottledSource::new(
             FileSource::open(&path).unwrap(),
             128.0 * 1024.0 * 1024.0,
-        )),
-        cfg,
-    )
-    .unwrap();
+        )))
+        .unwrap();
 
     validate_sorted_output(&result.pairs, 2_000).unwrap();
     assert_eq!(result.report.stats.merge_rounds, 1);
@@ -85,7 +85,10 @@ fn sort_baseline_vs_supmr_work_accounting() {
         cfg.split_bytes = 20_000;
         cfg.chunking = chunking;
         cfg.merge = merge;
-        run_job(TeraSort::new(), Input::stream(MemSource::from(data.clone())), cfg).unwrap()
+        Job::new(TeraSort::new())
+            .config(cfg)
+            .run(Input::stream(MemSource::from(data.clone())))
+            .unwrap()
     };
     let baseline = run(Chunking::None, MergeMode::PairwiseRounds);
     let supmr = run(Chunking::Inter { chunk_bytes: 50_000 }, MergeMode::PWay { ways: 4 });
@@ -124,11 +127,14 @@ fn hdfs_source_feeds_the_pipeline() {
             },
         )
     };
-    let baseline =
-        run_job(WordCount::new(), Input::stream(cluster(payload.clone())), config(2)).unwrap();
+    let baseline = Job::new(WordCount::new())
+        .config(config(2))
+        .run(Input::stream(cluster(payload.clone())))
+        .unwrap();
     let mut cfg = config(2);
     cfg.chunking = Chunking::Inter { chunk_bytes: 128 * 1024 };
-    let piped = run_job(WordCount::new(), Input::stream(cluster(payload)), cfg).unwrap();
+    let piped =
+        Job::new(WordCount::new()).config(cfg).run(Input::stream(cluster(payload))).unwrap();
     assert_eq!(baseline.sorted_pairs(), piped.sorted_pairs());
 }
 
@@ -139,12 +145,10 @@ fn grep_and_histogram_and_index_run_through_the_pipeline() {
     let mut cfg = config(2);
     cfg.chunking = Chunking::Inter { chunk_bytes: 32 * 1024 };
     let needle = TextGen::new(TextGenConfig::default()).words()[0].clone();
-    let grep = run_job(
-        Grep::new(vec![needle.clone().into_bytes()]),
-        Input::stream(MemSource::from(text.clone())),
-        cfg.clone(),
-    )
-    .unwrap();
+    let grep = Job::new(Grep::new(vec![needle.clone().into_bytes()]))
+        .config(cfg.clone())
+        .run(Input::stream(MemSource::from(text.clone())))
+        .unwrap();
     assert_eq!(grep.pairs.len(), 1, "the most frequent word must appear");
     assert!(grep.pairs[0].1 > 100);
 
@@ -153,7 +157,8 @@ fn grep_and_histogram_and_index_run_through_the_pipeline() {
     let mut cfg = config(2);
     cfg.record_format = Histogram::record_format();
     cfg.chunking = Chunking::Inter { chunk_bytes: 10_000 };
-    let hist = run_job(Histogram::new(), Input::stream(MemSource::from(pixels)), cfg).unwrap();
+    let hist =
+        Job::new(Histogram::new()).config(cfg).run(Input::stream(MemSource::from(pixels))).unwrap();
     let total: u64 = hist.pairs.iter().map(|(_, c)| c).sum();
     assert_eq!(total, 90_000);
 
@@ -168,9 +173,10 @@ fn grep_and_histogram_and_index_run_through_the_pipeline() {
         .collect();
     let mut cfg = config(2);
     cfg.chunking = Chunking::Intra { files_per_chunk: 2 };
-    let index =
-        run_job(InvertedIndex::new(), Input::files(supmr_storage::MemFileSet::new(files)), cfg)
-            .unwrap();
+    let index = Job::new(InvertedIndex::new())
+        .config(cfg)
+        .run(Input::files(supmr_storage::MemFileSet::new(files)))
+        .unwrap();
     let alpha = index.pairs.iter().find(|(k, _)| k == "alpha").unwrap();
     assert_eq!(alpha.1.len(), 60);
 }
@@ -191,10 +197,11 @@ fn simulator_and_real_runtime_agree_on_the_shape() {
     let throttled =
         |data: Vec<u8>| Input::stream(ThrottledSource::new(MemSource::from(data), rate));
     let base_cfg = config(2);
-    let baseline = run_job(WordCount::new(), throttled(corpus.clone()), base_cfg.clone()).unwrap();
+    let baseline =
+        Job::new(WordCount::new()).config(base_cfg.clone()).run(throttled(corpus.clone())).unwrap();
     let mut piped_cfg = base_cfg;
     piped_cfg.chunking = Chunking::Inter { chunk_bytes: 256 * 1024 };
-    let piped = run_job(WordCount::new(), throttled(corpus), piped_cfg).unwrap();
+    let piped = Job::new(WordCount::new()).config(piped_cfg).run(throttled(corpus)).unwrap();
 
     let real_speedup = piped.report.timings.total_speedup_vs(&baseline.report.timings);
     assert!(real_speedup > 1.0, "pipeline must win on a throttled source: {real_speedup}");
