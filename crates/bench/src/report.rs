@@ -137,9 +137,11 @@ pub fn to_json(
         .map(|r| {
             let metrics =
                 r.report.metrics.as_ref().map(|m| m.to_json()).unwrap_or(Json::Arr(Vec::new()));
+            let verdict = r.report.diag.as_ref().map_or("unclassified", |d| d.verdict.as_str());
             Json::obj(vec![
                 ("workload", Json::str(r.workload)),
                 ("runtime", Json::str(r.runtime)),
+                ("verdict", Json::str(verdict)),
                 ("wall_us", us(r.report.timings.total())),
                 ("output_pairs", Json::from(r.report.stats.output_pairs)),
                 ("ingest_chunks", Json::from(u64::from(r.report.stats.ingest_chunks))),
@@ -209,6 +211,15 @@ pub fn validate(json: &Json) -> Result<(), String> {
         let workload = require_str(run, "workload", "run")?;
         let runtime = require_str(run, "runtime", "run")?;
         let ctx = format!("run {workload}/{runtime}");
+        // `verdict` (the supmr.diag classification) is optional so
+        // baselines from before the diagnosis era still validate, but
+        // when present it must be a non-empty string.
+        if let Some(v) = run.get("verdict") {
+            match v.as_str() {
+                Some(s) if !s.is_empty() => {}
+                _ => return Err(format!("{ctx}: 'verdict' must be a non-empty string")),
+            }
+        }
         for key in
             ["wall_us", "output_pairs", "ingest_chunks", "map_waiting_us", "ingest_waiting_us"]
         {
@@ -372,6 +383,12 @@ mod tests {
         let map = crate::map_path::measure(true);
         let json = to_json(&scale, &runs, &shuffle, &map, true);
         validate(&json).expect("fresh report validates");
+        // Every cell ran under the diagnosed runtime, so every cell
+        // carries a real (non-placeholder) classification.
+        for run in json.get("runs").and_then(Json::as_arr).unwrap() {
+            let verdict = run.get("verdict").and_then(Json::as_str).expect("verdict present");
+            assert_ne!(verdict, "unclassified", "{run:?}");
+        }
         let text = json.render();
         validate_text(&text).expect("rendered text re-parses and validates");
         // Dropping the shuffle or map sections is schema drift.
@@ -379,6 +396,9 @@ mod tests {
         assert!(validate_text(&gutted).unwrap_err().contains("shuffle"));
         let gutted = text.replace("\"map\":", "\"map_gone\":");
         assert!(validate_text(&gutted).unwrap_err().contains("map"));
+        // A verdict that is not a string is drift, not a value change.
+        let bad_verdict = text.replacen("\"verdict\":\"", "\"verdict\":0,\"was\":\"", 1);
+        assert!(validate_text(&bad_verdict).unwrap_err().contains("verdict"));
 
         // A report is always within 10% of itself.
         let lines = check_map_regression(&json, &json).expect("self-comparison passes");

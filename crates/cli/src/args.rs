@@ -130,6 +130,9 @@ pub struct CliArgs {
     pub metrics_addr: Option<String>,
     /// Print an ASCII metrics snapshot to stderr at this interval.
     pub metrics_interval: Option<Duration>,
+    /// Print the bottleneck diagnosis panel (verdict, blocked-time
+    /// shares, per-phase bandwidth) after the job completes.
+    pub diagnose: bool,
 }
 
 /// A user-facing argument error.
@@ -271,6 +274,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         trace_out: None,
         metrics_addr: None,
         metrics_interval: None,
+        diagnose: false,
     };
     while let Some(flag) = it.next() {
         let mut value =
@@ -326,6 +330,7 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                 }
                 args.metrics_interval = Some(d);
             }
+            "--diagnose" => args.diagnose = true,
             "--k" => args.k = value()?.parse().map_err(|_| CliError("invalid k".into()))?,
             "--iters" => {
                 args.iters = value()?.parse().map_err(|_| CliError("invalid iters".into()))?
@@ -548,6 +553,12 @@ mod tests {
 
         assert!(parse_args(&argv("wc --generate 1K --metrics-interval 0")).is_err());
         assert!(parse_args(&argv("wc --generate 1K --metrics-addr")).is_err());
+    }
+
+    #[test]
+    fn diagnose_flag() {
+        assert!(!parse_args(&argv("wc --generate 1K")).unwrap().diagnose);
+        assert!(parse_args(&argv("wc --generate 1K --diagnose")).unwrap().diagnose);
     }
 
     #[test]

@@ -34,6 +34,10 @@ options:
   --metrics-interval D
                      print ASCII metrics snapshots to stderr every D
                      (500ms, 2s, ...)
+  --diagnose         print the bottleneck diagnosis after the job: the
+                     verdict (ingest-bound, map-bound, shuffle-bound,
+                     memory-budget-bound, reduce/merge-bound), blocked-
+                     time shares, and achieved MB/s per phase
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
   --hash-seed N      fix the container hash seed for reproducible
@@ -45,6 +49,7 @@ examples:
   supmr wordcount --generate 64M --chunking inter:4M --throttle 24M
   supmr wordcount --generate 64M --chunking inter:4M --trace-out trace.json
   supmr wordcount --generate 64M --metrics-addr 127.0.0.1:9400
+  supmr wordcount --generate 64M --throttle 24M --diagnose
   supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
   supmr terasort  --generate 8G --memory-budget 2G --spill-dir /mnt/fast/spill
   supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
@@ -62,7 +67,7 @@ fn render_trace(trace: &JobTrace, path: &Path) -> String {
     }
 }
 
-fn print_summary(summary: &RunSummary, trace_out: Option<&Path>) {
+fn print_summary(summary: &RunSummary, trace_out: Option<&Path>, diagnose: bool) {
     println!("{}", PhaseTimings::table_header());
     println!("{}", summary.report.timings.table_row("job"));
     let stalls = summary.report.stalls();
@@ -76,6 +81,12 @@ fn print_summary(summary: &RunSummary, trace_out: Option<&Path>) {
     println!("\n{} output pairs, {} ingest chunks\n", summary.output_pairs(), summary.chunks());
     for line in &summary.lines {
         println!("{line}");
+    }
+    if diagnose {
+        match &summary.report.diag {
+            Some(d) => println!("\n{}", d.render_ascii()),
+            None => eprintln!("supmr: no diagnosis recorded for this app"),
+        }
     }
     if let Some(path) = trace_out {
         match &summary.report.trace {
@@ -107,7 +118,7 @@ fn main() {
         }
     };
     match execute(&args) {
-        Ok(summary) => print_summary(&summary, args.trace_out.as_deref()),
+        Ok(summary) => print_summary(&summary, args.trace_out.as_deref(), args.diagnose),
         Err(e) => {
             eprintln!("supmr: {e}");
             std::process::exit(1);

@@ -32,6 +32,9 @@
 //!                       while the job runs (e.g. 127.0.0.1:9400)
 //!   --metrics-interval D  print ASCII metrics snapshots to stderr
 //!                       every D (e.g. 500ms, 2s)
+//!   --diagnose          print the bottleneck diagnosis panel (verdict,
+//!                       blocked-time shares, per-phase MB/s) after the
+//!                       job completes
 //!   --top N             print the N largest results     [default: 10]
 //!   --seed N            generator seed                  [default: 42]
 //!   --hash-seed N       fix the container hash seed so key placement

@@ -13,6 +13,7 @@ use supmr_apps::{
     kmeans::run_kmeans, linreg, terasort_pipeline, Grep, Histogram, LinearRegression, TeraSort,
     WordCount,
 };
+use supmr_metrics::{FlowLedger, FlowPhase};
 use supmr_storage::{
     DataSource, DirFileSet, DiskRunStore, FileSet, FileSource, IngestMeter, MemSource,
     ObservedFileSet, ObservedRunStore, ObservedSource, RunStore, ThrottledFileSet,
@@ -72,8 +73,10 @@ fn job_config(
     default_merge: MergeMode,
     metrics: Option<&Registry>,
     meter: Option<&IngestMeter>,
+    flow: &Arc<FlowLedger>,
 ) -> io::Result<JobConfig> {
     let mut config = JobConfig {
+        flow: Some(Arc::clone(flow)),
         split_bytes: args.split_bytes,
         record_format,
         chunking: to_chunking(args.chunking),
@@ -93,7 +96,7 @@ fn job_config(
         config.map_workers = w;
         config.reduce_workers = w;
     }
-    configure_spill(args, meter, &mut config)?;
+    configure_spill(args, meter, flow, &mut config)?;
     Ok(config)
 }
 
@@ -105,6 +108,7 @@ fn job_config(
 fn configure_spill(
     args: &CliArgs,
     meter: Option<&IngestMeter>,
+    flow: &Arc<FlowLedger>,
     config: &mut JobConfig,
 ) -> io::Result<()> {
     let Some(budget) = args.memory_budget else { return Ok(()) };
@@ -128,7 +132,11 @@ fn configure_spill(
         store = Arc::new(ThrottledRunStore::new(store, TokenBucket::new(rate)));
     }
     if let Some(m) = meter {
-        store = Arc::new(ObservedRunStore::new(store, m.clone()));
+        // The spill store gets its own meter clone with its own flow
+        // attribution: its reads happen during the external merge, its
+        // writes during spills (the source meter's reads are ingest).
+        let spill_meter = m.clone().with_flow(Arc::clone(flow), FlowPhase::Merge, FlowPhase::Spill);
+        store = Arc::new(ObservedRunStore::new(store, spill_meter));
     }
     config.spill_store = Some(store);
     Ok(())
@@ -254,7 +262,17 @@ pub fn execute(args: &CliArgs) -> Result<RunSummary> {
 
 fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary> {
     let top = args.top;
-    let meter = registry.map(IngestMeter::with_registry);
+    // One bandwidth ledger for the whole run, shared between the
+    // storage meters (which own the phases they meter) and the runtime
+    // (which records the rest and classifies the bottleneck).
+    let flow = Arc::new(FlowLedger::new());
+    let meter = registry.map(|r| {
+        IngestMeter::with_registry(r).with_flow(
+            Arc::clone(&flow),
+            FlowPhase::Ingest,
+            FlowPhase::Spill,
+        )
+    });
     match args.app {
         AppKind::WordCount => {
             let config = job_config(
@@ -263,6 +281,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::Unsorted,
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             let r = Job::new(WordCount::new())
                 .config(config)
@@ -281,6 +300,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::PWay { ways: 4 },
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             let input = build_input(args, meter.as_ref())?;
             let (pairs, report) = if args.pipeline {
@@ -309,6 +329,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::Unsorted,
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             let patterns: Vec<Vec<u8>> =
                 args.patterns.iter().map(|p| p.clone().into_bytes()).collect();
@@ -327,6 +348,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::Unsorted,
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             let r = Job::new(Histogram::new())
                 .config(config)
@@ -350,6 +372,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::Unsorted,
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             let r = Job::new(LinearRegression::new())
                 .config(config)
@@ -369,6 +392,7 @@ fn execute_app(args: &CliArgs, registry: Option<&Registry>) -> Result<RunSummary
                 MergeMode::Unsorted,
                 registry,
                 meter.as_ref(),
+                &flow,
             )?;
             // kmeans re-ingests per iteration: rebuild the input each time.
             let args2 = args.clone();

@@ -93,8 +93,8 @@
 
 use super::handoff::StageData;
 use super::{
-    run_stage, Input, JobConfig, JobReport, JobStats, StageMetrics, StageOutput, StageReport,
-    StageResult, StageWiring,
+    compose_callbacks, diagnose, flow_ledger, run_stage, Input, JobConfig, JobReport, JobStats,
+    StageMetrics, StageOutput, StageReport, StageResult, StageWiring,
 };
 use crate::api::MapReduce;
 use crate::chunk::Chunking;
@@ -107,7 +107,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use supmr_metrics::sampler::UtilizationSampler;
-use supmr_metrics::{EventKind, MetricsServer, Phase, PhaseTimings, Registry, Tracer};
+use supmr_metrics::{
+    DebugState, EventKind, MetricsServer, Phase, PhaseTimings, Registry, TraceRing, Tracer,
+};
 use supmr_storage::RecordFormat;
 
 /// Handle to a stage within the [`Pipeline`] that created it — the only
@@ -523,13 +525,26 @@ impl<K: Send + 'static, O: Send + 'static> Pipeline<K, O> {
             config.metrics = Some(Registry::new());
         }
         let registry = config.metrics.clone();
+        // One bandwidth ledger for the whole pipeline: every stage's
+        // config inherits it, so flows aggregate across stages exactly
+        // like the memory accountant below.
+        let flow = flow_ledger(&mut config);
+        let ring = (config.metrics_addr.is_some() && config.trace.enabled())
+            .then(|| TraceRing::new(TraceRing::DEFAULT_CAP));
         let server = match (&config.metrics_addr, &registry) {
-            (Some(addr), Some(r)) => Some(MetricsServer::serve(addr, r.clone()).map_err(|e| {
-                SupmrError::invalid_config(format!("cannot serve metrics on {addr}: {e}"))
-            })?),
+            (Some(addr), Some(r)) => {
+                let mut state = DebugState::new(r.clone());
+                if let Some(ring) = &ring {
+                    state = state.with_ring(Arc::clone(ring));
+                }
+                Some(MetricsServer::serve_debug(addr, state).map_err(|e| {
+                    SupmrError::invalid_config(format!("cannot serve metrics on {addr}: {e}"))
+                })?)
+            }
             _ => None,
         };
-        let tracer = Tracer::new(config.trace, config.on_event.clone());
+        let callback = compose_callbacks(config.on_event.clone(), ring.map(|r| r.callback()));
+        let tracer = Tracer::new(config.trace, callback);
         let sampler = config.sample_utilization.map(UtilizationSampler::start);
         let pool = (config.pool == PoolMode::Persistent).then(|| {
             WorkerPool::new_instrumented(
@@ -623,6 +638,7 @@ impl<K: Send + 'static, O: Send + 'static> Pipeline<K, O> {
         if let Some(r) = &registry {
             report.metrics = Some(r.snapshot());
         }
+        report.diag = Some(diagnose(&report, &flow, &shared.base));
         if let Some(s) = server {
             s.shutdown();
         }

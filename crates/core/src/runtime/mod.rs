@@ -43,8 +43,9 @@ use std::time::{Duration, Instant};
 use supmr_merge::{merge_by_key, merge_fold, pairwise_merge_rounds, parallel_kway_merge};
 use supmr_metrics::sampler::UtilizationSampler;
 use supmr_metrics::{
-    EventCallback, EventKind, JobTrace, Json, MetricsServer, MetricsSnapshot, Phase, PhaseTimer,
-    PhaseTimings, Registry, StallStats, TraceLevel, Tracer, UtilTrace,
+    BottleneckReport, DebugState, DiagInputs, EventCallback, EventKind, FlowLedger, FlowPhase,
+    JobTrace, Json, MetricsServer, MetricsSnapshot, Phase, PhaseTimer, PhaseTimings, Registry,
+    StallStats, TraceLevel, TraceRing, Tracer, UtilTrace,
 };
 use supmr_storage::{
     DataSource, DiskRunStore, FileSet, RecordFormat, RunStore, SharedBytes, SourceExt,
@@ -183,6 +184,12 @@ pub struct JobConfig {
     /// stores stack like ingest sources do). `None` builds a plain
     /// [`DiskRunStore`] from [`JobConfig::spill_dir`].
     pub spill_store: Option<Arc<dyn RunStore>>,
+    /// Per-phase bandwidth ledger feeding [`JobReport::diag`]. `None`
+    /// (default) builds a job-private one; pass a shared ledger to fold
+    /// in storage-level meters (e.g.
+    /// `IngestMeter::with_flow`), which then own their phases and the
+    /// runtime-level recorders stand down.
+    pub flow: Option<Arc<FlowLedger>>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -205,6 +212,7 @@ impl std::fmt::Debug for JobConfig {
             .field("memory_budget", &self.memory_budget)
             .field("spill_dir", &self.spill_dir)
             .field("spill_store", &self.spill_store.as_ref().map(|s| s.describe()))
+            .field("flow", &self.flow)
             .finish()
     }
 }
@@ -230,6 +238,7 @@ impl Default for JobConfig {
             memory_budget: None,
             spill_dir: None,
             spill_store: None,
+            flow: None,
         }
     }
 }
@@ -385,6 +394,10 @@ pub struct JobReport {
     /// Per-stage breakdown, in completion order. Empty for single-stage
     /// jobs run outside a [`Pipeline`].
     pub stages: Vec<StageReport>,
+    /// Bottleneck diagnosis: per-phase achieved bandwidth plus the
+    /// classifier's verdict (`supmr.diag.v1`). Always computed for jobs
+    /// run through [`Job::run`] / [`Pipeline::run`].
+    pub diag: Option<BottleneckReport>,
 }
 
 /// One pipeline stage's slice of the [`JobReport`].
@@ -506,12 +519,17 @@ impl JobReport {
             None => Json::Null,
         };
         let stages = Json::Arr(self.stages.iter().map(StageReport::to_json).collect());
+        let diag = match &self.diag {
+            Some(d) => d.to_json(),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("schema", Json::str("supmr.job_report.v1")),
             ("timings", timings),
             ("stats", stats),
             ("stalls", stalls),
             ("stages", stages),
+            ("diag", diag),
             ("util", util),
             ("trace", trace),
             ("metrics", metrics),
@@ -632,13 +650,25 @@ pub(crate) fn run_single<J: MapReduce>(
         config.metrics = Some(Registry::new());
     }
     let registry = config.metrics.clone();
+    let flow = flow_ledger(&mut config);
+    // A live server with tracing on gets a bounded event ring behind
+    // `/debug/trace`; composed into the tracer's callback below.
+    let ring = (config.metrics_addr.is_some() && config.trace.enabled())
+        .then(|| TraceRing::new(TraceRing::DEFAULT_CAP));
     let server = match (&config.metrics_addr, &registry) {
-        (Some(addr), Some(r)) => Some(MetricsServer::serve(addr, r.clone()).map_err(|e| {
-            SupmrError::invalid_config(format!("cannot serve metrics on {addr}: {e}"))
-        })?),
+        (Some(addr), Some(r)) => {
+            let mut state = DebugState::new(r.clone());
+            if let Some(ring) = &ring {
+                state = state.with_ring(Arc::clone(ring));
+            }
+            Some(MetricsServer::serve_debug(addr, state).map_err(|e| {
+                SupmrError::invalid_config(format!("cannot serve metrics on {addr}: {e}"))
+            })?)
+        }
         _ => None,
     };
-    let tracer = Tracer::new(config.trace, config.on_event.clone());
+    let callback = compose_callbacks(config.on_event.clone(), ring.map(|r| r.callback()));
+    let tracer = Tracer::new(config.trace, callback);
     let sampler = config.sample_utilization.map(UtilizationSampler::start);
     let job = Arc::new(job);
     let pool = (config.pool == PoolMode::Persistent).then(|| {
@@ -670,10 +700,97 @@ pub(crate) fn run_single<J: MapReduce>(
     if let Some(r) = &registry {
         result.report.metrics = Some(r.snapshot());
     }
+    result.report.diag = Some(diagnose(&result.report, &flow, &config));
     if let Some(s) = server {
         s.shutdown();
     }
     Ok(result)
+}
+
+/// The job's flow ledger: the one from the config (shared with
+/// storage-level meters), or a fresh job-private one written back so
+/// both runtimes see it. Either way it mirrors into the registry when
+/// one is live.
+pub(crate) fn flow_ledger(config: &mut JobConfig) -> Arc<FlowLedger> {
+    let flow = Arc::clone(config.flow.get_or_insert_with(|| Arc::new(FlowLedger::new())));
+    if let Some(r) = &config.metrics {
+        flow.attach_registry(r);
+    }
+    flow
+}
+
+/// Compose the user's event callback with the debug ring's, preserving
+/// `None` when neither exists (the tracer's zero-cost path).
+pub(crate) fn compose_callbacks(
+    user: Option<EventCallback>,
+    ring: Option<EventCallback>,
+) -> Option<EventCallback> {
+    match (user, ring) {
+        (Some(a), Some(b)) => Some(Arc::new(move |event| {
+            a(event);
+            b(event);
+        })),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+/// Fold a finished report plus the flow ledger into the classifier's
+/// inputs and run it — the report-time counterpart of the live
+/// `/debug/diag` endpoint.
+pub(crate) fn diagnose(
+    report: &JobReport,
+    flow: &FlowLedger,
+    config: &JobConfig,
+) -> BottleneckReport {
+    let us = |d: Duration| d.as_micros() as u64;
+    let t = &report.timings;
+    let snapshot_hist_sum = |name: &str| {
+        report
+            .metrics
+            .as_ref()
+            .map(|snap| {
+                snap.entries
+                    .iter()
+                    .filter(|e| e.name == name)
+                    .filter_map(|e| match &e.value {
+                        supmr_metrics::MetricValue::Histogram(h) => Some(h.sum),
+                        _ => None,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+    let inputs = DiagInputs {
+        wall_us: us(t.total()),
+        // When ingest is fused into the map rounds there is no serial
+        // ingest phase; the stall counters carry the pressure signal.
+        ingest_us: if t.is_fused() { 0 } else { us(t.phase(Phase::Ingest)) },
+        map_us: us(t.phase(Phase::Map)),
+        merge_us: us(t.phase(Phase::Merge)),
+        map_stall_us: us(report.stats.map_waiting),
+        ingest_stall_us: us(report.stats.ingest_waiting),
+        absorb_wait_us: snapshot_hist_sum("supmr.container.absorb_wait_us"),
+        map_workers: config.map_workers.max(1) as u64,
+        budget_bytes: config.memory_budget.unwrap_or(0),
+        resident_bytes: report
+            .metrics
+            .as_ref()
+            .and_then(|snap| {
+                snap.entries.iter().find(|e| e.name == "supmr.spill.resident_bytes").and_then(|e| {
+                    match &e.value {
+                        supmr_metrics::MetricValue::Gauge(v) => Some((*v).max(0) as u64),
+                        _ => None,
+                    }
+                })
+            })
+            .unwrap_or(0),
+        spill_runs: report.stats.spill_runs,
+        spill_bytes: report.stats.spill_bytes,
+        spill_busy_us: us(flow.busy(FlowPhase::Spill)) + us(flow.busy(FlowPhase::Merge)),
+        flows: flow.snapshot(),
+    };
+    BottleneckReport::from_inputs(inputs)
 }
 
 /// Read the entire input into one resident chunk (the original runtime's
@@ -741,6 +858,7 @@ pub(crate) fn map_wave<J: MapReduce>(
     let data = chunk.data.clone();
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
     let task_metrics = metrics.cloned();
+    let task_flow = config.flow.clone();
     let outcome = exec.run(config.map_workers, splits, move |idx, range| {
         if let Some(t) = &task_tracer {
             t.emit(EventKind::MapTaskStart { round, task: idx as u64, bytes: range.len() as u64 });
@@ -748,12 +866,17 @@ pub(crate) fn map_wave<J: MapReduce>(
         // RAII occupancy guard + latency sample: both survive a
         // panicking `map` (the guard restores the gauge on unwind).
         let started = task_metrics.as_ref().map(|m| (m.map_in_flight.track(1), Instant::now()));
+        let flow_t0 = task_flow.as_ref().map(|_| Instant::now());
         if let Some(m) = &task_metrics {
             m.scan_bytes.add(range.len() as u64);
         }
+        let scanned = range.len() as u64;
         let mut local = container.local();
         job.map(&data[range], &mut local);
         container.absorb(local);
+        if let (Some(f), Some(t0)) = (&task_flow, flow_t0) {
+            f.record_owned(FlowPhase::Map, scanned, t0.elapsed());
+        }
         if let (Some(m), Some((_guard, t0))) = (&task_metrics, started) {
             m.map_task_us.record_duration_us(t0.elapsed());
         }
@@ -842,6 +965,7 @@ pub(crate) fn setup_spill<J: MapReduce>(
         tracer.clone(),
         cleanup,
         wiring.run_prefix.clone(),
+        config.flow.clone(),
     ));
     let sink = {
         let spill = Arc::clone(&spill);
@@ -922,12 +1046,14 @@ pub(crate) fn finish_job<J: MapReduce>(
     // reorders them afterwards; a sorted hand-off must materialize.
     let streamed = wiring.handoff.filter(|_| matches!(config.merge, MergeMode::Unsorted));
     timer.begin(Phase::Reduce);
+    let reduce_t0 = Instant::now();
     let reduced = match &spill {
         Some(sp) if sp.runs_written() > 0 => {
             external_reduce(job, container, sp, config, exec, tracer, &mut stats, streamed)?
         }
         _ => in_memory_reduce(job, container, config, exec, tracer, metrics, &mut stats, streamed),
     };
+    let reduce_elapsed = reduce_t0.elapsed();
     timer.end(Phase::Reduce);
     // Run guards have deleted their files inside the reduce tasks; this
     // removes the per-job temp spill directory, when we created one.
@@ -937,6 +1063,11 @@ pub(crate) fn finish_job<J: MapReduce>(
         Some(_) if streamed.is_some() => {
             let data = handoff::assemble(reduced.into_iter().map(|p| p.frames).collect(), false);
             stats.output_pairs = data.stats.pairs;
+            if let Some(f) = &config.flow {
+                // The framed bytes crossed the stage boundary over the
+                // reduce span that encoded them.
+                f.record_owned(FlowPhase::Shuffle, data.stats.bytes, reduce_elapsed);
+            }
             StageOutput::Handoff(data)
         }
         Some(codec) => {
@@ -953,11 +1084,16 @@ pub(crate) fn finish_job<J: MapReduce>(
             );
             timer.end(Phase::Merge);
             stats.output_pairs = pairs.len() as u64;
+            let encode_t0 = Instant::now();
             let mut frames = handoff::FrameBuf::default();
             for (k, o) in &pairs {
                 frames.push(codec, k, o);
             }
-            StageOutput::Handoff(handoff::assemble(vec![frames], true))
+            let data = handoff::assemble(vec![frames], true);
+            if let Some(f) = &config.flow {
+                f.record_owned(FlowPhase::Shuffle, data.stats.bytes, encode_t0.elapsed());
+            }
+            StageOutput::Handoff(data)
         }
         None => {
             timer.begin(Phase::Merge);
@@ -987,6 +1123,7 @@ pub(crate) fn finish_job<J: MapReduce>(
             trace: None,
             metrics: None,
             stages: Vec::new(),
+            diag: None,
         },
     })
 }
@@ -1109,6 +1246,7 @@ fn external_reduce<J: MapReduce>(
     let store = spill.store();
     let codec = spill.codec();
     let spill_metrics = spill.metrics();
+    let merge_flow = config.flow.clone();
     let folds = <J::Container as Container<J::Key, J::Value, J::Combiner>>::spill_folds();
     let (reduced, outcome) = exec.run_collect(
         config.reduce_workers,
@@ -1121,6 +1259,7 @@ fn external_reduce<J: MapReduce>(
                 });
             }
             let t0 = Instant::now();
+            let run_bytes: u64 = runs.iter().map(|r| r.bytes).sum();
             // Read/decode faults inside the merge stream park here (an
             // iterator can't return Result mid-merge).
             let parked: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
@@ -1166,6 +1305,9 @@ fn external_reduce<J: MapReduce>(
             }
             if let Some(m) = &spill_metrics {
                 m.merge_us.record_duration_us(t0.elapsed());
+            }
+            if let Some(f) = &merge_flow {
+                f.record_owned(FlowPhase::Merge, run_bytes, t0.elapsed());
             }
             if let Some(t) = &task_tracer {
                 t.emit(EventKind::ExternalMergeEnd { partition: partition as u64 });

@@ -16,7 +16,7 @@ use crate::error::{Result, SupmrError};
 use crate::pool::Executor;
 use std::sync::Arc;
 use std::time::Instant;
-use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
+use supmr_metrics::{EventKind, FlowPhase, Phase, PhaseTimer, Tracer};
 
 /// Execute `job` on the original runtime.
 pub(crate) fn run<J: MapReduce>(
@@ -41,6 +41,9 @@ pub(crate) fn run<J: MapReduce>(
     tracer.emit(EventKind::ChunkIngestEnd { chunk: 0, bytes: chunk.len() as u64 });
     if let Some(m) = &metrics {
         m.record_ingest(chunk.len() as u64, ingest0.elapsed());
+    }
+    if let Some(f) = &config.flow {
+        f.record_owned(FlowPhase::Ingest, chunk.len() as u64, ingest0.elapsed());
     }
     timer.end(Phase::Ingest);
     stats.bytes_ingested = chunk.len() as u64;

@@ -56,7 +56,7 @@ use crate::pool::Executor;
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use supmr_metrics::{EventKind, Phase, PhaseTimer, Tracer};
+use supmr_metrics::{EventKind, FlowPhase, Phase, PhaseTimer, Tracer};
 
 /// Build the chunker matching the configured strategy, rejecting
 /// mismatched input shapes: inter-file and adaptive chunking need a
@@ -145,6 +145,9 @@ fn run_double_buffered<J: MapReduce>(
         if let Some(m) = &metrics {
             m.record_ingest(chunk.len() as u64, ingest0.elapsed());
         }
+        if let Some(f) = &config.flow {
+            f.record_owned(FlowPhase::Ingest, chunk.len() as u64, ingest0.elapsed());
+        }
     }
     timer.end(Phase::Ingest);
 
@@ -161,6 +164,7 @@ fn run_double_buffered<J: MapReduce>(
         // chunk / destroy thread" — the scope is the create/destroy.
         let ingest_tracer = tracer.clone();
         let ingest_metrics = metrics.clone();
+        let ingest_flow = config.flow.clone();
         let chunker_ref = &mut chunker;
         let (probe, map_time, map_done) = std::thread::scope(|scope| {
             let ingest = std::thread::Builder::new()
@@ -178,6 +182,9 @@ fn run_double_buffered<J: MapReduce>(
                         });
                         if let Some(m) = &ingest_metrics {
                             m.record_ingest(c.len() as u64, took);
+                        }
+                        if let Some(f) = &ingest_flow {
+                            f.record_owned(FlowPhase::Ingest, c.len() as u64, took);
                         }
                     }
                     IngestProbe { next, took, done: Instant::now() }
@@ -265,6 +272,7 @@ fn run_buffered<J: MapReduce>(
         let (tx, rx) = crossbeam_channel::bounded::<IngestChunk>(config.prefetch_depth);
         let producer_tracer = tracer.clone();
         let producer_metrics = metrics.clone();
+        let producer_flow = config.flow.clone();
         let producer = std::thread::Builder::new()
             .name("supmr-ingest".to_string())
             .spawn_scoped(scope, move || -> (Result<()>, Duration) {
@@ -282,6 +290,9 @@ fn run_buffered<J: MapReduce>(
                             });
                             if let Some(m) = &producer_metrics {
                                 m.record_ingest(chunk.len() as u64, t0.elapsed());
+                            }
+                            if let Some(f) = &producer_flow {
+                                f.record_owned(FlowPhase::Ingest, chunk.len() as u64, t0.elapsed());
                             }
                             let s0 = Instant::now();
                             if tx.send(chunk).is_err() {

@@ -43,7 +43,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use supmr_merge::{RunReadError, RunReader, RunWriter};
-use supmr_metrics::{Counter, EventKind, Gauge, Histogram, Registry, Tracer};
+use supmr_metrics::{
+    Counter, EventKind, FlowLedger, FlowPhase, Gauge, Histogram, Registry, Tracer,
+};
 use supmr_storage::{RunGuard, RunStore};
 
 /// A lock-cheap byte ledger for the intermediate set.
@@ -306,6 +308,10 @@ pub struct JobSpill<K, A> {
     /// Run-name prefix — pipeline stages sharing one explicit store
     /// prefix their runs with the stage index so names never collide.
     run_prefix: String,
+    /// The job's bandwidth ledger; each run write records its framed
+    /// bytes against the spill phase (unless a flow-attributed store
+    /// meter already owns that phase).
+    flow: Option<Arc<FlowLedger>>,
 }
 
 impl<K, A> JobSpill<K, A>
@@ -314,6 +320,7 @@ where
     A: Send + Sync + 'static,
 {
     /// Assemble the job's spill state.
+    #[allow(clippy::too_many_arguments)] // internal plumbing, one call site
     pub(crate) fn new(
         accountant: Arc<MemoryAccountant>,
         codec: PairCodec<K, A>,
@@ -322,6 +329,7 @@ where
         tracer: Tracer,
         cleanup_dir: Option<PathBuf>,
         run_prefix: String,
+        flow: Option<Arc<FlowLedger>>,
     ) -> JobSpill<K, A> {
         JobSpill {
             accountant,
@@ -336,6 +344,7 @@ where
             tracer,
             cleanup_dir,
             run_prefix,
+            flow,
         }
     }
 
@@ -418,6 +427,9 @@ where
             m.runs.inc();
             m.bytes.add(bytes);
             m.drain_us.record_duration_us(t0.elapsed());
+        }
+        if let Some(f) = &self.flow {
+            f.record_owned(FlowPhase::Spill, bytes, t0.elapsed());
         }
         if task_spans {
             self.tracer.emit(EventKind::SpillRunEnd { run: run_id, records, bytes });
@@ -568,6 +580,7 @@ mod tests {
             Tracer::new(TraceLevel::Off, None),
             None,
             String::new(),
+            None,
         );
         spill.spill_partition(3, vec![(9, 1), (2, 2), (5, 3)]);
         assert_eq!(spill.runs_written(), 1);
@@ -597,6 +610,7 @@ mod tests {
             Tracer::new(TraceLevel::Off, None),
             None,
             String::new(),
+            None,
         );
         spill.spill_partition(0, Vec::new());
         assert_eq!(spill.runs_written(), 0);
@@ -620,6 +634,7 @@ mod tests {
             Tracer::new(TraceLevel::Off, None),
             None,
             String::new(),
+            None,
         );
         spill.spill_partition(0, vec![(1, 1), (2, 2)]);
         assert_eq!(spill.runs_written(), 0);

@@ -159,7 +159,7 @@ pub fn to_chrome_json(trace: &JobTrace) -> String {
         .render()
 }
 
-fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
+pub(crate) fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
     let mut pairs = vec![
         ("seq", Json::from(event.seq)),
         ("t_us", Json::from(event.t_us)),

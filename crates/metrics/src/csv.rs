@@ -3,7 +3,13 @@
 //! We deliberately avoid a CSV dependency: the experiment harness only
 //! writes simple numeric tables (figure series and Table II rows). Fields
 //! containing commas, quotes, or newlines are quoted per RFC 4180.
+//!
+//! [`to_csv`] is the trace exporter counterpart of
+//! [`crate::chrome::to_jsonl`]: one row per event in global sequence
+//! order, with every [`EventKind`] payload field in its own (sparse)
+//! column, so a spreadsheet or `awk` can pivot on any of them.
 
+use crate::events::{EventKind, JobTrace};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -73,6 +79,121 @@ impl CsvTable {
     }
 }
 
+/// Columns of the trace CSV, in order. Sparse: a column is empty for
+/// events whose payload does not carry it.
+const TRACE_COLUMNS: [&str; 19] = [
+    "seq",
+    "t_us",
+    "thread",
+    "event",
+    "chunk",
+    "round",
+    "task",
+    "partition",
+    "run",
+    "stage",
+    "tasks",
+    "workers",
+    "width",
+    "partitions",
+    "bytes",
+    "records",
+    "runs",
+    "pairs",
+    "wait_us",
+];
+
+/// Render a trace as CSV: one row per event, in global sequence order,
+/// covering every [`EventKind`] at parity with the Chrome/JSONL
+/// exporters (including the stage, spill-run, and external-merge
+/// spans).
+pub fn to_csv(trace: &JobTrace) -> String {
+    let mut rows: Vec<(u64, Vec<String>)> = Vec::new();
+    for thread in &trace.threads {
+        for event in &thread.events {
+            let mut fields = vec![String::new(); TRACE_COLUMNS.len()];
+            fields[0] = event.seq.to_string();
+            fields[1] = event.t_us.to_string();
+            fields[2] = thread.name.clone();
+            fields[3] = event.kind.name().to_string();
+            let mut set = |column: &str, value: u64| {
+                let i = TRACE_COLUMNS.iter().position(|c| *c == column).expect("known column");
+                fields[i] = value.to_string();
+            };
+            match event.kind {
+                EventKind::ChunkIngestStart { chunk } => set("chunk", u64::from(chunk)),
+                EventKind::ChunkIngestEnd { chunk, bytes } => {
+                    set("chunk", u64::from(chunk));
+                    set("bytes", bytes);
+                }
+                EventKind::MapWaveStart { round, tasks } => {
+                    set("round", u64::from(round));
+                    set("tasks", tasks);
+                }
+                EventKind::MapWaveEnd { round } => set("round", u64::from(round)),
+                EventKind::MapTaskStart { round, task, bytes } => {
+                    set("round", u64::from(round));
+                    set("task", task);
+                    set("bytes", bytes);
+                }
+                EventKind::MapTaskEnd { round, task } => {
+                    set("round", u64::from(round));
+                    set("task", task);
+                }
+                EventKind::ReduceWaveStart { partitions } => set("partitions", partitions),
+                EventKind::ReduceWaveEnd => {}
+                EventKind::DrainPartitionStart { partition }
+                | EventKind::DrainPartitionEnd { partition }
+                | EventKind::ReducePartitionStart { partition }
+                | EventKind::ReducePartitionEnd { partition } => set("partition", partition),
+                EventKind::MergeRoundStart { round, width } => {
+                    set("round", u64::from(round));
+                    set("width", u64::from(width));
+                }
+                EventKind::MergeRoundEnd { round } => set("round", u64::from(round)),
+                EventKind::PoolDispatch { tasks, workers } => {
+                    set("tasks", tasks);
+                    set("workers", workers);
+                }
+                EventKind::SpillRunStart { run, partition } => {
+                    set("run", run);
+                    set("partition", partition);
+                }
+                EventKind::SpillRunEnd { run, records, bytes } => {
+                    set("run", run);
+                    set("records", records);
+                    set("bytes", bytes);
+                }
+                EventKind::ExternalMergeStart { partition, runs } => {
+                    set("partition", partition);
+                    set("runs", runs);
+                }
+                EventKind::ExternalMergeEnd { partition } => set("partition", partition),
+                EventKind::StageStart { stage } => set("stage", u64::from(stage)),
+                EventKind::StageEnd { stage, pairs } => {
+                    set("stage", u64::from(stage));
+                    set("pairs", pairs);
+                }
+                EventKind::MapWaitingForChunk { round, wait_us } => {
+                    set("round", u64::from(round));
+                    set("wait_us", wait_us);
+                }
+                EventKind::IngestWaitingForContainer { chunk, wait_us } => {
+                    set("chunk", u64::from(chunk));
+                    set("wait_us", wait_us);
+                }
+            }
+            rows.push((event.seq, fields));
+        }
+    }
+    rows.sort_by_key(|(seq, _)| *seq);
+    let mut table = CsvTable::new(&TRACE_COLUMNS);
+    for (_, fields) in rows {
+        table.row(&fields);
+    }
+    table.buf
+}
+
 fn escape(field: &str) -> String {
     if field.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", field.replace('"', "\"\""))
@@ -113,6 +234,66 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = CsvTable::new(&["a", "b"]);
         t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn trace_csv_covers_every_event_kind() {
+        use crate::events::{TraceLevel, Tracer};
+        let tracer = Tracer::new(TraceLevel::Task, None);
+        let all = vec![
+            EventKind::ChunkIngestStart { chunk: 1 },
+            EventKind::ChunkIngestEnd { chunk: 1, bytes: 4096 },
+            EventKind::MapWaveStart { round: 2, tasks: 8 },
+            EventKind::MapTaskStart { round: 2, task: 3, bytes: 512 },
+            EventKind::MapTaskEnd { round: 2, task: 3 },
+            EventKind::MapWaveEnd { round: 2 },
+            EventKind::PoolDispatch { tasks: 8, workers: 4 },
+            EventKind::MapWaitingForChunk { round: 2, wait_us: 77 },
+            EventKind::IngestWaitingForContainer { chunk: 1, wait_us: 88 },
+            EventKind::SpillRunStart { run: 5, partition: 6 },
+            EventKind::SpillRunEnd { run: 5, records: 100, bytes: 2048 },
+            EventKind::ReduceWaveStart { partitions: 4 },
+            EventKind::DrainPartitionStart { partition: 6 },
+            EventKind::DrainPartitionEnd { partition: 6 },
+            EventKind::ReducePartitionStart { partition: 6 },
+            EventKind::ExternalMergeStart { partition: 6, runs: 2 },
+            EventKind::ExternalMergeEnd { partition: 6 },
+            EventKind::ReducePartitionEnd { partition: 6 },
+            EventKind::ReduceWaveEnd,
+            EventKind::MergeRoundStart { round: 0, width: 2 },
+            EventKind::MergeRoundEnd { round: 0 },
+            EventKind::StageStart { stage: 9 },
+            EventKind::StageEnd { stage: 9, pairs: 1234 },
+        ];
+        let count = all.len();
+        let mut names: Vec<&str> = all.iter().map(EventKind::name).collect();
+        for kind in all {
+            tracer.emit(kind);
+        }
+        let csv = to_csv(&tracer.finish());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), TRACE_COLUMNS.join(","));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), count, "one row per event");
+        // Every kind appears, in sequence order, with its payload fields.
+        for (row, name) in rows.iter().zip(names.drain(..)) {
+            assert!(row.contains(name), "{row} should carry {name}");
+        }
+        let spill_end = rows.iter().find(|r| r.contains("SpillRunEnd")).unwrap();
+        let fields: Vec<&str> = spill_end.split(',').collect();
+        let col = |c: &str| TRACE_COLUMNS.iter().position(|x| *x == c).unwrap();
+        assert_eq!(fields[col("run")], "5");
+        assert_eq!(fields[col("records")], "100");
+        assert_eq!(fields[col("bytes")], "2048");
+        assert_eq!(fields[col("stage")], "", "sparse columns stay empty");
+        let stage_end = rows.iter().find(|r| r.contains("StageEnd")).unwrap();
+        let fields: Vec<&str> = stage_end.split(',').collect();
+        assert_eq!(fields[col("stage")], "9");
+        assert_eq!(fields[col("pairs")], "1234");
+        let external = rows.iter().find(|r| r.contains("ExternalMergeStart")).unwrap();
+        let fields: Vec<&str> = external.split(',').collect();
+        assert_eq!(fields[col("partition")], "6");
+        assert_eq!(fields[col("runs")], "2");
     }
 
     #[test]

@@ -502,6 +502,76 @@ impl Tracer {
     }
 }
 
+/// A bounded ring of the most recent events, feeding the
+/// `/debug/trace?tail=N` endpoint: the live counterpart of the full
+/// [`JobTrace`]. Install it as (part of) the job's [`EventCallback`]
+/// via [`TraceRing::callback`]; old events fall off the front once
+/// `cap` is reached, so memory stays bounded however long the job runs.
+pub struct TraceRing {
+    cap: usize,
+    buf: Mutex<std::collections::VecDeque<(String, TraceEvent)>>,
+}
+
+impl TraceRing {
+    /// Default capacity: enough tail for a useful live window without
+    /// unbounded growth.
+    pub const DEFAULT_CAP: usize = 4096;
+
+    /// A ring holding at most `cap` events (at least 1).
+    pub fn new(cap: usize) -> Arc<TraceRing> {
+        Arc::new(TraceRing { cap: cap.max(1), buf: Mutex::new(std::collections::VecDeque::new()) })
+    }
+
+    /// Record `event` from the current thread, evicting the oldest
+    /// entry when full.
+    pub fn push(&self, event: &TraceEvent) {
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{:?}", std::thread::current().id()), String::from);
+        let mut buf = self.buf.lock();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back((name, event.clone()));
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// An [`EventCallback`] feeding this ring, to pass (or compose)
+    /// into [`Tracer::new`].
+    pub fn callback(self: &Arc<Self>) -> EventCallback {
+        let ring = Arc::clone(self);
+        Arc::new(move |event| ring.push(event))
+    }
+
+    /// The newest `n` events as JSONL (same line schema as
+    /// [`crate::chrome::to_jsonl`]), oldest of the tail first.
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let buf = self.buf.lock();
+        let skip = buf.len().saturating_sub(n);
+        let mut out = String::new();
+        for (name, event) in buf.iter().skip(skip) {
+            out.push_str(&crate::chrome::event_line(name, event).render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing").field("cap", &self.cap).field("len", &self.len()).finish()
+    }
+}
+
 /// One thread's recorded events, in emission order.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ThreadTrace {
@@ -889,6 +959,22 @@ mod tests {
         assert_eq!(rounds[0].ingest_bytes, 20, "round 0 overlaps chunk 1's ingest");
         assert_eq!(rounds[0].map_wait, Duration::from_micros(123));
         assert_eq!(rounds[1].ingest, Duration::ZERO, "last round has no next chunk");
+    }
+
+    #[test]
+    fn trace_ring_keeps_the_newest_tail() {
+        let ring = TraceRing::new(3);
+        let tracer = Tracer::new(TraceLevel::Wave, Some(ring.callback()));
+        for chunk in 0..5u32 {
+            tracer.emit(EventKind::ChunkIngestStart { chunk });
+        }
+        assert_eq!(ring.len(), 3, "old events fall off the front");
+        let tail = ring.tail_jsonl(2);
+        let lines: Vec<&str> = tail.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""chunk":3"#), "{tail}");
+        assert!(lines[1].contains(r#""chunk":4"#), "{tail}");
+        assert!(ring.tail_jsonl(100).lines().count() == 3, "tail larger than ring is clamped");
     }
 
     #[test]

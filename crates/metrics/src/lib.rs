@@ -28,9 +28,16 @@
 //! ([`openmetrics`]) over an std-only scrape endpoint ([`server`]) and
 //! folded into `JobReport` JSON as percentile summaries.
 
+//! The diagnosis layer ([`diag`]) closes the loop the paper draws by
+//! hand: a per-phase bandwidth ledger ([`diag::FlowLedger`]) plus a
+//! bottleneck classifier ([`diag::BottleneckReport`]) that names the
+//! saturated resource, served live from the scrape endpoint's
+//! `/debug/diag` route.
+
 pub mod ascii;
 pub mod chrome;
 pub mod csv;
+pub mod diag;
 pub mod events;
 pub mod json;
 pub mod openmetrics;
@@ -43,9 +50,12 @@ pub mod stopwatch;
 pub mod svg;
 pub mod trace;
 
+pub use diag::{
+    Bottleneck, BottleneckReport, DiagInputs, FlowLedger, FlowPhase, FlowSnapshot, PhaseFlow,
+};
 pub use events::{
     EventCallback, EventKind, JobTrace, Span, SpanKey, StallSide, StallStats, ThreadTrace,
-    TraceEvent, TraceLevel, TraceRound, Tracer,
+    TraceEvent, TraceLevel, TraceRing, TraceRound, Tracer,
 };
 pub use json::Json;
 pub use phase::{Phase, PhaseTimer, PhaseTimings};
@@ -53,7 +63,7 @@ pub use registry::{
     Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot, MetricEntry, MetricKind, MetricValue,
     MetricsSnapshot, Registry,
 };
-pub use server::MetricsServer;
+pub use server::{DebugState, MetricsServer};
 pub use stats::Summary;
 pub use stopwatch::Stopwatch;
 pub use trace::{UtilSample, UtilTrace};

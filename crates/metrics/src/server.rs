@@ -1,25 +1,84 @@
-//! A std-only `/metrics` scrape endpoint for [`crate::registry`].
+//! A std-only scrape and debug endpoint for [`crate::registry`].
 //!
-//! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] and answers
-//! `GET /metrics` with the live OpenMetrics exposition of a
+//! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] and
+//! answers `GET /metrics` with the live OpenMetrics exposition of a
 //! [`Registry`] — enough HTTP for `curl` and a Prometheus scraper, with
-//! no framework dependency. The accept loop runs on one background
-//! thread; each request is read with a short timeout and answered from a
-//! fresh [`Registry::snapshot`], so scrapes observe the job mid-flight.
+//! no framework dependency. [`MetricsServer::serve_debug`] extends the
+//! routing with the live debug surface the `supmr serve` daemon will
+//! reuse:
+//!
+//! * `GET /metrics` (or `/`) — OpenMetrics exposition.
+//! * `GET /healthz` — liveness probe, `200 ok`.
+//! * `GET /debug/diag` — live bottleneck classification: a
+//!   [`BottleneckReport`] built from a
+//!   fresh registry snapshot, as `supmr.diag.v1` JSON.
+//! * `GET /debug/trace?tail=N` — the newest `N` trace events as JSONL
+//!   from the job's bounded [`TraceRing`] (empty without a ring).
+//!
+//! `HEAD` is answered for every route (headers only); any other method
+//! gets `405 Method Not Allowed` with an `Allow` header. The request
+//! line is capped at 8 KiB — longer lines are rejected with `400`
+//! before any further buffering. The accept loop runs on one background
+//! thread; each request is answered from a fresh
+//! [`Registry::snapshot`], so scrapes observe the job mid-flight.
 //! Dropping the server (or calling [`MetricsServer::shutdown`]) stops
 //! the thread by poking the listener with a loopback connection.
 
+use crate::diag::{BottleneckReport, DiagInputs};
+use crate::events::TraceRing;
 use crate::registry::Registry;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The exposition content type OpenMetrics scrapers negotiate.
 pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
 
-/// A running scrape endpoint. Stops when dropped.
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+
+/// Hard cap on the request line: reject before buffering anything more.
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Default `tail` for `/debug/trace` when the query omits it.
+const DEFAULT_TRACE_TAIL: usize = 256;
+
+/// What the debug surface serves: the registry plus the optional live
+/// pieces the richer endpoints need.
+#[derive(Clone)]
+pub struct DebugState {
+    registry: Registry,
+    ring: Option<Arc<TraceRing>>,
+    started: Instant,
+}
+
+impl DebugState {
+    /// Debug state over `registry`, with the job epoch starting now.
+    pub fn new(registry: Registry) -> DebugState {
+        DebugState { registry, ring: None, started: Instant::now() }
+    }
+
+    /// Attach the bounded event ring backing `/debug/trace`.
+    pub fn with_ring(mut self, ring: Arc<TraceRing>) -> DebugState {
+        self.ring = Some(ring);
+        self
+    }
+
+    /// Use `epoch` as the job start for live wall-clock attribution.
+    pub fn with_epoch(mut self, epoch: Instant) -> DebugState {
+        self.started = epoch;
+        self
+    }
+
+    fn live_diag_json(&self) -> String {
+        let wall_us = self.started.elapsed().as_micros() as u64;
+        let inputs = DiagInputs::from_snapshot(&self.registry.snapshot(), wall_us);
+        BottleneckReport::from_inputs(inputs).to_json().render()
+    }
+}
+
+/// A running scrape/debug endpoint. Stops when dropped.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -30,13 +89,19 @@ impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9400`; port 0 picks a free port) and
     /// serve `registry` until shutdown.
     pub fn serve(addr: &str, registry: Registry) -> std::io::Result<MetricsServer> {
+        MetricsServer::serve_debug(addr, DebugState::new(registry))
+    }
+
+    /// Bind `addr` and serve the full debug surface (`/metrics`,
+    /// `/healthz`, `/debug/diag`, `/debug/trace`) until shutdown.
+    pub fn serve_debug(addr: &str, state: DebugState) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("metrics-server".into())
-            .spawn(move || accept_loop(listener, registry, flag))?;
+            .spawn(move || accept_loop(listener, state, flag))?;
         Ok(MetricsServer { addr, stop, handle: Some(handle) })
     }
 
@@ -66,7 +131,7 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, state: DebugState, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             break;
@@ -74,31 +139,112 @@ fn accept_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>)
         let Ok(stream) = conn else { continue };
         // Serve inline: scrapes are tiny and rare relative to the work
         // the job is doing, so a per-connection thread buys nothing.
-        let _ = handle_connection(stream, &registry);
+        let _ = handle_connection(stream, &state);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = read_request_path(&mut stream)?;
-    let (status, content_type, body) = match path.as_deref() {
-        Some("/metrics") | Some("/") => ("200 OK", CONTENT_TYPE, registry.render_openmetrics()),
-        Some(_) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
-        None => ("400 Bad Request", "text/plain; charset=utf-8", "bad request\n".to_string()),
-    };
-    let header = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+struct Response {
+    status: &'static str,
+    content_type: &'static str,
+    body: String,
+    allow: bool,
 }
 
-/// Read up to the end of the request line and return its path, tolerant
-/// of clients that send the full header block in one segment.
-fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Response {
+        Response { status: "200 OK", content_type, body, allow: false }
+    }
+
+    fn error(status: &'static str, body: &str) -> Response {
+        Response { status, content_type: TEXT_PLAIN, body: body.to_string(), allow: false }
+    }
+}
+
+fn route(path: &str, state: &DebugState) -> Response {
+    let (route, query) = match path.split_once('?') {
+        Some((r, q)) => (r, Some(q)),
+        None => (path, None),
+    };
+    match route {
+        "/metrics" | "/" => Response::ok(CONTENT_TYPE, state.registry.render_openmetrics()),
+        "/healthz" => Response::ok(TEXT_PLAIN, "ok\n".to_string()),
+        "/debug/diag" => Response::ok("application/json; charset=utf-8", state.live_diag_json()),
+        "/debug/trace" => {
+            let tail = query
+                .into_iter()
+                .flat_map(|q| q.split('&'))
+                .find_map(|kv| kv.strip_prefix("tail="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_TRACE_TAIL);
+            let body = state.ring.as_ref().map_or_else(String::new, |r| r.tail_jsonl(tail));
+            Response::ok("application/x-ndjson; charset=utf-8", body)
+        }
+        _ => Response::error("404 Not Found", "not found\n"),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &DebugState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let (response, head_only) = match read_request(&mut stream)? {
+        Request::Get(path) => (route(&path, state), false),
+        Request::Head(path) => (route(&path, state), true),
+        Request::OtherMethod => (
+            Response {
+                status: "405 Method Not Allowed",
+                content_type: TEXT_PLAIN,
+                body: "method not allowed\n".to_string(),
+                allow: true,
+            },
+            false,
+        ),
+        Request::TooLong => (Response::error("400 Bad Request", "request line too long\n"), false),
+        Request::Malformed => (Response::error("400 Bad Request", "bad request\n"), false),
+    };
+    let mut header = format!(
+        "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        response.content_type,
+        response.body.len()
+    );
+    if response.allow {
+        header.push_str("Allow: GET, HEAD\r\n");
+    }
+    header.push_str("\r\n");
+    stream.write_all(header.as_bytes())?;
+    if !head_only {
+        stream.write_all(response.body.as_bytes())?;
+    }
+    stream.flush()?;
+    // Drain whatever request bytes we never read (bounded) before
+    // closing, so the client reads the response instead of an RST.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
+
+enum Request {
+    Get(String),
+    Head(String),
+    /// A recognizable request line with a method we do not serve.
+    OtherMethod,
+    /// The request line exceeded [`MAX_REQUEST_LINE`] with no newline.
+    TooLong,
+    /// Not parseable as an HTTP request line.
+    Malformed,
+}
+
+/// Read up to the end of the request line, tolerant of clients that send
+/// the full header block in one segment, refusing to buffer more than
+/// [`MAX_REQUEST_LINE`] bytes while looking for it.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let mut buf = [0u8; 1024];
     let mut line = Vec::new();
     loop {
@@ -107,31 +253,42 @@ fn read_request_path(stream: &mut TcpStream) -> std::io::Result<Option<String>> 
             break;
         }
         line.extend_from_slice(&buf[..n]);
-        if line.contains(&b'\n') || line.len() > 8 * 1024 {
+        if line.iter().take(MAX_REQUEST_LINE).any(|b| *b == b'\n') {
             break;
+        }
+        if line.len() >= MAX_REQUEST_LINE {
+            return Ok(Request::TooLong);
         }
     }
     let text = String::from_utf8_lossy(&line);
     let request_line = text.lines().next().unwrap_or("");
     let mut parts = request_line.split_ascii_whitespace();
-    match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => Ok(Some(path.to_string())),
-        _ => Ok(None),
-    }
+    Ok(match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Request::Get(path.to_string()),
+        (Some("HEAD"), Some(path)) => Request::Head(path.to_string()),
+        (Some(method), Some(_)) if method.chars().all(|c| c.is_ascii_uppercase()) => {
+            Request::OtherMethod
+        }
+        _ => Request::Malformed,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::{EventKind, TraceLevel, Tracer};
+    use crate::json::Json;
 
-    fn get(addr: SocketAddr, path: &str) -> String {
+    fn request(addr: SocketAddr, raw: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
-            .expect("write request");
+        stream.write_all(raw.as_bytes()).expect("write request");
         let mut out = String::new();
         stream.read_to_string(&mut out).expect("read response");
         out
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
     }
 
     #[test]
@@ -157,5 +314,101 @@ mod tests {
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
         server.shutdown();
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let body = get(server.addr(), "/healthz");
+        assert!(body.starts_with("HTTP/1.1 200 OK"), "{body}");
+        assert!(body.ends_with("ok\n"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_405_with_allow_header() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let addr = server.addr();
+        for method in ["POST", "PUT", "DELETE", "OPTIONS"] {
+            let resp = request(addr, &format!("{method} /metrics HTTP/1.1\r\nHost: t\r\n\r\n"));
+            assert!(resp.starts_with("HTTP/1.1 405"), "{method}: {resp}");
+            assert!(resp.contains("Allow: GET, HEAD"), "{method}: {resp}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_sends_headers_without_body() {
+        let registry = Registry::new();
+        registry.counter("supmr.test.hits", "", &[]).add(1);
+        let server = MetricsServer::serve("127.0.0.1:0", registry).expect("bind");
+        let resp = request(server.addr(), "HEAD /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        let (head, body) = resp.split_once("\r\n\r\n").expect("header terminator");
+        assert!(head.contains("Content-Length:"), "{resp}");
+        assert!(!head.contains("Content-Length: 0"), "length reflects the real body");
+        assert!(body.is_empty(), "HEAD must not carry a body: {body:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 100));
+        let resp = request(server.addr(), &long);
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("request line too long"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_diag_serves_live_classification() {
+        let registry = Registry::new();
+        registry.counter("supmr.stall.map_us", "", &[("runtime", "pipeline")]).add(60_000_000);
+        let state = DebugState::new(registry);
+        let server = MetricsServer::serve_debug("127.0.0.1:0", state).expect("bind");
+        let resp = get(server.addr(), "/debug/diag");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let json = Json::parse(body).expect("valid diag JSON");
+        assert_eq!(json.get("schema").unwrap().as_str(), Some("supmr.diag.v1"));
+        // 60s of map stalls against a wall-clock of milliseconds: the
+        // share clamps to 1.0 and the verdict must be ingest-bound.
+        assert_eq!(json.get("verdict").unwrap().as_str(), Some("ingest-bound"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn debug_trace_tails_the_ring() {
+        let ring = TraceRing::new(64);
+        let tracer = Tracer::new(TraceLevel::Wave, Some(ring.callback()));
+        for chunk in 0..10u32 {
+            tracer.emit(EventKind::ChunkIngestStart { chunk });
+        }
+        let state = DebugState::new(Registry::new()).with_ring(Arc::clone(&ring));
+        let server = MetricsServer::serve_debug("127.0.0.1:0", state).expect("bind");
+        let addr = server.addr();
+
+        let resp = get(addr, "/debug/trace?tail=3");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("application/x-ndjson"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "{body}");
+        for line in &lines {
+            Json::parse(line).expect("each line is valid JSON");
+        }
+        assert!(lines[2].contains(r#""chunk":9"#), "newest event last: {body}");
+
+        // Default tail without a query, and graceful empty-ring behaviour.
+        let resp = get(addr, "/debug/trace");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        server.shutdown();
+
+        let bare = MetricsServer::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let resp = get(bare.addr(), "/debug/trace?tail=5");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "no ring still answers: {resp}");
+        bare.shutdown();
     }
 }

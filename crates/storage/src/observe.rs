@@ -18,7 +18,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use supmr_metrics::{Counter, Histogram, Registry};
+use supmr_metrics::{Counter, FlowLedger, FlowPhase, Histogram, Registry};
 
 #[derive(Debug, Default)]
 struct MeterInner {
@@ -54,6 +54,16 @@ struct MeterSink {
 pub struct IngestMeter {
     inner: Arc<MeterInner>,
     sink: Option<MeterSink>,
+    flow: Option<FlowSink>,
+}
+
+/// Flow-ledger attribution for a meter: reads and writes feed two
+/// (possibly different) phases of a shared [`FlowLedger`].
+#[derive(Debug, Clone)]
+struct FlowSink {
+    ledger: Arc<FlowLedger>,
+    read_phase: FlowPhase,
+    write_phase: FlowPhase,
 }
 
 impl IngestMeter {
@@ -99,7 +109,25 @@ impl IngestMeter {
                     &[],
                 ),
             }),
+            flow: None,
         }
+    }
+
+    /// Additionally attribute this meter's reads to `read_phase` and
+    /// its writes to `write_phase` of `ledger`. The phases are marked
+    /// external on the ledger: this meter becomes their single
+    /// recording owner, and the runtime-level recorder stands down
+    /// (no double counting between layers).
+    pub fn with_flow(
+        mut self,
+        ledger: Arc<FlowLedger>,
+        read_phase: FlowPhase,
+        write_phase: FlowPhase,
+    ) -> IngestMeter {
+        ledger.mark_external(read_phase);
+        ledger.mark_external(write_phase);
+        self.flow = Some(FlowSink { ledger, read_phase, write_phase });
+        self
     }
 
     /// Total bytes delivered by the wrapped source (including zero-copy
@@ -155,6 +183,9 @@ impl IngestMeter {
             sink.reads.inc();
             sink.read_us.record_duration_us(elapsed);
         }
+        if let Some(flow) = &self.flow {
+            flow.ledger.record(flow.read_phase, bytes, elapsed);
+        }
     }
 
     pub(crate) fn record_write(&self, bytes: u64, elapsed: Duration) {
@@ -165,6 +196,9 @@ impl IngestMeter {
             sink.bytes_written.add(bytes);
             sink.writes.inc();
             sink.write_us.record_duration_us(elapsed);
+        }
+        if let Some(flow) = &self.flow {
+            flow.ledger.record(flow.write_phase, bytes, elapsed);
         }
     }
 }
@@ -360,6 +394,23 @@ mod tests {
             supmr_metrics::MetricValue::Histogram(h) => assert_eq!(h.count, 3),
             other => panic!("read_us is a histogram, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flow_backed_meter_owns_its_phases() {
+        let ledger = Arc::new(FlowLedger::new());
+        let meter =
+            IngestMeter::new().with_flow(Arc::clone(&ledger), FlowPhase::Ingest, FlowPhase::Spill);
+        assert!(ledger.is_external(FlowPhase::Ingest), "meter claimed the read phase");
+        assert!(ledger.is_external(FlowPhase::Spill), "meter claimed the write phase");
+        let mut src = ObservedSource::new(MemSource::from(vec![5u8; 512]), meter.clone());
+        src.read_all().unwrap();
+        meter.record_write(128, Duration::from_micros(10));
+        assert_eq!(ledger.bytes(FlowPhase::Ingest), 512, "reads feed the read phase");
+        assert_eq!(ledger.bytes(FlowPhase::Spill), 128, "writes feed the write phase");
+        // A runtime-level record against a claimed phase is a no-op.
+        ledger.record_owned(FlowPhase::Ingest, 999, Duration::ZERO);
+        assert_eq!(ledger.bytes(FlowPhase::Ingest), 512);
     }
 
     #[test]

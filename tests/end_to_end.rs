@@ -8,7 +8,7 @@ use supmr::Chunking;
 use supmr_apps::{
     sort::validate_sorted_output, Grep, Histogram, InvertedIndex, TeraSort, WordCount,
 };
-use supmr_metrics::Phase;
+use supmr_metrics::{Bottleneck, Phase};
 use supmr_sim::{simulate, AppProfile, JobModel, MachineSpec, PipelineParams};
 use supmr_storage::{DirFileSet, FileSource, HdfsConfig, HdfsSource, MemSource, ThrottledSource};
 use supmr_workloads::{
@@ -247,6 +247,58 @@ fn simulator_and_real_runtime_agree_on_the_shape() {
             < sim_base.timings.phase(Phase::Ingest).as_secs_f64()
                 + sim_base.timings.phase(Phase::Map).as_secs_f64()
     );
+}
+
+#[test]
+fn throttled_ingest_classifies_as_ingest_bound() {
+    // A hard storage throttle on the baseline runtime makes the serial
+    // ingest phase dominate wall-clock; the classifier must say so.
+    let text = TextGen::new(TextGenConfig::default()).generate_bytes(11, 512 * 1024);
+    let input_len = text.len() as u64; // generator rounds up to a word boundary
+    let result = Job::new(WordCount::new())
+        .config(config(2))
+        .run(Input::stream(ThrottledSource::new(
+            MemSource::from(text),
+            4.0 * 1024.0 * 1024.0, // 4 MiB/s → ~125ms of metered ingest
+        )))
+        .unwrap();
+    let diag = result.report.diag.as_ref().expect("every job is diagnosed");
+    assert_eq!(diag.verdict, Bottleneck::IngestBound, "{}", diag.render_ascii());
+    assert!(diag.speedup_if_removed > 1.0);
+    // The flow ledger attributed the ingested bytes.
+    let ingest = diag.inputs.flows.get(supmr_metrics::FlowPhase::Ingest);
+    assert_eq!(ingest.bytes, input_len, "ingest flow counts every byte");
+    // Nominal 4 MiB/s plus the token bucket's initial burst: the achieved
+    // rate must stay orders of magnitude below memory bandwidth.
+    assert!(ingest.mb_per_sec() > 0.0 && ingest.mb_per_sec() < 64.0, "{}", ingest.mb_per_sec());
+    let json = result.report.to_json().render();
+    assert!(json.contains("\"supmr.diag.v1\""), "diag schema embedded in the job report");
+    assert!(json.contains("\"ingest-bound\""));
+}
+
+#[test]
+fn tight_memory_budget_classifies_as_memory_budget_bound() {
+    let text = TextGen::new(TextGenConfig::default()).generate_bytes(12, 256 * 1024);
+    let mut cfg = config(2);
+    cfg.memory_budget = Some(2 * 1024); // absurdly tight: the job lives spilling
+    let result =
+        Job::new(WordCount::new()).config(cfg).run(Input::stream(MemSource::from(text))).unwrap();
+    let diag = result.report.diag.as_ref().expect("every job is diagnosed");
+    assert!(result.report.stats.spill_runs > 0, "2K budget must spill");
+    assert_eq!(diag.verdict, Bottleneck::MemoryBudgetBound, "{}", diag.render_ascii());
+    assert!(diag.inputs.spill_bytes > 0);
+}
+
+#[test]
+fn unthrottled_in_memory_run_is_not_io_diagnosed() {
+    let text = TextGen::new(TextGenConfig::default()).generate_bytes(13, 256 * 1024);
+    let result = Job::new(WordCount::new())
+        .config(config(2))
+        .run(Input::stream(MemSource::from(text)))
+        .unwrap();
+    let diag = result.report.diag.as_ref().expect("every job is diagnosed");
+    assert_ne!(diag.verdict, Bottleneck::IngestBound, "{}", diag.render_ascii());
+    assert_ne!(diag.verdict, Bottleneck::MemoryBudgetBound, "{}", diag.render_ascii());
 }
 
 #[test]
