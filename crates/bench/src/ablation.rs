@@ -1,0 +1,233 @@
+//! The adaptive-governor throttle-matrix ablation behind the bench
+//! report's `"adaptive"` rows.
+//!
+//! Each cell of the matrix runs the canonical word count under one
+//! storage throttle with several hand-tuned static configurations plus
+//! the feedback governor (`--adaptive`), and records how close the
+//! governor lands to the best static choice ([`ratio_to_best`]) and how
+//! much it beats the worst one ([`worst_over_adaptive`]). The point of
+//! the matrix: no single static config wins every cell. `mono` — one
+//! chunk spanning the whole input, i.e. the paper's non-overlapped
+//! baseline — is harmless when ingest is either free or utterly
+//! dominant, but pays `ingest + map` instead of `max(ingest, map)` in
+//! the `matched` cell where the two rates cross; `starved` caps wave
+//! width at one worker. The governor, which retunes from the live
+//! diagnosis, stays near the best choice everywhere.
+//!
+//! [`ratio_to_best`]: AblationCell::ratio_to_best
+//! [`worst_over_adaptive`]: AblationCell::worst_over_adaptive
+
+use crate::RealScale;
+use std::time::Duration;
+use supmr::runtime::{GovernorConfig, Input, Job, JobConfig, MergeMode};
+use supmr::Chunking;
+use supmr_apps::WordCount;
+use supmr_storage::{MemSource, ThrottledSource, TokenBucket};
+
+/// One hand-tuned static run inside a cell.
+#[derive(Debug, Clone)]
+pub struct StaticRun {
+    /// Variant name (`lean`, `deep`, `starved`, `mono`).
+    pub config: &'static str,
+    /// Measured wall time, microseconds.
+    pub wall_us: u64,
+}
+
+/// One throttle cell: every static variant plus the adaptive run.
+#[derive(Debug, Clone)]
+pub struct AblationCell {
+    /// Cell name (`choked`, `rated`, `matched`, `open`).
+    pub cell: &'static str,
+    /// The cell's storage bandwidth cap, bytes/second.
+    pub disk_rate: f64,
+    /// The hand-tuned static runs.
+    pub statics: Vec<StaticRun>,
+    /// The governor run's wall time, microseconds.
+    pub adaptive_wall_us: u64,
+    /// Governor decisions taken during the adaptive run.
+    pub governor_actions: u64,
+}
+
+impl AblationCell {
+    /// Fastest static wall time in this cell.
+    pub fn best_static_us(&self) -> u64 {
+        self.statics.iter().map(|s| s.wall_us).min().unwrap_or(0).max(1)
+    }
+
+    /// Slowest static wall time in this cell.
+    pub fn worst_static_us(&self) -> u64 {
+        self.statics.iter().map(|s| s.wall_us).max().unwrap_or(0).max(1)
+    }
+
+    /// Adaptive wall over the best static wall (1.0 = matched the best
+    /// hand-tuned config; the acceptance target is ≤ 1.05 per cell).
+    pub fn ratio_to_best(&self) -> f64 {
+        self.adaptive_wall_us.max(1) as f64 / self.best_static_us() as f64
+    }
+
+    /// Worst static wall over the adaptive wall (the headline: how
+    /// badly a mistuned static config loses to the governor).
+    pub fn worst_over_adaptive(&self) -> f64 {
+        self.worst_static_us() as f64 / self.adaptive_wall_us.max(1) as f64
+    }
+}
+
+/// The hand-tuned static variants:
+/// `(name, workers, prefetch_depth, monolithic_chunk)`.
+/// `workers == 0` means "the scale's worker count"; `monolithic_chunk`
+/// spans the whole input with a single ingest chunk, forfeiting the
+/// ingest/map overlap entirely.
+const STATIC_VARIANTS: [(&str, usize, usize, bool); 4] =
+    [("lean", 0, 1, false), ("deep", 0, 4, false), ("starved", 1, 1, false), ("mono", 0, 1, true)];
+
+fn wordcount_config(scale: &RealScale, workers: usize, prefetch: usize, mono: bool) -> JobConfig {
+    let chunk = if mono {
+        scale.wordcount_bytes as u64
+    } else {
+        (scale.wordcount_bytes as u64 / 8).max(64 * 1024)
+    };
+    JobConfig {
+        map_workers: workers,
+        reduce_workers: workers,
+        split_bytes: 256 * 1024,
+        prefetch_depth: prefetch,
+        chunking: Chunking::Inter { chunk_bytes: chunk },
+        merge: MergeMode::Unsorted,
+        ..JobConfig::default()
+    }
+}
+
+fn throttled(data: Vec<u8>, rate: f64) -> Input {
+    // The 256 KiB burst matches `RealScale::throttled_input`; smaller
+    // bursts get so choppy at high rates that scheduler hiccups read
+    // as ingest stalls and draw spurious governor actions.
+    Input::stream(ThrottledSource::with_bucket(
+        MemSource::from(data),
+        TokenBucket::with_burst(rate, 256.0 * 1024.0),
+    ))
+}
+
+/// Run one configuration `repeats` times and return the best
+/// `(wall_us, governor_actions)` by wall time. Single-shot walls on a
+/// busy host swing ±15%, and `best_static_us` takes a min across
+/// several near-tied variants — which is biased low against any
+/// single-sample run — so every config gets the same best-of-N
+/// treatment.
+fn run_best_of(
+    data: &[u8],
+    rate: f64,
+    config: &JobConfig,
+    adaptive: bool,
+    quick: bool,
+    repeats: u32,
+) -> (u64, u64) {
+    (0..repeats.max(1))
+        .map(|_| run_once(data.to_vec(), rate, config.clone(), adaptive, quick))
+        .min_by_key(|&(wall, _)| wall)
+        .expect("at least one repeat")
+}
+
+/// Run one configuration and return `(wall_us, governor_actions)`.
+fn run_once(
+    data: Vec<u8>,
+    rate: f64,
+    mut config: JobConfig,
+    adaptive: bool,
+    quick: bool,
+) -> (u64, u64) {
+    // Every run gets a live registry — the governor needs one to
+    // sample, and leaving the statics unmetered would bill the cost of
+    // metrics recording to the governor column.
+    config.metrics = Some(supmr::Registry::new());
+    if adaptive {
+        // 5 ms keeps sub-second CI cells ticking; 10 ms at full scale
+        // keeps the convergence transient (hysteresis + per-knob
+        // cooldowns between steps) small next to even the fastest
+        // (~0.35 s) cell, at ~1.5% sampling cost. Single-tick
+        // hysteresis and cooldown suit the matrix: every cell holds
+        // one steady throttle, so the flap protection the defaults
+        // buy under shifting load only stretches the convergence
+        // transient here (the defaults are tuned for multi-second
+        // production jobs; these cells finish in 0.3-4 s).
+        config.governor = Some(GovernorConfig {
+            interval: Duration::from_millis(if quick { 5 } else { 10 }),
+            hysteresis: 1,
+            cooldown_ticks: 1,
+        });
+    }
+    let result = Job::new(WordCount::new())
+        .config(config)
+        .run(throttled(data, rate))
+        .expect("ablation word count run failed");
+    let wall = result.report.timings.total().as_micros().min(u64::MAX as u128) as u64;
+    let actions =
+        result.report.governor.as_ref().map_or(0, |g| g.actions.len() as u64 + g.dropped_actions);
+    (wall.max(1), actions)
+}
+
+/// Execute the full throttle matrix at `scale`. `quick` shortens the
+/// governor's sampling interval so sub-second CI runs still tick.
+pub fn measure(scale: &RealScale, quick: bool) -> Vec<AblationCell> {
+    let data = scale.wordcount_data();
+    // `matched` sits near the single-core map bandwidth so ingest and
+    // map take comparable time — the regime where forfeiting the
+    // overlap (the `mono` variant) hurts the most.
+    let cells: [(&'static str, f64); 4] = [
+        ("choked", scale.disk_rate / 4.0),
+        ("rated", scale.disk_rate),
+        ("matched", scale.disk_rate * 3.5),
+        ("open", scale.disk_rate * 64.0),
+    ];
+    cells
+        .iter()
+        .map(|&(cell, rate)| {
+            // Throttled cells are paced by the token bucket and repeat
+            // within ±1%; the fast cells are scheduler-noisy (±15%) and
+            // need a deeper best-of-N on both sides of the comparison.
+            let repeats = if quick {
+                1
+            } else if rate > scale.disk_rate {
+                3
+            } else {
+                2
+            };
+            let statics = STATIC_VARIANTS
+                .iter()
+                .map(|&(config, workers, prefetch, mono)| {
+                    let workers = if workers == 0 { scale.workers } else { workers };
+                    let job = wordcount_config(scale, workers, prefetch, mono);
+                    let (wall_us, _) = run_best_of(&data, rate, &job, false, quick, repeats);
+                    StaticRun { config, wall_us }
+                })
+                .collect();
+            let job = wordcount_config(scale, scale.workers, 1, false);
+            let (adaptive_wall_us, governor_actions) =
+                run_best_of(&data, rate, &job, true, quick, repeats);
+            AblationCell { cell, disk_rate: rate, statics, adaptive_wall_us, governor_actions }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_runs_every_cell_and_variant() {
+        let cells = measure(&RealScale::tiny(), true);
+        assert_eq!(cells.len(), 4);
+        for cell in &cells {
+            assert_eq!(cell.statics.len(), STATIC_VARIANTS.len(), "{}", cell.cell);
+            assert!(cell.adaptive_wall_us > 0);
+            assert!(cell.ratio_to_best() > 0.0);
+            assert!(cell.worst_over_adaptive() > 0.0);
+        }
+        // The choked cell is ingest-bound long enough for the governor
+        // to classify and actuate at least once.
+        let choked = &cells[0];
+        assert!(
+            choked.governor_actions >= 1,
+            "governor took no action in the choked cell: {choked:?}"
+        );
+    }
+}

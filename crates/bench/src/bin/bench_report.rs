@@ -9,8 +9,10 @@
 //! renders every run's latency histograms as small-multiple panels.
 
 use std::path::PathBuf;
-use supmr_bench::report::{check_map_regression, collect, to_json, validate, BenchRun};
-use supmr_bench::{map_path, shuffle, RealScale};
+use supmr_bench::report::{
+    check_adaptive_regression, check_map_regression, collect, to_json, validate, BenchRun,
+};
+use supmr_bench::{ablation, map_path, shuffle, RealScale};
 use supmr_metrics::svg::{render_histogram_panels, PanelOptions};
 use supmr_metrics::{Json, MetricsSnapshot};
 
@@ -20,7 +22,9 @@ usage: bench_report [--quick] [--out PATH] [--check BASELINE]
   --quick           run at the tiny test scale (sub-second; CI fixture)
   --out PATH        where to write the report [default: BENCH_baseline.json]
   --check BASELINE  after measuring, fail (exit 1) if this report's mean
-                    supmr.map.task_us exceeds BASELINE's by more than 10%
+                    supmr.map.task_us exceeds BASELINE's by more than 10%,
+                    or an adaptive cell's ratio-to-best-static regresses
+                    past the same headroom
 
 Also writes histogram panels for every run next to the report, as
 <out stem>.svg.
@@ -116,13 +120,34 @@ fn main() {
             row.speedup()
         );
     }
-    let json = to_json(&scale, &runs, &rows, &map_rows, quick);
+    let cells = ablation::measure(&scale, quick);
+    for cell in &cells {
+        println!(
+            "  adaptive/{:<7} {:>8.2} MiB/s  best {:>8.3}s  worst {:>8.3}s  \
+             adaptive {:>8.3}s ({} actions)  ratio {:.3}  worst/adaptive {:.2}x",
+            cell.cell,
+            cell.disk_rate / (1024.0 * 1024.0),
+            cell.best_static_us() as f64 / 1e6,
+            cell.worst_static_us() as f64 / 1e6,
+            cell.adaptive_wall_us as f64 / 1e6,
+            cell.governor_actions,
+            cell.ratio_to_best(),
+            cell.worst_over_adaptive()
+        );
+    }
+    let json = to_json(&scale, &runs, &rows, &map_rows, &cells, quick);
     validate(&json).expect("generated report validates");
     if let Some(baseline_path) = check {
         let text = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read {}: {e}", baseline_path.display()));
         let baseline = Json::parse(&text).expect("baseline parses as JSON");
-        match check_map_regression(&json, &baseline) {
+        let checks = check_map_regression(&json, &baseline).and_then(|mut lines| {
+            check_adaptive_regression(&json, &baseline).map(|more| {
+                lines.extend(more);
+                lines
+            })
+        });
+        match checks {
             Ok(lines) => lines.iter().for_each(|l| println!("{l}")),
             Err(msg) => {
                 eprintln!("bench_report: {msg}");

@@ -11,6 +11,7 @@
 //! Values (wall times, latency percentiles) vary run to run; the
 //! *shape* — key names, run set, metric families — must not.
 
+use crate::ablation::AblationCell;
 use crate::map_path::MapRow;
 use crate::shuffle::ShuffleRow;
 use crate::RealScale;
@@ -124,6 +125,7 @@ pub fn to_json(
     runs: &[BenchRun],
     shuffle: &[ShuffleRow],
     map: &[MapRow],
+    adaptive: &[AblationCell],
     quick: bool,
 ) -> Json {
     let scale_obj = Json::obj(vec![
@@ -175,6 +177,32 @@ pub fn to_json(
             ])
         })
         .collect();
+    let adaptive_json = adaptive
+        .iter()
+        .map(|cell| {
+            let statics = cell
+                .statics
+                .iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("config", Json::str(s.config)),
+                        ("wall_us", Json::from(s.wall_us)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("cell", Json::str(cell.cell)),
+                ("disk_rate", Json::Num(cell.disk_rate)),
+                ("static", Json::Arr(statics)),
+                ("adaptive_wall_us", Json::from(cell.adaptive_wall_us)),
+                ("governor_actions", Json::from(cell.governor_actions)),
+                ("best_static_us", Json::from(cell.best_static_us())),
+                ("worst_static_us", Json::from(cell.worst_static_us())),
+                ("ratio_to_best", Json::Num(cell.ratio_to_best())),
+                ("worst_over_adaptive", Json::Num(cell.worst_over_adaptive())),
+            ])
+        })
+        .collect();
     Json::obj(vec![
         ("schema", Json::str(BENCH_SCHEMA)),
         ("quick", Json::Bool(quick)),
@@ -182,6 +210,7 @@ pub fn to_json(
         ("runs", Json::Arr(runs_json)),
         ("shuffle", Json::Arr(shuffle_json)),
         ("map", Json::Arr(map_json)),
+        ("adaptive", Json::Arr(adaptive_json)),
     ])
 }
 
@@ -292,6 +321,40 @@ pub fn validate(json: &Json) -> Result<(), String> {
             return Err(format!("map rows incomplete: missing {w}"));
         }
     }
+    // The governor ablation is optional so baselines from before the
+    // adaptive era still validate, but when present each cell must
+    // carry the full comparison.
+    if let Some(adaptive) = json.get("adaptive") {
+        let cells = adaptive.as_arr().ok_or("report: 'adaptive' must be an array")?;
+        for cell in cells {
+            let name = require_str(cell, "cell", "adaptive")?;
+            let ctx = format!("adaptive {name}");
+            let statics = cell
+                .get("static")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{ctx}: missing static"))?;
+            if statics.is_empty() {
+                return Err(format!("{ctx}: no static runs"));
+            }
+            for s in statics {
+                require_str(s, "config", &ctx)?;
+                if require_num(s, "wall_us", &ctx)? <= 0.0 {
+                    return Err(format!("{ctx}: static wall_us must be positive"));
+                }
+            }
+            for key in ["disk_rate", "adaptive_wall_us", "best_static_us", "worst_static_us"] {
+                if require_num(cell, key, &ctx)? <= 0.0 {
+                    return Err(format!("{ctx}: '{key}' must be positive"));
+                }
+            }
+            require_num(cell, "governor_actions", &ctx)?;
+            for key in ["ratio_to_best", "worst_over_adaptive"] {
+                if require_num(cell, key, &ctx)? <= 0.0 {
+                    return Err(format!("{ctx}: '{key}' must be positive"));
+                }
+            }
+        }
+    }
     Ok(())
 }
 
@@ -367,9 +430,74 @@ pub fn check_map_regression(current: &Json, baseline: &Json) -> Result<Vec<Strin
     Ok(lines)
 }
 
+/// Allowed growth of an adaptive cell's `ratio_to_best` over the
+/// baseline's before the CI gate fails: 10% relative headroom plus a
+/// small absolute slack (ratios sit near 1.0, where scheduler noise on
+/// sub-second CI cells easily moves the third decimal place).
+pub const ADAPTIVE_RATIO_HEADROOM: f64 = 1.10;
+const ADAPTIVE_RATIO_SLACK: f64 = 0.15;
+
+fn adaptive_ratio(json: &Json, cell: &str) -> Result<f64, String> {
+    let cells =
+        json.get("adaptive").and_then(Json::as_arr).ok_or("report: missing 'adaptive' rows")?;
+    cells
+        .iter()
+        .find(|c| c.get("cell").and_then(Json::as_str) == Some(cell))
+        .ok_or_else(|| format!("missing adaptive cell '{cell}'"))
+        .and_then(|c| require_num(c, "ratio_to_best", &format!("adaptive {cell}")))
+}
+
+/// The `bench_report --check` gate for the governor ablation: for every
+/// cell in `baseline`'s `"adaptive"` rows, fail if `current`'s
+/// adaptive-vs-best-static ratio regressed past
+/// [`ADAPTIVE_RATIO_HEADROOM`] (plus absolute slack). Comparing ratios
+/// rather than wall times keeps the gate meaningful across machines of
+/// different speeds.
+pub fn check_adaptive_regression(current: &Json, baseline: &Json) -> Result<Vec<String>, String> {
+    let cells = baseline
+        .get("adaptive")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing 'adaptive' rows (regenerate BENCH_baseline.json)")?;
+    let mut lines = Vec::new();
+    for cell in cells {
+        let name = require_str(cell, "cell", "adaptive baseline")?;
+        let base = require_num(cell, "ratio_to_best", &format!("adaptive baseline {name}"))?;
+        let now = adaptive_ratio(current, name)?;
+        let limit = base * ADAPTIVE_RATIO_HEADROOM + ADAPTIVE_RATIO_SLACK;
+        if now > limit {
+            return Err(format!(
+                "adaptive regression in cell '{name}': ratio_to_best {now:.3} exceeds \
+                 baseline {base:.3} by more than 10% (limit {limit:.3})"
+            ));
+        }
+        lines.push(format!(
+            "  check adaptive/{name}: ratio_to_best {now:.3} <= limit {limit:.3} \
+             (baseline {base:.3})"
+        ));
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ablation::StaticRun;
+
+    /// A synthetic but shape-complete ablation cell (the real matrix is
+    /// exercised by `ablation::tests`; re-running it here would double
+    /// the suite's wall time for no coverage).
+    fn ablation_cells() -> Vec<AblationCell> {
+        vec![AblationCell {
+            cell: "choked",
+            disk_rate: 1024.0 * 1024.0,
+            statics: vec![
+                StaticRun { config: "lean", wall_us: 100_000 },
+                StaticRun { config: "starved", wall_us: 250_000 },
+            ],
+            adaptive_wall_us: 104_000,
+            governor_actions: 3,
+        }]
+    }
 
     #[test]
     fn quick_report_round_trips_and_validates() {
@@ -381,7 +509,7 @@ mod tests {
         }
         let shuffle = crate::shuffle::measure(true);
         let map = crate::map_path::measure(true);
-        let json = to_json(&scale, &runs, &shuffle, &map, true);
+        let json = to_json(&scale, &runs, &shuffle, &map, &ablation_cells(), true);
         validate(&json).expect("fresh report validates");
         // Every cell ran under the diagnosed runtime, so every cell
         // carries a real (non-placeholder) classification.
@@ -403,6 +531,34 @@ mod tests {
         // A report is always within 10% of itself.
         let lines = check_map_regression(&json, &json).expect("self-comparison passes");
         assert_eq!(lines.len(), 2, "both wordcount cells compared");
+        let lines = check_adaptive_regression(&json, &json).expect("adaptive self-check passes");
+        assert_eq!(lines.len(), 1, "one ablation cell compared");
+        // Gutting a required ablation field is drift, not a value change.
+        let gutted = text.replace("\"ratio_to_best\":", "\"ratio_gone\":");
+        assert!(validate_text(&gutted).unwrap_err().contains("ratio_to_best"));
+    }
+
+    /// A minimal document carrying just what [`adaptive_ratio`] reads.
+    fn adaptive_doc(ratio: f64) -> Json {
+        Json::obj(vec![(
+            "adaptive",
+            Json::Arr(vec![Json::obj(vec![
+                ("cell", Json::str("choked")),
+                ("ratio_to_best", Json::Num(ratio)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn adaptive_regression_gate_trips_past_the_headroom() {
+        let baseline = adaptive_doc(1.00);
+        // Inside 1.10x + slack: passes.
+        check_adaptive_regression(&adaptive_doc(1.20), &baseline).expect("within headroom");
+        // Past it: fails, naming the cell.
+        let err = check_adaptive_regression(&adaptive_doc(1.30), &baseline).unwrap_err();
+        assert!(err.contains("adaptive regression in cell 'choked'"), "{err}");
+        // A baseline without adaptive rows is an error, not a pass.
+        assert!(check_adaptive_regression(&adaptive_doc(1.0), &Json::obj(vec![])).is_err());
     }
 
     /// A minimal document carrying just what [`map_task_mean`] reads.

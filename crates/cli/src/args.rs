@@ -133,6 +133,13 @@ pub struct CliArgs {
     /// Print the bottleneck diagnosis panel (verdict, blocked-time
     /// shares, per-phase bandwidth) after the job completes.
     pub diagnose: bool,
+    /// Run the feedback governor: sample the live metrics, classify the
+    /// bottleneck, and retune scheduling knobs mid-job.
+    pub adaptive: bool,
+    /// Governor sampling interval (`None` = the runtime default).
+    pub governor_interval: Option<Duration>,
+    /// Write the full job report JSON here after the run.
+    pub report_out: Option<PathBuf>,
 }
 
 /// A user-facing argument error.
@@ -275,6 +282,9 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
         metrics_addr: None,
         metrics_interval: None,
         diagnose: false,
+        adaptive: false,
+        governor_interval: None,
+        report_out: None,
     };
     while let Some(flag) = it.next() {
         let mut value =
@@ -331,6 +341,15 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
                 args.metrics_interval = Some(d);
             }
             "--diagnose" => args.diagnose = true,
+            "--adaptive" => args.adaptive = true,
+            "--governor-interval" => {
+                let d = parse_duration(&value()?)?;
+                if d.is_zero() {
+                    return Err(CliError("--governor-interval must be positive".into()));
+                }
+                args.governor_interval = Some(d);
+            }
+            "--report-out" => args.report_out = Some(PathBuf::from(value()?)),
             "--k" => args.k = value()?.parse().map_err(|_| CliError("invalid k".into()))?,
             "--iters" => {
                 args.iters = value()?.parse().map_err(|_| CliError("invalid iters".into()))?
@@ -357,6 +376,10 @@ pub fn parse_args(argv: &[String]) -> Result<CliArgs, CliError> {
     // level rather than erroring (or silently writing an empty trace).
     if args.trace_out.is_some() && !args.trace.enabled() {
         args.trace = TraceLevel::Wave;
+    }
+    // Same spirit: a governor interval only makes sense adaptively.
+    if args.governor_interval.is_some() {
+        args.adaptive = true;
     }
     Ok(args)
 }
@@ -559,6 +582,36 @@ mod tests {
     fn diagnose_flag() {
         assert!(!parse_args(&argv("wc --generate 1K")).unwrap().diagnose);
         assert!(parse_args(&argv("wc --generate 1K --diagnose")).unwrap().diagnose);
+    }
+
+    #[test]
+    fn adaptive_flags() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert!(!a.adaptive);
+        assert_eq!(a.governor_interval, None);
+
+        let a = parse_args(&argv("wc --generate 1K --adaptive")).unwrap();
+        assert!(a.adaptive);
+        assert_eq!(a.governor_interval, None, "runtime default interval");
+
+        let a = parse_args(&argv("wc --generate 1K --adaptive --governor-interval 20ms")).unwrap();
+        assert_eq!(a.governor_interval, Some(Duration::from_millis(20)));
+
+        // An interval alone implies --adaptive.
+        let a = parse_args(&argv("wc --generate 1K --governor-interval 20ms")).unwrap();
+        assert!(a.adaptive);
+
+        assert!(parse_args(&argv("wc --generate 1K --governor-interval 0")).is_err());
+        assert!(parse_args(&argv("wc --generate 1K --governor-interval soon")).is_err());
+    }
+
+    #[test]
+    fn report_out_flag() {
+        let a = parse_args(&argv("wc --generate 1K")).unwrap();
+        assert_eq!(a.report_out, None);
+        let a = parse_args(&argv("wc --generate 1K --report-out report.json")).unwrap();
+        assert_eq!(a.report_out, Some(PathBuf::from("report.json")));
+        assert!(parse_args(&argv("wc --generate 1K --report-out")).is_err());
     }
 
     #[test]

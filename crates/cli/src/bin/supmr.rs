@@ -38,6 +38,15 @@ options:
                      verdict (ingest-bound, map-bound, shuffle-bound,
                      memory-budget-bound, reduce/merge-bound), blocked-
                      time shares, and achieved MB/s per phase
+  --adaptive         run the feedback governor: sample the live metrics,
+                     classify the bottleneck, and retune wave widths,
+                     prefetch depth, the absorb sweep mask, and spill
+                     watermarks mid-job
+  --governor-interval D
+                     governor sampling period (default 50ms; implies
+                     --adaptive)
+  --report-out PATH  write the full job report JSON (timings, metrics,
+                     diagnosis, governor decisions) to PATH
   --top N            results to print (default 10)
   --seed N           generator seed (default 42)
   --hash-seed N      fix the container hash seed for reproducible
@@ -50,6 +59,7 @@ examples:
   supmr wordcount --generate 64M --chunking inter:4M --trace-out trace.json
   supmr wordcount --generate 64M --metrics-addr 127.0.0.1:9400
   supmr wordcount --generate 64M --throttle 24M --diagnose
+  supmr wordcount --generate 64M --throttle 24M --adaptive --report-out report.json
   supmr terasort  --input /data/tera.dat --chunking inter:64M --merge pway:8
   supmr terasort  --generate 8G --memory-budget 2G --spill-dir /mnt/fast/spill
   supmr grep      --input logs/ --chunking intra:8 --pattern ERROR
@@ -67,7 +77,12 @@ fn render_trace(trace: &JobTrace, path: &Path) -> String {
     }
 }
 
-fn print_summary(summary: &RunSummary, trace_out: Option<&Path>, diagnose: bool) {
+fn print_summary(
+    summary: &RunSummary,
+    trace_out: Option<&Path>,
+    report_out: Option<&Path>,
+    diagnose: bool,
+) {
     println!("{}", PhaseTimings::table_header());
     println!("{}", summary.report.timings.table_row("job"));
     let stalls = summary.report.stalls();
@@ -87,6 +102,29 @@ fn print_summary(summary: &RunSummary, trace_out: Option<&Path>, diagnose: bool)
             Some(d) => println!("\n{}", d.render_ascii()),
             None => eprintln!("supmr: no diagnosis recorded for this app"),
         }
+    }
+    if let Some(gov) = &summary.report.governor {
+        println!(
+            "\ngovernor: {} ticks, {} actions; final widths map={} reduce={} prefetch={}",
+            gov.ticks,
+            gov.actions.len() as u64 + gov.dropped_actions,
+            gov.final_map_width,
+            gov.final_reduce_width,
+            gov.final_prefetch_depth
+        );
+        for a in gov.actions.iter().take(8) {
+            println!("  +{:>7}us  {:<18} {} -> {}", a.t_us, a.verdict, a.knob, a.value);
+        }
+        if gov.actions.len() > 8 {
+            println!("  ... {} more (see --report-out)", gov.actions.len() - 8);
+        }
+    }
+    if let Some(path) = report_out {
+        if let Err(e) = std::fs::write(path, summary.report.to_json().render()) {
+            eprintln!("supmr: cannot write report to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("\nreport: {}", path.display());
     }
     if let Some(path) = trace_out {
         match &summary.report.trace {
@@ -118,7 +156,12 @@ fn main() {
         }
     };
     match execute(&args) {
-        Ok(summary) => print_summary(&summary, args.trace_out.as_deref(), args.diagnose),
+        Ok(summary) => print_summary(
+            &summary,
+            args.trace_out.as_deref(),
+            args.report_out.as_deref(),
+            args.diagnose,
+        ),
         Err(e) => {
             eprintln!("supmr: {e}");
             std::process::exit(1);

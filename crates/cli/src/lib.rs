@@ -35,6 +35,12 @@
 //!   --diagnose          print the bottleneck diagnosis panel (verdict,
 //!                       blocked-time shares, per-phase MB/s) after the
 //!                       job completes
+//!   --adaptive          run the feedback governor: retune wave widths,
+//!                       prefetch depth, the absorb sweep mask, and
+//!                       spill watermarks mid-job from the live metrics
+//!   --governor-interval D  governor sampling period [default: 50ms]
+//!                       (implies --adaptive)
+//!   --report-out PATH   write the full job report JSON to PATH
 //!   --top N             print the N largest results     [default: 10]
 //!   --seed N            generator seed                  [default: 42]
 //!   --hash-seed N       fix the container hash seed so key placement

@@ -7,7 +7,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use supmr::chunk::AdaptiveConfig;
-use supmr::runtime::{Input, Job, JobConfig, JobReport, JobResult, MergeMode};
+use supmr::runtime::{GovernorConfig, Input, Job, JobConfig, JobReport, JobResult, MergeMode};
 use supmr::{Chunking, PoolMode, Registry, Result};
 use supmr_apps::{
     kmeans::run_kmeans, linreg, terasort_pipeline, Grep, Histogram, LinearRegression, TeraSort,
@@ -95,6 +95,13 @@ fn job_config(
     if let Some(w) = args.workers {
         config.map_workers = w;
         config.reduce_workers = w;
+    }
+    if args.adaptive {
+        let mut governor = GovernorConfig::default();
+        if let Some(interval) = args.governor_interval {
+            governor.interval = interval;
+        }
+        config.governor = Some(governor);
     }
     configure_spill(args, meter, flow, &mut config)?;
     Ok(config)
@@ -573,6 +580,22 @@ mod tests {
     fn missing_input_is_an_error() {
         let args = parse_args(&argv("wordcount --input /nonexistent/supmr")).unwrap();
         assert!(execute(&args).is_err());
+    }
+
+    #[test]
+    fn adaptive_run_matches_static_and_reports_the_governor() {
+        let base = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
+             --hash-seed 7");
+        let adaptive = run("wordcount --generate 64K --chunking inter:16K --workers 2 --top 5 \
+             --hash-seed 7 --adaptive --governor-interval 1ms");
+        assert_eq!(adaptive.lines, base.lines, "the governor must not change the output");
+        assert_eq!(adaptive.output_pairs(), base.output_pairs());
+        let gov = adaptive.report.governor.as_ref().expect("governor report attached");
+        assert_eq!(gov.interval_ms, 1);
+        assert!(
+            adaptive.report.to_json().render().contains("supmr.governor.v1"),
+            "report JSON carries the governor block"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! `(c, T_map(c))` with a two-point secant (falling back to assuming
 //! `O = 0` until two distinct sizes have been observed).
 
-use super::{Chunker, IngestChunk, InterFileChunker, RoundFeedback};
+use super::{AdaptiveTuning, Chunker, IngestChunk, InterFileChunker, RoundFeedback};
 use std::io;
 use supmr_storage::{DataSource, RecordFormat};
 
@@ -162,6 +162,13 @@ impl<S: DataSource> Chunker for AdaptiveChunker<S> {
             self.observations.remove(0);
         }
         self.retune();
+    }
+
+    fn tuning(&self) -> Option<AdaptiveTuning> {
+        let (overhead_us, rate_bytes_per_sec) = self.fit().map_or((0, 0), |(overhead, rate)| {
+            ((overhead * 1e6).round().max(0.0) as u64, rate.round().max(0.0) as u64)
+        });
+        Some(AdaptiveTuning { chunk_bytes: self.current, overhead_us, rate_bytes_per_sec })
     }
 }
 

@@ -135,6 +135,28 @@ pub trait Chunker: Send {
     /// Observe a completed round. Fixed-size chunkers ignore this;
     /// [`AdaptiveChunker`] uses it to retune its chunk size.
     fn feedback(&mut self, _round: RoundFeedback) {}
+
+    /// The controller's current internal state, for chunkers that tune
+    /// themselves ([`AdaptiveChunker`]). Fixed-size chunkers have
+    /// nothing to report.
+    fn tuning(&self) -> Option<AdaptiveTuning> {
+        None
+    }
+}
+
+/// A self-tuning chunker's internals at one point in time: the chosen
+/// chunk size plus the fitted per-round cost model (`round ≈ O + bytes/R`)
+/// behind it — surfaced as `supmr.adaptive.*` gauges and
+/// `chunk-feedback` governor actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveTuning {
+    /// Chunk size the next round will use, bytes.
+    pub chunk_bytes: u64,
+    /// Fitted fixed per-round overhead `O`, microseconds (0 until the
+    /// model has two distinct observations).
+    pub overhead_us: u64,
+    /// Fitted map throughput `R`, bytes per second (0 until fitted).
+    pub rate_bytes_per_sec: u64,
 }
 
 /// Window size for scanning past the nominal chunk end to the next

@@ -16,6 +16,7 @@ use super::{Container, ContainerHooks, ContainerMetrics};
 use crate::api::Emit;
 use crate::combiner::Combiner;
 use crate::key::ByteKey;
+use crate::runtime::ActiveConfig;
 use crate::spill::SpillHooks;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -108,6 +109,12 @@ where
     /// pre-size to it, so steady-state map tasks (same split size, same
     /// vocabulary) skip the whole grow-and-rehash cascade.
     local_hint: AtomicUsize,
+    /// Absorb counter feeding the lock-sweep rotation: under a governor
+    /// with a widened shard mask, concurrent absorbs start their sweep
+    /// at different shards so their first lock acquisitions spread out.
+    sweep: AtomicU64,
+    /// The governor's dynamic knobs, when the job runs adaptively.
+    active: Mutex<Option<Arc<ActiveConfig>>>,
     _marker: PhantomData<fn(V)>,
 }
 
@@ -147,6 +154,8 @@ where
             shard_bytes: (0..SHARDS).map(|_| AtomicU64::new(0)).collect(),
             spilling: Mutex::new(()),
             local_hint: AtomicUsize::new(0),
+            sweep: AtomicU64::new(0),
+            active: Mutex::new(None),
             _marker: PhantomData,
         }
     }
@@ -314,7 +323,16 @@ where
         // their codec size hint; merges charge nothing (for counting
         // combiners the accumulator does not grow).
         let mut charged: u64 = 0;
-        for (shard, batch) in batches.into_iter().enumerate() {
+        // Sweep rotation: each shard still receives its batch exactly
+        // once; only the *order* locks are taken in changes (already
+        // unordered across concurrent absorbs), never placement.
+        let active = self.active.lock().clone();
+        let start = active
+            .as_ref()
+            .map_or(0, |a| (self.sweep.fetch_add(1, Ordering::Relaxed) & a.shard_mask()) as usize);
+        for step in 0..SHARDS {
+            let shard = (start + step) & (SHARDS - 1);
+            let batch = std::mem::take(&mut batches[shard]);
             if batch.is_empty() {
                 continue;
             }
@@ -349,7 +367,11 @@ where
             }
         }
         if let Some(hooks) = &spill {
-            if charged > 0 && hooks.accountant.charge(charged) {
+            let over = charged > 0 && hooks.accountant.charge(charged);
+            // A governor-requested pre-emptive drain rides the same
+            // single-spiller path as budget pressure.
+            let requested = active.as_ref().is_some_and(|a| a.take_drain());
+            if over || requested {
                 self.spill_down(hooks);
             }
         }
@@ -365,6 +387,7 @@ where
             *self.state.lock() = S::from_seed(seed);
         }
         *self.metrics.lock() = hooks.metrics.clone();
+        *self.active.lock() = hooks.active.clone();
     }
 
     fn configure_spill(&self, hooks: &SpillHooks<K, C::Acc>) -> bool {
@@ -544,6 +567,7 @@ mod tests {
         let hooks = ContainerHooks {
             hash_seed: Some(7),
             metrics: Some(ContainerMetrics::register(&registry)),
+            active: None,
         };
         let place = |with_hooks: bool| {
             let c: HashContainer<String, u64, Sum> = HashContainer::new();
@@ -650,6 +674,7 @@ mod tests {
         c.configure(&ContainerHooks {
             hash_seed: None,
             metrics: Some(ContainerMetrics::register(&registry)),
+            active: None,
         });
         let mut local = c.local();
         for _ in 0..10 {
@@ -698,7 +723,11 @@ mod tests {
         let registry = Registry::new();
         let metrics = ContainerMetrics::register(&registry);
         let c: HashContainer<String, u64, BoomOnMerge> = HashContainer::new();
-        c.configure(&ContainerHooks { hash_seed: None, metrics: Some(Arc::clone(&metrics)) });
+        c.configure(&ContainerHooks {
+            hash_seed: None,
+            metrics: Some(Arc::clone(&metrics)),
+            active: None,
+        });
         let mut a = c.local();
         a.emit("k".to_string(), 1);
         c.absorb(a);

@@ -56,6 +56,10 @@ pub struct ContainerHooks {
     pub hash_seed: Option<u64>,
     /// Handles into the `supmr.container.*` metric families.
     pub metrics: Option<Arc<ContainerMetrics>>,
+    /// The feedback governor's dynamic knobs, when the job runs
+    /// adaptively: the absorb lock-sweep rotation mask and pre-emptive
+    /// drain requests reach the container through this handle.
+    pub active: Option<Arc<crate::runtime::ActiveConfig>>,
 }
 
 /// Handles into the `supmr.container.*` metric families the shuffle

@@ -108,12 +108,10 @@ pub use chunk::{Chunking, IngestChunk};
 pub use error::{Result, SupmrError};
 pub use key::{ByteKey, CompactKey};
 pub use pool::{PoolMetrics, PoolMode};
-#[allow(deprecated)] // the shim stays re-exported for one release
-pub use runtime::run_job;
 pub use runtime::{
-    FrameIter, HandoffStats, Input, IterationReport, Job, JobConfig, JobMetrics, JobReport,
-    JobResult, JobStats, MergeMode, Pipeline, PipelineResult, Stage, StageData, StageId,
-    StageMetrics, StageReport,
+    ActionRecord, ActiveConfig, FrameIter, GovernorConfig, GovernorReport, HandoffStats, Input,
+    IterationReport, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
+    Pipeline, PipelineResult, Stage, StageData, StageId, StageMetrics, StageReport,
 };
 pub use spill::{MemoryAccountant, PairCodec, SpillMetrics};
 pub use supmr_metrics::{

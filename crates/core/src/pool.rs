@@ -251,23 +251,60 @@ impl WorkerPool {
         R: Send + 'static,
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
+        self.run_collect_capped(self.size(), tasks, f)
+    }
+
+    /// [`run_collect`](WorkerPool::run_collect) with batch concurrency
+    /// capped at `cap` tasks, even when the pool has more threads — how
+    /// a dynamically narrowed wave width reaches a persistent pool. The
+    /// gate is a token channel: each task takes a token before running
+    /// and returns it after, so at most `cap` bodies execute at once
+    /// while surplus workers block cheaply. Caps at or above the pool
+    /// size cost nothing.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` and there is at least one task.
+    pub fn run_collect_capped<T, R, F>(
+        &self,
+        cap: usize,
+        tasks: Vec<T>,
+        f: F,
+    ) -> (Vec<R>, WaveOutcome)
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
         let n = tasks.len();
         if n == 0 {
             return (Vec::new(), WaveOutcome::default());
         }
-        self.tracer.emit(EventKind::PoolDispatch { tasks: n as u64, workers: self.size() as u64 });
+        assert!(cap > 0, "a pooled batch needs at least one worker");
+        let effective = cap.min(self.size());
+        self.tracer.emit(EventKind::PoolDispatch { tasks: n as u64, workers: effective as u64 });
+        let gate = (effective < self.size().min(n)).then(|| {
+            let (gtx, grx) = crossbeam_channel::bounded::<()>(effective);
+            for _ in 0..effective {
+                gtx.send(()).expect("filling a fresh token channel");
+            }
+            Arc::new((gtx, grx))
+        });
         let f = Arc::new(f);
         let (rtx, rrx) = crossbeam_channel::bounded::<(usize, std::thread::Result<R>)>(n);
         let tx = self.tx.as_ref().expect("pool channel lives as long as the pool");
         for (idx, task) in tasks.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let rtx = rtx.clone();
+            let gate = gate.clone();
             // RAII: the queued guard travels inside the closure, so the
             // queue-depth gauge is restored when the task starts — or
             // when an undelivered closure is dropped — never skewed.
             let metrics = self.metrics.clone();
             let queued = metrics.as_ref().map(|m| (m.queue_depth.track(1), Instant::now()));
             let body: PoolTask = Box::new(move || {
+                let token = gate
+                    .as_ref()
+                    .map(|g| g.1.recv().expect("token channel lives for the whole batch"));
                 let running = metrics.as_ref().map(|m| m.in_flight.track(1));
                 if let (Some(m), Some((guard, enqueued))) = (&metrics, queued) {
                     drop(guard);
@@ -280,6 +317,11 @@ impl WorkerPool {
                 // `f` provably leaves no other owner.
                 drop(f);
                 drop(running);
+                // The token goes back even for a panicked body (the
+                // unwind was caught above), so the gate cannot starve.
+                if let (Some(g), Some(())) = (&gate, token) {
+                    let _ = g.0.send(());
+                }
                 let _ = rtx.send((idx, result));
             });
             tx.send(body).expect("pool workers outlive dispatched batches");
@@ -306,7 +348,7 @@ impl WorkerPool {
         let outcome = WaveOutcome {
             tasks: n as u64,
             threads_spawned: 0,
-            threads_reused: self.size().min(n) as u64,
+            threads_reused: effective.min(n) as u64,
         };
         if let Some(m) = &self.metrics {
             m.threads_reused.add(outcome.threads_reused);
@@ -341,9 +383,11 @@ impl Drop for WorkerPool {
 /// How a runtime executes one wave of tasks: per-wave spawned threads or
 /// a borrowed persistent pool.
 ///
-/// The `workers` argument of [`Executor::run`] caps thread count only in
-/// wave mode; a pool is provisioned once per job (sized for the larger
-/// of map/reduce workers) and a dispatch uses whatever threads it has.
+/// The `workers` argument of [`Executor::run`] caps concurrency in both
+/// modes: a wave spawns that many threads; a pool (provisioned once per
+/// job, sized for the larger of map/reduce workers) gates each dispatch
+/// at that width via [`WorkerPool::run_collect_capped`] — which is how
+/// the governor's wave-width actuation applies to either backend.
 #[derive(Clone, Copy)]
 pub enum Executor<'p> {
     /// Spawn/join a fresh wave per call ([`PoolMode::WavePerRound`]).
@@ -361,7 +405,7 @@ impl Executor<'_> {
     {
         match self {
             Executor::Wave => run_wave(workers, tasks, f),
-            Executor::Pool(pool) => pool.run(tasks, f),
+            Executor::Pool(pool) => pool.run_collect_capped(workers, tasks, f).1,
         }
     }
 
@@ -374,7 +418,7 @@ impl Executor<'_> {
     {
         match self {
             Executor::Wave => run_wave_collect(workers, tasks, f),
-            Executor::Pool(pool) => pool.run_collect(tasks, f),
+            Executor::Pool(pool) => pool.run_collect_capped(workers, tasks, f),
         }
     }
 }
@@ -573,6 +617,57 @@ mod tests {
         pool.run(vec![1], |_, _| {});
         assert_eq!(metrics.dispatch_us.count(), 6);
         assert_eq!(metrics.in_flight.value(), 0);
+    }
+
+    #[test]
+    fn capped_dispatch_limits_concurrency() {
+        let pool = WorkerPool::new(4);
+        let running = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let (r, p) = (Arc::clone(&running), Arc::clone(&peak));
+        let (_, outcome) =
+            pool.run_collect_capped(2, (0..32).collect::<Vec<u32>>(), move |_, _| {
+                let now = r.fetch_add(1, Ordering::SeqCst) + 1;
+                p.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                r.fetch_sub(1, Ordering::SeqCst);
+            });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap 2 must bound concurrency");
+        assert_eq!(outcome.tasks, 32);
+        assert_eq!(outcome.threads_reused, 2, "reuse reports the effective width");
+    }
+
+    #[test]
+    fn cap_above_pool_size_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        let (results, outcome) = pool.run_collect_capped(64, vec![1, 2, 3], |_, x: i32| x + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+        assert_eq!(outcome.threads_reused, 2);
+    }
+
+    #[test]
+    fn capped_batch_survives_panics_without_starving_the_gate() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_collect_capped(1, (0..8).collect::<Vec<i32>>(), |_, x| {
+                if x == 3 {
+                    panic!("capped task exploded");
+                }
+                x
+            });
+        }));
+        assert!(result.is_err(), "the batch must re-raise the panic");
+        // Tokens were returned even by the panicked body: a second
+        // capped batch completes instead of deadlocking.
+        let (results, _) = pool.run_collect_capped(1, vec![10, 20], |_, x| x * 2);
+        assert_eq!(results, vec![20, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_cap_with_tasks_panics() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.run_collect_capped(0, vec![1], |_, x: i32| x);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! assert_eq!(result.pairs, vec![((), 3)]);
 //! ```
 
-use super::{run_single, Input, JobConfig, JobResult, MergeMode};
+use super::{run_single, GovernorConfig, Input, JobConfig, JobResult, MergeMode};
 use crate::api::MapReduce;
 use crate::chunk::Chunking;
 use crate::error::Result;
@@ -153,6 +153,17 @@ impl<J: MapReduce> Job<J> {
         self
     }
 
+    /// Run the job adaptively: a feedback governor samples the live
+    /// metrics at `governor.interval` and retunes scheduling widths,
+    /// prefetch depth, the absorb sweep mask, and spill watermarks
+    /// mid-job (DESIGN.md §3k). Creates a registry if
+    /// [`metrics`](Job::metrics) was not called; decisions come back in
+    /// [`JobReport::governor`](super::JobReport::governor).
+    pub fn adaptive(mut self, governor: GovernorConfig) -> Self {
+        self.config.governor = Some(governor);
+        self
+    }
+
     /// Cap the intermediate set's resident footprint at `bytes`: past
     /// the budget the container spills sorted runs to disk and the
     /// reduce phase streams an external merge over them. Requires the
@@ -239,7 +250,8 @@ mod tests {
             .prefetch_depth(2)
             .pool(PoolMode::Persistent)
             .sample_utilization(Duration::from_millis(50))
-            .hash_seed(42);
+            .hash_seed(42)
+            .adaptive(GovernorConfig::default());
         let c = job.config_ref();
         assert_eq!(c.chunking, Chunking::Inter { chunk_bytes: 128 });
         assert_eq!(c.merge, MergeMode::PWay { ways: 2 });
@@ -250,6 +262,26 @@ mod tests {
         assert_eq!(c.pool, PoolMode::Persistent);
         assert!(c.sample_utilization.is_some());
         assert_eq!(c.hash_seed, Some(42));
+        assert_eq!(c.governor, Some(GovernorConfig::default()));
+    }
+
+    #[test]
+    fn adaptive_run_reports_governor_state() {
+        let result = Job::new(CharCount)
+            .chunking(Chunking::Inter { chunk_bytes: 8 })
+            .workers(2)
+            .split_bytes(4)
+            .adaptive(GovernorConfig {
+                interval: Duration::from_millis(1),
+                ..GovernorConfig::default()
+            })
+            .run(Input::stream(MemSource::from(b"aa b\nab\ncd e\nfg\n".to_vec())))
+            .unwrap();
+        let gov = result.report.governor.as_ref().expect("governor report present");
+        assert_eq!(gov.interval_ms, 1);
+        assert!(gov.final_map_width >= 1);
+        let text = result.report.to_json_string();
+        assert!(text.contains("\"supmr.governor.v1\""), "report JSON carries the governor block");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod builder;
 pub mod dag;
+pub mod governor;
 pub mod handoff;
 pub mod metrics;
 pub mod original;
@@ -20,6 +21,7 @@ pub mod pipeline;
 
 pub use builder::Job;
 pub use dag::{IterationReport, Pipeline, PipelineResult, Stage, StageId};
+pub use governor::{ActionRecord, ActiveConfig, GovernorConfig, GovernorReport};
 pub use handoff::{FrameIter, HandoffStats, StageData};
 pub use metrics::{JobMetrics, StageMetrics};
 
@@ -190,6 +192,21 @@ pub struct JobConfig {
     /// `IngestMeter::with_flow`), which then own their phases and the
     /// runtime-level recorders stand down.
     pub flow: Option<Arc<FlowLedger>>,
+    /// Run the feedback governor: a sampling thread that classifies the
+    /// live metrics every interval and retunes scheduling widths,
+    /// prefetch depth, the absorb sweep mask, and spill watermarks
+    /// mid-job (DESIGN.md §3k). Implies a registry, like
+    /// [`JobConfig::metrics_addr`]. Decisions are traced as
+    /// [`EventKind::GovernorAction`] and summarized in
+    /// [`JobReport::governor`].
+    pub governor: Option<GovernorConfig>,
+    /// Pre-built dynamic knobs, normally `None` and built by
+    /// [`Job::run`] when [`JobConfig::governor`] is set. Public only so
+    /// struct-update syntax (`..JobConfig::default()`) works across the
+    /// crate boundary; inject a pre-built handle here to drive actuation
+    /// sequences without a governor thread (the determinism tests do).
+    #[doc(hidden)]
+    pub active: Option<Arc<ActiveConfig>>,
 }
 
 impl std::fmt::Debug for JobConfig {
@@ -213,6 +230,8 @@ impl std::fmt::Debug for JobConfig {
             .field("spill_dir", &self.spill_dir)
             .field("spill_store", &self.spill_store.as_ref().map(|s| s.describe()))
             .field("flow", &self.flow)
+            .field("governor", &self.governor)
+            .field("active", &self.active)
             .finish()
     }
 }
@@ -239,6 +258,8 @@ impl Default for JobConfig {
             spill_dir: None,
             spill_store: None,
             flow: None,
+            governor: None,
+            active: None,
         }
     }
 }
@@ -299,7 +320,27 @@ impl JobConfig {
         if self.memory_budget == Some(0) {
             return bad("a memory budget must be non-zero (omit it to run unbounded)");
         }
+        if let Some(g) = &self.governor {
+            if g.interval.is_zero() {
+                return bad("the governor sampling interval must be non-zero");
+            }
+            if g.hysteresis == 0 {
+                return bad("governor hysteresis must be at least 1 tick");
+            }
+        }
         Ok(())
+    }
+
+    /// Effective map wave width: the governor's dynamic knob when one
+    /// is live, else the static [`JobConfig::map_workers`].
+    pub(crate) fn effective_map_workers(&self) -> usize {
+        self.active.as_ref().map_or(self.map_workers, |a| a.map_width())
+    }
+
+    /// Effective reduce wave width (scheduling only — partition counts
+    /// always come from the static [`JobConfig::reduce_workers`]).
+    pub(crate) fn effective_reduce_workers(&self) -> usize {
+        self.active.as_ref().map_or(self.reduce_workers, |a| a.reduce_width())
     }
 }
 
@@ -398,6 +439,10 @@ pub struct JobReport {
     /// classifier's verdict (`supmr.diag.v1`). Always computed for jobs
     /// run through [`Job::run`] / [`Pipeline::run`].
     pub diag: Option<BottleneckReport>,
+    /// Feedback-governor action log and final knob positions
+    /// (`supmr.governor.v1`), present when the job ran with
+    /// [`JobConfig::governor`] set.
+    pub governor: Option<GovernorReport>,
 }
 
 /// One pipeline stage's slice of the [`JobReport`].
@@ -523,6 +568,10 @@ impl JobReport {
             Some(d) => d.to_json(),
             None => Json::Null,
         };
+        let governor = match &self.governor {
+            Some(g) => g.to_json(),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("schema", Json::str("supmr.job_report.v1")),
             ("timings", timings),
@@ -530,6 +579,7 @@ impl JobReport {
             ("stalls", stalls),
             ("stages", stages),
             ("diag", diag),
+            ("governor", governor),
             ("util", util),
             ("trace", trace),
             ("metrics", metrics),
@@ -560,20 +610,6 @@ impl<K: Ord + Clone, O: Clone> JobResult<K, O> {
         v.sort_by(|a, b| a.0.cmp(&b.0));
         v
     }
-}
-
-/// Run a MapReduce job.
-///
-/// # Errors
-/// Propagates configuration, ingest, and task-panic errors from
-/// [`Job::run`].
-#[deprecated(note = "use `Job::new(app).config(config).run(input)`; `Job` is the entry surface")]
-pub fn run_job<J: MapReduce>(
-    job: J,
-    input: Input,
-    config: JobConfig,
-) -> Result<JobResult<J::Key, J::Output>> {
-    Job::new(job).config(config).run(input)
 }
 
 /// What one stage hands back: either the job's terminal pairs or a
@@ -645,8 +681,9 @@ pub(crate) fn run_single<J: MapReduce>(
     mut config: JobConfig,
 ) -> Result<JobResult<J::Key, J::Output>> {
     config.validate()?;
-    // A scrape endpoint implies a registry for it to expose.
-    if config.metrics_addr.is_some() && config.metrics.is_none() {
+    // A scrape endpoint implies a registry for it to expose; so does
+    // the governor, which samples one.
+    if (config.metrics_addr.is_some() || config.governor.is_some()) && config.metrics.is_none() {
         config.metrics = Some(Registry::new());
     }
     let registry = config.metrics.clone();
@@ -682,6 +719,27 @@ pub(crate) fn run_single<J: MapReduce>(
         Some(p) => Executor::Pool(p),
         None => Executor::Wave,
     };
+    // Stand up the feedback governor: shared dynamic knobs seeded from
+    // the static widths, plus the sampling thread that moves them.
+    let governor = config.governor.map(|g| {
+        let active = config.active.get_or_insert_with(|| {
+            Arc::new(ActiveConfig::new(
+                config.map_workers,
+                config.reduce_workers,
+                config.prefetch_depth,
+            ))
+        });
+        governor::GovernorRuntime::spawn(
+            g,
+            config.metrics.clone().expect("the governor implies a registry"),
+            Arc::clone(active),
+            tracer.clone(),
+            governor::GovernorLimits {
+                map_base: config.map_workers,
+                reduce_cap: config.map_workers.max(config.reduce_workers),
+            },
+        )
+    });
     let stage = run_stage(&job, input, &config, exec, &tracer, StageWiring::default())?;
     let mut result = match stage.output {
         StageOutput::Pairs(pairs) => JobResult { pairs, report: stage.report },
@@ -696,6 +754,9 @@ pub(crate) fn run_single<J: MapReduce>(
     }
     if tracer.level().enabled() {
         result.report.trace = Some(tracer.finish());
+    }
+    if let Some(g) = governor {
+        result.report.governor = Some(g.stop());
     }
     if let Some(r) = &registry {
         result.report.metrics = Some(r.snapshot());
@@ -859,7 +920,7 @@ pub(crate) fn map_wave<J: MapReduce>(
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
     let task_metrics = metrics.cloned();
     let task_flow = config.flow.clone();
-    let outcome = exec.run(config.map_workers, splits, move |idx, range| {
+    let outcome = exec.run(config.effective_map_workers(), splits, move |idx, range| {
         if let Some(t) = &task_tracer {
             t.emit(EventKind::MapTaskStart { round, task: idx as u64, bytes: range.len() as u64 });
         }
@@ -902,6 +963,7 @@ pub(crate) fn container_hooks(config: &JobConfig) -> ContainerHooks {
     ContainerHooks {
         hash_seed: config.hash_seed,
         metrics: config.metrics.as_ref().map(ContainerMetrics::register),
+        active: config.active.clone(),
     }
 }
 
@@ -957,6 +1019,10 @@ pub(crate) fn setup_spill<J: MapReduce>(
             Arc::new(accountant)
         }
     };
+    // The governor's low-watermark lever reaches the ledger here.
+    if let Some(active) = &config.active {
+        active.attach_accountant(Arc::clone(&accountant));
+    }
     let spill = Arc::new(JobSpill::new(
         Arc::clone(&accountant),
         codec,
@@ -1124,6 +1190,7 @@ pub(crate) fn finish_job<J: MapReduce>(
             metrics: None,
             stages: Vec::new(),
             diag: None,
+            governor: None,
         },
     })
 }
@@ -1151,7 +1218,7 @@ fn in_memory_reduce<J: MapReduce>(
     let task_tracer = tracer.level().tasks().then(|| tracer.clone());
     let task_metrics = metrics.cloned();
     let (reduced, outcome) = exec.run_collect(
-        config.reduce_workers,
+        config.effective_reduce_workers(),
         drains,
         move |idx, payload: <J::Container as Container<J::Key, J::Value, J::Combiner>>::Drain| {
             if let Some(t) = &task_tracer {
@@ -1249,7 +1316,7 @@ fn external_reduce<J: MapReduce>(
     let merge_flow = config.flow.clone();
     let folds = <J::Container as Container<J::Key, J::Value, J::Combiner>>::spill_folds();
     let (reduced, outcome) = exec.run_collect(
-        config.reduce_workers,
+        config.effective_reduce_workers(),
         tasks,
         move |_idx, (partition, drains, runs)| -> Result<PartOut<J::Key, J::Output>> {
             if let Some(t) = &task_tracer {
@@ -1357,7 +1424,7 @@ fn merge_phase<J: MapReduce>(
     }
     // "each round (1) sorts many small lists in parallel and (2) merges
     // the lists" — step (1) is a full-width wave for both backends.
-    let (runs, outcome) = exec.run_collect(config.map_workers, reduced, |_, part| {
+    let (runs, outcome) = exec.run_collect(config.effective_map_workers(), reduced, |_, part| {
         let mut run: Vec<ByKey<J::Key, J::Output>> =
             part.into_iter().map(|(k, o)| ByKey(k, o)).collect();
         run.sort();

@@ -42,13 +42,14 @@
 //!   the stalls are measured at the buffer boundary: map-side time
 //!   blocked in `recv` and ingest-side time blocked in `send`.
 
+use super::governor::{self, ActiveConfig, AdaptiveGauges};
 use super::{
     finish_job, map_wave, Input, JobConfig, JobMetrics, JobStats, StageResult, StageWiring,
 };
 use crate::api::MapReduce;
 use crate::chunk::{
-    AdaptiveChunker, Chunker, Chunking, HybridChunker, IngestChunk, InterFileChunker,
-    IntraFileChunker, RoundFeedback,
+    AdaptiveChunker, AdaptiveTuning, Chunker, Chunking, HybridChunker, IngestChunk,
+    InterFileChunker, IntraFileChunker, RoundFeedback,
 };
 use crate::container::Container;
 use crate::error::{Result, SupmrError};
@@ -107,6 +108,43 @@ pub(crate) fn run<J: MapReduce>(
     }
 }
 
+/// Surface a self-tuning chunker's state after a feedback round: mirror
+/// the fitted model into the `supmr.adaptive.*` gauges every round, and
+/// when the chosen size actually moved, record it as a `chunk-feedback`
+/// governor action (trace event, plus the report log when the job runs
+/// under a governor).
+fn surface_tuning(
+    tuning: Option<AdaptiveTuning>,
+    last_chunk_bytes: &mut u64,
+    gauges: Option<&AdaptiveGauges>,
+    active: Option<&Arc<ActiveConfig>>,
+    tracer: &Tracer,
+) {
+    let Some(tuning) = tuning else { return };
+    if let Some(g) = gauges {
+        g.mirror(&tuning);
+    }
+    if tuning.chunk_bytes != *last_chunk_bytes {
+        *last_chunk_bytes = tuning.chunk_bytes;
+        tracer.emit(EventKind::GovernorAction {
+            verdict: "chunk-feedback",
+            knob: "chunk_bytes",
+            value: tuning.chunk_bytes,
+        });
+        if let Some(a) = active {
+            a.record("chunk-feedback", "chunk_bytes", tuning.chunk_bytes);
+        }
+    }
+}
+
+/// The `supmr.adaptive.*` gauge handles, registered only for adaptive
+/// chunking runs with a live registry.
+fn adaptive_gauges(config: &JobConfig) -> Option<AdaptiveGauges> {
+    matches!(config.chunking, Chunking::Adaptive(_))
+        .then(|| config.metrics.as_ref().map(AdaptiveGauges::register))
+        .flatten()
+}
+
 /// What one overlapped ingest reports back to the round loop.
 struct IngestProbe {
     next: io::Result<Option<IngestChunk>>,
@@ -134,6 +172,8 @@ fn run_double_buffered<J: MapReduce>(
     let container = Arc::new(job.make_container());
     container.configure(&super::container_hooks(config));
     let spill = super::setup_spill(job, &container, config, tracer, &wiring)?;
+    let gauges = adaptive_gauges(config);
+    let mut last_tuned_bytes = 0u64;
 
     // Round 0: ingest the first chunk serially.
     timer.begin(Phase::Ingest);
@@ -232,6 +272,13 @@ fn run_double_buffered<J: MapReduce>(
         let feedback =
             RoundFeedback { chunk_bytes: chunk.len() as u64, ingest: probe.took, map: map_time };
         chunker.feedback(feedback);
+        surface_tuning(
+            chunker.tuning(),
+            &mut last_tuned_bytes,
+            gauges.as_ref(),
+            config.active.as_ref(),
+            tracer,
+        );
         stats.rounds.push(super::RoundRecord {
             chunk_bytes: feedback.chunk_bytes,
             ingest: feedback.ingest,
@@ -244,11 +291,73 @@ fn run_double_buffered<J: MapReduce>(
     finish_job(job, container, config, exec, tracer, metrics.as_ref(), spill, timer, stats, wiring)
 }
 
+/// Admission gate for the N-buffered producer when a governor may
+/// deepen the prefetch depth mid-job: the channel is sized to the cap
+/// and this gate enforces the *current* dynamic depth. Waits poll on a
+/// short timeout so a governor widening the depth takes effect without
+/// a wakeup; the consumer closes the gate on exit (unwinds included, via
+/// [`GateGuard`]) so the producer can never wait on a dead pipeline.
+struct PrefetchGate {
+    state: std::sync::Mutex<GateState>,
+    cvar: std::sync::Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    in_flight: usize,
+    closed: bool,
+}
+
+impl PrefetchGate {
+    fn new() -> PrefetchGate {
+        PrefetchGate {
+            state: std::sync::Mutex::new(GateState::default()),
+            cvar: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until a buffer slot is admissible under the current
+    /// dynamic depth, then claim it. Returns immediately once closed.
+    fn admit(&self, active: &ActiveConfig) {
+        let mut st = self.state.lock().expect("prefetch gate poisoned");
+        while !st.closed && st.in_flight >= active.prefetch_depth() {
+            let (guard, _timeout) = self
+                .cvar
+                .wait_timeout(st, Duration::from_millis(5))
+                .expect("prefetch gate poisoned");
+            st = guard;
+        }
+        st.in_flight += 1;
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("prefetch gate poisoned");
+        st.in_flight = st.in_flight.saturating_sub(1);
+        self.cvar.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("prefetch gate poisoned").closed = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// Closes the consumer's side of a [`PrefetchGate`] when dropped.
+struct GateGuard<'a>(&'a PrefetchGate);
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
 /// N-buffered variant: a single long-lived ingest thread streams chunks
 /// through a bounded channel of `prefetch_depth` chunks while the main
 /// thread runs map waves. Round feedback is not delivered here — the
 /// chunker lives on the ingest thread — so adaptive chunking pairs with
-/// `prefetch_depth == 1` (enforced by config validation).
+/// `prefetch_depth == 1` (enforced by config validation). Under a
+/// governor the channel is widened to [`governor::PREFETCH_CAP`] and a
+/// [`PrefetchGate`] enforces the dynamic depth instead.
 fn run_buffered<J: MapReduce>(
     job: &Arc<J>,
     mut chunker: Box<dyn Chunker>,
@@ -268,8 +377,14 @@ fn run_buffered<J: MapReduce>(
     timer.begin(Phase::Ingest);
     timer.begin(Phase::Map);
     let mut map_waiting = Duration::ZERO;
+    let gate = config.active.as_ref().map(|a| (Arc::new(PrefetchGate::new()), Arc::clone(a)));
+    let capacity = match &gate {
+        Some(_) => config.prefetch_depth.max(governor::PREFETCH_CAP),
+        None => config.prefetch_depth,
+    };
     let ingest_result: Result<Duration> = std::thread::scope(|scope| {
-        let (tx, rx) = crossbeam_channel::bounded::<IngestChunk>(config.prefetch_depth);
+        let (tx, rx) = crossbeam_channel::bounded::<IngestChunk>(capacity);
+        let producer_gate = gate.clone();
         let producer_tracer = tracer.clone();
         let producer_metrics = metrics.clone();
         let producer_flow = config.flow.clone();
@@ -295,6 +410,9 @@ fn run_buffered<J: MapReduce>(
                                 f.record_owned(FlowPhase::Ingest, chunk.len() as u64, t0.elapsed());
                             }
                             let s0 = Instant::now();
+                            if let Some((gate, active)) = &producer_gate {
+                                gate.admit(active);
+                            }
                             if tx.send(chunk).is_err() {
                                 break (Ok(()), waited); // consumer went away
                             }
@@ -319,10 +437,14 @@ fn run_buffered<J: MapReduce>(
                 }
             })
             .expect("spawning the pipeline ingest thread");
+        let _gate_guard = gate.as_ref().map(|(g, _)| GateGuard(g));
         let mut round: u32 = 0;
         loop {
             let r0 = Instant::now();
             let Ok(chunk) = rx.recv() else { break };
+            if let Some((g, _)) = &gate {
+                g.release();
+            }
             // Time blocked in recv = the mappers waiting on ingest. The
             // first recv is the pipeline filling (the serial first
             // ingest), not a stall.

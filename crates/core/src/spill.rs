@@ -58,8 +58,10 @@ use supmr_storage::{RunGuard, RunStore};
 #[derive(Debug)]
 pub struct MemoryAccountant {
     budget: u64,
-    high: u64,
-    low: u64,
+    /// Watermarks are atomic so the feedback governor can tighten them
+    /// mid-job (a pre-emptive drain lowers `low` to flush deeper).
+    high: AtomicU64,
+    low: AtomicU64,
     resident: AtomicU64,
     /// Live mirror of `resident` (`supmr.spill.resident_bytes`).
     gauge: Option<Gauge>,
@@ -70,8 +72,8 @@ impl MemoryAccountant {
     pub fn new(budget: u64) -> MemoryAccountant {
         MemoryAccountant {
             budget,
-            high: (budget / 5 * 4).max(1),
-            low: (budget / 2).max(1),
+            high: AtomicU64::new((budget / 5 * 4).max(1)),
+            low: AtomicU64::new((budget / 2).max(1)),
             resident: AtomicU64::new(0),
             gauge: None,
         }
@@ -88,6 +90,23 @@ impl MemoryAccountant {
         self.budget
     }
 
+    /// The current high watermark (start spilling above this).
+    pub fn high(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// The current low watermark (drain down to this).
+    pub fn low(&self) -> u64 {
+        self.low.load(Ordering::Relaxed)
+    }
+
+    /// Move the low watermark — the governor's pre-emptive-drain lever.
+    /// Clamped to at least 1 and at most the high watermark so the
+    /// hysteresis band never inverts.
+    pub fn set_low(&self, low: u64) {
+        self.low.store(low.clamp(1, self.high()), Ordering::Relaxed);
+    }
+
     /// Record `bytes` landing in memory. Returns `true` when residency
     /// is now above the high watermark (the caller should spill).
     pub fn charge(&self, bytes: u64) -> bool {
@@ -95,7 +114,7 @@ impl MemoryAccountant {
         if let Some(g) = &self.gauge {
             g.set(now.min(i64::MAX as u64) as i64);
         }
-        now > self.high
+        now > self.high()
     }
 
     /// Record `bytes` leaving memory (spilled or dropped).
@@ -130,12 +149,12 @@ impl MemoryAccountant {
     /// Whether residency still exceeds the low watermark (keep
     /// spilling).
     pub fn over_low(&self) -> bool {
-        self.resident() > self.low
+        self.resident() > self.low()
     }
 
     /// Whether residency exceeds the high watermark (start spilling).
     pub fn over_high(&self) -> bool {
-        self.resident() > self.high
+        self.resident() > self.high()
     }
 }
 

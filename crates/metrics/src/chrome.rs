@@ -151,6 +151,25 @@ pub fn to_chrome_json(trace: &JobTrace) -> String {
                         ),
                     ]));
                 }
+                EventKind::GovernorAction { verdict, knob, value } => {
+                    events.push(Json::obj(vec![
+                        ("name", Json::Str(format!("governor: {knob}"))),
+                        ("cat", Json::str("governor")),
+                        ("ph", Json::str("i")),
+                        ("s", Json::str("t")),
+                        ("pid", Json::from(PID)),
+                        ("tid", Json::from(tid as u64)),
+                        ("ts", Json::from(event.t_us)),
+                        (
+                            "args",
+                            Json::obj(vec![
+                                ("verdict", Json::str(verdict)),
+                                ("knob", Json::str(knob)),
+                                ("value", Json::from(value)),
+                            ]),
+                        ),
+                    ]));
+                }
                 _ => {}
             }
         }
@@ -237,6 +256,11 @@ pub(crate) fn event_line(thread_name: &str, event: &TraceEvent) -> Json {
         EventKind::IngestWaitingForContainer { chunk, wait_us } => {
             pairs.push(("chunk", Json::from(u64::from(chunk))));
             pairs.push(("wait_us", Json::from(wait_us)));
+        }
+        EventKind::GovernorAction { verdict, knob, value } => {
+            pairs.push(("verdict", Json::str(verdict)));
+            pairs.push(("knob", Json::str(knob)));
+            pairs.push(("value", Json::from(value)));
         }
     }
     Json::obj(pairs)

@@ -81,7 +81,7 @@ impl CsvTable {
 
 /// Columns of the trace CSV, in order. Sparse: a column is empty for
 /// events whose payload does not carry it.
-const TRACE_COLUMNS: [&str; 19] = [
+const TRACE_COLUMNS: [&str; 22] = [
     "seq",
     "t_us",
     "thread",
@@ -101,6 +101,9 @@ const TRACE_COLUMNS: [&str; 19] = [
     "runs",
     "pairs",
     "wait_us",
+    "verdict",
+    "knob",
+    "value",
 ];
 
 /// Render a trace as CSV: one row per event, in global sequence order,
@@ -182,6 +185,15 @@ pub fn to_csv(trace: &JobTrace) -> String {
                     set("chunk", u64::from(chunk));
                     set("wait_us", wait_us);
                 }
+                EventKind::GovernorAction { value, .. } => set("value", value),
+            }
+            // String-valued payload fields land after the numeric
+            // closure releases its borrow of `fields`.
+            if let EventKind::GovernorAction { verdict, knob, .. } = event.kind {
+                let col =
+                    |c: &str| TRACE_COLUMNS.iter().position(|x| *x == c).expect("known column");
+                fields[col("verdict")] = verdict.to_string();
+                fields[col("knob")] = knob.to_string();
             }
             rows.push((event.seq, fields));
         }
@@ -264,6 +276,7 @@ mod tests {
             EventKind::MergeRoundEnd { round: 0 },
             EventKind::StageStart { stage: 9 },
             EventKind::StageEnd { stage: 9, pairs: 1234 },
+            EventKind::GovernorAction { verdict: "ingest-bound", knob: "map_width", value: 3 },
         ];
         let count = all.len();
         let mut names: Vec<&str> = all.iter().map(EventKind::name).collect();
@@ -294,6 +307,11 @@ mod tests {
         let fields: Vec<&str> = external.split(',').collect();
         assert_eq!(fields[col("partition")], "6");
         assert_eq!(fields[col("runs")], "2");
+        let governor = rows.iter().find(|r| r.contains("GovernorAction")).unwrap();
+        let fields: Vec<&str> = governor.split(',').collect();
+        assert_eq!(fields[col("verdict")], "ingest-bound");
+        assert_eq!(fields[col("knob")], "map_width");
+        assert_eq!(fields[col("value")], "3");
     }
 
     #[test]

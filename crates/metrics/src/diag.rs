@@ -347,6 +347,54 @@ impl DiagInputs {
     }
 }
 
+/// One governor tick's view of the job: the classifier's report plus
+/// the raw pressure signals the actuators key on — the sampling half of
+/// the feedback loop (the actuation half lives in
+/// `supmr::runtime::governor`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorSample {
+    /// The classifier's report for this tick.
+    pub report: BottleneckReport,
+    /// p99 of the container absorb-wait histogram, microseconds — the
+    /// shard-contention signal (a rising p99 means workers convoy on
+    /// shard locks even when the summed wait share stays small).
+    pub absorb_wait_p99_us: u64,
+    /// Intermediate bytes currently resident against the budget.
+    pub resident_bytes: u64,
+    /// Configured memory budget (0 = unbounded).
+    pub budget_bytes: u64,
+}
+
+impl GovernorSample {
+    /// Classify a live registry snapshot for one governor tick.
+    /// `wall_us` is the job's elapsed wall-clock and `map_workers` the
+    /// configured map parallelism — the snapshot carries neither (the
+    /// `/debug/diag` path conservatively assumes one worker; the
+    /// governor knows the real width and must normalize with it).
+    pub fn from_snapshot(snap: &MetricsSnapshot, wall_us: u64, map_workers: u64) -> GovernorSample {
+        let mut inputs = DiagInputs::from_snapshot(snap, wall_us);
+        inputs.map_workers = map_workers.max(1);
+        let absorb_wait_p99_us = snap
+            .entries
+            .iter()
+            .filter(|e| e.name == "supmr.container.absorb_wait_us")
+            .filter_map(|e| match &e.value {
+                MetricValue::Histogram(h) => Some(h.p99()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let resident_bytes = inputs.resident_bytes;
+        let budget_bytes = inputs.budget_bytes;
+        GovernorSample {
+            report: BottleneckReport::from_inputs(inputs),
+            absorb_wait_p99_us,
+            resident_bytes,
+            budget_bytes,
+        }
+    }
+}
+
 fn counter_sum(snap: &MetricsSnapshot, name: &str) -> u64 {
     snap.entries
         .iter()
@@ -753,6 +801,27 @@ mod tests {
         assert_eq!(inputs.flows.get(FlowPhase::Ingest).bytes, 8_000_000);
         let report = BottleneckReport::from_inputs(inputs);
         assert_eq!(report.verdict, Bottleneck::IngestBound);
+    }
+
+    #[test]
+    fn governor_sample_overrides_workers_and_reads_p99() {
+        let registry = Registry::new();
+        let ledger = FlowLedger::new();
+        ledger.attach_registry(&registry);
+        ledger.record(FlowPhase::Ingest, 8_000_000, Duration::from_secs(8));
+        let waits = registry.histogram("supmr.container.absorb_wait_us", "", &[]);
+        for _ in 0..50 {
+            waits.record(100);
+        }
+        waits.record(40_000);
+        registry.gauge("supmr.spill.budget_bytes", "", &[]).set(1 << 20);
+        registry.gauge("supmr.spill.resident_bytes", "", &[]).set(900 << 10);
+        let sample = GovernorSample::from_snapshot(&registry.snapshot(), 10_000_000, 4);
+        assert_eq!(sample.report.inputs.map_workers, 4, "governor supplies the real width");
+        assert!(sample.absorb_wait_p99_us >= 40_000 * 31 / 32, "{}", sample.absorb_wait_p99_us);
+        assert_eq!(sample.budget_bytes, 1 << 20);
+        assert_eq!(sample.resident_bytes, 900 << 10);
+        assert_eq!(sample.report.verdict, Bottleneck::IngestBound);
     }
 
     #[test]

@@ -229,6 +229,17 @@ pub enum EventKind {
         /// Idle time in microseconds.
         wait_us: u64,
     },
+    /// The feedback governor changed a runtime knob in response to a
+    /// live bottleneck verdict (instant).
+    GovernorAction {
+        /// The classifier verdict (or controller name) that motivated
+        /// the change, e.g. `"ingest-bound"` or `"chunk-feedback"`.
+        verdict: &'static str,
+        /// Which knob moved, e.g. `"map_width"` or `"chunk_bytes"`.
+        knob: &'static str,
+        /// The knob's new value.
+        value: u64,
+    },
 }
 
 impl EventKind {
@@ -258,6 +269,7 @@ impl EventKind {
             EventKind::StageEnd { .. } => "StageEnd",
             EventKind::MapWaitingForChunk { .. } => "MapWaitingForChunk",
             EventKind::IngestWaitingForContainer { .. } => "IngestWaitingForContainer",
+            EventKind::GovernorAction { .. } => "GovernorAction",
         }
     }
 

@@ -51,7 +51,8 @@ pub mod svg;
 pub mod trace;
 
 pub use diag::{
-    Bottleneck, BottleneckReport, DiagInputs, FlowLedger, FlowPhase, FlowSnapshot, PhaseFlow,
+    Bottleneck, BottleneckReport, DiagInputs, FlowLedger, FlowPhase, FlowSnapshot, GovernorSample,
+    PhaseFlow,
 };
 pub use events::{
     EventCallback, EventKind, JobTrace, Span, SpanKey, StallSide, StallStats, ThreadTrace,
