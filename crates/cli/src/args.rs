@@ -155,54 +155,17 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Parse a size with optional K/M/G/T suffix ("64M" → 67108864).
-/// Fractional magnitudes are allowed ("1.5M"); whole numbers parse
-/// exactly (no float rounding), and anything that does not fit in `u64`
-/// is an overflow error rather than a silent wrap or saturation.
+/// The hardened parser itself lives in [`supmr::parse`] so the serve
+/// API's JSON job specs share it; this wrapper only maps the error
+/// into the CLI's error type.
 pub fn parse_size(s: &str) -> Result<u64, CliError> {
-    let s = s.trim();
-    let (digits, mult) = match s.chars().last() {
-        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
-        Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
-        Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
-        Some('T') | Some('t') => (&s[..s.len() - 1], 1024 * 1024 * 1024 * 1024),
-        _ => (s, 1),
-    };
-    let digits = digits.trim();
-    if digits.is_empty() {
-        return Err(CliError(format!("invalid size '{s}'")));
-    }
-    // Whole numbers take the exact integer path: `u64::MAX` must round-
-    // trip, and overflow must be detected, neither of which f64 can do.
-    if let Ok(whole) = digits.parse::<u64>() {
-        return whole.checked_mul(mult).ok_or_else(|| CliError(format!("size '{s}' overflows")));
-    }
-    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid size '{s}'")))?;
-    if !n.is_finite() || n < 0.0 {
-        return Err(CliError(format!("invalid size '{s}'")));
-    }
-    let scaled = n * mult as f64;
-    if scaled >= u64::MAX as f64 {
-        return Err(CliError(format!("size '{s}' overflows")));
-    }
-    Ok(scaled as u64)
+    supmr::parse::parse_size(s).map_err(|e| CliError(e.0))
 }
 
 /// Parse a duration: bare numbers are seconds, `ms`/`s` suffixes are
-/// explicit ("500ms", "2s", "1.5").
+/// explicit ("500ms", "2s", "1.5"). Delegates to [`supmr::parse`].
 pub fn parse_duration(s: &str) -> Result<Duration, CliError> {
-    let s = s.trim();
-    let (digits, ms_per_unit) = if let Some(d) = s.strip_suffix("ms") {
-        (d, 1.0)
-    } else if let Some(d) = s.strip_suffix('s') {
-        (d, 1000.0)
-    } else {
-        (s, 1000.0)
-    };
-    let n: f64 = digits.parse().map_err(|_| CliError(format!("invalid duration '{s}'")))?;
-    if !n.is_finite() || n < 0.0 {
-        return Err(CliError(format!("invalid duration '{s}'")));
-    }
-    Ok(Duration::from_millis((n * ms_per_unit) as u64))
+    supmr::parse::parse_duration(s).map_err(|e| CliError(e.0))
 }
 
 fn parse_chunking(s: &str) -> Result<ChunkingSpec, CliError> {

@@ -8,8 +8,22 @@ use supmr_metrics::{JobTrace, PhaseTimings};
 
 const USAGE: &str = "\
 usage: supmr <app> [--input PATH | --generate SIZE] [options]
+       supmr serve [--listen ADDR] [serve options]
 
 apps: wordcount terasort grep histogram linreg kmeans
+
+serve options:
+  --listen ADDR      bind address (default 127.0.0.1:8900)
+  --workers N        shared worker pool size (default: cores)
+  --max-concurrent N jobs running at once (default 2)
+  --queue-depth N    bounded admission queue (default 16)
+  --memory-budget SIZE
+                     global budget partitioned across running jobs;
+                     a tenant that outgrows its share spills to disk
+  --job-workers N    per-job wave width default (default: pool size)
+  endpoints: POST /jobs, GET /jobs[/{id}], DELETE /jobs/{id},
+             GET /metrics, GET /debug/governor?job=ID, GET /healthz,
+             POST /shutdown; SIGTERM drains gracefully
 
 options:
   --input PATH       file (stream) or directory (file set)
@@ -142,11 +156,65 @@ fn print_summary(
     }
 }
 
+/// Parse `supmr serve` flags and run the daemon until SIGTERM or
+/// `POST /shutdown`. Never returns on success.
+fn run_serve(argv: &[String]) -> Result<(), String> {
+    let mut listen = "127.0.0.1:8900".to_string();
+    let mut config = supmr_serve::ServeConfig::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?.clone(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a positive integer".to_string())?;
+            }
+            "--max-concurrent" => {
+                config.max_concurrent = value("--max-concurrent")?
+                    .parse()
+                    .map_err(|_| "--max-concurrent needs a positive integer".to_string())?;
+            }
+            "--queue-depth" => {
+                config.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs a positive integer".to_string())?;
+            }
+            "--memory-budget" => {
+                config.memory_budget =
+                    Some(supmr::parse_size(value("--memory-budget")?).map_err(|e| e.to_string())?);
+            }
+            "--job-workers" => {
+                config.default_job_workers = value("--job-workers")?
+                    .parse()
+                    .map_err(|_| "--job-workers needs a positive integer".to_string())?;
+            }
+            other => return Err(format!("unknown serve flag: {other}")),
+        }
+    }
+    let daemon = supmr_serve::Daemon::start(&listen, config)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    eprintln!("supmr serve: listening on http://{}/ (POST /jobs to submit)", daemon.addr());
+    daemon.run();
+    eprintln!("supmr serve: drained, exiting");
+    Ok(())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "-h" {
         print!("{USAGE}");
         std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    if argv[0] == "serve" {
+        if let Err(e) = run_serve(&argv[1..]) {
+            eprintln!("supmr: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        return;
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

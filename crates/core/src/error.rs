@@ -44,6 +44,10 @@ pub enum SupmrError {
         /// The panic payload, rendered to a string.
         payload: String,
     },
+    /// The job was cooperatively cancelled mid-run (a serve-daemon
+    /// `DELETE /jobs/{id}`, or any holder of the job's `ActiveConfig`
+    /// calling `cancel()`). Not retryable: someone asked for the stop.
+    Cancelled,
 }
 
 impl SupmrError {
@@ -92,6 +96,7 @@ impl fmt::Display for SupmrError {
             SupmrError::Ingest { chunk: None, source } => write!(f, "ingest failed: {source}"),
             SupmrError::Merge { message } => write!(f, "merge failed: {message}"),
             SupmrError::TaskPanic { payload } => write!(f, "a task panicked: {payload}"),
+            SupmrError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }

@@ -98,6 +98,7 @@ pub mod combiner;
 pub mod container;
 pub mod error;
 pub mod key;
+pub mod parse;
 pub mod pool;
 pub mod runtime;
 pub mod spill;
@@ -107,11 +108,12 @@ pub use api::{Emit, MapReduce};
 pub use chunk::{Chunking, IngestChunk};
 pub use error::{Result, SupmrError};
 pub use key::{ByteKey, CompactKey};
-pub use pool::{PoolMetrics, PoolMode};
+pub use parse::{parse_duration, parse_size, ParseError};
+pub use pool::{FairShare, PoolMetrics, PoolMode, ShareTicket};
 pub use runtime::{
-    ActionRecord, ActiveConfig, FrameIter, GovernorConfig, GovernorReport, HandoffStats, Input,
-    IterationReport, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
-    Pipeline, PipelineResult, Stage, StageData, StageId, StageMetrics, StageReport,
+    run_with, ActionRecord, ActiveConfig, FrameIter, GovernorConfig, GovernorReport, HandoffStats,
+    Input, IterationReport, Job, JobConfig, JobMetrics, JobReport, JobResult, JobStats, MergeMode,
+    Pipeline, PipelineResult, SharedRun, Stage, StageData, StageId, StageMetrics, StageReport,
 };
 pub use spill::{MemoryAccountant, PairCodec, SpillMetrics};
 pub use supmr_metrics::{

@@ -1,0 +1,115 @@
+//! Shared human-facing value parsing: sizes ("64M") and durations
+//! ("500ms"). The CLI and the serve API's JSON job specs both accept
+//! these spellings, so the hardened parsers (exact whole-number path,
+//! T suffix, overflow errors) live here rather than being duplicated
+//! per front end.
+
+use std::time::Duration;
+
+/// A value-parse error carrying the user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a size with optional K/M/G/T suffix ("64M" → 67108864).
+/// Fractional magnitudes are allowed ("1.5M"); whole numbers parse
+/// exactly (no float rounding), and anything that does not fit in `u64`
+/// is an overflow error rather than a silent wrap or saturation.
+pub fn parse_size(s: &str) -> Result<u64, ParseError> {
+    let s = s.trim();
+    let (digits, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1024u64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1024 * 1024),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        Some('T') | Some('t') => (&s[..s.len() - 1], 1024 * 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    let digits = digits.trim();
+    if digits.is_empty() {
+        return Err(ParseError(format!("invalid size '{s}'")));
+    }
+    // Whole numbers take the exact integer path: `u64::MAX` must round-
+    // trip, and overflow must be detected, neither of which f64 can do.
+    if let Ok(whole) = digits.parse::<u64>() {
+        return whole.checked_mul(mult).ok_or_else(|| ParseError(format!("size '{s}' overflows")));
+    }
+    let n: f64 = digits.parse().map_err(|_| ParseError(format!("invalid size '{s}'")))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(ParseError(format!("invalid size '{s}'")));
+    }
+    let scaled = n * mult as f64;
+    if scaled >= u64::MAX as f64 {
+        return Err(ParseError(format!("size '{s}' overflows")));
+    }
+    Ok(scaled as u64)
+}
+
+/// Parse a duration: bare numbers are seconds, `ms`/`s` suffixes are
+/// explicit ("500ms", "2s", "1.5").
+pub fn parse_duration(s: &str) -> Result<Duration, ParseError> {
+    let s = s.trim();
+    let (digits, ms_per_unit) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1.0)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1000.0)
+    } else {
+        (s, 1000.0)
+    };
+    let n: f64 = digits.parse().map_err(|_| ParseError(format!("invalid duration '{s}'")))?;
+    if !n.is_finite() || n < 0.0 {
+        return Err(ParseError(format!("invalid duration '{s}'")));
+    }
+    Ok(Duration::from_millis((n * ms_per_unit) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert_eq!(parse_size("4K").unwrap(), 4096);
+        assert_eq!(parse_size("64m").unwrap(), 64 * 1024 * 1024);
+        assert_eq!(parse_size("2G").unwrap(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(parse_size("1T").unwrap(), 1024u64.pow(4));
+        assert_eq!(parse_size("1.5K").unwrap(), 1536);
+    }
+
+    #[test]
+    fn size_whole_numbers_parse_exactly() {
+        assert_eq!(parse_size(&u64::MAX.to_string()).unwrap(), u64::MAX);
+        // 2^53 + 1: representable in u64, not in f64.
+        assert_eq!(parse_size("9007199254740993").unwrap(), 9007199254740993);
+    }
+
+    #[test]
+    fn size_overflow_is_an_error_not_a_wrap() {
+        assert!(parse_size("20000000000000000000").is_err());
+        assert!(parse_size("18446744073709551615K").is_err());
+        assert!(parse_size("17T").unwrap() > 0);
+    }
+
+    #[test]
+    fn size_rejects_degenerate_inputs() {
+        for bad in ["", "K", " M ", "nan", "inf", "infG", "-1", "-2K"] {
+            assert!(parse_size(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn duration_suffixes() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5").unwrap(), Duration::from_millis(1500));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-1s").is_err());
+    }
+}

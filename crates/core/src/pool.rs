@@ -423,6 +423,108 @@ impl Executor<'_> {
     }
 }
 
+/// Weighted fair-share division of a fixed slot count across live
+/// tenants — the serve daemon's per-job wave tickets over one shared
+/// [`WorkerPool`].
+///
+/// Each running job registers a [`ShareTicket`] carrying its priority
+/// weight and an *apply* callback; whenever membership changes (a job
+/// registers or its ticket drops) every live tenant's callback is
+/// invoked with its recomputed cap `max(1, slots·weight/Σweights)`.
+/// Jobs route the callback into their `ActiveConfig` share cap, so
+/// wave widths (static or governor-raised) actuate within the share.
+pub struct FairShare {
+    slots: usize,
+    tenants: parking_lot::Mutex<Vec<Tenant>>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+struct Tenant {
+    id: u64,
+    weight: usize,
+    apply: Box<dyn Fn(usize) + Send>,
+}
+
+impl FairShare {
+    /// A ledger dividing `slots` worker slots (at least 1).
+    pub fn new(slots: usize) -> Arc<FairShare> {
+        Arc::new(FairShare {
+            slots: slots.max(1),
+            tenants: parking_lot::Mutex::new(Vec::new()),
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The slot count being divided.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Live tenants.
+    pub fn tenants(&self) -> usize {
+        self.tenants.lock().len()
+    }
+
+    /// Register a tenant with `weight` (clamped to ≥ 1). `apply` is
+    /// called with the tenant's cap on every rebalance — including
+    /// immediately, before this returns — from whichever thread
+    /// triggered the membership change.
+    pub fn register(
+        self: &Arc<Self>,
+        weight: usize,
+        apply: impl Fn(usize) + Send + 'static,
+    ) -> ShareTicket {
+        let id = self.next_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut tenants = self.tenants.lock();
+        tenants.push(Tenant { id, weight: weight.max(1), apply: Box::new(apply) });
+        Self::rebalance(self.slots, &tenants);
+        ShareTicket { id, share: Arc::clone(self) }
+    }
+
+    fn rebalance(slots: usize, tenants: &[Tenant]) {
+        let total: usize = tenants.iter().map(|t| t.weight).sum();
+        for t in tenants {
+            let cap = (slots * t.weight / total.max(1)).max(1);
+            (t.apply)(cap);
+        }
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut tenants = self.tenants.lock();
+        tenants.retain(|t| t.id != id);
+        Self::rebalance(self.slots, &tenants);
+    }
+}
+
+impl std::fmt::Debug for FairShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairShare")
+            .field("slots", &self.slots)
+            .field("tenants", &self.tenants())
+            .finish()
+    }
+}
+
+/// A tenant's registration in a [`FairShare`]; dropping it releases the
+/// share back to the remaining tenants (their callbacks fire with the
+/// enlarged caps).
+pub struct ShareTicket {
+    id: u64,
+    share: Arc<FairShare>,
+}
+
+impl Drop for ShareTicket {
+    fn drop(&mut self) {
+        self.share.deregister(self.id);
+    }
+}
+
+impl std::fmt::Debug for ShareTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShareTicket").field("id", &self.id).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,5 +779,55 @@ mod tests {
         let pooled = Executor::Pool(&pool).run_collect(2, vec![1, 2, 3], |_, x: i32| x * 10).0;
         assert_eq!(wave, pooled);
         assert_eq!(wave, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn fair_share_divides_slots_by_weight() {
+        let share = FairShare::new(12);
+        let a_cap = Arc::new(AtomicU64::new(0));
+        let b_cap = Arc::new(AtomicU64::new(0));
+        let _a = share.register(2, {
+            let cap = Arc::clone(&a_cap);
+            move |c| cap.store(c as u64, Ordering::Relaxed)
+        });
+        assert_eq!(a_cap.load(Ordering::Relaxed), 12, "sole tenant owns every slot");
+        let b = share.register(4, {
+            let cap = Arc::clone(&b_cap);
+            move |c| cap.store(c as u64, Ordering::Relaxed)
+        });
+        assert_eq!(share.tenants(), 2);
+        assert_eq!(a_cap.load(Ordering::Relaxed), 4, "weight 2 of 6 → a third");
+        assert_eq!(b_cap.load(Ordering::Relaxed), 8, "weight 4 of 6 → two thirds");
+        drop(b);
+        assert_eq!(share.tenants(), 1);
+        assert_eq!(a_cap.load(Ordering::Relaxed), 12, "departed share is returned");
+    }
+
+    #[test]
+    fn fair_share_never_starves_a_tenant() {
+        // More tenants than slots: everyone still gets at least 1.
+        let share = FairShare::new(2);
+        let caps: Vec<Arc<AtomicU64>> = (0..4).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let _tickets: Vec<ShareTicket> = caps
+            .iter()
+            .map(|cap| {
+                let cap = Arc::clone(cap);
+                share.register(1, move |c| cap.store(c as u64, Ordering::Relaxed))
+            })
+            .collect();
+        for cap in &caps {
+            assert_eq!(cap.load(Ordering::Relaxed), 1, "floor of one slot each");
+        }
+    }
+
+    #[test]
+    fn fair_share_zero_weight_is_clamped() {
+        let share = FairShare::new(8);
+        let cap = Arc::new(AtomicU64::new(0));
+        let _t = share.register(0, {
+            let cap = Arc::clone(&cap);
+            move |c| cap.store(c as u64, Ordering::Relaxed)
+        });
+        assert_eq!(cap.load(Ordering::Relaxed), 8, "weight clamps to 1, not 0");
     }
 }

@@ -105,6 +105,13 @@ pub struct ActiveConfig {
     /// One-shot pre-emptive spill drain request, consumed by the next
     /// absorb that sees it.
     drain: AtomicBool,
+    /// Multi-tenant fair-share ceiling on both wave widths (0 = no
+    /// cap). The serve daemon's share ledger moves this as jobs come
+    /// and go; the governor's own raises stay clamped underneath it,
+    /// so per-job tuning actuates *within* the job's share.
+    share_cap: AtomicUsize,
+    /// Cooperative cancellation flag, polled at round/phase boundaries.
+    cancelled: AtomicBool,
     /// The job's byte ledger, attached once spill wiring exists — the
     /// governor's low-watermark lever.
     accountant: Mutex<Option<Arc<MemoryAccountant>>>,
@@ -133,6 +140,8 @@ impl ActiveConfig {
             prefetch_depth: AtomicUsize::new(prefetch_depth.max(1)),
             shard_mask: AtomicU64::new(0),
             drain: AtomicBool::new(false),
+            share_cap: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
             accountant: Mutex::new(None),
             actions: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
@@ -140,9 +149,9 @@ impl ActiveConfig {
         }
     }
 
-    /// Current effective map wave width.
+    /// Current effective map wave width, clamped under the share cap.
     pub fn map_width(&self) -> usize {
-        self.map_width.load(Ordering::Relaxed)
+        self.capped(self.map_width.load(Ordering::Relaxed))
     }
 
     /// Move the map wave width (clamped to at least 1).
@@ -150,9 +159,10 @@ impl ActiveConfig {
         self.map_width.store(w.max(1), Ordering::Relaxed);
     }
 
-    /// Current effective reduce wave width.
+    /// Current effective reduce wave width, clamped under the share
+    /// cap.
     pub fn reduce_width(&self) -> usize {
-        self.reduce_width.load(Ordering::Relaxed)
+        self.capped(self.reduce_width.load(Ordering::Relaxed))
     }
 
     /// Move the reduce wave width (clamped to at least 1). Partition
@@ -179,6 +189,34 @@ impl ActiveConfig {
     /// Move the sweep rotation mask (clamped to `0..=63`).
     pub fn set_shard_mask(&self, mask: u64) {
         self.shard_mask.store(mask.min(SHARD_MASK_CAP), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn capped(&self, w: usize) -> usize {
+        match self.share_cap.load(Ordering::Relaxed) {
+            0 => w,
+            cap => w.min(cap),
+        }
+    }
+
+    /// The current fair-share ceiling (0 = uncapped).
+    pub fn share_cap(&self) -> usize {
+        self.share_cap.load(Ordering::Relaxed)
+    }
+
+    /// Set the fair-share ceiling on both wave widths; 0 removes it.
+    pub fn set_share_cap(&self, cap: usize) {
+        self.share_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Ask the job to stop at its next cancellation point. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
     }
 
     /// Request one pre-emptive spill drain from the container.

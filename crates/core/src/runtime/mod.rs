@@ -342,6 +342,17 @@ impl JobConfig {
     pub(crate) fn effective_reduce_workers(&self) -> usize {
         self.active.as_ref().map_or(self.reduce_workers, |a| a.reduce_width())
     }
+
+    /// Cooperative cancellation point: fail with
+    /// [`SupmrError::Cancelled`] once any holder of the job's
+    /// [`ActiveConfig`] has called `cancel()`. Checked at round and
+    /// phase boundaries, so a cancelled job stops within one wave.
+    pub(crate) fn check_cancelled(&self) -> Result<()> {
+        match &self.active {
+            Some(a) if a.is_cancelled() => Err(SupmrError::Cancelled),
+            _ => Ok(()),
+        }
+    }
 }
 
 /// Measured timeline of one pipeline round — the Fig. 2/Fig. 4
@@ -671,6 +682,25 @@ pub(crate) fn run_stage<J: MapReduce>(
     }
 }
 
+/// Host-provided facilities for running a job inside a larger serving
+/// process: a shared persistent [`WorkerPool`] instead of a job-private
+/// one, a pre-built byte ledger (a tenant's partition of a global
+/// budget), and a run-name prefix so concurrent jobs sharing one spill
+/// store never collide. [`Job::run`] is the degenerate case where
+/// everything is job-private.
+#[derive(Default)]
+pub struct SharedRun<'p> {
+    /// Dispatch waves onto this pool rather than provisioning one.
+    /// Overrides [`JobConfig::pool`]; the pool's spawn cost is the
+    /// host's, so `threads_spawned` stays 0 for the job.
+    pub pool: Option<&'p WorkerPool>,
+    /// A host-built [`MemoryAccountant`] (gauge already attached); the
+    /// job budgets against it instead of building its own.
+    pub accountant: Option<Arc<MemoryAccountant>>,
+    /// Prefix for this job's spill run names.
+    pub run_prefix: String,
+}
+
 /// The single-stage orchestration behind [`Job::run`]: validate, stand
 /// up the job-scoped facilities (metrics registry + scrape server,
 /// tracer, utilization sampler, persistent pool), run the one stage,
@@ -678,7 +708,19 @@ pub(crate) fn run_stage<J: MapReduce>(
 pub(crate) fn run_single<J: MapReduce>(
     job: J,
     input: Input,
+    config: JobConfig,
+) -> Result<JobResult<J::Key, J::Output>> {
+    run_with(job, input, config, SharedRun::default())
+}
+
+/// Run one job against host-shared facilities ([`SharedRun`]) — the
+/// serve daemon's per-job entry point. Behaves exactly like
+/// [`Job::run`] when `shared` is default.
+pub fn run_with<J: MapReduce>(
+    job: J,
+    input: Input,
     mut config: JobConfig,
+    shared: SharedRun<'_>,
 ) -> Result<JobResult<J::Key, J::Output>> {
     config.validate()?;
     // A scrape endpoint implies a registry for it to expose; so does
@@ -708,16 +750,17 @@ pub(crate) fn run_single<J: MapReduce>(
     let tracer = Tracer::new(config.trace, callback);
     let sampler = config.sample_utilization.map(UtilizationSampler::start);
     let job = Arc::new(job);
-    let pool = (config.pool == PoolMode::Persistent).then(|| {
+    let pool = (shared.pool.is_none() && config.pool == PoolMode::Persistent).then(|| {
         WorkerPool::new_instrumented(
             config.map_workers.max(config.reduce_workers),
             tracer.clone(),
             registry.as_ref().map(PoolMetrics::register),
         )
     });
-    let exec = match &pool {
-        Some(p) => Executor::Pool(p),
-        None => Executor::Wave,
+    let exec = match (shared.pool, &pool) {
+        (Some(host), _) => Executor::Pool(host),
+        (None, Some(p)) => Executor::Pool(p),
+        (None, None) => Executor::Wave,
     };
     // Stand up the feedback governor: shared dynamic knobs seeded from
     // the static widths, plus the sampling thread that moves them.
@@ -740,7 +783,9 @@ pub(crate) fn run_single<J: MapReduce>(
             },
         )
     });
-    let stage = run_stage(&job, input, &config, exec, &tracer, StageWiring::default())?;
+    let wiring =
+        StageWiring { handoff: None, accountant: shared.accountant, run_prefix: shared.run_prefix };
+    let stage = run_stage(&job, input, &config, exec, &tracer, wiring)?;
     let mut result = match stage.output {
         StageOutput::Pairs(pairs) => JobResult { pairs, report: stage.report },
         StageOutput::Handoff(_) => unreachable!("single-stage wiring requests no hand-off"),
@@ -1108,6 +1153,7 @@ pub(crate) fn finish_job<J: MapReduce>(
         stats.spill_bytes = sp.bytes_written();
     }
 
+    config.check_cancelled()?;
     // Stream reduced pairs straight into frames only when no merge
     // reorders them afterwards; a sorted hand-off must materialize.
     let streamed = wiring.handoff.filter(|_| matches!(config.merge, MergeMode::Unsorted));

@@ -49,6 +49,7 @@ pub(crate) fn run<J: MapReduce>(
     stats.bytes_ingested = chunk.len() as u64;
     stats.ingest_chunks = 1;
 
+    config.check_cancelled()?;
     timer.begin(Phase::Map);
     let outcome = map_wave(job, &container, &chunk, config, exec, tracer, metrics.as_ref(), 0);
     timer.end(Phase::Map);

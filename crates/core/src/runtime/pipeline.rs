@@ -193,6 +193,7 @@ fn run_double_buffered<J: MapReduce>(
 
     let mut round: u32 = 0;
     while let Some(chunk) = current.take() {
+        config.check_cancelled()?;
         stats.ingest_chunks += 1;
         stats.bytes_ingested += chunk.len() as u64;
         stats.map_rounds += 1;
@@ -437,9 +438,14 @@ fn run_buffered<J: MapReduce>(
                 }
             })
             .expect("spawning the pipeline ingest thread");
-        let _gate_guard = gate.as_ref().map(|(g, _)| GateGuard(g));
+        let gate_guard = gate.as_ref().map(|(g, _)| GateGuard(g));
         let mut round: u32 = 0;
+        let mut cancelled = false;
         loop {
+            if config.check_cancelled().is_err() {
+                cancelled = true;
+                break;
+            }
             let r0 = Instant::now();
             let Ok(chunk) = rx.recv() else { break };
             if let Some((g, _)) = &gate {
@@ -468,7 +474,15 @@ fn run_buffered<J: MapReduce>(
             stats.add_wave(outcome);
             round += 1;
         }
+        // On cancellation the producer may be blocked in `send` (full
+        // channel) or in the prefetch gate; dropping the receiver and
+        // the gate guard unblocks it so the join below cannot hang.
+        drop(rx);
+        drop(gate_guard);
         let (result, ingest_waited) = producer.join().expect("ingest thread panicked");
+        if cancelled {
+            return Err(SupmrError::Cancelled);
+        }
         result.map(|()| ingest_waited)
     });
     stats.ingest_waiting += ingest_result?;

@@ -57,7 +57,9 @@ use supmr_storage::{RunGuard, RunStore};
 /// so one borderline insert does not cause a storm of tiny runs.
 #[derive(Debug)]
 pub struct MemoryAccountant {
-    budget: u64,
+    /// Atomic so a multi-tenant host can re-partition a global budget
+    /// across live jobs mid-run ([`MemoryAccountant::set_budget`]).
+    budget: AtomicU64,
     /// Watermarks are atomic so the feedback governor can tighten them
     /// mid-job (a pre-emptive drain lowers `low` to flush deeper).
     high: AtomicU64,
@@ -71,7 +73,7 @@ impl MemoryAccountant {
     /// A ledger over `budget` bytes (high = 80%, low = 50%).
     pub fn new(budget: u64) -> MemoryAccountant {
         MemoryAccountant {
-            budget,
+            budget: AtomicU64::new(budget),
             high: AtomicU64::new((budget / 5 * 4).max(1)),
             low: AtomicU64::new((budget / 2).max(1)),
             resident: AtomicU64::new(0),
@@ -87,7 +89,19 @@ impl MemoryAccountant {
 
     /// The configured budget.
     pub fn budget(&self) -> u64 {
-        self.budget
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Re-point the ledger at a new budget, recomputing both watermarks
+    /// at their default ratios (high = 80%, low = 50%). The resident
+    /// count is untouched: if the new budget is smaller than what is
+    /// already charged, the next `charge` reports over-high and the
+    /// container spills its way down — shrinking a tenant's share never
+    /// fails the job, it just makes it spill.
+    pub fn set_budget(&self, budget: u64) {
+        self.budget.store(budget, Ordering::Relaxed);
+        self.high.store((budget / 5 * 4).max(1), Ordering::Relaxed);
+        self.low.store((budget / 2).max(1), Ordering::Relaxed);
     }
 
     /// The current high watermark (start spilling above this).

@@ -576,6 +576,24 @@ impl TraceRing {
         }
         out
     }
+
+    /// The newest `n` [`EventKind::GovernorAction`] events as JSONL,
+    /// oldest of the tail first — the `/debug/governor` feed. Other
+    /// event kinds never count against `n`.
+    pub fn tail_governor_jsonl(&self, n: usize) -> String {
+        let buf = self.buf.lock();
+        let actions: Vec<&(String, TraceEvent)> = buf
+            .iter()
+            .filter(|(_, e)| matches!(e.kind, EventKind::GovernorAction { .. }))
+            .collect();
+        let skip = actions.len().saturating_sub(n);
+        let mut out = String::new();
+        for (name, event) in actions.into_iter().skip(skip) {
+            out.push_str(&crate::chrome::event_line(name, event).render());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl std::fmt::Debug for TraceRing {

@@ -64,7 +64,7 @@ pub use registry::{
     Counter, Gauge, GaugeGuard, Histogram, HistogramSnapshot, MetricEntry, MetricKind, MetricValue,
     MetricsSnapshot, Registry,
 };
-pub use server::{DebugState, MetricsServer};
+pub use server::{DebugState, HttpHandler, HttpRequest, HttpResponse, MetricsServer};
 pub use stats::Summary;
 pub use stopwatch::Stopwatch;
 pub use trace::{UtilSample, UtilTrace};

@@ -1,11 +1,12 @@
-//! A std-only scrape and debug endpoint for [`crate::registry`].
+//! A std-only HTTP endpoint: the scrape/debug surface for
+//! [`crate::registry`], generalized enough for the `supmr serve` job
+//! daemon to mount its API on the same machinery.
 //!
 //! [`MetricsServer::serve`] binds a [`std::net::TcpListener`] and
 //! answers `GET /metrics` with the live OpenMetrics exposition of a
 //! [`Registry`] — enough HTTP for `curl` and a Prometheus scraper, with
 //! no framework dependency. [`MetricsServer::serve_debug`] extends the
-//! routing with the live debug surface the `supmr serve` daemon will
-//! reuse:
+//! routing with the live debug surface:
 //!
 //! * `GET /metrics` (or `/`) — OpenMetrics exposition.
 //! * `GET /healthz` — liveness probe, `200 ok`.
@@ -14,15 +15,23 @@
 //!   fresh registry snapshot, as `supmr.diag.v1` JSON.
 //! * `GET /debug/trace?tail=N` — the newest `N` trace events as JSONL
 //!   from the job's bounded [`TraceRing`] (empty without a ring).
+//! * `GET /debug/governor?tail=N[&job=ID]` — the newest `N`
+//!   `GovernorAction` decisions from the same ring, as JSONL. With a
+//!   `job=` filter, answered only when it names this surface's job.
 //!
-//! `HEAD` is answered for every route (headers only); any other method
-//! gets `405 Method Not Allowed` with an `Allow` header. The request
-//! line is capped at 8 KiB — longer lines are rejected with `400`
-//! before any further buffering. The accept loop runs on one background
-//! thread; each request is answered from a fresh
-//! [`Registry::snapshot`], so scrapes observe the job mid-flight.
-//! Dropping the server (or calling [`MetricsServer::shutdown`]) stops
-//! the thread by poking the listener with a loopback connection.
+//! On those surfaces `HEAD` is answered for every route (headers only)
+//! and any other method gets `405 Method Not Allowed` with an `Allow`
+//! header. [`MetricsServer::serve_with`] is the general form: it parses
+//! any all-uppercase method plus an optional `Content-Length` body
+//! (capped at [`MAX_BODY`]) and hands the [`HttpRequest`] to a caller
+//! handler — how the job daemon serves `POST /jobs` and
+//! `DELETE /jobs/{id}` without its own HTTP stack. The request line is
+//! capped at 8 KiB — longer lines are rejected with `400` before any
+//! further buffering. The accept loop runs on one background thread;
+//! each request is answered from a fresh [`Registry::snapshot`], so
+//! scrapes observe the job mid-flight. Dropping the server (or calling
+//! [`MetricsServer::shutdown`]) stops the thread by poking the listener
+//! with a loopback connection.
 
 use crate::diag::{BottleneckReport, DiagInputs};
 use crate::events::TraceRing;
@@ -36,10 +45,23 @@ use std::time::{Duration, Instant};
 /// The exposition content type OpenMetrics scrapers negotiate.
 pub const CONTENT_TYPE: &str = "application/openmetrics-text; version=1.0.0; charset=utf-8";
 
-const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+/// Plain text responses (errors, health probes).
+pub const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+
+/// JSON responses (reports, job status).
+pub const APPLICATION_JSON: &str = "application/json; charset=utf-8";
+
+/// Line-delimited JSON responses (trace tails).
+pub const NDJSON: &str = "application/x-ndjson; charset=utf-8";
 
 /// Hard cap on the request line: reject before buffering anything more.
 const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Hard cap on the header block while searching for its terminator.
+const MAX_HEADERS: usize = 16 * 1024;
+
+/// Hard cap on a request body (`Content-Length` past this is 413).
+pub const MAX_BODY: usize = 1024 * 1024;
 
 /// Default `tail` for `/debug/trace` when the query omits it.
 const DEFAULT_TRACE_TAIL: usize = 256;
@@ -50,18 +72,26 @@ const DEFAULT_TRACE_TAIL: usize = 256;
 pub struct DebugState {
     registry: Registry,
     ring: Option<Arc<TraceRing>>,
+    job_id: Option<String>,
     started: Instant,
 }
 
 impl DebugState {
     /// Debug state over `registry`, with the job epoch starting now.
     pub fn new(registry: Registry) -> DebugState {
-        DebugState { registry, ring: None, started: Instant::now() }
+        DebugState { registry, ring: None, job_id: None, started: Instant::now() }
     }
 
     /// Attach the bounded event ring backing `/debug/trace`.
     pub fn with_ring(mut self, ring: Arc<TraceRing>) -> DebugState {
         self.ring = Some(ring);
+        self
+    }
+
+    /// Name the job this surface belongs to, so a
+    /// `/debug/governor?job=ID` filter can be answered (or refused).
+    pub fn with_job(mut self, job_id: impl Into<String>) -> DebugState {
+        self.job_id = Some(job_id.into());
         self
     }
 
@@ -78,7 +108,70 @@ impl DebugState {
     }
 }
 
-/// A running scrape/debug endpoint. Stops when dropped.
+/// One parsed HTTP request, as handed to a [`HttpHandler`].
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// The request method, uppercase (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// The request target, query string included (`/jobs/3?x=y`).
+    pub path: String,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The path without its query string.
+    pub fn route(&self) -> &str {
+        self.path.split_once('?').map_or(self.path.as_str(), |(r, _)| r)
+    }
+
+    /// The first value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        let (_, q) = self.path.split_once('?')?;
+        q.split('&').find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+    }
+}
+
+/// What a handler answers with. Construct via [`HttpResponse::ok`] /
+/// [`HttpResponse::error`] or literally for full control.
+pub struct HttpResponse {
+    /// Status line tail, e.g. `"200 OK"`.
+    pub status: &'static str,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (dropped for `HEAD`, length still advertised).
+    pub body: String,
+    /// When set, emitted as an `Allow:` header (405 responses).
+    pub allow: Option<&'static str>,
+}
+
+impl HttpResponse {
+    /// A `200 OK` with the given body.
+    pub fn ok(content_type: &'static str, body: String) -> HttpResponse {
+        HttpResponse { status: "200 OK", content_type, body, allow: None }
+    }
+
+    /// A plain-text error response.
+    pub fn error(status: &'static str, body: &str) -> HttpResponse {
+        HttpResponse { status, content_type: TEXT_PLAIN, body: body.to_string(), allow: None }
+    }
+
+    /// A `405 Method Not Allowed` advertising `allow`.
+    pub fn method_not_allowed(allow: &'static str) -> HttpResponse {
+        HttpResponse {
+            status: "405 Method Not Allowed",
+            content_type: TEXT_PLAIN,
+            body: "method not allowed\n".to_string(),
+            allow: Some(allow),
+        }
+    }
+}
+
+/// The routing callback behind [`MetricsServer::serve_with`]. Called
+/// inline on the accept thread for every parsed request.
+pub type HttpHandler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
+/// A running HTTP endpoint. Stops when dropped.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -93,15 +186,28 @@ impl MetricsServer {
     }
 
     /// Bind `addr` and serve the full debug surface (`/metrics`,
-    /// `/healthz`, `/debug/diag`, `/debug/trace`) until shutdown.
+    /// `/healthz`, `/debug/diag`, `/debug/trace`, `/debug/governor`)
+    /// until shutdown. GET/HEAD only; anything else is 405.
     pub fn serve_debug(addr: &str, state: DebugState) -> std::io::Result<MetricsServer> {
+        let handler: HttpHandler = Arc::new(move |req| match req.method.as_str() {
+            "GET" | "HEAD" => route(&req.path, &state),
+            _ => HttpResponse::method_not_allowed("GET, HEAD"),
+        });
+        MetricsServer::serve_with(addr, handler)
+    }
+
+    /// Bind `addr` and route every request through `handler` — the
+    /// general form the job-service daemon mounts its API on. `HEAD`
+    /// is delivered to the handler like `GET` (same routing) but the
+    /// response body is suppressed on the wire.
+    pub fn serve_with(addr: &str, handler: HttpHandler) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("metrics-server".into())
-            .spawn(move || accept_loop(listener, state, flag))?;
+            .spawn(move || accept_loop(listener, handler, flag))?;
         Ok(MetricsServer { addr, stop, handle: Some(handle) })
     }
 
@@ -131,7 +237,7 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: DebugState, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, handler: HttpHandler, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             break;
@@ -139,67 +245,61 @@ fn accept_loop(listener: TcpListener, state: DebugState, stop: Arc<AtomicBool>) 
         let Ok(stream) = conn else { continue };
         // Serve inline: scrapes are tiny and rare relative to the work
         // the job is doing, so a per-connection thread buys nothing.
-        let _ = handle_connection(stream, &state);
+        let _ = handle_connection(stream, &handler);
     }
 }
 
-struct Response {
-    status: &'static str,
-    content_type: &'static str,
-    body: String,
-    allow: bool,
-}
-
-impl Response {
-    fn ok(content_type: &'static str, body: String) -> Response {
-        Response { status: "200 OK", content_type, body, allow: false }
-    }
-
-    fn error(status: &'static str, body: &str) -> Response {
-        Response { status, content_type: TEXT_PLAIN, body: body.to_string(), allow: false }
-    }
-}
-
-fn route(path: &str, state: &DebugState) -> Response {
+fn route(path: &str, state: &DebugState) -> HttpResponse {
     let (route, query) = match path.split_once('?') {
         Some((r, q)) => (r, Some(q)),
         None => (path, None),
     };
+    let param = |key: &str| {
+        query
+            .into_iter()
+            .flat_map(|q| q.split('&'))
+            .find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+    };
+    let tail = || param("tail").and_then(|v| v.parse::<usize>().ok()).unwrap_or(DEFAULT_TRACE_TAIL);
     match route {
-        "/metrics" | "/" => Response::ok(CONTENT_TYPE, state.registry.render_openmetrics()),
-        "/healthz" => Response::ok(TEXT_PLAIN, "ok\n".to_string()),
-        "/debug/diag" => Response::ok("application/json; charset=utf-8", state.live_diag_json()),
+        "/metrics" | "/" => HttpResponse::ok(CONTENT_TYPE, state.registry.render_openmetrics()),
+        "/healthz" => HttpResponse::ok(TEXT_PLAIN, "ok\n".to_string()),
+        "/debug/diag" => HttpResponse::ok(APPLICATION_JSON, state.live_diag_json()),
         "/debug/trace" => {
-            let tail = query
-                .into_iter()
-                .flat_map(|q| q.split('&'))
-                .find_map(|kv| kv.strip_prefix("tail="))
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(DEFAULT_TRACE_TAIL);
-            let body = state.ring.as_ref().map_or_else(String::new, |r| r.tail_jsonl(tail));
-            Response::ok("application/x-ndjson; charset=utf-8", body)
+            let body = state.ring.as_ref().map_or_else(String::new, |r| r.tail_jsonl(tail()));
+            HttpResponse::ok(NDJSON, body)
         }
-        _ => Response::error("404 Not Found", "not found\n"),
+        "/debug/governor" => {
+            // A job filter on a single-job surface is answered only
+            // for that job; naming any other is a 404, not silence.
+            if let Some(asked) = param("job") {
+                if state.job_id.as_deref() != Some(asked) {
+                    return HttpResponse::error("404 Not Found", "unknown job\n");
+                }
+            }
+            let body =
+                state.ring.as_ref().map_or_else(String::new, |r| r.tail_governor_jsonl(tail()));
+            HttpResponse::ok(NDJSON, body)
+        }
+        _ => HttpResponse::error("404 Not Found", "not found\n"),
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &DebugState) -> std::io::Result<()> {
+fn handle_connection(mut stream: TcpStream, handler: &HttpHandler) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let (response, head_only) = match read_request(&mut stream)? {
-        Request::Get(path) => (route(&path, state), false),
-        Request::Head(path) => (route(&path, state), true),
-        Request::OtherMethod => (
-            Response {
-                status: "405 Method Not Allowed",
-                content_type: TEXT_PLAIN,
-                body: "method not allowed\n".to_string(),
-                allow: true,
-            },
-            false,
-        ),
-        Request::TooLong => (Response::error("400 Bad Request", "request line too long\n"), false),
-        Request::Malformed => (Response::error("400 Bad Request", "bad request\n"), false),
+        Request::Full(req) => {
+            let head_only = req.method == "HEAD";
+            (handler(&req), head_only)
+        }
+        Request::TooLong => {
+            (HttpResponse::error("400 Bad Request", "request line too long\n"), false)
+        }
+        Request::BodyTooLarge => {
+            (HttpResponse::error("413 Payload Too Large", "request body too large\n"), false)
+        }
+        Request::Malformed => (HttpResponse::error("400 Bad Request", "bad request\n"), false),
     };
     let mut header = format!(
         "HTTP/1.1 {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
@@ -207,8 +307,8 @@ fn handle_connection(mut stream: TcpStream, state: &DebugState) -> std::io::Resu
         response.content_type,
         response.body.len()
     );
-    if response.allow {
-        header.push_str("Allow: GET, HEAD\r\n");
+    if let Some(allow) = response.allow {
+        header.push_str(&format!("Allow: {allow}\r\n"));
     }
     header.push_str("\r\n");
     stream.write_all(header.as_bytes())?;
@@ -231,46 +331,83 @@ fn handle_connection(mut stream: TcpStream, state: &DebugState) -> std::io::Resu
 }
 
 enum Request {
-    Get(String),
-    Head(String),
-    /// A recognizable request line with a method we do not serve.
-    OtherMethod,
+    /// A parsed request: method, target, and (possibly empty) body.
+    Full(HttpRequest),
     /// The request line exceeded [`MAX_REQUEST_LINE`] with no newline.
     TooLong,
-    /// Not parseable as an HTTP request line.
+    /// `Content-Length` exceeded [`MAX_BODY`].
+    BodyTooLarge,
+    /// Not parseable as an HTTP request.
     Malformed,
 }
 
-/// Read up to the end of the request line, tolerant of clients that send
-/// the full header block in one segment, refusing to buffer more than
-/// [`MAX_REQUEST_LINE`] bytes while looking for it.
+/// Find the end of the header block (`\r\n\r\n` or `\n\n`), returning
+/// the index just past it.
+fn headers_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Read one request: line, headers, and — when `Content-Length` says so
+/// — the body. Refuses to buffer more than [`MAX_REQUEST_LINE`] bytes
+/// while looking for the first newline, [`MAX_HEADERS`] for the header
+/// terminator, and [`MAX_BODY`] of body.
 fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
     let mut buf = [0u8; 1024];
-    let mut line = Vec::new();
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
+    let mut data = Vec::new();
+    let header_len = loop {
+        if let Some(end) = headers_end(&data) {
+            break end;
         }
-        line.extend_from_slice(&buf[..n]);
-        if line.iter().take(MAX_REQUEST_LINE).any(|b| *b == b'\n') {
-            break;
-        }
-        if line.len() >= MAX_REQUEST_LINE {
+        if !data.iter().take(MAX_REQUEST_LINE).any(|b| *b == b'\n')
+            && data.len() >= MAX_REQUEST_LINE
+        {
             return Ok(Request::TooLong);
         }
-    }
-    let text = String::from_utf8_lossy(&line);
-    let request_line = text.lines().next().unwrap_or("");
-    let mut parts = request_line.split_ascii_whitespace();
-    Ok(match (parts.next(), parts.next()) {
-        (Some("GET"), Some(path)) => Request::Get(path.to_string()),
-        (Some("HEAD"), Some(path)) => Request::Head(path.to_string()),
-        (Some(method), Some(_)) if method.chars().all(|c| c.is_ascii_uppercase()) => {
-            Request::OtherMethod
+        if data.len() >= MAX_HEADERS {
+            return Ok(Request::Malformed);
         }
-        _ => Request::Malformed,
-    })
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            // Header block never terminated; parse what arrived (a bare
+            // request line from a minimal client still routes).
+            break data.len();
+        }
+        data.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&data[..header_len]).into_owned();
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) if !m.is_empty() && m.chars().all(|c| c.is_ascii_uppercase()) => {
+            (m.to_string(), p.to_string())
+        }
+        _ => return Ok(Request::Malformed),
+    };
+    let content_length = head
+        .lines()
+        .skip(1)
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim())
+        })
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Ok(Request::BodyTooLarge);
+    }
+    let mut body = data[header_len..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break; // truncated body: hand over what arrived
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request::Full(HttpRequest { method, path, body }))
 }
 
 #[cfg(test)]
@@ -410,5 +547,91 @@ mod tests {
         let resp = get(bare.addr(), "/debug/trace?tail=5");
         assert!(resp.starts_with("HTTP/1.1 200 OK"), "no ring still answers: {resp}");
         bare.shutdown();
+    }
+
+    #[test]
+    fn debug_governor_filters_actions_and_jobs() {
+        let ring = TraceRing::new(64);
+        let tracer = Tracer::new(TraceLevel::Wave, Some(ring.callback()));
+        // Interleave governor decisions with other events; only the
+        // decisions may come back.
+        for chunk in 0..4u32 {
+            tracer.emit(EventKind::ChunkIngestStart { chunk });
+            tracer.emit(EventKind::GovernorAction {
+                verdict: "ingest-bound",
+                knob: "map_width",
+                value: chunk as u64 + 1,
+            });
+        }
+        let state = DebugState::new(Registry::new()).with_ring(Arc::clone(&ring)).with_job("job-7");
+        let server = MetricsServer::serve_debug("127.0.0.1:0", state).expect("bind");
+        let addr = server.addr();
+
+        let resp = get(addr, "/debug/governor?tail=3");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "only governor actions counted: {body}");
+        for line in &lines {
+            assert!(line.contains("GovernorAction"), "{line}");
+            Json::parse(line).expect("each line is valid JSON");
+        }
+        assert!(lines[2].contains(r#""value":4"#), "newest decision last: {body}");
+
+        // The job filter answers for this job and 404s for others.
+        assert!(get(addr, "/debug/governor?job=job-7").starts_with("HTTP/1.1 200"));
+        assert!(get(addr, "/debug/governor?job=nope").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_with_routes_posts_with_bodies() {
+        type SeenRequest = (String, String, Vec<u8>);
+        let seen: Arc<parking_lot::Mutex<Vec<SeenRequest>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let log = Arc::clone(&seen);
+        let handler: HttpHandler = Arc::new(move |req| {
+            log.lock().push((req.method.clone(), req.path.clone(), req.body.clone()));
+            match (req.method.as_str(), req.route()) {
+                ("POST", "/jobs") => {
+                    HttpResponse::ok(APPLICATION_JSON, format!("{{\"echo\":{}}}\n", req.body.len()))
+                }
+                ("DELETE", _) => HttpResponse::ok(TEXT_PLAIN, "gone\n".to_string()),
+                _ => HttpResponse::error("404 Not Found", "not found\n"),
+            }
+        });
+        let server = MetricsServer::serve_with("127.0.0.1:0", handler).expect("bind");
+        let addr = server.addr();
+
+        let body = r#"{"app":"wordcount"}"#;
+        let resp = request(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            ),
+        );
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains(&format!("\"echo\":{}", body.len())), "{resp}");
+
+        let resp = request(addr, "DELETE /jobs/3 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+
+        {
+            let seen = seen.lock();
+            assert_eq!(seen[0].0, "POST");
+            assert_eq!(seen[0].2, body.as_bytes());
+            assert_eq!(seen[1].0, "DELETE");
+            assert_eq!(seen[1].1, "/jobs/3");
+        }
+
+        // An oversized Content-Length is refused before buffering.
+        let resp = request(
+            addr,
+            &format!("POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1),
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
     }
 }

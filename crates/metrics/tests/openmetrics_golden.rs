@@ -61,6 +61,37 @@ fn label_values_are_escaped_in_exposition() {
     assert!(text.contains(r#"supmr_test_total{path="a\\b\"c\nd"} 1"#), "{text}");
 }
 
+#[test]
+fn golden_exposition_with_hostile_job_name() {
+    // A job service lets clients pick their own job names, which land
+    // verbatim in label values. Pin the exact bytes for a name carrying
+    // every character the OpenMetrics escape set covers — a hostile
+    // name must never break the exposition into extra lines or quotes.
+    let r = Registry::new();
+    let hostile = "evil\\job\"name\nwith newline";
+    r.counter("supmr.jobs.completed", "Jobs finished.", &[("job_id", hostile)]).add(2);
+    r.gauge("supmr.jobs.running", "Jobs in flight.", &[("job_id", hostile)]).set(1);
+    let text = r.render_openmetrics();
+    let expected = "\
+# HELP supmr_jobs_completed Jobs finished.
+# TYPE supmr_jobs_completed counter
+supmr_jobs_completed_total{job_id=\"evil\\\\job\\\"name\\nwith newline\"} 2
+# HELP supmr_jobs_running Jobs in flight.
+# TYPE supmr_jobs_running gauge
+supmr_jobs_running{job_id=\"evil\\\\job\\\"name\\nwith newline\"} 1
+# EOF
+";
+    assert_eq!(text, expected, "hostile-name exposition drifted:\n{text}");
+    // The raw newline never survives into the text: every sample stays
+    // on one physical line.
+    for line in text.lines() {
+        assert!(
+            line.starts_with('#') || line.contains(' '),
+            "broken sample line from unescaped newline: {line:?}"
+        );
+    }
+}
+
 /// Pull every `<family>_bucket{...le="..."}` sample out of an exposition.
 fn bucket_samples(text: &str, family: &str) -> Vec<(String, u64)> {
     let prefix = format!("{family}_bucket{{");

@@ -1,0 +1,459 @@
+//! The HTTP face of the job service, mounted on the generalized
+//! [`MetricsServer::serve_with`] machinery:
+//!
+//! * `POST /jobs` — JSON spec → admitted job, `202` with its id.
+//! * `GET /jobs` — every admitted job, oldest first.
+//! * `GET /jobs/{id}` — status; output summary and full
+//!   `supmr.job_report.v1` once terminal.
+//! * `DELETE /jobs/{id}` — cooperative cancel.
+//! * `GET /metrics` — daemon `supmr.serve.*` families plus every job's
+//!   families labelled `job_id="..."`, one OpenMetrics exposition.
+//! * `GET /debug/governor?job=ID[&tail=N]` — that job's recent
+//!   `GovernorAction` decisions as JSONL.
+//! * `GET /debug/trace?job=ID[&tail=N]` — that job's recent trace tail.
+//! * `GET /healthz` — `ok` (or `draining` during shutdown).
+//! * `POST /shutdown` — begin draining; new submissions get `503`.
+//!
+//! Graceful shutdown: `SIGTERM` (or `POST /shutdown`) flips the drain
+//! flag — running and queued jobs finish, new ones are rejected — and
+//! [`Daemon::run`] returns once the scheduler settles.
+
+use crate::scheduler::{Scheduler, ServeConfig, SubmitError};
+use crate::spec::JobSpec;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use supmr_metrics::openmetrics;
+use supmr_metrics::server::{APPLICATION_JSON, CONTENT_TYPE, NDJSON, TEXT_PLAIN};
+use supmr_metrics::{HttpHandler, HttpRequest, HttpResponse, Json, MetricsServer, MetricsSnapshot};
+
+/// Process-wide drain request flag, flipped by the SIGTERM handler.
+/// Signal handlers may only touch lock-free state, so this is the whole
+/// hand-off: the daemon's run loop polls it.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Install a `SIGTERM` handler that requests a drain (unix only; a
+/// no-op elsewhere — `POST /shutdown` always works).
+fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        extern "C" fn on_term(_sig: i32) {
+            TERM_REQUESTED.store(true, Ordering::Relaxed);
+        }
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// The running job service: scheduler plus HTTP endpoint.
+pub struct Daemon {
+    scheduler: Arc<Scheduler>,
+    server: Option<MetricsServer>,
+    addr: std::net::SocketAddr,
+    /// Flipped by `POST /shutdown`; polled by [`Daemon::run`] alongside
+    /// the SIGTERM flag.
+    shutdown_requested: Arc<AtomicBool>,
+}
+
+impl Daemon {
+    /// Bind `listen` (e.g. `127.0.0.1:8900`; port 0 picks a free port)
+    /// and start serving jobs.
+    pub fn start(listen: &str, config: ServeConfig) -> std::io::Result<Daemon> {
+        let scheduler = Arc::new(Scheduler::start(config));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let handler: HttpHandler = {
+            let scheduler = Arc::clone(&scheduler);
+            let shutdown = Arc::clone(&shutdown_requested);
+            Arc::new(move |req| handle(&scheduler, &shutdown, req))
+        };
+        let server = MetricsServer::serve_with(listen, handler)?;
+        let addr = server.addr();
+        Ok(Daemon { scheduler, server: Some(server), addr, shutdown_requested })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler behind the HTTP surface (for in-process tests).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Whether shutdown was requested by signal or endpoint.
+    pub fn shutdown_requested(&self) -> bool {
+        TERM_REQUESTED.load(Ordering::Relaxed) || self.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Serve until `SIGTERM` or `POST /shutdown`, then drain: stop
+    /// admitting, let queued and running jobs finish, stop the HTTP
+    /// endpoint, and return.
+    pub fn run(mut self) {
+        install_sigterm_handler();
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // Keep serving status reads while jobs drain; only admission is
+        // closed (the handler answers 503 on POST /jobs once draining).
+        self.scheduler.drain();
+        self.scheduler.shutdown(Duration::from_secs(600));
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Immediate teardown for tests: drain, settle, stop the endpoint.
+    pub fn stop(mut self, timeout: Duration) -> bool {
+        let settled = self.scheduler.shutdown(timeout);
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        settled
+    }
+}
+
+/// Merge the daemon's own snapshot with every job's, labelling job
+/// entries `job_id="..."`, and group same-name families adjacently so
+/// the renderer announces each `# HELP`/`# TYPE` exactly once.
+fn merged_exposition(scheduler: &Scheduler) -> String {
+    let mut entries = scheduler.registry().snapshot().entries;
+    for job in scheduler.jobs() {
+        for mut entry in job.registry.snapshot().entries {
+            entry.labels.insert(0, ("job_id".to_string(), job.id.clone()));
+            entries.push(entry);
+        }
+    }
+    // Stable sort by first appearance of each family name: entries of
+    // one family become adjacent while submission/registration order is
+    // otherwise preserved.
+    let mut family_order: Vec<&str> = Vec::new();
+    for entry in &entries {
+        if !family_order.contains(&entry.name.as_str()) {
+            family_order.push(&entry.name);
+        }
+    }
+    let rank: std::collections::HashMap<String, usize> =
+        family_order.iter().enumerate().map(|(i, n)| (n.to_string(), i)).collect();
+    entries.sort_by_key(|e| rank[&e.name]);
+    openmetrics::render(&MetricsSnapshot { entries })
+}
+
+fn json_response(status: &'static str, json: Json) -> HttpResponse {
+    HttpResponse {
+        status,
+        content_type: APPLICATION_JSON,
+        body: format!("{}\n", json.render()),
+        allow: None,
+    }
+}
+
+fn handle(scheduler: &Scheduler, shutdown: &AtomicBool, req: &HttpRequest) -> HttpResponse {
+    let method = req.method.as_str();
+    let route = req.route().to_string();
+    match (method, route.as_str()) {
+        ("POST", "/jobs") => submit(scheduler, &req.body),
+        ("GET", "/jobs") | ("HEAD", "/jobs") => {
+            let jobs: Vec<Json> = scheduler
+                .jobs()
+                .iter()
+                .map(|j| {
+                    Json::obj(vec![
+                        ("id", Json::str(&j.id)),
+                        ("app", Json::str(j.spec.app.name())),
+                        ("priority", Json::str(j.spec.priority.name())),
+                        ("status", Json::str(j.status().name())),
+                    ])
+                })
+                .collect();
+            json_response("200 OK", Json::obj(vec![("jobs", Json::Arr(jobs))]))
+        }
+        ("GET", "/metrics") | ("HEAD", "/metrics") | ("GET", "/") | ("HEAD", "/") => {
+            HttpResponse::ok(CONTENT_TYPE, merged_exposition(scheduler))
+        }
+        ("GET", "/healthz") | ("HEAD", "/healthz") => {
+            let body = if scheduler.draining() { "draining\n" } else { "ok\n" };
+            HttpResponse::ok(TEXT_PLAIN, body.to_string())
+        }
+        ("GET", "/debug/governor") | ("HEAD", "/debug/governor") => {
+            debug_tail(scheduler, req, true)
+        }
+        ("GET", "/debug/trace") | ("HEAD", "/debug/trace") => debug_tail(scheduler, req, false),
+        ("POST", "/shutdown") => {
+            scheduler.drain();
+            shutdown.store(true, Ordering::Relaxed);
+            json_response("200 OK", Json::obj(vec![("status", Json::str("draining"))]))
+        }
+        (_, r) if r.starts_with("/jobs/") => {
+            let id = &r["/jobs/".len()..];
+            match method {
+                "GET" | "HEAD" => match scheduler.job(id) {
+                    Some(job) => json_response("200 OK", job.status_json()),
+                    None => HttpResponse::error("404 Not Found", "unknown job\n"),
+                },
+                "DELETE" => match scheduler.cancel(id) {
+                    Some(status) => json_response(
+                        "200 OK",
+                        Json::obj(vec![
+                            ("id", Json::str(id)),
+                            ("status", Json::str(status.name())),
+                        ]),
+                    ),
+                    None => HttpResponse::error("404 Not Found", "unknown job\n"),
+                },
+                _ => HttpResponse::method_not_allowed("GET, HEAD, DELETE"),
+            }
+        }
+        ("GET", _) | ("HEAD", _) => HttpResponse::error("404 Not Found", "not found\n"),
+        _ => HttpResponse::method_not_allowed("GET, HEAD, POST, DELETE"),
+    }
+}
+
+fn submit(scheduler: &Scheduler, body: &[u8]) -> HttpResponse {
+    let spec = match JobSpec::from_json_bytes(body) {
+        Ok(spec) => spec,
+        Err(e) => return HttpResponse::error("400 Bad Request", &format!("{e}\n")),
+    };
+    match scheduler.submit(spec) {
+        Ok(job) => json_response(
+            "202 Accepted",
+            Json::obj(vec![("id", Json::str(&job.id)), ("status", Json::str(job.status().name()))]),
+        ),
+        Err(e @ (SubmitError::Draining | SubmitError::QueueFull)) => {
+            HttpResponse::error("503 Service Unavailable", &format!("{e}\n"))
+        }
+    }
+}
+
+/// `/debug/governor` and `/debug/trace`: a `job=` query selects whose
+/// ring to tail (required — the daemon hosts many).
+fn debug_tail(scheduler: &Scheduler, req: &HttpRequest, governor_only: bool) -> HttpResponse {
+    let Some(id) = req.query("job") else {
+        return HttpResponse::error("400 Bad Request", "missing job= query parameter\n");
+    };
+    let Some(job) = scheduler.job(id) else {
+        return HttpResponse::error("404 Not Found", "unknown job\n");
+    };
+    let tail = req.query("tail").and_then(|v| v.parse::<usize>().ok()).unwrap_or(256);
+    let body =
+        if governor_only { job.ring.tail_governor_jsonl(tail) } else { job.ring.tail_jsonl(tail) };
+    HttpResponse::ok(NDJSON, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn request(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> String {
+        request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    fn body_json(resp: &str) -> Json {
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        Json::parse(body.trim()).expect("valid JSON body")
+    }
+
+    fn test_daemon() -> Daemon {
+        Daemon::start(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                max_concurrent: 2,
+                queue_depth: 8,
+                memory_budget: Some(64 * 1024),
+                default_job_workers: 2,
+            },
+        )
+        .expect("bind")
+    }
+
+    fn poll_terminal(addr: std::net::SocketAddr, id: &str) -> Json {
+        for _ in 0..600 {
+            let status = body_json(&get(addr, &format!("/jobs/{id}")));
+            let state = status.get("status").unwrap().as_str().unwrap().to_string();
+            if ["completed", "failed", "cancelled"].contains(&state.as_str()) {
+                return status;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("job {id} never settled");
+    }
+
+    #[test]
+    fn two_concurrent_jobs_complete_with_verified_outputs_and_labelled_metrics() {
+        let daemon = test_daemon();
+        let addr = daemon.addr();
+
+        // Two overlapping jobs, big enough to exceed their budget
+        // partitions (32K each under the 64K global budget).
+        let a = body_json(&post(addr, "/jobs", r#"{"app":"wordcount","generate":"128K"}"#));
+        let b = body_json(&post(
+            addr,
+            "/jobs",
+            r#"{"app":"wordcount","generate":"128K","seed":7,"priority":"high"}"#,
+        ));
+        let (a_id, b_id) = (
+            a.get("id").unwrap().as_str().unwrap().to_string(),
+            b.get("id").unwrap().as_str().unwrap().to_string(),
+        );
+        assert_ne!(a_id, b_id);
+
+        let a_status = poll_terminal(addr, &a_id);
+        let b_status = poll_terminal(addr, &b_id);
+        for (status, label) in [(&a_status, "a"), (&b_status, "b")] {
+            assert_eq!(
+                status.get("status").unwrap().as_str(),
+                Some("completed"),
+                "{label}: {}",
+                status.render()
+            );
+            assert_eq!(
+                status.get("report").unwrap().get("schema").unwrap().as_str(),
+                Some("supmr.job_report.v1")
+            );
+        }
+
+        // Independently verify both outputs against isolated reruns.
+        let spec_a = JobSpec::from_json_bytes(br#"{"app":"wordcount","generate":"128K"}"#).unwrap();
+        let spec_b =
+            JobSpec::from_json_bytes(br#"{"app":"wordcount","generate":"128K","seed":7}"#).unwrap();
+        let oracle_a = crate::runner::reference_output(&spec_a).expect("oracle a");
+        let oracle_b = crate::runner::reference_output(&spec_b).expect("oracle b");
+        assert_eq!(
+            a_status.get("output").unwrap().get("digest").unwrap().as_str(),
+            Some(oracle_a.digest.as_str()),
+            "job a answered exactly what an isolated run answers"
+        );
+        assert_eq!(
+            b_status.get("output").unwrap().get("digest").unwrap().as_str(),
+            Some(oracle_b.digest.as_str())
+        );
+        assert_ne!(oracle_a.digest, oracle_b.digest, "different seeds, different outputs");
+
+        // One scrape carries both jobs' families plus the daemon's own,
+        // and shows the budget-pressed tenants spilled.
+        let scrape = get(addr, "/metrics");
+        assert!(scrape.contains(&format!("job_id=\"{a_id}\"")), "{scrape}");
+        assert!(scrape.contains(&format!("job_id=\"{b_id}\"")), "{scrape}");
+        assert!(scrape.contains("supmr_serve_jobs_completed_total 2"), "{scrape}");
+        let spill_runs: u64 = scrape
+            .lines()
+            .filter(|l| l.starts_with("supmr_spill_runs_total{"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert!(spill_runs > 0, "budget-exceeding tenants spilled: {scrape}");
+        assert!(scrape.trim_end().ends_with("# EOF"), "valid exposition: {scrape}");
+        // No family is announced twice (merge kept families adjacent).
+        let type_lines: Vec<&str> = scrape.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let mut deduped = type_lines.clone();
+        deduped.dedup();
+        assert_eq!(type_lines.len(), deduped.len(), "duplicate TYPE announcement: {scrape}");
+
+        assert!(daemon.stop(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn submission_errors_and_job_listing() {
+        let daemon = test_daemon();
+        let addr = daemon.addr();
+        assert!(post(addr, "/jobs", r#"{"app":"nope"}"#).starts_with("HTTP/1.1 400"));
+        assert!(post(addr, "/jobs", "garbage").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/jobs/job-99").starts_with("HTTP/1.1 404"));
+        assert!(request(addr, "DELETE /jobs/job-99 HTTP/1.1\r\nHost: t\r\n\r\n")
+            .starts_with("HTTP/1.1 404"));
+        assert!(request(addr, "PUT /jobs HTTP/1.1\r\nHost: t\r\n\r\n").starts_with("HTTP/1.1 405"));
+
+        let resp = post(addr, "/jobs", r#"{"app":"wordcount","generate":"16K"}"#);
+        assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+        let id = body_json(&resp).get("id").unwrap().as_str().unwrap().to_string();
+        let list = body_json(&get(addr, "/jobs"));
+        let jobs = list.get("jobs").unwrap().as_arr().unwrap();
+        assert!(jobs.iter().any(|j| j.get("id").unwrap().as_str() == Some(id.as_str())));
+        poll_terminal(addr, &id);
+        assert!(daemon.stop(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn delete_cancels_and_shutdown_drains_with_503() {
+        let daemon = test_daemon();
+        let addr = daemon.addr();
+        // A long job to cancel mid-flight.
+        let id = body_json(&post(addr, "/jobs", r#"{"app":"wordcount","generate":"8M"}"#))
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let resp = request(addr, &format!("DELETE /jobs/{id} HTTP/1.1\r\nHost: t\r\n\r\n"));
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        let status = poll_terminal(addr, &id);
+        assert_eq!(
+            status.get("status").unwrap().as_str(),
+            Some("cancelled"),
+            "{}",
+            status.render()
+        );
+
+        // Shutdown: draining healthz, 503 on new submissions.
+        assert!(post(addr, "/shutdown", "").starts_with("HTTP/1.1 200"));
+        assert!(get(addr, "/healthz").contains("draining"));
+        assert!(post(addr, "/jobs", r#"{"app":"wordcount"}"#).starts_with("HTTP/1.1 503"));
+        assert!(daemon.shutdown_requested());
+        assert!(daemon.stop(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn governor_debug_endpoint_filters_by_job() {
+        let daemon = test_daemon();
+        let addr = daemon.addr();
+        let id = body_json(&post(
+            addr,
+            "/jobs",
+            r#"{"app":"wordcount","generate":"64K","governor":true,"chunk":"8K"}"#,
+        ))
+        .get("id")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+        poll_terminal(addr, &id);
+        let resp = get(addr, &format!("/debug/governor?job={id}&tail=10"));
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        assert!(resp.contains("application/x-ndjson"), "{resp}");
+        // Every returned line (if the governor acted at all on this
+        // short job) is a GovernorAction.
+        for line in resp.split("\r\n\r\n").nth(1).unwrap_or("").lines() {
+            assert!(line.contains("GovernorAction"), "{line}");
+        }
+        assert!(get(addr, "/debug/governor?job=job-42").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/debug/governor").starts_with("HTTP/1.1 400"), "job= is required");
+        // The raw trace tail for the same job answers too.
+        assert!(get(addr, &format!("/debug/trace?job={id}")).starts_with("HTTP/1.1 200"));
+        assert!(daemon.stop(Duration::from_secs(30)));
+    }
+}

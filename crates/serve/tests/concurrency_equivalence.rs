@@ -1,0 +1,99 @@
+//! The service's core correctness property (satellite of the job-service
+//! PR): running K jobs **concurrently** — sharing one persistent worker
+//! pool, fair-share width caps, and one partitioned memory budget small
+//! enough to force tenants out of core — produces, for every job, output
+//! byte-identical to the same spec run **sequentially in isolation**
+//! (private single-worker pool, no budget). Neither multi-tenancy nor
+//! spilling is allowed to change any answer.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use supmr_serve::{
+    reference_output, AppSpec, JobSpec, JobStatus, Priority, Scheduler, ServeConfig,
+};
+
+/// Build the i-th randomized spec of a batch. TeraSort sizes are whole
+/// 100-byte records; grep always carries the corpus's rank-0 word so
+/// its output is non-trivial.
+fn spec_for(app_pick: usize, seed: u64, size_pick: u64) -> JobSpec {
+    let app = [AppSpec::WordCount, AppSpec::TeraSort, AppSpec::Grep][app_pick % 3];
+    let input_bytes = match app {
+        AppSpec::TeraSort => 100 * (100 + size_pick % 400),
+        _ => 16 * 1024 + (size_pick % 5) * 16 * 1024,
+    };
+    JobSpec {
+        app,
+        seed,
+        input_bytes,
+        priority: [Priority::Low, Priority::Normal, Priority::High][(seed % 3) as usize],
+        patterns: if app == AppSpec::Grep { vec!["ca".to_string()] } else { vec![] },
+        ..JobSpec::default()
+    }
+}
+
+/// Digest + pair count as reported over the status surface.
+fn served_output(json: &supmr_metrics::Json) -> (String, f64) {
+    let out = json.get("output").expect("completed job has output");
+    (
+        out.get("digest").unwrap().as_str().unwrap().to_string(),
+        out.get("pairs").unwrap().as_f64().unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    #[test]
+    fn concurrent_partitioned_runs_equal_sequential_isolated_runs(
+        picks in proptest::collection::vec(any::<u64>(), 2..5),
+        budget_kib in 24u64..96,
+    ) {
+        let specs: Vec<JobSpec> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| spec_for((p % 97) as usize + i, p ^ 0x9e37, p >> 7))
+            .collect();
+
+        // Sequential oracle: each spec alone on a private 1-wide pool,
+        // no memory budget.
+        let oracles: Vec<_> = specs
+            .iter()
+            .map(|s| reference_output(s).expect("isolated run"))
+            .collect();
+
+        // Concurrent system under test: every spec at once, sharing one
+        // pool and one deliberately tight budget partitioned across
+        // tenants by priority weight.
+        let scheduler = Scheduler::start(ServeConfig {
+            workers: 4,
+            max_concurrent: specs.len(),
+            queue_depth: specs.len() + 1,
+            memory_budget: Some(budget_kib * 1024),
+            default_job_workers: 2,
+        });
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|s| scheduler.submit(s.clone()).expect("admitted"))
+            .collect();
+        prop_assert!(scheduler.wait_idle(Duration::from_secs(120)), "batch settled");
+
+        for (i, (handle, oracle)) in handles.iter().zip(&oracles).enumerate() {
+            prop_assert_eq!(
+                handle.status(),
+                JobStatus::Completed,
+                "job {} ({}) finished: {}",
+                i,
+                specs[i].app.name(),
+                handle.status_json().render()
+            );
+            let (digest, pairs) = served_output(&handle.status_json());
+            prop_assert_eq!(
+                &digest,
+                &oracle.digest,
+                "job {} under shared pool + partitioned budget answers what isolation answers",
+                i
+            );
+            prop_assert_eq!(pairs, oracle.pairs as f64);
+        }
+        scheduler.shutdown(Duration::from_secs(30));
+    }
+}
